@@ -1,0 +1,55 @@
+//! Criterion micro-bench: BCA propagation strategies (paper §4.1.2's claim
+//! that batch propagation beats the single-node variants).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rtk_graph::gen::{rmat, RmatConfig};
+use rtk_graph::TransitionMatrix;
+use rtk_rwr::bca::{BcaEngine, BcaStop, PropagationStrategy};
+use rtk_rwr::{BcaParams, HubSet};
+
+fn bench_bca(c: &mut Criterion) {
+    let graph = rmat(&RmatConfig::new(4_000, 16_000, 42)).unwrap();
+    let transition = TransitionMatrix::new(&graph);
+    let hubs = HubSet::degree_based(&graph, 40);
+    let params = BcaParams::default();
+    let stop = BcaStop::from_params(&params);
+
+    let mut group = c.benchmark_group("bca_partial_run");
+    for (name, strategy) in [
+        ("batch_threshold", PropagationStrategy::BatchThreshold),
+        ("single_max", PropagationStrategy::SingleMaxResidue),
+        ("single_above", PropagationStrategy::SingleAboveThreshold),
+    ] {
+        group.bench_with_input(BenchmarkId::new(name, "hubs40"), &strategy, |b, &strategy| {
+            let mut engine = BcaEngine::new(hubs.clone(), params, strategy);
+            let mut source = 0u32;
+            b.iter(|| {
+                let snap = engine.run_from(&transition, source, &stop);
+                source = (source + 1) % graph.node_count() as u32;
+                std::hint::black_box(snap.residue_norm())
+            });
+        });
+    }
+    // Hub effect: batch strategy without any hubs.
+    group.bench_function(BenchmarkId::new("batch_threshold", "no_hubs"), |b| {
+        let mut engine = BcaEngine::new(
+            HubSet::empty(graph.node_count()),
+            params,
+            PropagationStrategy::BatchThreshold,
+        );
+        let mut source = 0u32;
+        b.iter(|| {
+            let snap = engine.run_from(&transition, source, &stop);
+            source = (source + 1) % graph.node_count() as u32;
+            std::hint::black_box(snap.residue_norm())
+        });
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_bca
+}
+criterion_main!(benches);

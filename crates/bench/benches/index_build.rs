@@ -1,0 +1,67 @@
+//! Criterion micro-bench: offline index construction (Alg. 1) across hub
+//! budgets and hub-vector solvers (the knobs of Table 2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rtk_graph::gen::{rmat, RmatConfig};
+use rtk_graph::TransitionMatrix;
+use rtk_index::{HubSelection, HubSolver, IndexConfig, ReverseIndex};
+use rtk_rwr::BcaParams;
+
+fn bench_index_build(c: &mut Criterion) {
+    let graph = rmat(&RmatConfig::new(3_000, 12_000, 42)).unwrap();
+    let transition = TransitionMatrix::new(&graph);
+
+    let mut group = c.benchmark_group("index_build_3k");
+    for b in [10usize, 50] {
+        group.bench_with_input(BenchmarkId::new("pm_hubs", b), &b, |bench, &b| {
+            let config = IndexConfig {
+                max_k: 100,
+                hub_selection: HubSelection::DegreeBased { b },
+                threads: 1,
+                ..Default::default()
+            };
+            bench.iter(|| {
+                let index = ReverseIndex::build(&transition, config.clone()).unwrap();
+                std::hint::black_box(index.stats().hub_count)
+            });
+        });
+    }
+    group.bench_function(BenchmarkId::new("bca_hubs", 50), |bench| {
+        let config = IndexConfig {
+            max_k: 100,
+            hub_selection: HubSelection::DegreeBased { b: 50 },
+            hub_solver: HubSolver::Bca(BcaParams {
+                propagation_threshold: 1e-7,
+                residue_threshold: 1e-3,
+                ..Default::default()
+            }),
+            threads: 1,
+            ..Default::default()
+        };
+        bench.iter(|| {
+            let index = ReverseIndex::build(&transition, config.clone()).unwrap();
+            std::hint::black_box(index.stats().hub_count)
+        });
+    });
+    // Parallel speedup sanity: all cores vs one.
+    group.bench_function(BenchmarkId::new("pm_hubs_all_cores", 50), |bench| {
+        let config = IndexConfig {
+            max_k: 100,
+            hub_selection: HubSelection::DegreeBased { b: 50 },
+            threads: 0,
+            ..Default::default()
+        };
+        bench.iter(|| {
+            let index = ReverseIndex::build(&transition, config.clone()).unwrap();
+            std::hint::black_box(index.stats().hub_count)
+        });
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_index_build
+}
+criterion_main!(benches);

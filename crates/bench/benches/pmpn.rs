@@ -1,0 +1,40 @@
+//! Criterion micro-bench: PMPN (proximities *to* a node, Alg. 2) versus one
+//! forward power-method column — the paper's claim is that they cost the
+//! same `O(m·log(ε/α)/log(1−α))`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rtk_graph::gen::{rmat, RmatConfig};
+use rtk_graph::TransitionMatrix;
+use rtk_rwr::{proximity_from, proximity_to, RwrParams};
+
+fn bench_pmpn(c: &mut Criterion) {
+    let graph = rmat(&RmatConfig::new(10_000, 40_000, 42)).unwrap();
+    let transition = TransitionMatrix::new(&graph);
+    let params = RwrParams::default();
+
+    let mut group = c.benchmark_group("proximity_vector");
+    group.bench_function(BenchmarkId::new("pmpn_row", "n10k"), |b| {
+        let mut q = 0u32;
+        b.iter(|| {
+            let (row, _) = proximity_to(&transition, q, &params);
+            q = (q + 7) % graph.node_count() as u32;
+            std::hint::black_box(row[0])
+        });
+    });
+    group.bench_function(BenchmarkId::new("power_column", "n10k"), |b| {
+        let mut u = 0u32;
+        b.iter(|| {
+            let (col, _) = proximity_from(&transition, u, &params);
+            u = (u + 7) % graph.node_count() as u32;
+            std::hint::black_box(col[0])
+        });
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_pmpn
+}
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Criterion micro-bench: end-to-end reverse top-k query latency across `k`
+//! (the quantity plotted in the paper's Figure 5).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rtk_graph::gen::{rmat, RmatConfig};
+use rtk_graph::TransitionMatrix;
+use rtk_index::{HubSelection, IndexConfig, ReverseIndex};
+use rtk_query::{QueryEngine, QueryOptions};
+
+fn bench_query(c: &mut Criterion) {
+    let graph = rmat(&RmatConfig::new(10_000, 37_000, 42)).unwrap();
+    let transition = TransitionMatrix::new(&graph);
+    let config = IndexConfig {
+        max_k: 200,
+        hub_selection: HubSelection::DegreeBased { b: 50 },
+        ..Default::default()
+    };
+    let mut index = ReverseIndex::build(&transition, config).unwrap();
+    let mut session = QueryEngine::new(&index);
+    let opts = QueryOptions::default();
+
+    // Warm the index once over the measured query cycle: frozen-mode timing
+    // would otherwise re-pay the same heavy refinements (R-MAT mega-hub
+    // queries) on every iteration and tell us nothing about steady state.
+    let cycle: Vec<u32> =
+        (0..40u32).map(|i| (1 + i * 131) % graph.node_count() as u32).collect();
+    for &q in &cycle {
+        let _ = session.query(&transition, &mut index, q, 100, &opts).unwrap();
+    }
+
+    let mut group = c.benchmark_group("reverse_topk_query");
+    for k in [5usize, 20, 100] {
+        group.bench_with_input(BenchmarkId::new("warmed", k), &k, |b, &k| {
+            let mut i = 0usize;
+            b.iter(|| {
+                let q = cycle[i % cycle.len()];
+                i += 1;
+                let r = session.query(&transition, &mut index, q, k, &opts).unwrap();
+                std::hint::black_box(r.len())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_query
+}
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Criterion micro-bench: the staircase upper-bound computation (Alg. 3).
+//! The paper calls its `O(k)` cost "quite low compared to other modules";
+//! this pins that down in nanoseconds.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use rtk_query::upper_bound_kth;
+
+fn bench_ubc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("upper_bound_kth");
+    let mut rng = StdRng::seed_from_u64(1);
+    for k in [5usize, 20, 100, 200] {
+        let mut staircase: Vec<f64> = (0..k).map(|_| rng.gen_range(0.0..0.5)).collect();
+        staircase.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            let mut residual = 0.0f64;
+            b.iter(|| {
+                residual = (residual + 0.013) % 1.0;
+                std::hint::black_box(upper_bound_kth(&staircase, residual, k))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ubc);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Approximate-query study — the variant the paper sketches in §5.3:
+//! *"an approximated query algorithm, which only takes the hits as result
+//! and stops further exploration, would save even more time"*.
+//!
+//! Measures, per `k`: exact vs approximate query time, and the approximate
+//! mode's recall (its results are always a subset of the exact answer).
+//!
+//! ```sh
+//! cargo run --release -p rtk-bench --bin approx_study -- --quick
+//! ```
+
+use rtk_bench::{banner, graph_summary, index_config, mean, print_table, query_workload};
+use rtk_datasets::{paper_datasets, web_cs_sim};
+use rtk_graph::TransitionMatrix;
+use rtk_index::ReverseIndex;
+use rtk_query::{QueryEngine, QueryOptions};
+
+const KS: [usize; 5] = [5, 10, 20, 50, 100];
+
+fn main() {
+    let args = rtk_bench::Args::parse();
+    let queries = args.workload(50, 500);
+    let graph = web_cs_sim();
+    banner(
+        "Approximate mode",
+        "the hits-only variant suggested in §5.3",
+        &format!("web-cs-sim ({})", graph_summary(&graph)),
+        &format!("{queries} queries per k"),
+    );
+
+    let transition = TransitionMatrix::new(&graph);
+    let spec = &paper_datasets()[0];
+    let base_index =
+        ReverseIndex::build(&transition, index_config(spec, spec.default_b, graph.node_count()))
+            .expect("index build");
+    let workload = query_workload(graph.node_count(), queries, 0xA117);
+
+    let mut rows = Vec::new();
+    for &k in &KS {
+        // Exact pass (frozen index so both passes see identical bounds).
+        let mut session = QueryEngine::new(&base_index);
+        let exact_opts = QueryOptions::default();
+        let approx_opts = QueryOptions { approximate: true, ..Default::default() };
+        let mut t_exact = Vec::new();
+        let mut t_approx = Vec::new();
+        let mut recall = Vec::new();
+        for &q in &workload {
+            let e = session.query_frozen(&transition, &base_index, q, k, &exact_opts).unwrap();
+            t_exact.push(e.stats().total_seconds);
+            let a = session.query_frozen(&transition, &base_index, q, k, &approx_opts).unwrap();
+            t_approx.push(a.stats().total_seconds);
+            debug_assert!(a.nodes().iter().all(|u| e.contains(*u)));
+            if !e.is_empty() {
+                recall.push(a.len() as f64 / e.len() as f64);
+            }
+        }
+        rows.push(vec![
+            k.to_string(),
+            format!("{:.4}", mean(&t_exact)),
+            format!("{:.4}", mean(&t_approx)),
+            format!("{:.3}", mean(&recall)),
+        ]);
+    }
+    print_table(&["k", "exact (s)", "approx (s)", "recall"], &rows);
+    println!(
+        "\n(approximate results are a subset of the exact answer by construction;\n\
+         the paper predicted high recall because hits ≈ results on web graphs)"
+    );
+}

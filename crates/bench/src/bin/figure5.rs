@@ -1,0 +1,59 @@
+//! Figure 5 — average reverse top-k query time versus `k`, with and without
+//! dynamic index updates, on all four graphs.
+//!
+//! ```sh
+//! cargo run --release -p rtk-bench --bin figure5 -- --quick
+//! ```
+
+use rtk_bench::{banner, graph_summary, index_config, mean, print_table, query_workload};
+use rtk_datasets::paper_datasets;
+use rtk_graph::TransitionMatrix;
+use rtk_index::ReverseIndex;
+use rtk_query::{QueryEngine, QueryOptions};
+
+const KS: [usize; 5] = [5, 10, 20, 50, 100];
+
+fn main() {
+    let args = rtk_bench::Args::parse();
+    let queries = args.workload(50, 500);
+    banner(
+        "Figure 5",
+        "search performance on different graphs, varying k (paper Fig. 5)",
+        "all four analogues, index at the default B",
+        &format!("{queries} random queries per (k, mode)"),
+    );
+
+    for spec in paper_datasets() {
+        let graph = spec.graph();
+        let transition = TransitionMatrix::new(&graph);
+        println!("### {}: {}", spec.name, graph_summary(&graph));
+        let config = index_config(&spec, spec.default_b, graph.node_count());
+        let base_index = ReverseIndex::build(&transition, config).expect("index build");
+        let workload = query_workload(graph.node_count(), queries, 0xF165);
+
+        let mut rows = Vec::new();
+        for &k in &KS {
+            let mut cells = vec![k.to_string()];
+            for update in [true, false] {
+                // Each (k, mode) combination starts from the freshly built
+                // index, as in the paper's per-series runs.
+                let mut index = base_index.clone();
+                let mut session = QueryEngine::new(&index);
+                let opts = QueryOptions { update_index: update, ..Default::default() };
+                let mut times = Vec::with_capacity(workload.len());
+                for &q in &workload {
+                    let r = if update {
+                        session.query(&transition, &mut index, q, k, &opts).unwrap()
+                    } else {
+                        session.query_frozen(&transition, &index, q, k, &opts).unwrap()
+                    };
+                    times.push(r.stats().total_seconds);
+                }
+                cells.push(format!("{:.4}", mean(&times)));
+            }
+            rows.push(cells);
+        }
+        print_table(&["k", "update (s)", "no-update (s)"], &rows);
+        println!();
+    }
+}

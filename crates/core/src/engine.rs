@@ -1,0 +1,488 @@
+//! The owning engine: graph + index + query session in one value.
+
+use crate::error::EngineError;
+use rtk_graph::{DiGraph, NodeId, TransitionMatrix};
+use rtk_index::{HubSelection, HubSolver, IndexConfig, IndexStats, ReverseIndex};
+use rtk_query::{QueryEngine, QueryOptions, QueryResult};
+use rtk_rwr::{BcaParams, RwrParams};
+use std::io::{Read, Write};
+use std::path::Path;
+
+/// An owning reverse top-k search engine.
+///
+/// Construct through [`ReverseTopkEngine::builder`]. The engine owns the
+/// graph, the offline index (which it refines across queries in `update`
+/// mode), and the reusable query buffers. Each query rebuilds the `O(|E|)`
+/// transition probability view — negligible next to PMPN's `O(|E|·log 1/ε)`.
+pub struct ReverseTopkEngine {
+    graph: DiGraph,
+    index: ReverseIndex,
+    session: QueryEngine,
+    options: QueryOptions,
+}
+
+impl ReverseTopkEngine {
+    /// Starts configuring an engine for `graph`.
+    pub fn builder(graph: DiGraph) -> EngineBuilder {
+        EngineBuilder {
+            graph,
+            config: IndexConfig::default(),
+            options: QueryOptions::default(),
+        }
+    }
+
+    /// Rebuilds an engine from a graph and a previously built index
+    /// (e.g. one loaded via [`rtk_index::storage::load`]).
+    pub fn from_parts(graph: DiGraph, index: ReverseIndex) -> Result<Self, EngineError> {
+        if graph.node_count() != index.node_count() {
+            return Err(EngineError::Query(rtk_query::QueryError::GraphMismatch {
+                index_nodes: index.node_count(),
+                graph_nodes: graph.node_count(),
+            }));
+        }
+        let session = QueryEngine::new(&index);
+        Ok(Self { graph, index, session, options: QueryOptions::default() })
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &DiGraph {
+        &self.graph
+    }
+
+    /// The offline index (read-only view).
+    pub fn index(&self) -> &ReverseIndex {
+        &self.index
+    }
+
+    /// Index construction statistics.
+    pub fn index_stats(&self) -> &IndexStats {
+        self.index.stats()
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    /// The default query options used by [`Self::query`].
+    pub fn options(&self) -> &QueryOptions {
+        &self.options
+    }
+
+    /// Replaces the default query options.
+    pub fn set_options(&mut self, options: QueryOptions) {
+        self.options = options;
+    }
+
+    /// Runs a reverse top-k query with the engine's default options.
+    pub fn query(&mut self, q: NodeId, k: usize) -> Result<QueryResult, EngineError> {
+        let options = self.options;
+        self.query_with(q, k, &options)
+    }
+
+    /// Runs a reverse top-k query with explicit options.
+    pub fn query_with(
+        &mut self,
+        q: NodeId,
+        k: usize,
+        options: &QueryOptions,
+    ) -> Result<QueryResult, EngineError> {
+        let transition = TransitionMatrix::new(&self.graph);
+        Ok(self.session.query(&transition, &mut self.index, q.0, k, options)?)
+    }
+
+    /// Runs many reverse top-k queries, building the transition view once.
+    pub fn query_many(
+        &mut self,
+        queries: &[(NodeId, usize)],
+        options: &QueryOptions,
+    ) -> Result<Vec<QueryResult>, EngineError> {
+        let transition = TransitionMatrix::new(&self.graph);
+        let mut out = Vec::with_capacity(queries.len());
+        for &(q, k) in queries {
+            out.push(self.session.query(&transition, &mut self.index, q.0, k, options)?);
+        }
+        Ok(out)
+    }
+
+    /// Forward top-k RWR search: the `k` nodes with the highest proximity
+    /// *from* `u`, descending.
+    pub fn top_k(&self, u: NodeId, k: usize) -> Result<Vec<(NodeId, f64)>, EngineError> {
+        self.check_node(u)?;
+        let transition = TransitionMatrix::new(&self.graph);
+        let params = RwrParams::with_alpha(self.index.config().alpha());
+        let top = rtk_query::baseline::top_k_rwr(&transition, u.0, k, &params);
+        Ok(top.into_iter().map(|(v, p)| (NodeId(v), p)).collect())
+    }
+
+    /// Early-terminating forward top-k search (BPA-style, §6.2): usually far
+    /// fewer iterations than [`Self::top_k`]. The returned *set* is exact
+    /// (up to value ties below 1e-9); the proximities are lower bounds and
+    /// the internal order follows them, not the converged ranking.
+    pub fn top_k_early(
+        &self,
+        u: NodeId,
+        k: usize,
+    ) -> Result<Vec<(NodeId, f64)>, EngineError> {
+        self.check_node(u)?;
+        let transition = TransitionMatrix::new(&self.graph);
+        let params = rtk_rwr::BcaParams {
+            alpha: self.index.config().alpha(),
+            propagation_threshold: 1e-7,
+            residue_threshold: 0.0,
+            max_iterations: 100_000,
+        };
+        let (top, _) = rtk_query::top_k_rwr_early(&transition, u.0, k, &params);
+        Ok(top.into_iter().map(|(v, p)| (NodeId(v), p)).collect())
+    }
+
+    /// Exact proximities *to* `q` from every node (PMPN, Alg. 2):
+    /// `result[u] = p_u(q)`.
+    pub fn proximities_to(&self, q: NodeId) -> Result<Vec<f64>, EngineError> {
+        self.check_node(q)?;
+        let transition = TransitionMatrix::new(&self.graph);
+        let params = RwrParams::with_alpha(self.index.config().alpha());
+        Ok(rtk_rwr::proximity_to(&transition, q.0, &params).0)
+    }
+
+    /// Exact proximities *from* `u` to every node (forward power method):
+    /// `result[v] = p_u(v)`.
+    pub fn proximities_from(&self, u: NodeId) -> Result<Vec<f64>, EngineError> {
+        self.check_node(u)?;
+        let transition = TransitionMatrix::new(&self.graph);
+        let params = RwrParams::with_alpha(self.index.config().alpha());
+        Ok(rtk_rwr::proximity_from(&transition, u.0, &params).0)
+    }
+
+    /// Persists graph + index into one stream. Each section is length-
+    /// prefixed so the (buffered) section decoders cannot over-read.
+    pub fn save<W: Write>(&self, mut writer: W) -> Result<(), EngineError> {
+        let io_err = EngineError::from_io;
+        writer.write_all(ENGINE_MAGIC).map_err(io_err)?;
+
+        let mut graph_bytes = Vec::new();
+        rtk_graph::io::write_binary(&self.graph, &mut graph_bytes)?;
+        writer.write_all(&(graph_bytes.len() as u64).to_le_bytes()).map_err(io_err)?;
+        writer.write_all(&graph_bytes).map_err(io_err)?;
+
+        let mut index_bytes = Vec::new();
+        rtk_index::storage::save(&self.index, &mut index_bytes)?;
+        writer.write_all(&(index_bytes.len() as u64).to_le_bytes()).map_err(io_err)?;
+        writer.write_all(&index_bytes).map_err(io_err)?;
+        Ok(())
+    }
+
+    /// Loads an engine persisted by [`Self::save`].
+    pub fn load<R: Read>(mut reader: R) -> Result<Self, EngineError> {
+        let io_err = EngineError::from_io;
+        let mut magic = [0u8; 8];
+        reader.read_exact(&mut magic).map_err(io_err)?;
+        if &magic != ENGINE_MAGIC {
+            return Err(EngineError::Graph(rtk_graph::GraphError::Parse {
+                line: 0,
+                message: "not an engine snapshot (bad magic)".into(),
+            }));
+        }
+        let graph_bytes = read_section(&mut reader)?;
+        let graph = rtk_graph::io::read_binary(graph_bytes.as_slice())?;
+        let index_bytes = read_section(&mut reader)?;
+        let index = rtk_index::storage::load(index_bytes.as_slice())?;
+        Self::from_parts(graph, index)
+    }
+
+    /// Persists to a file path.
+    pub fn save_path<P: AsRef<Path>>(&self, path: P) -> Result<(), EngineError> {
+        let file = std::fs::File::create(path).map_err(rtk_graph::GraphError::Io)?;
+        self.save(file)
+    }
+
+    /// Loads from a file path.
+    pub fn load_path<P: AsRef<Path>>(path: P) -> Result<Self, EngineError> {
+        let file = std::fs::File::open(path).map_err(rtk_graph::GraphError::Io)?;
+        Self::load(file)
+    }
+
+    #[allow(clippy::wrong_self_convention)]
+    fn check_node(&self, u: NodeId) -> Result<(), EngineError> {
+        if u.index() >= self.graph.node_count() {
+            return Err(EngineError::Query(rtk_query::QueryError::NodeOutOfRange {
+                node: u.0,
+                node_count: self.graph.node_count(),
+            }));
+        }
+        Ok(())
+    }
+}
+
+/// Magic tag of the engine snapshot container.
+const ENGINE_MAGIC: &[u8; 8] = b"RTKENGN1";
+
+/// Reads one `u64`-length-prefixed section.
+fn read_section<R: Read>(reader: &mut R) -> Result<Vec<u8>, EngineError> {
+    let mut len_bytes = [0u8; 8];
+    reader.read_exact(&mut len_bytes).map_err(EngineError::from_io)?;
+    let len = u64::from_le_bytes(len_bytes);
+    if len > 1 << 40 {
+        return Err(EngineError::Graph(rtk_graph::GraphError::Parse {
+            line: 0,
+            message: format!("engine snapshot section of {len} bytes is implausible"),
+        }));
+    }
+    let mut bytes = vec![0u8; len as usize];
+    reader.read_exact(&mut bytes).map_err(EngineError::from_io)?;
+    Ok(bytes)
+}
+
+impl EngineError {
+    fn from_io(e: std::io::Error) -> Self {
+        EngineError::Graph(rtk_graph::GraphError::Io(e))
+    }
+}
+
+/// Configures and builds a [`ReverseTopkEngine`].
+pub struct EngineBuilder {
+    graph: DiGraph,
+    config: IndexConfig,
+    options: QueryOptions,
+}
+
+impl EngineBuilder {
+    /// Sets the restart probability `α` (default 0.15) for the index, its
+    /// hub solver, and all queries.
+    pub fn restart_probability(mut self, alpha: f64) -> Self {
+        self.config.bca.alpha = alpha;
+        self.config.hub_solver = match self.config.hub_solver {
+            HubSolver::PowerMethod(p) => HubSolver::PowerMethod(RwrParams { alpha, ..p }),
+            HubSolver::Bca(p) => HubSolver::Bca(BcaParams { alpha, ..p }),
+        };
+        self
+    }
+
+    /// Sets `K`, the largest query `k` the index supports (default 200).
+    pub fn max_k(mut self, max_k: usize) -> Self {
+        self.config.max_k = max_k;
+        self
+    }
+
+    /// Degree-based hub selection size `B` (default 50): the union of the
+    /// `B` highest in-degree and `B` highest out-degree nodes become hubs.
+    pub fn hubs_per_direction(mut self, b: usize) -> Self {
+        self.config.hub_selection = HubSelection::DegreeBased { b };
+        self
+    }
+
+    /// Fully custom hub selection.
+    pub fn hub_selection(mut self, selection: HubSelection) -> Self {
+        self.config.hub_selection = selection;
+        self
+    }
+
+    /// Hub-vector rounding threshold `ω` (default 1e-6; 0 disables).
+    pub fn rounding_threshold(mut self, omega: f64) -> Self {
+        self.config.rounding_threshold = omega;
+        self
+    }
+
+    /// BCA propagation threshold `η` (default 1e-4).
+    pub fn propagation_threshold(mut self, eta: f64) -> Self {
+        self.config.bca.propagation_threshold = eta;
+        self
+    }
+
+    /// BCA residue threshold `δ` for index construction (default 0.1).
+    pub fn residue_threshold(mut self, delta: f64) -> Self {
+        self.config.bca.residue_threshold = delta;
+        self
+    }
+
+    /// Worker threads for index construction (0 = all cores).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.config.threads = threads;
+        self
+    }
+
+    /// Replaces the whole index configuration.
+    pub fn index_config(mut self, config: IndexConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Default query options (update mode, bound mode, …).
+    pub fn query_options(mut self, options: QueryOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Builds the index and assembles the engine.
+    pub fn build(self) -> Result<ReverseTopkEngine, EngineError> {
+        // Surface dangling nodes as an error instead of a downstream panic.
+        let dangling = self.graph.dangling_nodes();
+        if let Some(&node) = dangling.first() {
+            return Err(EngineError::Graph(rtk_graph::GraphError::DanglingNode {
+                node,
+                count: dangling.len(),
+            }));
+        }
+        let transition = TransitionMatrix::new(&self.graph);
+        let index = ReverseIndex::build(&transition, self.config)?;
+        drop(transition);
+        let session = QueryEngine::new(&index);
+        Ok(ReverseTopkEngine { graph: self.graph, index, session, options: self.options })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtk_graph::{DanglingPolicy, GraphBuilder};
+
+    fn toy() -> DiGraph {
+        GraphBuilder::from_edges(
+            6,
+            &[
+                (0, 1), (0, 3), (0, 5),
+                (1, 0), (1, 2),
+                (2, 0), (2, 1),
+                (3, 1), (3, 4),
+                (4, 1),
+                (5, 1), (5, 3),
+            ],
+            DanglingPolicy::Error,
+        )
+        .unwrap()
+    }
+
+    fn toy_engine() -> ReverseTopkEngine {
+        ReverseTopkEngine::builder(toy())
+            .max_k(3)
+            .hubs_per_direction(1)
+            .threads(1)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn end_to_end_toy_query() {
+        let mut engine = toy_engine();
+        let result = engine.query(NodeId(0), 2).unwrap();
+        assert_eq!(result.nodes(), &[0, 1, 4]);
+        assert_eq!(engine.node_count(), 6);
+        assert_eq!(engine.index_stats().hub_count, 2);
+    }
+
+    #[test]
+    fn forward_top_k_through_facade() {
+        let engine = toy_engine();
+        // Figure 1: top-2 from node 3 (1-based) = nodes 2 and 3.
+        let top = engine.top_k(NodeId(2), 2).unwrap();
+        assert_eq!(top[0].0, NodeId(1));
+        assert_eq!(top[1].0, NodeId(2));
+    }
+
+    #[test]
+    fn proximity_vectors_are_consistent() {
+        let engine = toy_engine();
+        let to_q = engine.proximities_to(NodeId(0)).unwrap();
+        for u in 0..6u32 {
+            let from_u = engine.proximities_from(NodeId(u)).unwrap();
+            assert!((to_q[u as usize] - from_u[0]).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn custom_alpha_flows_through() {
+        let mut engine = ReverseTopkEngine::builder(toy())
+            .restart_probability(0.5)
+            .max_k(3)
+            .hubs_per_direction(1)
+            .threads(1)
+            .build()
+            .unwrap();
+        assert_eq!(engine.index().config().alpha(), 0.5);
+        // High restart probability keeps walks near their source: each node's
+        // top-1 is itself, so reverse top-1 of q is exactly {q}.
+        let r = engine.query(NodeId(3), 1).unwrap();
+        assert_eq!(r.nodes(), &[3]);
+    }
+
+    #[test]
+    fn rejects_dangling_graph() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 1).unwrap();
+        let g = b.build(DanglingPolicy::Sink).unwrap();
+        // Sink policy repaired it: builds fine.
+        assert!(ReverseTopkEngine::builder(g).threads(1).max_k(2).build().is_ok());
+    }
+
+    #[test]
+    fn query_many_matches_individual_queries() {
+        let mut engine = toy_engine();
+        let batch = engine
+            .query_many(
+                &[(NodeId(0), 2), (NodeId(1), 2), (NodeId(2), 3)],
+                &rtk_query::QueryOptions::default(),
+            )
+            .unwrap();
+        assert_eq!(batch.len(), 3);
+        let single = engine.query(NodeId(0), 2).unwrap();
+        assert_eq!(batch[0].nodes(), single.nodes());
+    }
+
+    #[test]
+    fn top_k_early_agrees_with_top_k_as_a_set() {
+        let engine = toy_engine();
+        for u in 0..6u32 {
+            let mut exact: Vec<NodeId> =
+                engine.top_k(NodeId(u), 2).unwrap().into_iter().map(|(v, _)| v).collect();
+            let mut early: Vec<NodeId> =
+                engine.top_k_early(NodeId(u), 2).unwrap().into_iter().map(|(v, _)| v).collect();
+            exact.sort();
+            early.sort();
+            assert_eq!(exact, early, "u={u}");
+        }
+    }
+
+    #[test]
+    fn approximate_option_flows_through_facade() {
+        let mut engine = toy_engine();
+        let opts = rtk_query::QueryOptions { approximate: true, ..Default::default() };
+        let approx = engine.query_with(NodeId(0), 2, &opts).unwrap();
+        let exact = engine.query(NodeId(0), 2).unwrap();
+        for u in approx.nodes() {
+            assert!(exact.contains(*u));
+        }
+        assert_eq!(approx.stats().refine_iterations, 0);
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let mut engine = toy_engine();
+        let before = engine.query(NodeId(0), 2).unwrap();
+        let mut buf = Vec::new();
+        engine.save(&mut buf).unwrap();
+        let mut loaded = ReverseTopkEngine::load(std::io::Cursor::new(buf)).unwrap();
+        let after = loaded.query(NodeId(0), 2).unwrap();
+        assert_eq!(before.nodes(), after.nodes());
+        assert_eq!(loaded.node_count(), 6);
+    }
+
+    #[test]
+    fn from_parts_rejects_mismatch() {
+        let engine = toy_engine();
+        let mut buf = Vec::new();
+        rtk_index::storage::save(engine.index(), &mut buf).unwrap();
+        let index = rtk_index::storage::load(std::io::Cursor::new(buf)).unwrap();
+        let small =
+            GraphBuilder::from_edges(2, &[(0, 1), (1, 0)], DanglingPolicy::Error).unwrap();
+        assert!(ReverseTopkEngine::from_parts(small, index).is_err());
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let mut engine = toy_engine();
+        let err = engine.query(NodeId(9), 2).unwrap_err();
+        assert!(err.to_string().contains("out of range"));
+        let err = engine.query(NodeId(0), 99).unwrap_err();
+        assert!(err.to_string().contains("99"));
+    }
+}

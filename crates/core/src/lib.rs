@@ -1,0 +1,63 @@
+//! High-level facade for reverse top-k RWR search.
+//!
+//! [`ReverseTopkEngine`] owns a graph and its offline index and exposes the
+//! paper's operations behind a minimal API:
+//!
+//! ```
+//! use rtk_core::prelude::*;
+//!
+//! // The 6-node toy graph of the paper's Figure 1 (0-based ids).
+//! let graph = GraphBuilder::from_edges(
+//!     6,
+//!     &[
+//!         (0, 1), (0, 3), (0, 5),
+//!         (1, 0), (1, 2),
+//!         (2, 0), (2, 1),
+//!         (3, 1), (3, 4),
+//!         (4, 1),
+//!         (5, 1), (5, 3),
+//!     ],
+//!     DanglingPolicy::SelfLoop,
+//! )
+//! .unwrap();
+//!
+//! let mut engine = ReverseTopkEngine::builder(graph)
+//!     .max_k(3)
+//!     .hubs_per_direction(1)
+//!     .build()
+//!     .unwrap();
+//!
+//! // Reverse top-2 of node 0: who ranks node 0 among their 2 closest?
+//! let result = engine.query(NodeId(0), 2).unwrap();
+//! assert_eq!(result.nodes(), &[0, 1, 4]);
+//! ```
+//!
+//! The lower layers remain fully public for power users:
+//! [`rtk_graph`] (graphs + generators), [`rtk_rwr`] (solvers),
+//! [`rtk_index`] (the LBI index), [`rtk_query`] (Alg. 4 + baselines).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod error;
+
+pub use engine::{EngineBuilder, ReverseTopkEngine};
+pub use error::EngineError;
+
+// Re-export the layer crates under stable names.
+pub use rtk_graph as graph;
+pub use rtk_index as index;
+pub use rtk_query as query;
+pub use rtk_rwr as rwr;
+pub use rtk_sparse as sparse;
+
+/// The most commonly used types, importable in one line.
+pub mod prelude {
+    pub use crate::engine::{EngineBuilder, ReverseTopkEngine};
+    pub use crate::error::EngineError;
+    pub use rtk_graph::{DanglingPolicy, DiGraph, GraphBuilder, NodeId};
+    pub use rtk_index::{HubSelection, HubSolver, IndexConfig};
+    pub use rtk_query::{BoundMode, QueryOptions, QueryResult};
+    pub use rtk_rwr::{BcaParams, RwrParams};
+}

@@ -1,0 +1,61 @@
+//! The paper's 6-node running example (Figures 1–2).
+//!
+//! The figure itself does not list the edges; we recovered them by inverting
+//! the printed proximity matrix (`A = (I − α·P⁻¹)/(1−α)` with `α = 0.15`)
+//! and rounding the transition entries to unit fractions. The forward
+//! computation reproduces every printed value of Figure 1 to its two
+//! decimals, and `B = 1` degree-based hub selection yields hubs {1, 2}
+//! (1-based) exactly as the paper states.
+
+use rtk_graph::{DanglingPolicy, DiGraph, GraphBuilder};
+
+/// The proximity matrix of Figure 1, `TOY_PROXIMITY_MATRIX[u][v] = p_u(v)`
+/// (0-based, two-decimal values as printed in the paper).
+pub const TOY_PROXIMITY_MATRIX: [[f64; 6]; 6] = [
+    [0.32, 0.28, 0.12, 0.13, 0.06, 0.09],
+    [0.24, 0.39, 0.17, 0.10, 0.04, 0.07],
+    [0.24, 0.29, 0.27, 0.10, 0.04, 0.07],
+    [0.19, 0.31, 0.13, 0.23, 0.10, 0.05],
+    [0.20, 0.33, 0.14, 0.08, 0.18, 0.06],
+    [0.18, 0.30, 0.13, 0.14, 0.06, 0.20],
+];
+
+/// Edges of the toy graph, 0-based `(from, to)`.
+pub const TOY_EDGES: [(u32, u32); 12] = [
+    (0, 1), (0, 3), (0, 5),
+    (1, 0), (1, 2),
+    (2, 0), (2, 1),
+    (3, 1), (3, 4),
+    (4, 1),
+    (5, 1), (5, 3),
+];
+
+/// Builds the toy graph (6 nodes, 12 edges, no dangling nodes).
+pub fn toy_graph() -> DiGraph {
+    GraphBuilder::from_edges(6, &TOY_EDGES, DanglingPolicy::Error)
+        .expect("toy graph is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_matches_figure_1() {
+        let g = toy_graph();
+        assert_eq!(g.node_count(), 6);
+        assert_eq!(g.edge_count(), 12);
+        // Hubs of Figure 2: node 1 (0-based 0) has max out-degree 3,
+        // node 2 (0-based 1) has max in-degree 5.
+        assert_eq!(g.out_degree(0), 3);
+        assert_eq!(g.in_degree(1), 5);
+    }
+
+    #[test]
+    fn matrix_constants_are_column_stochastic_to_print_precision() {
+        for (u, row) in TOY_PROXIMITY_MATRIX.iter().enumerate() {
+            let sum: f64 = row.iter().sum();
+            assert!((sum - 1.0).abs() < 0.02, "row {u} sums to {sum}");
+        }
+    }
+}

@@ -1,0 +1,252 @@
+//! Webspam host-graph analogue with planted spam farms (paper §5.4).
+//!
+//! The paper's Webspam-uk2006 host graph has 11,402 hosts (8,123 normal,
+//! 2,113 spam, rest undecided) and 730,774 edges; reverse top-5 sets of spam
+//! hosts were ~96% spam and those of normal hosts ~97% normal. The generator
+//! plants that structure explicitly:
+//!
+//! * **normal hosts** form one preferential-attachment web;
+//! * **spam hosts** are partitioned into *link farms* — dense near-cliques
+//!   whose members overwhelmingly cite each other (the classic boosting
+//!   topology SpamRank exploits);
+//! * a small fraction of cross-links runs spam → normal (spammers citing
+//!   reputable sites for camouflage) and an even smaller one normal → spam
+//!   (hijacked/accidental links).
+//!
+//! Reverse top-k homophily then *emerges* from the topology rather than
+//! being wired into labels.
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use rtk_graph::{DanglingPolicy, DiGraph, GraphBuilder};
+
+/// Ground-truth label of one host.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HostLabel {
+    /// A legitimate host.
+    Normal,
+    /// A spam host (member of a link farm).
+    Spam,
+    /// Unlabeled (the paper's dataset has these too).
+    Undecided,
+}
+
+/// Parameters for [`webspam_sim`].
+#[derive(Clone, Copy, Debug)]
+pub struct WebspamConfig {
+    /// Total hosts.
+    pub nodes: usize,
+    /// Fraction of spam hosts (paper ≈ 18.5%; default 0.2).
+    pub spam_fraction: f64,
+    /// Fraction of undecided hosts (default 0.1).
+    pub undecided_fraction: f64,
+    /// Spam-farm size range (each farm is a dense near-clique).
+    pub farm_size: (usize, usize),
+    /// Out-edges per normal host toward other normal hosts.
+    pub normal_out_degree: usize,
+    /// Probability a spam host adds one camouflage edge to a normal host.
+    pub spam_to_normal_prob: f64,
+    /// Probability a normal host adds one (hijacked) edge to a spam host.
+    pub normal_to_spam_prob: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for WebspamConfig {
+    fn default() -> Self {
+        Self {
+            nodes: 8_000,
+            spam_fraction: 0.2,
+            undecided_fraction: 0.1,
+            farm_size: (15, 40),
+            normal_out_degree: 18,
+            spam_to_normal_prob: 0.25,
+            normal_to_spam_prob: 0.01,
+            seed: 0x59A3,
+        }
+    }
+}
+
+/// A labeled host graph.
+#[derive(Clone, Debug)]
+pub struct WebspamDataset {
+    /// The host graph.
+    pub graph: DiGraph,
+    /// Per-node ground-truth labels.
+    pub labels: Vec<HostLabel>,
+}
+
+impl WebspamDataset {
+    /// Nodes carrying `label`.
+    pub fn nodes_with(&self, label: HostLabel) -> Vec<u32> {
+        (0..self.graph.node_count() as u32)
+            .filter(|&u| self.labels[u as usize] == label)
+            .collect()
+    }
+}
+
+/// Generates the labeled host graph.
+///
+/// # Panics
+/// Panics on degenerate parameters (fractions outside `[0,1)`, empty farms).
+pub fn webspam_sim(config: &WebspamConfig) -> WebspamDataset {
+    assert!(config.nodes >= 100, "webspam_sim: need at least 100 hosts");
+    assert!(
+        config.spam_fraction > 0.0
+            && config.undecided_fraction >= 0.0
+            && config.spam_fraction + config.undecided_fraction < 1.0,
+        "webspam_sim: invalid label fractions"
+    );
+    assert!(
+        config.farm_size.0 >= 2 && config.farm_size.0 <= config.farm_size.1,
+        "webspam_sim: invalid farm size range"
+    );
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let n = config.nodes;
+    let spam_count = (n as f64 * config.spam_fraction) as usize;
+    let undecided_count = (n as f64 * config.undecided_fraction) as usize;
+    let normal_count = n - spam_count - undecided_count;
+
+    // Layout: [0, normal_count) normal, then spam, then undecided.
+    let mut labels = Vec::with_capacity(n);
+    labels.extend(std::iter::repeat_n(HostLabel::Normal, normal_count));
+    labels.extend(std::iter::repeat_n(HostLabel::Spam, spam_count));
+    labels.extend(std::iter::repeat_n(HostLabel::Undecided, undecided_count));
+
+    let mut builder = GraphBuilder::new(n);
+    let add = |b: &mut GraphBuilder, f: u32, t: u32| {
+        if f != t {
+            b.add_edge(f, t).expect("endpoints in range");
+        }
+    };
+
+    // Normal web: preferential attachment among normal hosts.
+    let mut urn: Vec<u32> = vec![0, 1];
+    add(&mut builder, 0, 1);
+    add(&mut builder, 1, 0);
+    for v in 2..normal_count as u32 {
+        let attach = config.normal_out_degree.min(v as usize);
+        for _ in 0..attach {
+            let t = urn[rng.gen_range(0..urn.len())];
+            if t != v {
+                add(&mut builder, v, t);
+                urn.push(t);
+            }
+        }
+        urn.push(v);
+    }
+
+    // Spam farms: partition spam ids into near-cliques.
+    let spam_lo = normal_count as u32;
+    let spam_hi = (normal_count + spam_count) as u32;
+    let mut farm_start = spam_lo;
+    while farm_start < spam_hi {
+        let size = rng.gen_range(config.farm_size.0..=config.farm_size.1) as u32;
+        let farm_end = (farm_start + size).min(spam_hi);
+        for a in farm_start..farm_end {
+            for b in farm_start..farm_end {
+                if a != b && rng.gen_bool(0.8) {
+                    add(&mut builder, a, b);
+                }
+            }
+            if rng.gen_bool(config.spam_to_normal_prob) && normal_count > 0 {
+                let t = rng.gen_range(0..normal_count) as u32;
+                add(&mut builder, a, t);
+            }
+        }
+        farm_start = farm_end;
+    }
+
+    // Rare normal → spam links.
+    for u in 0..normal_count as u32 {
+        if spam_count > 0 && rng.gen_bool(config.normal_to_spam_prob) {
+            let t = spam_lo + rng.gen_range(0..spam_count) as u32;
+            add(&mut builder, u, t);
+        }
+    }
+
+    // Undecided hosts link mostly to normal hosts, occasionally to spam.
+    // Their out-degree matches normal hosts: low-degree nodes concentrate
+    // their proximity on few targets and would otherwise flood every
+    // reverse top-k set they point into.
+    let undecided_lo = spam_hi;
+    for u in undecided_lo..n as u32 {
+        for _ in 0..config.normal_out_degree {
+            let t = if rng.gen_bool(0.85) || spam_count == 0 {
+                rng.gen_range(0..normal_count.max(1)) as u32
+            } else {
+                spam_lo + rng.gen_range(0..spam_count) as u32
+            };
+            add(&mut builder, u, t);
+        }
+    }
+
+    let graph = builder.build(DanglingPolicy::SelfLoop).expect("non-empty graph");
+    WebspamDataset { graph, labels }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> WebspamDataset {
+        webspam_sim(&WebspamConfig { nodes: 600, ..Default::default() })
+    }
+
+    #[test]
+    fn label_fractions_match_config() {
+        let d = small();
+        let spam = d.nodes_with(HostLabel::Spam).len();
+        let undecided = d.nodes_with(HostLabel::Undecided).len();
+        assert_eq!(spam, 120);
+        assert_eq!(undecided, 60);
+        assert_eq!(d.labels.len(), 600);
+    }
+
+    #[test]
+    fn farms_are_dense_and_web_is_sparse() {
+        let d = small();
+        let spam = d.nodes_with(HostLabel::Spam);
+        let normal = d.nodes_with(HostLabel::Normal);
+        let avg_deg = |nodes: &[u32]| {
+            nodes.iter().map(|&u| d.graph.out_degree(u)).sum::<usize>() as f64
+                / nodes.len() as f64
+        };
+        assert!(
+            avg_deg(&spam) > avg_deg(&normal),
+            "spam {} vs normal {}",
+            avg_deg(&spam),
+            avg_deg(&normal)
+        );
+    }
+
+    #[test]
+    fn spam_links_mostly_stay_in_farms() {
+        let d = small();
+        let mut intra = 0usize;
+        let mut cross = 0usize;
+        for (f, t, _) in d.graph.edges() {
+            if d.labels[f as usize] == HostLabel::Spam {
+                if d.labels[t as usize] == HostLabel::Spam {
+                    intra += 1;
+                } else {
+                    cross += 1;
+                }
+            }
+        }
+        assert!(intra > 5 * cross, "intra {intra} vs cross {cross}");
+    }
+
+    #[test]
+    fn deterministic_and_repaired() {
+        let a = small();
+        let b = small();
+        assert_eq!(a.graph, b.graph);
+        assert!(a.graph.dangling_nodes().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid label fractions")]
+    fn rejects_bad_fractions() {
+        webspam_sim(&WebspamConfig { spam_fraction: 0.9, undecided_fraction: 0.2, ..Default::default() });
+    }
+}

@@ -1,0 +1,343 @@
+//! Edge-list ingestion and graph construction.
+//!
+//! [`GraphBuilder`] accumulates edges, merges parallel edges (summing their
+//! weights, matching the co-authorship construction of paper §5.4 where
+//! `w_{i,j}` counts coauthored papers), validates endpoints and weights, and
+//! repairs dangling nodes according to a [`DanglingPolicy`] before producing
+//! an immutable [`DiGraph`].
+
+use crate::csr::DiGraph;
+use crate::error::GraphError;
+use std::collections::HashMap;
+
+/// What to do with dangling nodes (out-degree zero) at build time.
+///
+/// RWR requires a column-stochastic transition matrix; a dangling node's
+/// column would be all zeros. The paper's footnote 1 offers deletion or a
+/// self-linked sink; we additionally offer the id-preserving self-loop.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Default)]
+pub enum DanglingPolicy {
+    /// Add a self-loop to every dangling node (default; preserves node ids).
+    #[default]
+    SelfLoop,
+    /// Append one extra *sink* node that links to itself; every dangling node
+    /// gets an edge to the sink. Node count grows by one when any dangling
+    /// node exists.
+    Sink,
+    /// Iteratively delete dangling nodes until none remain (deleting a node
+    /// can orphan its predecessors, so this runs to a fixpoint). Node ids are
+    /// compacted; the mapping is discarded — use
+    /// [`GraphBuilder::build_with_remap`] to retain it.
+    Remove,
+    /// Fail with [`GraphError::DanglingNode`] if any dangling node exists.
+    Error,
+}
+
+
+/// Accumulates edges and produces a validated [`DiGraph`].
+#[derive(Clone, Debug)]
+pub struct GraphBuilder {
+    n: usize,
+    // (from, to) -> accumulated weight
+    edges: HashMap<(u32, u32), f64>,
+    weighted: bool,
+}
+
+impl GraphBuilder {
+    /// Creates a builder for a graph with nodes `0..node_count`.
+    pub fn new(node_count: usize) -> Self {
+        Self { n: node_count, edges: HashMap::new(), weighted: false }
+    }
+
+    /// Number of nodes the graph will have (before any dangling repair).
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Number of distinct edges accumulated so far.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Adds an unweighted edge `from → to` (weight 1). Parallel additions
+    /// accumulate weight, turning multi-edges into weighted single edges.
+    pub fn add_edge(&mut self, from: u32, to: u32) -> Result<&mut Self, GraphError> {
+        self.add_weighted_edge_inner(from, to, 1.0, false)
+    }
+
+    /// Adds a weighted edge; parallel additions sum their weights.
+    ///
+    /// # Errors
+    /// Rejects endpoints outside `0..node_count` and weights that are not
+    /// strictly positive finite numbers.
+    pub fn add_weighted_edge(
+        &mut self,
+        from: u32,
+        to: u32,
+        weight: f64,
+    ) -> Result<&mut Self, GraphError> {
+        self.add_weighted_edge_inner(from, to, weight, true)
+    }
+
+    fn add_weighted_edge_inner(
+        &mut self,
+        from: u32,
+        to: u32,
+        weight: f64,
+        explicit: bool,
+    ) -> Result<&mut Self, GraphError> {
+        if from as usize >= self.n {
+            return Err(GraphError::NodeOutOfRange { node: from, node_count: self.n });
+        }
+        if to as usize >= self.n {
+            return Err(GraphError::NodeOutOfRange { node: to, node_count: self.n });
+        }
+        if !weight.is_finite() || weight <= 0.0 {
+            return Err(GraphError::InvalidWeight { from, to, weight });
+        }
+        let slot = self.edges.entry((from, to)).or_insert(0.0);
+        let had = *slot != 0.0;
+        *slot += weight;
+        // A repeated unweighted edge makes the graph effectively weighted.
+        if explicit || had {
+            self.weighted = true;
+        }
+        Ok(self)
+    }
+
+    /// Convenience: builds a graph from an unweighted edge list.
+    pub fn from_edges(
+        node_count: usize,
+        edges: &[(u32, u32)],
+        policy: DanglingPolicy,
+    ) -> Result<DiGraph, GraphError> {
+        let mut b = Self::new(node_count);
+        for &(f, t) in edges {
+            b.add_edge(f, t)?;
+        }
+        b.build(policy)
+    }
+
+    /// Builds the graph, applying `policy` to dangling nodes.
+    pub fn build(self, policy: DanglingPolicy) -> Result<DiGraph, GraphError> {
+        self.build_with_remap(policy).map(|(g, _)| g)
+    }
+
+    /// Builds the graph and, for [`DanglingPolicy::Remove`], returns the
+    /// mapping `new id → original id` (identity for other policies, except
+    /// [`DanglingPolicy::Sink`] where an appended sink maps to `u32::MAX`).
+    pub fn build_with_remap(
+        self,
+        policy: DanglingPolicy,
+    ) -> Result<(DiGraph, Vec<u32>), GraphError> {
+        if self.n == 0 {
+            return Err(GraphError::EmptyGraph);
+        }
+        let mut n = self.n;
+        let mut edges: Vec<(u32, u32, f64)> =
+            self.edges.into_iter().map(|((f, t), w)| (f, t, w)).collect();
+        let mut weighted = self.weighted;
+
+        let mut out_deg = vec![0usize; n];
+        for &(f, _, _) in &edges {
+            out_deg[f as usize] += 1;
+        }
+        let dangling: Vec<u32> =
+            (0..n as u32).filter(|&u| out_deg[u as usize] == 0).collect();
+
+        let mut remap: Vec<u32> = (0..n as u32).collect();
+        if !dangling.is_empty() {
+            match policy {
+                DanglingPolicy::Error => {
+                    return Err(GraphError::DanglingNode {
+                        node: dangling[0],
+                        count: dangling.len(),
+                    });
+                }
+                DanglingPolicy::SelfLoop => {
+                    for &u in &dangling {
+                        edges.push((u, u, 1.0));
+                    }
+                }
+                DanglingPolicy::Sink => {
+                    let sink = n as u32;
+                    n += 1;
+                    edges.push((sink, sink, 1.0));
+                    for &u in &dangling {
+                        edges.push((u, sink, 1.0));
+                    }
+                    remap.push(u32::MAX);
+                }
+                DanglingPolicy::Remove => {
+                    // Iterate to a fixpoint: removing a node may orphan others.
+                    let mut alive = vec![true; n];
+                    loop {
+                        let mut deg = vec![0usize; n];
+                        for &(f, t, _) in &edges {
+                            if alive[f as usize] && alive[t as usize] {
+                                deg[f as usize] += 1;
+                            }
+                        }
+                        let mut changed = false;
+                        for u in 0..n {
+                            if alive[u] && deg[u] == 0 {
+                                alive[u] = false;
+                                changed = true;
+                            }
+                        }
+                        if !changed {
+                            break;
+                        }
+                    }
+                    if alive.iter().all(|&a| !a) {
+                        return Err(GraphError::EmptyGraph);
+                    }
+                    let mut new_id = vec![u32::MAX; n];
+                    remap = Vec::new();
+                    for u in 0..n {
+                        if alive[u] {
+                            new_id[u] = remap.len() as u32;
+                            remap.push(u as u32);
+                        }
+                    }
+                    edges.retain(|&(f, t, _)| alive[f as usize] && alive[t as usize]);
+                    for e in edges.iter_mut() {
+                        e.0 = new_id[e.0 as usize];
+                        e.1 = new_id[e.1 as usize];
+                    }
+                    n = remap.len();
+                }
+            }
+        }
+
+        // A graph whose accumulated weights are all exactly 1.0 can drop its
+        // weight arrays even if weighted additions occurred.
+        if weighted && edges.iter().all(|&(_, _, w)| w == 1.0) {
+            weighted = false;
+        }
+
+        Ok((DiGraph::from_sorted_edges(n, edges, weighted), remap))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_out_of_range() {
+        let mut b = GraphBuilder::new(2);
+        assert!(matches!(
+            b.add_edge(0, 5).unwrap_err(),
+            GraphError::NodeOutOfRange { node: 5, node_count: 2 }
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_weights() {
+        let mut b = GraphBuilder::new(2);
+        for w in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            assert!(matches!(
+                b.add_weighted_edge(0, 1, w).unwrap_err(),
+                GraphError::InvalidWeight { .. }
+            ));
+        }
+    }
+
+    #[test]
+    fn rejects_empty_graph() {
+        assert!(matches!(
+            GraphBuilder::new(0).build(DanglingPolicy::SelfLoop).unwrap_err(),
+            GraphError::EmptyGraph
+        ));
+    }
+
+    #[test]
+    fn parallel_edges_merge_to_weights() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1).unwrap();
+        b.add_edge(0, 1).unwrap();
+        b.add_edge(0, 2).unwrap();
+        b.add_edge(1, 0).unwrap();
+        b.add_edge(2, 0).unwrap();
+        let g = b.build(DanglingPolicy::Error).unwrap();
+        assert_eq!(g.edge_count(), 4);
+        assert!(g.is_weighted());
+        assert_eq!(g.out_weights(0), Some(&[2.0, 1.0][..]));
+    }
+
+    #[test]
+    fn self_loop_policy_repairs_in_place() {
+        let g = GraphBuilder::from_edges(3, &[(0, 1), (1, 2)], DanglingPolicy::SelfLoop).unwrap();
+        assert_eq!(g.node_count(), 3);
+        assert!(g.dangling_nodes().is_empty());
+        assert!(g.has_edge(2, 2));
+    }
+
+    #[test]
+    fn sink_policy_appends_node() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1).unwrap();
+        b.add_edge(1, 0).unwrap();
+        // node 2 dangling
+        let (g, remap) = b.build_with_remap(DanglingPolicy::Sink).unwrap();
+        assert_eq!(g.node_count(), 4);
+        assert!(g.has_edge(2, 3));
+        assert!(g.has_edge(3, 3));
+        assert_eq!(remap, vec![0, 1, 2, u32::MAX]);
+        assert!(g.dangling_nodes().is_empty());
+    }
+
+    #[test]
+    fn sink_policy_without_dangling_is_identity() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 1).unwrap();
+        b.add_edge(1, 0).unwrap();
+        let g = b.build(DanglingPolicy::Sink).unwrap();
+        assert_eq!(g.node_count(), 2);
+    }
+
+    #[test]
+    fn remove_policy_cascades() {
+        // 0 -> 1 -> 2, 2 dangling; removing 2 orphans 1; removing 1 orphans 0.
+        // Only a cycle survives: 3 <-> 4.
+        let mut b = GraphBuilder::new(5);
+        b.add_edge(0, 1).unwrap();
+        b.add_edge(1, 2).unwrap();
+        b.add_edge(3, 4).unwrap();
+        b.add_edge(4, 3).unwrap();
+        let (g, remap) = b.build_with_remap(DanglingPolicy::Remove).unwrap();
+        assert_eq!(g.node_count(), 2);
+        assert_eq!(remap, vec![3, 4]);
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 0));
+    }
+
+    #[test]
+    fn remove_policy_can_empty_the_graph() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 1).unwrap();
+        assert!(matches!(
+            b.build(DanglingPolicy::Remove).unwrap_err(),
+            GraphError::EmptyGraph
+        ));
+    }
+
+    #[test]
+    fn error_policy_reports_danglings() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1).unwrap();
+        let err = b.build(DanglingPolicy::Error).unwrap_err();
+        assert!(matches!(err, GraphError::DanglingNode { node: 1, count: 2 }));
+    }
+
+    #[test]
+    fn unit_weight_weighted_edges_collapse_to_unweighted() {
+        let mut b = GraphBuilder::new(2);
+        b.add_weighted_edge(0, 1, 1.0).unwrap();
+        b.add_weighted_edge(1, 0, 1.0).unwrap();
+        let g = b.build(DanglingPolicy::Error).unwrap();
+        assert!(!g.is_weighted());
+    }
+}

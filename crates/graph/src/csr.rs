@@ -1,0 +1,328 @@
+//! Compressed sparse adjacency storage.
+//!
+//! [`DiGraph`] keeps both directions of every edge:
+//! * **CSR** (`out_offsets` / `out_targets`): out-neighbors of each node in
+//!   ascending order — drives ink *pushes* and `Aᵀ·x` gathers;
+//! * **CSC** (`in_offsets` / `in_sources`): in-neighbors of each node —
+//!   drives `A·x` gathers and in-degree statistics.
+//!
+//! Edge weights are optional; an unweighted graph stores no weight arrays and
+//! every edge behaves as weight 1 (the paper's uniform `1/OD(j)` transition).
+
+use crate::error::GraphError;
+
+/// An immutable directed graph in CSR + CSC form, optionally edge-weighted.
+///
+/// Construct via [`crate::GraphBuilder`] (which validates, merges parallel
+/// edges and repairs dangling nodes) or the generators in [`crate::gen`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct DiGraph {
+    n: usize,
+    // CSR: out-edges. targets within a node's range are ascending.
+    out_offsets: Vec<u64>,
+    out_targets: Vec<u32>,
+    out_weights: Option<Vec<f64>>,
+    // CSC: in-edges. sources within a node's range are ascending.
+    in_offsets: Vec<u64>,
+    in_sources: Vec<u32>,
+    in_weights: Option<Vec<f64>>,
+}
+
+impl DiGraph {
+    /// Builds a graph directly from a *validated* edge list.
+    ///
+    /// `edges` are `(from, to, weight)` triples; parallel edges must already
+    /// have been merged and endpoints range-checked (the builder does this).
+    /// `weighted` selects whether weight arrays are materialized.
+    pub(crate) fn from_sorted_edges(
+        n: usize,
+        mut edges: Vec<(u32, u32, f64)>,
+        weighted: bool,
+    ) -> Self {
+        edges.sort_unstable_by_key(|a| (a.0, a.1));
+        let m = edges.len();
+
+        let mut out_offsets = vec![0u64; n + 1];
+        for &(f, _, _) in &edges {
+            out_offsets[f as usize + 1] += 1;
+        }
+        for i in 0..n {
+            out_offsets[i + 1] += out_offsets[i];
+        }
+        let mut out_targets = Vec::with_capacity(m);
+        let mut out_weights = if weighted { Vec::with_capacity(m) } else { Vec::new() };
+        for &(_, t, w) in &edges {
+            out_targets.push(t);
+            if weighted {
+                out_weights.push(w);
+            }
+        }
+
+        // CSC from the same edge set, sorted by (to, from).
+        edges.sort_unstable_by_key(|a| (a.1, a.0));
+        let mut in_offsets = vec![0u64; n + 1];
+        for &(_, t, _) in &edges {
+            in_offsets[t as usize + 1] += 1;
+        }
+        for i in 0..n {
+            in_offsets[i + 1] += in_offsets[i];
+        }
+        let mut in_sources = Vec::with_capacity(m);
+        let mut in_weights = if weighted { Vec::with_capacity(m) } else { Vec::new() };
+        for &(f, _, w) in &edges {
+            in_sources.push(f);
+            if weighted {
+                in_weights.push(w);
+            }
+        }
+
+        Self {
+            n,
+            out_offsets,
+            out_targets,
+            out_weights: weighted.then_some(out_weights),
+            in_offsets,
+            in_sources,
+            in_weights: weighted.then_some(in_weights),
+        }
+    }
+
+    /// Number of nodes `|V|`.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Number of directed edges `|E|` (after parallel-edge merging).
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.out_targets.len()
+    }
+
+    /// True when edge weights are stored.
+    #[inline]
+    pub fn is_weighted(&self) -> bool {
+        self.out_weights.is_some()
+    }
+
+    /// Out-degree of `node`.
+    #[inline]
+    pub fn out_degree(&self, node: u32) -> usize {
+        let u = node as usize;
+        (self.out_offsets[u + 1] - self.out_offsets[u]) as usize
+    }
+
+    /// In-degree of `node`.
+    #[inline]
+    pub fn in_degree(&self, node: u32) -> usize {
+        let u = node as usize;
+        (self.in_offsets[u + 1] - self.in_offsets[u]) as usize
+    }
+
+    /// Out-neighbors of `node`, ascending.
+    #[inline]
+    pub fn out_neighbors(&self, node: u32) -> &[u32] {
+        &self.out_targets[self.out_edge_range(node)]
+    }
+
+    /// Positions of `node`'s out-edges in CSR edge order. Parallel arrays
+    /// (e.g. [`crate::TransitionMatrix`] probabilities) index with this range.
+    #[inline]
+    pub fn out_edge_range(&self, node: u32) -> std::ops::Range<usize> {
+        let u = node as usize;
+        self.out_offsets[u] as usize..self.out_offsets[u + 1] as usize
+    }
+
+    /// Positions of `node`'s in-edges in CSC edge order.
+    #[inline]
+    pub fn in_edge_range(&self, node: u32) -> std::ops::Range<usize> {
+        let u = node as usize;
+        self.in_offsets[u] as usize..self.in_offsets[u + 1] as usize
+    }
+
+    /// In-neighbors of `node`, ascending.
+    #[inline]
+    pub fn in_neighbors(&self, node: u32) -> &[u32] {
+        &self.in_sources[self.in_edge_range(node)]
+    }
+
+    /// Weights parallel to [`Self::out_neighbors`]; `None` when unweighted.
+    #[inline]
+    pub fn out_weights(&self, node: u32) -> Option<&[f64]> {
+        self.out_weights.as_ref().map(|w| &w[self.out_edge_range(node)])
+    }
+
+    /// Weights parallel to [`Self::in_neighbors`]; `None` when unweighted.
+    #[inline]
+    pub fn in_weights(&self, node: u32) -> Option<&[f64]> {
+        self.in_weights.as_ref().map(|w| &w[self.in_edge_range(node)])
+    }
+
+    /// Total outgoing weight of `node` (out-degree when unweighted).
+    pub fn out_weight_sum(&self, node: u32) -> f64 {
+        match self.out_weights(node) {
+            Some(ws) => ws.iter().sum(),
+            None => self.out_degree(node) as f64,
+        }
+    }
+
+    /// True when the edge `from → to` exists. `O(log out_degree(from))`.
+    pub fn has_edge(&self, from: u32, to: u32) -> bool {
+        self.out_neighbors(from).binary_search(&to).is_ok()
+    }
+
+    /// Iterates every edge as `(from, to, weight)` (weight 1.0 when
+    /// unweighted), in ascending `(from, to)` order.
+    pub fn edges(&self) -> impl Iterator<Item = (u32, u32, f64)> + '_ {
+        (0..self.n as u32).flat_map(move |u| {
+            let nbrs = self.out_neighbors(u);
+            let ws = self.out_weights(u);
+            nbrs.iter().enumerate().map(move |(k, &v)| {
+                let w = ws.map_or(1.0, |ws| ws[k]);
+                (u, v, w)
+            })
+        })
+    }
+
+    /// Nodes with out-degree zero (ascending). A graph built through
+    /// [`crate::GraphBuilder`] with a repairing policy has none.
+    pub fn dangling_nodes(&self) -> Vec<u32> {
+        (0..self.n as u32).filter(|&u| self.out_degree(u) == 0).collect()
+    }
+
+    /// Validates internal consistency (used by tests and after decoding).
+    pub fn validate(&self) -> Result<(), GraphError> {
+        if self.n == 0 {
+            return Err(GraphError::EmptyGraph);
+        }
+        for &t in &self.out_targets {
+            if t as usize >= self.n {
+                return Err(GraphError::NodeOutOfRange { node: t, node_count: self.n });
+            }
+        }
+        for &s in &self.in_sources {
+            if s as usize >= self.n {
+                return Err(GraphError::NodeOutOfRange { node: s, node_count: self.n });
+            }
+        }
+        if let Some(ws) = &self.out_weights {
+            for (k, &w) in ws.iter().enumerate() {
+                if !w.is_finite() || w <= 0.0 {
+                    // Recover endpoints for the error message.
+                    let from = self
+                        .out_offsets
+                        .partition_point(|&o| o as usize <= k)
+                        .saturating_sub(1) as u32;
+                    return Err(GraphError::InvalidWeight { from, to: self.out_targets[k], weight: w });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn heap_bytes(&self) -> usize {
+        let w = self.out_weights.as_ref().map_or(0, |v| v.len() * 8)
+            + self.in_weights.as_ref().map_or(0, |v| v.len() * 8);
+        (self.out_offsets.len() + self.in_offsets.len()) * 8
+            + (self.out_targets.len() + self.in_sources.len()) * 4
+            + w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{DanglingPolicy, GraphBuilder};
+
+    fn diamond() -> DiGraph {
+        // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3, 3 -> 0
+        let mut b = GraphBuilder::new(4);
+        for (f, t) in [(0, 1), (0, 2), (1, 3), (2, 3), (3, 0)] {
+            b.add_edge(f, t).unwrap();
+        }
+        b.build(DanglingPolicy::Error).unwrap()
+    }
+
+    #[test]
+    fn counts_and_degrees() {
+        let g = diamond();
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 5);
+        assert_eq!(g.out_degree(0), 2);
+        assert_eq!(g.in_degree(3), 2);
+        assert_eq!(g.out_degree(3), 1);
+        assert_eq!(g.in_degree(0), 1);
+    }
+
+    #[test]
+    fn neighbor_slices_are_sorted() {
+        let g = diamond();
+        assert_eq!(g.out_neighbors(0), &[1, 2]);
+        assert_eq!(g.in_neighbors(3), &[1, 2]);
+        assert_eq!(g.out_neighbors(3), &[0]);
+    }
+
+    #[test]
+    fn csr_csc_are_mirror_images() {
+        let g = diamond();
+        let mut from_csr: Vec<(u32, u32)> = g.edges().map(|(f, t, _)| (f, t)).collect();
+        let mut from_csc: Vec<(u32, u32)> = (0..g.node_count() as u32)
+            .flat_map(|v| g.in_neighbors(v).iter().map(move |&u| (u, v)))
+            .collect();
+        from_csr.sort_unstable();
+        from_csc.sort_unstable();
+        assert_eq!(from_csr, from_csc);
+    }
+
+    #[test]
+    fn has_edge_lookup() {
+        let g = diamond();
+        assert!(g.has_edge(0, 2));
+        assert!(!g.has_edge(2, 0));
+    }
+
+    #[test]
+    fn unweighted_weight_sum_is_out_degree() {
+        let g = diamond();
+        assert_eq!(g.out_weight_sum(0), 2.0);
+        assert!(g.out_weights(0).is_none());
+        assert!(!g.is_weighted());
+    }
+
+    #[test]
+    fn weighted_graph_stores_weights() {
+        let mut b = GraphBuilder::new(2);
+        b.add_weighted_edge(0, 1, 2.5).unwrap();
+        b.add_weighted_edge(1, 0, 0.5).unwrap();
+        let g = b.build(DanglingPolicy::Error).unwrap();
+        assert!(g.is_weighted());
+        assert_eq!(g.out_weights(0), Some(&[2.5][..]));
+        assert_eq!(g.in_weights(0), Some(&[0.5][..]));
+        assert_eq!(g.out_weight_sum(0), 2.5);
+    }
+
+    #[test]
+    fn edges_iterator_yields_all() {
+        let g = diamond();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges.len(), 5);
+        assert!(edges.contains(&(3, 0, 1.0)));
+    }
+
+    #[test]
+    fn dangling_detection() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1).unwrap();
+        b.add_edge(0, 2).unwrap();
+        let g = b.build(DanglingPolicy::SelfLoop).unwrap();
+        assert!(g.dangling_nodes().is_empty());
+        assert!(g.has_edge(1, 1));
+        assert!(g.has_edge(2, 2));
+    }
+
+    #[test]
+    fn validate_accepts_well_formed() {
+        diamond().validate().unwrap();
+    }
+}

@@ -1,0 +1,87 @@
+//! Error types for graph construction and I/O.
+
+use std::io;
+
+/// Errors produced while building, loading or validating graphs.
+#[derive(Debug)]
+pub enum GraphError {
+    /// An edge endpoint is outside the declared node range.
+    NodeOutOfRange {
+        /// The offending node id.
+        node: u32,
+        /// Number of nodes in the graph.
+        node_count: usize,
+    },
+    /// An edge weight is non-finite or not strictly positive.
+    InvalidWeight {
+        /// Source of the offending edge.
+        from: u32,
+        /// Target of the offending edge.
+        to: u32,
+        /// The offending weight.
+        weight: f64,
+    },
+    /// The graph still contains dangling (out-degree zero) nodes and the
+    /// chosen policy forbids them.
+    DanglingNode {
+        /// One dangling node (the smallest id).
+        node: u32,
+        /// Total number of dangling nodes found.
+        count: usize,
+    },
+    /// The graph has no nodes.
+    EmptyGraph,
+    /// A textual edge list could not be parsed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Explanation of the failure.
+        message: String,
+    },
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Binary decode failure.
+    Decode(rtk_sparse::codec::DecodeError),
+}
+
+impl std::fmt::Display for GraphError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, node_count } => {
+                write!(f, "node {node} out of range (graph has {node_count} nodes)")
+            }
+            GraphError::InvalidWeight { from, to, weight } => {
+                write!(f, "invalid weight {weight} on edge {from} -> {to}")
+            }
+            GraphError::DanglingNode { node, count } => {
+                write!(f, "{count} dangling node(s) present (e.g. node {node}); choose a DanglingPolicy that repairs them")
+            }
+            GraphError::EmptyGraph => write!(f, "graph has no nodes"),
+            GraphError::Parse { line, message } => write!(f, "parse error on line {line}: {message}"),
+            GraphError::Io(e) => write!(f, "i/o error: {e}"),
+            GraphError::Decode(e) => write!(f, "decode error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GraphError::Io(e) => Some(e),
+            GraphError::Decode(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for GraphError {
+    fn from(e: io::Error) -> Self {
+        GraphError::Io(e)
+    }
+}
+
+impl From<rtk_sparse::codec::DecodeError> for GraphError {
+    fn from(e: rtk_sparse::codec::DecodeError) -> Self {
+        GraphError::Decode(e)
+    }
+}

@@ -1,0 +1,139 @@
+//! Directed scale-free graphs by preferential attachment.
+//!
+//! A directed Barabási–Albert variant: nodes arrive one at a time and attach
+//! `out_degree` edges to existing nodes, chosen proportionally to
+//! `in_degree + 1` (the `+1` keeps newcomers reachable). With probability
+//! `reciprocation` the chosen target links back, mimicking the mutual-trust
+//! edges that make social graphs like Epinions denser than web crawls.
+
+use super::finish;
+use crate::csr::DiGraph;
+use crate::error::GraphError;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// Parameters for [`scale_free`].
+#[derive(Clone, Copy, Debug)]
+pub struct ScaleFreeConfig {
+    /// Number of nodes (≥ 2).
+    pub nodes: usize,
+    /// Out-edges attached per arriving node.
+    pub out_degree: usize,
+    /// Probability that an attachment is reciprocated (0 disables).
+    pub reciprocation: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl ScaleFreeConfig {
+    /// Convenience constructor with no reciprocation.
+    pub fn new(nodes: usize, out_degree: usize, seed: u64) -> Self {
+        Self { nodes, out_degree, reciprocation: 0.0, seed }
+    }
+}
+
+/// Generates a directed scale-free graph by preferential attachment.
+///
+/// # Errors
+/// Fails when `nodes < 2` or `out_degree == 0`.
+pub fn scale_free(cfg: &ScaleFreeConfig) -> Result<DiGraph, GraphError> {
+    if cfg.nodes < 2 {
+        return Err(GraphError::Parse {
+            line: 0,
+            message: "scale_free: need at least 2 nodes".into(),
+        });
+    }
+    if cfg.out_degree == 0 {
+        return Err(GraphError::Parse {
+            line: 0,
+            message: "scale_free: out_degree must be ≥ 1".into(),
+        });
+    }
+    if !(0.0..=1.0).contains(&cfg.reciprocation) {
+        return Err(GraphError::Parse {
+            line: 0,
+            message: format!("scale_free: reciprocation {} outside [0,1]", cfg.reciprocation),
+        });
+    }
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut edges: Vec<(u32, u32)> = Vec::with_capacity(cfg.nodes * cfg.out_degree);
+    // Repeated-endpoints urn: each entry is one unit of (in_degree + 1) mass.
+    // Start with a 2-cycle so preferential attachment has mass to draw.
+    let mut urn: Vec<u32> = vec![0, 1];
+    edges.push((0, 1));
+    edges.push((1, 0));
+
+    for v in 2..cfg.nodes as u32 {
+        let attach = cfg.out_degree.min(v as usize);
+        let mut picked: Vec<u32> = Vec::with_capacity(attach);
+        let mut guard = 0usize;
+        while picked.len() < attach {
+            let t = urn[rng.gen_range(0..urn.len())];
+            if t != v && !picked.contains(&t) {
+                picked.push(t);
+            }
+            guard += 1;
+            if guard > 50 * (attach + 1) {
+                // Fallback to uniform choice to guarantee termination on
+                // pathological urn contents.
+                for t in 0..v {
+                    if picked.len() == attach {
+                        break;
+                    }
+                    if !picked.contains(&t) {
+                        picked.push(t);
+                    }
+                }
+            }
+        }
+        // Every node contributes one baseline urn entry (the "+1").
+        urn.push(v);
+        for &t in &picked {
+            edges.push((v, t));
+            urn.push(t);
+            if cfg.reciprocation > 0.0 && rng.gen_bool(cfg.reciprocation) {
+                edges.push((t, v));
+                urn.push(v);
+            }
+        }
+    }
+    finish(cfg.nodes, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::degree::{degree_stats, DegreeKind};
+
+    #[test]
+    fn respects_node_count_and_min_edges() {
+        let g = scale_free(&ScaleFreeConfig::new(100, 3, 7)).unwrap();
+        assert_eq!(g.node_count(), 100);
+        assert!(g.edge_count() >= 2 + 98 * 3 - 6); // merged parallels tolerated
+    }
+
+    #[test]
+    fn reciprocation_adds_back_edges() {
+        let none = scale_free(&ScaleFreeConfig { nodes: 300, out_degree: 3, reciprocation: 0.0, seed: 5 }).unwrap();
+        let half = scale_free(&ScaleFreeConfig { nodes: 300, out_degree: 3, reciprocation: 0.5, seed: 5 }).unwrap();
+        assert!(half.edge_count() > none.edge_count());
+        // Count mutual pairs.
+        let mutual = |g: &crate::DiGraph| {
+            g.edges().filter(|&(f, t, _)| g.has_edge(t, f)).count()
+        };
+        assert!(mutual(&half) > mutual(&none));
+    }
+
+    #[test]
+    fn in_degree_is_heavy_tailed() {
+        let g = scale_free(&ScaleFreeConfig::new(2000, 4, 13)).unwrap();
+        let s = degree_stats(&g, DegreeKind::In);
+        assert!(s.max as f64 > 8.0 * s.mean);
+    }
+
+    #[test]
+    fn rejects_degenerate_parameters() {
+        assert!(scale_free(&ScaleFreeConfig::new(1, 2, 0)).is_err());
+        assert!(scale_free(&ScaleFreeConfig::new(10, 0, 0)).is_err());
+        assert!(scale_free(&ScaleFreeConfig { nodes: 10, out_degree: 1, reciprocation: 1.5, seed: 0 }).is_err());
+    }
+}

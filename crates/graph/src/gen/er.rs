@@ -1,0 +1,80 @@
+//! Erdős–Rényi `G(n, m)` digraphs.
+
+use super::finish;
+use crate::csr::DiGraph;
+use crate::error::GraphError;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use std::collections::HashSet;
+
+/// Parameters for [`erdos_renyi`].
+#[derive(Clone, Copy, Debug)]
+pub struct ErdosRenyiConfig {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Number of distinct directed edges (no self-loops) to sample.
+    pub edges: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// Samples a uniform directed `G(n, m)` graph without self-loops.
+///
+/// # Errors
+/// Fails when `nodes == 0` or `edges` exceeds `n·(n−1)`.
+pub fn erdos_renyi(cfg: &ErdosRenyiConfig) -> Result<DiGraph, GraphError> {
+    if cfg.nodes == 0 {
+        return Err(GraphError::EmptyGraph);
+    }
+    let n = cfg.nodes as u64;
+    let capacity = n * (n.saturating_sub(1));
+    if cfg.edges as u64 > capacity {
+        return Err(GraphError::Parse {
+            line: 0,
+            message: format!(
+                "erdos_renyi: {} edges requested but only {} possible",
+                cfg.edges, capacity
+            ),
+        });
+    }
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut seen = HashSet::with_capacity(cfg.edges * 2);
+    let mut edges = Vec::with_capacity(cfg.edges);
+    while edges.len() < cfg.edges {
+        let f = rng.gen_range(0..cfg.nodes) as u32;
+        let t = rng.gen_range(0..cfg.nodes) as u32;
+        if f != t && seen.insert((f, t)) {
+            edges.push((f, t));
+        }
+    }
+    finish(cfg.nodes, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_requested_size() {
+        let g = erdos_renyi(&ErdosRenyiConfig { nodes: 50, edges: 120, seed: 42 }).unwrap();
+        assert_eq!(g.node_count(), 50);
+        // Self-loop repair may add a few extra edges for dangling nodes.
+        assert!(g.edge_count() >= 120);
+    }
+
+    #[test]
+    fn rejects_impossible_density() {
+        assert!(erdos_renyi(&ErdosRenyiConfig { nodes: 3, edges: 7, seed: 0 }).is_err());
+    }
+
+    #[test]
+    fn rejects_empty() {
+        assert!(erdos_renyi(&ErdosRenyiConfig { nodes: 0, edges: 0, seed: 0 }).is_err());
+    }
+
+    #[test]
+    fn dense_requests_terminate() {
+        // edges == n(n-1) exactly: every ordered pair.
+        let g = erdos_renyi(&ErdosRenyiConfig { nodes: 5, edges: 20, seed: 1 }).unwrap();
+        assert_eq!(g.edge_count(), 20);
+    }
+}

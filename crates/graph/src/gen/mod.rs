@@ -1,0 +1,95 @@
+//! Deterministic random-graph generators.
+//!
+//! These synthesize the *shape* of the paper's evaluation graphs (web crawls,
+//! trust networks) on a laptop: heavy-tailed degree distributions, sparse
+//! edge sets, directed structure. Every generator is a pure function of its
+//! parameter struct — the same seed always yields the same graph, across
+//! platforms and thread counts.
+//!
+//! | Generator | Used to mirror |
+//! |---|---|
+//! | [`rmat`] | web crawls (Web-stanford-cs, Web-stanford, Web-google) |
+//! | [`scale_free`] | social/trust networks (Epinions), citation graphs |
+//! | [`erdos_renyi`] | structureless baseline for tests/ablations |
+//! | [`watts_strogatz`] | small-world baseline for tests/ablations |
+
+mod ba;
+mod er;
+mod rmat_impl;
+mod ws;
+
+pub use ba::{scale_free, ScaleFreeConfig};
+pub use er::{erdos_renyi, ErdosRenyiConfig};
+pub use rmat_impl::{rmat, RmatConfig};
+pub use ws::{watts_strogatz, WattsStrogatzConfig};
+
+use crate::builder::{DanglingPolicy, GraphBuilder};
+use crate::csr::DiGraph;
+use crate::error::GraphError;
+
+/// Builds a graph from generated unweighted edges with the generators'
+/// shared conventions (self-loop repair for dangling nodes).
+pub(crate) fn finish(n: usize, edges: Vec<(u32, u32)>) -> Result<DiGraph, GraphError> {
+    let mut b = GraphBuilder::new(n);
+    for (f, t) in edges {
+        b.add_edge(f, t)?;
+    }
+    b.build(DanglingPolicy::SelfLoop)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::degree::{degree_stats, DegreeKind};
+
+    #[test]
+    fn all_generators_are_deterministic() {
+        let er1 = erdos_renyi(&ErdosRenyiConfig { nodes: 200, edges: 800, seed: 1 }).unwrap();
+        let er2 = erdos_renyi(&ErdosRenyiConfig { nodes: 200, edges: 800, seed: 1 }).unwrap();
+        assert_eq!(er1, er2);
+
+        let sf1 = scale_free(&ScaleFreeConfig::new(300, 4, 2)).unwrap();
+        let sf2 = scale_free(&ScaleFreeConfig::new(300, 4, 2)).unwrap();
+        assert_eq!(sf1, sf2);
+
+        let rm1 = rmat(&RmatConfig::new(256, 1024, 3)).unwrap();
+        let rm2 = rmat(&RmatConfig::new(256, 1024, 3)).unwrap();
+        assert_eq!(rm1, rm2);
+
+        let ws1 = watts_strogatz(&WattsStrogatzConfig { nodes: 100, out_degree: 4, rewire_prob: 0.1, seed: 9 }).unwrap();
+        let ws2 = watts_strogatz(&WattsStrogatzConfig { nodes: 100, out_degree: 4, rewire_prob: 0.1, seed: 9 }).unwrap();
+        assert_eq!(ws1, ws2);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = rmat(&RmatConfig::new(256, 1024, 3)).unwrap();
+        let b = rmat(&RmatConfig::new(256, 1024, 4)).unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn generated_graphs_have_no_dangling_nodes() {
+        let g = erdos_renyi(&ErdosRenyiConfig { nodes: 100, edges: 150, seed: 5 }).unwrap();
+        assert!(g.dangling_nodes().is_empty());
+        let g = rmat(&RmatConfig::new(128, 300, 5)).unwrap();
+        assert!(g.dangling_nodes().is_empty());
+    }
+
+    #[test]
+    fn skewed_generators_are_skewed() {
+        // Power-law-ish graphs should have a max in-degree far above the mean.
+        for g in [
+            scale_free(&ScaleFreeConfig::new(2000, 5, 11)).unwrap(),
+            rmat(&RmatConfig::new(2048, 10000, 11)).unwrap(),
+        ] {
+            let s = degree_stats(&g, DegreeKind::In);
+            assert!(
+                s.max as f64 > 5.0 * s.mean,
+                "expected skew: max {} vs mean {}",
+                s.max,
+                s.mean
+            );
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! Directed Watts–Strogatz small-world graphs.
+//!
+//! A ring lattice where node `u` points to its `out_degree` clockwise
+//! successors; each edge's target is rewired uniformly at random with
+//! probability `rewire_prob`. Used as a low-skew counterpoint to the
+//! power-law generators in tests and ablations.
+
+use super::finish;
+use crate::csr::DiGraph;
+use crate::error::GraphError;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// Parameters for [`watts_strogatz`].
+#[derive(Clone, Copy, Debug)]
+pub struct WattsStrogatzConfig {
+    /// Number of nodes (must exceed `out_degree`).
+    pub nodes: usize,
+    /// Clockwise successors each node initially points to.
+    pub out_degree: usize,
+    /// Probability of rewiring each edge's target.
+    pub rewire_prob: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// Generates a directed Watts–Strogatz graph.
+///
+/// # Errors
+/// Fails when `nodes ≤ out_degree`, `out_degree == 0`, or the rewire
+/// probability is outside `[0, 1]`.
+pub fn watts_strogatz(cfg: &WattsStrogatzConfig) -> Result<DiGraph, GraphError> {
+    if cfg.out_degree == 0 || cfg.nodes <= cfg.out_degree {
+        return Err(GraphError::Parse {
+            line: 0,
+            message: format!(
+                "watts_strogatz: need nodes > out_degree ≥ 1 (got {} / {})",
+                cfg.nodes, cfg.out_degree
+            ),
+        });
+    }
+    if !(0.0..=1.0).contains(&cfg.rewire_prob) {
+        return Err(GraphError::Parse {
+            line: 0,
+            message: format!("watts_strogatz: rewire_prob {} outside [0,1]", cfg.rewire_prob),
+        });
+    }
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let n = cfg.nodes as u32;
+    let mut edges = Vec::with_capacity(cfg.nodes * cfg.out_degree);
+    for u in 0..n {
+        for k in 1..=cfg.out_degree as u32 {
+            let lattice_target = (u + k) % n;
+            let target = if cfg.rewire_prob > 0.0 && rng.gen_bool(cfg.rewire_prob) {
+                // Uniform target avoiding a self-loop.
+                loop {
+                    let t = rng.gen_range(0..n);
+                    if t != u {
+                        break t;
+                    }
+                }
+            } else {
+                lattice_target
+            };
+            edges.push((u, target));
+        }
+    }
+    finish(cfg.nodes, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_rewire_is_a_ring_lattice() {
+        let g = watts_strogatz(&WattsStrogatzConfig {
+            nodes: 10,
+            out_degree: 2,
+            rewire_prob: 0.0,
+            seed: 0,
+        })
+        .unwrap();
+        assert_eq!(g.edge_count(), 20);
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(0, 2));
+        assert!(g.has_edge(9, 0));
+        assert!(g.has_edge(9, 1));
+    }
+
+    #[test]
+    fn rewiring_changes_structure() {
+        let lattice = watts_strogatz(&WattsStrogatzConfig { nodes: 200, out_degree: 4, rewire_prob: 0.0, seed: 3 }).unwrap();
+        let rewired = watts_strogatz(&WattsStrogatzConfig { nodes: 200, out_degree: 4, rewire_prob: 0.5, seed: 3 }).unwrap();
+        assert_ne!(lattice, rewired);
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(watts_strogatz(&WattsStrogatzConfig { nodes: 3, out_degree: 3, rewire_prob: 0.0, seed: 0 }).is_err());
+        assert!(watts_strogatz(&WattsStrogatzConfig { nodes: 3, out_degree: 0, rewire_prob: 0.0, seed: 0 }).is_err());
+        assert!(watts_strogatz(&WattsStrogatzConfig { nodes: 9, out_degree: 2, rewire_prob: 1.5, seed: 0 }).is_err());
+    }
+
+    #[test]
+    fn out_degrees_are_near_uniform() {
+        let g = watts_strogatz(&WattsStrogatzConfig { nodes: 100, out_degree: 3, rewire_prob: 0.2, seed: 4 }).unwrap();
+        for u in 0..100u32 {
+            // Rewiring can merge parallel edges, shrinking a node's degree.
+            assert!(g.out_degree(u) <= 3 && g.out_degree(u) >= 1);
+        }
+    }
+}

@@ -1,0 +1,263 @@
+//! The column-stochastic RWR transition matrix `A` (paper §2.1).
+//!
+//! For an edge `j → i`, `a_{i,j} = w_{i,j} / w_j` where `w_j` is the total
+//! outgoing weight of `j` (`1/OD(j)` unweighted). [`TransitionMatrix`]
+//! materializes these probabilities twice:
+//!
+//! * in **CSR (out-edge) order** — `probs_out[k]` is the probability attached
+//!   to the `k`-th out-edge. Used by ink *pushes* (BCA) and by the `Aᵀ·x`
+//!   gather of PMPN (`(Aᵀx)_j = Σ_{i ∈ out(j)} a_{i,j}·x_i`);
+//! * in **CSC (in-edge) order** — `probs_in[k]` pairs with the `k`-th
+//!   in-edge. Used by the `A·x` gather of the forward power method
+//!   (`(Ax)_i = Σ_{j ∈ in(i)} a_{i,j}·x_j`).
+//!
+//! Materializing ~2·|E| doubles trades memory for branch-free inner loops —
+//! the paper's `O(m)`-per-iteration costs all flow through these two arrays.
+
+use crate::csr::DiGraph;
+
+/// Precomputed transition probabilities over a [`DiGraph`].
+///
+/// Holds a borrow of the graph; construct one per graph and share it across
+/// solvers.
+#[derive(Clone, Debug)]
+pub struct TransitionMatrix<'g> {
+    graph: &'g DiGraph,
+    /// Probability per out-edge, CSR order.
+    probs_out: Vec<f64>,
+    /// Probability per in-edge, CSC order.
+    probs_in: Vec<f64>,
+}
+
+impl<'g> TransitionMatrix<'g> {
+    /// Builds the probability arrays. `O(|E|)`.
+    ///
+    /// # Panics
+    /// Panics if the graph has dangling nodes (the builder policies prevent
+    /// this; a zero out-degree column cannot be normalized).
+    pub fn new(graph: &'g DiGraph) -> Self {
+        let n = graph.node_count() as u32;
+        // Per-node inverse outgoing weight.
+        let mut inv_out: Vec<f64> = Vec::with_capacity(n as usize);
+        for u in 0..n {
+            let s = graph.out_weight_sum(u);
+            assert!(
+                s > 0.0,
+                "TransitionMatrix: node {u} is dangling; repair with a DanglingPolicy first"
+            );
+            inv_out.push(1.0 / s);
+        }
+
+        let mut probs_out = Vec::with_capacity(graph.edge_count());
+        for u in 0..n {
+            match graph.out_weights(u) {
+                Some(ws) => probs_out.extend(ws.iter().map(|w| w * inv_out[u as usize])),
+                None => probs_out
+                    .extend(std::iter::repeat_n(inv_out[u as usize], graph.out_degree(u))),
+            }
+        }
+
+        let mut probs_in = Vec::with_capacity(graph.edge_count());
+        for v in 0..n {
+            let sources = graph.in_neighbors(v);
+            match graph.in_weights(v) {
+                Some(ws) => probs_in.extend(
+                    sources.iter().zip(ws).map(|(&s, w)| w * inv_out[s as usize]),
+                ),
+                None => probs_in.extend(sources.iter().map(|&s| inv_out[s as usize])),
+            }
+        }
+
+        Self { graph, probs_out, probs_in }
+    }
+
+    /// The underlying graph.
+    #[inline]
+    pub fn graph(&self) -> &'g DiGraph {
+        self.graph
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    /// Transition probabilities parallel to `graph.out_neighbors(node)`.
+    #[inline]
+    pub fn out_probs(&self, node: u32) -> &[f64] {
+        &self.probs_out[self.graph.out_edge_range(node)]
+    }
+
+    /// Transition probabilities parallel to `graph.in_neighbors(node)`.
+    #[inline]
+    pub fn in_probs(&self, node: u32) -> &[f64] {
+        &self.probs_in[self.graph.in_edge_range(node)]
+    }
+
+    /// `y ← (1−α)·A·x + α·e_restart`, the forward RWR operator (Eq. 12).
+    ///
+    /// Gathers over in-edges; `y` is fully overwritten.
+    pub fn apply_forward(&self, alpha: f64, x: &[f64], restart: u32, y: &mut [f64]) {
+        let n = self.node_count();
+        assert_eq!(x.len(), n);
+        assert_eq!(y.len(), n);
+        let damp = 1.0 - alpha;
+        for v in 0..n as u32 {
+            let sources = self.graph.in_neighbors(v);
+            let probs = self.in_probs(v);
+            let mut acc = 0.0;
+            for (&s, &p) in sources.iter().zip(probs) {
+                acc += p * x[s as usize];
+            }
+            y[v as usize] = damp * acc;
+        }
+        y[restart as usize] += alpha;
+    }
+
+    /// `y ← (1−α)·Aᵀ·x + α·e_restart`, the PMPN operator (Eq. 13).
+    ///
+    /// Gathers over out-edges; `y` is fully overwritten.
+    pub fn apply_transpose(&self, alpha: f64, x: &[f64], restart: u32, y: &mut [f64]) {
+        let n = self.node_count();
+        assert_eq!(x.len(), n);
+        assert_eq!(y.len(), n);
+        let damp = 1.0 - alpha;
+        for u in 0..n as u32 {
+            let targets = self.graph.out_neighbors(u);
+            let probs = self.out_probs(u);
+            let mut acc = 0.0;
+            for (&t, &p) in targets.iter().zip(probs) {
+                acc += p * x[t as usize];
+            }
+            y[u as usize] = damp * acc;
+        }
+        y[restart as usize] += alpha;
+    }
+
+    /// Materializes column `j` of `A` as a dense vector (test/oracle helper).
+    pub fn column_dense(&self, j: u32) -> Vec<f64> {
+        let mut col = vec![0.0; self.node_count()];
+        for (&t, &p) in self.graph.out_neighbors(j).iter().zip(self.out_probs(j)) {
+            col[t as usize] += p;
+        }
+        col
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{DanglingPolicy, GraphBuilder};
+
+    fn toy() -> DiGraph {
+        // Figure 1 toy graph (0-based): 0→{1,3,5}, 1→{0,2}, 2→{0,1},
+        // 3→{1,4}, 4→{1}, 5→{1,3}.
+        GraphBuilder::from_edges(
+            6,
+            &[
+                (0, 1), (0, 3), (0, 5),
+                (1, 0), (1, 2),
+                (2, 0), (2, 1),
+                (3, 1), (3, 4),
+                (4, 1),
+                (5, 1), (5, 3),
+            ],
+            DanglingPolicy::Error,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn columns_are_stochastic() {
+        let g = toy();
+        let t = TransitionMatrix::new(&g);
+        for j in 0..6 {
+            let col = t.column_dense(j);
+            let sum: f64 = col.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-12, "column {j} sums to {sum}");
+        }
+    }
+
+    #[test]
+    fn uniform_probabilities_unweighted() {
+        let g = toy();
+        let t = TransitionMatrix::new(&g);
+        assert_eq!(t.out_probs(0), &[1.0 / 3.0; 3]);
+        assert_eq!(t.out_probs(4), &[1.0]);
+    }
+
+    #[test]
+    fn weighted_probabilities_normalize() {
+        let mut b = GraphBuilder::new(3);
+        b.add_weighted_edge(0, 1, 3.0).unwrap();
+        b.add_weighted_edge(0, 2, 1.0).unwrap();
+        b.add_edge(1, 0).unwrap();
+        b.add_edge(2, 0).unwrap();
+        let g = b.build(DanglingPolicy::Error).unwrap();
+        let t = TransitionMatrix::new(&g);
+        assert_eq!(t.out_probs(0), &[0.75, 0.25]);
+        // CSC side: in-probs of node 1 correspond to source 0.
+        assert_eq!(t.in_probs(1), &[0.75]);
+    }
+
+    #[test]
+    fn forward_operator_matches_dense_multiply() {
+        let g = toy();
+        let t = TransitionMatrix::new(&g);
+        let n = g.node_count();
+        let alpha = 0.15;
+        let x: Vec<f64> = (0..n).map(|i| (i + 1) as f64 / 21.0).collect();
+        let mut y = vec![0.0; n];
+        t.apply_forward(alpha, &x, 2, &mut y);
+
+        // Dense reference.
+        let mut expect = vec![0.0; n];
+        for j in 0..n as u32 {
+            let col = t.column_dense(j);
+            for i in 0..n {
+                expect[i] += (1.0 - alpha) * col[i] * x[j as usize];
+            }
+        }
+        expect[2] += alpha;
+        for i in 0..n {
+            assert!((y[i] - expect[i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn transpose_operator_matches_dense_multiply() {
+        let g = toy();
+        let t = TransitionMatrix::new(&g);
+        let n = g.node_count();
+        let alpha = 0.15;
+        let x: Vec<f64> = (0..n).map(|i| 1.0 / (i + 2) as f64).collect();
+        let mut y = vec![0.0; n];
+        t.apply_transpose(alpha, &x, 0, &mut y);
+
+        let mut expect = vec![0.0; n];
+        for j in 0..n as u32 {
+            let col = t.column_dense(j);
+            for i in 0..n {
+                expect[j as usize] += (1.0 - alpha) * col[i] * x[i];
+            }
+        }
+        expect[0] += alpha;
+        for i in 0..n {
+            assert!((y[i] - expect[i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "dangling")]
+    fn rejects_dangling_graph() {
+        // Bypass the builder's repair by building a graph that only the
+        // transition matrix inspects: node 1 has no out-edges.
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 1).unwrap();
+        // Build with SelfLoop, then strip: not possible through the public
+        // API, so simulate by constructing the unrepaired edge set directly.
+        let g = DiGraph::from_sorted_edges(2, vec![(0, 1, 1.0)], false);
+        let _ = TransitionMatrix::new(&g);
+    }
+}

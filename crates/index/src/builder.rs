@@ -1,0 +1,314 @@
+//! Parallel index construction — Algorithm 1 (Lower Bound Indexing).
+//!
+//! The paper notes the per-node BCA sweeps are embarrassingly parallel (its
+//! evaluation spread them over 100 cluster cores). Here workers pull node
+//! ranges off an atomic counter inside `std::thread::scope`; each worker owns
+//! its own [`rtk_rwr::BcaEngine`] and [`Materializer`], so the sweep performs
+//! no cross-thread synchronization beyond the counter. The result is
+//! deterministic: per-node computations are independent and merged by id.
+
+use crate::config::{HubSelection, IndexConfig};
+use crate::error::IndexError;
+use crate::hub_matrix::{HubMatrix, Materializer};
+use crate::index::ReverseIndex;
+use crate::node_state::NodeState;
+use crate::stats::IndexStats;
+use rtk_graph::TransitionMatrix;
+use rtk_rwr::bca::{BcaEngine, BcaStop, BcaWork, PropagationStrategy};
+use rtk_rwr::HubSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// Power-law exponent assumed by the Theorem 1 space prediction (the paper
+/// uses β = 0.76, citing Bahmani et al.).
+pub const DEFAULT_POWER_LAW_BETA: f64 = 0.76;
+
+/// Nodes claimed per worker fetch during the sweep (amortizes the atomic).
+const SWEEP_CHUNK: usize = 64;
+
+/// Builder for [`ReverseIndex`]. Thin stateful wrapper so callers can reuse
+/// a config across graphs; [`ReverseIndex::build`] is the one-shot form.
+#[derive(Clone, Debug)]
+pub struct LbiBuilder {
+    config: IndexConfig,
+}
+
+impl LbiBuilder {
+    /// Creates a builder after validating `config`.
+    pub fn new(config: IndexConfig) -> Result<Self, IndexError> {
+        config.validate()?;
+        Ok(Self { config })
+    }
+
+    /// The validated configuration.
+    pub fn config(&self) -> &IndexConfig {
+        &self.config
+    }
+
+    /// Runs Algorithm 1 over the whole graph.
+    pub fn build(&self, transition: &TransitionMatrix<'_>) -> Result<ReverseIndex, IndexError> {
+        let started = Instant::now();
+        let graph = transition.graph();
+        let n = graph.node_count();
+        let threads = self.config.effective_threads();
+
+        // --- Hub selection (§4.1.1) ---
+        let hub_t0 = Instant::now();
+        let hubs = match &self.config.hub_selection {
+            HubSelection::DegreeBased { b } => HubSet::degree_based(graph, *b),
+            HubSelection::Explicit(ids) => HubSet::from_ids(n, ids.clone()),
+            HubSelection::Greedy { count, seed } => {
+                HubSet::greedy_bca(transition, *count, &self.config.bca, *seed)
+            }
+            HubSelection::None => HubSet::empty(n),
+        };
+        let hub_selection_seconds = hub_t0.elapsed().as_secs_f64();
+
+        // --- Hub vectors (Alg. 1 lines 1–2) ---
+        let hub_t1 = Instant::now();
+        let hub_matrix = HubMatrix::build(
+            transition,
+            hubs.clone(),
+            &self.config.hub_solver,
+            self.config.rounding_threshold,
+            threads,
+        );
+        let hub_vectors_seconds = hub_t1.elapsed().as_secs_f64();
+
+        // --- Per-node partial BCA sweep (Alg. 1 lines 3–9) ---
+        let sweep_t0 = Instant::now();
+        let stop = BcaStop::from_params(&self.config.bca);
+        let next = AtomicUsize::new(0);
+        let hub_matrix_ref = &hub_matrix;
+        let config = &self.config;
+        let results: Vec<(Vec<(u32, NodeState)>, BcaWork)> = std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(threads);
+            for _ in 0..threads {
+                let next = &next;
+                let hubs = hubs.clone();
+                handles.push(scope.spawn(move || {
+                    let mut engine =
+                        BcaEngine::new(hubs, config.bca, PropagationStrategy::BatchThreshold);
+                    let mut materializer = Materializer::new(n);
+                    let mut local = Vec::new();
+                    loop {
+                        let lo = next.fetch_add(SWEEP_CHUNK, Ordering::Relaxed);
+                        if lo >= n {
+                            break;
+                        }
+                        let hi = (lo + SWEEP_CHUNK).min(n);
+                        for u in lo as u32..hi as u32 {
+                            let snapshot = engine.run_from(transition, u, &stop);
+                            let state = NodeState::from_snapshot(
+                                snapshot,
+                                hub_matrix_ref,
+                                &mut materializer,
+                                config.max_k,
+                            );
+                            local.push((u, state));
+                        }
+                    }
+                    (local, engine.work())
+                }));
+            }
+            handles.into_iter().map(|h| h.join().expect("sweep worker panicked")).collect()
+        });
+        let node_sweep_seconds = sweep_t0.elapsed().as_secs_f64();
+
+        let mut slots: Vec<Option<NodeState>> = (0..n).map(|_| None).collect();
+        let mut total_iterations = 0u64;
+        let mut total_pushes = 0u64;
+        for (chunk, work) in results {
+            total_iterations += u64::from(work.iterations);
+            total_pushes += work.pushes;
+            for (u, state) in chunk {
+                debug_assert!(slots[u as usize].is_none());
+                slots[u as usize] = Some(state);
+            }
+        }
+        let states: Vec<NodeState> =
+            slots.into_iter().map(|s| s.expect("node state missing after sweep")).collect();
+
+        // --- Size accounting ---
+        let lower_bound_bytes: usize =
+            states.iter().map(|s| s.lower_bounds().heap_bytes()).sum();
+        let states_bytes: usize = states.iter().map(|s| s.heap_bytes()).sum();
+        let actual_bytes = states_bytes + hub_matrix.heap_bytes();
+        // "No rounding" = same index with hub columns at pre-rounding nnz.
+        let entry_bytes = std::mem::size_of::<u32>() + std::mem::size_of::<f64>();
+        let no_rounding_bytes =
+            actual_bytes + (hub_matrix.unrounded_nnz() - hub_matrix.nnz()) * entry_bytes;
+        let predicted_hub = hub_matrix.predicted_bytes(n, DEFAULT_POWER_LAW_BETA);
+        let predicted_bytes = predicted_hub.map(|p| p + lower_bound_bytes);
+
+        let stats = IndexStats {
+            hub_selection_seconds,
+            hub_vectors_seconds,
+            node_sweep_seconds,
+            total_seconds: started.elapsed().as_secs_f64(),
+            hub_count: hub_matrix.hub_count(),
+            total_iterations,
+            total_pushes,
+            actual_bytes,
+            no_rounding_bytes,
+            predicted_bytes,
+            lower_bound_bytes,
+            threads,
+        };
+
+        Ok(ReverseIndex::from_parts(self.config.clone(), hub_matrix, states, stats))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::HubSolver;
+    use rtk_graph::{DanglingPolicy, DiGraph, GraphBuilder};
+    use rtk_rwr::{BcaParams, RwrParams};
+
+    fn toy() -> DiGraph {
+        GraphBuilder::from_edges(
+            6,
+            &[
+                (0, 1), (0, 3), (0, 5),
+                (1, 0), (1, 2),
+                (2, 0), (2, 1),
+                (3, 1), (3, 4),
+                (4, 1),
+                (5, 1), (5, 3),
+            ],
+            DanglingPolicy::Error,
+        )
+        .unwrap()
+    }
+
+    fn toy_config() -> IndexConfig {
+        IndexConfig {
+            max_k: 3,
+            bca: BcaParams { residue_threshold: 0.8, ..Default::default() },
+            hub_selection: HubSelection::DegreeBased { b: 1 },
+            hub_solver: HubSolver::PowerMethod(RwrParams::default()),
+            rounding_threshold: 0.0,
+            threads: 1,
+        }
+    }
+
+    #[test]
+    fn reproduces_paper_figure_2_index() {
+        // Paper Figure 2 (δ=0.8, η=1e-4, K=3, hubs {1,2} 1-based): the top-3
+        // lower-bound columns are
+        //   p̂1 = [.32 .28 .13], p̂2 = [.39 .24 .17], p̂3 = [.29 .27 .24],
+        //   p̂4 = [.19 .17 .10], p̂5 = [.33 .20 .18], p̂6 = [.18 .17 .10]
+        // and ‖r₃‖=‖r₅‖=0, ‖r₄‖=‖r₆‖=0.36.
+        let g = toy();
+        let t = TransitionMatrix::new(&g);
+        let index = LbiBuilder::new(toy_config()).unwrap().build(&t).unwrap();
+        let expected: [[f64; 3]; 6] = [
+            [0.32, 0.28, 0.13],
+            [0.39, 0.24, 0.17],
+            [0.29, 0.27, 0.24],
+            [0.19, 0.17, 0.10],
+            [0.33, 0.20, 0.18],
+            [0.18, 0.17, 0.10],
+        ];
+        for u in 0..6u32 {
+            for k in 1..=3usize {
+                let got = index.state(u).kth_lower_bound(k);
+                assert!(
+                    (got - expected[u as usize][k - 1]).abs() < 5e-3,
+                    "p̂_{}({k}) = {got} vs paper {}",
+                    u + 1,
+                    expected[u as usize][k - 1]
+                );
+            }
+        }
+        let residues: Vec<f64> = (0..6).map(|u| index.state(u).residue_norm()).collect();
+        assert!(residues[0].abs() < 1e-12 && residues[1].abs() < 1e-12); // hubs
+        assert!(residues[2].abs() < 1e-9, "‖r₃‖ = {}", residues[2]);
+        assert!(residues[4].abs() < 1e-9, "‖r₅‖ = {}", residues[4]);
+        assert!((residues[3] - 0.36).abs() < 5e-3, "‖r₄‖ = {}", residues[3]);
+        assert!((residues[5] - 0.36).abs() < 5e-3, "‖r₆‖ = {}", residues[5]);
+    }
+
+    #[test]
+    fn lower_bounds_never_exceed_exact_proximities() {
+        let g = rtk_graph::gen::rmat(&rtk_graph::gen::RmatConfig::new(150, 600, 9)).unwrap();
+        let t = TransitionMatrix::new(&g);
+        let config = IndexConfig {
+            max_k: 10,
+            hub_selection: HubSelection::DegreeBased { b: 5 },
+            rounding_threshold: 1e-6,
+            threads: 2,
+            ..Default::default()
+        };
+        let index = LbiBuilder::new(config).unwrap().build(&t).unwrap();
+        let exact = rtk_rwr::exact::proximity_matrix_dense(&t, 0.15);
+        for u in 0..g.node_count() as u32 {
+            let mut col: Vec<f64> = exact[u as usize].clone();
+            col.sort_by(|a, b| b.partial_cmp(a).unwrap());
+            for k in 1..=10usize {
+                let lb = index.state(u).kth_lower_bound(k);
+                assert!(
+                    lb <= col[k - 1] + 1e-9,
+                    "u={u} k={k}: lb {lb} > exact {}",
+                    col[k - 1]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_build_is_deterministic() {
+        let g = rtk_graph::gen::scale_free(&rtk_graph::gen::ScaleFreeConfig::new(300, 4, 21)).unwrap();
+        let t = TransitionMatrix::new(&g);
+        let mk = |threads| IndexConfig {
+            max_k: 20,
+            hub_selection: HubSelection::DegreeBased { b: 8 },
+            threads,
+            ..Default::default()
+        };
+        let a = LbiBuilder::new(mk(1)).unwrap().build(&t).unwrap();
+        let b = LbiBuilder::new(mk(4)).unwrap().build(&t).unwrap();
+        assert_eq!(a.node_count(), b.node_count());
+        for u in 0..300u32 {
+            assert_eq!(a.state(u), b.state(u), "node {u} differs across thread counts");
+        }
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let g = toy();
+        let t = TransitionMatrix::new(&g);
+        let index = LbiBuilder::new(toy_config()).unwrap().build(&t).unwrap();
+        let s = index.stats();
+        assert_eq!(s.hub_count, 2);
+        assert!(s.actual_bytes > 0);
+        assert!(s.no_rounding_bytes >= s.actual_bytes);
+        assert!(s.lower_bound_bytes > 0 && s.lower_bound_bytes < s.actual_bytes);
+        assert!(s.total_seconds > 0.0);
+        assert!(s.total_iterations > 0);
+    }
+
+    #[test]
+    fn no_hub_config_builds() {
+        let g = toy();
+        let t = TransitionMatrix::new(&g);
+        let config = IndexConfig {
+            hub_selection: HubSelection::None,
+            max_k: 3,
+            threads: 1,
+            ..Default::default()
+        };
+        let index = LbiBuilder::new(config).unwrap().build(&t).unwrap();
+        assert_eq!(index.hub_matrix().hub_count(), 0);
+        for u in 0..6u32 {
+            assert!(index.state(u).kth_lower_bound(1) > 0.0);
+        }
+    }
+
+    #[test]
+    fn rejects_invalid_config() {
+        assert!(LbiBuilder::new(IndexConfig { max_k: 0, ..Default::default() }).is_err());
+    }
+}

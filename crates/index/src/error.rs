@@ -1,0 +1,57 @@
+//! Index error type.
+
+use std::io;
+
+/// Errors produced while configuring, building, or persisting an index.
+#[derive(Debug)]
+pub enum IndexError {
+    /// A configuration field is out of range or inconsistent.
+    InvalidConfig(String),
+    /// Underlying I/O failure during save/load.
+    Io(io::Error),
+    /// Binary decode failure during load.
+    Decode(rtk_sparse::codec::DecodeError),
+    /// The loaded index does not match the supplied graph.
+    GraphMismatch {
+        /// Node count recorded in the index.
+        index_nodes: usize,
+        /// Node count of the supplied graph.
+        graph_nodes: usize,
+    },
+}
+
+impl std::fmt::Display for IndexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IndexError::InvalidConfig(msg) => write!(f, "invalid index config: {msg}"),
+            IndexError::Io(e) => write!(f, "i/o error: {e}"),
+            IndexError::Decode(e) => write!(f, "decode error: {e}"),
+            IndexError::GraphMismatch { index_nodes, graph_nodes } => write!(
+                f,
+                "index was built for {index_nodes} nodes but the graph has {graph_nodes}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for IndexError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IndexError::Io(e) => Some(e),
+            IndexError::Decode(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for IndexError {
+    fn from(e: io::Error) -> Self {
+        IndexError::Io(e)
+    }
+}
+
+impl From<rtk_sparse::codec::DecodeError> for IndexError {
+    fn from(e: rtk_sparse::codec::DecodeError) -> Self {
+        IndexError::Decode(e)
+    }
+}

@@ -1,0 +1,420 @@
+//! The hub proximity matrix `P_H` with rounding and deficit tracking
+//! (paper §4.1.3).
+//!
+//! Each hub's exact proximity vector is computed once, rounded by zeroing
+//! entries `≤ ω`, and stored sparsely. Rounding preserves the lower-bound
+//! property of everything materialized from `P_H` (rounded values are `≤`
+//! exact values elementwise — the paper's Prop. 1/2 carry over, as it notes).
+//!
+//! Beyond the paper, each hub records its **mass deficit**
+//! `d_h = 1 − ‖stored p_h‖₁`: the proximity mass lost to rounding plus any
+//! solver truncation. A unit of ink parked at hub `h` can still deliver up to
+//! `d_h` of future proximity anywhere, so sound upper bounds must treat
+//! `Σ_h s(h)·d_h` as additional residue (`BoundMode::Strict` in the query
+//! crate uses exactly this).
+
+use crate::config::HubSolver;
+use rtk_graph::TransitionMatrix;
+use rtk_rwr::bca::{BcaEngine, BcaSnapshot, BcaStop, PropagationStrategy};
+use rtk_rwr::{proximity_from, HubSet};
+use rtk_sparse::{top_k_of_pairs, EpochScratch, SparseVector};
+
+/// Sparse, rounded hub proximity vectors plus per-hub deficits.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HubMatrix {
+    hubs: HubSet,
+    /// `columns[i]` is the rounded `p_h` for `hubs.ids()[i]`.
+    columns: Vec<SparseVector>,
+    /// `deficits[i] = 1 − ‖columns[i]‖₁ ≥ 0`.
+    deficits: Vec<f64>,
+    /// Entries each column held *before* rounding (for Table 2's
+    /// "no rounding" space accounting).
+    unrounded_nnz: Vec<usize>,
+    /// The rounding threshold `ω` the columns were built with.
+    rounding_threshold: f64,
+}
+
+impl HubMatrix {
+    /// Computes all hub vectors with `solver`, rounds them at `ω`, and
+    /// records deficits. Hub computations are spread over `threads` workers.
+    pub fn build(
+        transition: &TransitionMatrix<'_>,
+        hubs: HubSet,
+        solver: &HubSolver,
+        rounding_threshold: f64,
+        threads: usize,
+    ) -> Self {
+        let ids = hubs.ids().to_vec();
+        let mut slots: Vec<Option<HubColumn>> = vec![None; ids.len()];
+        let threads = threads.max(1).min(ids.len().max(1));
+
+        if ids.is_empty() {
+            return Self {
+                hubs,
+                columns: Vec::new(),
+                deficits: Vec::new(),
+                unrounded_nnz: Vec::new(),
+                rounding_threshold,
+            };
+        }
+
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let results: Vec<Vec<(usize, HubColumn)>> = std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(threads);
+            for _ in 0..threads {
+                let ids = &ids;
+                let next = &next;
+                handles.push(scope.spawn(move || {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if i >= ids.len() {
+                            break;
+                        }
+                        local.push((i, compute_hub_column(transition, ids[i], solver, rounding_threshold)));
+                    }
+                    local
+                }));
+            }
+            handles.into_iter().map(|h| h.join().expect("hub worker panicked")).collect()
+        });
+        for chunk in results {
+            for (i, col) in chunk {
+                slots[i] = Some(col);
+            }
+        }
+
+        let mut columns = Vec::with_capacity(ids.len());
+        let mut deficits = Vec::with_capacity(ids.len());
+        let mut unrounded_nnz = Vec::with_capacity(ids.len());
+        for slot in slots {
+            let (col, deficit, nnz) = slot.expect("hub column missing");
+            columns.push(col);
+            deficits.push(deficit);
+            unrounded_nnz.push(nnz);
+        }
+        Self { hubs, columns, deficits, unrounded_nnz, rounding_threshold }
+    }
+
+    /// Reassembles a matrix from stored parts (used by [`crate::storage`]).
+    pub(crate) fn from_parts(
+        hubs: HubSet,
+        columns: Vec<SparseVector>,
+        deficits: Vec<f64>,
+        unrounded_nnz: Vec<usize>,
+        rounding_threshold: f64,
+    ) -> Self {
+        assert_eq!(hubs.len(), columns.len());
+        assert_eq!(hubs.len(), deficits.len());
+        assert_eq!(hubs.len(), unrounded_nnz.len());
+        Self { hubs, columns, deficits, unrounded_nnz, rounding_threshold }
+    }
+
+    /// The hub set.
+    #[inline]
+    pub fn hubs(&self) -> &HubSet {
+        &self.hubs
+    }
+
+    /// Number of hubs.
+    #[inline]
+    pub fn hub_count(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// The rounding threshold `ω` used at build time.
+    #[inline]
+    pub fn rounding_threshold(&self) -> f64 {
+        self.rounding_threshold
+    }
+
+    /// Rounded proximity vector of hub `node`, or `None` if not a hub.
+    pub fn column(&self, node: u32) -> Option<&SparseVector> {
+        self.hubs.position(node).map(|i| &self.columns[i])
+    }
+
+    /// Mass deficit `d_h` of hub `node` (0 for non-hubs).
+    pub fn deficit(&self, node: u32) -> f64 {
+        self.hubs.position(node).map_or(0.0, |i| self.deficits[i])
+    }
+
+    /// `Σ_h s(h)·d_h` — the extra residual mass hidden in parked hub ink.
+    pub fn parked_deficit(&self, hub_ink: &SparseVector) -> f64 {
+        hub_ink
+            .iter()
+            .map(|(h, s)| s * self.hubs.position(h).map_or(0.0, |i| self.deficits[i]))
+            .sum()
+    }
+
+    /// Stored entries across all columns (after rounding).
+    pub fn nnz(&self) -> usize {
+        self.columns.iter().map(|c| c.nnz()).sum()
+    }
+
+    /// Entries across all columns before rounding.
+    pub fn unrounded_nnz(&self) -> usize {
+        self.unrounded_nnz.iter().sum()
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn heap_bytes(&self) -> usize {
+        self.columns.iter().map(|c| c.heap_bytes()).sum::<usize>()
+            + self.deficits.len() * std::mem::size_of::<f64>()
+    }
+
+    /// Theorem 1's predicted storage (bytes) for the hub part given the
+    /// power-law exponent `β`: `(1−β)^{1/β}·|H|·ω^{−1/β}·n^{1−1/β}` entries
+    /// of 12 bytes (u32 index + f64 value). Returns `None` when `ω = 0`.
+    pub fn predicted_bytes(&self, n: usize, beta: f64) -> Option<usize> {
+        if self.rounding_threshold <= 0.0 || !(0.0..1.0).contains(&beta) || beta == 0.0 {
+            return None;
+        }
+        let omega = self.rounding_threshold;
+        let entries_per_hub =
+            (1.0 - beta).powf(1.0 / beta) * omega.powf(-1.0 / beta) * (n as f64).powf(1.0 - 1.0 / beta);
+        let entries = entries_per_hub * self.hub_count() as f64;
+        Some((entries.min(1e15) * 12.0) as usize)
+    }
+}
+
+/// One computed hub column: `(rounded vector, deficit, unrounded nnz)`.
+type HubColumn = (SparseVector, f64, usize);
+
+/// Computes one hub column; returns `(rounded vector, deficit, unrounded nnz)`.
+fn compute_hub_column(
+    transition: &TransitionMatrix<'_>,
+    hub: u32,
+    solver: &HubSolver,
+    rounding_threshold: f64,
+) -> HubColumn {
+    let mut vector = match solver {
+        HubSolver::PowerMethod(params) => {
+            let (dense, _) = proximity_from(transition, hub, params);
+            SparseVector::from_dense(&dense, 0.0)
+        }
+        HubSolver::Bca(params) => {
+            let mut engine = BcaEngine::new(
+                HubSet::empty(transition.node_count()),
+                *params,
+                PropagationStrategy::BatchThreshold,
+            );
+            let snap: BcaSnapshot = engine.run_from(transition, hub, &BcaStop::from_params(params));
+            snap.retained
+        }
+    };
+    let unrounded = vector.nnz();
+    if rounding_threshold > 0.0 {
+        vector.round_below(rounding_threshold);
+    }
+    // Deficit folds in both rounding loss and any solver truncation.
+    let deficit = (1.0 - vector.sum()).max(0.0);
+    (vector, deficit, unrounded)
+}
+
+/// Reusable materializer for `p^t_u = w^t_u + P_H·s^t_u` (Eq. 7).
+///
+/// Owns a dense epoch scratch sized to the graph; one instance per worker
+/// thread (index build) or per query session.
+#[derive(Clone, Debug)]
+pub struct Materializer {
+    scratch: EpochScratch,
+}
+
+impl Materializer {
+    /// Creates a materializer for graphs of `node_count` nodes.
+    pub fn new(node_count: usize) -> Self {
+        Self { scratch: EpochScratch::new(node_count) }
+    }
+
+    /// Materializes the lower-bound vector of `snapshot` and returns the
+    /// scratch holding it (valid until the next call).
+    pub fn materialize(
+        &mut self,
+        snapshot: &BcaSnapshot,
+        hub_matrix: &HubMatrix,
+    ) -> &EpochScratch {
+        self.scratch.reset();
+        snapshot.retained.scatter_into(1.0, &mut self.scratch);
+        for (h, s) in snapshot.hub_ink.iter() {
+            let col = hub_matrix
+                .column(h)
+                .expect("hub ink parked at a node missing from the hub matrix");
+            col.scatter_into(s, &mut self.scratch);
+        }
+        &self.scratch
+    }
+
+    /// Materializes and selects the descending top-`k` entries.
+    pub fn top_k(
+        &mut self,
+        snapshot: &BcaSnapshot,
+        hub_matrix: &HubMatrix,
+        k: usize,
+    ) -> Vec<(u32, f64)> {
+        let scratch = self.materialize(snapshot, hub_matrix);
+        top_k_of_pairs(scratch.iter_touched().filter(|&(_, v)| v > 0.0), k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtk_graph::{DanglingPolicy, DiGraph, GraphBuilder};
+    use rtk_rwr::{BcaParams, RwrParams};
+
+    fn toy() -> DiGraph {
+        GraphBuilder::from_edges(
+            6,
+            &[
+                (0, 1), (0, 3), (0, 5),
+                (1, 0), (1, 2),
+                (2, 0), (2, 1),
+                (3, 1), (3, 4),
+                (4, 1),
+                (5, 1), (5, 3),
+            ],
+            DanglingPolicy::Error,
+        )
+        .unwrap()
+    }
+
+    fn pm_solver() -> HubSolver {
+        HubSolver::PowerMethod(RwrParams::default())
+    }
+
+    #[test]
+    fn power_method_hubs_have_tiny_deficit() {
+        let g = toy();
+        let t = TransitionMatrix::new(&g);
+        let hubs = HubSet::from_ids(6, vec![0, 1]);
+        let m = HubMatrix::build(&t, hubs, &pm_solver(), 0.0, 1);
+        assert_eq!(m.hub_count(), 2);
+        for &h in [0u32, 1].iter() {
+            assert!(m.deficit(h) < 1e-8, "deficit {}", m.deficit(h));
+            let col = m.column(h).unwrap();
+            assert!((col.sum() - 1.0).abs() < 1e-8);
+        }
+        assert_eq!(m.deficit(3), 0.0);
+        assert!(m.column(3).is_none());
+    }
+
+    #[test]
+    fn rounding_removes_mass_into_deficit() {
+        let g = toy();
+        let t = TransitionMatrix::new(&g);
+        let hubs = HubSet::from_ids(6, vec![1]);
+        let coarse = HubMatrix::build(&t, hubs.clone(), &pm_solver(), 0.1, 1);
+        let fine = HubMatrix::build(&t, hubs, &pm_solver(), 0.0, 1);
+        assert!(coarse.nnz() < fine.nnz());
+        assert!(coarse.deficit(1) > 0.0);
+        let sum_plus_deficit = coarse.column(1).unwrap().sum() + coarse.deficit(1);
+        assert!((sum_plus_deficit - 1.0).abs() < 1e-8);
+        assert_eq!(coarse.unrounded_nnz(), fine.nnz());
+    }
+
+    #[test]
+    fn rounded_columns_lower_bound_exact_columns() {
+        let g = toy();
+        let t = TransitionMatrix::new(&g);
+        let hubs = HubSet::from_ids(6, vec![0, 1]);
+        let rounded = HubMatrix::build(&t, hubs, &pm_solver(), 0.05, 1);
+        let exact = rtk_rwr::exact::proximity_matrix_dense(&t, 0.15);
+        for &h in [0u32, 1].iter() {
+            let col = rounded.column(h).unwrap().to_dense(6);
+            for v in 0..6 {
+                assert!(col[v] <= exact[h as usize][v] + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn bca_solver_tracks_truncation_deficit() {
+        let g = toy();
+        let t = TransitionMatrix::new(&g);
+        let hubs = HubSet::from_ids(6, vec![1]);
+        let coarse_bca = BcaParams { residue_threshold: 0.05, ..Default::default() };
+        let m = HubMatrix::build(&t, hubs, &HubSolver::Bca(coarse_bca), 0.0, 1);
+        let d = m.deficit(1);
+        assert!(d > 1e-4 && d <= 0.05 + 1e-9, "deficit {d}");
+    }
+
+    #[test]
+    fn parallel_build_matches_serial() {
+        let g = rtk_graph::gen::rmat(&rtk_graph::gen::RmatConfig::new(200, 800, 3)).unwrap();
+        let t = TransitionMatrix::new(&g);
+        let hubs = HubSet::degree_based(&g, 10);
+        let serial = HubMatrix::build(&t, hubs.clone(), &pm_solver(), 1e-6, 1);
+        let parallel = HubMatrix::build(&t, hubs, &pm_solver(), 1e-6, 4);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn parked_deficit_weights_hub_ink() {
+        let g = toy();
+        let t = TransitionMatrix::new(&g);
+        let hubs = HubSet::from_ids(6, vec![0, 1]);
+        let m = HubMatrix::build(&t, hubs, &pm_solver(), 0.1, 1);
+        let ink = SparseVector::from_parts(vec![0, 1], vec![0.5, 0.25]);
+        let expected = 0.5 * m.deficit(0) + 0.25 * m.deficit(1);
+        assert!((m.parked_deficit(&ink) - expected).abs() < 1e-15);
+    }
+
+    #[test]
+    fn materializer_combines_retained_and_hub_ink() {
+        let g = toy();
+        let t = TransitionMatrix::new(&g);
+        let hubs = HubSet::from_ids(6, vec![0, 1]);
+        let m = HubMatrix::build(&t, hubs.clone(), &pm_solver(), 0.0, 1);
+        let exact = rtk_rwr::exact::proximity_matrix_dense(&t, 0.15);
+
+        // Exhaustive BCA from node 2 with hubs; materialized vector must be p_2.
+        let mut engine = BcaEngine::new(
+            hubs,
+            BcaParams::exhaustive(0.15),
+            PropagationStrategy::BatchThreshold,
+        );
+        let snap =
+            engine.run_from(&t, 2, &BcaStop { residue_norm: 1e-12, max_iterations: 1_000_000 });
+        let mut mat = Materializer::new(6);
+        let scratch = mat.materialize(&snap, &m);
+        for (v, &expected) in exact[2].iter().enumerate() {
+            assert!(
+                (scratch.get(v) - expected).abs() < 1e-8,
+                "v={v}: {} vs {expected}",
+                scratch.get(v)
+            );
+        }
+        let top2 = mat.top_k(&snap, &m, 2);
+        assert_eq!(top2.len(), 2);
+        assert_eq!(top2[0].0, 1); // p_3 (paper) peaks at node 2 (1-based)
+        assert!(top2[0].1 >= top2[1].1);
+    }
+
+    #[test]
+    fn empty_hub_set_builds_empty_matrix() {
+        let g = toy();
+        let t = TransitionMatrix::new(&g);
+        let m = HubMatrix::build(&t, HubSet::empty(6), &pm_solver(), 1e-6, 4);
+        assert_eq!(m.hub_count(), 0);
+        assert_eq!(m.nnz(), 0);
+        assert_eq!(m.parked_deficit(&SparseVector::new()), 0.0);
+    }
+
+    #[test]
+    fn theorem1_prediction_behaves() {
+        let g = toy();
+        let t = TransitionMatrix::new(&g);
+        let hubs = HubSet::from_ids(6, vec![0, 1]);
+        let m = HubMatrix::build(&t, hubs, &pm_solver(), 1e-6, 1);
+        let p = m.predicted_bytes(6, 0.76).unwrap();
+        assert!(p > 0);
+        // Smaller ω ⇒ more predicted entries.
+        let g2 = toy();
+        let t2 = TransitionMatrix::new(&g2);
+        let m2 = HubMatrix::build(&t2, HubSet::from_ids(6, vec![0, 1]), &pm_solver(), 1e-8, 1);
+        assert!(m2.predicted_bytes(6, 0.76).unwrap() > p);
+        // ω = 0 has no finite prediction.
+        let m3 = HubMatrix::build(&t2, HubSet::from_ids(6, vec![0]), &pm_solver(), 0.0, 1);
+        assert!(m3.predicted_bytes(6, 0.76).is_none());
+    }
+}

@@ -1,0 +1,211 @@
+//! The assembled reverse top-k index.
+
+use crate::builder::LbiBuilder;
+use crate::config::IndexConfig;
+use crate::error::IndexError;
+use crate::hub_matrix::{HubMatrix, Materializer};
+use crate::node_state::{refine_state, NodeState};
+use crate::stats::IndexStats;
+use rtk_graph::TransitionMatrix;
+use rtk_rwr::bca::{BcaEngine, BcaStop, PropagationStrategy};
+
+/// The offline index `I = (P̂, R, W, S, P_H)` of Alg. 1, organized per node.
+///
+/// Supports the three operations query processing needs:
+/// * O(1) access to the `k`-th lower bound of any node ([`Self::state`]);
+/// * refinement of a node's bounds, in place ([`Self::refine_node`], the
+///   paper's dynamic index update, §4.2.3) or on a caller-owned copy;
+/// * persistence ([`crate::storage`]).
+#[derive(Clone, Debug)]
+pub struct ReverseIndex {
+    config: IndexConfig,
+    hub_matrix: HubMatrix,
+    states: Vec<NodeState>,
+    stats: IndexStats,
+}
+
+impl ReverseIndex {
+    /// Builds the index for `transition` with `config` (Alg. 1).
+    pub fn build(
+        transition: &TransitionMatrix<'_>,
+        config: IndexConfig,
+    ) -> Result<Self, IndexError> {
+        LbiBuilder::new(config)?.build(transition)
+    }
+
+    pub(crate) fn from_parts(
+        config: IndexConfig,
+        hub_matrix: HubMatrix,
+        states: Vec<NodeState>,
+        stats: IndexStats,
+    ) -> Self {
+        Self { config, hub_matrix, states, stats }
+    }
+
+    /// The configuration the index was built with.
+    pub fn config(&self) -> &IndexConfig {
+        &self.config
+    }
+
+    /// Largest supported query `k` (`K`).
+    pub fn max_k(&self) -> usize {
+        self.config.max_k
+    }
+
+    /// Number of indexed nodes.
+    pub fn node_count(&self) -> usize {
+        self.states.len()
+    }
+
+    /// The hub proximity matrix `P_H`.
+    pub fn hub_matrix(&self) -> &HubMatrix {
+        &self.hub_matrix
+    }
+
+    /// Per-node state of `u`.
+    pub fn state(&self, u: u32) -> &NodeState {
+        &self.states[u as usize]
+    }
+
+    /// All node states, indexed by node id.
+    pub fn states(&self) -> &[NodeState] {
+        &self.states
+    }
+
+    /// Construction/size statistics.
+    pub fn stats(&self) -> &IndexStats {
+        &self.stats
+    }
+
+    /// Creates a [`BcaEngine`] matching this index's hub set and BCA
+    /// parameters — required for any refinement against it.
+    pub fn make_engine(&self) -> BcaEngine {
+        BcaEngine::new(
+            self.hub_matrix.hubs().clone(),
+            self.config.bca,
+            PropagationStrategy::BatchThreshold,
+        )
+    }
+
+    /// Creates a [`Materializer`] sized for this index's graph.
+    pub fn make_materializer(&self) -> Materializer {
+        Materializer::new(self.node_count())
+    }
+
+    /// Refines node `u`'s state **in place** (the paper's `update` mode):
+    /// resumes its BCA under `stop` and refreshes its top-K lower bounds.
+    /// Returns the iterations executed.
+    pub fn refine_node(
+        &mut self,
+        u: u32,
+        transition: &TransitionMatrix<'_>,
+        engine: &mut BcaEngine,
+        materializer: &mut Materializer,
+        stop: &BcaStop,
+    ) -> u32 {
+        refine_state(
+            &mut self.states[u as usize],
+            transition,
+            engine,
+            &self.hub_matrix,
+            materializer,
+            stop,
+        )
+    }
+
+    /// Replaces node `u`'s state wholesale (commit of an externally refined
+    /// copy; used by the query layer's update mode).
+    pub fn commit_state(&mut self, u: u32, state: NodeState) {
+        self.states[u as usize] = state;
+    }
+
+    /// Recomputes total heap bytes (states drift as queries refine them).
+    pub fn current_bytes(&self) -> usize {
+        self.states.iter().map(|s| s.heap_bytes()).sum::<usize>() + self.hub_matrix.heap_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{HubSelection, HubSolver};
+    use rtk_graph::{DanglingPolicy, DiGraph, GraphBuilder};
+    use rtk_rwr::{BcaParams, RwrParams};
+
+    fn toy() -> DiGraph {
+        GraphBuilder::from_edges(
+            6,
+            &[
+                (0, 1), (0, 3), (0, 5),
+                (1, 0), (1, 2),
+                (2, 0), (2, 1),
+                (3, 1), (3, 4),
+                (4, 1),
+                (5, 1), (5, 3),
+            ],
+            DanglingPolicy::Error,
+        )
+        .unwrap()
+    }
+
+    fn config() -> IndexConfig {
+        IndexConfig {
+            max_k: 3,
+            bca: BcaParams { residue_threshold: 0.8, ..Default::default() },
+            hub_selection: HubSelection::DegreeBased { b: 1 },
+            hub_solver: HubSolver::PowerMethod(RwrParams::default()),
+            rounding_threshold: 0.0,
+            threads: 1,
+        }
+    }
+
+    #[test]
+    fn accessors_round_trip() {
+        let g = toy();
+        let t = TransitionMatrix::new(&g);
+        let index = ReverseIndex::build(&t, config()).unwrap();
+        assert_eq!(index.node_count(), 6);
+        assert_eq!(index.max_k(), 3);
+        assert_eq!(index.states().len(), 6);
+        assert_eq!(index.hub_matrix().hub_count(), 2);
+        assert!(index.current_bytes() > 0);
+    }
+
+    #[test]
+    fn refine_node_updates_in_place() {
+        // Paper §4.2.3 running example: refining node 4 (1-based) lifts
+        // p̂₄(2) from 0.17 to 0.23.
+        let g = toy();
+        let t = TransitionMatrix::new(&g);
+        let mut index = ReverseIndex::build(&t, config()).unwrap();
+        let before = index.state(3).kth_lower_bound(2);
+        assert!((before - 0.17).abs() < 5e-3, "before = {before}");
+        let mut engine = index.make_engine();
+        let mut mat = index.make_materializer();
+        let ran = index.refine_node(3, &t, &mut engine, &mut mat, &BcaStop::one_iteration());
+        assert_eq!(ran, 1);
+        let after = index.state(3).kth_lower_bound(2);
+        assert!((after - 0.23).abs() < 5e-3, "after = {after}");
+    }
+
+    #[test]
+    fn commit_state_replaces() {
+        let g = toy();
+        let t = TransitionMatrix::new(&g);
+        let mut index = ReverseIndex::build(&t, config()).unwrap();
+        let mut engine = index.make_engine();
+        let mut mat = index.make_materializer();
+        let mut copy = index.state(5).clone();
+        crate::node_state::refine_state(
+            &mut copy,
+            &t,
+            &mut engine,
+            index.hub_matrix(),
+            &mut mat,
+            &BcaStop::one_iteration(),
+        );
+        assert_ne!(&copy, index.state(5));
+        index.commit_state(5, copy.clone());
+        assert_eq!(&copy, index.state(5));
+    }
+}

@@ -1,0 +1,46 @@
+//! The offline Lower-Bound Index (LBI) of the paper (§4.1, Alg. 1).
+//!
+//! For every node `u` the index keeps a *resumable*, partially-run Bookmark
+//! Coloring computation together with the `K` largest entries of its
+//! materialized lower-bound proximity vector `p^t_u = w^t_u + P_H·s^t_u`
+//! (Eq. 7). Because BCA's retained ink only grows (Prop. 1), every stored
+//! value is a true lower bound of the corresponding exact proximity, and the
+//! `k`-th entry of a column lower-bounds `p^{kmax}_u` (Prop. 2) — the
+//! pruning test that makes reverse top-k queries fast.
+//!
+//! Components:
+//!
+//! * [`HubMatrix`] — the precomputed hub proximity vectors `P_H`, stored
+//!   sparsely after rounding away entries below `ω` (§4.1.3). We additionally
+//!   track each hub's *mass deficit* (rounded-away + solver-truncated mass),
+//!   which lets the query layer keep its upper bounds sound under aggressive
+//!   rounding (see `DESIGN.md` §3 — an extension over the paper);
+//! * [`NodeState`] — one column of the index: the BCA snapshot (`r`, `w`,
+//!   `s`) plus the descending top-K lower bounds `p̂^t_u(1:K)`;
+//! * [`LbiBuilder`] / [`ReverseIndex::build`] — parallel index construction
+//!   (Alg. 1) over `std::thread::scope`, deterministic regardless of thread
+//!   count;
+//! * [`storage`] — versioned binary persistence of the whole index;
+//! * [`refine_state`] — the shared refinement step (Alg. 1 lines 6–7) used
+//!   by query processing to tighten a node's bounds, either on a scratch
+//!   copy (`no-update` mode) or in place (`update` mode).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod config;
+pub mod error;
+pub mod hub_matrix;
+pub mod index;
+pub mod node_state;
+pub mod stats;
+pub mod storage;
+
+pub use builder::LbiBuilder;
+pub use config::{HubSelection, HubSolver, IndexConfig};
+pub use error::IndexError;
+pub use hub_matrix::{HubMatrix, Materializer};
+pub use index::ReverseIndex;
+pub use node_state::{refine_state, NodeState};
+pub use stats::IndexStats;

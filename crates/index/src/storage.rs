@@ -1,0 +1,311 @@
+//! Versioned binary persistence of the whole index (magic `RTKINDX1`).
+//!
+//! The paper's index is explicitly designed to be kept and *updated* across
+//! query sessions; persistence makes that durable. Layout (little-endian,
+//! see [`rtk_sparse::codec`]):
+//!
+//! ```text
+//! header: magic "RTKINDX1", u32 version
+//! u64 node_count, u64 max_k
+//! bca: f64 alpha, f64 eta, f64 delta, u32 max_iterations
+//! f64 rounding_threshold
+//! hubs: u32seq ids, then per hub: sparse column, f64 deficit, u64 unrounded_nnz
+//! nodes: per node: u32 iterations, sparse r, sparse w, sparse s,
+//!        u32seq topk_indices, f64seq topk_values
+//! stats: timings, counters (see code)
+//! ```
+//!
+//! The hub-selection policy and hub-vector solver are *not* round-tripped —
+//! they only matter during construction; a loaded index refines and queries
+//! identically. `config().hub_selection` becomes `Explicit(ids)` after load.
+
+use crate::config::{HubSelection, HubSolver, IndexConfig};
+use crate::error::IndexError;
+use crate::hub_matrix::HubMatrix;
+use crate::index::ReverseIndex;
+use crate::node_state::NodeState;
+use crate::stats::IndexStats;
+use rtk_rwr::bca::BcaSnapshot;
+use rtk_rwr::{BcaParams, HubSet, RwrParams};
+use rtk_sparse::codec;
+use rtk_sparse::DescendingTopK;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Magic tag of the index format.
+pub const INDEX_MAGIC: &[u8; 8] = b"RTKINDX1";
+/// Current format version.
+pub const INDEX_VERSION: u32 = 1;
+
+/// Serializes `index` to `writer`.
+pub fn save<W: Write>(index: &ReverseIndex, writer: W) -> Result<(), IndexError> {
+    let mut w = BufWriter::new(writer);
+    codec::write_header(&mut w, INDEX_MAGIC, INDEX_VERSION)?;
+    codec::write_u64(&mut w, index.node_count() as u64)?;
+    codec::write_u64(&mut w, index.max_k() as u64)?;
+    let bca = index.config().bca;
+    codec::write_f64(&mut w, bca.alpha)?;
+    codec::write_f64(&mut w, bca.propagation_threshold)?;
+    codec::write_f64(&mut w, bca.residue_threshold)?;
+    codec::write_u32(&mut w, bca.max_iterations)?;
+    codec::write_f64(&mut w, index.config().rounding_threshold)?;
+
+    let hm = index.hub_matrix();
+    codec::write_u32_seq(&mut w, hm.hubs().ids())?;
+    for &h in hm.hubs().ids() {
+        codec::write_sparse_vector(&mut w, hm.column(h).expect("hub column"))?;
+        codec::write_f64(&mut w, hm.deficit(h))?;
+    }
+    // Unrounded nnz totals are stored as one aggregate per hub position.
+    for i in 0..hm.hub_count() {
+        let _ = i;
+    }
+    codec::write_u64(&mut w, hm.unrounded_nnz() as u64)?;
+
+    for state in index.states() {
+        let snap = state.snapshot();
+        codec::write_u32(&mut w, snap.source)?;
+        codec::write_u32(&mut w, snap.iterations)?;
+        codec::write_sparse_vector(&mut w, &snap.residue)?;
+        codec::write_sparse_vector(&mut w, &snap.retained)?;
+        codec::write_sparse_vector(&mut w, &snap.hub_ink)?;
+        let entries = state.lower_bounds().entries();
+        let idx: Vec<u32> = entries.iter().map(|&(i, _)| i).collect();
+        let vals: Vec<f64> = entries.iter().map(|&(_, v)| v).collect();
+        codec::write_u32_seq(&mut w, &idx)?;
+        codec::write_f64_seq(&mut w, &vals)?;
+    }
+
+    let s = index.stats();
+    codec::write_f64(&mut w, s.hub_selection_seconds)?;
+    codec::write_f64(&mut w, s.hub_vectors_seconds)?;
+    codec::write_f64(&mut w, s.node_sweep_seconds)?;
+    codec::write_f64(&mut w, s.total_seconds)?;
+    codec::write_u64(&mut w, s.total_iterations)?;
+    codec::write_u64(&mut w, s.total_pushes)?;
+    codec::write_u64(&mut w, s.threads as u64)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Deserializes an index written by [`save`].
+pub fn load<R: Read>(reader: R) -> Result<ReverseIndex, IndexError> {
+    let mut r = BufReader::new(reader);
+    codec::read_header(&mut r, INDEX_MAGIC, INDEX_VERSION)?;
+    let n = codec::read_u64(&mut r)? as usize;
+    let max_k = codec::read_u64(&mut r)? as usize;
+    let alpha = codec::read_f64(&mut r)?;
+    let propagation_threshold = codec::read_f64(&mut r)?;
+    let residue_threshold = codec::read_f64(&mut r)?;
+    let max_iterations = codec::read_u32(&mut r)?;
+    let rounding_threshold = codec::read_f64(&mut r)?;
+    let bca = BcaParams { alpha, propagation_threshold, residue_threshold, max_iterations };
+
+    let hub_ids = codec::read_u32_seq(&mut r)?;
+    let mut columns = Vec::with_capacity(hub_ids.len());
+    let mut deficits = Vec::with_capacity(hub_ids.len());
+    for _ in &hub_ids {
+        columns.push(codec::read_sparse_vector(&mut r)?);
+        deficits.push(codec::read_f64(&mut r)?);
+    }
+    let unrounded_total = codec::read_u64(&mut r)? as usize;
+    // Per-hub unrounded counts are not needed post-build; distribute the
+    // aggregate so `unrounded_nnz()` stays correct.
+    let rounded_total: usize = columns.iter().map(|c| c.nnz()).sum();
+    let mut unrounded_nnz: Vec<usize> = columns.iter().map(|c| c.nnz()).collect();
+    if let Some(first) = unrounded_nnz.first_mut() {
+        *first += unrounded_total.saturating_sub(rounded_total);
+    }
+    let hubs = HubSet::from_ids(n, hub_ids);
+    let hub_matrix =
+        HubMatrix::from_parts(hubs, columns, deficits, unrounded_nnz, rounding_threshold);
+
+    let mut states = Vec::with_capacity(n);
+    for u in 0..n as u32 {
+        let source = codec::read_u32(&mut r)?;
+        if source != u {
+            return Err(IndexError::Decode(rtk_sparse::codec::DecodeError::Corrupt(format!(
+                "node state {u} claims source {source}"
+            ))));
+        }
+        let iterations = codec::read_u32(&mut r)?;
+        let residue = codec::read_sparse_vector(&mut r)?;
+        let retained = codec::read_sparse_vector(&mut r)?;
+        let hub_ink = codec::read_sparse_vector(&mut r)?;
+        let idx = codec::read_u32_seq(&mut r)?;
+        let vals = codec::read_f64_seq(&mut r)?;
+        if idx.len() != vals.len() || idx.len() > max_k {
+            return Err(IndexError::Decode(rtk_sparse::codec::DecodeError::Corrupt(format!(
+                "node {u}: malformed top-K ({} indices, {} values, K={max_k})",
+                idx.len(),
+                vals.len()
+            ))));
+        }
+        let entries: Vec<(u32, f64)> = idx.into_iter().zip(vals).collect();
+        if entries.windows(2).any(|w| w[0].1 < w[1].1) {
+            return Err(IndexError::Decode(rtk_sparse::codec::DecodeError::Corrupt(format!(
+                "node {u}: top-K values not descending"
+            ))));
+        }
+        let snapshot = BcaSnapshot { source, iterations, residue, retained, hub_ink };
+        let lower_bounds = DescendingTopK::from_sorted(entries, max_k);
+        states.push(NodeState::from_parts(snapshot, lower_bounds, &hub_matrix));
+    }
+
+    let hub_selection_seconds = codec::read_f64(&mut r)?;
+    let hub_vectors_seconds = codec::read_f64(&mut r)?;
+    let node_sweep_seconds = codec::read_f64(&mut r)?;
+    let total_seconds = codec::read_f64(&mut r)?;
+    let total_iterations = codec::read_u64(&mut r)?;
+    let total_pushes = codec::read_u64(&mut r)?;
+    let threads = codec::read_u64(&mut r)? as usize;
+
+    let lower_bound_bytes: usize = states.iter().map(|s| s.lower_bounds().heap_bytes()).sum();
+    let actual_bytes =
+        states.iter().map(|s| s.heap_bytes()).sum::<usize>() + hub_matrix.heap_bytes();
+    let entry_bytes = std::mem::size_of::<u32>() + std::mem::size_of::<f64>();
+    let no_rounding_bytes =
+        actual_bytes + (hub_matrix.unrounded_nnz() - hub_matrix.nnz()) * entry_bytes;
+    let predicted_bytes = hub_matrix
+        .predicted_bytes(n, crate::builder::DEFAULT_POWER_LAW_BETA)
+        .map(|p| p + lower_bound_bytes);
+    let stats = IndexStats {
+        hub_selection_seconds,
+        hub_vectors_seconds,
+        node_sweep_seconds,
+        total_seconds,
+        hub_count: hub_matrix.hub_count(),
+        total_iterations,
+        total_pushes,
+        actual_bytes,
+        no_rounding_bytes,
+        predicted_bytes,
+        lower_bound_bytes,
+        threads,
+    };
+
+    let config = IndexConfig {
+        max_k,
+        bca,
+        hub_selection: HubSelection::Explicit(hub_matrix.hubs().ids().to_vec()),
+        hub_solver: HubSolver::PowerMethod(RwrParams::with_alpha(alpha)),
+        rounding_threshold,
+        threads,
+    };
+    Ok(ReverseIndex::from_parts(config, hub_matrix, states, stats))
+}
+
+/// Saves to a file path.
+pub fn save_path<P: AsRef<Path>>(index: &ReverseIndex, path: P) -> Result<(), IndexError> {
+    save(index, std::fs::File::create(path)?)
+}
+
+/// Loads from a file path.
+pub fn load_path<P: AsRef<Path>>(path: P) -> Result<ReverseIndex, IndexError> {
+    load(std::fs::File::open(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtk_graph::{DanglingPolicy, GraphBuilder, TransitionMatrix};
+    use std::io::Cursor;
+
+    fn build_sample() -> (rtk_graph::DiGraph, IndexConfig) {
+        let g = GraphBuilder::from_edges(
+            6,
+            &[
+                (0, 1), (0, 3), (0, 5),
+                (1, 0), (1, 2),
+                (2, 0), (2, 1),
+                (3, 1), (3, 4),
+                (4, 1),
+                (5, 1), (5, 3),
+            ],
+            DanglingPolicy::Error,
+        )
+        .unwrap();
+        let config = IndexConfig {
+            max_k: 3,
+            hub_selection: HubSelection::DegreeBased { b: 1 },
+            rounding_threshold: 1e-6,
+            threads: 1,
+            ..Default::default()
+        };
+        (g, config)
+    }
+
+    #[test]
+    fn round_trips_states_and_hubs() {
+        let (g, config) = build_sample();
+        let t = TransitionMatrix::new(&g);
+        let index = ReverseIndex::build(&t, config).unwrap();
+        let mut buf = Vec::new();
+        save(&index, &mut buf).unwrap();
+        let loaded = load(Cursor::new(buf)).unwrap();
+        assert_eq!(loaded.node_count(), index.node_count());
+        assert_eq!(loaded.max_k(), index.max_k());
+        assert_eq!(loaded.hub_matrix().hubs().ids(), index.hub_matrix().hubs().ids());
+        assert_eq!(loaded.hub_matrix().nnz(), index.hub_matrix().nnz());
+        assert_eq!(loaded.hub_matrix().unrounded_nnz(), index.hub_matrix().unrounded_nnz());
+        for u in 0..6u32 {
+            assert_eq!(loaded.state(u), index.state(u), "node {u}");
+        }
+        assert_eq!(loaded.stats().threads, index.stats().threads);
+    }
+
+    #[test]
+    fn loaded_index_refines_identically() {
+        let (g, config) = build_sample();
+        let t = TransitionMatrix::new(&g);
+        let mut original = ReverseIndex::build(&t, config).unwrap();
+        let mut buf = Vec::new();
+        save(&original, &mut buf).unwrap();
+        let mut loaded = load(Cursor::new(buf)).unwrap();
+
+        let mut e1 = original.make_engine();
+        let mut m1 = original.make_materializer();
+        let mut e2 = loaded.make_engine();
+        let mut m2 = loaded.make_materializer();
+        let stop = rtk_rwr::bca::BcaStop::one_iteration();
+        original.refine_node(3, &t, &mut e1, &mut m1, &stop);
+        loaded.refine_node(3, &t, &mut e2, &mut m2, &stop);
+        assert_eq!(original.state(3), loaded.state(3));
+    }
+
+    #[test]
+    fn rejects_corrupt_magic() {
+        let (g, config) = build_sample();
+        let t = TransitionMatrix::new(&g);
+        let index = ReverseIndex::build(&t, config).unwrap();
+        let mut buf = Vec::new();
+        save(&index, &mut buf).unwrap();
+        buf[3] = b'?';
+        assert!(load(Cursor::new(buf)).is_err());
+    }
+
+    #[test]
+    fn rejects_truncated_stream() {
+        let (g, config) = build_sample();
+        let t = TransitionMatrix::new(&g);
+        let index = ReverseIndex::build(&t, config).unwrap();
+        let mut buf = Vec::new();
+        save(&index, &mut buf).unwrap();
+        buf.truncate(buf.len() / 2);
+        assert!(load(Cursor::new(buf)).is_err());
+    }
+
+    #[test]
+    fn file_path_helpers_work() {
+        let (g, config) = build_sample();
+        let t = TransitionMatrix::new(&g);
+        let index = ReverseIndex::build(&t, config).unwrap();
+        let dir = std::env::temp_dir().join("rtk_index_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("toy.rtki");
+        save_path(&index, &path).unwrap();
+        let loaded = load_path(&path).unwrap();
+        assert_eq!(loaded.node_count(), 6);
+        std::fs::remove_file(&path).ok();
+    }
+}

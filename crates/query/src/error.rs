@@ -1,0 +1,45 @@
+//! Query error type.
+
+/// Errors produced when validating a reverse top-k query.
+#[derive(Debug, PartialEq, Eq)]
+pub enum QueryError {
+    /// Requested `k` exceeds the `K` the index was built for (or is zero).
+    KOutOfRange {
+        /// Requested `k`.
+        k: usize,
+        /// Maximum supported by the index.
+        max_k: usize,
+    },
+    /// Query node id is outside the graph.
+    NodeOutOfRange {
+        /// The offending node.
+        node: u32,
+        /// Number of nodes.
+        node_count: usize,
+    },
+    /// The index was built for a different graph (node counts differ).
+    GraphMismatch {
+        /// Nodes in the index.
+        index_nodes: usize,
+        /// Nodes in the graph.
+        graph_nodes: usize,
+    },
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryError::KOutOfRange { k, max_k } => {
+                write!(f, "k = {k} outside the supported range 1..={max_k}")
+            }
+            QueryError::NodeOutOfRange { node, node_count } => {
+                write!(f, "query node {node} out of range (graph has {node_count} nodes)")
+            }
+            QueryError::GraphMismatch { index_nodes, graph_nodes } => {
+                write!(f, "index built for {index_nodes} nodes, graph has {graph_nodes}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}

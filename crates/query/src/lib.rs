@@ -1,0 +1,30 @@
+//! Online reverse top-k query processing (paper §4.2).
+//!
+//! A query `(q, k)` runs in two steps:
+//!
+//! 1. **PMPN** computes the exact proximities `p_u(q)` from every node to the
+//!    query (Alg. 2, re-exported from `rtk-rwr`);
+//! 2. every node is screened against the offline index: pruned when its
+//!    `k`-th lower bound already exceeds `p_u(q)`, confirmed when `p_u(q)`
+//!    reaches the staircase **upper bound** of Alg. 3, and otherwise
+//!    *refined* — its stored BCA is resumed one iteration at a time until
+//!    the bounds decide (Alg. 4). Refinements can be written back into the
+//!    index (`update` mode, §4.2.3), making future queries cheaper.
+//!
+//! The crate also ships the paper's exact baselines ([`baseline::Ibf`],
+//! [`baseline::Fbf`], [`baseline::brute_force_reverse_topk`]) and a forward
+//! top-k RWR search ([`baseline::top_k_rwr`]) used by the examples.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod error;
+pub mod query;
+pub mod topk;
+pub mod upper_bound;
+
+pub use error::QueryError;
+pub use query::{BoundMode, QueryEngine, QueryOptions, QueryResult, QueryStats};
+pub use topk::{top_k_rwr_early, TopkReport};
+pub use upper_bound::upper_bound_kth;

@@ -1,0 +1,684 @@
+//! The Online Query algorithm — Algorithm 4 (paper §4.2).
+
+use crate::error::QueryError;
+use crate::upper_bound::upper_bound_kth;
+use rtk_graph::TransitionMatrix;
+use rtk_index::{refine_state, Materializer, NodeState, ReverseIndex};
+use rtk_rwr::bca::{BcaEngine, BcaStop};
+use rtk_rwr::pmpn::proximity_to;
+use rtk_rwr::power::proximity_from;
+use rtk_rwr::RwrParams;
+use std::time::Instant;
+
+/// Residual mass below which a node's bounds are treated as exact.
+const EXACT_RESIDUAL_EPS: f64 = 1e-12;
+
+/// Tie tolerance for membership comparisons (`p_u(q) ≥ p̂_u(k)`).
+///
+/// The definitional test compares two real numbers that are frequently
+/// *identical* — whenever `q` itself is the k-th ranked node of `u`, the
+/// proximity equals the threshold exactly. Different engines compute the two
+/// sides by different methods (PMPN vs. forward power iteration vs. BCA),
+/// each within `ε ≈ 1e-10` of the truth, so a strict `≥` would let that
+/// noise decide. All engines in this crate — OQ, brute force, IBF, FBF —
+/// treat values closer than `TIE_EPSILON` as equal, making results
+/// well-defined and mutually consistent.
+pub const TIE_EPSILON: f64 = 1e-9;
+
+/// How residual mass is accounted for in the bounds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BoundMode {
+    /// The paper's accounting: residual = `‖r‖₁`. Hub rounding deficits are
+    /// ignored, so with a coarse `ω` a borderline node can be misclassified —
+    /// exactly the accuracy/space trade-off of Figure 9.
+    PaperFaithful,
+    /// Sound accounting: residual = `‖r‖₁ + Σ_h s(h)·d_h`. Results are exact
+    /// for any rounding threshold, at the cost of extra refinement.
+    Strict,
+}
+
+/// Options controlling one reverse top-k query.
+#[derive(Clone, Copy, Debug)]
+pub struct QueryOptions {
+    /// Write refined node states back into the index (paper `update` mode).
+    pub update_index: bool,
+    /// Residual accounting (see [`BoundMode`]).
+    pub bound_mode: BoundMode,
+    /// PMPN parameters (`α` is overridden by the index's `α`).
+    pub rwr: RwrParams,
+    /// BCA iterations per refinement step (Alg. 4 runs 1; larger values
+    /// trade bound tightness checks for fewer materializations).
+    pub refine_iterations: u32,
+    /// Approximate mode (paper §5.3): skip refinement entirely and return
+    /// only the nodes whose bounds decide immediately — the "hits" plus the
+    /// exact-bound nodes. A subset of the exact answer; on the paper's web
+    /// graphs hits ≈ results, so recall stays high while the refinement cost
+    /// disappears.
+    pub approximate: bool,
+}
+
+impl Default for QueryOptions {
+    fn default() -> Self {
+        Self {
+            update_index: true,
+            bound_mode: BoundMode::PaperFaithful,
+            rwr: RwrParams::default(),
+            refine_iterations: 1,
+            approximate: false,
+        }
+    }
+}
+
+/// Per-query diagnostics (Figures 5–7 are built from these).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct QueryStats {
+    /// Nodes that survived the initial lower-bound prune (paper's "cand").
+    pub candidates: usize,
+    /// Candidates confirmed by their *first* upper-bound check ("hits").
+    pub hits: usize,
+    /// Nodes pruned by the initial lower-bound test.
+    pub pruned_by_lower_bound: usize,
+    /// Candidates that needed at least one refinement iteration.
+    pub refined_nodes: usize,
+    /// Total BCA iterations spent refining.
+    pub refine_iterations: u64,
+    /// Strict-mode nodes whose bounds could not close (hub-rounding deficit)
+    /// and were resolved by one exact forward solve.
+    pub exact_fallbacks: usize,
+    /// PMPN iterations (step 1 of the query).
+    pub pmpn_iterations: u32,
+    /// Seconds spent in PMPN.
+    pub pmpn_seconds: f64,
+    /// Seconds spent screening/refining (step 2).
+    pub screen_seconds: f64,
+    /// Total query seconds.
+    pub total_seconds: f64,
+}
+
+/// The result of a reverse top-k query.
+#[derive(Clone, Debug, PartialEq)]
+pub struct QueryResult {
+    query: u32,
+    k: usize,
+    nodes: Vec<u32>,
+    proximities: Vec<f64>,
+    stats: QueryStats,
+}
+
+impl QueryResult {
+    /// The query node.
+    pub fn query(&self) -> u32 {
+        self.query
+    }
+
+    /// The `k` this query used.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Result nodes in ascending id order: every `u` with `p_u(q) ≥ p̂_u(k)`.
+    pub fn nodes(&self) -> &[u32] {
+        &self.nodes
+    }
+
+    /// `p_u(q)` for each result node (parallel to [`Self::nodes`]).
+    pub fn proximities(&self) -> &[f64] {
+        &self.proximities
+    }
+
+    /// Number of results.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the result set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// True when `node` is in the result set.
+    pub fn contains(&self, node: u32) -> bool {
+        self.nodes.binary_search(&node).is_ok()
+    }
+
+    /// Per-query diagnostics.
+    pub fn stats(&self) -> &QueryStats {
+        &self.stats
+    }
+}
+
+/// A reusable query session: owns the BCA engine and materializer scratch so
+/// repeated queries allocate almost nothing. Holds no graph borrow — the
+/// transition matrix is passed per call.
+pub struct QueryEngine {
+    engine: BcaEngine,
+    materializer: Materializer,
+}
+
+impl QueryEngine {
+    /// Creates a session compatible with `index` (same hub set and BCA
+    /// parameters).
+    pub fn new(index: &ReverseIndex) -> Self {
+        Self { engine: index.make_engine(), materializer: index.make_materializer() }
+    }
+
+    /// Runs Algorithm 4. With `options.update_index` the refined states are
+    /// committed back into `index`; otherwise refinement happens on private
+    /// copies and the index is untouched.
+    pub fn query(
+        &mut self,
+        transition: &TransitionMatrix<'_>,
+        index: &mut ReverseIndex,
+        q: u32,
+        k: usize,
+        options: &QueryOptions,
+    ) -> Result<QueryResult, QueryError> {
+        self.run(transition, QueryTarget::Mutable(index), q, k, options)
+    }
+
+    /// Runs Algorithm 4 against a read-only index (always refines copies;
+    /// the paper's `no-update` mode).
+    pub fn query_frozen(
+        &mut self,
+        transition: &TransitionMatrix<'_>,
+        index: &ReverseIndex,
+        q: u32,
+        k: usize,
+        options: &QueryOptions,
+    ) -> Result<QueryResult, QueryError> {
+        let mut opts = *options;
+        opts.update_index = false;
+        self.run(transition, QueryTarget::Frozen(index), q, k, &opts)
+    }
+
+    fn run(
+        &mut self,
+        transition: &TransitionMatrix<'_>,
+        mut target: QueryTarget<'_>,
+        q: u32,
+        k: usize,
+        options: &QueryOptions,
+    ) -> Result<QueryResult, QueryError> {
+        let started = Instant::now();
+        let index = target.as_ref();
+        let n = transition.node_count();
+        if index.node_count() != n {
+            return Err(QueryError::GraphMismatch {
+                index_nodes: index.node_count(),
+                graph_nodes: n,
+            });
+        }
+        if k == 0 || k > index.max_k() {
+            return Err(QueryError::KOutOfRange { k, max_k: index.max_k() });
+        }
+        if q as usize >= n {
+            return Err(QueryError::NodeOutOfRange { node: q, node_count: n });
+        }
+
+        // Step 1 (Alg. 4 line 1): exact proximities to q via PMPN, with the
+        // index's restart probability.
+        let pmpn_params = RwrParams { alpha: index.config().alpha(), ..options.rwr };
+        let pmpn_t0 = Instant::now();
+        let (to_q, pmpn_report) = proximity_to(transition, q, &pmpn_params);
+        let pmpn_seconds = pmpn_t0.elapsed().as_secs_f64();
+
+        // Step 2 (Alg. 4 lines 2–14): screen every node.
+        let strict = options.bound_mode == BoundMode::Strict;
+        let base_step = options.refine_iterations.max(1);
+        let screen_t0 = Instant::now();
+        let mut stats = QueryStats::default();
+        let mut nodes = Vec::new();
+        let mut proximities = Vec::new();
+
+        for u in 0..n as u32 {
+            let p_uq = to_q[u as usize];
+
+            // Membership requires strictly positive proximity: a top-k
+            // *set* only contains reachable nodes. Without this, every node
+            // whose proximity vector has fewer than k non-zeros (its k-th
+            // value is 0) would "contain" every query node — Figure 1's
+            // shaded cells are always non-zero.
+            if p_uq <= TIE_EPSILON {
+                stats.pruned_by_lower_bound += 1;
+                continue;
+            }
+            // Fast path: prune on the stored lower bound without copying
+            // (Alg. 4 line 4's first evaluation).
+            if p_uq < target.as_ref().state(u).kth_lower_bound(k) - TIE_EPSILON {
+                stats.pruned_by_lower_bound += 1;
+                continue;
+            }
+            stats.candidates += 1;
+            let mut scratch_state: Option<NodeState> = None;
+
+            let mut untouched = true; // no refinement performed yet
+            let mut is_result = false;
+            // Refinement step size doubles while a candidate stays
+            // undecided (capped): hard candidates need O(100) BCA
+            // iterations, and rematerializing the top-K after every single
+            // one would dominate. Bounds only tighten, so results are
+            // unchanged (DESIGN.md §3).
+            let mut step = base_step;
+            loop {
+                // Current view: the private refined copy when one exists,
+                // otherwise the index's stored state.
+                let (lb, residual, staircase) = {
+                    let state = scratch_state
+                        .as_ref()
+                        .unwrap_or_else(|| target.as_ref().state(u));
+                    (
+                        state.kth_lower_bound(k),
+                        state.residual_mass(strict),
+                        state.lower_bounds().prefix_values(k),
+                    )
+                };
+                if p_uq < lb - TIE_EPSILON {
+                    break; // pruned (possibly after refinement)
+                }
+                if residual <= EXACT_RESIDUAL_EPS {
+                    // Bounds are exact: p ≥ lb = p^kmax_u ⇒ result (lines 5–7).
+                    is_result = true;
+                    break;
+                }
+                let ub = upper_bound_kth(&staircase, residual, k);
+                if p_uq >= ub {
+                    if untouched {
+                        stats.hits += 1; // confirmed without any refinement
+                    }
+                    is_result = true;
+                    break;
+                }
+
+                // Approximate mode stops here: the node is neither an
+                // immediate hit nor exactly bounded, so it is dropped
+                // (no refinement, paper §5.3's suggested variant).
+                if options.approximate {
+                    break;
+                }
+
+                // Refine (Alg. 4 line 13): in update mode directly on the
+                // index; otherwise on a lazily-created private copy.
+                if untouched {
+                    stats.refined_nodes += 1;
+                    untouched = false;
+                }
+                let refine_stop = BcaStop { residue_norm: 0.0, max_iterations: step };
+                step = (step * 2).min(base_step * 64);
+                let update_in_place =
+                    options.update_index && matches!(target, QueryTarget::Mutable(_));
+                let executed = if update_in_place {
+                    match &mut target {
+                        QueryTarget::Mutable(index) => index.refine_node(
+                            u,
+                            transition,
+                            &mut self.engine,
+                            &mut self.materializer,
+                            &refine_stop,
+                        ),
+                        QueryTarget::Frozen(_) => unreachable!("guarded by update_in_place"),
+                    }
+                } else {
+                    let index = target.as_ref();
+                    let state = scratch_state.get_or_insert_with(|| index.state(u).clone());
+                    refine_state(
+                        state,
+                        transition,
+                        &mut self.engine,
+                        index.hub_matrix(),
+                        &mut self.materializer,
+                        &refine_stop,
+                    )
+                };
+                if executed == 0 {
+                    // Residue exhausted but bounds still open. In
+                    // paper-faithful mode this means the lower bound equals
+                    // the exact k-th value — decide on it (mirroring the
+                    // paper's treatment of rounded hub vectors as exact).
+                    // In strict mode the gap is the hub-rounding deficit,
+                    // which refinement cannot shrink: resolve exactly with
+                    // one forward solve so strict results stay sound.
+                    match options.bound_mode {
+                        BoundMode::PaperFaithful => {
+                            is_result = p_uq >= lb - TIE_EPSILON;
+                        }
+                        BoundMode::Strict => {
+                            stats.exact_fallbacks += 1;
+                            let (col, _) = proximity_from(transition, u, &pmpn_params);
+                            let kth = rtk_sparse::dense::kth_largest(&col, k);
+                            is_result = col[q as usize] >= kth - TIE_EPSILON;
+                        }
+                    }
+                    break;
+                }
+                stats.refine_iterations += u64::from(executed);
+            }
+            if is_result {
+                nodes.push(u);
+                proximities.push(p_uq);
+            }
+        }
+
+        stats.pmpn_iterations = pmpn_report.iterations;
+        stats.pmpn_seconds = pmpn_seconds;
+        stats.screen_seconds = screen_t0.elapsed().as_secs_f64();
+        stats.total_seconds = started.elapsed().as_secs_f64();
+
+        Ok(QueryResult { query: q, k, nodes, proximities, stats })
+    }
+}
+
+/// The index access mode for one query run.
+enum QueryTarget<'i> {
+    Mutable(&'i mut ReverseIndex),
+    Frozen(&'i ReverseIndex),
+}
+
+impl QueryTarget<'_> {
+    fn as_ref(&self) -> &ReverseIndex {
+        match self {
+            QueryTarget::Mutable(i) => i,
+            QueryTarget::Frozen(i) => i,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline::brute_force_reverse_topk;
+    use rtk_graph::{DanglingPolicy, DiGraph, GraphBuilder};
+    use rtk_index::{HubSelection, HubSolver, IndexConfig};
+    use rtk_rwr::BcaParams;
+
+    fn toy() -> DiGraph {
+        GraphBuilder::from_edges(
+            6,
+            &[
+                (0, 1), (0, 3), (0, 5),
+                (1, 0), (1, 2),
+                (2, 0), (2, 1),
+                (3, 1), (3, 4),
+                (4, 1),
+                (5, 1), (5, 3),
+            ],
+            DanglingPolicy::Error,
+        )
+        .unwrap()
+    }
+
+    fn toy_index_config() -> IndexConfig {
+        IndexConfig {
+            max_k: 3,
+            bca: BcaParams { residue_threshold: 0.8, ..Default::default() },
+            hub_selection: HubSelection::DegreeBased { b: 1 },
+            hub_solver: HubSolver::PowerMethod(RwrParams::default()),
+            rounding_threshold: 0.0,
+            threads: 1,
+        }
+    }
+
+    #[test]
+    fn reproduces_paper_running_example() {
+        // §4.2.3, q = node 1 (1-based), k = 2 on the Figure 2 index:
+        // nodes 1, 2 are immediate results (hubs, exact bounds);
+        // node 3 is pruned by its lower bound (0.24 < 0.27);
+        // node 4 needs one refinement, then is pruned (0.19 < 0.23);
+        // node 5 is an immediate result (‖r‖ = 0);
+        // node 6 is pruned after refinement.
+        let g = toy();
+        let t = TransitionMatrix::new(&g);
+        let mut index = ReverseIndex::build(&t, toy_index_config()).unwrap();
+        let mut session = QueryEngine::new(&index);
+        let result = session.query(&t, &mut index, 0, 2, &QueryOptions::default()).unwrap();
+        assert_eq!(result.nodes(), &[0, 1, 4]);
+        let s = result.stats();
+        // Node 3 (0-based 2) pruned by lb: candidates = 5 of 6.
+        assert_eq!(s.pruned_by_lower_bound, 1);
+        assert_eq!(s.candidates, 5);
+        // Nodes 4 and 6 (0-based 3, 5) required refinement.
+        assert_eq!(s.refined_nodes, 2);
+        assert!(s.refine_iterations >= 2);
+        // Update mode: node 4's bound is now the refined 0.23.
+        assert!((index.state(3).kth_lower_bound(2) - 0.23).abs() < 5e-3);
+    }
+
+    #[test]
+    fn proximities_are_reported_for_results() {
+        let g = toy();
+        let t = TransitionMatrix::new(&g);
+        let mut index = ReverseIndex::build(&t, toy_index_config()).unwrap();
+        let mut session = QueryEngine::new(&index);
+        let result = session.query(&t, &mut index, 0, 2, &QueryOptions::default()).unwrap();
+        // p_{q,*} = [0.32 0.24 0.24 0.19 0.20 0.18] (paper): results 0,1,4.
+        let expect = [0.32, 0.24, 0.20];
+        for (i, (&node, &p)) in result.nodes().iter().zip(result.proximities()).enumerate() {
+            let _ = node;
+            assert!((p - expect[i]).abs() < 5e-3, "proximity {i}: {p}");
+        }
+        assert!(result.contains(4));
+        assert!(!result.contains(2));
+        assert_eq!(result.len(), 3);
+        assert_eq!(result.k(), 2);
+        assert_eq!(result.query(), 0);
+    }
+
+    #[test]
+    fn frozen_and_update_modes_agree_on_results() {
+        let g = rtk_graph::gen::rmat(&rtk_graph::gen::RmatConfig::new(120, 500, 5)).unwrap();
+        let t = TransitionMatrix::new(&g);
+        let config = IndexConfig {
+            max_k: 10,
+            hub_selection: HubSelection::DegreeBased { b: 5 },
+            threads: 1,
+            ..Default::default()
+        };
+        let mut updated = ReverseIndex::build(&t, config.clone()).unwrap();
+        let frozen = ReverseIndex::build(&t, config).unwrap();
+        let mut session = QueryEngine::new(&frozen);
+        for q in [0u32, 7, 33, 99] {
+            for k in [1usize, 3, 10] {
+                let a = session
+                    .query(&t, &mut updated, q, k, &QueryOptions::default())
+                    .unwrap();
+                let b = session
+                    .query_frozen(&t, &frozen, q, k, &QueryOptions::default())
+                    .unwrap();
+                assert_eq!(a.nodes(), b.nodes(), "q={q} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_graphs() {
+        let params = RwrParams::default();
+        for seed in [1u64, 2, 3] {
+            let g = rtk_graph::gen::erdos_renyi(&rtk_graph::gen::ErdosRenyiConfig {
+                nodes: 60,
+                edges: 240,
+                seed,
+            })
+            .unwrap();
+            let t = TransitionMatrix::new(&g);
+            let config = IndexConfig {
+                max_k: 8,
+                hub_selection: HubSelection::DegreeBased { b: 3 },
+                threads: 1,
+                ..Default::default()
+            };
+            let mut index = ReverseIndex::build(&t, config).unwrap();
+            let mut session = QueryEngine::new(&index);
+            for q in [0u32, 11, 42] {
+                for k in [1usize, 4, 8] {
+                    let expected = brute_force_reverse_topk(&t, q, k, &params);
+                    let got = session
+                        .query(&t, &mut index, q, k, &QueryOptions::default())
+                        .unwrap();
+                    assert_eq!(got.nodes(), &expected[..], "seed={seed} q={q} k={k}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn strict_mode_is_exact_under_aggressive_rounding() {
+        let g = rtk_graph::gen::scale_free(&rtk_graph::gen::ScaleFreeConfig::new(80, 3, 9)).unwrap();
+        let t = TransitionMatrix::new(&g);
+        let config = IndexConfig {
+            max_k: 6,
+            hub_selection: HubSelection::DegreeBased { b: 4 },
+            rounding_threshold: 1e-2, // brutal: drops a lot of hub mass
+            threads: 1,
+            ..Default::default()
+        };
+        let mut index = ReverseIndex::build(&t, config).unwrap();
+        let mut session = QueryEngine::new(&index);
+        let opts = QueryOptions { bound_mode: BoundMode::Strict, ..Default::default() };
+        let params = RwrParams::default();
+        for q in [0u32, 17, 55] {
+            for k in [2usize, 6] {
+                let expected = brute_force_reverse_topk(&t, q, k, &params);
+                let got = session.query(&t, &mut index, q, k, &opts).unwrap();
+                assert_eq!(got.nodes(), &expected[..], "q={q} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn update_mode_makes_repeat_queries_cheaper() {
+        let g = rtk_graph::gen::rmat(&rtk_graph::gen::RmatConfig::new(200, 900, 12)).unwrap();
+        let t = TransitionMatrix::new(&g);
+        let config = IndexConfig {
+            max_k: 10,
+            hub_selection: HubSelection::DegreeBased { b: 5 },
+            threads: 1,
+            ..Default::default()
+        };
+        let mut index = ReverseIndex::build(&t, config).unwrap();
+        let mut session = QueryEngine::new(&index);
+        let opts = QueryOptions::default();
+        let first = session.query(&t, &mut index, 3, 10, &opts).unwrap();
+        let second = session.query(&t, &mut index, 3, 10, &opts).unwrap();
+        assert_eq!(first.nodes(), second.nodes());
+        assert!(
+            second.stats().refine_iterations <= first.stats().refine_iterations,
+            "second query should reuse refinements: {} vs {}",
+            second.stats().refine_iterations,
+            first.stats().refine_iterations
+        );
+    }
+
+    #[test]
+    fn stats_are_internally_consistent() {
+        let g = toy();
+        let t = TransitionMatrix::new(&g);
+        let mut index = ReverseIndex::build(&t, toy_index_config()).unwrap();
+        let mut session = QueryEngine::new(&index);
+        let r = session.query(&t, &mut index, 1, 2, &QueryOptions::default()).unwrap();
+        let s = r.stats();
+        assert_eq!(s.candidates + s.pruned_by_lower_bound, 6);
+        assert!(s.hits <= s.candidates);
+        assert!(r.len() <= s.candidates);
+        assert!(s.pmpn_iterations > 0);
+        assert!(s.total_seconds >= s.pmpn_seconds);
+    }
+
+    #[test]
+    fn rejects_invalid_queries() {
+        let g = toy();
+        let t = TransitionMatrix::new(&g);
+        let mut index = ReverseIndex::build(&t, toy_index_config()).unwrap();
+        let mut session = QueryEngine::new(&index);
+        let opts = QueryOptions::default();
+        assert!(matches!(
+            session.query(&t, &mut index, 0, 0, &opts),
+            Err(QueryError::KOutOfRange { k: 0, max_k: 3 })
+        ));
+        assert!(matches!(
+            session.query(&t, &mut index, 0, 4, &opts),
+            Err(QueryError::KOutOfRange { k: 4, max_k: 3 })
+        ));
+        assert!(matches!(
+            session.query(&t, &mut index, 6, 1, &opts),
+            Err(QueryError::NodeOutOfRange { node: 6, node_count: 6 })
+        ));
+    }
+
+    #[test]
+    fn rejects_mismatched_graph() {
+        // Session built against a 3-node graph + its index, then handed the
+        // 6-node toy index: the query must fail cleanly.
+        let g = toy();
+        let t = TransitionMatrix::new(&g);
+        let mut index6 = ReverseIndex::build(&t, toy_index_config()).unwrap();
+        let other =
+            GraphBuilder::from_edges(3, &[(0, 1), (1, 2), (2, 0)], DanglingPolicy::Error).unwrap();
+        let t2 = TransitionMatrix::new(&other);
+        let config3 = IndexConfig {
+            max_k: 3,
+            hub_selection: HubSelection::DegreeBased { b: 1 },
+            threads: 1,
+            ..Default::default()
+        };
+        let index3 = ReverseIndex::build(&t2, config3).unwrap();
+        let mut session = QueryEngine::new(&index3);
+        assert!(matches!(
+            session.query(&t2, &mut index6, 0, 1, &QueryOptions::default()),
+            Err(QueryError::GraphMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn approximate_mode_returns_a_high_recall_subset() {
+        let g = rtk_graph::gen::rmat(&rtk_graph::gen::RmatConfig::new(300, 1200, 77)).unwrap();
+        let t = TransitionMatrix::new(&g);
+        let config = IndexConfig {
+            max_k: 10,
+            hub_selection: HubSelection::DegreeBased { b: 10 },
+            threads: 1,
+            ..Default::default()
+        };
+        let mut index = ReverseIndex::build(&t, config).unwrap();
+        let mut session = QueryEngine::new(&index);
+        let approx_opts = QueryOptions { approximate: true, ..Default::default() };
+        let mut exact_total = 0usize;
+        let mut approx_total = 0usize;
+        for q in (0..300u32).step_by(29) {
+            let approx = session.query_frozen(&t, &index, q, 10, &approx_opts).unwrap();
+            let exact = session
+                .query(&t, &mut index, q, 10, &QueryOptions::default())
+                .unwrap();
+            // Approximate results are always a subset of the exact answer …
+            for u in approx.nodes() {
+                assert!(exact.contains(*u), "q={q}: {u} not in exact result");
+            }
+            // … and never refine anything.
+            assert_eq!(approx.stats().refined_nodes, 0);
+            assert_eq!(approx.stats().refine_iterations, 0);
+            exact_total += exact.len();
+            approx_total += approx.len();
+        }
+        // Recall should be substantial on web-like graphs (paper: hits ≈
+        // results on the web datasets).
+        assert!(
+            approx_total * 2 >= exact_total,
+            "approximate recall too low: {approx_total}/{exact_total}"
+        );
+    }
+
+    #[test]
+    fn every_node_as_query_covers_graph_k_times() {
+        // Σ_q |reverse-top-k(q)| = n·k (each node's top-k contributes once
+        // per member) — a strong global consistency check of OQ.
+        let g = toy();
+        let t = TransitionMatrix::new(&g);
+        let mut index = ReverseIndex::build(&t, toy_index_config()).unwrap();
+        let mut session = QueryEngine::new(&index);
+        let k = 2;
+        let total: usize = (0..6u32)
+            .map(|q| {
+                session.query(&t, &mut index, q, k, &QueryOptions::default()).unwrap().len()
+            })
+            .sum();
+        assert_eq!(total, 6 * k);
+    }
+}

@@ -1,0 +1,36 @@
+//! Random-walk-with-restart proximity engines.
+//!
+//! Implements every proximity computation the paper builds on:
+//!
+//! * [`power`] — the forward power method solving
+//!   `p_u = (1−α)·A·p_u + α·e_u` (Eq. 1/12), plus PageRank and personalized
+//!   PageRank through the same operator (Eq. 3);
+//! * [`pmpn`] — **Power Method for Proximity to Node** (Alg. 2): the paper's
+//!   novel result that the *row* `p_{q,*}` of the proximity matrix is
+//!   computable by iterating on `Aᵀ` with convergence rate `1−α` (Thm. 2);
+//! * [`bca`] — the Bookmark Coloring Algorithm: Berkhin's single-node
+//!   propagation, the threshold variant, and the paper's batched adaptation
+//!   (Eqs. 8–9) with hub ink accumulation (Eq. 6) and resumable snapshots;
+//! * [`monte_carlo`] — the MC End-Point and MC Complete-Path estimators the
+//!   paper discusses as (non-lower-bounding) alternatives (§6.2);
+//! * [`hubs`] — degree-based hub selection (§4.1.1) and Berkhin's greedy
+//!   BCA-driven selection as an ablation baseline;
+//! * [`exact`] — a dense Gaussian-elimination oracle for small graphs, used
+//!   by tests to validate every iterative engine.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bca;
+pub mod exact;
+pub mod hubs;
+pub mod monte_carlo;
+pub mod params;
+pub mod pmpn;
+pub mod power;
+
+pub use bca::{BcaEngine, BcaSnapshot, BcaStop, PropagationStrategy};
+pub use hubs::HubSet;
+pub use params::{BcaParams, RwrParams};
+pub use pmpn::proximity_to;
+pub use power::{pagerank, personalized_pagerank, proximity_from};

@@ -1,0 +1,206 @@
+//! Monte Carlo RWR estimators (paper §6.2, after Fogaras et al. and
+//! Avrachenkov et al.).
+//!
+//! Both simulate restart-terminated walks from the source:
+//!
+//! * **MC End Point** estimates `p_u(v)` as the fraction of walks that *end*
+//!   at `v` (a walk ends when the restart coin with probability `α` fires);
+//! * **MC Complete Path** counts *every visit* to `v` and scales by `α`,
+//!   using `E[visits to v] = p_u(v)/α` — strictly lower variance per walk.
+//!
+//! The paper's index cannot be built on these (they are unbiased estimates,
+//! not lower bounds — §6.1), but they serve as fast approximate baselines and
+//! as statistical cross-checks in the test suite.
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use rtk_graph::TransitionMatrix;
+
+/// Parameters for the Monte Carlo estimators.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct McParams {
+    /// Restart probability `α`.
+    pub alpha: f64,
+    /// Number of simulated walks.
+    pub walks: u32,
+    /// Hard cap on a single walk's length (the geometric tail is unbounded;
+    /// `1/α · 50` comfortably exceeds any mass that matters).
+    pub max_steps: u32,
+    /// RNG seed (estimates are deterministic given the seed).
+    pub seed: u64,
+}
+
+impl Default for McParams {
+    fn default() -> Self {
+        Self { alpha: 0.15, walks: 10_000, max_steps: 2_000, seed: 0 }
+    }
+}
+
+impl McParams {
+    fn validate(&self) {
+        assert!(self.alpha > 0.0 && self.alpha < 1.0, "McParams: alpha in (0,1)");
+        assert!(self.walks > 0, "McParams: need at least one walk");
+        assert!(self.max_steps > 0, "McParams: need at least one step");
+    }
+}
+
+/// Samples one transition out of `node` according to the transition
+/// probabilities (linear scan of the out-edges; fine for simulation use).
+fn step(transition: &TransitionMatrix<'_>, node: u32, rng: &mut StdRng) -> u32 {
+    let targets = transition.graph().out_neighbors(node);
+    let probs = transition.out_probs(node);
+    debug_assert!(!targets.is_empty(), "dangling node reached during walk");
+    let mut roll: f64 = rng.gen();
+    for (&t, &p) in targets.iter().zip(probs) {
+        if roll < p {
+            return t;
+        }
+        roll -= p;
+    }
+    // Floating-point slack: land on the last target.
+    *targets.last().expect("non-empty out list")
+}
+
+/// MC End Point: `p̂_u(v)` = fraction of walks ending at `v`.
+pub fn mc_end_point(transition: &TransitionMatrix<'_>, u: u32, params: &McParams) -> Vec<f64> {
+    params.validate();
+    let n = transition.node_count();
+    assert!((u as usize) < n, "mc_end_point: node {u} out of range");
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut counts = vec![0u64; n];
+    for _ in 0..params.walks {
+        let mut at = u;
+        for _ in 0..params.max_steps {
+            if rng.gen_bool(params.alpha) {
+                break;
+            }
+            at = step(transition, at, &mut rng);
+        }
+        counts[at as usize] += 1;
+    }
+    counts.iter().map(|&c| c as f64 / params.walks as f64).collect()
+}
+
+/// MC Complete Path: `p̂_u(v)` = `α ×` average visits to `v` per walk.
+pub fn mc_complete_path(
+    transition: &TransitionMatrix<'_>,
+    u: u32,
+    params: &McParams,
+) -> Vec<f64> {
+    params.validate();
+    let n = transition.node_count();
+    assert!((u as usize) < n, "mc_complete_path: node {u} out of range");
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut visits = vec![0u64; n];
+    for _ in 0..params.walks {
+        let mut at = u;
+        visits[at as usize] += 1;
+        for _ in 0..params.max_steps {
+            if rng.gen_bool(params.alpha) {
+                break;
+            }
+            at = step(transition, at, &mut rng);
+            visits[at as usize] += 1;
+        }
+    }
+    let scale = params.alpha / params.walks as f64;
+    visits.iter().map(|&c| c as f64 * scale).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::RwrParams;
+    use crate::power::proximity_from;
+    use rtk_graph::{DanglingPolicy, DiGraph, GraphBuilder};
+
+    fn toy() -> DiGraph {
+        GraphBuilder::from_edges(
+            6,
+            &[
+                (0, 1), (0, 3), (0, 5),
+                (1, 0), (1, 2),
+                (2, 0), (2, 1),
+                (3, 1), (3, 4),
+                (4, 1),
+                (5, 1), (5, 3),
+            ],
+            DanglingPolicy::Error,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn estimates_are_deterministic_per_seed() {
+        let g = toy();
+        let t = TransitionMatrix::new(&g);
+        let p = McParams { walks: 500, ..Default::default() };
+        assert_eq!(mc_end_point(&t, 0, &p), mc_end_point(&t, 0, &p));
+        assert_eq!(mc_complete_path(&t, 0, &p), mc_complete_path(&t, 0, &p));
+    }
+
+    #[test]
+    fn end_point_estimates_are_distributions() {
+        let g = toy();
+        let t = TransitionMatrix::new(&g);
+        let est = mc_end_point(&t, 2, &McParams { walks: 1_000, ..Default::default() });
+        assert!((est.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(est.iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn both_estimators_approach_ground_truth() {
+        let g = toy();
+        let t = TransitionMatrix::new(&g);
+        let (truth, _) = proximity_from(&t, 0, &RwrParams::default());
+        let p = McParams { walks: 200_000, seed: 17, ..Default::default() };
+        let ep = mc_end_point(&t, 0, &p);
+        let cp = mc_complete_path(&t, 0, &p);
+        for v in 0..6 {
+            assert!((ep[v] - truth[v]).abs() < 0.01, "end-point v={v}: {} vs {}", ep[v], truth[v]);
+            assert!((cp[v] - truth[v]).abs() < 0.01, "complete v={v}: {} vs {}", cp[v], truth[v]);
+        }
+    }
+
+    #[test]
+    fn complete_path_has_lower_error_than_end_point() {
+        // With matched walk budgets, the visit-counting estimator should land
+        // closer to the truth in aggregate (its per-walk information is
+        // higher). Aggregate L1 over a few seeds to avoid flakiness.
+        let g = toy();
+        let t = TransitionMatrix::new(&g);
+        let (truth, _) = proximity_from(&t, 3, &RwrParams::default());
+        let mut err_ep = 0.0;
+        let mut err_cp = 0.0;
+        for seed in 0..5 {
+            let p = McParams { walks: 5_000, seed, ..Default::default() };
+            let ep = mc_end_point(&t, 3, &p);
+            let cp = mc_complete_path(&t, 3, &p);
+            err_ep += rtk_sparse::dense::l1_distance(&ep, &truth);
+            err_cp += rtk_sparse::dense::l1_distance(&cp, &truth);
+        }
+        assert!(err_cp < err_ep, "complete-path {err_cp} vs end-point {err_ep}");
+    }
+
+    #[test]
+    fn respects_weighted_transitions() {
+        // 0 -> 1 with weight 9, 0 -> 2 with weight 1: walks overwhelmingly
+        // visit 1.
+        let mut b = GraphBuilder::new(3);
+        b.add_weighted_edge(0, 1, 9.0).unwrap();
+        b.add_weighted_edge(0, 2, 1.0).unwrap();
+        b.add_edge(1, 0).unwrap();
+        b.add_edge(2, 0).unwrap();
+        let g = b.build(DanglingPolicy::Error).unwrap();
+        let t = TransitionMatrix::new(&g);
+        let est = mc_complete_path(&t, 0, &McParams { walks: 20_000, ..Default::default() });
+        assert!(est[1] > 4.0 * est[2], "p(1)={} p(2)={}", est[1], est[2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_source() {
+        let g = toy();
+        let t = TransitionMatrix::new(&g);
+        mc_end_point(&t, 9, &McParams::default());
+    }
+}

@@ -1,0 +1,222 @@
+//! Forward power-method solvers (Eq. 12 and Eq. 3 of the paper).
+
+use crate::params::RwrParams;
+use rtk_graph::TransitionMatrix;
+use rtk_sparse::dense;
+
+/// Convergence report attached to every solver result.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SolveReport {
+    /// Iterations actually performed.
+    pub iterations: u32,
+    /// Final L1 distance between the last two iterates.
+    pub final_delta: f64,
+    /// Whether `final_delta < ε` was reached within the iteration cap.
+    pub converged: bool,
+}
+
+/// Computes the proximity vector `p_u` — column `u` of the proximity matrix
+/// `P` — by the iteration `x ← (1−α)·A·x + α·e_u` (Eq. 12).
+///
+/// Returns the vector and a [`SolveReport`]. The result is non-negative and
+/// sums to 1 (up to `ε`).
+pub fn proximity_from(
+    transition: &TransitionMatrix<'_>,
+    u: u32,
+    params: &RwrParams,
+) -> (Vec<f64>, SolveReport) {
+    params.validate();
+    let n = transition.node_count();
+    assert!((u as usize) < n, "proximity_from: node {u} out of range");
+    let mut restart = vec![0.0; n];
+    restart[u as usize] = 1.0;
+    solve_forward(transition, &restart, params)
+}
+
+/// Computes the global PageRank vector `pr = P·e/n` (Eq. 3): the stationary
+/// distribution of a walk restarting uniformly.
+pub fn pagerank(transition: &TransitionMatrix<'_>, params: &RwrParams) -> (Vec<f64>, SolveReport) {
+    params.validate();
+    let n = transition.node_count();
+    let restart = vec![1.0 / n as f64; n];
+    solve_forward(transition, &restart, params)
+}
+
+/// Computes a personalized PageRank vector `ppr_v = P·v` (Eq. 3) for an
+/// arbitrary restart distribution `v` (non-negative, summing to 1).
+pub fn personalized_pagerank(
+    transition: &TransitionMatrix<'_>,
+    restart: &[f64],
+    params: &RwrParams,
+) -> (Vec<f64>, SolveReport) {
+    params.validate();
+    assert_eq!(restart.len(), transition.node_count(), "restart length mismatch");
+    assert!(restart.iter().all(|&v| v >= 0.0), "restart must be non-negative");
+    let sum: f64 = restart.iter().sum();
+    assert!((sum - 1.0).abs() < 1e-9, "restart must sum to 1, got {sum}");
+    solve_forward(transition, restart, params)
+}
+
+/// Shared iteration: `x ← (1−α)·A·x + α·restart` until the L1 step-change
+/// drops below `ε`. The restart vector is folded in densely, so this handles
+/// unit, uniform, and arbitrary personalization alike.
+fn solve_forward(
+    transition: &TransitionMatrix<'_>,
+    restart: &[f64],
+    params: &RwrParams,
+) -> (Vec<f64>, SolveReport) {
+    let n = transition.node_count();
+    let damp = 1.0 - params.alpha;
+    let mut x = restart.to_vec();
+    let mut y = vec![0.0; n];
+    let mut iterations = 0;
+    let mut delta = f64::INFINITY;
+    while iterations < params.max_iterations {
+        // y = (1-α) A x + α restart, via the CSC gather.
+        for v in 0..n as u32 {
+            let sources = transition.graph().in_neighbors(v);
+            let probs = transition.in_probs(v);
+            let mut acc = 0.0;
+            for (&s, &p) in sources.iter().zip(probs) {
+                acc += p * x[s as usize];
+            }
+            y[v as usize] = damp * acc + params.alpha * restart[v as usize];
+        }
+        iterations += 1;
+        delta = dense::l1_distance(&x, &y);
+        std::mem::swap(&mut x, &mut y);
+        if delta < params.epsilon {
+            break;
+        }
+    }
+    let converged = delta < params.epsilon;
+    (x, SolveReport { iterations, final_delta: delta, converged })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtk_graph::{DanglingPolicy, GraphBuilder};
+
+    fn toy() -> rtk_graph::DiGraph {
+        GraphBuilder::from_edges(
+            6,
+            &[
+                (0, 1), (0, 3), (0, 5),
+                (1, 0), (1, 2),
+                (2, 0), (2, 1),
+                (3, 1), (3, 4),
+                (4, 1),
+                (5, 1), (5, 3),
+            ],
+            DanglingPolicy::Error,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn reproduces_paper_figure_1_matrix() {
+        // Column-by-column check of Figure 1's proximity matrix (2 decimals).
+        let g = toy();
+        let t = TransitionMatrix::new(&g);
+        let params = RwrParams::default();
+        let expected: [[f64; 6]; 6] = [
+            [0.32, 0.28, 0.12, 0.13, 0.06, 0.09],
+            [0.24, 0.39, 0.17, 0.10, 0.04, 0.07],
+            [0.24, 0.29, 0.27, 0.10, 0.04, 0.07],
+            [0.19, 0.31, 0.13, 0.23, 0.10, 0.05],
+            [0.20, 0.33, 0.14, 0.08, 0.18, 0.06],
+            [0.18, 0.30, 0.13, 0.14, 0.06, 0.20],
+        ];
+        for u in 0..6u32 {
+            let (p, report) = proximity_from(&t, u, &params);
+            assert!(report.converged);
+            for v in 0..6 {
+                assert!(
+                    (p[v] - expected[u as usize][v]).abs() < 5e-3,
+                    "p_{}({}) = {} vs paper {}",
+                    u + 1,
+                    v + 1,
+                    p[v],
+                    expected[u as usize][v]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn proximity_vector_is_a_distribution() {
+        let g = toy();
+        let t = TransitionMatrix::new(&g);
+        let (p, _) = proximity_from(&t, 3, &RwrParams::default());
+        assert!(p.iter().all(|&v| v >= 0.0));
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn restart_node_dominates_with_high_alpha() {
+        let g = toy();
+        let t = TransitionMatrix::new(&g);
+        let (p, _) = proximity_from(&t, 2, &RwrParams::with_alpha(0.9));
+        let max = rtk_sparse::dense::argmax(&p).unwrap();
+        assert_eq!(max, 2);
+        assert!(p[2] > 0.9);
+    }
+
+    #[test]
+    fn pagerank_averages_columns() {
+        let g = toy();
+        let t = TransitionMatrix::new(&g);
+        let params = RwrParams::default();
+        let (pr, _) = pagerank(&t, &params);
+        let mut avg = [0.0; 6];
+        for u in 0..6u32 {
+            let (p, _) = proximity_from(&t, u, &params);
+            for v in 0..6 {
+                avg[v] += p[v] / 6.0;
+            }
+        }
+        for v in 0..6 {
+            assert!((pr[v] - avg[v]).abs() < 1e-7, "pagerank({v})");
+        }
+    }
+
+    #[test]
+    fn personalized_pagerank_matches_mixture() {
+        let g = toy();
+        let t = TransitionMatrix::new(&g);
+        let params = RwrParams::default();
+        let restart = [0.5, 0.0, 0.0, 0.5, 0.0, 0.0];
+        let (ppr, _) = personalized_pagerank(&t, &restart, &params);
+        let (p0, _) = proximity_from(&t, 0, &params);
+        let (p3, _) = proximity_from(&t, 3, &params);
+        for v in 0..6 {
+            assert!((ppr[v] - 0.5 * (p0[v] + p3[v])).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn iteration_count_respects_theorem_bound() {
+        let g = toy();
+        let t = TransitionMatrix::new(&g);
+        let params = RwrParams::default();
+        let (_, report) = proximity_from(&t, 0, &params);
+        assert!(report.iterations <= params.iteration_bound() + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range_node() {
+        let g = toy();
+        let t = TransitionMatrix::new(&g);
+        proximity_from(&t, 99, &RwrParams::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 1")]
+    fn rejects_unnormalized_restart() {
+        let g = toy();
+        let t = TransitionMatrix::new(&g);
+        personalized_pagerank(&t, &[0.5; 6], &RwrParams::default());
+    }
+}

@@ -1,0 +1,30 @@
+//! Numeric substrate for the reverse top-k RWR library.
+//!
+//! This crate provides the small, allocation-conscious building blocks shared
+//! by every other crate in the workspace:
+//!
+//! * [`dense`] — kernels over dense `f64` slices (norms, axpy, argmax, …);
+//! * [`SparseVector`] — a compact sorted `(index, value)` vector used to store
+//!   per-node Bookmark-Coloring state (residues, retained ink, hub ink);
+//! * [`EpochScratch`] — a dense accumulator with *O(touched)* reset, the
+//!   workhorse behind batch ink propagation;
+//! * [`topk`] — descending top-K selection and maintenance;
+//! * [`codec`] — a minimal versioned little-endian binary codec used for graph
+//!   and index persistence (hand-rolled instead of serde: byte-level control,
+//!   no derive machinery, round-trip tested).
+//!
+//! Everything here is deliberately independent of graph types: indices are
+//! plain `usize`/`u32` and values are `f64`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod dense;
+pub mod scratch;
+pub mod sparse_vec;
+pub mod topk;
+
+pub use scratch::EpochScratch;
+pub use sparse_vec::SparseVector;
+pub use topk::{top_k_of_dense, top_k_of_pairs, DescendingTopK};

@@ -1,0 +1,55 @@
+//! Quickstart: build an engine over the paper's toy graph, run forward and
+//! reverse top-k queries, and walk through the paper's §4.2.3 example.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use reverse_topk_rwr::prelude::*;
+
+fn main() -> Result<(), EngineError> {
+    // The 6-node running example of the paper (Figure 1), recovered exactly.
+    let graph = toy_graph();
+    println!(
+        "graph: {} nodes, {} edges",
+        graph.node_count(),
+        graph.edge_count()
+    );
+
+    // Build the offline index: K = 3, hubs = top-1 in-degree ∪ top-1
+    // out-degree (= nodes 1 and 2 in the paper's 1-based ids).
+    let mut engine = ReverseTopkEngine::builder(graph)
+        .max_k(3)
+        .hubs_per_direction(1)
+        .residue_threshold(0.8) // the δ used by the paper's Figure 2
+        .build()?;
+    println!(
+        "index: {} hubs, built in {:.3}s",
+        engine.index_stats().hub_count,
+        engine.index_stats().total_seconds
+    );
+
+    // Forward top-2 from node 3 (1-based) — the paper's Figure 1 shading
+    // says nodes 2 and 3.
+    let top = engine.top_k(NodeId(2), 2)?;
+    println!("\ntop-2 proximity set of node 3 (1-based):");
+    for (node, p) in &top {
+        println!("  node {} with proximity {:.3}", node.0 + 1, p);
+    }
+
+    // The paper's running reverse query: q = node 1 (1-based), k = 2.
+    let result = engine.query(NodeId(0), 2)?;
+    println!("\nreverse top-2 of node 1 (1-based):");
+    for (node, p) in result.nodes().iter().zip(result.proximities()) {
+        println!("  node {} ranks it with proximity {:.3}", node + 1, p);
+    }
+    let s = result.stats();
+    println!(
+        "stats: {} candidates, {} immediate hits, {} pruned by lower bound, {} refined",
+        s.candidates, s.hits, s.pruned_by_lower_bound, s.refined_nodes
+    );
+
+    assert_eq!(result.nodes(), &[0, 1, 4], "paper §4.2.3 expects {{1, 2, 5}}");
+    println!("\nmatches the paper's §4.2.3 walkthrough: result = {{1, 2, 5}} ✓");
+    Ok(())
+}

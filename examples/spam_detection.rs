@@ -1,0 +1,93 @@
+//! Spam detection via reverse top-k search (paper §5.4, first study).
+//!
+//! A suspected host's reverse top-k set — the hosts that give it one of
+//! their top-k PageRank contributions — is dominated by spam when the host
+//! is spam and by normal hosts when it is normal. This example reproduces
+//! that finding on the synthetic Webspam analogue and classifies a few
+//! "suspect" hosts by the spam ratio of their reverse top-5 sets.
+//!
+//! ```sh
+//! cargo run --release --example spam_detection
+//! ```
+
+use rand::seq::SliceRandom;
+use rand::{rngs::StdRng, SeedableRng};
+use reverse_topk_rwr::datasets::{webspam_sim, HostLabel, WebspamConfig};
+use reverse_topk_rwr::prelude::*;
+
+fn main() -> Result<(), EngineError> {
+    // A smaller instance than the harness uses, to keep the example snappy.
+    let dataset = webspam_sim(&WebspamConfig { nodes: 2_000, ..Default::default() });
+    let labels = dataset.labels.clone();
+    println!(
+        "host graph: {} hosts ({} spam, {} normal), {} links",
+        dataset.graph.node_count(),
+        dataset.nodes_with(HostLabel::Spam).len(),
+        dataset.nodes_with(HostLabel::Normal).len(),
+        dataset.graph.edge_count()
+    );
+
+    let spam_hosts = dataset.nodes_with(HostLabel::Spam);
+    let normal_hosts = dataset.nodes_with(HostLabel::Normal);
+
+    let mut engine = ReverseTopkEngine::builder(dataset.graph)
+        .max_k(5)
+        .hubs_per_direction(40)
+        .build()?;
+    println!("index built in {:.2}s\n", engine.index_stats().total_seconds);
+
+    // Sample suspects of each kind and measure the spam ratio of their
+    // reverse top-5 sets.
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut audit = |name: &str, hosts: &[u32], rng: &mut StdRng| -> Result<f64, EngineError> {
+        let sample: Vec<u32> = hosts.choose_multiple(rng, 40).copied().collect();
+        let mut ratio_sum = 0.0;
+        let mut counted = 0usize;
+        for &q in &sample {
+            let result = engine.query(NodeId(q), 5)?;
+            let others: Vec<u32> =
+                result.nodes().iter().copied().filter(|&u| u != q).collect();
+            if others.is_empty() {
+                continue;
+            }
+            let spam_in = others
+                .iter()
+                .filter(|&&u| labels[u as usize] == HostLabel::Spam)
+                .count();
+            ratio_sum += spam_in as f64 / others.len() as f64;
+            counted += 1;
+        }
+        let avg = 100.0 * ratio_sum / counted.max(1) as f64;
+        println!("avg spam share in reverse top-5 of {name} hosts: {avg:.1}%");
+        Ok(avg)
+    };
+
+    let spam_ratio = audit("spam", &spam_hosts, &mut rng)?;
+    let normal_ratio = audit("normal", &normal_hosts, &mut rng)?;
+
+    println!(
+        "\n(paper reports 96.1% spam-in-spam and 2.6% spam-in-normal on Webspam-uk2006)"
+    );
+    assert!(
+        spam_ratio > 70.0 && normal_ratio < 30.0,
+        "reverse top-k should separate the classes"
+    );
+
+    // Classify a few unlabeled "suspects" the way the paper suggests.
+    println!("\nclassifying 5 undecided hosts by their reverse top-5 spam share:");
+    let undecided = (0..labels.len() as u32)
+        .filter(|&u| labels[u as usize] == HostLabel::Undecided)
+        .take(5);
+    for q in undecided {
+        let result = engine.query(NodeId(q), 5)?;
+        let others: Vec<u32> = result.nodes().iter().copied().filter(|&u| u != q).collect();
+        let spam_in = others
+            .iter()
+            .filter(|&&u| labels[u as usize] == HostLabel::Spam)
+            .count();
+        let share = 100.0 * spam_in as f64 / others.len().max(1) as f64;
+        let verdict = if share > 50.0 { "likely SPAM" } else { "likely normal" };
+        println!("  host {q}: {share:.0}% spam contributors -> {verdict}");
+    }
+    Ok(())
+}

@@ -1,0 +1,50 @@
+//! # reverse-topk-rwr
+//!
+//! A production-quality reproduction of *"Reverse Top-k Search using Random
+//! Walk with Restart"* (Yu, Mamoulis, Su — PVLDB 7(5), VLDB 2014).
+//!
+//! Given a directed graph and a query node `q`, a **reverse top-k query**
+//! returns every node `u` that has `q` among its `k` highest random-walk-
+//! with-restart (RWR) proximities. This workspace implements the paper's
+//! full framework:
+//!
+//! * an offline, resumable **lower-bound index** built by a batched Bookmark
+//!   Coloring Algorithm with degree-selected hubs (paper §4.1);
+//! * **PMPN**, the power method computing exact proximities *to* a node
+//!   (paper §4.2.1, Theorem 2);
+//! * the **online query algorithm** with staircase upper bounds, candidate
+//!   refinement and dynamic index updates (paper §4.2.2–4.2.3);
+//! * exact baselines (IBF / FBF), Monte Carlo estimators, and deterministic
+//!   synthetic dataset generators mirroring the paper's evaluation graphs.
+//!
+//! This facade crate re-exports the whole public API; see the `examples/`
+//! directory for end-to-end walkthroughs and `crates/bench` for the
+//! experiment harness regenerating every table and figure of the paper.
+//!
+//! ```
+//! use reverse_topk_rwr::prelude::*;
+//!
+//! // The 6-node toy graph from Figure 1 of the paper.
+//! let graph = toy_graph();
+//! let mut engine = ReverseTopkEngine::builder(graph)
+//!     .max_k(3)
+//!     .hubs_per_direction(1)
+//!     .build()
+//!     .expect("toy engine");
+//!
+//! // Nodes 1, 2 and 5 (1-based; 0, 1, 4 here) rank node 1 in their top-2.
+//! let result = engine.query(NodeId(0), 2).expect("query");
+//! assert_eq!(result.nodes(), &[0, 1, 4]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use rtk_core::*;
+pub use rtk_datasets as datasets;
+
+/// Convenience prelude: the facade types plus the toy-graph fixture.
+pub mod prelude {
+    pub use rtk_core::prelude::*;
+    pub use rtk_datasets::toy_graph;
+}

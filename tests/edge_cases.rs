@@ -1,0 +1,200 @@
+//! Degenerate and boundary inputs across the whole stack: the situations a
+//! downstream user will eventually hit.
+
+use reverse_topk_rwr::prelude::*;
+use rtk_graph::TransitionMatrix;
+use rtk_index::{HubSelection, ReverseIndex};
+use rtk_query::baseline::brute_force_reverse_topk;
+use rtk_query::{QueryEngine, QueryOptions};
+use rtk_rwr::RwrParams;
+
+fn engine_for(graph: DiGraph, max_k: usize, b: usize) -> ReverseTopkEngine {
+    ReverseTopkEngine::builder(graph)
+        .max_k(max_k)
+        .hubs_per_direction(b)
+        .threads(1)
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn singleton_graph_with_self_loop() {
+    let g = GraphBuilder::from_edges(1, &[(0, 0)], DanglingPolicy::Error).unwrap();
+    let mut engine = engine_for(g, 1, 1);
+    let r = engine.query(NodeId(0), 1).unwrap();
+    assert_eq!(r.nodes(), &[0]);
+    assert!((r.proximities()[0] - 1.0).abs() < 1e-9);
+}
+
+#[test]
+fn two_node_cycle() {
+    let g = GraphBuilder::from_edges(2, &[(0, 1), (1, 0)], DanglingPolicy::Error).unwrap();
+    let mut engine = engine_for(g, 2, 1);
+    // k = 1: each node's own proximity dominates; reverse top-1 of q = {q}.
+    assert_eq!(engine.query(NodeId(0), 1).unwrap().nodes(), &[0]);
+    // k = 2 = n: everyone has everyone.
+    assert_eq!(engine.query(NodeId(0), 2).unwrap().nodes(), &[0, 1]);
+    assert_eq!(engine.query(NodeId(1), 2).unwrap().nodes(), &[0, 1]);
+}
+
+#[test]
+fn k_equals_n_returns_all_reaching_nodes() {
+    // At k = n every node that can reach q at all (positive proximity) is a
+    // result; unreachable nodes are not (top-k sets only contain reachable
+    // nodes). Cross-check against the brute-force oracle.
+    let g = rtk_graph::gen::rmat(&rtk_graph::gen::RmatConfig::new(40, 160, 3)).unwrap();
+    let n = g.node_count();
+    let t = TransitionMatrix::new(&g);
+    let expected = brute_force_reverse_topk(&t, 7, n, &RwrParams::default());
+    let mut engine = engine_for(g, n, 5);
+    let r = engine.query(NodeId(7), n).unwrap();
+    assert_eq!(r.nodes(), &expected[..]);
+    assert!(r.proximities().iter().all(|&p| p > 0.0));
+}
+
+#[test]
+fn disconnected_components_never_cross() {
+    // Two 3-cycles with no edges between them.
+    let g = GraphBuilder::from_edges(
+        6,
+        &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)],
+        DanglingPolicy::Error,
+    )
+    .unwrap();
+    let t = TransitionMatrix::new(&g);
+    let config = rtk_index::IndexConfig {
+        max_k: 3,
+        hub_selection: HubSelection::DegreeBased { b: 1 },
+        threads: 1,
+        ..Default::default()
+    };
+    let mut index = ReverseIndex::build(&t, config).unwrap();
+    let mut session = QueryEngine::new(&index);
+    // Reverse top-2 of node 0 must stay inside its component…
+    let r = session.query(&t, &mut index, 0, 2, &QueryOptions::default()).unwrap();
+    assert!(r.nodes().iter().all(|&u| u < 3), "crossed components: {:?}", r.nodes());
+    // …and match brute force.
+    let bf = brute_force_reverse_topk(&t, 0, 2, &RwrParams::default());
+    assert_eq!(r.nodes(), &bf[..]);
+}
+
+#[test]
+fn star_graph_hub_dominates() {
+    // Everyone points at node 0; node 0 points at node 1.
+    let mut b = GraphBuilder::new(8);
+    for u in 1..8u32 {
+        b.add_edge(u, 0).unwrap();
+    }
+    b.add_edge(0, 1).unwrap();
+    let g = b.build(DanglingPolicy::Error).unwrap();
+    let mut engine = engine_for(g, 2, 1);
+    // Node 0 is in everyone's top-2.
+    let r = engine.query(NodeId(0), 2).unwrap();
+    assert_eq!(r.len(), 8);
+}
+
+#[test]
+fn all_nodes_are_hubs() {
+    let g = rtk_graph::gen::erdos_renyi(&rtk_graph::gen::ErdosRenyiConfig {
+        nodes: 30,
+        edges: 120,
+        seed: 5,
+    })
+    .unwrap();
+    let t = TransitionMatrix::new(&g);
+    let config = rtk_index::IndexConfig {
+        max_k: 4,
+        hub_selection: HubSelection::DegreeBased { b: 30 }, // every node
+        threads: 1,
+        ..Default::default()
+    };
+    let mut index = ReverseIndex::build(&t, config).unwrap();
+    assert_eq!(index.hub_matrix().hub_count(), 30);
+    let mut session = QueryEngine::new(&index);
+    let bf = brute_force_reverse_topk(&t, 3, 4, &RwrParams::default());
+    let r = session.query(&t, &mut index, 3, 4, &QueryOptions::default()).unwrap();
+    assert_eq!(r.nodes(), &bf[..]);
+}
+
+#[test]
+fn self_loop_heavy_graph() {
+    // Nodes that mostly talk to themselves.
+    let mut b = GraphBuilder::new(5);
+    for u in 0..5u32 {
+        b.add_weighted_edge(u, u, 10.0).unwrap();
+        b.add_edge(u, (u + 1) % 5).unwrap();
+    }
+    let g = b.build(DanglingPolicy::Error).unwrap();
+    let t = TransitionMatrix::new(&g);
+    let config = rtk_index::IndexConfig {
+        max_k: 2,
+        hub_selection: HubSelection::DegreeBased { b: 1 },
+        threads: 1,
+        ..Default::default()
+    };
+    let mut index = ReverseIndex::build(&t, config).unwrap();
+    let mut session = QueryEngine::new(&index);
+    for q in 0..5u32 {
+        let bf = brute_force_reverse_topk(&t, q, 2, &RwrParams::default());
+        let r = session.query(&t, &mut index, q, 2, &QueryOptions::default()).unwrap();
+        assert_eq!(r.nodes(), &bf[..], "q={q}");
+    }
+}
+
+#[test]
+fn extreme_restart_probabilities() {
+    let g = rtk_graph::gen::rmat(&rtk_graph::gen::RmatConfig::new(40, 160, 9)).unwrap();
+    for alpha in [0.01, 0.5, 0.99] {
+        let mut engine = ReverseTopkEngine::builder(g.clone())
+            .restart_probability(alpha)
+            .max_k(3)
+            .hubs_per_direction(3)
+            .threads(1)
+            .build()
+            .unwrap();
+        let t = TransitionMatrix::new(&g);
+        let bf = brute_force_reverse_topk(&t, 5, 3, &RwrParams::with_alpha(alpha));
+        let r = engine.query(NodeId(5), 3).unwrap();
+        assert_eq!(r.nodes(), &bf[..], "alpha={alpha}");
+    }
+}
+
+#[test]
+fn repeated_identical_queries_are_idempotent() {
+    let g = rtk_graph::gen::scale_free(&rtk_graph::gen::ScaleFreeConfig::new(60, 3, 2)).unwrap();
+    let mut engine = engine_for(g, 5, 4);
+    let first = engine.query(NodeId(11), 5).unwrap();
+    for _ in 0..5 {
+        let again = engine.query(NodeId(11), 5).unwrap();
+        assert_eq!(again.nodes(), first.nodes());
+    }
+}
+
+#[test]
+fn unreachable_query_node_yields_only_itself_cluster() {
+    // A sink-ish cluster that nobody points to: reverse sets stay local.
+    let mut b = GraphBuilder::new(6);
+    // main cycle 0-1-2
+    b.add_edge(0, 1).unwrap();
+    b.add_edge(1, 2).unwrap();
+    b.add_edge(2, 0).unwrap();
+    // isolated pair 3<->4 and loner 5 -> 3 (5 unreachable from everyone)
+    b.add_edge(3, 4).unwrap();
+    b.add_edge(4, 3).unwrap();
+    b.add_edge(5, 3).unwrap();
+    let g = b.build(DanglingPolicy::SelfLoop).unwrap();
+    let t = TransitionMatrix::new(&g);
+    let config = rtk_index::IndexConfig {
+        max_k: 2,
+        hub_selection: HubSelection::DegreeBased { b: 1 },
+        threads: 1,
+        ..Default::default()
+    };
+    let mut index = ReverseIndex::build(&t, config).unwrap();
+    let mut session = QueryEngine::new(&index);
+    // Node 5 has no in-edges: only node 5 itself can rank it.
+    let r = session.query(&t, &mut index, 5, 2, &QueryOptions::default()).unwrap();
+    let bf = brute_force_reverse_topk(&t, 5, 2, &RwrParams::default());
+    assert_eq!(r.nodes(), &bf[..]);
+    assert!(r.nodes().iter().all(|&u| u == 5));
+}

@@ -1,0 +1,134 @@
+//! End-to-end reproduction of every number the paper prints for its 6-node
+//! running example: the Figure 1 proximity matrix, the Figure 2 index, and
+//! the §4.2.3 online-query walkthrough.
+
+use reverse_topk_rwr::datasets::{toy_graph, TOY_PROXIMITY_MATRIX};
+use reverse_topk_rwr::prelude::*;
+use rtk_graph::TransitionMatrix;
+use rtk_index::{HubSelection, ReverseIndex};
+use rtk_query::{QueryEngine, QueryOptions};
+use rtk_rwr::{proximity_from, proximity_to, RwrParams};
+
+fn toy_index_config() -> IndexConfig {
+    IndexConfig {
+        max_k: 3,
+        bca: BcaParams { residue_threshold: 0.8, ..Default::default() },
+        hub_selection: HubSelection::DegreeBased { b: 1 },
+        threads: 1,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn figure_1_proximity_matrix_to_print_precision() {
+    let graph = toy_graph();
+    let transition = TransitionMatrix::new(&graph);
+    let params = RwrParams::default();
+    for u in 0..6u32 {
+        let (p, report) = proximity_from(&transition, u, &params);
+        assert!(report.converged);
+        for v in 0..6 {
+            assert!(
+                (p[v] - TOY_PROXIMITY_MATRIX[u as usize][v]).abs() < 5e-3,
+                "p_{}({}) = {:.4} vs printed {}",
+                u + 1,
+                v + 1,
+                p[v],
+                TOY_PROXIMITY_MATRIX[u as usize][v]
+            );
+        }
+    }
+}
+
+#[test]
+fn figure_1_top2_shading() {
+    // "the top-2 query from node 3 returns nodes 2 and 3" (1-based).
+    let graph = toy_graph();
+    let transition = TransitionMatrix::new(&graph);
+    let top = rtk_query::baseline::top_k_rwr(&transition, 2, 2, &RwrParams::default());
+    assert_eq!(top[0].0, 1);
+    assert_eq!(top[1].0, 2);
+}
+
+#[test]
+fn figure_2_index_lower_bounds_and_residues() {
+    let graph = toy_graph();
+    let transition = TransitionMatrix::new(&graph);
+    let index = ReverseIndex::build(&transition, toy_index_config()).unwrap();
+
+    // Hubs are nodes 1, 2 (1-based).
+    assert_eq!(index.hub_matrix().hubs().ids(), &[0, 1]);
+
+    let expected_lb: [[f64; 3]; 6] = [
+        [0.32, 0.28, 0.13],
+        [0.39, 0.24, 0.17],
+        [0.29, 0.27, 0.24],
+        [0.19, 0.17, 0.10],
+        [0.33, 0.20, 0.18],
+        [0.18, 0.17, 0.10],
+    ];
+    for u in 0..6u32 {
+        for k in 1..=3 {
+            assert!(
+                (index.state(u).kth_lower_bound(k) - expected_lb[u as usize][k - 1]).abs() < 5e-3,
+                "p̂_{}({k})",
+                u + 1
+            );
+        }
+    }
+    // ‖r₃‖ = ‖r₅‖ = 0 and ‖r₄‖ = ‖r₆‖ = 0.36.
+    assert!(index.state(2).residue_norm() < 1e-9);
+    assert!(index.state(4).residue_norm() < 1e-9);
+    assert!((index.state(3).residue_norm() - 0.36).abs() < 5e-3);
+    assert!((index.state(5).residue_norm() - 0.36).abs() < 5e-3);
+}
+
+#[test]
+fn section_423_query_walkthrough() {
+    let graph = toy_graph();
+    let transition = TransitionMatrix::new(&graph);
+    let mut index = ReverseIndex::build(&transition, toy_index_config()).unwrap();
+
+    // Step 1: p_{q,*} = [0.32 0.24 0.24 0.19 0.20 0.18] for q = node 1.
+    let (to_q, _) = proximity_to(&transition, 0, &RwrParams::default());
+    let expected = [0.32, 0.24, 0.24, 0.19, 0.20, 0.18];
+    for u in 0..6 {
+        assert!((to_q[u] - expected[u]).abs() < 5e-3, "p_{{q,{}}}", u + 1);
+    }
+
+    // Step 2: the OQ outcome per node.
+    let mut session = QueryEngine::new(&index);
+    let result = session
+        .query(&transition, &mut index, 0, 2, &QueryOptions::default())
+        .unwrap();
+    assert_eq!(result.nodes(), &[0, 1, 4], "result = {{1, 2, 5}} (1-based)");
+    // Node 3 pruned immediately; nodes 4 and 6 pruned after refinement.
+    assert_eq!(result.stats().pruned_by_lower_bound, 1);
+    assert_eq!(result.stats().refined_nodes, 2);
+    // After the update, node 4's second bound is 0.23 as the paper states.
+    assert!((index.state(3).kth_lower_bound(2) - 0.23).abs() < 5e-3);
+}
+
+#[test]
+fn facade_reproduces_the_same_walkthrough() {
+    let mut engine = ReverseTopkEngine::builder(toy_graph())
+        .max_k(3)
+        .hubs_per_direction(1)
+        .residue_threshold(0.8)
+        .build()
+        .unwrap();
+    let result = engine.query(NodeId(0), 2).unwrap();
+    assert_eq!(result.nodes(), &[0, 1, 4]);
+
+    // All six reverse top-2 sets, cross-checked against the shaded matrix.
+    // Column top-2 sets from Figure 1 (0-based; note node 5's second-ranked
+    // neighbour is node 1, 0.20 vs its own 0.18).
+    let top2: [[u32; 2]; 6] =
+        [[0, 1], [1, 0], [1, 2], [1, 3], [1, 0], [1, 5]];
+    for q in 0..6u32 {
+        let expected: Vec<u32> =
+            (0..6u32).filter(|&u| top2[u as usize].contains(&q)).collect();
+        let got = engine.query(NodeId(q), 2).unwrap();
+        assert_eq!(got.nodes(), &expected[..], "reverse top-2 of {}", q + 1);
+    }
+}
