@@ -1,0 +1,78 @@
+//! Criterion micro-bench: the parallel online query hot path.
+//!
+//! Compares SpMV thread counts for PMPN and end-to-end reverse top-k query
+//! latency (frozen index, warmed), plus batch throughput via `query_batch`.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rtk_graph::gen::{rmat, RmatConfig};
+use rtk_graph::TransitionMatrix;
+use rtk_index::{HubSelection, IndexConfig, ReverseIndex};
+use rtk_query::{QueryEngine, QueryOptions};
+use rtk_rwr::{proximity_to, RwrParams};
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
+
+fn bench_parallel_query(c: &mut Criterion) {
+    let graph = rmat(&RmatConfig::new(10_000, 60_000, 42)).unwrap();
+    let transition = TransitionMatrix::new(&graph);
+    let config = IndexConfig {
+        max_k: 100,
+        hub_selection: HubSelection::DegreeBased { b: 50 },
+        ..Default::default()
+    };
+    let index = ReverseIndex::build(&transition, config).unwrap();
+    let mut session = QueryEngine::new(&index);
+    let queries: Vec<u32> = (0..16u32).map(|i| (1 + i * 613) % graph.node_count() as u32).collect();
+
+    let mut group = c.benchmark_group("parallel_query");
+    for threads in THREAD_COUNTS {
+        group.bench_with_input(BenchmarkId::new("pmpn_row", threads), &threads, |b, &threads| {
+            let params = RwrParams::default().with_threads(threads);
+            b.iter(|| black_box(proximity_to(&transition, black_box(queries[0]), &params)))
+        });
+    }
+    for threads in THREAD_COUNTS {
+        group.bench_with_input(
+            BenchmarkId::new("query_frozen_k50", threads),
+            &threads,
+            |b, &threads| {
+                let opts = QueryOptions {
+                    update_index: false,
+                    query_threads: threads,
+                    ..Default::default()
+                };
+                let mut i = 0usize;
+                b.iter(|| {
+                    let q = queries[i % queries.len()];
+                    i += 1;
+                    black_box(session.query_frozen(&transition, &index, q, 50, &opts).unwrap())
+                })
+            },
+        );
+    }
+    group.finish();
+
+    let batch: Vec<(u32, usize)> = queries.iter().map(|&q| (q, 50)).collect();
+    let session = QueryEngine::new(&index);
+    let mut group = c.benchmark_group("query_batch");
+    for threads in THREAD_COUNTS {
+        group.bench_with_input(
+            BenchmarkId::new("batch16_k50", threads),
+            &threads,
+            |b, &threads| {
+                let opts = QueryOptions { query_threads: threads, ..Default::default() };
+                b.iter(|| {
+                    black_box(session.query_batch(&transition, &index, &batch, &opts).unwrap())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_parallel_query
+}
+criterion_main!(benches);

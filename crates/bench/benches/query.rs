@@ -22,8 +22,7 @@ fn bench_query(c: &mut Criterion) {
     // Warm the index once over the measured query cycle: frozen-mode timing
     // would otherwise re-pay the same heavy refinements (R-MAT mega-hub
     // queries) on every iteration and tell us nothing about steady state.
-    let cycle: Vec<u32> =
-        (0..40u32).map(|i| (1 + i * 131) % graph.node_count() as u32).collect();
+    let cycle: Vec<u32> = (0..40u32).map(|i| (1 + i * 131) % graph.node_count() as u32).collect();
     for &q in &cycle {
         let _ = session.query(&transition, &mut index, q, 100, &opts).unwrap();
     }

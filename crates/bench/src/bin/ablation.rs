@@ -123,10 +123,9 @@ fn main() {
     cfg.rounding_threshold = 1e-4;
     let base = ReverseIndex::build(&transition, cfg).expect("index build");
     let mut rows = Vec::new();
-    for (name, mode) in [
-        ("paper-faithful", BoundMode::PaperFaithful),
-        ("strict (sound)", BoundMode::Strict),
-    ] {
+    for (name, mode) in
+        [("paper-faithful", BoundMode::PaperFaithful), ("strict (sound)", BoundMode::Strict)]
+    {
         let mut index = base.clone();
         let mut session = QueryEngine::new(&index);
         let opts = QueryOptions { bound_mode: mode, ..Default::default() };
@@ -137,11 +136,7 @@ fn main() {
             times.push(r.stats().total_seconds);
             fallbacks += r.stats().exact_fallbacks;
         }
-        rows.push(vec![
-            name.to_string(),
-            format!("{:.4}", mean(&times)),
-            fallbacks.to_string(),
-        ]);
+        rows.push(vec![name.to_string(), format!("{:.4}", mean(&times)), fallbacks.to_string()]);
     }
     print_table(&["bound mode", "avg query (s)", "exact fallbacks"], &rows);
 

@@ -66,11 +66,7 @@ fn main() {
     let mut index =
         ReverseIndex::build(&transition, index_config(spec, 20, n)).expect("index build");
     let ours_build = index.stats().total_seconds;
-    println!(
-        "our index: {:.1}s, {:.1} MiB\n",
-        ours_build,
-        mib(index.stats().actual_bytes)
-    );
+    println!("our index: {:.1}s, {:.1} MiB\n", ours_build, mib(index.stats().actual_bytes));
 
     // Cumulative per-query costs at 10 checkpoints.
     let mut session = QueryEngine::new(&index);

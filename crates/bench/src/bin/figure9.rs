@@ -56,9 +56,8 @@ fn main() {
             let mut index = exact_index.clone();
             let mut per_q = Vec::with_capacity(workload.len());
             for &q in &workload {
-                let r = session
-                    .query(&transition, &mut index, q, k, &QueryOptions::default())
-                    .unwrap();
+                let r =
+                    session.query(&transition, &mut index, q, k, &QueryOptions::default()).unwrap();
                 per_q.push(r.nodes().to_vec());
             }
             reference.push(per_q);
@@ -76,9 +75,8 @@ fn main() {
             let mut session = QueryEngine::new(&index);
             let mut sims = Vec::with_capacity(workload.len());
             for (qi, &q) in workload.iter().enumerate() {
-                let r = session
-                    .query(&transition, &mut index, q, k, &QueryOptions::default())
-                    .unwrap();
+                let r =
+                    session.query(&transition, &mut index, q, k, &QueryOptions::default()).unwrap();
                 sims.push(jaccard(r.nodes(), &reference[ki][qi]));
             }
             cells.push(format!("{:.4}", mean(&sims)));

@@ -1,0 +1,180 @@
+//! Parallel query study — serial vs. multi-threaded hot path.
+//!
+//! Measures the three levers of the parallel online query on one generated
+//! R-MAT graph (≥ 100k nodes in `--full` mode):
+//!
+//! 1. **PMPN** — the `Aᵀ·x` power iteration across SpMV thread counts;
+//! 2. **single query** — PMPN + parallel screen (frozen mode) latency;
+//! 3. **batch** — independent-query throughput via `query_batch`.
+//!
+//! Besides the human-readable tables, writes a machine-readable
+//! `BENCH_query.json` into the working directory so successive PRs can track
+//! the perf trajectory.
+//!
+//! ```sh
+//! cargo run --release -p rtk-bench --bin parallel_study            # full
+//! cargo run --release -p rtk-bench --bin parallel_study -- --quick
+//! ```
+
+use rtk_bench::{banner, graph_summary, mean, print_table, query_workload};
+use rtk_graph::gen::{rmat, RmatConfig};
+use rtk_graph::TransitionMatrix;
+use rtk_index::{HubSelection, HubSolver, IndexConfig, ReverseIndex};
+use rtk_query::{QueryEngine, QueryOptions};
+use rtk_rwr::{proximity_to, BcaParams, RwrParams};
+use std::time::Instant;
+
+const K: usize = 50;
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const OUT_PATH: &str = "BENCH_query.json";
+
+fn main() {
+    let args = rtk_bench::Args::parse();
+    let (nodes, edges, queries) = if args.quick {
+        (20_000usize, 120_000usize, args.workload(20, 20))
+    } else {
+        (100_000usize, 600_000usize, args.workload(20, 40))
+    };
+    let seed = 42u64;
+    let cores = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+
+    banner(
+        "Parallel query study",
+        "multi-threaded PMPN + screening (this repo's parallel hot path)",
+        &format!("rmat n={nodes} m={edges} seed={seed}"),
+        &format!("{queries} queries, k={K}, {cores} core(s) available"),
+    );
+
+    let graph = rmat(&RmatConfig::new(nodes, edges, seed)).expect("graph generation");
+    let transition = TransitionMatrix::new(&graph);
+    println!("graph: {}", graph_summary(&graph));
+
+    let config = IndexConfig {
+        max_k: 200,
+        hub_selection: HubSelection::DegreeBased { b: 50 },
+        hub_solver: HubSolver::Bca(BcaParams {
+            alpha: 0.15,
+            propagation_threshold: 1e-7,
+            residue_threshold: 1e-3,
+            max_iterations: 100_000,
+        }),
+        ..Default::default()
+    };
+    let build_t0 = Instant::now();
+    let index = ReverseIndex::build(&transition, config).expect("index build");
+    println!("index built in {:.2}s\n", build_t0.elapsed().as_secs_f64());
+
+    let workload = query_workload(graph.node_count(), queries, 0xBE7C);
+    let session = QueryEngine::new(&index);
+
+    // --- 1. PMPN alone across SpMV thread counts ---
+    let pmpn_probes: Vec<u32> = workload.iter().copied().take(5).collect();
+    let mut pmpn_rows = Vec::new();
+    let mut pmpn_json = Vec::new();
+    let mut pmpn_serial = 0.0f64;
+    for &threads in &THREAD_COUNTS {
+        let params = RwrParams::default().with_threads(threads);
+        let t0 = Instant::now();
+        for &q in &pmpn_probes {
+            let _ = proximity_to(&transition, q, &params);
+        }
+        let secs = t0.elapsed().as_secs_f64() / pmpn_probes.len() as f64;
+        if threads == 1 {
+            pmpn_serial = secs;
+        }
+        let speedup = pmpn_serial / secs;
+        pmpn_rows.push(vec![threads.to_string(), format!("{secs:.4}"), format!("{speedup:.2}x")]);
+        pmpn_json.push(format!(
+            "    {{\"threads\": {threads}, \"mean_seconds\": {secs:.6}, \
+             \"speedup_vs_serial\": {speedup:.3}}}"
+        ));
+    }
+    println!("### PMPN row computation (mean over {} probes)", pmpn_probes.len());
+    print_table(&["threads", "mean (s)", "speedup"], &pmpn_rows);
+    println!();
+
+    // --- 2. Single-query latency (PMPN + parallel screen, frozen) ---
+    let mut single_rows = Vec::new();
+    let mut single_json = Vec::new();
+    let mut single_serial = 0.0f64;
+    for &threads in &THREAD_COUNTS {
+        let opts =
+            QueryOptions { update_index: false, query_threads: threads, ..Default::default() };
+        let mut totals = Vec::with_capacity(workload.len());
+        let mut pmpns = Vec::with_capacity(workload.len());
+        let mut screens = Vec::with_capacity(workload.len());
+        let mut session = QueryEngine::new(&index);
+        for &q in &workload {
+            let r = session.query_frozen(&transition, &index, q, K, &opts).unwrap();
+            totals.push(r.stats().total_seconds);
+            pmpns.push(r.stats().pmpn_seconds);
+            screens.push(r.stats().screen_seconds);
+        }
+        let secs = mean(&totals);
+        if threads == 1 {
+            single_serial = secs;
+        }
+        let speedup = single_serial / secs;
+        single_rows.push(vec![
+            threads.to_string(),
+            format!("{secs:.4}"),
+            format!("{:.4}", mean(&pmpns)),
+            format!("{:.4}", mean(&screens)),
+            format!("{speedup:.2}x"),
+        ]);
+        single_json.push(format!(
+            "    {{\"threads\": {threads}, \"mean_seconds\": {secs:.6}, \
+             \"mean_pmpn_seconds\": {:.6}, \"mean_screen_seconds\": {:.6}, \
+             \"speedup_vs_serial\": {speedup:.3}}}",
+            mean(&pmpns),
+            mean(&screens)
+        ));
+    }
+    println!("### Single reverse top-{K} query, frozen index ({queries} queries)");
+    print_table(&["threads", "total (s)", "pmpn (s)", "screen (s)", "speedup"], &single_rows);
+    println!();
+
+    // --- 3. Batch throughput ---
+    let batch_queries: Vec<(u32, usize)> = workload.iter().map(|&q| (q, K)).collect();
+    let mut batch_rows = Vec::new();
+    let mut batch_json = Vec::new();
+    let mut batch_serial = 0.0f64;
+    for &threads in &THREAD_COUNTS {
+        let opts = QueryOptions { query_threads: threads, ..Default::default() };
+        let t0 = Instant::now();
+        let results = session.query_batch(&transition, &index, &batch_queries, &opts).unwrap();
+        let secs = t0.elapsed().as_secs_f64();
+        assert_eq!(results.len(), batch_queries.len());
+        if threads == 1 {
+            batch_serial = secs;
+        }
+        let qps = batch_queries.len() as f64 / secs;
+        let speedup = batch_serial / secs;
+        batch_rows.push(vec![
+            threads.to_string(),
+            format!("{secs:.3}"),
+            format!("{qps:.2}"),
+            format!("{speedup:.2}x"),
+        ]);
+        batch_json.push(format!(
+            "    {{\"threads\": {threads}, \"total_seconds\": {secs:.6}, \
+             \"queries_per_second\": {qps:.3}, \"speedup_vs_serial\": {speedup:.3}}}"
+        ));
+    }
+    println!("### Batch of {} independent queries (query_batch)", batch_queries.len());
+    print_table(&["threads", "total (s)", "queries/s", "speedup"], &batch_rows);
+    println!();
+
+    let json = format!(
+        "{{\n  \"bench\": \"parallel_query_study\",\n  \
+         \"graph\": {{\"kind\": \"rmat\", \"nodes\": {nodes}, \"edges\": {}, \"seed\": {seed}}},\n  \
+         \"k\": {K},\n  \"queries\": {queries},\n  \"threads_available\": {cores},\n  \
+         \"pmpn\": [\n{}\n  ],\n  \"single_query\": [\n{}\n  ],\n  \"batch\": [\n{}\n  ]\n}}\n",
+        graph.edge_count(),
+        pmpn_json.join(",\n"),
+        single_json.join(",\n"),
+        batch_json.join(",\n"),
+    );
+    std::fs::write(OUT_PATH, &json).expect("write BENCH_query.json");
+    println!("wrote {OUT_PATH}");
+}

@@ -59,8 +59,7 @@ fn main() {
             if others.is_empty() {
                 continue;
             }
-            let spam_in =
-                others.iter().filter(|&&u| labels[u as usize] == HostLabel::Spam).count();
+            let spam_in = others.iter().filter(|&&u| labels[u as usize] == HostLabel::Spam).count();
             let normal_in =
                 others.iter().filter(|&&u| labels[u as usize] == HostLabel::Normal).count();
             spam_share.push(spam_in as f64 / others.len() as f64);

@@ -59,7 +59,11 @@ fn main() {
                 size.to_string(),
                 dataset.coauthor_count(author).to_string(),
                 dataset.publications[author as usize].to_string(),
-                if dataset.prolific_authors.contains(&author) { "yes".into() } else { String::new() },
+                if dataset.prolific_authors.contains(&author) {
+                    "yes".into()
+                } else {
+                    String::new()
+                },
             ]
         })
         .collect();
@@ -68,8 +72,11 @@ fn main() {
         &rows,
     );
 
-    let planted_in_top10 =
-        sizes.iter().take(10).filter(|(a, _)| dataset.prolific_authors.contains(a)).count();
+    let planted_in_top10 = sizes
+        .iter()
+        .take(10)
+        .filter(|(a, _)| dataset.prolific_authors.contains(a))
+        .count();
     let avg_size = sizes.iter().map(|&(_, s)| s as f64).sum::<f64>() / n as f64;
     println!(
         "\n{planted_in_top10}/10 of the leaders are planted prolific authors; \

@@ -23,10 +23,7 @@ fn main() {
         let mut line = String::new();
         for u in 0..6u32 {
             let (p, _) = proximity_from(&transition, u, &params);
-            line.push_str(&format!(
-                "{:.2} ({:.2})  ",
-                p[v], TOY_PROXIMITY_MATRIX[u as usize][v]
-            ));
+            line.push_str(&format!("{:.2} ({:.2})  ", p[v], TOY_PROXIMITY_MATRIX[u as usize][v]));
         }
         println!("  {line}");
     }
@@ -65,9 +62,7 @@ fn main() {
         to_q.iter().map(|v| format!("{v:.2}")).collect::<Vec<_>>().join(" ")
     );
     let mut session = QueryEngine::new(&index);
-    let result = session
-        .query(&transition, &mut index, 0, 2, &QueryOptions::default())
-        .unwrap();
+    let result = session.query(&transition, &mut index, 0, 2, &QueryOptions::default()).unwrap();
     println!(
         "step 2 (OQ): result = {:?} (1-based) — paper: {{1, 2, 5}}",
         result.nodes().iter().map(|u| u + 1).collect::<Vec<_>>()

@@ -128,10 +128,7 @@ pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
         println!("| {} |", padded.join(" | "));
     };
     line(headers.iter().map(|h| h.to_string()).collect());
-    println!(
-        "|{}|",
-        widths.iter().map(|w| "-".repeat(w + 2)).collect::<Vec<_>>().join("|")
-    );
+    println!("|{}|", widths.iter().map(|w| "-".repeat(w + 2)).collect::<Vec<_>>().join("|"));
     for row in rows {
         line(row.clone());
     }
@@ -172,10 +169,7 @@ mod tests {
     #[test]
     fn config_switches_hub_solver_by_size() {
         let spec = &rtk_datasets::paper_datasets()[0];
-        assert!(matches!(
-            index_config(spec, 10, 10_000).hub_solver,
-            HubSolver::PowerMethod(_)
-        ));
+        assert!(matches!(index_config(spec, 10, 10_000).hub_solver, HubSolver::PowerMethod(_)));
         assert!(matches!(index_config(spec, 10, 100_000).hub_solver, HubSolver::Bca(_)));
     }
 }

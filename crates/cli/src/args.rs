@@ -31,9 +31,9 @@ impl Parsed {
                 } else if BOOLEAN_FLAGS.contains(&stripped) {
                     out.flags.insert(stripped.to_string(), None);
                 } else {
-                    let v = argv.get(i + 1).ok_or_else(|| {
-                        format!("flag --{stripped} expects a value")
-                    })?;
+                    let v = argv
+                        .get(i + 1)
+                        .ok_or_else(|| format!("flag --{stripped} expects a value"))?;
                     if v.starts_with("--") {
                         return Err(format!("flag --{stripped} expects a value, got {v}"));
                     }

@@ -33,11 +33,9 @@ mod tests {
         let tsv2 = dir.join("g2.tsv");
         super::super::save_graph(&rtk_datasets::toy_graph(), tsv.to_str().unwrap()).unwrap();
 
-        let argv: Vec<String> =
-            vec![tsv.to_str().unwrap().into(), bin.to_str().unwrap().into()];
+        let argv: Vec<String> = vec![tsv.to_str().unwrap().into(), bin.to_str().unwrap().into()];
         run(&Parsed::parse(&argv).unwrap()).unwrap();
-        let argv: Vec<String> =
-            vec![bin.to_str().unwrap().into(), tsv2.to_str().unwrap().into()];
+        let argv: Vec<String> = vec![bin.to_str().unwrap().into(), tsv2.to_str().unwrap().into()];
         run(&Parsed::parse(&argv).unwrap()).unwrap();
 
         let a = super::super::load_graph(tsv.to_str().unwrap()).unwrap();

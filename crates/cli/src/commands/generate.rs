@@ -12,11 +12,7 @@ pub(crate) fn run(args: &Parsed) -> Result<(), String> {
         .ok_or_else(|| "generate: --out <file> is required".to_string())?;
     let graph = build(name)?;
     super::save_graph(&graph, out)?;
-    println!(
-        "wrote {name}: {} nodes / {} edges -> {out}",
-        graph.node_count(),
-        graph.edge_count()
-    );
+    println!("wrote {name}: {} nodes / {} edges -> {out}", graph.node_count(), graph.edge_count());
     Ok(())
 }
 
@@ -64,9 +60,7 @@ pub(crate) fn build(name: &str) -> Result<DiGraph, String> {
             ))
             .map_err(|e| format!("generate: {e}"))
         }
-        _ => Err(format!(
-            "generate: unknown dataset {name:?} (see `rtk help` for the list)"
-        )),
+        _ => Err(format!("generate: unknown dataset {name:?} (see `rtk help` for the list)")),
     }
 }
 
@@ -104,8 +98,7 @@ mod tests {
         let dir = std::env::temp_dir().join("rtk_cli_test_gen");
         std::fs::create_dir_all(&dir).unwrap();
         let out = dir.join("g.tsv");
-        let argv: Vec<String> =
-            vec!["toy".into(), "--out".into(), out.to_str().unwrap().into()];
+        let argv: Vec<String> = vec!["toy".into(), "--out".into(), out.to_str().unwrap().into()];
         run(&Parsed::parse(&argv).unwrap()).unwrap();
         assert!(out.exists());
         std::fs::remove_dir_all(&dir).ok();

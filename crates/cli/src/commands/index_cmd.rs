@@ -60,7 +60,11 @@ fn info(args: &Parsed) -> Result<(), String> {
         s.no_rounding_bytes as f64 / (1024.0 * 1024.0),
         s.lower_bound_bytes as f64 / (1024.0 * 1024.0),
     );
-    println!("  BCA: η = {:e}, δ = {:e}", index.config().bca.propagation_threshold, index.config().bca.residue_threshold);
+    println!(
+        "  BCA: η = {:e}, δ = {:e}",
+        index.config().bca.propagation_threshold,
+        index.config().bca.residue_threshold
+    );
     Ok(())
 }
 

@@ -18,9 +18,9 @@ usage:
   rtk stats <graph>                              graph summary
   rtk index build <graph> --out <file> [--max-k K] [--hubs B] [--omega W] [--threads T]
   rtk index info <index>                         index statistics
-  rtk query <graph> <index> --node Q --k K [--update] [--strict] [--approximate]
-  rtk topk <graph> --node U --k K [--early]      forward top-k search
-  rtk pmpn <graph> --node Q [--top N]            proximities to a node
+  rtk query <graph> <index> --node Q --k K [--update] [--strict] [--approximate] [--threads T]
+  rtk topk <graph> --node U --k K [--early] [--threads T]   forward top-k search
+  rtk pmpn <graph> --node Q [--top N] [--threads T]         proximities to a node
   rtk convert <in> <out>                         tsv <-> binary graph formats
 
 datasets for `generate`: toy, web-cs-small, web-cs-sim, epinions-sim,

@@ -14,13 +14,15 @@ pub(crate) fn run(args: &Parsed) -> Result<(), String> {
         .map_err(|_| "pmpn: --node expects a node id".to_string())?;
     let top = args.get_num("top", 10usize)?;
     let alpha = args.get_num("alpha", 0.15f64)?;
+    let threads = args.get_num("threads", 0usize)?;
 
     let graph = super::load_graph(graph_path)?;
     if q as usize >= graph.node_count() {
         return Err(format!("pmpn: node {q} out of range (graph has {})", graph.node_count()));
     }
     let transition = TransitionMatrix::new(&graph);
-    let (row, report) = proximity_to(&transition, q, &RwrParams::with_alpha(alpha));
+    let params = RwrParams::with_alpha(alpha).with_threads(threads);
+    let (row, report) = proximity_to(&transition, q, &params);
     println!(
         "proximities to node {q} (PMPN, {} iterations, converged: {})",
         report.iterations, report.converged

@@ -13,6 +13,7 @@ pub(crate) fn run(args: &Parsed) -> Result<(), String> {
         .parse()
         .map_err(|_| "query: --node expects a node id".to_string())?;
     let k = args.get_num("k", 10usize)?;
+    let threads = args.get_num("threads", 0usize)?;
 
     let graph = super::load_graph(graph_path)?;
     let transition = TransitionMatrix::new(&graph);
@@ -23,6 +24,7 @@ pub(crate) fn run(args: &Parsed) -> Result<(), String> {
         update_index: args.has("update"),
         bound_mode: if args.has("strict") { BoundMode::Strict } else { BoundMode::PaperFaithful },
         approximate: args.has("approximate"),
+        query_threads: threads,
         ..Default::default()
     };
     let mut session = QueryEngine::new(&index);
@@ -37,7 +39,11 @@ pub(crate) fn run(args: &Parsed) -> Result<(), String> {
     let s = result.stats();
     println!(
         "stats: {} candidates | {} hits | {} pruned | {} refined ({} iterations) | {:.4}s",
-        s.candidates, s.hits, s.pruned_by_lower_bound, s.refined_nodes, s.refine_iterations,
+        s.candidates,
+        s.hits,
+        s.pruned_by_lower_bound,
+        s.refined_nodes,
+        s.refine_iterations,
         s.total_seconds
     );
 

@@ -13,6 +13,7 @@ pub(crate) fn run(args: &Parsed) -> Result<(), String> {
         .map_err(|_| "topk: --node expects a node id".to_string())?;
     let k = args.get_num("k", 10usize)?;
     let alpha = args.get_num("alpha", 0.15f64)?;
+    let threads = args.get_num("threads", 0usize)?;
 
     let graph = super::load_graph(graph_path)?;
     if u as usize >= graph.node_count() {
@@ -34,7 +35,7 @@ pub(crate) fn run(args: &Parsed) -> Result<(), String> {
         );
         top
     } else {
-        let params = RwrParams::with_alpha(alpha);
+        let params = RwrParams::with_alpha(alpha).with_threads(threads);
         let top = rtk_query::baseline::top_k_rwr(&transition, u, k, &params);
         println!("top-{k} from node {u} (exact power method):");
         top
@@ -75,8 +76,7 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("g.rtkg");
         super::super::save_graph(&rtk_datasets::toy_graph(), path.to_str().unwrap()).unwrap();
-        let argv: Vec<String> =
-            vec![path.to_str().unwrap().into(), "--node".into(), "99".into()];
+        let argv: Vec<String> = vec![path.to_str().unwrap().into(), "--node".into(), "99".into()];
         assert!(run(&Parsed::parse(&argv).unwrap()).is_err());
         std::fs::remove_dir_all(&dir).ok();
     }

@@ -1,7 +1,7 @@
 //! The owning engine: graph + index + query session in one value.
 
 use crate::error::EngineError;
-use rtk_graph::{DiGraph, NodeId, TransitionMatrix};
+use rtk_graph::{DiGraph, NodeId, TransitionMatrix, TransitionProbs};
 use rtk_index::{HubSelection, HubSolver, IndexConfig, IndexStats, ReverseIndex};
 use rtk_query::{QueryEngine, QueryOptions, QueryResult};
 use rtk_rwr::{BcaParams, RwrParams};
@@ -12,10 +12,17 @@ use std::path::Path;
 ///
 /// Construct through [`ReverseTopkEngine::builder`]. The engine owns the
 /// graph, the offline index (which it refines across queries in `update`
-/// mode), and the reusable query buffers. Each query rebuilds the `O(|E|)`
-/// transition probability view — negligible next to PMPN's `O(|E|·log 1/ε)`.
+/// mode), the reusable query buffers, **and the cached `O(|E|)` transition
+/// probabilities** — every query/top-k/proximity call wraps the cache in an
+/// `O(1)` [`TransitionMatrix`] view instead of recomputing it. The graph is
+/// immutable once owned here, so the cache cannot go stale; if a future
+/// mutation API lands it must go through [`Self::refresh_transition_cache`]
+/// (the view constructor asserts graph/cache agreement as a backstop).
 pub struct ReverseTopkEngine {
     graph: DiGraph,
+    /// Cached transition probabilities for `graph` (kept in sync by
+    /// construction — the graph has no mutating API).
+    probs: TransitionProbs,
     index: ReverseIndex,
     session: QueryEngine,
     options: QueryOptions,
@@ -24,11 +31,7 @@ pub struct ReverseTopkEngine {
 impl ReverseTopkEngine {
     /// Starts configuring an engine for `graph`.
     pub fn builder(graph: DiGraph) -> EngineBuilder {
-        EngineBuilder {
-            graph,
-            config: IndexConfig::default(),
-            options: QueryOptions::default(),
-        }
+        EngineBuilder { graph, config: IndexConfig::default(), options: QueryOptions::default() }
     }
 
     /// Rebuilds an engine from a graph and a previously built index
@@ -40,8 +43,29 @@ impl ReverseTopkEngine {
                 graph_nodes: graph.node_count(),
             }));
         }
+        let dangling = graph.dangling_nodes();
+        if let Some(&node) = dangling.first() {
+            return Err(EngineError::Graph(rtk_graph::GraphError::DanglingNode {
+                node,
+                count: dangling.len(),
+            }));
+        }
+        let probs = TransitionProbs::compute(&graph);
         let session = QueryEngine::new(&index);
-        Ok(Self { graph, index, session, options: QueryOptions::default() })
+        Ok(Self { graph, probs, index, session, options: QueryOptions::default() })
+    }
+
+    /// The cached transition view — `O(1)`, no allocation.
+    fn transition(&self) -> TransitionMatrix<'_> {
+        TransitionMatrix::with_probs(&self.graph, &self.probs)
+    }
+
+    /// Recomputes the cached transition probabilities from the graph.
+    /// Currently only needed if the graph is swapped through future APIs;
+    /// kept public so embedders mutating via `from_parts` round-trips can
+    /// re-validate the cache explicitly.
+    pub fn refresh_transition_cache(&mut self) {
+        self.probs = TransitionProbs::compute(&self.graph);
     }
 
     /// The underlying graph.
@@ -87,17 +111,19 @@ impl ReverseTopkEngine {
         k: usize,
         options: &QueryOptions,
     ) -> Result<QueryResult, EngineError> {
-        let transition = TransitionMatrix::new(&self.graph);
+        let transition = TransitionMatrix::with_probs(&self.graph, &self.probs);
         Ok(self.session.query(&transition, &mut self.index, q.0, k, options)?)
     }
 
-    /// Runs many reverse top-k queries, building the transition view once.
+    /// Runs many reverse top-k queries *serially* over the cached transition
+    /// view. Unlike [`Self::query_batch`] this honors `update` mode — each
+    /// query observes the refinements of the previous ones.
     pub fn query_many(
         &mut self,
         queries: &[(NodeId, usize)],
         options: &QueryOptions,
     ) -> Result<Vec<QueryResult>, EngineError> {
-        let transition = TransitionMatrix::new(&self.graph);
+        let transition = TransitionMatrix::with_probs(&self.graph, &self.probs);
         let mut out = Vec::with_capacity(queries.len());
         for &(q, k) in queries {
             out.push(self.session.query(&transition, &mut self.index, q.0, k, options)?);
@@ -105,12 +131,26 @@ impl ReverseTopkEngine {
         Ok(out)
     }
 
+    /// Fans independent reverse top-k queries across
+    /// [`QueryOptions::query_threads`] workers (throughput mode). Always the
+    /// paper's `no-update` mode, so `results[i]` equals a frozen
+    /// single-query run of `queries[i]`, in input order.
+    pub fn query_batch(
+        &self,
+        queries: &[(NodeId, usize)],
+        options: &QueryOptions,
+    ) -> Result<Vec<QueryResult>, EngineError> {
+        let transition = self.transition();
+        let raw: Vec<(u32, usize)> = queries.iter().map(|&(q, k)| (q.0, k)).collect();
+        Ok(self.session.query_batch(&transition, &self.index, &raw, options)?)
+    }
+
     /// Forward top-k RWR search: the `k` nodes with the highest proximity
     /// *from* `u`, descending.
     pub fn top_k(&self, u: NodeId, k: usize) -> Result<Vec<(NodeId, f64)>, EngineError> {
         self.check_node(u)?;
-        let transition = TransitionMatrix::new(&self.graph);
-        let params = RwrParams::with_alpha(self.index.config().alpha());
+        let transition = self.transition();
+        let params = self.solver_params();
         let top = rtk_query::baseline::top_k_rwr(&transition, u.0, k, &params);
         Ok(top.into_iter().map(|(v, p)| (NodeId(v), p)).collect())
     }
@@ -119,13 +159,9 @@ impl ReverseTopkEngine {
     /// fewer iterations than [`Self::top_k`]. The returned *set* is exact
     /// (up to value ties below 1e-9); the proximities are lower bounds and
     /// the internal order follows them, not the converged ranking.
-    pub fn top_k_early(
-        &self,
-        u: NodeId,
-        k: usize,
-    ) -> Result<Vec<(NodeId, f64)>, EngineError> {
+    pub fn top_k_early(&self, u: NodeId, k: usize) -> Result<Vec<(NodeId, f64)>, EngineError> {
         self.check_node(u)?;
-        let transition = TransitionMatrix::new(&self.graph);
+        let transition = self.transition();
         let params = rtk_rwr::BcaParams {
             alpha: self.index.config().alpha(),
             propagation_threshold: 1e-7,
@@ -140,8 +176,8 @@ impl ReverseTopkEngine {
     /// `result[u] = p_u(q)`.
     pub fn proximities_to(&self, q: NodeId) -> Result<Vec<f64>, EngineError> {
         self.check_node(q)?;
-        let transition = TransitionMatrix::new(&self.graph);
-        let params = RwrParams::with_alpha(self.index.config().alpha());
+        let transition = self.transition();
+        let params = self.solver_params();
         Ok(rtk_rwr::proximity_to(&transition, q.0, &params).0)
     }
 
@@ -149,9 +185,15 @@ impl ReverseTopkEngine {
     /// `result[v] = p_u(v)`.
     pub fn proximities_from(&self, u: NodeId) -> Result<Vec<f64>, EngineError> {
         self.check_node(u)?;
-        let transition = TransitionMatrix::new(&self.graph);
-        let params = RwrParams::with_alpha(self.index.config().alpha());
+        let transition = self.transition();
+        let params = self.solver_params();
         Ok(rtk_rwr::proximity_from(&transition, u.0, &params).0)
+    }
+
+    /// Solver parameters for the facade's standalone proximity calls: the
+    /// index's `α`, SpMV threads from the default query options.
+    fn solver_params(&self) -> RwrParams {
+        RwrParams::with_alpha(self.index.config().alpha()).with_threads(self.options.query_threads)
     }
 
     /// Persists graph + index into one stream. Each section is length-
@@ -301,6 +343,15 @@ impl EngineBuilder {
         self
     }
 
+    /// Worker threads for the online query hot path (0 = all cores, the
+    /// default): PMPN matrix–vector products, the candidate screen phase,
+    /// and the fan-out width of [`ReverseTopkEngine::query_batch`]. Results
+    /// are identical for any value.
+    pub fn query_threads(mut self, threads: usize) -> Self {
+        self.options.query_threads = threads;
+        self
+    }
+
     /// Replaces the whole index configuration.
     pub fn index_config(mut self, config: IndexConfig) -> Self {
         self.config = config;
@@ -313,21 +364,25 @@ impl EngineBuilder {
         self
     }
 
-    /// Builds the index and assembles the engine.
+    /// Builds the index and assembles the engine. The transition
+    /// probabilities computed for the build are kept as the engine's cache.
     pub fn build(self) -> Result<ReverseTopkEngine, EngineError> {
+        let EngineBuilder { graph, config, options } = self;
         // Surface dangling nodes as an error instead of a downstream panic.
-        let dangling = self.graph.dangling_nodes();
+        let dangling = graph.dangling_nodes();
         if let Some(&node) = dangling.first() {
             return Err(EngineError::Graph(rtk_graph::GraphError::DanglingNode {
                 node,
                 count: dangling.len(),
             }));
         }
-        let transition = TransitionMatrix::new(&self.graph);
-        let index = ReverseIndex::build(&transition, self.config)?;
-        drop(transition);
+        let probs = TransitionProbs::compute(&graph);
+        let index = {
+            let transition = TransitionMatrix::with_probs(&graph, &probs);
+            ReverseIndex::build(&transition, config)?
+        };
         let session = QueryEngine::new(&index);
-        Ok(ReverseTopkEngine { graph: self.graph, index, session, options: self.options })
+        Ok(ReverseTopkEngine { graph, probs, index, session, options })
     }
 }
 
@@ -340,12 +395,18 @@ mod tests {
         GraphBuilder::from_edges(
             6,
             &[
-                (0, 1), (0, 3), (0, 5),
-                (1, 0), (1, 2),
-                (2, 0), (2, 1),
-                (3, 1), (3, 4),
+                (0, 1),
+                (0, 3),
+                (0, 5),
+                (1, 0),
+                (1, 2),
+                (2, 0),
+                (2, 1),
+                (3, 1),
+                (3, 4),
                 (4, 1),
-                (5, 1), (5, 3),
+                (5, 1),
+                (5, 3),
             ],
             DanglingPolicy::Error,
         )
@@ -429,6 +490,46 @@ mod tests {
     }
 
     #[test]
+    fn query_batch_matches_frozen_singles_in_order() {
+        let mut engine = toy_engine();
+        let queries: Vec<(NodeId, usize)> =
+            (0..6u32).map(|u| (NodeId(u), 1 + (u as usize % 3))).collect();
+        for threads in [1usize, 2, 4] {
+            let opts = rtk_query::QueryOptions { query_threads: threads, ..Default::default() };
+            let batch = engine.query_batch(&queries, &opts).unwrap();
+            assert_eq!(batch.len(), queries.len());
+            for (i, &(q, k)) in queries.iter().enumerate() {
+                let single = engine.query(q, k).unwrap();
+                assert_eq!(batch[i].nodes(), single.nodes(), "i={i} threads={threads}");
+                assert_eq!(batch[i].query(), q.0);
+            }
+        }
+    }
+
+    #[test]
+    fn query_threads_knob_flows_through_builder() {
+        let mut engine = ReverseTopkEngine::builder(toy())
+            .max_k(3)
+            .hubs_per_direction(1)
+            .threads(1)
+            .query_threads(4)
+            .build()
+            .unwrap();
+        assert_eq!(engine.options().query_threads, 4);
+        let r = engine.query(NodeId(0), 2).unwrap();
+        assert_eq!(r.nodes(), &[0, 1, 4]);
+    }
+
+    #[test]
+    fn cached_transition_survives_refresh() {
+        let mut engine = toy_engine();
+        let before = engine.proximities_to(NodeId(0)).unwrap();
+        engine.refresh_transition_cache();
+        let after = engine.proximities_to(NodeId(0)).unwrap();
+        assert_eq!(before, after);
+    }
+
+    #[test]
     fn top_k_early_agrees_with_top_k_as_a_set() {
         let engine = toy_engine();
         for u in 0..6u32 {
@@ -472,8 +573,7 @@ mod tests {
         let mut buf = Vec::new();
         rtk_index::storage::save(engine.index(), &mut buf).unwrap();
         let index = rtk_index::storage::load(std::io::Cursor::new(buf)).unwrap();
-        let small =
-            GraphBuilder::from_edges(2, &[(0, 1), (1, 0)], DanglingPolicy::Error).unwrap();
+        let small = GraphBuilder::from_edges(2, &[(0, 1), (1, 0)], DanglingPolicy::Error).unwrap();
         assert!(ReverseTopkEngine::from_parts(small, index).is_err());
     }
 

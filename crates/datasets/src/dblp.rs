@@ -92,9 +92,8 @@ pub fn dblp_sim(config: &CoauthorConfig) -> CoauthorDataset {
     };
 
     // Prolific authors: spread across communities, one per stride.
-    let prolific_authors: Vec<u32> = (0..config.prolific)
-        .map(|i| (i * n / config.prolific.max(1)) as u32)
-        .collect();
+    let prolific_authors: Vec<u32> =
+        (0..config.prolific).map(|i| (i * n / config.prolific.max(1)) as u32).collect();
     let is_prolific: Vec<bool> = {
         let mut v = vec![false; n];
         for &p in &prolific_authors {
@@ -126,11 +125,8 @@ pub fn dblp_sim(config: &CoauthorConfig) -> CoauthorDataset {
         let mut guard = 0;
         while team.len() < size && guard < 100 {
             guard += 1;
-            let candidate = if cross {
-                rng.gen_range(0..n) as u32
-            } else {
-                rng.gen_range(lo..hi) as u32
-            };
+            let candidate =
+                if cross { rng.gen_range(0..n) as u32 } else { rng.gen_range(lo..hi) as u32 };
             if !team.contains(&candidate) {
                 team.push(candidate);
             }
@@ -142,9 +138,7 @@ pub fn dblp_sim(config: &CoauthorConfig) -> CoauthorDataset {
         for i in 0..team.len() {
             for j in 0..team.len() {
                 if i != j {
-                    builder
-                        .add_weighted_edge(team[i], team[j], 1.0)
-                        .expect("author ids in range");
+                    builder.add_weighted_edge(team[i], team[j], 1.0).expect("author ids in range");
                 }
             }
         }
@@ -200,8 +194,8 @@ mod tests {
     #[test]
     fn prolific_authors_dominate_publication_counts() {
         let d = small();
-        let avg: f64 = d.publications.iter().map(|&p| p as f64).sum::<f64>()
-            / d.publications.len() as f64;
+        let avg: f64 =
+            d.publications.iter().map(|&p| p as f64).sum::<f64>() / d.publications.len() as f64;
         for &p in &d.prolific_authors {
             assert!(
                 d.publications[p as usize] as f64 > 5.0 * avg,

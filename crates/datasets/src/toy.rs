@@ -22,12 +22,18 @@ pub const TOY_PROXIMITY_MATRIX: [[f64; 6]; 6] = [
 
 /// Edges of the toy graph, 0-based `(from, to)`.
 pub const TOY_EDGES: [(u32, u32); 12] = [
-    (0, 1), (0, 3), (0, 5),
-    (1, 0), (1, 2),
-    (2, 0), (2, 1),
-    (3, 1), (3, 4),
+    (0, 1),
+    (0, 3),
+    (0, 5),
+    (1, 0),
+    (1, 2),
+    (2, 0),
+    (2, 1),
+    (3, 1),
+    (3, 4),
     (4, 1),
-    (5, 1), (5, 3),
+    (5, 1),
+    (5, 3),
 ];
 
 /// Builds the toy graph (6 nodes, 12 edges, no dangling nodes).

@@ -208,8 +208,7 @@ mod tests {
         let spam = d.nodes_with(HostLabel::Spam);
         let normal = d.nodes_with(HostLabel::Normal);
         let avg_deg = |nodes: &[u32]| {
-            nodes.iter().map(|&u| d.graph.out_degree(u)).sum::<usize>() as f64
-                / nodes.len() as f64
+            nodes.iter().map(|&u| d.graph.out_degree(u)).sum::<usize>() as f64 / nodes.len() as f64
         };
         assert!(
             avg_deg(&spam) > avg_deg(&normal),
@@ -247,6 +246,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "invalid label fractions")]
     fn rejects_bad_fractions() {
-        webspam_sim(&WebspamConfig { spam_fraction: 0.9, undecided_fraction: 0.2, ..Default::default() });
+        webspam_sim(&WebspamConfig {
+            spam_fraction: 0.9,
+            undecided_fraction: 0.2,
+            ..Default::default()
+        });
     }
 }

@@ -15,8 +15,7 @@ use std::collections::HashMap;
 /// RWR requires a column-stochastic transition matrix; a dangling node's
 /// column would be all zeros. The paper's footnote 1 offers deletion or a
 /// self-linked sink; we additionally offer the id-preserving self-loop.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-#[derive(Default)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
 pub enum DanglingPolicy {
     /// Add a self-loop to every dangling node (default; preserves node ids).
     #[default]
@@ -33,7 +32,6 @@ pub enum DanglingPolicy {
     /// Fail with [`GraphError::DanglingNode`] if any dangling node exists.
     Error,
 }
-
 
 /// Accumulates edges and produces a validated [`DiGraph`].
 #[derive(Clone, Debug)]
@@ -143,8 +141,7 @@ impl GraphBuilder {
         for &(f, _, _) in &edges {
             out_deg[f as usize] += 1;
         }
-        let dangling: Vec<u32> =
-            (0..n as u32).filter(|&u| out_deg[u as usize] == 0).collect();
+        let dangling: Vec<u32> = (0..n as u32).filter(|&u| out_deg[u as usize] == 0).collect();
 
         let mut remap: Vec<u32> = (0..n as u32).collect();
         if !dangling.is_empty() {
@@ -318,10 +315,7 @@ mod tests {
     fn remove_policy_can_empty_the_graph() {
         let mut b = GraphBuilder::new(2);
         b.add_edge(0, 1).unwrap();
-        assert!(matches!(
-            b.build(DanglingPolicy::Remove).unwrap_err(),
-            GraphError::EmptyGraph
-        ));
+        assert!(matches!(b.build(DanglingPolicy::Remove).unwrap_err(), GraphError::EmptyGraph));
     }
 
     #[test]

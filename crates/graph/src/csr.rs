@@ -209,11 +209,14 @@ impl DiGraph {
             for (k, &w) in ws.iter().enumerate() {
                 if !w.is_finite() || w <= 0.0 {
                     // Recover endpoints for the error message.
-                    let from = self
-                        .out_offsets
-                        .partition_point(|&o| o as usize <= k)
-                        .saturating_sub(1) as u32;
-                    return Err(GraphError::InvalidWeight { from, to: self.out_targets[k], weight: w });
+                    let from =
+                        self.out_offsets.partition_point(|&o| o as usize <= k).saturating_sub(1)
+                            as u32;
+                    return Err(GraphError::InvalidWeight {
+                        from,
+                        to: self.out_targets[k],
+                        weight: w,
+                    });
                 }
             }
         }

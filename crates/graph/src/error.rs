@@ -57,7 +57,9 @@ impl std::fmt::Display for GraphError {
                 write!(f, "{count} dangling node(s) present (e.g. node {node}); choose a DanglingPolicy that repairs them")
             }
             GraphError::EmptyGraph => write!(f, "graph has no nodes"),
-            GraphError::Parse { line, message } => write!(f, "parse error on line {line}: {message}"),
+            GraphError::Parse { line, message } => {
+                write!(f, "parse error on line {line}: {message}")
+            }
             GraphError::Io(e) => write!(f, "i/o error: {e}"),
             GraphError::Decode(e) => write!(f, "decode error: {e}"),
         }

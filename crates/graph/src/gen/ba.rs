@@ -113,13 +113,15 @@ mod tests {
 
     #[test]
     fn reciprocation_adds_back_edges() {
-        let none = scale_free(&ScaleFreeConfig { nodes: 300, out_degree: 3, reciprocation: 0.0, seed: 5 }).unwrap();
-        let half = scale_free(&ScaleFreeConfig { nodes: 300, out_degree: 3, reciprocation: 0.5, seed: 5 }).unwrap();
+        let none =
+            scale_free(&ScaleFreeConfig { nodes: 300, out_degree: 3, reciprocation: 0.0, seed: 5 })
+                .unwrap();
+        let half =
+            scale_free(&ScaleFreeConfig { nodes: 300, out_degree: 3, reciprocation: 0.5, seed: 5 })
+                .unwrap();
         assert!(half.edge_count() > none.edge_count());
         // Count mutual pairs.
-        let mutual = |g: &crate::DiGraph| {
-            g.edges().filter(|&(f, t, _)| g.has_edge(t, f)).count()
-        };
+        let mutual = |g: &crate::DiGraph| g.edges().filter(|&(f, t, _)| g.has_edge(t, f)).count();
         assert!(mutual(&half) > mutual(&none));
     }
 
@@ -134,6 +136,12 @@ mod tests {
     fn rejects_degenerate_parameters() {
         assert!(scale_free(&ScaleFreeConfig::new(1, 2, 0)).is_err());
         assert!(scale_free(&ScaleFreeConfig::new(10, 0, 0)).is_err());
-        assert!(scale_free(&ScaleFreeConfig { nodes: 10, out_degree: 1, reciprocation: 1.5, seed: 0 }).is_err());
+        assert!(scale_free(&ScaleFreeConfig {
+            nodes: 10,
+            out_degree: 1,
+            reciprocation: 1.5,
+            seed: 0
+        })
+        .is_err());
     }
 }

@@ -56,8 +56,20 @@ mod tests {
         let rm2 = rmat(&RmatConfig::new(256, 1024, 3)).unwrap();
         assert_eq!(rm1, rm2);
 
-        let ws1 = watts_strogatz(&WattsStrogatzConfig { nodes: 100, out_degree: 4, rewire_prob: 0.1, seed: 9 }).unwrap();
-        let ws2 = watts_strogatz(&WattsStrogatzConfig { nodes: 100, out_degree: 4, rewire_prob: 0.1, seed: 9 }).unwrap();
+        let ws1 = watts_strogatz(&WattsStrogatzConfig {
+            nodes: 100,
+            out_degree: 4,
+            rewire_prob: 0.1,
+            seed: 9,
+        })
+        .unwrap();
+        let ws2 = watts_strogatz(&WattsStrogatzConfig {
+            nodes: 100,
+            out_degree: 4,
+            rewire_prob: 0.1,
+            seed: 9,
+        })
+        .unwrap();
         assert_eq!(ws1, ws2);
     }
 
@@ -84,12 +96,7 @@ mod tests {
             rmat(&RmatConfig::new(2048, 10000, 11)).unwrap(),
         ] {
             let s = degree_stats(&g, DegreeKind::In);
-            assert!(
-                s.max as f64 > 5.0 * s.mean,
-                "expected skew: max {} vs mean {}",
-                s.max,
-                s.mean
-            );
+            assert!(s.max as f64 > 5.0 * s.mean, "expected skew: max {} vs mean {}", s.max, s.mean);
         }
     }
 }

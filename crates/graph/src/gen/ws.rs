@@ -89,21 +89,57 @@ mod tests {
 
     #[test]
     fn rewiring_changes_structure() {
-        let lattice = watts_strogatz(&WattsStrogatzConfig { nodes: 200, out_degree: 4, rewire_prob: 0.0, seed: 3 }).unwrap();
-        let rewired = watts_strogatz(&WattsStrogatzConfig { nodes: 200, out_degree: 4, rewire_prob: 0.5, seed: 3 }).unwrap();
+        let lattice = watts_strogatz(&WattsStrogatzConfig {
+            nodes: 200,
+            out_degree: 4,
+            rewire_prob: 0.0,
+            seed: 3,
+        })
+        .unwrap();
+        let rewired = watts_strogatz(&WattsStrogatzConfig {
+            nodes: 200,
+            out_degree: 4,
+            rewire_prob: 0.5,
+            seed: 3,
+        })
+        .unwrap();
         assert_ne!(lattice, rewired);
     }
 
     #[test]
     fn rejects_bad_parameters() {
-        assert!(watts_strogatz(&WattsStrogatzConfig { nodes: 3, out_degree: 3, rewire_prob: 0.0, seed: 0 }).is_err());
-        assert!(watts_strogatz(&WattsStrogatzConfig { nodes: 3, out_degree: 0, rewire_prob: 0.0, seed: 0 }).is_err());
-        assert!(watts_strogatz(&WattsStrogatzConfig { nodes: 9, out_degree: 2, rewire_prob: 1.5, seed: 0 }).is_err());
+        assert!(watts_strogatz(&WattsStrogatzConfig {
+            nodes: 3,
+            out_degree: 3,
+            rewire_prob: 0.0,
+            seed: 0
+        })
+        .is_err());
+        assert!(watts_strogatz(&WattsStrogatzConfig {
+            nodes: 3,
+            out_degree: 0,
+            rewire_prob: 0.0,
+            seed: 0
+        })
+        .is_err());
+        assert!(watts_strogatz(&WattsStrogatzConfig {
+            nodes: 9,
+            out_degree: 2,
+            rewire_prob: 1.5,
+            seed: 0
+        })
+        .is_err());
     }
 
     #[test]
     fn out_degrees_are_near_uniform() {
-        let g = watts_strogatz(&WattsStrogatzConfig { nodes: 100, out_degree: 3, rewire_prob: 0.2, seed: 4 }).unwrap();
+        let g = watts_strogatz(&WattsStrogatzConfig {
+            nodes: 100,
+            out_degree: 3,
+            rewire_prob: 0.2,
+            seed: 4,
+        })
+        .unwrap();
         for u in 0..100u32 {
             // Rewiring can merge parallel edges, shrinking a node's degree.
             assert!(g.out_degree(u) <= 3 && g.out_degree(u) >= 1);

@@ -165,12 +165,8 @@ mod tests {
     use std::io::Cursor;
 
     fn sample() -> DiGraph {
-        GraphBuilder::from_edges(
-            4,
-            &[(0, 1), (1, 2), (2, 0), (3, 0)],
-            DanglingPolicy::Error,
-        )
-        .unwrap()
+        GraphBuilder::from_edges(4, &[(0, 1), (1, 2), (2, 0), (3, 0)], DanglingPolicy::Error)
+            .unwrap()
     }
 
     #[test]

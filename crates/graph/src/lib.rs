@@ -35,7 +35,7 @@ pub mod transition;
 pub use builder::{DanglingPolicy, GraphBuilder};
 pub use csr::DiGraph;
 pub use error::GraphError;
-pub use transition::TransitionMatrix;
+pub use transition::{resolve_threads, TransitionMatrix, TransitionProbs};
 
 /// A node identifier: a dense index in `0..graph.node_count()`.
 ///

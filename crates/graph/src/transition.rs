@@ -1,7 +1,7 @@
 //! The column-stochastic RWR transition matrix `A` (paper §2.1).
 //!
 //! For an edge `j → i`, `a_{i,j} = w_{i,j} / w_j` where `w_j` is the total
-//! outgoing weight of `j` (`1/OD(j)` unweighted). [`TransitionMatrix`]
+//! outgoing weight of `j` (`1/OD(j)` unweighted). [`TransitionProbs`]
 //! materializes these probabilities twice:
 //!
 //! * in **CSR (out-edge) order** — `probs_out[k]` is the probability attached
@@ -13,29 +13,55 @@
 //!
 //! Materializing ~2·|E| doubles trades memory for branch-free inner loops —
 //! the paper's `O(m)`-per-iteration costs all flow through these two arrays.
+//!
+//! [`TransitionMatrix`] is the *view* every solver consumes: a graph borrow
+//! plus the probabilities, either owned ([`TransitionMatrix::new`]) or
+//! borrowed from a cached [`TransitionProbs`]
+//! ([`TransitionMatrix::with_probs`]) so long-lived engines pay the `O(|E|)`
+//! construction once instead of per query.
+//!
+//! Both operator applications can run over multiple threads: rows are
+//! partitioned into contiguous, edge-balanced ranges and each worker writes a
+//! disjoint slice of `y`. Every row is still summed in its serial edge order,
+//! so results are **bitwise identical** for any thread count.
 
 use crate::csr::DiGraph;
+use std::borrow::Cow;
 
-/// Precomputed transition probabilities over a [`DiGraph`].
+/// Resolves a thread-count knob: `0` means all available cores.
+pub fn resolve_threads(requested: usize) -> usize {
+    if requested > 0 {
+        requested
+    } else {
+        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+    }
+}
+
+/// Below this many edges a parallel apply falls back to one thread — the
+/// spawn overhead would exceed the gather work.
+const PARALLEL_EDGE_CUTOFF: usize = 8_192;
+
+/// Owned transition probabilities for one graph — no graph borrow, so a
+/// long-lived engine can cache this next to the graph it owns.
 ///
-/// Holds a borrow of the graph; construct one per graph and share it across
-/// solvers.
-#[derive(Clone, Debug)]
-pub struct TransitionMatrix<'g> {
-    graph: &'g DiGraph,
+/// Tied to the graph it was computed from; [`TransitionProbs::matches`] is a
+/// cheap structural check used to catch stale caches.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TransitionProbs {
+    nodes: usize,
     /// Probability per out-edge, CSR order.
     probs_out: Vec<f64>,
     /// Probability per in-edge, CSC order.
     probs_in: Vec<f64>,
 }
 
-impl<'g> TransitionMatrix<'g> {
+impl TransitionProbs {
     /// Builds the probability arrays. `O(|E|)`.
     ///
     /// # Panics
     /// Panics if the graph has dangling nodes (the builder policies prevent
     /// this; a zero out-degree column cannot be normalized).
-    pub fn new(graph: &'g DiGraph) -> Self {
+    pub fn compute(graph: &DiGraph) -> Self {
         let n = graph.node_count() as u32;
         // Per-node inverse outgoing weight.
         let mut inv_out: Vec<f64> = Vec::with_capacity(n as usize);
@@ -52,8 +78,9 @@ impl<'g> TransitionMatrix<'g> {
         for u in 0..n {
             match graph.out_weights(u) {
                 Some(ws) => probs_out.extend(ws.iter().map(|w| w * inv_out[u as usize])),
-                None => probs_out
-                    .extend(std::iter::repeat_n(inv_out[u as usize], graph.out_degree(u))),
+                None => {
+                    probs_out.extend(std::iter::repeat_n(inv_out[u as usize], graph.out_degree(u)))
+                }
             }
         }
 
@@ -61,14 +88,83 @@ impl<'g> TransitionMatrix<'g> {
         for v in 0..n {
             let sources = graph.in_neighbors(v);
             match graph.in_weights(v) {
-                Some(ws) => probs_in.extend(
-                    sources.iter().zip(ws).map(|(&s, w)| w * inv_out[s as usize]),
-                ),
+                Some(ws) => {
+                    probs_in.extend(sources.iter().zip(ws).map(|(&s, w)| w * inv_out[s as usize]))
+                }
                 None => probs_in.extend(sources.iter().map(|&s| inv_out[s as usize])),
             }
         }
 
-        Self { graph, probs_out, probs_in }
+        Self { nodes: n as usize, probs_out, probs_in }
+    }
+
+    /// Number of nodes the probabilities were computed for.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.nodes
+    }
+
+    /// Number of edges the probabilities were computed for.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.probs_out.len()
+    }
+
+    /// Cheap structural compatibility check against `graph`.
+    #[inline]
+    pub fn matches(&self, graph: &DiGraph) -> bool {
+        self.nodes == graph.node_count() && self.probs_out.len() == graph.edge_count()
+    }
+}
+
+/// Precomputed transition probabilities over a [`DiGraph`].
+///
+/// Holds a borrow of the graph; construct one per graph and share it across
+/// solvers, or build it in `O(1)` from a cached [`TransitionProbs`].
+#[derive(Clone, Debug)]
+pub struct TransitionMatrix<'g> {
+    graph: &'g DiGraph,
+    probs: Cow<'g, TransitionProbs>,
+}
+
+impl<'g> TransitionMatrix<'g> {
+    /// Builds the probability arrays. `O(|E|)`.
+    ///
+    /// # Panics
+    /// Panics if the graph has dangling nodes (the builder policies prevent
+    /// this; a zero out-degree column cannot be normalized).
+    pub fn new(graph: &'g DiGraph) -> Self {
+        Self { graph, probs: Cow::Owned(TransitionProbs::compute(graph)) }
+    }
+
+    /// Wraps a cached [`TransitionProbs`] in `O(1)` — the hot path for
+    /// engines that own both the graph and the cache.
+    ///
+    /// The caller owns the invariant that `probs` was computed from this
+    /// exact graph (the intended pattern: compute once right after the graph,
+    /// never mutate either). The structural check below is a cheap backstop,
+    /// **not** a full validation — two different graphs with equal node and
+    /// edge counts would pass it and silently mis-associate probabilities.
+    ///
+    /// # Panics
+    /// Panics when `probs` disagrees with `graph` on node or edge count.
+    pub fn with_probs(graph: &'g DiGraph, probs: &'g TransitionProbs) -> Self {
+        assert!(
+            probs.matches(graph),
+            "TransitionMatrix: cached probabilities do not match the graph \
+             ({} nodes / {} edges vs {} nodes / {} edges)",
+            probs.node_count(),
+            probs.edge_count(),
+            graph.node_count(),
+            graph.edge_count()
+        );
+        Self { graph, probs: Cow::Borrowed(probs) }
+    }
+
+    /// Consumes the view, returning owned probabilities (cloning only when
+    /// the view borrowed a cache).
+    pub fn into_probs(self) -> TransitionProbs {
+        self.probs.into_owned()
     }
 
     /// The underlying graph.
@@ -86,53 +182,180 @@ impl<'g> TransitionMatrix<'g> {
     /// Transition probabilities parallel to `graph.out_neighbors(node)`.
     #[inline]
     pub fn out_probs(&self, node: u32) -> &[f64] {
-        &self.probs_out[self.graph.out_edge_range(node)]
+        &self.probs.probs_out[self.graph.out_edge_range(node)]
     }
 
     /// Transition probabilities parallel to `graph.in_neighbors(node)`.
     #[inline]
     pub fn in_probs(&self, node: u32) -> &[f64] {
-        &self.probs_in[self.graph.in_edge_range(node)]
+        &self.probs.probs_in[self.graph.in_edge_range(node)]
     }
 
     /// `y ← (1−α)·A·x + α·e_restart`, the forward RWR operator (Eq. 12).
     ///
     /// Gathers over in-edges; `y` is fully overwritten.
     pub fn apply_forward(&self, alpha: f64, x: &[f64], restart: u32, y: &mut [f64]) {
+        self.apply_forward_threaded(alpha, x, restart, y, 1);
+    }
+
+    /// [`Self::apply_forward`] over `threads` workers (`0` = all cores).
+    /// Bitwise identical to the serial result for any thread count.
+    pub fn apply_forward_threaded(
+        &self,
+        alpha: f64,
+        x: &[f64],
+        restart: u32,
+        y: &mut [f64],
+        threads: usize,
+    ) {
         let n = self.node_count();
         assert_eq!(x.len(), n);
         assert_eq!(y.len(), n);
         let damp = 1.0 - alpha;
-        for v in 0..n as u32 {
-            let sources = self.graph.in_neighbors(v);
-            let probs = self.in_probs(v);
+        self.for_rows(y, threads, Direction::Forward, |view, v, _| {
+            let sources = view.graph.in_neighbors(v);
+            let probs = view.in_probs(v);
             let mut acc = 0.0;
             for (&s, &p) in sources.iter().zip(probs) {
                 acc += p * x[s as usize];
             }
-            y[v as usize] = damp * acc;
-        }
+            damp * acc
+        });
         y[restart as usize] += alpha;
+    }
+
+    /// `y ← (1−α)·A·x + α·restart`, the forward operator with a dense restart
+    /// distribution (Eq. 3's personalized form), over `threads` workers.
+    pub fn apply_forward_restart_threaded(
+        &self,
+        alpha: f64,
+        x: &[f64],
+        restart: &[f64],
+        y: &mut [f64],
+        threads: usize,
+    ) {
+        let n = self.node_count();
+        assert_eq!(x.len(), n);
+        assert_eq!(restart.len(), n);
+        assert_eq!(y.len(), n);
+        let damp = 1.0 - alpha;
+        self.for_rows(y, threads, Direction::Forward, |view, v, _| {
+            let sources = view.graph.in_neighbors(v);
+            let probs = view.in_probs(v);
+            let mut acc = 0.0;
+            for (&s, &p) in sources.iter().zip(probs) {
+                acc += p * x[s as usize];
+            }
+            damp * acc + alpha * restart[v as usize]
+        });
     }
 
     /// `y ← (1−α)·Aᵀ·x + α·e_restart`, the PMPN operator (Eq. 13).
     ///
     /// Gathers over out-edges; `y` is fully overwritten.
     pub fn apply_transpose(&self, alpha: f64, x: &[f64], restart: u32, y: &mut [f64]) {
+        self.apply_transpose_threaded(alpha, x, restart, y, 1);
+    }
+
+    /// [`Self::apply_transpose`] over `threads` workers (`0` = all cores).
+    /// Bitwise identical to the serial result for any thread count.
+    pub fn apply_transpose_threaded(
+        &self,
+        alpha: f64,
+        x: &[f64],
+        restart: u32,
+        y: &mut [f64],
+        threads: usize,
+    ) {
         let n = self.node_count();
         assert_eq!(x.len(), n);
         assert_eq!(y.len(), n);
         let damp = 1.0 - alpha;
-        for u in 0..n as u32 {
-            let targets = self.graph.out_neighbors(u);
-            let probs = self.out_probs(u);
+        self.for_rows(y, threads, Direction::Transpose, |view, u, _| {
+            let targets = view.graph.out_neighbors(u);
+            let probs = view.out_probs(u);
             let mut acc = 0.0;
             for (&t, &p) in targets.iter().zip(probs) {
                 acc += p * x[t as usize];
             }
-            y[u as usize] = damp * acc;
-        }
+            damp * acc
+        });
         y[restart as usize] += alpha;
+    }
+
+    /// Runs `row` for every node, writing `y[v] = row(self, v)` — serially,
+    /// or across edge-balanced contiguous node ranges when `threads > 1` and
+    /// the graph is large enough to amortize the spawns. Each worker owns a
+    /// disjoint `y` slice, and each row sums in its serial edge order, so the
+    /// output is identical for any thread count.
+    fn for_rows<F>(&self, y: &mut [f64], threads: usize, direction: Direction, row: F)
+    where
+        F: Fn(&Self, u32, usize) -> f64 + Sync,
+    {
+        let n = self.node_count();
+        let mut threads = resolve_threads(threads).min(n.max(1));
+        if self.graph.edge_count() < PARALLEL_EDGE_CUTOFF {
+            threads = 1;
+        }
+        if threads <= 1 {
+            for v in 0..n as u32 {
+                y[v as usize] = row(self, v, v as usize);
+            }
+            return;
+        }
+
+        let bounds = self.edge_balanced_partition(threads, direction);
+        std::thread::scope(|scope| {
+            let mut rest = y;
+            for w in 0..threads {
+                let (lo, hi) = (bounds[w], bounds[w + 1]);
+                let (chunk, tail) = rest.split_at_mut(hi - lo);
+                rest = tail;
+                let row = &row;
+                scope.spawn(move || {
+                    for v in lo..hi {
+                        chunk[v - lo] = row(self, v as u32, v);
+                    }
+                });
+            }
+        });
+    }
+
+    /// Splits `0..n` into `parts` contiguous node ranges with roughly equal
+    /// edge counts on the gathered side (in-edges for the forward operator,
+    /// out-edges for the transpose). Returns `parts + 1` boundaries.
+    fn edge_balanced_partition(&self, parts: usize, direction: Direction) -> Vec<usize> {
+        let n = self.node_count();
+        let m = self.graph.edge_count();
+        let start_of = |node: usize| -> usize {
+            if node >= n {
+                return m;
+            }
+            match direction {
+                Direction::Forward => self.graph.in_edge_range(node as u32).start,
+                Direction::Transpose => self.graph.out_edge_range(node as u32).start,
+            }
+        };
+        let mut bounds = Vec::with_capacity(parts + 1);
+        bounds.push(0);
+        for part in 1..parts {
+            let target = m * part / parts;
+            // Smallest node whose edge range starts at or past the target,
+            // clamped to keep boundaries monotone.
+            let mut lo = *bounds.last().expect("bounds never empty");
+            let mut hi = n;
+            while lo < hi {
+                let mid = lo + (hi - lo) / 2;
+                if start_of(mid) < target {
+                    lo = mid + 1;
+                } else {
+                    hi = mid;
+                }
+            }
+            bounds.push(lo);
+        }
+        bounds.push(n);
+        bounds
     }
 
     /// Materializes column `j` of `A` as a dense vector (test/oracle helper).
@@ -143,6 +366,13 @@ impl<'g> TransitionMatrix<'g> {
         }
         col
     }
+}
+
+/// Which edge direction an apply gathers over (partition balancing).
+#[derive(Clone, Copy, Debug)]
+enum Direction {
+    Forward,
+    Transpose,
 }
 
 #[cfg(test)]
@@ -156,12 +386,18 @@ mod tests {
         GraphBuilder::from_edges(
             6,
             &[
-                (0, 1), (0, 3), (0, 5),
-                (1, 0), (1, 2),
-                (2, 0), (2, 1),
-                (3, 1), (3, 4),
+                (0, 1),
+                (0, 3),
+                (0, 5),
+                (1, 0),
+                (1, 2),
+                (2, 0),
+                (2, 1),
+                (3, 1),
+                (3, 4),
                 (4, 1),
-                (5, 1), (5, 3),
+                (5, 1),
+                (5, 3),
             ],
             DanglingPolicy::Error,
         )
@@ -246,6 +482,83 @@ mod tests {
         for i in 0..n {
             assert!((y[i] - expect[i]).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn cached_probs_view_matches_owned_view() {
+        let g = toy();
+        let probs = TransitionProbs::compute(&g);
+        assert!(probs.matches(&g));
+        assert_eq!(probs.node_count(), 6);
+        assert_eq!(probs.edge_count(), g.edge_count());
+        let owned = TransitionMatrix::new(&g);
+        let cached = TransitionMatrix::with_probs(&g, &probs);
+        for u in 0..6u32 {
+            assert_eq!(owned.out_probs(u), cached.out_probs(u));
+            assert_eq!(owned.in_probs(u), cached.in_probs(u));
+        }
+        // Round-trip through into_probs preserves the arrays.
+        assert_eq!(owned.into_probs(), probs);
+    }
+
+    #[test]
+    #[should_panic(expected = "do not match")]
+    fn stale_cache_is_rejected() {
+        let g = toy();
+        let other =
+            GraphBuilder::from_edges(3, &[(0, 1), (1, 2), (2, 0)], DanglingPolicy::Error).unwrap();
+        let probs = TransitionProbs::compute(&other);
+        let _ = TransitionMatrix::with_probs(&g, &probs);
+    }
+
+    #[test]
+    fn threaded_applies_are_bitwise_identical() {
+        // Large enough to clear PARALLEL_EDGE_CUTOFF so threads really run.
+        let g = crate::gen::rmat(&crate::gen::RmatConfig::new(4_000, 20_000, 11)).unwrap();
+        assert!(g.edge_count() >= super::PARALLEL_EDGE_CUTOFF);
+        let t = TransitionMatrix::new(&g);
+        let n = g.node_count();
+        let alpha = 0.15;
+        let x: Vec<f64> = (0..n).map(|i| ((i * 37 + 11) % 101) as f64 / 101.0).collect();
+        let restart_vec: Vec<f64> = (0..n).map(|i| ((i * 13) % 7) as f64 / 21.0).collect();
+
+        let mut serial = vec![0.0; n];
+        let mut serial_t = vec![0.0; n];
+        let mut serial_r = vec![0.0; n];
+        t.apply_forward_threaded(alpha, &x, 3, &mut serial, 1);
+        t.apply_transpose_threaded(alpha, &x, 3, &mut serial_t, 1);
+        t.apply_forward_restart_threaded(alpha, &x, &restart_vec, &mut serial_r, 1);
+
+        for threads in [2usize, 3, 4, 8] {
+            let mut y = vec![0.0; n];
+            t.apply_forward_threaded(alpha, &x, 3, &mut y, threads);
+            assert_eq!(y, serial, "forward, {threads} threads");
+            t.apply_transpose_threaded(alpha, &x, 3, &mut y, threads);
+            assert_eq!(y, serial_t, "transpose, {threads} threads");
+            t.apply_forward_restart_threaded(alpha, &x, &restart_vec, &mut y, threads);
+            assert_eq!(y, serial_r, "forward restart, {threads} threads");
+        }
+    }
+
+    #[test]
+    fn partition_covers_all_rows_monotonically() {
+        let g = crate::gen::rmat(&crate::gen::RmatConfig::new(2_000, 12_000, 5)).unwrap();
+        let t = TransitionMatrix::new(&g);
+        for parts in [1usize, 2, 3, 7, 16] {
+            for direction in [Direction::Forward, Direction::Transpose] {
+                let bounds = t.edge_balanced_partition(parts, direction);
+                assert_eq!(bounds.len(), parts + 1);
+                assert_eq!(bounds[0], 0);
+                assert_eq!(*bounds.last().unwrap(), g.node_count());
+                assert!(bounds.windows(2).all(|w| w[0] <= w[1]), "{bounds:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn resolve_threads_resolves_zero_to_cores() {
+        assert_eq!(resolve_threads(3), 3);
+        assert!(resolve_threads(0) >= 1);
     }
 
     #[test]

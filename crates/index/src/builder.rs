@@ -130,8 +130,7 @@ impl LbiBuilder {
             slots.into_iter().map(|s| s.expect("node state missing after sweep")).collect();
 
         // --- Size accounting ---
-        let lower_bound_bytes: usize =
-            states.iter().map(|s| s.lower_bounds().heap_bytes()).sum();
+        let lower_bound_bytes: usize = states.iter().map(|s| s.lower_bounds().heap_bytes()).sum();
         let states_bytes: usize = states.iter().map(|s| s.heap_bytes()).sum();
         let actual_bytes = states_bytes + hub_matrix.heap_bytes();
         // "No rounding" = same index with hub columns at pre-rounding nnz.
@@ -171,12 +170,18 @@ mod tests {
         GraphBuilder::from_edges(
             6,
             &[
-                (0, 1), (0, 3), (0, 5),
-                (1, 0), (1, 2),
-                (2, 0), (2, 1),
-                (3, 1), (3, 4),
+                (0, 1),
+                (0, 3),
+                (0, 5),
+                (1, 0),
+                (1, 2),
+                (2, 0),
+                (2, 1),
+                (3, 1),
+                (3, 4),
                 (4, 1),
-                (5, 1), (5, 3),
+                (5, 1),
+                (5, 3),
             ],
             DanglingPolicy::Error,
         )
@@ -249,18 +254,15 @@ mod tests {
             col.sort_by(|a, b| b.partial_cmp(a).unwrap());
             for k in 1..=10usize {
                 let lb = index.state(u).kth_lower_bound(k);
-                assert!(
-                    lb <= col[k - 1] + 1e-9,
-                    "u={u} k={k}: lb {lb} > exact {}",
-                    col[k - 1]
-                );
+                assert!(lb <= col[k - 1] + 1e-9, "u={u} k={k}: lb {lb} > exact {}", col[k - 1]);
             }
         }
     }
 
     #[test]
     fn parallel_build_is_deterministic() {
-        let g = rtk_graph::gen::scale_free(&rtk_graph::gen::ScaleFreeConfig::new(300, 4, 21)).unwrap();
+        let g =
+            rtk_graph::gen::scale_free(&rtk_graph::gen::ScaleFreeConfig::new(300, 4, 21)).unwrap();
         let t = TransitionMatrix::new(&g);
         let mk = |threads| IndexConfig {
             max_k: 20,

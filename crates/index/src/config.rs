@@ -161,10 +161,8 @@ mod tests {
 
     #[test]
     fn rejects_duplicate_explicit_hubs() {
-        let c = IndexConfig {
-            hub_selection: HubSelection::Explicit(vec![1, 1]),
-            ..Default::default()
-        };
+        let c =
+            IndexConfig { hub_selection: HubSelection::Explicit(vec![1, 1]), ..Default::default() };
         assert!(c.validate().is_err());
     }
 

@@ -26,10 +26,9 @@ impl std::fmt::Display for IndexError {
             IndexError::InvalidConfig(msg) => write!(f, "invalid index config: {msg}"),
             IndexError::Io(e) => write!(f, "i/o error: {e}"),
             IndexError::Decode(e) => write!(f, "decode error: {e}"),
-            IndexError::GraphMismatch { index_nodes, graph_nodes } => write!(
-                f,
-                "index was built for {index_nodes} nodes but the graph has {graph_nodes}"
-            ),
+            IndexError::GraphMismatch { index_nodes, graph_nodes } => {
+                write!(f, "index was built for {index_nodes} nodes but the graph has {graph_nodes}")
+            }
         }
     }
 }

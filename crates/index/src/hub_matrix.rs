@@ -71,7 +71,10 @@ impl HubMatrix {
                         if i >= ids.len() {
                             break;
                         }
-                        local.push((i, compute_hub_column(transition, ids[i], solver, rounding_threshold)));
+                        local.push((
+                            i,
+                            compute_hub_column(transition, ids[i], solver, rounding_threshold),
+                        ));
                     }
                     local
                 }));
@@ -170,8 +173,9 @@ impl HubMatrix {
             return None;
         }
         let omega = self.rounding_threshold;
-        let entries_per_hub =
-            (1.0 - beta).powf(1.0 / beta) * omega.powf(-1.0 / beta) * (n as f64).powf(1.0 - 1.0 / beta);
+        let entries_per_hub = (1.0 - beta).powf(1.0 / beta)
+            * omega.powf(-1.0 / beta)
+            * (n as f64).powf(1.0 - 1.0 / beta);
         let entries = entries_per_hub * self.hub_count() as f64;
         Some((entries.min(1e15) * 12.0) as usize)
     }
@@ -228,11 +232,7 @@ impl Materializer {
 
     /// Materializes the lower-bound vector of `snapshot` and returns the
     /// scratch holding it (valid until the next call).
-    pub fn materialize(
-        &mut self,
-        snapshot: &BcaSnapshot,
-        hub_matrix: &HubMatrix,
-    ) -> &EpochScratch {
+    pub fn materialize(&mut self, snapshot: &BcaSnapshot, hub_matrix: &HubMatrix) -> &EpochScratch {
         self.scratch.reset();
         snapshot.retained.scatter_into(1.0, &mut self.scratch);
         for (h, s) in snapshot.hub_ink.iter() {
@@ -266,12 +266,18 @@ mod tests {
         GraphBuilder::from_edges(
             6,
             &[
-                (0, 1), (0, 3), (0, 5),
-                (1, 0), (1, 2),
-                (2, 0), (2, 1),
-                (3, 1), (3, 4),
+                (0, 1),
+                (0, 3),
+                (0, 5),
+                (1, 0),
+                (1, 2),
+                (2, 0),
+                (2, 1),
+                (3, 1),
+                (3, 4),
                 (4, 1),
-                (5, 1), (5, 3),
+                (5, 1),
+                (5, 3),
             ],
             DanglingPolicy::Error,
         )
@@ -368,11 +374,8 @@ mod tests {
         let exact = rtk_rwr::exact::proximity_matrix_dense(&t, 0.15);
 
         // Exhaustive BCA from node 2 with hubs; materialized vector must be p_2.
-        let mut engine = BcaEngine::new(
-            hubs,
-            BcaParams::exhaustive(0.15),
-            PropagationStrategy::BatchThreshold,
-        );
+        let mut engine =
+            BcaEngine::new(hubs, BcaParams::exhaustive(0.15), PropagationStrategy::BatchThreshold);
         let snap =
             engine.run_from(&t, 2, &BcaStop { residue_norm: 1e-12, max_iterations: 1_000_000 });
         let mut mat = Materializer::new(6);

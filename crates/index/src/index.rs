@@ -119,6 +119,17 @@ impl ReverseIndex {
         self.states[u as usize] = state;
     }
 
+    /// Commits a batch of externally refined states — the serial merge phase
+    /// of the parallel query path. Each worker refines private copies during
+    /// screening; this folds them back by node id. Refinement only tightens a
+    /// state, so commit order between distinct nodes is irrelevant and the
+    /// merged index equals the one a serial in-place run produces.
+    pub fn commit_states(&mut self, states: impl IntoIterator<Item = (u32, NodeState)>) {
+        for (u, state) in states {
+            self.commit_state(u, state);
+        }
+    }
+
     /// Recomputes total heap bytes (states drift as queries refine them).
     pub fn current_bytes(&self) -> usize {
         self.states.iter().map(|s| s.heap_bytes()).sum::<usize>() + self.hub_matrix.heap_bytes()
@@ -136,12 +147,18 @@ mod tests {
         GraphBuilder::from_edges(
             6,
             &[
-                (0, 1), (0, 3), (0, 5),
-                (1, 0), (1, 2),
-                (2, 0), (2, 1),
-                (3, 1), (3, 4),
+                (0, 1),
+                (0, 3),
+                (0, 5),
+                (1, 0),
+                (1, 2),
+                (2, 0),
+                (2, 1),
+                (3, 1),
+                (3, 4),
                 (4, 1),
-                (5, 1), (5, 3),
+                (5, 1),
+                (5, 3),
             ],
             DanglingPolicy::Error,
         )

@@ -132,12 +132,18 @@ mod tests {
         GraphBuilder::from_edges(
             6,
             &[
-                (0, 1), (0, 3), (0, 5),
-                (1, 0), (1, 2),
-                (2, 0), (2, 1),
-                (3, 1), (3, 4),
+                (0, 1),
+                (0, 3),
+                (0, 5),
+                (1, 0),
+                (1, 2),
+                (2, 0),
+                (2, 1),
+                (3, 1),
+                (3, 4),
                 (4, 1),
-                (5, 1), (5, 3),
+                (5, 1),
+                (5, 3),
             ],
             DanglingPolicy::Error,
         )
@@ -146,8 +152,15 @@ mod tests {
 
     fn setup(t: &TransitionMatrix<'_>) -> (HubMatrix, BcaEngine, Materializer) {
         let hubs = HubSet::from_ids(6, vec![0, 1]);
-        let m = HubMatrix::build(t, hubs.clone(), &HubSolver::PowerMethod(RwrParams::default()), 0.0, 1);
-        let engine = BcaEngine::new(hubs, BcaParams::default(), PropagationStrategy::BatchThreshold);
+        let m = HubMatrix::build(
+            t,
+            hubs.clone(),
+            &HubSolver::PowerMethod(RwrParams::default()),
+            0.0,
+            1,
+        );
+        let engine =
+            BcaEngine::new(hubs, BcaParams::default(), PropagationStrategy::BatchThreshold);
         (m, engine, Materializer::new(6))
     }
 

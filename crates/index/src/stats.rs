@@ -54,7 +54,12 @@ mod tests {
 
     #[test]
     fn summary_renders() {
-        let s = IndexStats { hub_count: 3, total_seconds: 1.25, actual_bytes: 1 << 20, ..Default::default() };
+        let s = IndexStats {
+            hub_count: 3,
+            total_seconds: 1.25,
+            actual_bytes: 1 << 20,
+            ..Default::default()
+        };
         let text = s.summary();
         assert!(text.contains("hubs=3"));
         assert!(text.contains("1.0MiB"));

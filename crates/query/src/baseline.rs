@@ -203,12 +203,18 @@ mod tests {
         GraphBuilder::from_edges(
             6,
             &[
-                (0, 1), (0, 3), (0, 5),
-                (1, 0), (1, 2),
-                (2, 0), (2, 1),
-                (3, 1), (3, 4),
+                (0, 1),
+                (0, 3),
+                (0, 5),
+                (1, 0),
+                (1, 2),
+                (2, 0),
+                (2, 1),
+                (3, 1),
+                (3, 4),
                 (4, 1),
-                (5, 1), (5, 3),
+                (5, 1),
+                (5, 3),
             ],
             DanglingPolicy::Error,
         )
@@ -251,9 +257,8 @@ mod tests {
         let t = TransitionMatrix::new(&g);
         let params = RwrParams::default();
         let k = 2;
-        let total: usize = (0..6u32)
-            .map(|q| brute_force_reverse_topk(&t, q, k, &params).len())
-            .sum();
+        let total: usize =
+            (0..6u32).map(|q| brute_force_reverse_topk(&t, q, k, &params).len()).sum();
         assert_eq!(total, 6 * k);
     }
 

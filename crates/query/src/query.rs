@@ -1,17 +1,44 @@
 //! The Online Query algorithm — Algorithm 4 (paper §4.2).
+//!
+//! # Two-phase parallel execution
+//!
+//! A query runs as **PMPN → screen → commit**:
+//!
+//! 1. PMPN computes `p_*(q)` with its sparse matrix–vector products spread
+//!    over [`QueryOptions::query_threads`] workers;
+//! 2. the **screen phase** partitions `0..n` across the same number of
+//!    workers. Each worker owns a private [`BcaEngine`] + [`Materializer`]
+//!    (recycled across queries through a [`ScratchPool`]) and refines
+//!    candidates on *private copies* of their [`NodeState`] — the shared
+//!    index is only read;
+//! 3. the **commit phase** (update mode only) serially merges every refined
+//!    copy back into the index by node id.
+//!
+//! Per-node screening decisions depend only on that node's stored state and
+//! the PMPN vector, never on another node's refinement, so the result set,
+//! the statistics, and the post-query index are **identical for every thread
+//! count** — asserted by the `parallel_determinism` integration suite.
 
 use crate::error::QueryError;
 use crate::upper_bound::upper_bound_kth;
-use rtk_graph::TransitionMatrix;
+use rtk_graph::{resolve_threads, TransitionMatrix};
 use rtk_index::{refine_state, Materializer, NodeState, ReverseIndex};
-use rtk_rwr::bca::{BcaEngine, BcaStop};
+use rtk_rwr::bca::{BcaEngine, BcaStop, PropagationStrategy};
 use rtk_rwr::pmpn::proximity_to;
 use rtk_rwr::power::proximity_from;
-use rtk_rwr::RwrParams;
+use rtk_rwr::{BcaParams, HubSet, RwrParams};
+use rtk_sparse::ScratchPool;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
 /// Residual mass below which a node's bounds are treated as exact.
 const EXACT_RESIDUAL_EPS: f64 = 1e-12;
+
+/// Nodes claimed per worker fetch during the screen phase. Small enough to
+/// balance the heavy refinement tail (one hard candidate can cost thousands
+/// of BCA iterations while its neighbors cost none), large enough to
+/// amortize the atomic counter.
+const SCREEN_CHUNK: usize = 16;
 
 /// Tie tolerance for membership comparisons (`p_u(q) ≥ p̂_u(k)`).
 ///
@@ -44,7 +71,8 @@ pub struct QueryOptions {
     pub update_index: bool,
     /// Residual accounting (see [`BoundMode`]).
     pub bound_mode: BoundMode,
-    /// PMPN parameters (`α` is overridden by the index's `α`).
+    /// PMPN parameters (`α` is overridden by the index's `α`, and the SpMV
+    /// thread count by [`Self::query_threads`]).
     pub rwr: RwrParams,
     /// BCA iterations per refinement step (Alg. 4 runs 1; larger values
     /// trade bound tightness checks for fewer materializations).
@@ -55,6 +83,11 @@ pub struct QueryOptions {
     /// graphs hits ≈ results, so recall stays high while the refinement cost
     /// disappears.
     pub approximate: bool,
+    /// Worker threads for the query hot path (`0` = all cores, the default).
+    /// Governs both the PMPN matrix–vector products and the screen phase of
+    /// a single query, and the fan-out width of
+    /// [`QueryEngine::query_batch`]. Results are identical for any value.
+    pub query_threads: usize,
 }
 
 impl Default for QueryOptions {
@@ -65,6 +98,7 @@ impl Default for QueryOptions {
             rwr: RwrParams::default(),
             refine_iterations: 1,
             approximate: false,
+            query_threads: 0,
         }
     }
 }
@@ -93,6 +127,18 @@ pub struct QueryStats {
     pub screen_seconds: f64,
     /// Total query seconds.
     pub total_seconds: f64,
+}
+
+impl QueryStats {
+    /// Folds a worker's partial counters into this total.
+    fn absorb(&mut self, other: &QueryStats) {
+        self.candidates += other.candidates;
+        self.hits += other.hits;
+        self.pruned_by_lower_bound += other.pruned_by_lower_bound;
+        self.refined_nodes += other.refined_nodes;
+        self.refine_iterations += other.refine_iterations;
+        self.exact_fallbacks += other.exact_fallbacks;
+    }
 }
 
 /// The result of a reverse top-k query.
@@ -147,19 +193,44 @@ impl QueryResult {
     }
 }
 
-/// A reusable query session: owns the BCA engine and materializer scratch so
-/// repeated queries allocate almost nothing. Holds no graph borrow — the
-/// transition matrix is passed per call.
-pub struct QueryEngine {
+/// Per-worker solver scratch: a BCA engine plus a materializer, both sized
+/// to the graph. Recycled across queries through the session's pool.
+struct RefineScratch {
     engine: BcaEngine,
     materializer: Materializer,
+}
+
+/// A reusable query session: owns a pool of per-thread BCA/materializer
+/// scratch so repeated queries allocate almost nothing. Holds no graph
+/// borrow — the transition matrix is passed per call.
+pub struct QueryEngine {
+    nodes: usize,
+    hubs: HubSet,
+    bca: BcaParams,
+    scratch: ScratchPool<RefineScratch>,
 }
 
 impl QueryEngine {
     /// Creates a session compatible with `index` (same hub set and BCA
     /// parameters).
     pub fn new(index: &ReverseIndex) -> Self {
-        Self { engine: index.make_engine(), materializer: index.make_materializer() }
+        Self {
+            nodes: index.node_count(),
+            hubs: index.hub_matrix().hubs().clone(),
+            bca: index.config().bca,
+            scratch: ScratchPool::new(),
+        }
+    }
+
+    fn make_scratch(&self) -> RefineScratch {
+        RefineScratch {
+            engine: BcaEngine::new(
+                self.hubs.clone(),
+                self.bca,
+                PropagationStrategy::BatchThreshold,
+            ),
+            materializer: Materializer::new(self.nodes),
+        }
     }
 
     /// Runs Algorithm 4. With `options.update_index` the refined states are
@@ -191,6 +262,85 @@ impl QueryEngine {
         self.run(transition, QueryTarget::Frozen(index), q, k, &opts)
     }
 
+    /// Runs many *independent* queries against a frozen index, fanning them
+    /// across [`QueryOptions::query_threads`] workers (each query itself
+    /// runs serially — the parallelism budget goes to throughput).
+    ///
+    /// Always the paper's `no-update` mode: concurrent queries never observe
+    /// each other's refinements, so `results[i]` equals what
+    /// [`Self::query_frozen`] returns for `queries[i]`, in input order.
+    pub fn query_batch(
+        &self,
+        transition: &TransitionMatrix<'_>,
+        index: &ReverseIndex,
+        queries: &[(u32, usize)],
+        options: &QueryOptions,
+    ) -> Result<Vec<QueryResult>, QueryError> {
+        let n = transition.node_count();
+        if index.node_count() != n {
+            return Err(QueryError::GraphMismatch {
+                index_nodes: index.node_count(),
+                graph_nodes: n,
+            });
+        }
+        for &(q, k) in queries {
+            if k == 0 || k > index.max_k() {
+                return Err(QueryError::KOutOfRange { k, max_k: index.max_k() });
+            }
+            if q as usize >= n {
+                return Err(QueryError::NodeOutOfRange { node: q, node_count: n });
+            }
+        }
+
+        let per_query = QueryOptions { update_index: false, query_threads: 1, ..*options };
+        let threads = resolve_threads(options.query_threads).min(queries.len().max(1));
+        let mut slots: Vec<Option<QueryResult>> = (0..queries.len()).map(|_| None).collect();
+        if threads <= 1 {
+            for (slot, &(q, k)) in slots.iter_mut().zip(queries) {
+                let (result, _) =
+                    execute_query(self, transition, index, q, k, &per_query, 1, false);
+                *slot = Some(result);
+            }
+        } else {
+            let next = AtomicUsize::new(0);
+            let finished: Vec<Vec<(usize, QueryResult)>> = std::thread::scope(|scope| {
+                let mut handles = Vec::with_capacity(threads);
+                for _ in 0..threads {
+                    let next = &next;
+                    let per_query = &per_query;
+                    handles.push(scope.spawn(move || {
+                        let mut local = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= queries.len() {
+                                break;
+                            }
+                            let (q, k) = queries[i];
+                            let (result, _) =
+                                execute_query(self, transition, index, q, k, per_query, 1, false);
+                            local.push((i, result));
+                        }
+                        local
+                    }));
+                }
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("batch query worker panicked"))
+                    .collect()
+            });
+            for chunk in finished {
+                for (i, result) in chunk {
+                    debug_assert!(slots[i].is_none());
+                    slots[i] = Some(result);
+                }
+            }
+        }
+        Ok(slots
+            .into_iter()
+            .map(|s| s.expect("query result missing after batch"))
+            .collect())
+    }
+
     fn run(
         &mut self,
         transition: &TransitionMatrix<'_>,
@@ -200,37 +350,180 @@ impl QueryEngine {
         options: &QueryOptions,
     ) -> Result<QueryResult, QueryError> {
         let started = Instant::now();
-        let index = target.as_ref();
         let n = transition.node_count();
-        if index.node_count() != n {
-            return Err(QueryError::GraphMismatch {
-                index_nodes: index.node_count(),
-                graph_nodes: n,
-            });
-        }
-        if k == 0 || k > index.max_k() {
-            return Err(QueryError::KOutOfRange { k, max_k: index.max_k() });
-        }
-        if q as usize >= n {
-            return Err(QueryError::NodeOutOfRange { node: q, node_count: n });
+        {
+            let index = target.as_ref();
+            if index.node_count() != n {
+                return Err(QueryError::GraphMismatch {
+                    index_nodes: index.node_count(),
+                    graph_nodes: n,
+                });
+            }
+            if k == 0 || k > index.max_k() {
+                return Err(QueryError::KOutOfRange { k, max_k: index.max_k() });
+            }
+            if q as usize >= n {
+                return Err(QueryError::NodeOutOfRange { node: q, node_count: n });
+            }
         }
 
-        // Step 1 (Alg. 4 line 1): exact proximities to q via PMPN, with the
-        // index's restart probability.
-        let pmpn_params = RwrParams { alpha: index.config().alpha(), ..options.rwr };
-        let pmpn_t0 = Instant::now();
-        let (to_q, pmpn_report) = proximity_to(transition, q, &pmpn_params);
-        let pmpn_seconds = pmpn_t0.elapsed().as_secs_f64();
+        let threads = resolve_threads(options.query_threads);
+        let commit = options.update_index && matches!(target, QueryTarget::Mutable(_));
+        let (mut result, commits) =
+            execute_query(&*self, transition, target.as_ref(), q, k, options, threads, commit);
 
-        // Step 2 (Alg. 4 lines 2–14): screen every node.
-        let strict = options.bound_mode == BoundMode::Strict;
-        let base_step = options.refine_iterations.max(1);
-        let screen_t0 = Instant::now();
-        let mut stats = QueryStats::default();
-        let mut nodes = Vec::new();
-        let mut proximities = Vec::new();
+        // Commit phase (update mode): serially merge the refined private
+        // copies back into the index.
+        if commit {
+            if let QueryTarget::Mutable(index) = &mut target {
+                index.commit_states(commits);
+            }
+        }
 
-        for u in 0..n as u32 {
+        result.stats.total_seconds = started.elapsed().as_secs_f64();
+        Ok(result)
+    }
+}
+
+/// One worker's screen-phase output.
+#[derive(Default)]
+struct LocalScreen {
+    stats: QueryStats,
+    /// `(node, p_u(q))` of confirmed results.
+    results: Vec<(u32, f64)>,
+    /// Refined private states to merge back in update mode.
+    commits: Vec<(u32, NodeState)>,
+}
+
+/// Runs PMPN + the screen phase against a read-only index view. Returns the
+/// result (with `total_seconds` still unset) and the refined states to
+/// commit (empty unless `want_commits`).
+#[allow(clippy::too_many_arguments)]
+fn execute_query(
+    session: &QueryEngine,
+    transition: &TransitionMatrix<'_>,
+    index: &ReverseIndex,
+    q: u32,
+    k: usize,
+    options: &QueryOptions,
+    threads: usize,
+    want_commits: bool,
+) -> (QueryResult, Vec<(u32, NodeState)>) {
+    let n = transition.node_count();
+
+    // Step 1 (Alg. 4 line 1): exact proximities to q via PMPN, with the
+    // index's restart probability, SpMV spread over the query threads.
+    let pmpn_params = RwrParams { alpha: index.config().alpha(), threads, ..options.rwr };
+    let pmpn_t0 = Instant::now();
+    let (to_q, pmpn_report) = proximity_to(transition, q, &pmpn_params);
+    let pmpn_seconds = pmpn_t0.elapsed().as_secs_f64();
+
+    // Step 2 (Alg. 4 lines 2–14): screen every node, workers pulling
+    // contiguous chunks off an atomic counter. Workers refining already in
+    // parallel solve strict-mode fallbacks serially to avoid nested spawns.
+    // A worker can only be useful with a chunk to claim, so the count is
+    // clamped by the chunk count — small graphs run serially instead of
+    // paying spawn overhead for idle workers.
+    let screen_t0 = Instant::now();
+    let threads = threads.max(1).min(n.div_ceil(SCREEN_CHUNK)).max(1);
+    let fallback_params =
+        RwrParams { threads: if threads > 1 { 1 } else { pmpn_params.threads }, ..pmpn_params };
+    let next = AtomicUsize::new(0);
+
+    let locals: Vec<LocalScreen> = if threads <= 1 {
+        let mut scratch = session.scratch.take_with(|| session.make_scratch());
+        let mut local = LocalScreen::default();
+        screen_worker(
+            &mut local,
+            &mut scratch,
+            &next,
+            transition,
+            index,
+            &to_q,
+            q,
+            k,
+            options,
+            &fallback_params,
+            want_commits,
+        );
+        session.scratch.put(scratch);
+        vec![local]
+    } else {
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(threads);
+            for _ in 0..threads {
+                let next = &next;
+                let to_q = &to_q;
+                let fallback_params = &fallback_params;
+                handles.push(scope.spawn(move || {
+                    let mut scratch = session.scratch.take_with(|| session.make_scratch());
+                    let mut local = LocalScreen::default();
+                    screen_worker(
+                        &mut local,
+                        &mut scratch,
+                        next,
+                        transition,
+                        index,
+                        to_q,
+                        q,
+                        k,
+                        options,
+                        fallback_params,
+                        want_commits,
+                    );
+                    session.scratch.put(scratch);
+                    local
+                }));
+            }
+            handles.into_iter().map(|h| h.join().expect("screen worker panicked")).collect()
+        })
+    };
+
+    // Merge: counters add; results and commits sort by node id, so the
+    // output is independent of chunk interleaving.
+    let mut stats = QueryStats::default();
+    let mut results: Vec<(u32, f64)> = Vec::new();
+    let mut commits: Vec<(u32, NodeState)> = Vec::new();
+    for local in locals {
+        stats.absorb(&local.stats);
+        results.extend(local.results);
+        commits.extend(local.commits);
+    }
+    results.sort_unstable_by_key(|&(u, _)| u);
+    commits.sort_unstable_by_key(|&(u, _)| u);
+    let (nodes, proximities): (Vec<u32>, Vec<f64>) = results.into_iter().unzip();
+
+    stats.pmpn_iterations = pmpn_report.iterations;
+    stats.pmpn_seconds = pmpn_seconds;
+    stats.screen_seconds = screen_t0.elapsed().as_secs_f64();
+    stats.total_seconds = pmpn_seconds + stats.screen_seconds;
+
+    (QueryResult { query: q, k, nodes, proximities, stats }, commits)
+}
+
+/// Screens chunks of nodes pulled off `next` until the range is exhausted.
+#[allow(clippy::too_many_arguments)]
+fn screen_worker(
+    local: &mut LocalScreen,
+    scratch: &mut RefineScratch,
+    next: &AtomicUsize,
+    transition: &TransitionMatrix<'_>,
+    index: &ReverseIndex,
+    to_q: &[f64],
+    q: u32,
+    k: usize,
+    options: &QueryOptions,
+    fallback_params: &RwrParams,
+    want_commits: bool,
+) {
+    let n = transition.node_count();
+    loop {
+        let lo = next.fetch_add(SCREEN_CHUNK, Ordering::Relaxed);
+        if lo >= n {
+            break;
+        }
+        let hi = (lo + SCREEN_CHUNK).min(n);
+        for u in lo as u32..hi as u32 {
             let p_uq = to_q[u as usize];
 
             // Membership requires strictly positive proximity: a top-k
@@ -239,131 +532,143 @@ impl QueryEngine {
             // value is 0) would "contain" every query node — Figure 1's
             // shaded cells are always non-zero.
             if p_uq <= TIE_EPSILON {
-                stats.pruned_by_lower_bound += 1;
+                local.stats.pruned_by_lower_bound += 1;
                 continue;
             }
             // Fast path: prune on the stored lower bound without copying
             // (Alg. 4 line 4's first evaluation).
-            if p_uq < target.as_ref().state(u).kth_lower_bound(k) - TIE_EPSILON {
-                stats.pruned_by_lower_bound += 1;
+            if p_uq < index.state(u).kth_lower_bound(k) - TIE_EPSILON {
+                local.stats.pruned_by_lower_bound += 1;
                 continue;
             }
-            stats.candidates += 1;
-            let mut scratch_state: Option<NodeState> = None;
+            local.stats.candidates += 1;
+            screen_candidate(
+                local,
+                scratch,
+                transition,
+                index,
+                u,
+                p_uq,
+                q,
+                k,
+                options,
+                fallback_params,
+                want_commits,
+            );
+        }
+    }
+}
 
-            let mut untouched = true; // no refinement performed yet
-            let mut is_result = false;
-            // Refinement step size doubles while a candidate stays
-            // undecided (capped): hard candidates need O(100) BCA
-            // iterations, and rematerializing the top-K after every single
-            // one would dominate. Bounds only tighten, so results are
-            // unchanged (DESIGN.md §3).
-            let mut step = base_step;
-            loop {
-                // Current view: the private refined copy when one exists,
-                // otherwise the index's stored state.
-                let (lb, residual, staircase) = {
-                    let state = scratch_state
-                        .as_ref()
-                        .unwrap_or_else(|| target.as_ref().state(u));
-                    (
-                        state.kth_lower_bound(k),
-                        state.residual_mass(strict),
-                        state.lower_bounds().prefix_values(k),
-                    )
-                };
-                if p_uq < lb - TIE_EPSILON {
-                    break; // pruned (possibly after refinement)
-                }
-                if residual <= EXACT_RESIDUAL_EPS {
-                    // Bounds are exact: p ≥ lb = p^kmax_u ⇒ result (lines 5–7).
-                    is_result = true;
-                    break;
-                }
-                let ub = upper_bound_kth(&staircase, residual, k);
-                if p_uq >= ub {
-                    if untouched {
-                        stats.hits += 1; // confirmed without any refinement
-                    }
-                    is_result = true;
-                    break;
-                }
+/// Screens one surviving candidate: bound checks plus refinement on a
+/// private copy of its state (Alg. 4 lines 4–13).
+#[allow(clippy::too_many_arguments)]
+fn screen_candidate(
+    local: &mut LocalScreen,
+    scratch: &mut RefineScratch,
+    transition: &TransitionMatrix<'_>,
+    index: &ReverseIndex,
+    u: u32,
+    p_uq: f64,
+    q: u32,
+    k: usize,
+    options: &QueryOptions,
+    fallback_params: &RwrParams,
+    want_commits: bool,
+) {
+    let strict = options.bound_mode == BoundMode::Strict;
+    let base_step = options.refine_iterations.max(1);
+    let mut scratch_state: Option<NodeState> = None;
 
-                // Approximate mode stops here: the node is neither an
-                // immediate hit nor exactly bounded, so it is dropped
-                // (no refinement, paper §5.3's suggested variant).
-                if options.approximate {
-                    break;
-                }
-
-                // Refine (Alg. 4 line 13): in update mode directly on the
-                // index; otherwise on a lazily-created private copy.
-                if untouched {
-                    stats.refined_nodes += 1;
-                    untouched = false;
-                }
-                let refine_stop = BcaStop { residue_norm: 0.0, max_iterations: step };
-                step = (step * 2).min(base_step * 64);
-                let update_in_place =
-                    options.update_index && matches!(target, QueryTarget::Mutable(_));
-                let executed = if update_in_place {
-                    match &mut target {
-                        QueryTarget::Mutable(index) => index.refine_node(
-                            u,
-                            transition,
-                            &mut self.engine,
-                            &mut self.materializer,
-                            &refine_stop,
-                        ),
-                        QueryTarget::Frozen(_) => unreachable!("guarded by update_in_place"),
-                    }
-                } else {
-                    let index = target.as_ref();
-                    let state = scratch_state.get_or_insert_with(|| index.state(u).clone());
-                    refine_state(
-                        state,
-                        transition,
-                        &mut self.engine,
-                        index.hub_matrix(),
-                        &mut self.materializer,
-                        &refine_stop,
-                    )
-                };
-                if executed == 0 {
-                    // Residue exhausted but bounds still open. In
-                    // paper-faithful mode this means the lower bound equals
-                    // the exact k-th value — decide on it (mirroring the
-                    // paper's treatment of rounded hub vectors as exact).
-                    // In strict mode the gap is the hub-rounding deficit,
-                    // which refinement cannot shrink: resolve exactly with
-                    // one forward solve so strict results stay sound.
-                    match options.bound_mode {
-                        BoundMode::PaperFaithful => {
-                            is_result = p_uq >= lb - TIE_EPSILON;
-                        }
-                        BoundMode::Strict => {
-                            stats.exact_fallbacks += 1;
-                            let (col, _) = proximity_from(transition, u, &pmpn_params);
-                            let kth = rtk_sparse::dense::kth_largest(&col, k);
-                            is_result = col[q as usize] >= kth - TIE_EPSILON;
-                        }
-                    }
-                    break;
-                }
-                stats.refine_iterations += u64::from(executed);
+    let mut untouched = true; // no refinement performed yet
+    let mut is_result = false;
+    let mut advanced = false; // at least one BCA iteration executed
+                              // Refinement step size doubles while a candidate stays undecided
+                              // (capped): hard candidates need O(100) BCA iterations, and
+                              // rematerializing the top-K after every single one would dominate.
+                              // Bounds only tighten, so results are unchanged (DESIGN.md §3).
+    let mut step = base_step;
+    loop {
+        // Current view: the private refined copy when one exists, otherwise
+        // the index's stored state.
+        let (lb, residual, staircase) = {
+            let state = scratch_state.as_ref().unwrap_or_else(|| index.state(u));
+            (
+                state.kth_lower_bound(k),
+                state.residual_mass(strict),
+                state.lower_bounds().prefix_values(k),
+            )
+        };
+        if p_uq < lb - TIE_EPSILON {
+            break; // pruned (possibly after refinement)
+        }
+        if residual <= EXACT_RESIDUAL_EPS {
+            // Bounds are exact: p ≥ lb = p^kmax_u ⇒ result (lines 5–7).
+            is_result = true;
+            break;
+        }
+        let ub = upper_bound_kth(&staircase, residual, k);
+        if p_uq >= ub {
+            if untouched {
+                local.stats.hits += 1; // confirmed without any refinement
             }
-            if is_result {
-                nodes.push(u);
-                proximities.push(p_uq);
-            }
+            is_result = true;
+            break;
         }
 
-        stats.pmpn_iterations = pmpn_report.iterations;
-        stats.pmpn_seconds = pmpn_seconds;
-        stats.screen_seconds = screen_t0.elapsed().as_secs_f64();
-        stats.total_seconds = started.elapsed().as_secs_f64();
+        // Approximate mode stops here: the node is neither an immediate hit
+        // nor exactly bounded, so it is dropped (no refinement, paper §5.3's
+        // suggested variant).
+        if options.approximate {
+            break;
+        }
 
-        Ok(QueryResult { query: q, k, nodes, proximities, stats })
+        // Refine (Alg. 4 line 13) on a lazily-created private copy; update
+        // mode merges the copies back during the commit phase.
+        if untouched {
+            local.stats.refined_nodes += 1;
+            untouched = false;
+        }
+        let refine_stop = BcaStop { residue_norm: 0.0, max_iterations: step };
+        step = (step * 2).min(base_step * 64);
+        let state = scratch_state.get_or_insert_with(|| index.state(u).clone());
+        let executed = refine_state(
+            state,
+            transition,
+            &mut scratch.engine,
+            index.hub_matrix(),
+            &mut scratch.materializer,
+            &refine_stop,
+        );
+        if executed == 0 {
+            // Residue exhausted but bounds still open. In paper-faithful
+            // mode this means the lower bound equals the exact k-th value —
+            // decide on it (mirroring the paper's treatment of rounded hub
+            // vectors as exact). In strict mode the gap is the hub-rounding
+            // deficit, which refinement cannot shrink: resolve exactly with
+            // one forward solve so strict results stay sound.
+            match options.bound_mode {
+                BoundMode::PaperFaithful => {
+                    is_result = p_uq >= lb - TIE_EPSILON;
+                }
+                BoundMode::Strict => {
+                    local.stats.exact_fallbacks += 1;
+                    let (col, _) = proximity_from(transition, u, fallback_params);
+                    let kth = rtk_sparse::dense::kth_largest(&col, k);
+                    is_result = col[q as usize] >= kth - TIE_EPSILON;
+                }
+            }
+            break;
+        }
+        advanced = true;
+        local.stats.refine_iterations += u64::from(executed);
+    }
+    if is_result {
+        local.results.push((u, p_uq));
+    }
+    if want_commits && advanced {
+        if let Some(state) = scratch_state {
+            local.commits.push((u, state));
+        }
     }
 }
 
@@ -394,12 +699,18 @@ mod tests {
         GraphBuilder::from_edges(
             6,
             &[
-                (0, 1), (0, 3), (0, 5),
-                (1, 0), (1, 2),
-                (2, 0), (2, 1),
-                (3, 1), (3, 4),
+                (0, 1),
+                (0, 3),
+                (0, 5),
+                (1, 0),
+                (1, 2),
+                (2, 0),
+                (2, 1),
+                (3, 1),
+                (3, 4),
                 (4, 1),
-                (5, 1), (5, 3),
+                (5, 1),
+                (5, 3),
             ],
             DanglingPolicy::Error,
         )
@@ -477,12 +788,8 @@ mod tests {
         let mut session = QueryEngine::new(&frozen);
         for q in [0u32, 7, 33, 99] {
             for k in [1usize, 3, 10] {
-                let a = session
-                    .query(&t, &mut updated, q, k, &QueryOptions::default())
-                    .unwrap();
-                let b = session
-                    .query_frozen(&t, &frozen, q, k, &QueryOptions::default())
-                    .unwrap();
+                let a = session.query(&t, &mut updated, q, k, &QueryOptions::default()).unwrap();
+                let b = session.query_frozen(&t, &frozen, q, k, &QueryOptions::default()).unwrap();
                 assert_eq!(a.nodes(), b.nodes(), "q={q} k={k}");
             }
         }
@@ -510,9 +817,8 @@ mod tests {
             for q in [0u32, 11, 42] {
                 for k in [1usize, 4, 8] {
                     let expected = brute_force_reverse_topk(&t, q, k, &params);
-                    let got = session
-                        .query(&t, &mut index, q, k, &QueryOptions::default())
-                        .unwrap();
+                    let got =
+                        session.query(&t, &mut index, q, k, &QueryOptions::default()).unwrap();
                     assert_eq!(got.nodes(), &expected[..], "seed={seed} q={q} k={k}");
                 }
             }
@@ -521,7 +827,8 @@ mod tests {
 
     #[test]
     fn strict_mode_is_exact_under_aggressive_rounding() {
-        let g = rtk_graph::gen::scale_free(&rtk_graph::gen::ScaleFreeConfig::new(80, 3, 9)).unwrap();
+        let g =
+            rtk_graph::gen::scale_free(&rtk_graph::gen::ScaleFreeConfig::new(80, 3, 9)).unwrap();
         let t = TransitionMatrix::new(&g);
         let config = IndexConfig {
             max_k: 6,
@@ -644,9 +951,7 @@ mod tests {
         let mut approx_total = 0usize;
         for q in (0..300u32).step_by(29) {
             let approx = session.query_frozen(&t, &index, q, 10, &approx_opts).unwrap();
-            let exact = session
-                .query(&t, &mut index, q, 10, &QueryOptions::default())
-                .unwrap();
+            let exact = session.query(&t, &mut index, q, 10, &QueryOptions::default()).unwrap();
             // Approximate results are always a subset of the exact answer …
             for u in approx.nodes() {
                 assert!(exact.contains(*u), "q={q}: {u} not in exact result");
@@ -675,10 +980,94 @@ mod tests {
         let mut session = QueryEngine::new(&index);
         let k = 2;
         let total: usize = (0..6u32)
-            .map(|q| {
-                session.query(&t, &mut index, q, k, &QueryOptions::default()).unwrap().len()
-            })
+            .map(|q| session.query(&t, &mut index, q, k, &QueryOptions::default()).unwrap().len())
             .sum();
         assert_eq!(total, 6 * k);
+    }
+
+    #[test]
+    fn explicit_thread_counts_agree_with_serial() {
+        let g = rtk_graph::gen::rmat(&rtk_graph::gen::RmatConfig::new(250, 1100, 31)).unwrap();
+        let t = TransitionMatrix::new(&g);
+        let config = IndexConfig {
+            max_k: 8,
+            hub_selection: HubSelection::DegreeBased { b: 6 },
+            threads: 1,
+            ..Default::default()
+        };
+        let frozen = ReverseIndex::build(&t, config).unwrap();
+        let mut session = QueryEngine::new(&frozen);
+        let serial = QueryOptions { query_threads: 1, ..Default::default() };
+        for q in [0u32, 49, 123] {
+            let base = session.query_frozen(&t, &frozen, q, 8, &serial).unwrap();
+            for threads in [2usize, 4, 8] {
+                let opts = QueryOptions { query_threads: threads, ..Default::default() };
+                let got = session.query_frozen(&t, &frozen, q, 8, &opts).unwrap();
+                assert_eq!(got.nodes(), base.nodes(), "q={q} threads={threads}");
+                assert_eq!(got.proximities(), base.proximities(), "q={q} threads={threads}");
+                assert_eq!(got.stats().candidates, base.stats().candidates);
+                assert_eq!(got.stats().refine_iterations, base.stats().refine_iterations);
+            }
+        }
+    }
+
+    #[test]
+    fn query_batch_matches_individual_frozen_queries() {
+        let g = rtk_graph::gen::rmat(&rtk_graph::gen::RmatConfig::new(200, 800, 17)).unwrap();
+        let t = TransitionMatrix::new(&g);
+        let config = IndexConfig {
+            max_k: 6,
+            hub_selection: HubSelection::DegreeBased { b: 5 },
+            threads: 1,
+            ..Default::default()
+        };
+        let index = ReverseIndex::build(&t, config).unwrap();
+        let mut session = QueryEngine::new(&index);
+        let queries: Vec<(u32, usize)> =
+            (0..40u32).map(|i| ((i * 5) % 200, 1 + (i as usize % 6))).collect();
+        for threads in [1usize, 3, 8] {
+            let opts = QueryOptions { query_threads: threads, ..Default::default() };
+            let batch = session.query_batch(&t, &index, &queries, &opts).unwrap();
+            assert_eq!(batch.len(), queries.len());
+            for (i, &(q, k)) in queries.iter().enumerate() {
+                let single =
+                    session.query_frozen(&t, &index, q, k, &QueryOptions::default()).unwrap();
+                assert_eq!(batch[i].nodes(), single.nodes(), "i={i} threads={threads}");
+                assert_eq!(batch[i].query(), q);
+                assert_eq!(batch[i].k(), k);
+            }
+        }
+    }
+
+    #[test]
+    fn query_batch_rejects_invalid_queries_upfront() {
+        let g = toy();
+        let t = TransitionMatrix::new(&g);
+        let index = ReverseIndex::build(&t, toy_index_config()).unwrap();
+        let session = QueryEngine::new(&index);
+        let opts = QueryOptions::default();
+        assert!(matches!(
+            session.query_batch(&t, &index, &[(0, 2), (1, 0)], &opts),
+            Err(QueryError::KOutOfRange { k: 0, .. })
+        ));
+        assert!(matches!(
+            session.query_batch(&t, &index, &[(0, 2), (9, 1)], &opts),
+            Err(QueryError::NodeOutOfRange { node: 9, .. })
+        ));
+        assert!(session.query_batch(&t, &index, &[], &opts).unwrap().is_empty());
+    }
+
+    #[test]
+    fn scratch_pool_is_reused_across_queries() {
+        let g = toy();
+        let t = TransitionMatrix::new(&g);
+        let mut index = ReverseIndex::build(&t, toy_index_config()).unwrap();
+        let mut session = QueryEngine::new(&index);
+        let opts = QueryOptions { query_threads: 1, ..Default::default() };
+        session.query(&t, &mut index, 0, 2, &opts).unwrap();
+        let after_first = session.scratch.idle();
+        assert_eq!(after_first, 1, "serial query should park one scratch");
+        session.query(&t, &mut index, 1, 2, &opts).unwrap();
+        assert_eq!(session.scratch.idle(), 1, "scratch must be recycled, not re-made");
     }
 }

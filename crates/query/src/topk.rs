@@ -55,8 +55,7 @@ pub fn top_k_rwr_early(
     assert!(k >= 1, "top_k_rwr_early: k must be ≥ 1");
     params.validate();
 
-    let mut engine =
-        BcaEngine::new(HubSet::empty(n), *params, PropagationStrategy::BatchThreshold);
+    let mut engine = BcaEngine::new(HubSet::empty(n), *params, PropagationStrategy::BatchThreshold);
     // Run one iteration at a time, testing the separation condition between
     // iterations. `residue_norm: 0.0` makes each resume run exactly one step.
     let step = BcaStop { residue_norm: 0.0, max_iterations: 1 };
@@ -74,19 +73,13 @@ pub fn top_k_rwr_early(
         if separated || residual < tie_eps || iterations >= params.max_iterations {
             let mut result = top;
             result.truncate(k);
-            return (
-                result,
-                TopkReport { iterations, final_residual: residual, separated },
-            );
+            return (result, TopkReport { iterations, final_residual: residual, separated });
         }
         let executed = engine.resume(transition, &mut snapshot, &step);
         if executed == 0 {
             let mut result = top_k_of_pairs(snapshot.retained.iter(), k);
             result.truncate(k);
-            return (
-                result,
-                TopkReport { iterations, final_residual: residual, separated: false },
-            );
+            return (result, TopkReport { iterations, final_residual: residual, separated: false });
         }
         iterations += executed;
     }
@@ -104,12 +97,18 @@ mod tests {
         GraphBuilder::from_edges(
             6,
             &[
-                (0, 1), (0, 3), (0, 5),
-                (1, 0), (1, 2),
-                (2, 0), (2, 1),
-                (3, 1), (3, 4),
+                (0, 1),
+                (0, 3),
+                (0, 5),
+                (1, 0),
+                (1, 2),
+                (2, 0),
+                (2, 1),
+                (3, 1),
+                (3, 4),
                 (4, 1),
-                (5, 1), (5, 3),
+                (5, 1),
+                (5, 3),
             ],
             DanglingPolicy::Error,
         )
@@ -139,11 +138,7 @@ mod tests {
             for k in [1usize, 2, 3] {
                 let (early, report) = top_k_rwr_early(&t, u, k, &bpa_params());
                 let exact = top_k_rwr(&t, u, k, &RwrParams::default());
-                assert_eq!(
-                    sorted_ids(&early),
-                    sorted_ids(&exact),
-                    "u={u} k={k} report={report:?}"
-                );
+                assert_eq!(sorted_ids(&early), sorted_ids(&exact), "u={u} k={k} report={report:?}");
             }
         }
     }

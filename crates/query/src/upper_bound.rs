@@ -56,8 +56,7 @@ fn pour_reference(staircase: &[f64], residual: f64, step: f64) -> f64 {
     while remaining > 1e-15 {
         // Raise the currently-lowest levels by `step` (or what's left).
         let min = levels.iter().cloned().fold(f64::INFINITY, f64::min);
-        let at_min: Vec<usize> =
-            (0..k).filter(|&i| (levels[i] - min).abs() < 1e-12).collect();
+        let at_min: Vec<usize> = (0..k).filter(|&i| (levels[i] - min).abs() < 1e-12).collect();
         let pour = (step * at_min.len() as f64).min(remaining);
         for &i in &at_min {
             levels[i] += pour / at_min.len() as f64;

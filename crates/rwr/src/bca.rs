@@ -221,6 +221,16 @@ impl BcaEngine {
         }
     }
 
+    /// Numerical exhaustion floor for `‖r‖₁`. Below the smallest normal
+    /// `f64` the remaining "mass" is denormal noise, and propagation can
+    /// **livelock**: for a residue at the denormal minimum, `0.85·r` rounds
+    /// back up to `r`, so an out-degree-1 node pushes its residue forward
+    /// undiminished and a probability-1 cycle circulates it forever. A run
+    /// whose norm is under this floor is treated as exhausted — the mass
+    /// unaccounted for (`≤ n·2.2e−308`) is far below every tolerance in the
+    /// system.
+    const RESIDUE_FLOOR: f64 = f64::MIN_POSITIVE;
+
     /// Core loop; returns iterations executed.
     ///
     /// Each iteration mirrors the paper's simultaneous update of Eqs. 6, 8
@@ -233,7 +243,8 @@ impl BcaEngine {
         let mut executed = 0u32;
         let mut frontier: Vec<(u32, f64)> = Vec::new();
         let mut swept: Vec<u32> = Vec::new();
-        while executed < stop.max_iterations && self.residue_norm > stop.residue_norm {
+        let stop_norm = stop.residue_norm.max(Self::RESIDUE_FLOOR);
+        while executed < stop.max_iterations && self.residue_norm > stop_norm {
             // Eq. 6: s_t = Σ_{i∈H} r_{t−1}(i)·e_i + s_{t−1}, removing the
             // swept ink from the residue.
             swept.clear();
@@ -269,9 +280,13 @@ impl BcaEngine {
                         // geometrically instead of draining one node at a
                         // time (see DESIGN.md §3).
                         if let Some((_, rmax)) = self.max_residue_node() {
+                            // `rmax / 2` can underflow to 0 once the residue
+                            // reaches the denormal floor; the `v > 0` guard
+                            // keeps zero-valued touched slots (no-op pushes)
+                            // out of the frontier.
                             let adaptive = rmax / 2.0;
                             for (i, v) in self.residue.iter_touched() {
-                                if v >= adaptive {
+                                if v >= adaptive && v > 0.0 {
                                     frontier.push((i, v));
                                 }
                             }
@@ -285,9 +300,7 @@ impl BcaEngine {
                 }
                 PropagationStrategy::SingleAboveThreshold => {
                     let eta = self.params.propagation_threshold;
-                    if let Some(pick) =
-                        self.residue.iter_touched().find(|&(_, v)| v >= eta)
-                    {
+                    if let Some(pick) = self.residue.iter_touched().find(|&(_, v)| v >= eta) {
                         frontier.push(pick);
                     }
                 }
@@ -369,12 +382,18 @@ mod tests {
         GraphBuilder::from_edges(
             6,
             &[
-                (0, 1), (0, 3), (0, 5),
-                (1, 0), (1, 2),
-                (2, 0), (2, 1),
-                (3, 1), (3, 4),
+                (0, 1),
+                (0, 3),
+                (0, 5),
+                (1, 0),
+                (1, 2),
+                (2, 0),
+                (2, 1),
+                (3, 1),
+                (3, 4),
                 (4, 1),
-                (5, 1), (5, 3),
+                (5, 1),
+                (5, 3),
             ],
             DanglingPolicy::Error,
         )
@@ -435,11 +454,8 @@ mod tests {
         let t = TransitionMatrix::new(&g);
         let exact = proximity_matrix_dense(&t, 0.15);
         let hubs = HubSet::from_ids(6, vec![0, 1]);
-        let mut engine = BcaEngine::new(
-            hubs,
-            BcaParams::exhaustive(0.15),
-            PropagationStrategy::BatchThreshold,
-        );
+        let mut engine =
+            BcaEngine::new(hubs, BcaParams::exhaustive(0.15), PropagationStrategy::BatchThreshold);
         for u in 2..6u32 {
             let snap = engine.run_from(&t, u, &exhaustive_stop());
             let mut p = snap.retained.to_dense(6);
@@ -539,7 +555,11 @@ mod tests {
         let t = TransitionMatrix::new(&g);
         let params = BcaParams::default();
         fn mk(params: BcaParams) -> BcaEngine {
-            BcaEngine::new(HubSet::from_ids(6, vec![1]), params, PropagationStrategy::BatchThreshold)
+            BcaEngine::new(
+                HubSet::from_ids(6, vec![1]),
+                params,
+                PropagationStrategy::BatchThreshold,
+            )
         }
         let mut spliced =
             mk(params).run_from(&t, 2, &BcaStop { residue_norm: 0.0, max_iterations: 2 });
@@ -560,16 +580,13 @@ mod tests {
         let t = TransitionMatrix::new(&g);
         let params = BcaParams { residue_threshold: 0.01, ..Default::default() };
         let stop = BcaStop::from_params(&params);
-        let mut batch = BcaEngine::new(HubSet::empty(6), params, PropagationStrategy::BatchThreshold);
-        let mut single = BcaEngine::new(HubSet::empty(6), params, PropagationStrategy::SingleMaxResidue);
+        let mut batch =
+            BcaEngine::new(HubSet::empty(6), params, PropagationStrategy::BatchThreshold);
+        let mut single =
+            BcaEngine::new(HubSet::empty(6), params, PropagationStrategy::SingleMaxResidue);
         let b = batch.run_from(&t, 0, &stop);
         let s = single.run_from(&t, 0, &stop);
-        assert!(
-            b.iterations < s.iterations,
-            "batch {} vs single {}",
-            b.iterations,
-            s.iterations
-        );
+        assert!(b.iterations < s.iterations, "batch {} vs single {}", b.iterations, s.iterations);
     }
 
     #[test]

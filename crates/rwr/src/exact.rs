@@ -133,12 +133,8 @@ mod tests {
 
     #[test]
     fn oracle_columns_are_distributions() {
-        let g = GraphBuilder::from_edges(
-            3,
-            &[(0, 1), (1, 2), (2, 0)],
-            DanglingPolicy::Error,
-        )
-        .unwrap();
+        let g =
+            GraphBuilder::from_edges(3, &[(0, 1), (1, 2), (2, 0)], DanglingPolicy::Error).unwrap();
         let t = rtk_graph::TransitionMatrix::new(&g);
         for col in proximity_matrix_dense(&t, 0.15) {
             assert!((col.iter().sum::<f64>() - 1.0).abs() < 1e-12);
@@ -150,12 +146,8 @@ mod tests {
     fn directed_cycle_has_closed_form() {
         // On a 3-cycle with restart at u, proximity decays geometrically along
         // the cycle: p_u(u+j) ∝ (1-α)^j, normalized over one loop.
-        let g = GraphBuilder::from_edges(
-            3,
-            &[(0, 1), (1, 2), (2, 0)],
-            DanglingPolicy::Error,
-        )
-        .unwrap();
+        let g =
+            GraphBuilder::from_edges(3, &[(0, 1), (1, 2), (2, 0)], DanglingPolicy::Error).unwrap();
         let t = rtk_graph::TransitionMatrix::new(&g);
         let alpha = 0.15;
         let p = proximity_from_dense(&t, 0, alpha);

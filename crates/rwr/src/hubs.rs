@@ -140,12 +140,18 @@ mod tests {
         GraphBuilder::from_edges(
             6,
             &[
-                (0, 1), (0, 3), (0, 5),
-                (1, 0), (1, 2),
-                (2, 0), (2, 1),
-                (3, 1), (3, 4),
+                (0, 1),
+                (0, 3),
+                (0, 5),
+                (1, 0),
+                (1, 2),
+                (2, 0),
+                (2, 1),
+                (3, 1),
+                (3, 4),
                 (4, 1),
-                (5, 1), (5, 3),
+                (5, 1),
+                (5, 3),
             ],
             DanglingPolicy::Error,
         )

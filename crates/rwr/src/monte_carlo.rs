@@ -81,11 +81,7 @@ pub fn mc_end_point(transition: &TransitionMatrix<'_>, u: u32, params: &McParams
 }
 
 /// MC Complete Path: `p̂_u(v)` = `α ×` average visits to `v` per walk.
-pub fn mc_complete_path(
-    transition: &TransitionMatrix<'_>,
-    u: u32,
-    params: &McParams,
-) -> Vec<f64> {
+pub fn mc_complete_path(transition: &TransitionMatrix<'_>, u: u32, params: &McParams) -> Vec<f64> {
     params.validate();
     let n = transition.node_count();
     assert!((u as usize) < n, "mc_complete_path: node {u} out of range");
@@ -117,12 +113,18 @@ mod tests {
         GraphBuilder::from_edges(
             6,
             &[
-                (0, 1), (0, 3), (0, 5),
-                (1, 0), (1, 2),
-                (2, 0), (2, 1),
-                (3, 1), (3, 4),
+                (0, 1),
+                (0, 3),
+                (0, 5),
+                (1, 0),
+                (1, 2),
+                (2, 0),
+                (2, 1),
+                (3, 1),
+                (3, 4),
                 (4, 1),
-                (5, 1), (5, 3),
+                (5, 1),
+                (5, 3),
             ],
             DanglingPolicy::Error,
         )

@@ -11,11 +11,16 @@ pub struct RwrParams {
     /// Hard iteration cap (safety net; Thm. 2(c) bounds the needed count by
     /// `log(ε/α)/log(1−α)` ≈ 130 for the defaults).
     pub max_iterations: u32,
+    /// Worker threads for each sparse matrix–vector product (`0` = all
+    /// cores). Results are bitwise identical for any value; default 1 so
+    /// embedded solves (e.g. per-hub solves inside an already-parallel index
+    /// build) do not oversubscribe.
+    pub threads: usize,
 }
 
 impl Default for RwrParams {
     fn default() -> Self {
-        Self { alpha: 0.15, epsilon: 1e-10, max_iterations: 1_000 }
+        Self { alpha: 0.15, epsilon: 1e-10, max_iterations: 1_000, threads: 1 }
     }
 }
 
@@ -23,6 +28,11 @@ impl RwrParams {
     /// Creates parameters with a custom restart probability.
     pub fn with_alpha(alpha: f64) -> Self {
         Self { alpha, ..Self::default() }
+    }
+
+    /// Returns a copy with the SpMV thread count set (`0` = all cores).
+    pub fn with_threads(self, threads: usize) -> Self {
+        Self { threads, ..self }
     }
 
     /// Panics unless `0 < α < 1`, `ε > 0` and at least one iteration is
@@ -93,10 +103,7 @@ impl BcaParams {
             self.propagation_threshold > 0.0,
             "BcaParams: propagation_threshold must be positive"
         );
-        assert!(
-            self.residue_threshold >= 0.0,
-            "BcaParams: residue_threshold must be non-negative"
-        );
+        assert!(self.residue_threshold >= 0.0, "BcaParams: residue_threshold must be non-negative");
         assert!(self.max_iterations >= 1, "BcaParams: max_iterations must be ≥ 1");
     }
 }

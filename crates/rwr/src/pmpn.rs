@@ -36,6 +36,9 @@ pub fn proximity_to(
 /// [`proximity_to`] with an explicit starting iterate (Thm. 2 guarantees
 /// convergence from *any* `x⁰`; a warm start from a previous query's result
 /// can shave iterations when graphs change slowly).
+///
+/// Each `Aᵀ·x` product runs over `params.threads` workers (`0` = all cores);
+/// the result is bitwise identical for any thread count.
 pub fn proximity_to_from_start(
     transition: &TransitionMatrix<'_>,
     q: u32,
@@ -61,7 +64,7 @@ pub fn proximity_to_from_start(
     let mut iterations = 0;
     let mut delta = f64::INFINITY;
     while iterations < params.max_iterations {
-        transition.apply_transpose(params.alpha, &x, q, &mut y);
+        transition.apply_transpose_threaded(params.alpha, &x, q, &mut y, params.threads);
         iterations += 1;
         delta = dense::l1_distance(&x, &y);
         std::mem::swap(&mut x, &mut y);
@@ -83,12 +86,18 @@ mod tests {
         GraphBuilder::from_edges(
             6,
             &[
-                (0, 1), (0, 3), (0, 5),
-                (1, 0), (1, 2),
-                (2, 0), (2, 1),
-                (3, 1), (3, 4),
+                (0, 1),
+                (0, 3),
+                (0, 5),
+                (1, 0),
+                (1, 2),
+                (2, 0),
+                (2, 1),
+                (3, 1),
+                (3, 4),
                 (4, 1),
-                (5, 1), (5, 3),
+                (5, 1),
+                (5, 3),
             ],
             DanglingPolicy::Error,
         )
@@ -136,8 +145,7 @@ mod tests {
         let params = RwrParams::default();
         let (from_unit, _) = proximity_to(&t, 2, &params);
         let weird_start = vec![7.0, -3.0, 0.0, 100.0, 0.5, 2.0];
-        let (from_weird, report) =
-            proximity_to_from_start(&t, 2, &params, Some(&weird_start));
+        let (from_weird, report) = proximity_to_from_start(&t, 2, &params, Some(&weird_start));
         assert!(report.converged);
         for u in 0..6 {
             assert!((from_unit[u] - from_weird[u]).abs() < 1e-7);

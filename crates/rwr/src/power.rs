@@ -59,29 +59,28 @@ pub fn personalized_pagerank(
 
 /// Shared iteration: `x ← (1−α)·A·x + α·restart` until the L1 step-change
 /// drops below `ε`. The restart vector is folded in densely, so this handles
-/// unit, uniform, and arbitrary personalization alike.
+/// unit, uniform, and arbitrary personalization alike. Each `A·x` product
+/// runs over `params.threads` workers (`0` = all cores) with bitwise
+/// identical results for any thread count.
 fn solve_forward(
     transition: &TransitionMatrix<'_>,
     restart: &[f64],
     params: &RwrParams,
 ) -> (Vec<f64>, SolveReport) {
     let n = transition.node_count();
-    let damp = 1.0 - params.alpha;
     let mut x = restart.to_vec();
     let mut y = vec![0.0; n];
     let mut iterations = 0;
     let mut delta = f64::INFINITY;
     while iterations < params.max_iterations {
         // y = (1-α) A x + α restart, via the CSC gather.
-        for v in 0..n as u32 {
-            let sources = transition.graph().in_neighbors(v);
-            let probs = transition.in_probs(v);
-            let mut acc = 0.0;
-            for (&s, &p) in sources.iter().zip(probs) {
-                acc += p * x[s as usize];
-            }
-            y[v as usize] = damp * acc + params.alpha * restart[v as usize];
-        }
+        transition.apply_forward_restart_threaded(
+            params.alpha,
+            &x,
+            restart,
+            &mut y,
+            params.threads,
+        );
         iterations += 1;
         delta = dense::l1_distance(&x, &y);
         std::mem::swap(&mut x, &mut y);
@@ -102,12 +101,18 @@ mod tests {
         GraphBuilder::from_edges(
             6,
             &[
-                (0, 1), (0, 3), (0, 5),
-                (1, 0), (1, 2),
-                (2, 0), (2, 1),
-                (3, 1), (3, 4),
+                (0, 1),
+                (0, 3),
+                (0, 5),
+                (1, 0),
+                (1, 2),
+                (2, 0),
+                (2, 1),
+                (3, 1),
+                (3, 4),
                 (4, 1),
-                (5, 1), (5, 3),
+                (5, 1),
+                (5, 3),
             ],
             DanglingPolicy::Error,
         )

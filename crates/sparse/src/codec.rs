@@ -297,9 +297,6 @@ mod tests {
     fn truncated_stream_is_io_error() {
         let mut buf = Vec::new();
         write_u64(&mut buf, 10).unwrap(); // declares 10 elements, provides none
-        assert!(matches!(
-            read_u32_seq(&mut Cursor::new(buf)).unwrap_err(),
-            DecodeError::Io(_)
-        ));
+        assert!(matches!(read_u32_seq(&mut Cursor::new(buf)).unwrap_err(), DecodeError::Io(_)));
     }
 }

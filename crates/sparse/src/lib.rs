@@ -8,6 +8,8 @@
 //!   per-node Bookmark-Coloring state (residues, retained ink, hub ink);
 //! * [`EpochScratch`] — a dense accumulator with *O(touched)* reset, the
 //!   workhorse behind batch ink propagation;
+//! * [`ScratchPool`] — a mutexed free list recycling per-thread scratch
+//!   objects across parallel query phases;
 //! * [`topk`] — descending top-K selection and maintenance;
 //! * [`codec`] — a minimal versioned little-endian binary codec used for graph
 //!   and index persistence (hand-rolled instead of serde: byte-level control,
@@ -21,10 +23,12 @@
 
 pub mod codec;
 pub mod dense;
+pub mod pool;
 pub mod scratch;
 pub mod sparse_vec;
 pub mod topk;
 
+pub use pool::ScratchPool;
 pub use scratch::EpochScratch;
 pub use sparse_vec::SparseVector;
 pub use topk::{top_k_of_dense, top_k_of_pairs, DescendingTopK};

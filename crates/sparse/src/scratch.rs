@@ -93,10 +93,8 @@ impl EpochScratch {
     /// Collects the touched non-zero entries whose value exceeds `threshold`
     /// into a sorted [`crate::SparseVector`].
     pub fn to_sparse(&self, threshold: f64) -> crate::SparseVector {
-        let mut pairs: Vec<(u32, f64)> = self
-            .iter_touched()
-            .filter(|&(_, v)| v != 0.0 && v.abs() > threshold)
-            .collect();
+        let mut pairs: Vec<(u32, f64)> =
+            self.iter_touched().filter(|&(_, v)| v != 0.0 && v.abs() > threshold).collect();
         pairs.sort_unstable_by_key(|&(i, _)| i);
         crate::SparseVector::from_parts(
             pairs.iter().map(|&(i, _)| i).collect(),

@@ -28,9 +28,7 @@ where
     }
     #[inline]
     fn by_value_desc(a: &(u32, f64), b: &(u32, f64)) -> std::cmp::Ordering {
-        b.1.partial_cmp(&a.1)
-            .expect("top_k_of_pairs: NaN value")
-            .then(a.0.cmp(&b.0))
+        b.1.partial_cmp(&a.1).expect("top_k_of_pairs: NaN value").then(a.0.cmp(&b.0))
     }
     let mut all: Vec<(u32, f64)> = pairs.into_iter().collect();
     debug_assert!(all.iter().all(|&(_, v)| v.is_finite()), "top_k_of_pairs: non-finite value");

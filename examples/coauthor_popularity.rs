@@ -23,8 +23,9 @@ fn main() -> Result<(), EngineError> {
         prolific: 6,
         ..Default::default()
     });
-    let coauthors: Vec<usize> =
-        (0..dataset.graph.node_count() as u32).map(|u| dataset.coauthor_count(u)).collect();
+    let coauthors: Vec<usize> = (0..dataset.graph.node_count() as u32)
+        .map(|u| dataset.coauthor_count(u))
+        .collect();
     let prolific = dataset.prolific_authors.clone();
     println!(
         "co-authorship network: {} authors, {} weighted edges",
@@ -68,11 +69,8 @@ fn main() -> Result<(), EngineError> {
     // Table 3's standout pattern: the popular authors' reverse lists dwarf
     // the next tier (the paper's top three sit at ~2000 vs ~160 for rank 4).
     let (leader, leader_size) = sizes[0];
-    let first_unplanted = sizes
-        .iter()
-        .find(|(a, _)| !prolific.contains(a))
-        .map(|&(_, s)| s)
-        .unwrap_or(0);
+    let first_unplanted =
+        sizes.iter().find(|(a, _)| !prolific.contains(a)).map(|&(_, s)| s).unwrap_or(0);
     assert!(
         leader_size >= 3 * first_unplanted.max(1),
         "popular authors should stand out: leader {leader_size} vs next tier {first_unplanted}"

@@ -61,10 +61,7 @@ fn main() -> Result<(), EngineError> {
         graph.edge_count()
     );
 
-    let mut engine = ReverseTopkEngine::builder(graph)
-        .max_k(10)
-        .hubs_per_direction(30)
-        .build()?;
+    let mut engine = ReverseTopkEngine::builder(graph).max_k(10).hubs_per_direction(30).build()?;
 
     // Promote product 1234.
     let target = NodeId(1234);
@@ -104,10 +101,6 @@ fn main() -> Result<(), EngineError> {
     // result respects the planted structure.
     let cat = |p: u32| p as usize * 25 / products;
     let same_cat = ranked.iter().filter(|&&(u, _)| cat(u) == cat(target.0)).count();
-    println!(
-        "{same_cat}/{} influencers share product {}'s category",
-        ranked.len(),
-        target
-    );
+    println!("{same_cat}/{} influencers share product {}'s category", ranked.len(), target);
     Ok(())
 }

@@ -10,11 +10,7 @@ use reverse_topk_rwr::prelude::*;
 fn main() -> Result<(), EngineError> {
     // The 6-node running example of the paper (Figure 1), recovered exactly.
     let graph = toy_graph();
-    println!(
-        "graph: {} nodes, {} edges",
-        graph.node_count(),
-        graph.edge_count()
-    );
+    println!("graph: {} nodes, {} edges", graph.node_count(), graph.edge_count());
 
     // Build the offline index: K = 3, hubs = top-1 in-degree ∪ top-1
     // out-degree (= nodes 1 and 2 in the paper's 1-based ids).

@@ -45,15 +45,11 @@ fn main() -> Result<(), EngineError> {
         let mut counted = 0usize;
         for &q in &sample {
             let result = engine.query(NodeId(q), 5)?;
-            let others: Vec<u32> =
-                result.nodes().iter().copied().filter(|&u| u != q).collect();
+            let others: Vec<u32> = result.nodes().iter().copied().filter(|&u| u != q).collect();
             if others.is_empty() {
                 continue;
             }
-            let spam_in = others
-                .iter()
-                .filter(|&&u| labels[u as usize] == HostLabel::Spam)
-                .count();
+            let spam_in = others.iter().filter(|&&u| labels[u as usize] == HostLabel::Spam).count();
             ratio_sum += spam_in as f64 / others.len() as f64;
             counted += 1;
         }
@@ -65,13 +61,8 @@ fn main() -> Result<(), EngineError> {
     let spam_ratio = audit("spam", &spam_hosts, &mut rng)?;
     let normal_ratio = audit("normal", &normal_hosts, &mut rng)?;
 
-    println!(
-        "\n(paper reports 96.1% spam-in-spam and 2.6% spam-in-normal on Webspam-uk2006)"
-    );
-    assert!(
-        spam_ratio > 70.0 && normal_ratio < 30.0,
-        "reverse top-k should separate the classes"
-    );
+    println!("\n(paper reports 96.1% spam-in-spam and 2.6% spam-in-normal on Webspam-uk2006)");
+    assert!(spam_ratio > 70.0 && normal_ratio < 30.0, "reverse top-k should separate the classes");
 
     // Classify a few unlabeled "suspects" the way the paper suggests.
     println!("\nclassifying 5 undecided hosts by their reverse top-5 spam share:");
@@ -81,10 +72,7 @@ fn main() -> Result<(), EngineError> {
     for q in undecided {
         let result = engine.query(NodeId(q), 5)?;
         let others: Vec<u32> = result.nodes().iter().copied().filter(|&u| u != q).collect();
-        let spam_in = others
-            .iter()
-            .filter(|&&u| labels[u as usize] == HostLabel::Spam)
-            .count();
+        let spam_in = others.iter().filter(|&&u| labels[u as usize] == HostLabel::Spam).count();
         let share = 100.0 * spam_in as f64 / others.len().max(1) as f64;
         let verdict = if share > 50.0 { "likely SPAM" } else { "likely normal" };
         println!("  host {q}: {share:.0}% spam contributors -> {verdict}");

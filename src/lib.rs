@@ -21,6 +21,47 @@
 //! directory for end-to-end walkthroughs and `crates/bench` for the
 //! experiment harness regenerating every table and figure of the paper.
 //!
+//! # Performance & parallelism
+//!
+//! The online query runs as a three-stage pipeline — **PMPN → screen →
+//! commit** — designed so every stage can use all cores while answers stay
+//! **bitwise identical** for any thread count:
+//!
+//! * **PMPN** spreads each `Aᵀ·x` (and the forward solvers each `A·x`)
+//!   over edge-balanced contiguous row ranges; every row still sums in its
+//!   serial edge order, so the iterates are exactly the serial ones.
+//! * The **screen phase** partitions the `0..n` candidate scan across
+//!   workers pulling chunks off an atomic counter. Each worker owns a
+//!   private BCA engine + materializer (recycled across queries through a
+//!   scratch pool) and refines candidates on *private copies* of their node
+//!   states — the shared index is only read. Per-node decisions never
+//!   depend on another node's refinement, so any interleaving yields the
+//!   same results and statistics.
+//! * The **commit phase** (update mode) serially merges the refined copies
+//!   back into the index by node id, leaving exactly the index a serial
+//!   in-place run would have produced.
+//!
+//! Three thread-count knobs, all accepting `0` = "all cores":
+//!
+//! * [`IndexConfig::threads`](prelude::IndexConfig) — offline index
+//!   construction (per-node BCA sweep + hub solves);
+//! * [`QueryOptions::query_threads`](prelude::QueryOptions) (builder:
+//!   `EngineBuilder::query_threads`) — the single-query hot path: PMPN SpMV
+//!   plus the screen phase. Defaults to all cores;
+//! * the same `query_threads` sets the fan-out width of
+//!   `ReverseTopkEngine::query_batch` /
+//!   `QueryEngine::query_batch`, which runs *independent* queries
+//!   concurrently (frozen index, one serial query per worker) for
+//!   throughput-bound serving.
+//!
+//! `ReverseTopkEngine` additionally caches the `O(|E|)` transition
+//! probability arrays once and wraps them in an `O(1)` view per call, so no
+//! query, top-k, or proximity call ever recomputes them. The
+//! `parallel_determinism` integration suite pins the equivalence contract,
+//! and `cargo run --release -p rtk-bench --bin parallel_study` writes a
+//! machine-readable `BENCH_query.json` tracking serial vs. parallel
+//! latency/throughput.
+//!
 //! ```
 //! use reverse_topk_rwr::prelude::*;
 //!

@@ -46,9 +46,8 @@ fn online_query_equals_brute_force_across_graph_families() {
         for q in [0u32, 13, 37] {
             for k in [1usize, 3, 6] {
                 let expected = brute_force_reverse_topk(&transition, q, k, &params);
-                let got = session
-                    .query(&transition, &mut index, q, k, &QueryOptions::default())
-                    .unwrap();
+                let got =
+                    session.query(&transition, &mut index, q, k, &QueryOptions::default()).unwrap();
                 assert_eq!(got.nodes(), &expected[..], "{name} q={q} k={k}");
             }
         }
@@ -69,9 +68,8 @@ fn all_four_engines_agree() {
             let bf = brute_force_reverse_topk(&transition, q, k, &params);
             assert_eq!(ibf.query(q, k).unwrap(), bf, "IBF q={q} k={k}");
             assert_eq!(fbf.query(&transition, q, k).unwrap(), bf, "FBF q={q} k={k}");
-            let oq = session
-                .query(&transition, &mut index, q, k, &QueryOptions::default())
-                .unwrap();
+            let oq =
+                session.query(&transition, &mut index, q, k, &QueryOptions::default()).unwrap();
             assert_eq!(oq.nodes(), &bf[..], "OQ q={q} k={k}");
         }
     }
@@ -82,12 +80,18 @@ fn every_config_knob_preserves_correctness() {
     let graph = scale_free(&ScaleFreeConfig::new(65, 3, 21)).unwrap();
     let transition = TransitionMatrix::new(&graph);
     let params = RwrParams::default();
-    let expected: Vec<Vec<u32>> =
-        (0..5).map(|q| brute_force_reverse_topk(&transition, q * 13, 4, &params)).collect();
+    let expected: Vec<Vec<u32>> = (0..5)
+        .map(|q| brute_force_reverse_topk(&transition, q * 13, 4, &params))
+        .collect();
 
     let configs = vec![
         // no hubs at all
-        IndexConfig { max_k: 4, hub_selection: HubSelection::None, threads: 1, ..Default::default() },
+        IndexConfig {
+            max_k: 4,
+            hub_selection: HubSelection::None,
+            threads: 1,
+            ..Default::default()
+        },
         // many hubs
         config(20, 4),
         // coarse index (large δ) — everything decided at query time
@@ -163,9 +167,8 @@ fn repeated_updates_never_corrupt_the_index() {
         for q in 0..55u32 {
             let k = 1 + ((q as usize + round) % 5);
             let expected = brute_force_reverse_topk(&transition, q, k, &params);
-            let got = session
-                .query(&transition, &mut index, q, k, &QueryOptions::default())
-                .unwrap();
+            let got =
+                session.query(&transition, &mut index, q, k, &QueryOptions::default()).unwrap();
             assert_eq!(got.nodes(), &expected[..], "round {round} q={q} k={k}");
         }
     }
@@ -193,9 +196,7 @@ fn weighted_graphs_are_handled_end_to_end() {
     let mut session = QueryEngine::new(&index);
     for q in [0u32, 25, 49] {
         let expected = brute_force_reverse_topk(&transition, q, 4, &params);
-        let got = session
-            .query(&transition, &mut index, q, 4, &QueryOptions::default())
-            .unwrap();
+        let got = session.query(&transition, &mut index, q, 4, &QueryOptions::default()).unwrap();
         assert_eq!(got.nodes(), &expected[..], "q={q}");
     }
 }

@@ -31,11 +31,8 @@ fn refined_index_round_trips_with_its_refinements() {
     // Refine the index with a workload.
     let mut results = Vec::new();
     for q in (0..150u32).step_by(11) {
-        results.push(
-            session
-                .query(&transition, &mut index, q, 8, &QueryOptions::default())
-                .unwrap(),
-        );
+        results
+            .push(session.query(&transition, &mut index, q, 8, &QueryOptions::default()).unwrap());
     }
 
     // Persist and reload.
@@ -63,8 +60,7 @@ fn engine_snapshot_round_trips_through_a_file() {
         .threads(2)
         .build()
         .unwrap();
-    let before: Vec<_> =
-        (0..5u32).map(|q| engine.query(NodeId(q * 7), 5).unwrap()).collect();
+    let before: Vec<_> = (0..5u32).map(|q| engine.query(NodeId(q * 7), 5).unwrap()).collect();
 
     let dir = std::env::temp_dir().join("rtk_persistence_test");
     std::fs::create_dir_all(&dir).unwrap();

@@ -98,9 +98,7 @@ fn section_423_query_walkthrough() {
 
     // Step 2: the OQ outcome per node.
     let mut session = QueryEngine::new(&index);
-    let result = session
-        .query(&transition, &mut index, 0, 2, &QueryOptions::default())
-        .unwrap();
+    let result = session.query(&transition, &mut index, 0, 2, &QueryOptions::default()).unwrap();
     assert_eq!(result.nodes(), &[0, 1, 4], "result = {{1, 2, 5}} (1-based)");
     // Node 3 pruned immediately; nodes 4 and 6 pruned after refinement.
     assert_eq!(result.stats().pruned_by_lower_bound, 1);
@@ -123,11 +121,9 @@ fn facade_reproduces_the_same_walkthrough() {
     // All six reverse top-2 sets, cross-checked against the shaded matrix.
     // Column top-2 sets from Figure 1 (0-based; note node 5's second-ranked
     // neighbour is node 1, 0.20 vs its own 0.18).
-    let top2: [[u32; 2]; 6] =
-        [[0, 1], [1, 0], [1, 2], [1, 3], [1, 0], [1, 5]];
+    let top2: [[u32; 2]; 6] = [[0, 1], [1, 0], [1, 2], [1, 3], [1, 0], [1, 5]];
     for q in 0..6u32 {
-        let expected: Vec<u32> =
-            (0..6u32).filter(|&u| top2[u as usize].contains(&q)).collect();
+        let expected: Vec<u32> = (0..6u32).filter(|&u| top2[u as usize].contains(&q)).collect();
         let got = engine.query(NodeId(q), 2).unwrap();
         assert_eq!(got.nodes(), &expected[..], "reverse top-2 of {}", q + 1);
     }

@@ -1,0 +1,235 @@
+//! Minimal offline shim of the `criterion` benchmarking API.
+//!
+//! Benches in this workspace declare `harness = false` and drive this shim
+//! through the usual `criterion_group!`/`criterion_main!` macros. Each
+//! benchmark runs a short warm-up followed by `sample_size` timed samples and
+//! prints min / median / mean wall times. No statistics beyond that — the
+//! goal is a dependency-free harness with the upstream call surface.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level harness state: configuration shared by every group.
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_iterations: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 20, warm_up_iterations: 2 }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark (upstream default 100; the shim
+    /// defaults to 20 to keep offline runs quick).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 1, "sample_size must be ≥ 1");
+        self.sample_size = n;
+        self
+    }
+
+    /// Untimed warm-up iterations before sampling.
+    pub fn warm_up_iterations(mut self, n: usize) -> Self {
+        self.warm_up_iterations = n;
+        self
+    }
+
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== {name}");
+        BenchmarkGroup { criterion: self, name }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, mut f: F) {
+        run_benchmark(&id.to_string(), self.sample_size, self.warm_up_iterations, &mut f);
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for the rest of this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 1, "sample_size must be ≥ 1");
+        self.criterion.sample_size = n;
+        self
+    }
+
+    /// Accepted for API compatibility; the shim does not time-target samples.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, mut f: F) {
+        let label = format!("{}/{}", self.name, id);
+        run_benchmark(
+            &label,
+            self.criterion.sample_size,
+            self.criterion.warm_up_iterations,
+            &mut f,
+        );
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Display,
+        input: &I,
+        mut f: F,
+    ) {
+        self.bench_function(id, |b| f(b, input));
+    }
+
+    /// Ends the group (printing is incremental, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// Identifier combining a function name and a parameter, like upstream.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        Self { label: format!("{function_name}/{parameter}") }
+    }
+
+    /// Parameter-only id.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self { label: parameter.to_string() }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Passed to the benchmark closure; [`Bencher::iter`] times the routine.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+    warm_up_iterations: usize,
+}
+
+impl Bencher {
+    /// Times `routine` over the configured number of samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        for _ in 0..self.warm_up_iterations {
+            black_box(routine());
+        }
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.samples.push(t0.elapsed());
+        }
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    label: &str,
+    sample_size: usize,
+    warm_up_iterations: usize,
+    f: &mut F,
+) {
+    let mut bencher = Bencher { samples: Vec::new(), sample_size, warm_up_iterations };
+    f(&mut bencher);
+    if bencher.samples.is_empty() {
+        println!("{label}: no samples (bencher.iter never called)");
+        return;
+    }
+    let mut sorted = bencher.samples.clone();
+    sorted.sort();
+    let min = sorted[0];
+    let median = sorted[sorted.len() / 2];
+    let mean = sorted.iter().sum::<Duration>() / sorted.len() as u32;
+    println!("{label}: min {min:?} / median {median:?} / mean {mean:?} ({} samples)", sorted.len());
+}
+
+/// Builds the group functions invoked by [`criterion_main!`].
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Emits `main` running every listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_collects_samples() {
+        let mut c = Criterion::default().sample_size(3).warm_up_iterations(1);
+        let mut runs = 0u32;
+        c.bench_function("smoke", |b| {
+            b.iter(|| {
+                runs += 1;
+                black_box(runs)
+            })
+        });
+        // 1 warm-up + 3 samples.
+        assert_eq!(runs, 4);
+    }
+
+    #[test]
+    fn groups_and_ids_run() {
+        let mut c = Criterion::default().sample_size(2).warm_up_iterations(0);
+        let mut group = c.benchmark_group("g");
+        group.bench_function(BenchmarkId::new("f", 7), |b| b.iter(|| black_box(7)));
+        group.bench_with_input(BenchmarkId::from_parameter(3), &3usize, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        group.finish();
+    }
+
+    criterion_group!(shim_smoke_group, smoke_target);
+
+    fn smoke_target(c: &mut Criterion) {
+        c.bench_function("macro_smoke", |b| b.iter(|| black_box(1 + 1)));
+    }
+
+    #[test]
+    fn macro_group_invokes() {
+        shim_smoke_group();
+    }
+}
