@@ -22,6 +22,7 @@ use rtk_graph::TransitionMatrix;
 use rtk_index::{HubSelection, HubSolver, IndexConfig, ReverseIndex};
 use rtk_query::{QueryEngine, QueryOptions};
 use rtk_rwr::{proximity_to, BcaParams, RwrParams};
+use rtk_sparse::LatencyHistogram;
 use std::time::Instant;
 
 const K: usize = 50;
@@ -103,35 +104,56 @@ fn main() {
         let mut totals = Vec::with_capacity(workload.len());
         let mut pmpns = Vec::with_capacity(workload.len());
         let mut screens = Vec::with_capacity(workload.len());
+        let mut hist = LatencyHistogram::new();
         let mut session = QueryEngine::new(&index);
         for &q in &workload {
             let r = session.query_frozen(&transition, &index, q, K, &opts).unwrap();
             totals.push(r.stats().total_seconds);
             pmpns.push(r.stats().pmpn_seconds);
             screens.push(r.stats().screen_seconds);
+            hist.record(r.stats().total_seconds);
         }
         let secs = mean(&totals);
         if threads == 1 {
             single_serial = secs;
         }
         let speedup = single_serial / secs;
+        // Percentiles share the serving layer's fixed-bucket histogram, so
+        // BENCH_query.json and BENCH_serve.json report comparable fields.
+        let (p50, p95, p99) = hist.percentiles();
         single_rows.push(vec![
             threads.to_string(),
             format!("{secs:.4}"),
             format!("{:.4}", mean(&pmpns)),
             format!("{:.4}", mean(&screens)),
+            format!("{p50:.4}"),
+            format!("{p95:.4}"),
+            format!("{p99:.4}"),
             format!("{speedup:.2}x"),
         ]);
         single_json.push(format!(
             "    {{\"threads\": {threads}, \"mean_seconds\": {secs:.6}, \
              \"mean_pmpn_seconds\": {:.6}, \"mean_screen_seconds\": {:.6}, \
-             \"speedup_vs_serial\": {speedup:.3}}}",
+             \"p50_seconds\": {p50:.6}, \"p95_seconds\": {p95:.6}, \
+             \"p99_seconds\": {p99:.6}, \"speedup_vs_serial\": {speedup:.3}}}",
             mean(&pmpns),
             mean(&screens)
         ));
     }
     println!("### Single reverse top-{K} query, frozen index ({queries} queries)");
-    print_table(&["threads", "total (s)", "pmpn (s)", "screen (s)", "speedup"], &single_rows);
+    print_table(
+        &[
+            "threads",
+            "total (s)",
+            "pmpn (s)",
+            "screen (s)",
+            "p50 (s)",
+            "p95 (s)",
+            "p99 (s)",
+            "speedup",
+        ],
+        &single_rows,
+    );
     println!();
 
     // --- 3. Batch throughput ---

@@ -5,6 +5,8 @@ mod generate;
 mod index_cmd;
 mod pmpn;
 mod query;
+mod remote;
+mod serve;
 mod stats;
 mod topk;
 
@@ -22,6 +24,12 @@ usage:
   rtk topk <graph> --node U --k K [--early] [--threads T]   forward top-k search
   rtk pmpn <graph> --node Q [--top N] [--threads T]         proximities to a node
   rtk convert <in> <out>                         tsv <-> binary graph formats
+  rtk serve --index <file> [--graph <file>] [--addr A] [--workers N]
+            [--query-threads T] [--max-frame-mib M]         run the TCP server
+  rtk remote query --node Q --k K [--update] [--addr A]     query a server
+  rtk remote topk --node U --k K [--early] [--addr A]
+  rtk remote batch --nodes a,b,c --k K [--addr A]
+  rtk remote stats|ping|shutdown [--addr A]
 
 datasets for `generate`: toy, web-cs-small, web-cs-sim, epinions-sim,
 web-std-sim, web-google-sim, webspam-sim, dblp-sim, rmat:<n>:<m>[:seed],
@@ -41,6 +49,8 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         "topk" => topk::run(&Parsed::parse(rest)?),
         "pmpn" => pmpn::run(&Parsed::parse(rest)?),
         "convert" => convert::run(&Parsed::parse(rest)?),
+        "serve" => serve::run(&Parsed::parse(rest)?),
+        "remote" => remote::run(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())

@@ -1,0 +1,193 @@
+//! `rtk remote` — query a running `rtk serve` instance over the wire.
+
+use crate::args::Parsed;
+use rtk_server::Client;
+
+pub(crate) fn run(argv: &[String]) -> Result<(), String> {
+    let Some(sub) = argv.first() else {
+        return Err("remote: expected query|topk|batch|stats|ping|shutdown".into());
+    };
+    if !["query", "topk", "batch", "stats", "ping", "shutdown"].contains(&sub.as_str()) {
+        return Err(format!("remote: expected query|topk|batch|stats|ping|shutdown, got {sub:?}"));
+    }
+    let args = Parsed::parse(&argv[1..])?;
+    let addr = args.get("addr").unwrap_or(super::serve::DEFAULT_ADDR);
+    let mut client =
+        Client::connect(addr).map_err(|e| format!("remote: cannot connect to {addr}: {e}"))?;
+    match sub.as_str() {
+        "query" => query(&mut client, &args),
+        "topk" => topk(&mut client, &args),
+        "batch" => batch(&mut client, &args),
+        "stats" => stats(&mut client),
+        "ping" => {
+            client.ping().map_err(|e| format!("remote ping: {e}"))?;
+            println!("pong from {addr}");
+            Ok(())
+        }
+        "shutdown" => {
+            client.shutdown().map_err(|e| format!("remote shutdown: {e}"))?;
+            println!("server at {addr} acknowledged shutdown");
+            Ok(())
+        }
+        _ => unreachable!("subcommand validated above"),
+    }
+}
+
+fn node_flag(args: &Parsed) -> Result<u32, String> {
+    args.get("node")
+        .ok_or_else(|| "remote: --node <id> is required".to_string())?
+        .parse()
+        .map_err(|_| "remote: --node expects a node id".to_string())
+}
+
+fn query(client: &mut Client, args: &Parsed) -> Result<(), String> {
+    let q = node_flag(args)?;
+    let k = args.get_num("k", 10u32)?;
+    let update = args.has("update");
+    let r = client.reverse_topk(q, k, update).map_err(|e| format!("remote query: {e}"))?;
+    println!(
+        "reverse top-{k} of node {q}{}: {} result(s)",
+        if update { " (update mode)" } else { "" },
+        r.nodes.len()
+    );
+    for (u, p) in r.nodes.iter().zip(&r.proximities) {
+        println!("  node {u}  (p_u(q) = {p:.6})");
+    }
+    println!(
+        "stats: {} candidates | {} hits | {} refined ({} iterations) | {:.4}s server-side",
+        r.candidates, r.hits, r.refined_nodes, r.refine_iterations, r.server_seconds
+    );
+    Ok(())
+}
+
+fn topk(client: &mut Client, args: &Parsed) -> Result<(), String> {
+    let u = node_flag(args)?;
+    let k = args.get_num("k", 10u32)?;
+    let early = args.has("early");
+    let t = client.topk(u, k, early).map_err(|e| format!("remote topk: {e}"))?;
+    println!("top-{k} from node {u}{}:", if early { " (early termination)" } else { "" });
+    for (v, p) in t.nodes.iter().zip(&t.scores) {
+        println!("  node {v}  (p = {p:.6})");
+    }
+    Ok(())
+}
+
+/// `--nodes a,b,c --k K`: one frozen batch round-trip.
+fn batch(client: &mut Client, args: &Parsed) -> Result<(), String> {
+    let nodes = args
+        .get("nodes")
+        .ok_or_else(|| "remote batch: --nodes <id,id,…> is required".to_string())?;
+    let k = args.get_num("k", 10u32)?;
+    let queries: Vec<(u32, u32)> = nodes
+        .split(',')
+        .map(|s| {
+            s.trim()
+                .parse::<u32>()
+                .map(|q| (q, k))
+                .map_err(|_| format!("remote batch: bad node id {s:?}"))
+        })
+        .collect::<Result<_, _>>()?;
+    let rs = client.batch(&queries).map_err(|e| format!("remote batch: {e}"))?;
+    for r in rs {
+        println!("node {}: {} result(s): {:?}", r.query, r.nodes.len(), r.nodes);
+    }
+    Ok(())
+}
+
+fn stats(client: &mut Client) -> Result<(), String> {
+    let s = client.stats().map_err(|e| format!("remote stats: {e}"))?;
+    println!("server stats:");
+    println!("  uptime:           {:.1}s", s.uptime_seconds);
+    println!("  graph:            {} nodes / {} edges (max k {})", s.nodes, s.edges, s.max_k);
+    println!("  workers:          {}", s.workers);
+    println!("  connections:      {}", s.connections);
+    println!(
+        "  requests:         {} total (ping {}, reverse_topk {}, topk {}, batch {}, stats {}, shutdown {})",
+        s.total_requests(),
+        s.ping,
+        s.reverse_topk,
+        s.topk,
+        s.batch,
+        s.stats,
+        s.shutdown
+    );
+    println!("  errors:           {} protocol, {} engine", s.protocol_errors, s.engine_errors);
+    println!(
+        "  latency:          p50 {:.6}s | p95 {:.6}s | p99 {:.6}s | mean {:.6}s | max {:.6}s ({} samples)",
+        s.p50_seconds, s.p95_seconds, s.p99_seconds, s.mean_seconds, s.max_seconds, s.latency_count
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn refuses_unknown_subcommand_and_dead_server() {
+        // No server on a (very likely) unused port: connect must fail fast
+        // with a clean message rather than hang.
+        let argv: Vec<String> = vec!["ping".into(), "--addr".into(), "127.0.0.1:1".into()];
+        let err = run(&argv).unwrap_err();
+        assert!(err.contains("cannot connect"), "{err}");
+
+        let err = run(&["frobnicate".into()]).unwrap_err();
+        assert!(err.contains("expected"), "{err}");
+    }
+
+    #[test]
+    fn end_to_end_against_in_process_server() {
+        use rtk_core::ReverseTopkEngine;
+        let engine = ReverseTopkEngine::builder(rtk_datasets::toy_graph())
+            .max_k(3)
+            .hubs_per_direction(1)
+            .threads(1)
+            .build()
+            .unwrap();
+        let handle = rtk_server::Server::bind(
+            engine,
+            "127.0.0.1:0",
+            rtk_server::ServerConfig { workers: 1, ..Default::default() },
+        )
+        .unwrap()
+        .spawn();
+        let addr = handle.addr().to_string();
+
+        for argv in [
+            vec!["ping".to_string(), "--addr".into(), addr.clone()],
+            vec![
+                "query".into(),
+                "--addr".into(),
+                addr.clone(),
+                "--node".into(),
+                "0".into(),
+                "--k".into(),
+                "2".into(),
+            ],
+            vec![
+                "topk".into(),
+                "--addr".into(),
+                addr.clone(),
+                "--node".into(),
+                "2".into(),
+                "--k".into(),
+                "2".into(),
+                "--early".into(),
+            ],
+            vec![
+                "batch".into(),
+                "--addr".into(),
+                addr.clone(),
+                "--nodes".into(),
+                "0,1,2".into(),
+                "--k".into(),
+                "2".into(),
+            ],
+            vec!["stats".into(), "--addr".into(), addr.clone()],
+            vec!["shutdown".into(), "--addr".into(), addr.clone()],
+        ] {
+            run(&argv).unwrap_or_else(|e| panic!("{argv:?}: {e}"));
+        }
+        handle.join().unwrap();
+    }
+}

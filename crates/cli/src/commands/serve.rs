@@ -1,0 +1,116 @@
+//! `rtk serve` — run the reverse top-k network server over a saved index.
+
+use crate::args::Parsed;
+use rtk_core::ReverseTopkEngine;
+use rtk_server::{Server, ServerConfig};
+use std::io::Read;
+
+/// Default listen address when `--addr` is omitted.
+pub(crate) const DEFAULT_ADDR: &str = "127.0.0.1:7313";
+
+pub(crate) fn run(args: &Parsed) -> Result<(), String> {
+    let engine = load_engine(args)?;
+    let addr = args.get("addr").unwrap_or(DEFAULT_ADDR);
+    let config = ServerConfig {
+        workers: args.get_num("workers", 0usize)?,
+        max_frame_bytes: args
+            .get_num("max-frame-mib", 16u32)?
+            .saturating_mul(1024 * 1024)
+            .max(1024),
+        query_threads: args.get_num("query-threads", 1usize)?,
+    };
+
+    let server = Server::bind(engine, addr, config)
+        .map_err(|e| format!("serve: cannot bind {addr}: {e}"))?;
+    println!(
+        "rtk-server listening on {} ({} workers); stop with `rtk remote shutdown --addr {}`",
+        server.local_addr(),
+        if config.workers == 0 { "all-core".to_string() } else { config.workers.to_string() },
+        server.local_addr()
+    );
+    server.run().map_err(|e| format!("serve: {e}"))
+}
+
+/// Loads the engine from `--index`, which may be either an engine snapshot
+/// (`RTKENGN1`: graph + index in one file, written by `ReverseTopkEngine::
+/// save_path`) or a bare index (`RTKINDX1`) paired with `--graph`.
+fn load_engine(args: &Parsed) -> Result<ReverseTopkEngine, String> {
+    let index_path = args
+        .get("index")
+        .ok_or_else(|| "serve: --index <file> is required".to_string())?;
+    let mut magic = [0u8; 8];
+    std::fs::File::open(index_path)
+        .and_then(|mut f| f.read_exact(&mut magic))
+        .map_err(|e| format!("serve: cannot read {index_path:?}: {e}"))?;
+
+    if &magic == b"RTKENGN1" {
+        return ReverseTopkEngine::load_path(index_path)
+            .map_err(|e| format!("serve: engine snapshot load: {e}"));
+    }
+    let graph_path = args.get("graph").ok_or_else(|| {
+        format!("serve: {index_path:?} is a bare index; add --graph <file> (or pass an engine snapshot)")
+    })?;
+    let graph = super::load_graph(graph_path)?;
+    let index =
+        rtk_index::storage::load_path(index_path).map_err(|e| format!("serve: index load: {e}"))?;
+    ReverseTopkEngine::from_parts(graph, index).map_err(|e| format!("serve: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtk_graph::TransitionMatrix;
+    use rtk_index::{HubSelection, IndexConfig, ReverseIndex};
+
+    #[test]
+    fn load_engine_accepts_both_formats() {
+        let dir = std::env::temp_dir().join("rtk_cli_test_serve");
+        std::fs::create_dir_all(&dir).unwrap();
+        let g = rtk_datasets::toy_graph();
+        let gpath = dir.join("g.rtkg");
+        super::super::save_graph(&g, gpath.to_str().unwrap()).unwrap();
+        let t = TransitionMatrix::new(&g);
+        let config = IndexConfig {
+            max_k: 3,
+            hub_selection: HubSelection::DegreeBased { b: 1 },
+            threads: 1,
+            ..Default::default()
+        };
+        let index = ReverseIndex::build(&t, config).unwrap();
+        let ipath = dir.join("g.rtki");
+        rtk_index::storage::save_path(&index, &ipath).unwrap();
+
+        // Bare index + graph.
+        let argv: Vec<String> = vec![
+            "--index".into(),
+            ipath.to_str().unwrap().into(),
+            "--graph".into(),
+            gpath.to_str().unwrap().into(),
+        ];
+        let engine = load_engine(&Parsed::parse(&argv).unwrap()).unwrap();
+        assert_eq!(engine.node_count(), 6);
+
+        // Engine snapshot.
+        let epath = dir.join("g.rtke");
+        engine.save_path(&epath).unwrap();
+        let argv: Vec<String> = vec!["--index".into(), epath.to_str().unwrap().into()];
+        let engine = load_engine(&Parsed::parse(&argv).unwrap()).unwrap();
+        assert_eq!(engine.node_count(), 6);
+
+        // Bare index without --graph: a helpful error.
+        let argv: Vec<String> = vec!["--index".into(), ipath.to_str().unwrap().into()];
+        let err = match load_engine(&Parsed::parse(&argv).unwrap()) {
+            Err(e) => e,
+            Ok(_) => panic!("bare index without --graph should fail"),
+        };
+        assert!(err.contains("--graph"), "{err}");
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_index_flag_errors() {
+        let err = run(&Parsed::parse(&[]).unwrap()).unwrap_err();
+        assert!(err.contains("--index"), "{err}");
+    }
+}

@@ -130,9 +130,11 @@ pub fn write_binary<W: Write>(graph: &DiGraph, writer: W) -> Result<(), GraphErr
 pub fn read_binary<R: Read>(reader: R) -> Result<DiGraph, GraphError> {
     let mut r = BufReader::new(reader);
     codec::read_header(&mut r, GRAPH_MAGIC, GRAPH_VERSION)?;
-    let n = codec::read_u64(&mut r)? as usize;
+    // Bound both counts before the builder allocates: a corrupt header must
+    // fail fast instead of reserving billions of adjacency slots.
+    let n = codec::check_len(codec::read_u64(&mut r)?, codec::MAX_SEQ_LEN, "node count")?;
     let weighted = codec::read_u32(&mut r)? != 0;
-    let m = codec::read_u64(&mut r)? as usize;
+    let m = codec::check_len(codec::read_u64(&mut r)?, codec::MAX_SEQ_LEN, "edge count")?;
     let mut b = GraphBuilder::new(n);
     for _ in 0..m {
         let f = codec::read_u32(&mut r)?;

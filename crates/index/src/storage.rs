@@ -92,8 +92,11 @@ pub fn save<W: Write>(index: &ReverseIndex, writer: W) -> Result<(), IndexError>
 pub fn load<R: Read>(reader: R) -> Result<ReverseIndex, IndexError> {
     let mut r = BufReader::new(reader);
     codec::read_header(&mut r, INDEX_MAGIC, INDEX_VERSION)?;
-    let n = codec::read_u64(&mut r)? as usize;
-    let max_k = codec::read_u64(&mut r)? as usize;
+    // Stream-derived bounds: every sequence that follows is sized by the
+    // node count (sparse vectors, hub ids) or by `max_k` (top-K lists), so
+    // corrupt length prefixes are rejected before any allocation.
+    let n = codec::check_len(codec::read_u64(&mut r)?, codec::MAX_SEQ_LEN, "node count")?;
+    let max_k = codec::check_len(codec::read_u64(&mut r)?, codec::MAX_SEQ_LEN, "max_k")?;
     let alpha = codec::read_f64(&mut r)?;
     let propagation_threshold = codec::read_f64(&mut r)?;
     let residue_threshold = codec::read_f64(&mut r)?;
@@ -101,11 +104,24 @@ pub fn load<R: Read>(reader: R) -> Result<ReverseIndex, IndexError> {
     let rounding_threshold = codec::read_f64(&mut r)?;
     let bca = BcaParams { alpha, propagation_threshold, residue_threshold, max_iterations };
 
-    let hub_ids = codec::read_u32_seq(&mut r)?;
+    let hub_ids = codec::read_u32_seq_bounded(&mut r, n as u64)?;
+    if let Some(&bad) = hub_ids.iter().find(|&&h| h as usize >= n) {
+        return Err(IndexError::Decode(codec::DecodeError::Corrupt(format!(
+            "hub id {bad} out of range for {n} nodes"
+        ))));
+    }
+    // Duplicates would panic inside HubSet construction; reject them as the
+    // corrupt stream they are.
+    let mut seen_hubs = std::collections::HashSet::with_capacity(hub_ids.len());
+    if let Some(&dup) = hub_ids.iter().find(|&&h| !seen_hubs.insert(h)) {
+        return Err(IndexError::Decode(codec::DecodeError::Corrupt(format!(
+            "duplicate hub id {dup}"
+        ))));
+    }
     let mut columns = Vec::with_capacity(hub_ids.len());
     let mut deficits = Vec::with_capacity(hub_ids.len());
     for _ in &hub_ids {
-        columns.push(codec::read_sparse_vector(&mut r)?);
+        columns.push(codec::read_sparse_vector_bounded(&mut r, n as u64)?);
         deficits.push(codec::read_f64(&mut r)?);
     }
     let unrounded_total = codec::read_u64(&mut r)? as usize;
@@ -120,7 +136,9 @@ pub fn load<R: Read>(reader: R) -> Result<ReverseIndex, IndexError> {
     let hub_matrix =
         HubMatrix::from_parts(hubs, columns, deficits, unrounded_nnz, rounding_threshold);
 
-    let mut states = Vec::with_capacity(n);
+    // Eager capacity is clamped like the codec readers: a corrupt node
+    // count must not trigger a huge reservation before any state decodes.
+    let mut states = Vec::with_capacity(n.min(1 << 20));
     for u in 0..n as u32 {
         let source = codec::read_u32(&mut r)?;
         if source != u {
@@ -129,11 +147,11 @@ pub fn load<R: Read>(reader: R) -> Result<ReverseIndex, IndexError> {
             ))));
         }
         let iterations = codec::read_u32(&mut r)?;
-        let residue = codec::read_sparse_vector(&mut r)?;
-        let retained = codec::read_sparse_vector(&mut r)?;
-        let hub_ink = codec::read_sparse_vector(&mut r)?;
-        let idx = codec::read_u32_seq(&mut r)?;
-        let vals = codec::read_f64_seq(&mut r)?;
+        let residue = codec::read_sparse_vector_bounded(&mut r, n as u64)?;
+        let retained = codec::read_sparse_vector_bounded(&mut r, n as u64)?;
+        let hub_ink = codec::read_sparse_vector_bounded(&mut r, n as u64)?;
+        let idx = codec::read_u32_seq_bounded(&mut r, max_k as u64)?;
+        let vals = codec::read_f64_seq_bounded(&mut r, max_k as u64)?;
         if idx.len() != vals.len() || idx.len() > max_k {
             return Err(IndexError::Decode(rtk_sparse::codec::DecodeError::Corrupt(format!(
                 "node {u}: malformed top-K ({} indices, {} values, K={max_k})",
@@ -287,6 +305,23 @@ mod tests {
         let mut buf = Vec::new();
         save(&index, &mut buf).unwrap();
         buf[3] = b'?';
+        assert!(load(Cursor::new(buf)).is_err());
+    }
+
+    #[test]
+    fn rejects_duplicate_hub_ids_cleanly() {
+        let (g, config) = build_sample();
+        let t = TransitionMatrix::new(&g);
+        let index = ReverseIndex::build(&t, config).unwrap();
+        let mut buf = Vec::new();
+        save(&index, &mut buf).unwrap();
+        // Locate the hub-id sequence right after the fixed-size prelude:
+        // header (12) + n/max_k (16) + bca (28) + omega (8) = 64, then the
+        // u64 count and the ids. Overwrite the second id with the first.
+        let ids_start = 64 + 8;
+        let first = buf[ids_start..ids_start + 4].to_vec();
+        buf[ids_start + 4..ids_start + 8].copy_from_slice(&first);
+        // Must be a clean decode error, not a HubSet panic.
         assert!(load(Cursor::new(buf)).is_err());
     }
 

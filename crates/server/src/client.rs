@@ -1,0 +1,136 @@
+//! Blocking client for the `RTKWIRE1` protocol.
+
+use crate::error::ServerError;
+use crate::metrics::StatsSnapshot;
+use crate::wire::{self, Request, Response, WireQueryResult, WireTopk, DEFAULT_MAX_FRAME_BYTES};
+use std::io::BufReader;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// A blocking connection to an `rtk-server`. One request is in flight at a
+/// time; the connection is reused across calls (the server keeps it open
+/// until EOF, error, or shutdown).
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    max_frame_bytes: u32,
+}
+
+impl Client {
+    /// Connects to `addr` with default framing limits.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Self, ServerError> {
+        let stream = TcpStream::connect(addr)?;
+        Self::from_stream(stream)
+    }
+
+    /// Connects with a timeout applied to the TCP connect only.
+    pub fn connect_timeout(
+        addr: &std::net::SocketAddr,
+        timeout: Duration,
+    ) -> Result<Self, ServerError> {
+        let stream = TcpStream::connect_timeout(addr, timeout)?;
+        Self::from_stream(stream)
+    }
+
+    fn from_stream(stream: TcpStream) -> Result<Self, ServerError> {
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(Self {
+            reader: BufReader::new(stream),
+            writer,
+            max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
+        })
+    }
+
+    /// Overrides the response-frame size cap (e.g. for very large batches).
+    pub fn set_max_frame_bytes(&mut self, bytes: u32) {
+        self.max_frame_bytes = bytes;
+    }
+
+    fn call(&mut self, request: &Request) -> Result<Response, ServerError> {
+        wire::write_frame(&mut self.writer, &wire::encode_request(request))?;
+        let payload = wire::read_frame(&mut self.reader, self.max_frame_bytes)?;
+        match wire::decode_response(&payload)? {
+            Response::Error { code: _, message } => Err(ServerError::Remote(message)),
+            resp => Ok(resp),
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), ServerError> {
+        match self.call(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            other => Err(unexpected("pong", &other)),
+        }
+    }
+
+    /// One reverse top-k query. `update = true` commits refinements into
+    /// the server's index (serialized through the server's write lock).
+    pub fn reverse_topk(
+        &mut self,
+        q: u32,
+        k: u32,
+        update: bool,
+    ) -> Result<WireQueryResult, ServerError> {
+        match self.call(&Request::ReverseTopk { q, k, update })? {
+            Response::ReverseTopk(r) => Ok(r),
+            other => Err(unexpected("reverse_topk result", &other)),
+        }
+    }
+
+    /// Forward top-k proximity search from `u`.
+    pub fn topk(&mut self, u: u32, k: u32, early: bool) -> Result<WireTopk, ServerError> {
+        match self.call(&Request::Topk { u, k, early })? {
+            Response::Topk(t) => Ok(t),
+            other => Err(unexpected("topk result", &other)),
+        }
+    }
+
+    /// Many independent frozen queries in one round-trip, answered in order.
+    pub fn batch(&mut self, queries: &[(u32, u32)]) -> Result<Vec<WireQueryResult>, ServerError> {
+        match self.call(&Request::Batch { queries: queries.to_vec() })? {
+            Response::Batch(rs) => {
+                if rs.len() != queries.len() {
+                    return Err(ServerError::Protocol(format!(
+                        "batch: sent {} queries, got {} results",
+                        queries.len(),
+                        rs.len()
+                    )));
+                }
+                Ok(rs)
+            }
+            other => Err(unexpected("batch results", &other)),
+        }
+    }
+
+    /// Server metrics + engine info.
+    pub fn stats(&mut self) -> Result<StatsSnapshot, ServerError> {
+        match self.call(&Request::Stats)? {
+            Response::Stats(s) => Ok(s),
+            other => Err(unexpected("stats snapshot", &other)),
+        }
+    }
+
+    /// Asks the server to shut down gracefully. Returns once the server
+    /// acknowledges; pair with [`crate::ServerHandle::join`] to wait for
+    /// the drain to finish.
+    pub fn shutdown(&mut self) -> Result<(), ServerError> {
+        match self.call(&Request::Shutdown)? {
+            Response::ShuttingDown => Ok(()),
+            other => Err(unexpected("shutdown ack", &other)),
+        }
+    }
+}
+
+fn unexpected(wanted: &str, got: &Response) -> ServerError {
+    let variant = match got {
+        Response::Pong => "pong",
+        Response::ReverseTopk(_) => "reverse_topk",
+        Response::Topk(_) => "topk",
+        Response::Batch(_) => "batch",
+        Response::Stats(_) => "stats",
+        Response::ShuttingDown => "shutting_down",
+        Response::Error { .. } => "error",
+    };
+    ServerError::Protocol(format!("expected {wanted}, got {variant} response"))
+}

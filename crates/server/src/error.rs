@@ -1,0 +1,70 @@
+//! Error type shared by the server, the wire codec, and the client.
+
+use rtk_sparse::codec::DecodeError;
+use std::io;
+
+/// Anything that can go wrong while serving or calling a server.
+#[derive(Debug)]
+pub enum ServerError {
+    /// Underlying socket / file I/O failure.
+    Io(io::Error),
+    /// A frame or payload failed to decode.
+    Decode(DecodeError),
+    /// The peer violated the protocol (wrong response type, oversized
+    /// frame, unknown tag, …).
+    Protocol(String),
+    /// The server processed the request but reported an application error
+    /// (bad node id, k out of range, engine failure, …).
+    Remote(String),
+}
+
+impl std::fmt::Display for ServerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServerError::Io(e) => write!(f, "i/o error: {e}"),
+            ServerError::Decode(e) => write!(f, "wire decode error: {e}"),
+            ServerError::Protocol(m) => write!(f, "protocol error: {m}"),
+            ServerError::Remote(m) => write!(f, "server error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServerError::Io(e) => Some(e),
+            ServerError::Decode(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ServerError {
+    fn from(e: io::Error) -> Self {
+        ServerError::Io(e)
+    }
+}
+
+impl From<DecodeError> for ServerError {
+    fn from(e: DecodeError) -> Self {
+        // An Io nested in a DecodeError is still fundamentally an I/O
+        // problem (truncated socket read); keep the outer classification
+        // simple and uniform.
+        ServerError::Decode(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ServerError::Remote("k out of range".into());
+        assert!(e.to_string().contains("k out of range"));
+        let e = ServerError::Protocol("unexpected tag 9".into());
+        assert!(e.to_string().contains("tag 9"));
+        let e: ServerError = io::Error::new(io::ErrorKind::UnexpectedEof, "eof").into();
+        assert!(e.to_string().contains("eof"));
+    }
+}

@@ -1,0 +1,220 @@
+//! Per-connection request loop: shutdown-aware framing + dispatch.
+
+use crate::metrics::RequestKind;
+use crate::server::ServerCtx;
+use crate::wire::{self, Request, Response, STATUS_ENGINE_ERROR, STATUS_PROTOCOL_ERROR};
+use rtk_sparse::codec::{self, DecodeError};
+use std::io::{self, Read};
+use std::net::TcpStream;
+use std::sync::atomic::Ordering;
+use std::time::{Duration, Instant};
+
+/// Poll interval for idle connections: reads time out this often so the
+/// worker can notice a shutdown without a byte arriving.
+const IDLE_POLL: Duration = Duration::from_millis(100);
+
+/// Cap on how long one response write may block. A client that stops
+/// reading would otherwise pin its worker forever (writes, unlike reads,
+/// are not shutdown-polled) — after this long the connection is dropped.
+const WRITE_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// What one attempt to read a full frame produced.
+enum FrameOutcome {
+    /// A complete payload.
+    Frame(Vec<u8>),
+    /// Peer closed (or shutdown arrived while the connection was idle).
+    Closed,
+    /// The stream contained garbage or violated limits.
+    Malformed(DecodeError),
+}
+
+/// Serves one client connection until EOF, protocol error, or shutdown.
+pub(crate) fn handle_connection(mut stream: TcpStream, ctx: &ServerCtx) {
+    ctx.metrics.record_connection();
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(IDLE_POLL));
+    let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
+    loop {
+        match read_frame_polling(&mut stream, ctx) {
+            FrameOutcome::Closed => break,
+            FrameOutcome::Malformed(e) => {
+                // A corrupt frame must not take the server down: count it,
+                // tell the peer if the socket still works, drop the
+                // connection (resynchronizing a byte stream after garbage
+                // is not possible), and keep serving everyone else.
+                ctx.metrics.record_protocol_error();
+                let resp = Response::Error {
+                    code: STATUS_PROTOCOL_ERROR,
+                    message: format!("malformed frame: {e}"),
+                };
+                let _ = wire::write_frame(&mut stream, &wire::encode_response(&resp));
+                break;
+            }
+            FrameOutcome::Frame(payload) => {
+                let started = Instant::now();
+                let request = match wire::decode_request(&payload) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        ctx.metrics.record_protocol_error();
+                        let resp = Response::Error {
+                            code: STATUS_PROTOCOL_ERROR,
+                            message: format!("malformed request: {e}"),
+                        };
+                        let _ = wire::write_frame(&mut stream, &wire::encode_response(&resp));
+                        break;
+                    }
+                };
+                let shutdown_after = matches!(request, Request::Shutdown);
+                let (kind, response) = dispatch(request, ctx);
+                // A response that cannot fit through the frame limit is
+                // replaced by an error frame: sending it anyway would only
+                // be rejected client-side after the transfer.
+                let mut encoded = wire::encode_response(&response);
+                if encoded.len() as u64 > u64::from(ctx.max_frame_bytes) {
+                    let err = Response::Error {
+                        code: STATUS_ENGINE_ERROR,
+                        message: format!(
+                            "response of {} bytes exceeds the {}-byte frame limit; \
+                             split the request",
+                            encoded.len(),
+                            ctx.max_frame_bytes
+                        ),
+                    };
+                    encoded = wire::encode_response(&err);
+                    ctx.metrics.record_engine_error();
+                } else if matches!(response, Response::Error { code: STATUS_ENGINE_ERROR, .. }) {
+                    ctx.metrics.record_engine_error();
+                } else {
+                    ctx.metrics.record_request(kind, started.elapsed().as_secs_f64());
+                }
+                if wire::write_frame(&mut stream, &encoded).is_err() {
+                    break;
+                }
+                if shutdown_after {
+                    ctx.begin_shutdown();
+                    break;
+                }
+            }
+        }
+        if ctx.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+    }
+}
+
+/// Executes one request against the shared engine.
+fn dispatch(request: Request, ctx: &ServerCtx) -> (RequestKind, Response) {
+    match request {
+        Request::Ping => (RequestKind::Ping, Response::Pong),
+        Request::ReverseTopk { q, k, update } => (
+            RequestKind::ReverseTopk,
+            match ctx.shared.reverse_topk(q, k, update) {
+                Ok(r) => Response::ReverseTopk(r),
+                Err(message) => Response::Error { code: STATUS_ENGINE_ERROR, message },
+            },
+        ),
+        Request::Topk { u, k, early } => (
+            RequestKind::Topk,
+            match ctx.shared.topk(u, k, early) {
+                Ok(t) => Response::Topk(t),
+                Err(message) => Response::Error { code: STATUS_ENGINE_ERROR, message },
+            },
+        ),
+        Request::Batch { queries } => (
+            RequestKind::Batch,
+            match ctx.shared.batch(&queries) {
+                Ok(rs) => Response::Batch(rs),
+                Err(message) => Response::Error { code: STATUS_ENGINE_ERROR, message },
+            },
+        ),
+        Request::Stats => {
+            (RequestKind::Stats, Response::Stats(ctx.metrics.snapshot(ctx.engine_info)))
+        }
+        Request::Shutdown => (RequestKind::Shutdown, Response::ShuttingDown),
+    }
+}
+
+/// Reads one frame, polling so an idle connection notices shutdown.
+///
+/// Only the *first* byte of a frame is allowed to wait indefinitely; once a
+/// frame has started, timeouts keep retrying (the peer is mid-write) unless
+/// shutdown is requested, in which case the connection is abandoned.
+fn read_frame_polling(stream: &mut TcpStream, ctx: &ServerCtx) -> FrameOutcome {
+    // Header: magic + version + payload length, read with idle polling.
+    let mut header = [0u8; 16];
+    match read_exact_polling(stream, &mut header, true, ctx) {
+        ReadStatus::Done => {}
+        ReadStatus::Closed => return FrameOutcome::Closed,
+        ReadStatus::Failed(e) => return FrameOutcome::Malformed(DecodeError::Io(e)),
+    }
+    let mut cursor = io::Cursor::new(&header[..]);
+    if let Err(e) = codec::read_header(&mut cursor, wire::WIRE_MAGIC, wire::WIRE_VERSION) {
+        return FrameOutcome::Malformed(e);
+    }
+    let len = match codec::read_u32(&mut cursor) {
+        Ok(l) => l,
+        Err(e) => return FrameOutcome::Malformed(DecodeError::Io(e)),
+    };
+    if len > ctx.max_frame_bytes {
+        return FrameOutcome::Malformed(DecodeError::Corrupt(format!(
+            "frame payload of {len} bytes exceeds limit {}",
+            ctx.max_frame_bytes
+        )));
+    }
+    let mut payload = vec![0u8; len as usize];
+    match read_exact_polling(stream, &mut payload, false, ctx) {
+        ReadStatus::Done => FrameOutcome::Frame(payload),
+        ReadStatus::Closed => {
+            FrameOutcome::Malformed(DecodeError::Corrupt("frame truncated mid-payload".into()))
+        }
+        ReadStatus::Failed(e) => FrameOutcome::Malformed(DecodeError::Io(e)),
+    }
+}
+
+enum ReadStatus {
+    Done,
+    Closed,
+    Failed(io::Error),
+}
+
+/// `read_exact` over a timeout-polled socket. `idle_ok` marks the position
+/// between frames, where EOF and shutdown are clean exits.
+fn read_exact_polling(
+    stream: &mut TcpStream,
+    buf: &mut [u8],
+    idle_ok: bool,
+    ctx: &ServerCtx,
+) -> ReadStatus {
+    let mut filled = 0usize;
+    while filled < buf.len() {
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return if filled == 0 && idle_ok {
+                    ReadStatus::Closed
+                } else {
+                    ReadStatus::Failed(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "connection closed mid-frame",
+                    ))
+                };
+            }
+            Ok(n) => filled += n,
+            Err(e) if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) => {
+                if ctx.shutdown.load(Ordering::SeqCst) {
+                    // Idle between frames: clean close. Mid-frame: abandon.
+                    return if filled == 0 && idle_ok {
+                        ReadStatus::Closed
+                    } else {
+                        ReadStatus::Failed(io::Error::new(
+                            io::ErrorKind::TimedOut,
+                            "server shutting down mid-frame",
+                        ))
+                    };
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return ReadStatus::Failed(e),
+        }
+    }
+    ReadStatus::Done
+}

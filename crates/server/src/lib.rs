@@ -1,0 +1,221 @@
+//! # rtk-server — a dependency-free network serving layer
+//!
+//! The paper's index is designed to persist and be *refined across query
+//! sessions* (§5); this crate turns a [`rtk_core::ReverseTopkEngine`] into a
+//! long-running network service so many remote clients can share one index
+//! — the missing piece between "a library you link" and "a system serving
+//! heavy traffic".
+//!
+//! Everything is `std`-only: `std::net` sockets, a worker thread pool, and
+//! a hand-rolled wire protocol built from the same [`rtk_sparse::codec`]
+//! primitives as the on-disk formats.
+//!
+//! ## Wire protocol (`RTKWIRE1`)
+//!
+//! | field   | size | meaning                                  |
+//! |---------|------|------------------------------------------|
+//! | magic   | 8 B  | `"RTKWIRE1"`                             |
+//! | version | 4 B  | `u32`, currently 1                       |
+//! | length  | 4 B  | `u32` payload bytes (capped per config)  |
+//! | payload | *n*  | tagged request / status-prefixed response|
+//!
+//! Requests: `ping`, `reverse_topk(q, k, update)`, `topk(u, k, early)`,
+//! `batch([(q, k)…])`, `stats`, `shutdown`. All integers little-endian;
+//! proximities travel as exact IEEE-754 bits, so remote answers are
+//! **bitwise identical** to local engine calls.
+//!
+//! ## Concurrency model
+//!
+//! The engine sits behind one `RwLock`:
+//!
+//! * frozen-mode queries (`update = false`, `topk`, `batch`) share the
+//!   **read lock** and run concurrently across the worker pool;
+//! * update-mode queries take the **write lock**, so index refinements
+//!   commit serially through `ReverseIndex::commit_states` — exactly the
+//!   paper's update mode, now safe under concurrent traffic.
+//!
+//! Refinement only tightens bounds, never changes answers, so mixing the
+//! two modes cannot perturb any client's results.
+//!
+//! ## Robustness
+//!
+//! Frames above the configured size cap, bad magic, unknown tags, or
+//! truncated payloads are counted (`protocol_errors`), answered with an
+//! error response when the socket allows, and the offending connection is
+//! dropped — the server keeps serving everyone else. Graceful shutdown
+//! drains in-flight requests and joins every worker.
+//!
+//! ## Metrics
+//!
+//! [`ServerMetrics`] tracks per-request-type counts plus a fixed-bucket
+//! latency histogram ([`rtk_sparse::LatencyHistogram`]) whose deterministic
+//! p50/p95/p99 are queryable over the wire (`Client::stats`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod error;
+pub mod handler;
+pub mod metrics;
+pub mod server;
+pub mod state;
+pub mod wire;
+
+pub use client::Client;
+pub use error::ServerError;
+pub use metrics::{EngineInfo, ServerMetrics, StatsSnapshot};
+pub use server::{Server, ServerConfig, ServerHandle};
+pub use wire::{Request, Response, WireQueryResult, WireTopk};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtk_core::ReverseTopkEngine;
+    use rtk_graph::{DanglingPolicy, GraphBuilder, NodeId};
+
+    fn toy_engine() -> ReverseTopkEngine {
+        let graph = GraphBuilder::from_edges(
+            6,
+            &[
+                (0, 1),
+                (0, 3),
+                (0, 5),
+                (1, 0),
+                (1, 2),
+                (2, 0),
+                (2, 1),
+                (3, 1),
+                (3, 4),
+                (4, 1),
+                (5, 1),
+                (5, 3),
+            ],
+            DanglingPolicy::Error,
+        )
+        .unwrap();
+        ReverseTopkEngine::builder(graph)
+            .max_k(3)
+            .hubs_per_direction(1)
+            .threads(1)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn end_to_end_loopback_smoke() {
+        let engine = toy_engine();
+        let reference = toy_engine();
+        let config = ServerConfig { workers: 2, ..Default::default() };
+        let handle = Server::bind(engine, "127.0.0.1:0", config).unwrap().spawn();
+        let mut client = Client::connect(handle.addr()).unwrap();
+
+        client.ping().unwrap();
+
+        // Paper running example: reverse top-2 of node 0 = {0, 1, 4}.
+        let r = client.reverse_topk(0, 2, false).unwrap();
+        assert_eq!(r.nodes, vec![0, 1, 4]);
+        let direct = reference
+            .query_batch(&[(NodeId(0), 2)], reference.options())
+            .unwrap()
+            .pop()
+            .unwrap();
+        assert_eq!(r.nodes, direct.nodes());
+        for (a, b) in r.proximities.iter().zip(direct.proximities()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+
+        // Forward top-k through the wire.
+        let t = client.topk(2, 2, false).unwrap();
+        assert_eq!(t.nodes[0], 1);
+
+        // Batch, echoed in order.
+        let rs = client.batch(&[(0, 2), (1, 2), (5, 1)]).unwrap();
+        assert_eq!(rs.len(), 3);
+        assert_eq!(rs[0].query, 0);
+        assert_eq!(rs[2].query, 5);
+
+        // Update mode commits through the write lock without disturbing
+        // frozen answers.
+        let upd = client.reverse_topk(0, 2, true).unwrap();
+        assert_eq!(upd.nodes, vec![0, 1, 4]);
+        let again = client.reverse_topk(0, 2, false).unwrap();
+        assert_eq!(again.nodes, vec![0, 1, 4]);
+
+        // Engine errors come back as Remote, not dropped connections.
+        let err = client.reverse_topk(99, 2, false).unwrap_err();
+        assert!(matches!(err, ServerError::Remote(_)), "{err}");
+        let err = client.reverse_topk(0, 99, false).unwrap_err();
+        assert!(err.to_string().contains("99"), "{err}");
+
+        // Stats reflect the traffic.
+        let stats = client.stats().unwrap();
+        assert!(stats.total_requests() >= 6, "{stats:?}");
+        assert_eq!(stats.nodes, 6);
+        assert_eq!(stats.engine_errors, 2);
+        assert!(stats.p50_seconds >= 0.0);
+
+        client.shutdown().unwrap();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn corrupt_frame_does_not_kill_the_server() {
+        use std::io::Write;
+        let handle = Server::bind(
+            toy_engine(),
+            "127.0.0.1:0",
+            ServerConfig { workers: 2, ..Default::default() },
+        )
+        .unwrap()
+        .spawn();
+
+        // Garbage connection: server must reject it and keep serving.
+        {
+            let mut garbage = std::net::TcpStream::connect(handle.addr()).unwrap();
+            garbage.write_all(b"NOT A FRAME AT ALL, JUST BYTES").unwrap();
+            // Server responds with a protocol error or closes; either way,
+            // reading drains until EOF without hanging.
+            garbage.shutdown(std::net::Shutdown::Write).ok();
+            let mut sink = Vec::new();
+            use std::io::Read;
+            let _ = garbage.take(4096).read_to_end(&mut sink);
+        }
+
+        let mut client = Client::connect(handle.addr()).unwrap();
+        client.ping().unwrap();
+        let stats = client.stats().unwrap();
+        assert!(stats.protocol_errors >= 1, "{stats:?}");
+        client.shutdown().unwrap();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn oversized_frame_is_rejected_cleanly() {
+        let handle = Server::bind(
+            toy_engine(),
+            "127.0.0.1:0",
+            ServerConfig { workers: 1, max_frame_bytes: 64, ..Default::default() },
+        )
+        .unwrap()
+        .spawn();
+
+        // A legitimate frame whose payload exceeds the server's cap.
+        {
+            use std::io::Write;
+            let mut s = std::net::TcpStream::connect(handle.addr()).unwrap();
+            let payload = vec![0u8; 1024];
+            let mut frame = Vec::new();
+            wire::write_frame(&mut frame, &payload).unwrap();
+            s.write_all(&frame).unwrap();
+            let mut sink = Vec::new();
+            use std::io::Read;
+            let _ = s.take(4096).read_to_end(&mut sink);
+        }
+
+        let mut client = Client::connect(handle.addr()).unwrap();
+        client.ping().unwrap();
+        client.shutdown().unwrap();
+        handle.join().unwrap();
+    }
+}

@@ -1,0 +1,273 @@
+//! Per-server request metrics, queryable over the wire (`rtk remote stats`).
+
+use rtk_sparse::codec::{self, DecodeError};
+use rtk_sparse::LatencyHistogram;
+use std::io::{Read, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Request kinds tracked individually (indices into the counter array).
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum RequestKind {
+    /// `Request::Ping`.
+    Ping = 0,
+    /// `Request::ReverseTopk`.
+    ReverseTopk = 1,
+    /// `Request::Topk`.
+    Topk = 2,
+    /// `Request::Batch`.
+    Batch = 3,
+    /// `Request::Stats`.
+    Stats = 4,
+    /// `Request::Shutdown`.
+    Shutdown = 5,
+}
+
+const KINDS: usize = 6;
+
+/// Live counters + latency histogram, shared across worker threads.
+///
+/// Counters are lock-free atomics; the histogram sits behind a mutex that is
+/// held only for the O(1) bucket increment, so contention stays negligible
+/// next to query work.
+pub struct ServerMetrics {
+    started: Instant,
+    requests: [AtomicU64; KINDS],
+    protocol_errors: AtomicU64,
+    engine_errors: AtomicU64,
+    connections: AtomicU64,
+    latency: Mutex<LatencyHistogram>,
+}
+
+impl Default for ServerMetrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ServerMetrics {
+    /// Fresh metrics with the uptime clock starting now.
+    pub fn new() -> Self {
+        Self {
+            started: Instant::now(),
+            requests: std::array::from_fn(|_| AtomicU64::new(0)),
+            protocol_errors: AtomicU64::new(0),
+            engine_errors: AtomicU64::new(0),
+            connections: AtomicU64::new(0),
+            latency: Mutex::new(LatencyHistogram::new()),
+        }
+    }
+
+    pub(crate) fn record_request(&self, kind: RequestKind, seconds: f64) {
+        self.requests[kind as usize].fetch_add(1, Ordering::Relaxed);
+        self.latency.lock().expect("metrics lock").record(seconds);
+    }
+
+    pub(crate) fn record_protocol_error(&self) {
+        self.protocol_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_engine_error(&self) {
+        self.engine_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_connection(&self) {
+        self.connections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Consistent-enough snapshot for reporting (counters are read
+    /// individually; exactness across counters is not needed).
+    pub fn snapshot(&self, engine: EngineInfo) -> StatsSnapshot {
+        let hist = self.latency.lock().expect("metrics lock").clone();
+        let (p50, p95, p99) = hist.percentiles();
+        let get = |k: RequestKind| self.requests[k as usize].load(Ordering::Relaxed);
+        StatsSnapshot {
+            uptime_seconds: self.started.elapsed().as_secs_f64(),
+            ping: get(RequestKind::Ping),
+            reverse_topk: get(RequestKind::ReverseTopk),
+            topk: get(RequestKind::Topk),
+            batch: get(RequestKind::Batch),
+            stats: get(RequestKind::Stats),
+            shutdown: get(RequestKind::Shutdown),
+            protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
+            engine_errors: self.engine_errors.load(Ordering::Relaxed),
+            connections: self.connections.load(Ordering::Relaxed),
+            latency_count: hist.count(),
+            mean_seconds: hist.mean(),
+            p50_seconds: p50,
+            p95_seconds: p95,
+            p99_seconds: p99,
+            max_seconds: hist.max(),
+            nodes: engine.nodes,
+            edges: engine.edges,
+            max_k: engine.max_k,
+            workers: engine.workers,
+        }
+    }
+}
+
+/// Static facts about the served engine, folded into every snapshot.
+#[derive(Clone, Copy, Debug)]
+pub struct EngineInfo {
+    /// Node count of the served graph.
+    pub nodes: u64,
+    /// Edge count of the served graph.
+    pub edges: u64,
+    /// Largest `k` the index supports.
+    pub max_k: u64,
+    /// Worker threads the server runs.
+    pub workers: u32,
+}
+
+/// A point-in-time metrics report, encodable over the wire.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StatsSnapshot {
+    /// Seconds since the server started.
+    pub uptime_seconds: f64,
+    /// Completed `ping` requests.
+    pub ping: u64,
+    /// Completed `reverse_topk` requests.
+    pub reverse_topk: u64,
+    /// Completed `topk` requests.
+    pub topk: u64,
+    /// Completed `batch` requests.
+    pub batch: u64,
+    /// Completed `stats` requests.
+    pub stats: u64,
+    /// Accepted `shutdown` requests.
+    pub shutdown: u64,
+    /// Malformed frames / requests observed.
+    pub protocol_errors: u64,
+    /// Requests the engine rejected or failed.
+    pub engine_errors: u64,
+    /// Connections accepted since start.
+    pub connections: u64,
+    /// Observations in the latency histogram.
+    pub latency_count: u64,
+    /// Mean request latency, seconds.
+    pub mean_seconds: f64,
+    /// Median request latency (bucket upper edge), seconds.
+    pub p50_seconds: f64,
+    /// 95th percentile request latency, seconds.
+    pub p95_seconds: f64,
+    /// 99th percentile request latency, seconds.
+    pub p99_seconds: f64,
+    /// Largest observed request latency, seconds.
+    pub max_seconds: f64,
+    /// Node count of the served graph.
+    pub nodes: u64,
+    /// Edge count of the served graph.
+    pub edges: u64,
+    /// Largest `k` the index supports.
+    pub max_k: u64,
+    /// Worker threads the server runs.
+    pub workers: u32,
+}
+
+impl StatsSnapshot {
+    /// Total completed requests across all kinds.
+    pub fn total_requests(&self) -> u64 {
+        self.ping + self.reverse_topk + self.topk + self.batch + self.stats + self.shutdown
+    }
+
+    /// Serializes the snapshot (fixed-width fields, no sequences).
+    pub fn encode<W: Write>(&self, w: &mut W) -> std::io::Result<()> {
+        codec::write_f64(w, self.uptime_seconds)?;
+        for v in [
+            self.ping,
+            self.reverse_topk,
+            self.topk,
+            self.batch,
+            self.stats,
+            self.shutdown,
+            self.protocol_errors,
+            self.engine_errors,
+            self.connections,
+            self.latency_count,
+        ] {
+            codec::write_u64(w, v)?;
+        }
+        for v in [
+            self.mean_seconds,
+            self.p50_seconds,
+            self.p95_seconds,
+            self.p99_seconds,
+            self.max_seconds,
+        ] {
+            codec::write_f64(w, v)?;
+        }
+        codec::write_u64(w, self.nodes)?;
+        codec::write_u64(w, self.edges)?;
+        codec::write_u64(w, self.max_k)?;
+        codec::write_u32(w, self.workers)
+    }
+
+    /// Deserializes a snapshot written by [`Self::encode`].
+    pub fn decode<R: Read>(r: &mut R) -> Result<Self, DecodeError> {
+        Ok(Self {
+            uptime_seconds: codec::read_f64(r)?,
+            ping: codec::read_u64(r)?,
+            reverse_topk: codec::read_u64(r)?,
+            topk: codec::read_u64(r)?,
+            batch: codec::read_u64(r)?,
+            stats: codec::read_u64(r)?,
+            shutdown: codec::read_u64(r)?,
+            protocol_errors: codec::read_u64(r)?,
+            engine_errors: codec::read_u64(r)?,
+            connections: codec::read_u64(r)?,
+            latency_count: codec::read_u64(r)?,
+            mean_seconds: codec::read_f64(r)?,
+            p50_seconds: codec::read_f64(r)?,
+            p95_seconds: codec::read_f64(r)?,
+            p99_seconds: codec::read_f64(r)?,
+            max_seconds: codec::read_f64(r)?,
+            nodes: codec::read_u64(r)?,
+            edges: codec::read_u64(r)?,
+            max_k: codec::read_u64(r)?,
+            workers: codec::read_u32(r)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn snapshot_round_trips() {
+        let m = ServerMetrics::new();
+        m.record_request(RequestKind::ReverseTopk, 0.004);
+        m.record_request(RequestKind::ReverseTopk, 0.006);
+        m.record_request(RequestKind::Ping, 0.0001);
+        m.record_protocol_error();
+        m.record_connection();
+        let info = EngineInfo { nodes: 100, edges: 500, max_k: 20, workers: 4 };
+        let snap = m.snapshot(info);
+        assert_eq!(snap.total_requests(), 3);
+        assert_eq!(snap.reverse_topk, 2);
+        assert_eq!(snap.protocol_errors, 1);
+        assert_eq!(snap.latency_count, 3);
+        assert!(snap.p50_seconds > 0.0 && snap.p99_seconds >= snap.p50_seconds);
+
+        let mut buf = Vec::new();
+        snap.encode(&mut buf).unwrap();
+        let back = StatsSnapshot::decode(&mut Cursor::new(buf)).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn counters_are_independent_per_kind() {
+        let m = ServerMetrics::new();
+        for _ in 0..5 {
+            m.record_request(RequestKind::Batch, 0.001);
+        }
+        m.record_request(RequestKind::Stats, 0.001);
+        let snap = m.snapshot(EngineInfo { nodes: 1, edges: 1, max_k: 1, workers: 1 });
+        assert_eq!(snap.batch, 5);
+        assert_eq!(snap.stats, 1);
+        assert_eq!(snap.reverse_topk, 0);
+        assert_eq!(snap.total_requests(), 6);
+    }
+}

@@ -1,0 +1,188 @@
+//! The std-only TCP server: listener + worker thread pool + shutdown.
+
+use crate::handler::handle_connection;
+use crate::metrics::{EngineInfo, ServerMetrics};
+use crate::state::SharedEngine;
+use crate::wire::DEFAULT_MAX_FRAME_BYTES;
+use rtk_core::ReverseTopkEngine;
+use rtk_graph::resolve_threads;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// Server knobs. All have serving-oriented defaults.
+#[derive(Clone, Copy, Debug)]
+pub struct ServerConfig {
+    /// Worker threads handling connections (`0` = all cores).
+    pub workers: usize,
+    /// Per-frame payload cap in bytes (both directions).
+    pub max_frame_bytes: u32,
+    /// Threads *inside* one query (PMPN SpMV + screen). Defaults to 1: a
+    /// server's parallelism budget goes to concurrent requests, and results
+    /// are identical for any value.
+    pub query_threads: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self { workers: 0, max_frame_bytes: DEFAULT_MAX_FRAME_BYTES, query_threads: 1 }
+    }
+}
+
+/// Everything the workers share.
+pub(crate) struct ServerCtx {
+    pub(crate) shared: SharedEngine,
+    pub(crate) metrics: ServerMetrics,
+    pub(crate) shutdown: AtomicBool,
+    pub(crate) max_frame_bytes: u32,
+    pub(crate) engine_info: EngineInfo,
+    /// Where the listener is bound — used to self-connect on shutdown so a
+    /// blocked `accept` wakes up without busy-polling.
+    local_addr: SocketAddr,
+}
+
+impl ServerCtx {
+    /// Flags shutdown and pokes the accept loop awake.
+    pub(crate) fn begin_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Wildcard binds (0.0.0.0 / ::) are not connectable addresses on
+        // every platform — wake the acceptor through loopback instead.
+        let mut wake = self.local_addr;
+        if wake.ip().is_unspecified() {
+            wake.set_ip(match wake.ip() {
+                std::net::IpAddr::V4(_) => std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST),
+                std::net::IpAddr::V6(_) => std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST),
+            });
+        }
+        let _ = TcpStream::connect(wake);
+    }
+}
+
+/// A bound (but not yet running) reverse top-k server.
+///
+/// ```no_run
+/// use rtk_server::{Server, ServerConfig};
+/// # fn engine() -> rtk_core::ReverseTopkEngine { unimplemented!() }
+/// let server = Server::bind(engine(), "127.0.0.1:0", ServerConfig::default()).unwrap();
+/// println!("serving on {}", server.local_addr());
+/// server.run().unwrap(); // blocks until a Shutdown request arrives
+/// ```
+pub struct Server {
+    listener: TcpListener,
+    ctx: Arc<ServerCtx>,
+    workers: usize,
+}
+
+impl Server {
+    /// Binds `addr` and wraps `engine` for serving. Port `0` picks an
+    /// ephemeral port — read it back with [`Self::local_addr`].
+    pub fn bind<A: ToSocketAddrs>(
+        engine: ReverseTopkEngine,
+        addr: A,
+        config: ServerConfig,
+    ) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let workers = resolve_threads(config.workers).max(1);
+        let shared = SharedEngine::new(engine, config.query_threads);
+        let (nodes, edges, max_k) = shared.info();
+        let ctx = Arc::new(ServerCtx {
+            shared,
+            metrics: ServerMetrics::new(),
+            shutdown: AtomicBool::new(false),
+            max_frame_bytes: config.max_frame_bytes,
+            engine_info: EngineInfo { nodes, edges, max_k, workers: workers as u32 },
+            local_addr,
+        });
+        Ok(Self { listener, ctx, workers })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.ctx.local_addr
+    }
+
+    /// Serves until a `Shutdown` request arrives, then drains: the accept
+    /// loop stops, queued connections are still handled, in-flight requests
+    /// finish, and every worker joins before this returns.
+    pub fn run(self) -> io::Result<()> {
+        let Server { listener, ctx, workers } = self;
+        let (tx, rx) = mpsc::channel::<TcpStream>();
+        let rx = Arc::new(Mutex::new(rx));
+
+        let handles: Vec<JoinHandle<()>> = (0..workers)
+            .map(|_| {
+                let rx = Arc::clone(&rx);
+                let ctx = Arc::clone(&ctx);
+                std::thread::spawn(move || loop {
+                    let stream = {
+                        let guard = rx.lock().expect("connection queue lock");
+                        guard.recv()
+                    };
+                    match stream {
+                        Ok(s) => handle_connection(s, &ctx),
+                        Err(_) => break, // acceptor dropped the sender
+                    }
+                })
+            })
+            .collect();
+
+        for stream in listener.incoming() {
+            if ctx.shutdown.load(Ordering::SeqCst) {
+                break; // the wake-up connection (or a late client) lands here
+            }
+            match stream {
+                Ok(s) => {
+                    if tx.send(s).is_err() {
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    // Transient accept failure (e.g. fd exhaustion): back
+                    // off briefly instead of busy-spinning the acceptor.
+                    std::thread::sleep(std::time::Duration::from_millis(20));
+                    continue;
+                }
+            }
+        }
+
+        drop(tx); // workers drain the queue, then exit
+        for h in handles {
+            let _ = h.join();
+        }
+        Ok(())
+    }
+
+    /// Runs the server on a background thread; returns a handle with the
+    /// bound address. Shut it down with a client `shutdown()` call, then
+    /// [`ServerHandle::join`].
+    pub fn spawn(self) -> ServerHandle {
+        let addr = self.local_addr();
+        let thread = std::thread::spawn(move || self.run());
+        ServerHandle { addr, thread }
+    }
+}
+
+/// Handle to a server running on a background thread.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    thread: JoinHandle<io::Result<()>>,
+}
+
+impl ServerHandle {
+    /// The address the server is listening on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Waits for the server to exit (after a `Shutdown` request).
+    pub fn join(self) -> io::Result<()> {
+        self.thread
+            .join()
+            .unwrap_or_else(|_| Err(io::Error::other("server thread panicked")))
+    }
+}

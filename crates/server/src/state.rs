@@ -1,0 +1,117 @@
+//! The shared, lock-guarded engine every worker dispatches against.
+//!
+//! Concurrency model (mirrors the paper's two query modes):
+//!
+//! * **frozen-mode** queries (`reverse_topk` with `update = false`, `topk`,
+//!   `batch`) take the **read lock** and run concurrently — the engine's
+//!   frozen paths (`query_batch`, `top_k`, `top_k_early`) only need `&self`;
+//! * **update-mode** queries take the **write lock** and serialize, so the
+//!   refined bounds commit back into the shared index through the engine's
+//!   normal commit phase (`ReverseIndex::commit_states`) exactly as a serial
+//!   embedder would observe.
+//!
+//! Result sets and proximities are identical in both modes (refinement only
+//! tightens bounds; it never changes answers), so interleaving update-mode
+//! traffic cannot perturb concurrent frozen readers' results.
+
+use crate::wire::{WireQueryResult, WireTopk};
+use rtk_core::ReverseTopkEngine;
+use rtk_graph::NodeId;
+use rtk_query::{QueryOptions, QueryResult};
+use std::sync::RwLock;
+use std::time::Instant;
+
+/// Shared engine plus the per-request query options the server uses.
+pub(crate) struct SharedEngine {
+    engine: RwLock<ReverseTopkEngine>,
+    /// Thread count for the *inside* of one request (PMPN SpMV + screen).
+    /// Servers parallelize across requests, so this defaults to 1.
+    query_threads: usize,
+}
+
+impl SharedEngine {
+    pub(crate) fn new(engine: ReverseTopkEngine, query_threads: usize) -> Self {
+        Self { engine: RwLock::new(engine), query_threads: query_threads.max(1) }
+    }
+
+    /// `(nodes, edges, max_k)` of the served engine.
+    pub(crate) fn info(&self) -> (u64, u64, u64) {
+        let engine = self.engine.read().expect("engine lock");
+        (
+            engine.node_count() as u64,
+            engine.graph().edge_count() as u64,
+            engine.index().max_k() as u64,
+        )
+    }
+
+    fn options(&self, update: bool) -> QueryOptions {
+        QueryOptions {
+            update_index: update,
+            query_threads: self.query_threads,
+            ..Default::default()
+        }
+    }
+
+    /// One reverse top-k query; frozen requests share the read lock.
+    pub(crate) fn reverse_topk(
+        &self,
+        q: u32,
+        k: u32,
+        update: bool,
+    ) -> Result<WireQueryResult, String> {
+        let started = Instant::now();
+        let result = if update {
+            let mut engine = self.engine.write().expect("engine lock");
+            let opts = self.options(true);
+            engine.query_with(NodeId(q), k as usize, &opts).map_err(|e| e.to_string())?
+        } else {
+            let engine = self.engine.read().expect("engine lock");
+            let opts = self.options(false);
+            let mut results = engine
+                .query_batch(&[(NodeId(q), k as usize)], &opts)
+                .map_err(|e| e.to_string())?;
+            results.pop().expect("one result for one query")
+        };
+        Ok(to_wire(&result, started.elapsed().as_secs_f64()))
+    }
+
+    /// Forward top-k from `u`; always frozen.
+    pub(crate) fn topk(&self, u: u32, k: u32, early: bool) -> Result<WireTopk, String> {
+        let engine = self.engine.read().expect("engine lock");
+        let top = if early {
+            engine.top_k_early(NodeId(u), k as usize)
+        } else {
+            engine.top_k(NodeId(u), k as usize)
+        }
+        .map_err(|e| e.to_string())?;
+        let (nodes, scores): (Vec<u32>, Vec<f64>) = top.into_iter().map(|(v, p)| (v.0, p)).unzip();
+        Ok(WireTopk { node: u, k, nodes, scores })
+    }
+
+    /// Many independent frozen queries in one read-lock hold.
+    pub(crate) fn batch(&self, queries: &[(u32, u32)]) -> Result<Vec<WireQueryResult>, String> {
+        let engine = self.engine.read().expect("engine lock");
+        let opts = self.options(false);
+        let raw: Vec<(NodeId, usize)> =
+            queries.iter().map(|&(q, k)| (NodeId(q), k as usize)).collect();
+        let results = engine.query_batch(&raw, &opts).map_err(|e| e.to_string())?;
+        // Each result already carries its own wall time, so the per-query
+        // `server_seconds` stays accurate inside a batch too.
+        Ok(results.iter().map(|r| to_wire(r, r.stats().total_seconds)).collect())
+    }
+}
+
+fn to_wire(r: &QueryResult, server_seconds: f64) -> WireQueryResult {
+    let s = r.stats();
+    WireQueryResult {
+        query: r.query(),
+        k: r.k() as u32,
+        nodes: r.nodes().to_vec(),
+        proximities: r.proximities().to_vec(),
+        candidates: s.candidates as u64,
+        hits: s.hits as u64,
+        refined_nodes: s.refined_nodes as u64,
+        refine_iterations: s.refine_iterations,
+        server_seconds,
+    }
+}

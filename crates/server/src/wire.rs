@@ -1,0 +1,536 @@
+//! The `RTKWIRE1` wire protocol: versioned, length-prefixed binary frames.
+//!
+//! Every message — request or response — travels as one frame:
+//!
+//! ```text
+//! magic   "RTKWIRE1"                  8 bytes
+//! version u32 (currently 1)           4 bytes
+//! length  u32 payload byte count      4 bytes   (bounded by the receiver)
+//! payload `length` bytes
+//! ```
+//!
+//! Payloads are built exclusively from [`rtk_sparse::codec`] primitives
+//! (little-endian scalars and `u64`-length-prefixed sequences), so the wire
+//! format shares its auditability and its hardened bounded decoding with the
+//! on-disk graph/index formats. The receiver rejects any frame whose
+//! declared length exceeds its configured cap *before* allocating, and every
+//! sequence inside a payload is decoded with a payload-derived bound.
+//!
+//! Request payloads start with a `u32` tag ([`Request`]); response payloads
+//! start with a `u32` status — `0` for success followed by the body, nonzero
+//! for an error followed by a message string ([`Response`]).
+
+use crate::error::ServerError;
+use crate::metrics::StatsSnapshot;
+use rtk_sparse::codec::{self, DecodeError};
+use std::io::{Cursor, Read, Write};
+
+/// Magic tag opening every frame.
+pub const WIRE_MAGIC: &[u8; 8] = b"RTKWIRE1";
+/// Current protocol version.
+pub const WIRE_VERSION: u32 = 1;
+/// Default per-frame payload cap (16 MiB) — generous for batch responses,
+/// small enough that a malicious length prefix cannot balloon memory.
+pub const DEFAULT_MAX_FRAME_BYTES: u32 = 16 * 1024 * 1024;
+
+/// Protocol-level cap on queries per batch request. Bounds the work a
+/// single frame can demand *before* the server executes anything (a 16 MiB
+/// frame could otherwise legally declare ~2M queries whose response could
+/// never fit back through the frame limit).
+pub const MAX_BATCH_QUERIES: u64 = 65_536;
+
+/// Request tags (first `u32` of a request payload).
+const TAG_PING: u32 = 0;
+const TAG_REVERSE_TOPK: u32 = 1;
+const TAG_TOPK: u32 = 2;
+const TAG_BATCH: u32 = 3;
+const TAG_STATS: u32 = 4;
+const TAG_SHUTDOWN: u32 = 5;
+
+/// Response status codes (first `u32` of a response payload).
+const STATUS_OK: u32 = 0;
+/// The request could not be parsed or violated framing limits.
+pub const STATUS_PROTOCOL_ERROR: u32 = 1;
+/// The engine rejected or failed the request.
+pub const STATUS_ENGINE_ERROR: u32 = 2;
+
+/// A client request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// Liveness probe.
+    Ping,
+    /// One reverse top-k query. `update` selects the paper's update mode
+    /// (refinements commit back into the shared index, serialized through
+    /// the write lock); otherwise the query runs frozen and concurrently.
+    ReverseTopk {
+        /// Query node id.
+        q: u32,
+        /// Result set size.
+        k: u32,
+        /// Commit refinements back into the index.
+        update: bool,
+    },
+    /// Forward top-k proximity search from `u`.
+    Topk {
+        /// Source node id.
+        u: u32,
+        /// Result set size.
+        k: u32,
+        /// Use the early-terminating BPA-style search.
+        early: bool,
+    },
+    /// Many independent frozen reverse top-k queries in one round-trip.
+    Batch {
+        /// `(q, k)` pairs, answered in order.
+        queries: Vec<(u32, u32)>,
+    },
+    /// Server metrics + engine info.
+    Stats,
+    /// Graceful shutdown: in-flight requests finish, then the server exits.
+    Shutdown,
+}
+
+/// One reverse top-k answer with its server-side diagnostics.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WireQueryResult {
+    /// Echo of the query node.
+    pub query: u32,
+    /// Echo of `k`.
+    pub k: u32,
+    /// Result nodes in ascending id order.
+    pub nodes: Vec<u32>,
+    /// `p_u(q)` per result node (bitwise-exact f64s).
+    pub proximities: Vec<f64>,
+    /// Nodes surviving the lower-bound prune.
+    pub candidates: u64,
+    /// Candidates confirmed by their first upper-bound check.
+    pub hits: u64,
+    /// Candidates that needed refinement.
+    pub refined_nodes: u64,
+    /// Total BCA refinement iterations.
+    pub refine_iterations: u64,
+    /// Server-side wall time for this query, seconds.
+    pub server_seconds: f64,
+}
+
+/// A forward top-k answer.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WireTopk {
+    /// Echo of the source node.
+    pub node: u32,
+    /// Echo of `k`.
+    pub k: u32,
+    /// Result nodes, best first.
+    pub nodes: Vec<u32>,
+    /// Proximity (or lower bound, in early mode) per result node.
+    pub scores: Vec<f64>,
+}
+
+/// A server response.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    /// Answer to [`Request::Ping`].
+    Pong,
+    /// Answer to [`Request::ReverseTopk`].
+    ReverseTopk(WireQueryResult),
+    /// Answer to [`Request::Topk`].
+    Topk(WireTopk),
+    /// Answer to [`Request::Batch`], in request order.
+    Batch(Vec<WireQueryResult>),
+    /// Answer to [`Request::Stats`].
+    Stats(StatsSnapshot),
+    /// Acknowledgement of [`Request::Shutdown`].
+    ShuttingDown,
+    /// The request failed; `code` is one of the `STATUS_*` constants.
+    Error {
+        /// `STATUS_PROTOCOL_ERROR` or `STATUS_ENGINE_ERROR`.
+        code: u32,
+        /// Human-readable cause.
+        message: String,
+    },
+}
+
+/// Writes one frame (header + length-prefixed payload). Fails (rather than
+/// silently truncating the length prefix) when the payload cannot be
+/// described by the `u32` length field.
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> std::io::Result<()> {
+    let len = u32::try_from(payload.len()).map_err(|_| {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            format!("payload of {} bytes exceeds the u32 frame length field", payload.len()),
+        )
+    })?;
+    codec::write_header(w, WIRE_MAGIC, WIRE_VERSION)?;
+    codec::write_u32(w, len)?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one frame, rejecting payloads larger than `max_frame_bytes` before
+/// allocating. The caller is responsible for distinguishing clean EOF (no
+/// bytes at all) from a truncated frame.
+pub fn read_frame<R: Read>(r: &mut R, max_frame_bytes: u32) -> Result<Vec<u8>, DecodeError> {
+    codec::read_header(r, WIRE_MAGIC, WIRE_VERSION)?;
+    let len = codec::read_u32(r)?;
+    if len > max_frame_bytes {
+        return Err(DecodeError::Corrupt(format!(
+            "frame payload of {len} bytes exceeds limit {max_frame_bytes}"
+        )));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    Ok(payload)
+}
+
+/// Encodes a request payload.
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    let mut out = Vec::new();
+    let w = &mut out;
+    match req {
+        Request::Ping => codec::write_u32(w, TAG_PING).unwrap(),
+        Request::ReverseTopk { q, k, update } => {
+            codec::write_u32(w, TAG_REVERSE_TOPK).unwrap();
+            codec::write_u32(w, *q).unwrap();
+            codec::write_u32(w, *k).unwrap();
+            codec::write_u32(w, u32::from(*update)).unwrap();
+        }
+        Request::Topk { u, k, early } => {
+            codec::write_u32(w, TAG_TOPK).unwrap();
+            codec::write_u32(w, *u).unwrap();
+            codec::write_u32(w, *k).unwrap();
+            codec::write_u32(w, u32::from(*early)).unwrap();
+        }
+        Request::Batch { queries } => {
+            codec::write_u32(w, TAG_BATCH).unwrap();
+            codec::write_u64(w, queries.len() as u64).unwrap();
+            for &(q, k) in queries {
+                codec::write_u32(w, q).unwrap();
+                codec::write_u32(w, k).unwrap();
+            }
+        }
+        Request::Stats => codec::write_u32(w, TAG_STATS).unwrap(),
+        Request::Shutdown => codec::write_u32(w, TAG_SHUTDOWN).unwrap(),
+    }
+    out
+}
+
+/// Decodes a request payload. Sequence lengths are bounded by what the
+/// payload could physically contain, so a corrupt count fails fast.
+pub fn decode_request(payload: &[u8]) -> Result<Request, DecodeError> {
+    let mut r = Cursor::new(payload);
+    let tag = codec::read_u32(&mut r)?;
+    let req = match tag {
+        TAG_PING => Request::Ping,
+        TAG_REVERSE_TOPK => Request::ReverseTopk {
+            q: codec::read_u32(&mut r)?,
+            k: codec::read_u32(&mut r)?,
+            update: codec::read_u32(&mut r)? != 0,
+        },
+        TAG_TOPK => Request::Topk {
+            u: codec::read_u32(&mut r)?,
+            k: codec::read_u32(&mut r)?,
+            early: codec::read_u32(&mut r)? != 0,
+        },
+        TAG_BATCH => {
+            // Each (q, k) pair costs 8 payload bytes — a stream-derived cap,
+            // further clamped by the protocol-level batch limit.
+            let cap = ((payload.len() as u64) / 8).min(MAX_BATCH_QUERIES);
+            let count = codec::check_len(codec::read_u64(&mut r)?, cap, "batch query count")?;
+            let mut queries = Vec::with_capacity(count);
+            for _ in 0..count {
+                queries.push((codec::read_u32(&mut r)?, codec::read_u32(&mut r)?));
+            }
+            Request::Batch { queries }
+        }
+        TAG_STATS => Request::Stats,
+        TAG_SHUTDOWN => Request::Shutdown,
+        other => {
+            return Err(DecodeError::Corrupt(format!("unknown request tag {other}")));
+        }
+    };
+    expect_exhausted(&r, payload.len())?;
+    Ok(req)
+}
+
+/// Encodes a response payload.
+pub fn encode_response(resp: &Response) -> Vec<u8> {
+    let mut out = Vec::new();
+    let w = &mut out;
+    match resp {
+        Response::Error { code, message } => {
+            codec::write_u32(w, *code).unwrap();
+            codec::write_bytes(w, message.as_bytes()).unwrap();
+            return out;
+        }
+        _ => codec::write_u32(w, STATUS_OK).unwrap(),
+    }
+    match resp {
+        Response::Pong => codec::write_u32(w, TAG_PING).unwrap(),
+        Response::ReverseTopk(r) => {
+            codec::write_u32(w, TAG_REVERSE_TOPK).unwrap();
+            write_query_result(w, r);
+        }
+        Response::Topk(t) => {
+            codec::write_u32(w, TAG_TOPK).unwrap();
+            codec::write_u32(w, t.node).unwrap();
+            codec::write_u32(w, t.k).unwrap();
+            codec::write_u32_seq(w, &t.nodes).unwrap();
+            codec::write_f64_seq(w, &t.scores).unwrap();
+        }
+        Response::Batch(rs) => {
+            codec::write_u32(w, TAG_BATCH).unwrap();
+            codec::write_u64(w, rs.len() as u64).unwrap();
+            for r in rs {
+                write_query_result(w, r);
+            }
+        }
+        Response::Stats(s) => {
+            codec::write_u32(w, TAG_STATS).unwrap();
+            s.encode(w).unwrap();
+        }
+        Response::ShuttingDown => codec::write_u32(w, TAG_SHUTDOWN).unwrap(),
+        Response::Error { .. } => unreachable!("handled above"),
+    }
+    out
+}
+
+/// Decodes a response payload.
+pub fn decode_response(payload: &[u8]) -> Result<Response, ServerError> {
+    let mut r = Cursor::new(payload);
+    let status = codec::read_u32(&mut r)?;
+    if status != STATUS_OK {
+        // The message string fills exactly the rest of the payload.
+        let remaining = payload.len() as u64 - r.position();
+        let message = codec::read_bytes_bounded(&mut r, remaining)?;
+        expect_exhausted(&r, payload.len())?;
+        return Ok(Response::Error {
+            code: status,
+            message: String::from_utf8_lossy(&message).into_owned(),
+        });
+    }
+    let tag = codec::read_u32(&mut r)?;
+    let resp = match tag {
+        TAG_PING => Response::Pong,
+        TAG_REVERSE_TOPK => Response::ReverseTopk(read_query_result(&mut r, payload.len())?),
+        TAG_TOPK => {
+            let node = codec::read_u32(&mut r)?;
+            let k = codec::read_u32(&mut r)?;
+            let bound = payload.len() as u64 / 4;
+            let nodes = codec::read_u32_seq_bounded(&mut r, bound)?;
+            let scores = codec::read_f64_seq_bounded(&mut r, bound)?;
+            if nodes.len() != scores.len() {
+                return Err(ServerError::Protocol(format!(
+                    "topk response: {} nodes but {} scores",
+                    nodes.len(),
+                    scores.len()
+                )));
+            }
+            Response::Topk(WireTopk { node, k, nodes, scores })
+        }
+        TAG_BATCH => {
+            // A result is at least 8 fixed u32/u64/f64 fields ≥ 8 bytes.
+            let cap = payload.len() as u64 / 8;
+            let count = codec::check_len(codec::read_u64(&mut r)?, cap, "batch result count")?;
+            let mut rs = Vec::with_capacity(count);
+            for _ in 0..count {
+                rs.push(read_query_result(&mut r, payload.len())?);
+            }
+            Response::Batch(rs)
+        }
+        TAG_STATS => Response::Stats(StatsSnapshot::decode(&mut r)?),
+        TAG_SHUTDOWN => Response::ShuttingDown,
+        other => {
+            return Err(ServerError::Protocol(format!("unknown response tag {other}")));
+        }
+    };
+    expect_exhausted(&r, payload.len())?;
+    Ok(resp)
+}
+
+fn write_query_result<W: Write>(w: &mut W, r: &WireQueryResult) {
+    codec::write_u32(w, r.query).unwrap();
+    codec::write_u32(w, r.k).unwrap();
+    codec::write_u32_seq(w, &r.nodes).unwrap();
+    codec::write_f64_seq(w, &r.proximities).unwrap();
+    codec::write_u64(w, r.candidates).unwrap();
+    codec::write_u64(w, r.hits).unwrap();
+    codec::write_u64(w, r.refined_nodes).unwrap();
+    codec::write_u64(w, r.refine_iterations).unwrap();
+    codec::write_f64(w, r.server_seconds).unwrap();
+}
+
+fn read_query_result<R: Read>(
+    r: &mut R,
+    payload_len: usize,
+) -> Result<WireQueryResult, ServerError> {
+    let query = codec::read_u32(r)?;
+    let k = codec::read_u32(r)?;
+    let bound = payload_len as u64 / 4;
+    let nodes = codec::read_u32_seq_bounded(r, bound)?;
+    let proximities = codec::read_f64_seq_bounded(r, bound)?;
+    if nodes.len() != proximities.len() {
+        return Err(ServerError::Protocol(format!(
+            "query result: {} nodes but {} proximities",
+            nodes.len(),
+            proximities.len()
+        )));
+    }
+    Ok(WireQueryResult {
+        query,
+        k,
+        nodes,
+        proximities,
+        candidates: codec::read_u64(r)?,
+        hits: codec::read_u64(r)?,
+        refined_nodes: codec::read_u64(r)?,
+        refine_iterations: codec::read_u64(r)?,
+        server_seconds: codec::read_f64(r)?,
+    })
+}
+
+/// Trailing garbage after a well-formed payload means a framing bug —
+/// reject it instead of silently ignoring attacker-controlled bytes.
+fn expect_exhausted(r: &Cursor<&[u8]>, len: usize) -> Result<(), DecodeError> {
+    let pos = r.position() as usize;
+    if pos != len {
+        return Err(DecodeError::Corrupt(format!("{} trailing bytes after payload", len - pos)));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_result(q: u32) -> WireQueryResult {
+        WireQueryResult {
+            query: q,
+            k: 5,
+            nodes: vec![1, 4, 9],
+            proximities: vec![0.25, 0.125, 1e-9],
+            candidates: 17,
+            hits: 2,
+            refined_nodes: 3,
+            refine_iterations: 40,
+            server_seconds: 0.0123,
+        }
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        let reqs = [
+            Request::Ping,
+            Request::ReverseTopk { q: 7, k: 10, update: true },
+            Request::ReverseTopk { q: 0, k: 1, update: false },
+            Request::Topk { u: 3, k: 2, early: true },
+            Request::Batch { queries: vec![(0, 1), (5, 10), (7, 3)] },
+            Request::Batch { queries: vec![] },
+            Request::Stats,
+            Request::Shutdown,
+        ];
+        for req in reqs {
+            let payload = encode_request(&req);
+            assert_eq!(decode_request(&payload).unwrap(), req, "{req:?}");
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let resps = [
+            Response::Pong,
+            Response::ReverseTopk(sample_result(3)),
+            Response::Topk(WireTopk { node: 2, k: 3, nodes: vec![0, 5], scores: vec![0.5, 0.25] }),
+            Response::Batch(vec![sample_result(1), sample_result(2)]),
+            Response::Batch(vec![]),
+            Response::ShuttingDown,
+            Response::Error { code: STATUS_ENGINE_ERROR, message: "k out of range".into() },
+        ];
+        for resp in resps {
+            let payload = encode_response(&resp);
+            assert_eq!(decode_response(&payload).unwrap(), resp, "{resp:?}");
+        }
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        let payload = encode_request(&Request::ReverseTopk { q: 9, k: 4, update: false });
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &payload).unwrap();
+        let back = read_frame(&mut Cursor::new(buf), DEFAULT_MAX_FRAME_BYTES).unwrap();
+        assert_eq!(back, payload);
+    }
+
+    #[test]
+    fn oversized_frame_is_rejected_before_allocation() {
+        let mut buf = Vec::new();
+        codec::write_header(&mut buf, WIRE_MAGIC, WIRE_VERSION).unwrap();
+        codec::write_u32(&mut buf, u32::MAX).unwrap(); // absurd payload length
+        let err = read_frame(&mut Cursor::new(buf), 1024).unwrap_err();
+        assert!(matches!(err, DecodeError::Corrupt(_)));
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"x").unwrap();
+        buf[0] = b'X';
+        assert!(matches!(
+            read_frame(&mut Cursor::new(buf), 1024).unwrap_err(),
+            DecodeError::BadMagic { .. }
+        ));
+    }
+
+    #[test]
+    fn future_version_is_rejected() {
+        let mut buf = Vec::new();
+        codec::write_header(&mut buf, WIRE_MAGIC, WIRE_VERSION + 1).unwrap();
+        codec::write_u32(&mut buf, 0).unwrap();
+        assert!(matches!(
+            read_frame(&mut Cursor::new(buf), 1024).unwrap_err(),
+            DecodeError::UnsupportedVersion { .. }
+        ));
+    }
+
+    #[test]
+    fn unknown_tags_and_trailing_bytes_are_corrupt() {
+        let mut payload = Vec::new();
+        codec::write_u32(&mut payload, 99).unwrap();
+        assert!(decode_request(&payload).is_err());
+
+        let mut payload = encode_request(&Request::Ping);
+        payload.push(0xFF);
+        assert!(decode_request(&payload).is_err());
+    }
+
+    #[test]
+    fn trailing_garbage_after_error_response_is_rejected() {
+        let mut payload =
+            encode_response(&Response::Error { code: STATUS_ENGINE_ERROR, message: "boom".into() });
+        assert!(decode_response(&payload).is_ok());
+        payload.push(0xAB);
+        assert!(decode_response(&payload).is_err());
+    }
+
+    #[test]
+    fn batch_count_is_bounded_by_payload_size() {
+        let mut payload = Vec::new();
+        codec::write_u32(&mut payload, 3).unwrap(); // TAG_BATCH
+        codec::write_u64(&mut payload, u64::MAX).unwrap(); // absurd count
+        let err = decode_request(&payload).unwrap_err();
+        assert!(matches!(err, DecodeError::Corrupt(_)), "{err}");
+    }
+
+    #[test]
+    fn proximities_survive_bitwise() {
+        let mut r = sample_result(0);
+        r.proximities =
+            vec![f64::from_bits(0.1f64.to_bits() + 1), f64::MIN_POSITIVE, 1.0 - f64::EPSILON];
+        let payload = encode_response(&Response::ReverseTopk(r.clone()));
+        let Response::ReverseTopk(back) = decode_response(&payload).unwrap() else {
+            panic!("wrong variant");
+        };
+        for (a, b) in back.proximities.iter().zip(&r.proximities) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+}

@@ -65,8 +65,11 @@ impl From<io::Error> for DecodeError {
 }
 
 /// Sanity cap on declared sequence lengths (1 billion elements) so corrupt
-/// streams fail fast instead of attempting absurd allocations.
-const MAX_SEQ_LEN: u64 = 1_000_000_000;
+/// streams fail fast instead of attempting absurd allocations. Callers that
+/// know a tighter bound (a node count, a frame size, a `max_k`) should use
+/// the `*_bounded` readers instead — the bound is checked *before* any
+/// allocation happens.
+pub const MAX_SEQ_LEN: u64 = 1_000_000_000;
 
 /// Writes the 8-byte magic tag followed by a `u32` version.
 pub fn write_header<W: Write>(w: &mut W, magic: &[u8; 8], version: u32) -> io::Result<()> {
@@ -129,10 +132,15 @@ pub fn read_f64<R: Read>(r: &mut R) -> io::Result<f64> {
     Ok(f64::from_le_bytes(b))
 }
 
-/// Validates a declared sequence length against [`MAX_SEQ_LEN`].
-fn checked_len(len: u64, what: &str) -> Result<usize, DecodeError> {
-    if len > MAX_SEQ_LEN {
-        return Err(DecodeError::Corrupt(format!("{what}: declared length {len} exceeds cap")));
+/// Validates a declared length against a caller-supplied bound (itself
+/// clamped by [`MAX_SEQ_LEN`]) *before* anything is allocated, so a corrupt
+/// or malicious length prefix cannot trigger a huge `Vec` reservation.
+pub fn check_len(len: u64, bound: u64, what: &str) -> Result<usize, DecodeError> {
+    let bound = bound.min(MAX_SEQ_LEN);
+    if len > bound {
+        return Err(DecodeError::Corrupt(format!(
+            "{what}: declared length {len} exceeds bound {bound}"
+        )));
     }
     Ok(len as usize)
 }
@@ -146,9 +154,15 @@ pub fn write_u32_seq<W: Write>(w: &mut W, vs: &[u32]) -> io::Result<()> {
     Ok(())
 }
 
-/// Reads a sequence written by [`write_u32_seq`].
+/// Reads a sequence written by [`write_u32_seq`], bounded by [`MAX_SEQ_LEN`].
 pub fn read_u32_seq<R: Read>(r: &mut R) -> Result<Vec<u32>, DecodeError> {
-    let len = checked_len(read_u64(r)?, "u32 sequence")?;
+    read_u32_seq_bounded(r, MAX_SEQ_LEN)
+}
+
+/// Reads a sequence written by [`write_u32_seq`], rejecting declared lengths
+/// above `bound` (e.g. a node count or frame size) before allocating.
+pub fn read_u32_seq_bounded<R: Read>(r: &mut R, bound: u64) -> Result<Vec<u32>, DecodeError> {
+    let len = check_len(read_u64(r)?, bound, "u32 sequence")?;
     let mut out = Vec::with_capacity(len.min(1 << 20));
     for _ in 0..len {
         out.push(read_u32(r)?);
@@ -165,13 +179,34 @@ pub fn write_f64_seq<W: Write>(w: &mut W, vs: &[f64]) -> io::Result<()> {
     Ok(())
 }
 
-/// Reads a sequence written by [`write_f64_seq`].
+/// Reads a sequence written by [`write_f64_seq`], bounded by [`MAX_SEQ_LEN`].
 pub fn read_f64_seq<R: Read>(r: &mut R) -> Result<Vec<f64>, DecodeError> {
-    let len = checked_len(read_u64(r)?, "f64 sequence")?;
+    read_f64_seq_bounded(r, MAX_SEQ_LEN)
+}
+
+/// Reads a sequence written by [`write_f64_seq`], rejecting declared lengths
+/// above `bound` before allocating.
+pub fn read_f64_seq_bounded<R: Read>(r: &mut R, bound: u64) -> Result<Vec<f64>, DecodeError> {
+    let len = check_len(read_u64(r)?, bound, "f64 sequence")?;
     let mut out = Vec::with_capacity(len.min(1 << 20));
     for _ in 0..len {
         out.push(read_f64(r)?);
     }
+    Ok(out)
+}
+
+/// Writes a `u64`-length-prefixed byte string.
+pub fn write_bytes<W: Write>(w: &mut W, bytes: &[u8]) -> io::Result<()> {
+    write_u64(w, bytes.len() as u64)?;
+    w.write_all(bytes)
+}
+
+/// Reads a byte string written by [`write_bytes`], rejecting declared
+/// lengths above `bound` before allocating.
+pub fn read_bytes_bounded<R: Read>(r: &mut R, bound: u64) -> Result<Vec<u8>, DecodeError> {
+    let len = check_len(read_u64(r)?, bound, "byte string")?;
+    let mut out = vec![0u8; len];
+    r.read_exact(&mut out)?;
     Ok(out)
 }
 
@@ -181,10 +216,20 @@ pub fn write_sparse_vector<W: Write>(w: &mut W, v: &crate::SparseVector) -> io::
     write_f64_seq(w, v.values())
 }
 
-/// Reads a sparse vector written by [`write_sparse_vector`].
+/// Reads a sparse vector written by [`write_sparse_vector`], bounded by
+/// [`MAX_SEQ_LEN`] entries.
 pub fn read_sparse_vector<R: Read>(r: &mut R) -> Result<crate::SparseVector, DecodeError> {
-    let indices = read_u32_seq(r)?;
-    let values = read_f64_seq(r)?;
+    read_sparse_vector_bounded(r, MAX_SEQ_LEN)
+}
+
+/// Reads a sparse vector written by [`write_sparse_vector`], rejecting nnz
+/// counts above `bound` (typically the dimension) before allocating.
+pub fn read_sparse_vector_bounded<R: Read>(
+    r: &mut R,
+    bound: u64,
+) -> Result<crate::SparseVector, DecodeError> {
+    let indices = read_u32_seq_bounded(r, bound)?;
+    let values = read_f64_seq_bounded(r, bound)?;
     if indices.len() != values.len() {
         return Err(DecodeError::Corrupt(format!(
             "sparse vector: {} indices but {} values",
@@ -291,6 +336,56 @@ mod tests {
             read_u32_seq(&mut Cursor::new(buf)).unwrap_err(),
             DecodeError::Corrupt(_)
         ));
+    }
+
+    #[test]
+    fn bounded_readers_reject_before_reading_payload() {
+        // A declared length just over the caller's bound must fail as
+        // Corrupt even though the stream has no payload bytes at all —
+        // proof the check happens before any allocation/read.
+        let mut buf = Vec::new();
+        write_u64(&mut buf, 11).unwrap();
+        assert!(matches!(
+            read_u32_seq_bounded(&mut Cursor::new(buf.clone()), 10).unwrap_err(),
+            DecodeError::Corrupt(_)
+        ));
+        assert!(matches!(
+            read_f64_seq_bounded(&mut Cursor::new(buf.clone()), 10).unwrap_err(),
+            DecodeError::Corrupt(_)
+        ));
+        assert!(matches!(
+            read_bytes_bounded(&mut Cursor::new(buf), 10).unwrap_err(),
+            DecodeError::Corrupt(_)
+        ));
+    }
+
+    #[test]
+    fn bounded_sparse_vector_respects_dimension() {
+        let v = SparseVector::from_parts(vec![0, 3, 9], vec![0.5, 0.25, 0.125]);
+        let mut buf = Vec::new();
+        write_sparse_vector(&mut buf, &v).unwrap();
+        // nnz = 3 fits a bound of 3 …
+        assert_eq!(read_sparse_vector_bounded(&mut Cursor::new(buf.clone()), 3).unwrap(), v);
+        // … but not a bound of 2.
+        assert!(matches!(
+            read_sparse_vector_bounded(&mut Cursor::new(buf), 2).unwrap_err(),
+            DecodeError::Corrupt(_)
+        ));
+    }
+
+    #[test]
+    fn bytes_round_trip() {
+        let mut buf = Vec::new();
+        write_bytes(&mut buf, b"hello wire").unwrap();
+        let back = read_bytes_bounded(&mut Cursor::new(buf), 64).unwrap();
+        assert_eq!(back, b"hello wire");
+    }
+
+    #[test]
+    fn check_len_clamps_to_global_cap() {
+        // Even a huge caller bound never admits more than MAX_SEQ_LEN.
+        assert!(check_len(MAX_SEQ_LEN + 1, u64::MAX, "seq").is_err());
+        assert_eq!(check_len(5, u64::MAX, "seq").unwrap(), 5);
     }
 
     #[test]

@@ -11,6 +11,8 @@
 //! * [`ScratchPool`] — a mutexed free list recycling per-thread scratch
 //!   objects across parallel query phases;
 //! * [`topk`] — descending top-K selection and maintenance;
+//! * [`LatencyHistogram`] — a fixed-bucket histogram with deterministic
+//!   p50/p95/p99, shared by the serving metrics and the bench harness;
 //! * [`codec`] — a minimal versioned little-endian binary codec used for graph
 //!   and index persistence (hand-rolled instead of serde: byte-level control,
 //!   no derive machinery, round-trip tested).
@@ -23,11 +25,13 @@
 
 pub mod codec;
 pub mod dense;
+pub mod hist;
 pub mod pool;
 pub mod scratch;
 pub mod sparse_vec;
 pub mod topk;
 
+pub use hist::LatencyHistogram;
 pub use pool::ScratchPool;
 pub use scratch::EpochScratch;
 pub use sparse_vec::SparseVector;

@@ -60,7 +60,41 @@
 //! `parallel_determinism` integration suite pins the equivalence contract,
 //! and `cargo run --release -p rtk-bench --bin parallel_study` writes a
 //! machine-readable `BENCH_query.json` tracking serial vs. parallel
-//! latency/throughput.
+//! latency/throughput (including fixed-bucket p50/p95/p99 percentiles).
+//!
+//! # Serving
+//!
+//! The `rtk-server` crate (not re-exported here — depend on it directly)
+//! turns an engine into a long-running TCP service, std-only, so many
+//! remote clients share one index across sessions:
+//!
+//! | frame field | size | meaning                                   |
+//! |-------------|------|-------------------------------------------|
+//! | magic       | 8 B  | `"RTKWIRE1"`                              |
+//! | version     | 4 B  | `u32`, currently 1                        |
+//! | length      | 4 B  | `u32` payload bytes, capped per config    |
+//! | payload     | *n*  | tagged request / status-prefixed response |
+//!
+//! Requests: `ping`, `reverse_topk(q, k, update)`, `topk(u, k, early)`,
+//! `batch`, `stats`, `shutdown`. Proximities travel as exact IEEE-754
+//! bits, so remote answers are **bitwise identical** to local engine calls
+//! (pinned by `tests/server_loopback.rs`).
+//!
+//! Concurrency: the engine sits behind one `RwLock` — frozen-mode queries
+//! share the read lock and run concurrently across the worker pool, while
+//! update-mode queries serialize through the write lock so refinements
+//! commit via `ReverseIndex::commit_states` exactly as in a serial run.
+//! Corrupt or oversized frames are counted, answered with an error when
+//! possible, and never take the server down.
+//!
+//! Knobs (`rtk serve` flags in parentheses): worker threads (`--workers`,
+//! `0` = all cores), per-frame byte cap (`--max-frame-mib`), and
+//! per-request SpMV/screen threads (`--query-threads`, default 1 — a
+//! server's parallelism budget goes to concurrent requests). `rtk remote
+//! query|topk|batch|stats|ping|shutdown` is the matching client;
+//! `cargo run --release -p rtk-bench --bin serve_study` drives a loopback
+//! server from concurrent client threads and writes `BENCH_serve.json`
+//! with the same percentile fields as `BENCH_query.json`.
 //!
 //! ```
 //! use reverse_topk_rwr::prelude::*;
