@@ -5,7 +5,10 @@
 //!
 //! 1. **PMPN** — the `Aᵀ·x` power iteration across SpMV thread counts;
 //! 2. **single query** — PMPN + parallel screen (frozen mode) latency;
-//! 3. **batch** — independent-query throughput via `query_batch`.
+//! 3. **batch** — independent-query throughput via `query_batch`;
+//! 4. **shard sweep** — single-query latency across index shard counts
+//!    (1/2/4): sharding is answer-invariant, so this isolates its pure
+//!    scheduling/layout cost on the screen phase.
 //!
 //! Besides the human-readable tables, writes a machine-readable
 //! `BENCH_query.json` into the working directory so successive PRs can track
@@ -27,6 +30,7 @@ use std::time::Instant;
 
 const K: usize = 50;
 const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const SHARD_COUNTS: [usize; 3] = [1, 2, 4];
 const OUT_PATH: &str = "BENCH_query.json";
 
 fn main() {
@@ -62,7 +66,7 @@ fn main() {
         ..Default::default()
     };
     let build_t0 = Instant::now();
-    let index = ReverseIndex::build(&transition, config).expect("index build");
+    let mut index = ReverseIndex::build(&transition, config).expect("index build");
     println!("index built in {:.2}s\n", build_t0.elapsed().as_secs_f64());
 
     let workload = query_workload(graph.node_count(), queries, 0xBE7C);
@@ -187,15 +191,58 @@ fn main() {
     print_table(&["threads", "total (s)", "queries/s", "speedup"], &batch_rows);
     println!();
 
+    // --- 4. Shard sweep: same workload, index re-partitioned in place.
+    // Repartitioning preserves every node state bitwise, so answers are
+    // identical at every point of the sweep — only scheduling changes.
+    let mut shard_rows = Vec::new();
+    let mut shard_json = Vec::new();
+    let mut one_shard = 0.0f64;
+    for &shards in &SHARD_COUNTS {
+        index.repartition(shards);
+        let opts = QueryOptions { update_index: false, query_threads: 0, ..Default::default() };
+        let mut session = QueryEngine::new(&index);
+        let mut totals = Vec::with_capacity(workload.len());
+        let mut hist = LatencyHistogram::new();
+        for &q in &workload {
+            let r = session.query_frozen(&transition, &index, q, K, &opts).unwrap();
+            totals.push(r.stats().total_seconds);
+            hist.record(r.stats().total_seconds);
+        }
+        let secs = mean(&totals);
+        if shards == 1 {
+            one_shard = secs;
+        }
+        let speedup = one_shard / secs;
+        let (p50, p95, p99) = hist.percentiles();
+        shard_rows.push(vec![
+            shards.to_string(),
+            format!("{secs:.4}"),
+            format!("{p50:.4}"),
+            format!("{p95:.4}"),
+            format!("{p99:.4}"),
+            format!("{speedup:.2}x"),
+        ]);
+        shard_json.push(format!(
+            "    {{\"shards\": {shards}, \"mean_seconds\": {secs:.6}, \
+             \"p50_seconds\": {p50:.6}, \"p95_seconds\": {p95:.6}, \
+             \"p99_seconds\": {p99:.6}, \"speedup_vs_one_shard\": {speedup:.3}}}"
+        ));
+    }
+    println!("### Shard sweep, frozen single queries (all-core threads)");
+    print_table(&["shards", "total (s)", "p50 (s)", "p95 (s)", "p99 (s)", "speedup"], &shard_rows);
+    println!();
+
     let json = format!(
         "{{\n  \"bench\": \"parallel_query_study\",\n  \
          \"graph\": {{\"kind\": \"rmat\", \"nodes\": {nodes}, \"edges\": {}, \"seed\": {seed}}},\n  \
          \"k\": {K},\n  \"queries\": {queries},\n  \"threads_available\": {cores},\n  \
-         \"pmpn\": [\n{}\n  ],\n  \"single_query\": [\n{}\n  ],\n  \"batch\": [\n{}\n  ]\n}}\n",
+         \"pmpn\": [\n{}\n  ],\n  \"single_query\": [\n{}\n  ],\n  \"batch\": [\n{}\n  ],\n  \
+         \"shard_sweep\": [\n{}\n  ]\n}}\n",
         graph.edge_count(),
         pmpn_json.join(",\n"),
         single_json.join(",\n"),
         batch_json.join(",\n"),
+        shard_json.join(",\n"),
     );
     std::fs::write(OUT_PATH, &json).expect("write BENCH_query.json");
     println!("wrote {OUT_PATH}");

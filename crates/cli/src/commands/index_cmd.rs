@@ -25,6 +25,7 @@ fn build(args: &Parsed) -> Result<(), String> {
     let hubs = args.get_num("hubs", 50usize)?;
     let omega = args.get_num("omega", 1e-6f64)?;
     let threads = args.get_num("threads", 0usize)?;
+    let shards = args.get_num("shards", 1usize)?;
 
     let graph = super::load_graph(graph_path)?;
     let transition = TransitionMatrix::new(&graph);
@@ -33,12 +34,17 @@ fn build(args: &Parsed) -> Result<(), String> {
         hub_selection: HubSelection::DegreeBased { b: hubs },
         rounding_threshold: omega,
         threads,
+        shards,
         ..Default::default()
     };
     let index =
         ReverseIndex::build(&transition, config).map_err(|e| format!("index build: {e}"))?;
     rtk_index::storage::save_path(&index, out).map_err(|e| format!("index save: {e}"))?;
-    println!("built index over {graph_path}: {}", index.stats().summary());
+    println!(
+        "built index over {graph_path} ({} shard(s)): {}",
+        index.shard_count(),
+        index.stats().summary()
+    );
     println!("wrote {out}");
     Ok(())
 }
@@ -50,6 +56,7 @@ fn info(args: &Parsed) -> Result<(), String> {
     println!("index: {path}");
     println!("  nodes:       {}", index.node_count());
     println!("  max k (K):   {}", index.max_k());
+    println!("  shards:      {}", index.shard_count());
     println!("  hubs:        {}", s.hub_count);
     println!("  rounding ω:  {:e}", index.config().rounding_threshold);
     println!("  α:           {}", index.config().alpha());

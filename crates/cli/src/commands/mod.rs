@@ -7,6 +7,7 @@ mod pmpn;
 mod query;
 mod remote;
 mod serve;
+mod shard;
 mod stats;
 mod topk;
 
@@ -18,17 +19,22 @@ const USAGE: &str = "\
 usage:
   rtk generate <dataset> --out <file>            synthesize a graph
   rtk stats <graph>                              graph summary
-  rtk index build <graph> --out <file> [--max-k K] [--hubs B] [--omega W] [--threads T]
+  rtk index build <graph> --out <file> [--max-k K] [--hubs B] [--omega W] [--threads T] [--shards S]
   rtk index info <index>                         index statistics
+  rtk shard split <index> --shards S [--out F]   re-partition a saved index
+  rtk shard merge <index> [--out F]              flatten to one shard (legacy format)
+  rtk shard info <index>                         shard manifest summary
   rtk query <graph> <index> --node Q --k K [--update] [--strict] [--approximate] [--threads T]
   rtk topk <graph> --node U --k K [--early] [--threads T]   forward top-k search
   rtk pmpn <graph> --node Q [--top N] [--threads T]         proximities to a node
   rtk convert <in> <out>                         tsv <-> binary graph formats
   rtk serve --index <file> [--graph <file>] [--addr A] [--workers N]
-            [--query-threads T] [--max-frame-mib M]         run the TCP server
+            [--query-threads T] [--max-frame-mib M] [--max-connections C]
+            [--persist-dir D]                    run the TCP server
   rtk remote query --node Q --k K [--update] [--addr A]     query a server
   rtk remote topk --node U --k K [--early] [--addr A]
   rtk remote batch --nodes a,b,c --k K [--addr A]
+  rtk remote persist --out <server-path> [--addr A]         flush snapshot to disk
   rtk remote stats|ping|shutdown [--addr A]
 
 datasets for `generate`: toy, web-cs-small, web-cs-sim, epinions-sim,
@@ -50,6 +56,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         "pmpn" => pmpn::run(&Parsed::parse(rest)?),
         "convert" => convert::run(&Parsed::parse(rest)?),
         "serve" => serve::run(&Parsed::parse(rest)?),
+        "shard" => shard::run(rest),
         "remote" => remote::run(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");

@@ -5,10 +5,12 @@ use rtk_server::Client;
 
 pub(crate) fn run(argv: &[String]) -> Result<(), String> {
     let Some(sub) = argv.first() else {
-        return Err("remote: expected query|topk|batch|stats|ping|shutdown".into());
+        return Err("remote: expected query|topk|batch|persist|stats|ping|shutdown".into());
     };
-    if !["query", "topk", "batch", "stats", "ping", "shutdown"].contains(&sub.as_str()) {
-        return Err(format!("remote: expected query|topk|batch|stats|ping|shutdown, got {sub:?}"));
+    if !["query", "topk", "batch", "persist", "stats", "ping", "shutdown"].contains(&sub.as_str()) {
+        return Err(format!(
+            "remote: expected query|topk|batch|persist|stats|ping|shutdown, got {sub:?}"
+        ));
     }
     let args = Parsed::parse(&argv[1..])?;
     let addr = args.get("addr").unwrap_or(super::serve::DEFAULT_ADDR);
@@ -18,6 +20,7 @@ pub(crate) fn run(argv: &[String]) -> Result<(), String> {
         "query" => query(&mut client, &args),
         "topk" => topk(&mut client, &args),
         "batch" => batch(&mut client, &args),
+        "persist" => persist(&mut client, &args),
         "stats" => stats(&mut client),
         "ping" => {
             client.ping().map_err(|e| format!("remote ping: {e}"))?;
@@ -94,20 +97,42 @@ fn batch(client: &mut Client, args: &Parsed) -> Result<(), String> {
     Ok(())
 }
 
+/// `--out <path>`: flush the server's current (refined) engine snapshot to
+/// a path on the *server's* filesystem, under its write lock.
+fn persist(client: &mut Client, args: &Parsed) -> Result<(), String> {
+    let out = args
+        .get("out")
+        .ok_or_else(|| "remote persist: --out <server-side path> is required".to_string())?;
+    let bytes = client.persist(out).map_err(|e| format!("remote persist: {e}"))?;
+    println!(
+        "server flushed its engine snapshot to {out} ({:.2} MiB)",
+        bytes as f64 / (1024.0 * 1024.0)
+    );
+    Ok(())
+}
+
 fn stats(client: &mut Client) -> Result<(), String> {
     let s = client.stats().map_err(|e| format!("remote stats: {e}"))?;
     println!("server stats:");
     println!("  uptime:           {:.1}s", s.uptime_seconds);
     println!("  graph:            {} nodes / {} edges (max k {})", s.nodes, s.edges, s.max_k);
     println!("  workers:          {}", s.workers);
-    println!("  connections:      {}", s.connections);
+    let shard_sizes: Vec<String> = s
+        .shard_nodes
+        .iter()
+        .zip(&s.shard_bytes)
+        .map(|(&n, &b)| format!("{n} nodes/{:.2} MiB", b as f64 / (1024.0 * 1024.0)))
+        .collect();
+    println!("  shards:           {} [{}]", s.shard_count(), shard_sizes.join(", "));
+    println!("  connections:      {} ({} rejected at cap)", s.connections, s.rejected_connections);
     println!(
-        "  requests:         {} total (ping {}, reverse_topk {}, topk {}, batch {}, stats {}, shutdown {})",
+        "  requests:         {} total (ping {}, reverse_topk {}, topk {}, batch {}, persist {}, stats {}, shutdown {})",
         s.total_requests(),
         s.ping,
         s.reverse_topk,
         s.topk,
         s.batch,
+        s.persist,
         s.stats,
         s.shutdown
     );
@@ -152,6 +177,9 @@ mod tests {
         .unwrap()
         .spawn();
         let addr = handle.addr().to_string();
+        let dir = std::env::temp_dir().join("rtk_cli_test_remote");
+        std::fs::create_dir_all(&dir).unwrap();
+        let snapshot = dir.join("flush.rtke");
 
         for argv in [
             vec!["ping".to_string(), "--addr".into(), addr.clone()],
@@ -183,11 +211,20 @@ mod tests {
                 "--k".into(),
                 "2".into(),
             ],
+            vec![
+                "persist".into(),
+                "--addr".into(),
+                addr.clone(),
+                "--out".into(),
+                snapshot.to_str().unwrap().into(),
+            ],
             vec!["stats".into(), "--addr".into(), addr.clone()],
             vec!["shutdown".into(), "--addr".into(), addr.clone()],
         ] {
             run(&argv).unwrap_or_else(|e| panic!("{argv:?}: {e}"));
         }
         handle.join().unwrap();
+        assert!(snapshot.exists(), "persist must have written the snapshot");
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

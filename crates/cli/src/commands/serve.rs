@@ -18,14 +18,24 @@ pub(crate) fn run(args: &Parsed) -> Result<(), String> {
             .saturating_mul(1024 * 1024)
             .max(1024),
         query_threads: args.get_num("query-threads", 1usize)?,
+        max_connections: args.get_num("max-connections", 0usize)?,
+        persist_dir: args.get("persist-dir").map(std::path::PathBuf::from),
     };
 
-    let server = Server::bind(engine, addr, config)
+    let shards = engine.shard_count();
+    let server = Server::bind(engine, addr, config.clone())
         .map_err(|e| format!("serve: cannot bind {addr}: {e}"))?;
     println!(
-        "rtk-server listening on {} ({} workers); stop with `rtk remote shutdown --addr {}`",
+        "rtk-server listening on {} ({} workers, {} index shard(s){}); \
+         stop with `rtk remote shutdown --addr {}`",
         server.local_addr(),
         if config.workers == 0 { "all-core".to_string() } else { config.workers.to_string() },
+        shards,
+        if config.max_connections > 0 {
+            format!(", ≤{} connections", config.max_connections)
+        } else {
+            String::new()
+        },
         server.local_addr()
     );
     server.run().map_err(|e| format!("serve: {e}"))

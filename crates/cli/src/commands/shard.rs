@@ -1,0 +1,154 @@
+//! `rtk shard split|merge|info` — offline re-partitioning of a saved index.
+//!
+//! Sharding is a pure layout change: `split` re-partitions an existing
+//! index (legacy or sharded) into `--shards N` contiguous node ranges,
+//! `merge` flattens back to one shard (the legacy single-blob format), and
+//! `info` prints the shard manifest. Per-node states are preserved bitwise,
+//! so a re-partitioned index answers every query identically.
+
+use crate::args::Parsed;
+
+pub(crate) fn run(argv: &[String]) -> Result<(), String> {
+    let Some(sub) = argv.first() else {
+        return Err("shard: expected `split`, `merge`, or `info`".into());
+    };
+    let rest = Parsed::parse(&argv[1..])?;
+    match sub.as_str() {
+        "split" => split(&rest),
+        "merge" => merge(&rest),
+        "info" => info(&rest),
+        other => Err(format!("shard: unknown subcommand {other:?}")),
+    }
+}
+
+fn load(path: &str) -> Result<rtk_index::ReverseIndex, String> {
+    rtk_index::storage::load_path(path).map_err(|e| format!("shard: index load: {e}"))
+}
+
+fn save(index: &rtk_index::ReverseIndex, path: &str) -> Result<(), String> {
+    rtk_index::storage::save_path(index, path).map_err(|e| format!("shard: index save: {e}"))
+}
+
+/// `rtk shard split <index> --shards N [--out <file>]`
+fn split(args: &Parsed) -> Result<(), String> {
+    let path = args.positional(0, "index")?;
+    let shards = args.get_num("shards", 0usize)?;
+    if shards == 0 {
+        return Err("shard split: --shards <N ≥ 1> is required".into());
+    }
+    let out = args.get("out").unwrap_or(path);
+    let mut index = load(path)?;
+    let before = index.shard_count();
+    index.repartition(shards);
+    save(&index, out)?;
+    println!(
+        "re-partitioned {path} from {before} to {} shard(s); wrote {out}",
+        index.shard_count()
+    );
+    Ok(())
+}
+
+/// `rtk shard merge <index> [--out <file>]`: flatten to one shard (the
+/// legacy single-blob format old tooling understands).
+fn merge(args: &Parsed) -> Result<(), String> {
+    let path = args.positional(0, "index")?;
+    let out = args.get("out").unwrap_or(path);
+    let mut index = load(path)?;
+    let before = index.shard_count();
+    index.repartition(1);
+    save(&index, out)?;
+    println!("merged {path} ({before} shard(s)) into a single-shard index; wrote {out}");
+    Ok(())
+}
+
+/// `rtk shard info <index>`: the shard manifest at a glance.
+fn info(args: &Parsed) -> Result<(), String> {
+    let path = args.positional(0, "index")?;
+    let index = load(path)?;
+    println!("index: {path}");
+    println!("  nodes:   {}", index.node_count());
+    println!("  max k:   {}", index.max_k());
+    println!("  shards:  {}", index.shard_count());
+    for shard in index.shards() {
+        let r = shard.range();
+        println!(
+            "  shard {:>3}: nodes {:>8}..{:<8} ({} nodes, {:.2} MiB)",
+            shard.id(),
+            r.start,
+            r.end,
+            shard.len(),
+            shard.heap_bytes() as f64 / (1024.0 * 1024.0),
+        );
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtk_graph::TransitionMatrix;
+    use rtk_index::{HubSelection, IndexConfig, ReverseIndex};
+
+    fn build_index(dir: &std::path::Path) -> std::path::PathBuf {
+        let g = rtk_datasets::toy_graph();
+        let t = TransitionMatrix::new(&g);
+        let config = IndexConfig {
+            max_k: 3,
+            hub_selection: HubSelection::DegreeBased { b: 1 },
+            threads: 1,
+            ..Default::default()
+        };
+        let index = ReverseIndex::build(&t, config).unwrap();
+        let path = dir.join("g.rtki");
+        rtk_index::storage::save_path(&index, &path).unwrap();
+        path
+    }
+
+    #[test]
+    fn split_merge_info_round_trip() {
+        let dir = std::env::temp_dir().join("rtk_cli_test_shard");
+        std::fs::create_dir_all(&dir).unwrap();
+        let ipath = build_index(&dir);
+        let ipath_str = ipath.to_str().unwrap().to_string();
+        let sharded = dir.join("g4.rtki");
+        let sharded_str = sharded.to_str().unwrap().to_string();
+
+        // Split a legacy index into 3 shards.
+        run(&[
+            "split".into(),
+            ipath_str.clone(),
+            "--shards".into(),
+            "3".into(),
+            "--out".into(),
+            sharded_str.clone(),
+        ])
+        .unwrap();
+        let loaded = rtk_index::storage::load_path(&sharded).unwrap();
+        assert_eq!(loaded.shard_count(), 3);
+        let original = rtk_index::storage::load_path(&ipath).unwrap();
+        for u in 0..6u32 {
+            assert_eq!(loaded.state(u), original.state(u), "node {u}");
+        }
+
+        // Info runs on both layouts.
+        run(&["info".into(), ipath_str.clone()]).unwrap();
+        run(&["info".into(), sharded_str.clone()]).unwrap();
+
+        // Merge back: byte-identical to the original legacy file.
+        let merged = dir.join("merged.rtki");
+        run(&["merge".into(), sharded_str, "--out".into(), merged.to_str().unwrap().into()])
+            .unwrap();
+        let a = std::fs::read(&ipath).unwrap();
+        let b = std::fs::read(&merged).unwrap();
+        assert_eq!(a, b, "merge must restore the legacy bytes");
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rejects_bad_invocations() {
+        assert!(run(&[]).is_err());
+        assert!(run(&["frob".into()]).is_err());
+        assert!(run(&["split".into(), "x.rtki".into()]).is_err()); // no --shards
+    }
+}

@@ -88,6 +88,19 @@ impl ReverseTopkEngine {
         self.graph.node_count()
     }
 
+    /// Number of index shards `S`.
+    pub fn shard_count(&self) -> usize {
+        self.index.shard_count()
+    }
+
+    /// Re-partitions the index into `shards` even node-range shards. A pure
+    /// layout change: every per-node state is preserved bitwise, so answers
+    /// are unaffected (`rtk shard split|merge` offline, or an embedder
+    /// retuning a loaded snapshot).
+    pub fn reshard(&mut self, shards: usize) {
+        self.index.repartition(shards);
+    }
+
     /// The default query options used by [`Self::query`].
     pub fn options(&self) -> &QueryOptions {
         &self.options
@@ -343,6 +356,14 @@ impl EngineBuilder {
         self
     }
 
+    /// Number of contiguous node-range index shards (default 1; `0` also
+    /// means one). Shard count, like thread count, may only change wall
+    /// time and storage layout — never answers.
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.config.shards = shards;
+        self
+    }
+
     /// Worker threads for the online query hot path (0 = all cores, the
     /// default): PMPN matrix–vector products, the candidate screen phase,
     /// and the fan-out width of [`ReverseTopkEngine::query_batch`]. Results
@@ -553,6 +574,35 @@ mod tests {
             assert!(exact.contains(*u));
         }
         assert_eq!(approx.stats().refine_iterations, 0);
+    }
+
+    #[test]
+    fn sharded_engine_matches_unsharded_and_round_trips() {
+        let mut single = toy_engine();
+        let mut sharded = ReverseTopkEngine::builder(toy())
+            .max_k(3)
+            .hubs_per_direction(1)
+            .threads(1)
+            .shards(3)
+            .build()
+            .unwrap();
+        assert_eq!(sharded.shard_count(), 3);
+        let a = single.query(NodeId(0), 2).unwrap();
+        let b = sharded.query(NodeId(0), 2).unwrap();
+        assert_eq!(a.nodes(), b.nodes());
+        assert_eq!(a.proximities(), b.proximities());
+
+        // The engine snapshot carries the shard layout through save/load.
+        let mut buf = Vec::new();
+        sharded.save(&mut buf).unwrap();
+        let mut loaded = ReverseTopkEngine::load(std::io::Cursor::new(buf)).unwrap();
+        assert_eq!(loaded.shard_count(), 3);
+        assert_eq!(loaded.query(NodeId(0), 2).unwrap().nodes(), a.nodes());
+
+        // Resharding is a pure layout change.
+        loaded.reshard(1);
+        assert_eq!(loaded.shard_count(), 1);
+        assert_eq!(loaded.query(NodeId(0), 2).unwrap().nodes(), a.nodes());
     }
 
     #[test]

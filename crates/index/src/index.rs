@@ -1,26 +1,32 @@
-//! The assembled reverse top-k index.
+//! The assembled reverse top-k index, partitioned into node-range shards.
 
 use crate::builder::LbiBuilder;
 use crate::config::IndexConfig;
 use crate::error::IndexError;
 use crate::hub_matrix::{HubMatrix, Materializer};
 use crate::node_state::{refine_state, NodeState};
+use crate::shard::{partition_states, IndexShard, ShardMap};
 use crate::stats::IndexStats;
 use rtk_graph::TransitionMatrix;
 use rtk_rwr::bca::{BcaEngine, BcaStop, PropagationStrategy};
 
-/// The offline index `I = (P̂, R, W, S, P_H)` of Alg. 1, organized per node.
+/// The offline index `I = (P̂, R, W, S, P_H)` of Alg. 1, organized per node
+/// and partitioned into `S` contiguous node-range [`IndexShard`]s.
 ///
-/// Supports the three operations query processing needs:
+/// The hub matrix `P_H` is shared across shards (every node's materialized
+/// bounds reference the same hub vectors); everything per-node lives in the
+/// shard owning that node's id range. Supports the three operations query
+/// processing needs:
 /// * O(1) access to the `k`-th lower bound of any node ([`Self::state`]);
 /// * refinement of a node's bounds, in place ([`Self::refine_node`], the
 ///   paper's dynamic index update, §4.2.3) or on a caller-owned copy;
-/// * persistence ([`crate::storage`]).
+/// * persistence ([`crate::storage`]) — per shard, under a manifest.
 #[derive(Clone, Debug)]
 pub struct ReverseIndex {
     config: IndexConfig,
     hub_matrix: HubMatrix,
-    states: Vec<NodeState>,
+    shards: Vec<IndexShard>,
+    shard_map: ShardMap,
     stats: IndexStats,
 }
 
@@ -33,13 +39,29 @@ impl ReverseIndex {
         LbiBuilder::new(config)?.build(transition)
     }
 
+    /// Assembles an index from a full id-ordered state vector, partitioning
+    /// it per `config.shards`.
     pub(crate) fn from_parts(
         config: IndexConfig,
         hub_matrix: HubMatrix,
         states: Vec<NodeState>,
         stats: IndexStats,
     ) -> Self {
-        Self { config, hub_matrix, states, stats }
+        let shard_map = ShardMap::even(states.len(), config.effective_shards(states.len()));
+        let shards = partition_states(&shard_map, states);
+        Self { config, hub_matrix, shards, shard_map, stats }
+    }
+
+    /// Assembles an index from already-partitioned shards (persistence).
+    pub(crate) fn from_shards(
+        config: IndexConfig,
+        hub_matrix: HubMatrix,
+        shards: Vec<IndexShard>,
+        shard_map: ShardMap,
+        stats: IndexStats,
+    ) -> Self {
+        debug_assert_eq!(shards.len(), shard_map.shard_count());
+        Self { config, hub_matrix, shards, shard_map, stats }
     }
 
     /// The configuration the index was built with.
@@ -54,27 +76,62 @@ impl ReverseIndex {
 
     /// Number of indexed nodes.
     pub fn node_count(&self) -> usize {
-        self.states.len()
+        self.shard_map.node_count()
     }
 
-    /// The hub proximity matrix `P_H`.
+    /// Number of shards `S`.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard partition of the node id space.
+    pub fn shard_map(&self) -> &ShardMap {
+        &self.shard_map
+    }
+
+    /// All shards, ordered by node range.
+    pub fn shards(&self) -> &[IndexShard] {
+        &self.shards
+    }
+
+    /// The hub proximity matrix `P_H` (shared by every shard).
     pub fn hub_matrix(&self) -> &HubMatrix {
         &self.hub_matrix
     }
 
-    /// Per-node state of `u`.
+    /// Per-node state of `u`, resolved through the shard map.
+    #[inline]
     pub fn state(&self, u: u32) -> &NodeState {
-        &self.states[u as usize]
+        self.shards[self.shard_map.shard_of(u)].state(u)
     }
 
-    /// All node states, indexed by node id.
-    pub fn states(&self) -> &[NodeState] {
-        &self.states
+    /// All node states in ascending id order (crosses shard boundaries).
+    pub fn iter_states(&self) -> impl Iterator<Item = &NodeState> {
+        self.shards.iter().flat_map(|s| s.states().iter())
     }
 
     /// Construction/size statistics.
     pub fn stats(&self) -> &IndexStats {
         &self.stats
+    }
+
+    /// Re-partitions the index into `shards` even node ranges. A pure
+    /// re-grouping of the same per-node states: answers, bounds, and the
+    /// serialized per-node bytes are unchanged (`rtk shard split|merge`).
+    pub fn repartition(&mut self, shards: usize) {
+        let n = self.node_count();
+        let shard_map = ShardMap::even(n, shards.max(1).min(n.max(1)));
+        if shard_map == self.shard_map {
+            self.config.shards = shard_map.shard_count();
+            return;
+        }
+        let mut states = Vec::with_capacity(n);
+        for shard in std::mem::take(&mut self.shards) {
+            states.extend(shard.into_states());
+        }
+        self.shards = partition_states(&shard_map, states);
+        self.config.shards = shard_map.shard_count();
+        self.shard_map = shard_map;
     }
 
     /// Creates a [`BcaEngine`] matching this index's hub set and BCA
@@ -103,8 +160,9 @@ impl ReverseIndex {
         materializer: &mut Materializer,
         stop: &BcaStop,
     ) -> u32 {
+        let shard = self.shard_map.shard_of(u);
         refine_state(
-            &mut self.states[u as usize],
+            self.shards[shard].state_mut(u),
             transition,
             engine,
             &self.hub_matrix,
@@ -116,14 +174,16 @@ impl ReverseIndex {
     /// Replaces node `u`'s state wholesale (commit of an externally refined
     /// copy; used by the query layer's update mode).
     pub fn commit_state(&mut self, u: u32, state: NodeState) {
-        self.states[u as usize] = state;
+        let shard = self.shard_map.shard_of(u);
+        self.shards[shard].commit_state(u, state);
     }
 
-    /// Commits a batch of externally refined states — the serial merge phase
-    /// of the parallel query path. Each worker refines private copies during
-    /// screening; this folds them back by node id. Refinement only tightens a
-    /// state, so commit order between distinct nodes is irrelevant and the
-    /// merged index equals the one a serial in-place run produces.
+    /// Commits a batch of externally refined states — the serial cross-shard
+    /// merge phase of the parallel query path. Each worker refines private
+    /// copies during screening; this folds them back into the owning shards
+    /// by node id. Refinement only tightens a state, so commit order between
+    /// distinct nodes is irrelevant and the merged index equals the one a
+    /// serial in-place run produces, for every shard and thread count.
     pub fn commit_states(&mut self, states: impl IntoIterator<Item = (u32, NodeState)>) {
         for (u, state) in states {
             self.commit_state(u, state);
@@ -132,7 +192,7 @@ impl ReverseIndex {
 
     /// Recomputes total heap bytes (states drift as queries refine them).
     pub fn current_bytes(&self) -> usize {
-        self.states.iter().map(|s| s.heap_bytes()).sum::<usize>() + self.hub_matrix.heap_bytes()
+        self.shards.iter().map(|s| s.heap_bytes()).sum::<usize>() + self.hub_matrix.heap_bytes()
     }
 }
 
@@ -173,6 +233,7 @@ mod tests {
             hub_solver: HubSolver::PowerMethod(RwrParams::default()),
             rounding_threshold: 0.0,
             threads: 1,
+            shards: 1,
         }
     }
 
@@ -183,33 +244,68 @@ mod tests {
         let index = ReverseIndex::build(&t, config()).unwrap();
         assert_eq!(index.node_count(), 6);
         assert_eq!(index.max_k(), 3);
-        assert_eq!(index.states().len(), 6);
+        assert_eq!(index.iter_states().count(), 6);
+        assert_eq!(index.shard_count(), 1);
         assert_eq!(index.hub_matrix().hub_count(), 2);
         assert!(index.current_bytes() > 0);
     }
 
     #[test]
-    fn refine_node_updates_in_place() {
-        // Paper §4.2.3 running example: refining node 4 (1-based) lifts
-        // p̂₄(2) from 0.17 to 0.23.
+    fn sharded_build_matches_single_shard_bitwise() {
         let g = toy();
         let t = TransitionMatrix::new(&g);
-        let mut index = ReverseIndex::build(&t, config()).unwrap();
-        let before = index.state(3).kth_lower_bound(2);
-        assert!((before - 0.17).abs() < 5e-3, "before = {before}");
-        let mut engine = index.make_engine();
-        let mut mat = index.make_materializer();
-        let ran = index.refine_node(3, &t, &mut engine, &mut mat, &BcaStop::one_iteration());
-        assert_eq!(ran, 1);
-        let after = index.state(3).kth_lower_bound(2);
-        assert!((after - 0.23).abs() < 5e-3, "after = {after}");
+        let single = ReverseIndex::build(&t, config()).unwrap();
+        for shards in [2usize, 3, 6, 99] {
+            let sharded = ReverseIndex::build(&t, IndexConfig { shards, ..config() }).unwrap();
+            assert_eq!(sharded.shard_count(), shards.min(6));
+            for u in 0..6u32 {
+                assert_eq!(single.state(u), sharded.state(u), "shards={shards} node {u}");
+            }
+        }
     }
 
     #[test]
-    fn commit_state_replaces() {
+    fn repartition_preserves_states() {
         let g = toy();
         let t = TransitionMatrix::new(&g);
         let mut index = ReverseIndex::build(&t, config()).unwrap();
+        let reference = index.clone();
+        for shards in [3usize, 1, 6, 2] {
+            index.repartition(shards);
+            assert_eq!(index.shard_count(), shards);
+            assert_eq!(index.config().shards, shards);
+            for u in 0..6u32 {
+                assert_eq!(index.state(u), reference.state(u), "shards={shards} node {u}");
+            }
+            let covered: usize = index.shards().iter().map(|s| s.len()).sum();
+            assert_eq!(covered, 6);
+        }
+    }
+
+    #[test]
+    fn refine_node_updates_in_place() {
+        // Paper §4.2.3 running example: refining node 4 (1-based) lifts
+        // p̂₄(2) from 0.17 to 0.23 — and sharding must not change that.
+        for shards in [1usize, 3] {
+            let g = toy();
+            let t = TransitionMatrix::new(&g);
+            let mut index = ReverseIndex::build(&t, IndexConfig { shards, ..config() }).unwrap();
+            let before = index.state(3).kth_lower_bound(2);
+            assert!((before - 0.17).abs() < 5e-3, "before = {before}");
+            let mut engine = index.make_engine();
+            let mut mat = index.make_materializer();
+            let ran = index.refine_node(3, &t, &mut engine, &mut mat, &BcaStop::one_iteration());
+            assert_eq!(ran, 1);
+            let after = index.state(3).kth_lower_bound(2);
+            assert!((after - 0.23).abs() < 5e-3, "after = {after}");
+        }
+    }
+
+    #[test]
+    fn commit_state_replaces_across_shards() {
+        let g = toy();
+        let t = TransitionMatrix::new(&g);
+        let mut index = ReverseIndex::build(&t, IndexConfig { shards: 3, ..config() }).unwrap();
         let mut engine = index.make_engine();
         let mut mat = index.make_materializer();
         let mut copy = index.state(5).clone();

@@ -20,7 +20,12 @@
 //! * [`LbiBuilder`] / [`ReverseIndex::build`] — parallel index construction
 //!   (Alg. 1) over `std::thread::scope`, deterministic regardless of thread
 //!   count;
-//! * [`storage`] — versioned binary persistence of the whole index;
+//! * [`IndexShard`] / [`ShardMap`] — partition of the per-node states into
+//!   `S` contiguous node-range shards ([`IndexConfig::shards`]), each
+//!   individually serializable and independently scannable by the query
+//!   layer. Shard count never changes answers, only wall time and layout;
+//! * [`storage`] — versioned binary persistence: the legacy single-blob
+//!   format plus a sharded manifest format (one section per shard);
 //! * [`refine_state`] — the shared refinement step (Alg. 1 lines 6–7) used
 //!   by query processing to tighten a node's bounds, either on a scratch
 //!   copy (`no-update` mode) or in place (`update` mode).
@@ -34,6 +39,7 @@ pub mod error;
 pub mod hub_matrix;
 pub mod index;
 pub mod node_state;
+pub mod shard;
 pub mod stats;
 pub mod storage;
 
@@ -43,4 +49,5 @@ pub use error::IndexError;
 pub use hub_matrix::{HubMatrix, Materializer};
 pub use index::ReverseIndex;
 pub use node_state::{refine_state, NodeState};
+pub use shard::{IndexShard, ShardMap};
 pub use stats::IndexStats;

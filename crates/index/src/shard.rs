@@ -1,0 +1,247 @@
+//! Node-range sharding of the index.
+//!
+//! The paper's two-phase query screens every node `0..n` independently, so
+//! the per-node state is embarrassingly partitionable. A [`ShardMap`] cuts
+//! the id space into `S` contiguous ranges; each [`IndexShard`] owns the
+//! [`NodeState`]s of one range. Shards are built in parallel, persisted
+//! individually (see [`crate::storage`]), and scanned independently by the
+//! query layer — with a serial cross-shard merge committing refinements, so
+//! the shard count, like the thread count, may only change wall time, never
+//! answers.
+
+use crate::error::IndexError;
+use crate::node_state::NodeState;
+
+/// Partition of the node id space `0..n` into contiguous shard ranges.
+///
+/// Stored as the start offset of every shard (`starts[0] == 0`, strictly
+/// increasing), so `shard_of` is one binary search and ranges are implicit.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShardMap {
+    node_count: usize,
+    starts: Vec<u32>,
+}
+
+impl ShardMap {
+    /// Splits `0..node_count` into `shards` near-even contiguous ranges
+    /// (the first `node_count % shards` ranges get one extra node). The
+    /// shard count is clamped to `[1, max(node_count, 1)]` so every shard
+    /// is non-empty.
+    pub fn even(node_count: usize, shards: usize) -> Self {
+        let shards = shards.max(1).min(node_count.max(1));
+        let base = node_count / shards;
+        let extra = node_count % shards;
+        let mut starts = Vec::with_capacity(shards);
+        let mut at = 0usize;
+        for i in 0..shards {
+            starts.push(at as u32);
+            at += base + usize::from(i < extra);
+        }
+        debug_assert_eq!(at, node_count);
+        Self { node_count, starts }
+    }
+
+    /// Reassembles a map from persisted start offsets, validating shape.
+    pub fn from_starts(node_count: usize, starts: Vec<u32>) -> Result<Self, IndexError> {
+        if starts.is_empty() {
+            return Err(IndexError::InvalidConfig("shard map has no shards".into()));
+        }
+        if starts[0] != 0 {
+            return Err(IndexError::InvalidConfig(format!(
+                "shard map must start at node 0, got {}",
+                starts[0]
+            )));
+        }
+        if starts.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(IndexError::InvalidConfig(
+                "shard starts must be strictly increasing".into(),
+            ));
+        }
+        if let Some(&last) = starts.last() {
+            if node_count > 0 && last as usize >= node_count {
+                return Err(IndexError::InvalidConfig(format!(
+                    "shard start {last} out of range for {node_count} nodes"
+                )));
+            }
+        }
+        Ok(Self { node_count, starts })
+    }
+
+    /// Number of shards `S`.
+    pub fn shard_count(&self) -> usize {
+        self.starts.len()
+    }
+
+    /// Number of nodes covered.
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// Start offsets, one per shard (`starts[0] == 0`).
+    pub fn starts(&self) -> &[u32] {
+        &self.starts
+    }
+
+    /// The shard owning node `u`.
+    #[inline]
+    pub fn shard_of(&self, u: u32) -> usize {
+        debug_assert!((u as usize) < self.node_count);
+        // partition_point returns the count of starts ≤ u; the owning shard
+        // is the last one starting at or before u.
+        self.starts.partition_point(|&s| s <= u) - 1
+    }
+
+    /// Global node-id range of shard `i`.
+    pub fn range(&self, i: usize) -> std::ops::Range<u32> {
+        let lo = self.starts[i];
+        let hi = self.starts.get(i + 1).copied().unwrap_or(self.node_count as u32);
+        lo..hi
+    }
+}
+
+/// One shard: the [`NodeState`]s of a contiguous node-id range.
+///
+/// All node ids in its API are **global**; the shard translates to local
+/// offsets internally.
+#[derive(Clone, Debug)]
+pub struct IndexShard {
+    id: usize,
+    node_lo: u32,
+    states: Vec<NodeState>,
+}
+
+impl IndexShard {
+    /// Assembles a shard from its id, first global node id, and states.
+    pub fn new(id: usize, node_lo: u32, states: Vec<NodeState>) -> Self {
+        Self { id, node_lo, states }
+    }
+
+    /// The shard's position in the [`ShardMap`].
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// First global node id owned by this shard.
+    pub fn node_lo(&self) -> u32 {
+        self.node_lo
+    }
+
+    /// One past the last global node id owned by this shard.
+    pub fn node_hi(&self) -> u32 {
+        self.node_lo + self.states.len() as u32
+    }
+
+    /// Global node-id range owned by this shard.
+    pub fn range(&self) -> std::ops::Range<u32> {
+        self.node_lo..self.node_hi()
+    }
+
+    /// Number of nodes in this shard.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// True when the shard owns no nodes (never produced by [`ShardMap`]).
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// The shard's states, ordered by global node id.
+    pub fn states(&self) -> &[NodeState] {
+        &self.states
+    }
+
+    /// State of global node `u` (must lie in [`Self::range`]).
+    #[inline]
+    pub fn state(&self, u: u32) -> &NodeState {
+        &self.states[(u - self.node_lo) as usize]
+    }
+
+    /// Mutable state of global node `u`.
+    #[inline]
+    pub(crate) fn state_mut(&mut self, u: u32) -> &mut NodeState {
+        &mut self.states[(u - self.node_lo) as usize]
+    }
+
+    /// Replaces the state of global node `u` (commit of a refined copy).
+    pub fn commit_state(&mut self, u: u32, state: NodeState) {
+        self.states[(u - self.node_lo) as usize] = state;
+    }
+
+    /// Heap bytes of this shard's states.
+    pub fn heap_bytes(&self) -> usize {
+        self.states.iter().map(|s| s.heap_bytes()).sum()
+    }
+
+    /// Consumes the shard, returning its states.
+    pub(crate) fn into_states(self) -> Vec<NodeState> {
+        self.states
+    }
+}
+
+/// Partitions a full id-ordered state vector into shards per `map`.
+pub(crate) fn partition_states(map: &ShardMap, states: Vec<NodeState>) -> Vec<IndexShard> {
+    debug_assert_eq!(states.len(), map.node_count());
+    let mut shards = Vec::with_capacity(map.shard_count());
+    let mut rest = states;
+    for i in (0..map.shard_count()).rev() {
+        let lo = map.starts()[i] as usize;
+        let tail = rest.split_off(lo);
+        shards.push(IndexShard::new(i, lo as u32, tail));
+    }
+    shards.reverse();
+    shards
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn even_split_covers_every_node_once() {
+        for n in [0usize, 1, 5, 6, 7, 100] {
+            for s in [1usize, 2, 3, 4, 8, 200] {
+                let map = ShardMap::even(n, s);
+                assert!(map.shard_count() >= 1);
+                assert!(map.shard_count() <= n.max(1));
+                let mut covered = 0usize;
+                for i in 0..map.shard_count() {
+                    let r = map.range(i);
+                    assert!(r.start < r.end || n == 0, "empty shard {i} (n={n} s={s})");
+                    covered += r.len();
+                    for u in r {
+                        assert_eq!(map.shard_of(u), i, "n={n} s={s} u={u}");
+                    }
+                }
+                assert_eq!(covered, n, "n={n} s={s}");
+            }
+        }
+    }
+
+    #[test]
+    fn even_split_is_balanced() {
+        let map = ShardMap::even(10, 4);
+        let sizes: Vec<usize> = (0..4).map(|i| map.range(i).len()).collect();
+        assert_eq!(sizes, vec![3, 3, 2, 2]);
+    }
+
+    #[test]
+    fn from_starts_validates() {
+        assert!(ShardMap::from_starts(6, vec![]).is_err());
+        assert!(ShardMap::from_starts(6, vec![1]).is_err());
+        assert!(ShardMap::from_starts(6, vec![0, 3, 3]).is_err());
+        assert!(ShardMap::from_starts(6, vec![0, 6]).is_err());
+        let map = ShardMap::from_starts(6, vec![0, 2, 4]).unwrap();
+        assert_eq!(map.shard_count(), 3);
+        assert_eq!(map.range(2), 4..6);
+        assert_eq!(map.shard_of(3), 1);
+    }
+
+    #[test]
+    fn single_shard_map_is_identity() {
+        let map = ShardMap::even(42, 1);
+        assert_eq!(map.shard_count(), 1);
+        assert_eq!(map.range(0), 0..42);
+        assert_eq!(map.shard_of(41), 0);
+    }
+}

@@ -1,8 +1,11 @@
-//! Versioned binary persistence of the whole index (magic `RTKINDX1`).
+//! Versioned binary persistence of the index — legacy single-blob format
+//! (magic `RTKINDX1`) plus the sharded manifest format (magic `RTKMANI1`).
 //!
 //! The paper's index is explicitly designed to be kept and *updated* across
-//! query sessions; persistence makes that durable. Layout (little-endian,
-//! see [`rtk_sparse::codec`]):
+//! query sessions; persistence makes that durable. Two on-disk layouts share
+//! the same per-node encoding (little-endian, see [`rtk_sparse::codec`]):
+//!
+//! **Legacy / single shard** (`RTKINDX1`, written when `S == 1`):
 //!
 //! ```text
 //! header: magic "RTKINDX1", u32 version
@@ -15,6 +18,28 @@
 //! stats: timings, counters (see code)
 //! ```
 //!
+//! **Sharded manifest** (`RTKMANI1`, written when `S > 1`):
+//!
+//! ```text
+//! header: magic "RTKMANI1", u32 version
+//! u64 node_count, u64 max_k, u64 shard_count
+//! bca + rounding threshold (as above)
+//! u32seq shard start offsets
+//! hubs (as above, shared by all shards)
+//! per shard: u64 section_bytes, then a self-contained shard blob:
+//!     header: magic "RTKSHRD1", u32 version
+//!     u64 shard_id, u64 node_lo, u64 shard_len, u64 node_count, u64 max_k
+//!     nodes of the shard's range (as above)
+//! stats (as above)
+//! ```
+//!
+//! Shard blobs are individually writable/readable ([`save_shard`] /
+//! [`load_shard`]) — the unit of per-shard persistence and of the offline
+//! `rtk shard split|merge` re-partitioning. [`load`] dispatches on the
+//! magic, so an `S = 1` engine loads pre-existing legacy snapshots
+//! unchanged, and every sequence decode is bounded by stream-derived sizes
+//! (node count, `max_k`, section byte counts) *before* allocating.
+//!
 //! The hub-selection policy and hub-vector solver are *not* round-tripped —
 //! they only matter during construction; a loaded index refines and queries
 //! identically. `config().hub_selection` becomes `Explicit(ids)` after load.
@@ -24,107 +49,185 @@ use crate::error::IndexError;
 use crate::hub_matrix::HubMatrix;
 use crate::index::ReverseIndex;
 use crate::node_state::NodeState;
+use crate::shard::{IndexShard, ShardMap};
 use crate::stats::IndexStats;
 use rtk_rwr::bca::BcaSnapshot;
 use rtk_rwr::{BcaParams, HubSet, RwrParams};
-use rtk_sparse::codec;
+use rtk_sparse::codec::{self, DecodeError};
 use rtk_sparse::DescendingTopK;
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
-/// Magic tag of the index format.
+/// Magic tag of the legacy (single-shard) index format.
 pub const INDEX_MAGIC: &[u8; 8] = b"RTKINDX1";
-/// Current format version.
+/// Current legacy format version.
 pub const INDEX_VERSION: u32 = 1;
+/// Magic tag of the sharded manifest format.
+pub const MANIFEST_MAGIC: &[u8; 8] = b"RTKMANI1";
+/// Current manifest format version.
+pub const MANIFEST_VERSION: u32 = 1;
+/// Magic tag of one serialized shard section.
+pub const SHARD_MAGIC: &[u8; 8] = b"RTKSHRD1";
+/// Current shard section version.
+pub const SHARD_VERSION: u32 = 1;
 
-/// Serializes `index` to `writer`.
+/// Sanity cap on one serialized shard section (1 TiB): rejects corrupt
+/// section lengths before any section decode begins.
+const MAX_SHARD_SECTION_BYTES: u64 = 1 << 40;
+
+fn corrupt(msg: String) -> IndexError {
+    IndexError::Decode(DecodeError::Corrupt(msg))
+}
+
+/// Serializes `index` to `writer`: the legacy single-blob layout for one
+/// shard (byte-identical to pre-sharding snapshots), the sharded manifest
+/// layout otherwise.
 pub fn save<W: Write>(index: &ReverseIndex, writer: W) -> Result<(), IndexError> {
-    let mut w = BufWriter::new(writer);
-    codec::write_header(&mut w, INDEX_MAGIC, INDEX_VERSION)?;
-    codec::write_u64(&mut w, index.node_count() as u64)?;
-    codec::write_u64(&mut w, index.max_k() as u64)?;
-    let bca = index.config().bca;
-    codec::write_f64(&mut w, bca.alpha)?;
-    codec::write_f64(&mut w, bca.propagation_threshold)?;
-    codec::write_f64(&mut w, bca.residue_threshold)?;
-    codec::write_u32(&mut w, bca.max_iterations)?;
-    codec::write_f64(&mut w, index.config().rounding_threshold)?;
-
-    let hm = index.hub_matrix();
-    codec::write_u32_seq(&mut w, hm.hubs().ids())?;
-    for &h in hm.hubs().ids() {
-        codec::write_sparse_vector(&mut w, hm.column(h).expect("hub column"))?;
-        codec::write_f64(&mut w, hm.deficit(h))?;
+    if index.shard_count() <= 1 {
+        save_legacy(index, writer)
+    } else {
+        save_sharded(index, writer)
     }
-    // Unrounded nnz totals are stored as one aggregate per hub position.
-    for i in 0..hm.hub_count() {
-        let _ = i;
-    }
-    codec::write_u64(&mut w, hm.unrounded_nnz() as u64)?;
+}
 
-    for state in index.states() {
-        let snap = state.snapshot();
-        codec::write_u32(&mut w, snap.source)?;
-        codec::write_u32(&mut w, snap.iterations)?;
-        codec::write_sparse_vector(&mut w, &snap.residue)?;
-        codec::write_sparse_vector(&mut w, &snap.retained)?;
-        codec::write_sparse_vector(&mut w, &snap.hub_ink)?;
-        let entries = state.lower_bounds().entries();
-        let idx: Vec<u32> = entries.iter().map(|&(i, _)| i).collect();
-        let vals: Vec<f64> = entries.iter().map(|&(_, v)| v).collect();
-        codec::write_u32_seq(&mut w, &idx)?;
-        codec::write_f64_seq(&mut w, &vals)?;
+/// Deserializes an index written by [`save`] (either layout, dispatched on
+/// the magic tag).
+pub fn load<R: Read>(reader: R) -> Result<ReverseIndex, IndexError> {
+    let mut r = BufReader::new(reader);
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic).map_err(DecodeError::Io)?;
+    match &magic {
+        m if m == INDEX_MAGIC => {
+            check_version(&mut r, INDEX_VERSION, "index")?;
+            load_legacy_body(&mut r)
+        }
+        m if m == MANIFEST_MAGIC => {
+            check_version(&mut r, MANIFEST_VERSION, "manifest")?;
+            load_sharded_body(&mut r)
+        }
+        found => {
+            Err(IndexError::Decode(DecodeError::BadMagic { expected: *INDEX_MAGIC, found: *found }))
+        }
     }
+}
 
-    let s = index.stats();
-    codec::write_f64(&mut w, s.hub_selection_seconds)?;
-    codec::write_f64(&mut w, s.hub_vectors_seconds)?;
-    codec::write_f64(&mut w, s.node_sweep_seconds)?;
-    codec::write_f64(&mut w, s.total_seconds)?;
-    codec::write_u64(&mut w, s.total_iterations)?;
-    codec::write_u64(&mut w, s.total_pushes)?;
-    codec::write_u64(&mut w, s.threads as u64)?;
-    w.flush()?;
+fn check_version<R: Read>(r: &mut R, supported: u32, what: &str) -> Result<(), IndexError> {
+    let version = codec::read_u32(r).map_err(DecodeError::Io)?;
+    if version > supported {
+        return Err(corrupt(format!(
+            "{what} format version {version} is newer than supported {supported}"
+        )));
+    }
     Ok(())
 }
 
-/// Deserializes an index written by [`save`].
-pub fn load<R: Read>(reader: R) -> Result<ReverseIndex, IndexError> {
-    let mut r = BufReader::new(reader);
-    codec::read_header(&mut r, INDEX_MAGIC, INDEX_VERSION)?;
-    // Stream-derived bounds: every sequence that follows is sized by the
-    // node count (sparse vectors, hub ids) or by `max_k` (top-K lists), so
-    // corrupt length prefixes are rejected before any allocation.
-    let n = codec::check_len(codec::read_u64(&mut r)?, codec::MAX_SEQ_LEN, "node count")?;
-    let max_k = codec::check_len(codec::read_u64(&mut r)?, codec::MAX_SEQ_LEN, "max_k")?;
-    let alpha = codec::read_f64(&mut r)?;
-    let propagation_threshold = codec::read_f64(&mut r)?;
-    let residue_threshold = codec::read_f64(&mut r)?;
-    let max_iterations = codec::read_u32(&mut r)?;
-    let rounding_threshold = codec::read_f64(&mut r)?;
-    let bca = BcaParams { alpha, propagation_threshold, residue_threshold, max_iterations };
+// ---------------------------------------------------------------------------
+// Shared per-node and hub-matrix encoding
+// ---------------------------------------------------------------------------
 
-    let hub_ids = codec::read_u32_seq_bounded(&mut r, n as u64)?;
+fn write_node_state<W: Write>(w: &mut W, state: &NodeState) -> std::io::Result<()> {
+    let snap = state.snapshot();
+    codec::write_u32(w, snap.source)?;
+    codec::write_u32(w, snap.iterations)?;
+    codec::write_sparse_vector(w, &snap.residue)?;
+    codec::write_sparse_vector(w, &snap.retained)?;
+    codec::write_sparse_vector(w, &snap.hub_ink)?;
+    let entries = state.lower_bounds().entries();
+    let idx: Vec<u32> = entries.iter().map(|&(i, _)| i).collect();
+    let vals: Vec<f64> = entries.iter().map(|&(_, v)| v).collect();
+    codec::write_u32_seq(w, &idx)?;
+    codec::write_f64_seq(w, &vals)
+}
+
+fn read_node_state<R: Read>(
+    r: &mut R,
+    u: u32,
+    n: usize,
+    max_k: usize,
+    hub_matrix: &HubMatrix,
+) -> Result<NodeState, IndexError> {
+    let source = codec::read_u32(r).map_err(DecodeError::Io)?;
+    if source != u {
+        return Err(corrupt(format!("node state {u} claims source {source}")));
+    }
+    let iterations = codec::read_u32(r).map_err(DecodeError::Io)?;
+    let residue = codec::read_sparse_vector_bounded(r, n as u64)?;
+    let retained = codec::read_sparse_vector_bounded(r, n as u64)?;
+    let hub_ink = codec::read_sparse_vector_bounded(r, n as u64)?;
+    // The codec only checks that indices ascend; node-id range is this
+    // layer's invariant. An out-of-range id would panic downstream (hub
+    // lookups, materializer scatters), so reject it here as corruption.
+    for (what, v) in [("residue", &residue), ("retained", &retained), ("hub ink", &hub_ink)] {
+        check_node_ids(v, n, u, what)?;
+    }
+    let idx = codec::read_u32_seq_bounded(r, max_k as u64)?;
+    let vals = codec::read_f64_seq_bounded(r, max_k as u64)?;
+    if let Some(&bad) = idx.iter().find(|&&i| i as usize >= n) {
+        return Err(corrupt(format!("node {u}: top-K id {bad} out of range for {n} nodes")));
+    }
+    if idx.len() != vals.len() || idx.len() > max_k {
+        return Err(corrupt(format!(
+            "node {u}: malformed top-K ({} indices, {} values, K={max_k})",
+            idx.len(),
+            vals.len()
+        )));
+    }
+    let entries: Vec<(u32, f64)> = idx.into_iter().zip(vals).collect();
+    if entries.windows(2).any(|w| w[0].1 < w[1].1) {
+        return Err(corrupt(format!("node {u}: top-K values not descending")));
+    }
+    let snapshot = BcaSnapshot { source, iterations, residue, retained, hub_ink };
+    let lower_bounds = DescendingTopK::from_sorted(entries, max_k);
+    Ok(NodeState::from_parts(snapshot, lower_bounds, hub_matrix))
+}
+
+/// Rejects sparse-vector entries whose node id exceeds the graph.
+fn check_node_ids(
+    v: &rtk_sparse::SparseVector,
+    n: usize,
+    u: u32,
+    what: &str,
+) -> Result<(), IndexError> {
+    if let Some((bad, _)) = v.iter().find(|&(i, _)| i as usize >= n) {
+        return Err(corrupt(format!("node {u}: {what} index {bad} out of range for {n} nodes")));
+    }
+    Ok(())
+}
+
+fn write_hub_matrix<W: Write>(w: &mut W, hm: &HubMatrix) -> std::io::Result<()> {
+    codec::write_u32_seq(w, hm.hubs().ids())?;
+    for &h in hm.hubs().ids() {
+        codec::write_sparse_vector(w, hm.column(h).expect("hub column"))?;
+        codec::write_f64(w, hm.deficit(h))?;
+    }
+    // Unrounded nnz totals are stored as one aggregate across hubs.
+    codec::write_u64(w, hm.unrounded_nnz() as u64)
+}
+
+fn read_hub_matrix<R: Read>(
+    r: &mut R,
+    n: usize,
+    rounding_threshold: f64,
+) -> Result<HubMatrix, IndexError> {
+    let hub_ids = codec::read_u32_seq_bounded(r, n as u64)?;
     if let Some(&bad) = hub_ids.iter().find(|&&h| h as usize >= n) {
-        return Err(IndexError::Decode(codec::DecodeError::Corrupt(format!(
-            "hub id {bad} out of range for {n} nodes"
-        ))));
+        return Err(corrupt(format!("hub id {bad} out of range for {n} nodes")));
     }
     // Duplicates would panic inside HubSet construction; reject them as the
     // corrupt stream they are.
     let mut seen_hubs = std::collections::HashSet::with_capacity(hub_ids.len());
     if let Some(&dup) = hub_ids.iter().find(|&&h| !seen_hubs.insert(h)) {
-        return Err(IndexError::Decode(codec::DecodeError::Corrupt(format!(
-            "duplicate hub id {dup}"
-        ))));
+        return Err(corrupt(format!("duplicate hub id {dup}")));
     }
     let mut columns = Vec::with_capacity(hub_ids.len());
     let mut deficits = Vec::with_capacity(hub_ids.len());
-    for _ in &hub_ids {
-        columns.push(codec::read_sparse_vector_bounded(&mut r, n as u64)?);
-        deficits.push(codec::read_f64(&mut r)?);
+    for &h in &hub_ids {
+        let column = codec::read_sparse_vector_bounded(r, n as u64)?;
+        check_node_ids(&column, n, h, "hub column")?;
+        columns.push(column);
+        deficits.push(codec::read_f64(r).map_err(DecodeError::Io)?);
     }
-    let unrounded_total = codec::read_u64(&mut r)? as usize;
+    let unrounded_total = codec::read_u64(r).map_err(DecodeError::Io)? as usize;
     // Per-hub unrounded counts are not needed post-build; distribute the
     // aggregate so `unrounded_nnz()` stays correct.
     let rounded_total: usize = columns.iter().map(|c| c.nnz()).sum();
@@ -133,50 +236,58 @@ pub fn load<R: Read>(reader: R) -> Result<ReverseIndex, IndexError> {
         *first += unrounded_total.saturating_sub(rounded_total);
     }
     let hubs = HubSet::from_ids(n, hub_ids);
-    let hub_matrix =
-        HubMatrix::from_parts(hubs, columns, deficits, unrounded_nnz, rounding_threshold);
+    Ok(HubMatrix::from_parts(hubs, columns, deficits, unrounded_nnz, rounding_threshold))
+}
 
-    // Eager capacity is clamped like the codec readers: a corrupt node
-    // count must not trigger a huge reservation before any state decodes.
-    let mut states = Vec::with_capacity(n.min(1 << 20));
-    for u in 0..n as u32 {
-        let source = codec::read_u32(&mut r)?;
-        if source != u {
-            return Err(IndexError::Decode(rtk_sparse::codec::DecodeError::Corrupt(format!(
-                "node state {u} claims source {source}"
-            ))));
-        }
-        let iterations = codec::read_u32(&mut r)?;
-        let residue = codec::read_sparse_vector_bounded(&mut r, n as u64)?;
-        let retained = codec::read_sparse_vector_bounded(&mut r, n as u64)?;
-        let hub_ink = codec::read_sparse_vector_bounded(&mut r, n as u64)?;
-        let idx = codec::read_u32_seq_bounded(&mut r, max_k as u64)?;
-        let vals = codec::read_f64_seq_bounded(&mut r, max_k as u64)?;
-        if idx.len() != vals.len() || idx.len() > max_k {
-            return Err(IndexError::Decode(rtk_sparse::codec::DecodeError::Corrupt(format!(
-                "node {u}: malformed top-K ({} indices, {} values, K={max_k})",
-                idx.len(),
-                vals.len()
-            ))));
-        }
-        let entries: Vec<(u32, f64)> = idx.into_iter().zip(vals).collect();
-        if entries.windows(2).any(|w| w[0].1 < w[1].1) {
-            return Err(IndexError::Decode(rtk_sparse::codec::DecodeError::Corrupt(format!(
-                "node {u}: top-K values not descending"
-            ))));
-        }
-        let snapshot = BcaSnapshot { source, iterations, residue, retained, hub_ink };
-        let lower_bounds = DescendingTopK::from_sorted(entries, max_k);
-        states.push(NodeState::from_parts(snapshot, lower_bounds, &hub_matrix));
-    }
+fn write_bca_and_rounding<W: Write>(
+    w: &mut W,
+    bca: &BcaParams,
+    rounding_threshold: f64,
+) -> std::io::Result<()> {
+    codec::write_f64(w, bca.alpha)?;
+    codec::write_f64(w, bca.propagation_threshold)?;
+    codec::write_f64(w, bca.residue_threshold)?;
+    codec::write_u32(w, bca.max_iterations)?;
+    codec::write_f64(w, rounding_threshold)
+}
 
-    let hub_selection_seconds = codec::read_f64(&mut r)?;
-    let hub_vectors_seconds = codec::read_f64(&mut r)?;
-    let node_sweep_seconds = codec::read_f64(&mut r)?;
-    let total_seconds = codec::read_f64(&mut r)?;
-    let total_iterations = codec::read_u64(&mut r)?;
-    let total_pushes = codec::read_u64(&mut r)?;
-    let threads = codec::read_u64(&mut r)? as usize;
+fn read_bca_and_rounding<R: Read>(r: &mut R) -> Result<(BcaParams, f64), IndexError> {
+    let alpha = codec::read_f64(r).map_err(DecodeError::Io)?;
+    let propagation_threshold = codec::read_f64(r).map_err(DecodeError::Io)?;
+    let residue_threshold = codec::read_f64(r).map_err(DecodeError::Io)?;
+    let max_iterations = codec::read_u32(r).map_err(DecodeError::Io)?;
+    let rounding_threshold = codec::read_f64(r).map_err(DecodeError::Io)?;
+    Ok((
+        BcaParams { alpha, propagation_threshold, residue_threshold, max_iterations },
+        rounding_threshold,
+    ))
+}
+
+fn write_stats<W: Write>(w: &mut W, s: &IndexStats) -> std::io::Result<()> {
+    codec::write_f64(w, s.hub_selection_seconds)?;
+    codec::write_f64(w, s.hub_vectors_seconds)?;
+    codec::write_f64(w, s.node_sweep_seconds)?;
+    codec::write_f64(w, s.total_seconds)?;
+    codec::write_u64(w, s.total_iterations)?;
+    codec::write_u64(w, s.total_pushes)?;
+    codec::write_u64(w, s.threads as u64)
+}
+
+/// Reads the persisted stats fields and recomputes the derived size figures
+/// from the decoded states and hub matrix.
+fn read_stats<R: Read>(
+    r: &mut R,
+    states: &[&NodeState],
+    hub_matrix: &HubMatrix,
+    n: usize,
+) -> Result<IndexStats, IndexError> {
+    let hub_selection_seconds = codec::read_f64(r).map_err(DecodeError::Io)?;
+    let hub_vectors_seconds = codec::read_f64(r).map_err(DecodeError::Io)?;
+    let node_sweep_seconds = codec::read_f64(r).map_err(DecodeError::Io)?;
+    let total_seconds = codec::read_f64(r).map_err(DecodeError::Io)?;
+    let total_iterations = codec::read_u64(r).map_err(DecodeError::Io)?;
+    let total_pushes = codec::read_u64(r).map_err(DecodeError::Io)?;
+    let threads = codec::read_u64(r).map_err(DecodeError::Io)? as usize;
 
     let lower_bound_bytes: usize = states.iter().map(|s| s.lower_bounds().heap_bytes()).sum();
     let actual_bytes =
@@ -187,7 +298,7 @@ pub fn load<R: Read>(reader: R) -> Result<ReverseIndex, IndexError> {
     let predicted_bytes = hub_matrix
         .predicted_bytes(n, crate::builder::DEFAULT_POWER_LAW_BETA)
         .map(|p| p + lower_bound_bytes);
-    let stats = IndexStats {
+    Ok(IndexStats {
         hub_selection_seconds,
         hub_vectors_seconds,
         node_sweep_seconds,
@@ -200,25 +311,266 @@ pub fn load<R: Read>(reader: R) -> Result<ReverseIndex, IndexError> {
         predicted_bytes,
         lower_bound_bytes,
         threads,
-    };
+    })
+}
 
-    let config = IndexConfig {
+fn loaded_config(
+    max_k: usize,
+    bca: BcaParams,
+    hub_matrix: &HubMatrix,
+    rounding_threshold: f64,
+    threads: usize,
+    shards: usize,
+) -> IndexConfig {
+    IndexConfig {
         max_k,
         bca,
         hub_selection: HubSelection::Explicit(hub_matrix.hubs().ids().to_vec()),
-        hub_solver: HubSolver::PowerMethod(RwrParams::with_alpha(alpha)),
+        hub_solver: HubSolver::PowerMethod(RwrParams::with_alpha(bca.alpha)),
         rounding_threshold,
         threads,
-    };
+        shards,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Legacy single-blob layout
+// ---------------------------------------------------------------------------
+
+/// Serializes `index` in the legacy single-blob layout (all shards are
+/// flattened into one id-ordered node section — byte-identical to the
+/// pre-sharding format for any shard count).
+pub fn save_legacy<W: Write>(index: &ReverseIndex, writer: W) -> Result<(), IndexError> {
+    let mut w = BufWriter::new(writer);
+    codec::write_header(&mut w, INDEX_MAGIC, INDEX_VERSION)?;
+    codec::write_u64(&mut w, index.node_count() as u64)?;
+    codec::write_u64(&mut w, index.max_k() as u64)?;
+    write_bca_and_rounding(&mut w, &index.config().bca, index.config().rounding_threshold)?;
+    write_hub_matrix(&mut w, index.hub_matrix())?;
+    for state in index.iter_states() {
+        write_node_state(&mut w, state)?;
+    }
+    write_stats(&mut w, index.stats())?;
+    w.flush()?;
+    Ok(())
+}
+
+fn load_legacy_body<R: Read>(r: &mut R) -> Result<ReverseIndex, IndexError> {
+    // Stream-derived bounds: every sequence that follows is sized by the
+    // node count (sparse vectors, hub ids) or by `max_k` (top-K lists), so
+    // corrupt length prefixes are rejected before any allocation.
+    let n = codec::check_len(
+        codec::read_u64(r).map_err(DecodeError::Io)?,
+        codec::MAX_SEQ_LEN,
+        "node count",
+    )?;
+    let max_k = codec::check_len(
+        codec::read_u64(r).map_err(DecodeError::Io)?,
+        codec::MAX_SEQ_LEN,
+        "max_k",
+    )?;
+    let (bca, rounding_threshold) = read_bca_and_rounding(r)?;
+    let hub_matrix = read_hub_matrix(r, n, rounding_threshold)?;
+
+    // Eager capacity is clamped like the codec readers: a corrupt node
+    // count must not trigger a huge reservation before any state decodes.
+    let mut states = Vec::with_capacity(n.min(1 << 20));
+    for u in 0..n as u32 {
+        states.push(read_node_state(r, u, n, max_k, &hub_matrix)?);
+    }
+    let state_refs: Vec<&NodeState> = states.iter().collect();
+    let stats = read_stats(r, &state_refs, &hub_matrix, n)?;
+    drop(state_refs);
+
+    let config = loaded_config(max_k, bca, &hub_matrix, rounding_threshold, stats.threads, 1);
     Ok(ReverseIndex::from_parts(config, hub_matrix, states, stats))
 }
 
-/// Saves to a file path.
+// ---------------------------------------------------------------------------
+// Sharded manifest layout
+// ---------------------------------------------------------------------------
+
+/// Serializes one shard as a self-contained section. `node_count` and
+/// `max_k` describe the whole index (decode bounds for the section).
+pub fn save_shard<W: Write>(
+    shard: &IndexShard,
+    node_count: usize,
+    max_k: usize,
+    writer: W,
+) -> Result<(), IndexError> {
+    let mut w = BufWriter::new(writer);
+    codec::write_header(&mut w, SHARD_MAGIC, SHARD_VERSION)?;
+    codec::write_u64(&mut w, shard.id() as u64)?;
+    codec::write_u64(&mut w, u64::from(shard.node_lo()))?;
+    codec::write_u64(&mut w, shard.len() as u64)?;
+    codec::write_u64(&mut w, node_count as u64)?;
+    codec::write_u64(&mut w, max_k as u64)?;
+    for state in shard.states() {
+        write_node_state(&mut w, state)?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Deserializes a shard section written by [`save_shard`]. `hub_matrix`,
+/// `node_count`, and `max_k` must come from the owning manifest (or, for a
+/// standalone shard file, from the index it belongs to); the section's own
+/// header is validated against them.
+pub fn load_shard<R: Read>(
+    reader: R,
+    hub_matrix: &HubMatrix,
+    node_count: usize,
+    max_k: usize,
+) -> Result<IndexShard, IndexError> {
+    let mut r = BufReader::new(reader);
+    codec::read_header(&mut r, SHARD_MAGIC, SHARD_VERSION)?;
+    let id = codec::read_u64(&mut r).map_err(DecodeError::Io)? as usize;
+    let node_lo = codec::read_u64(&mut r).map_err(DecodeError::Io)?;
+    let len = codec::check_len(
+        codec::read_u64(&mut r).map_err(DecodeError::Io)?,
+        node_count as u64,
+        "shard length",
+    )?;
+    let claimed_n = codec::read_u64(&mut r).map_err(DecodeError::Io)? as usize;
+    let claimed_k = codec::read_u64(&mut r).map_err(DecodeError::Io)? as usize;
+    if claimed_n != node_count || claimed_k != max_k {
+        return Err(corrupt(format!(
+            "shard {id} claims n={claimed_n}, K={claimed_k}; manifest says n={node_count}, K={max_k}"
+        )));
+    }
+    if node_lo as usize + len > node_count {
+        return Err(corrupt(format!(
+            "shard {id} range {node_lo}..{} exceeds {node_count} nodes",
+            node_lo as usize + len
+        )));
+    }
+    let mut states = Vec::with_capacity(len.min(1 << 20));
+    for u in node_lo as u32..(node_lo as usize + len) as u32 {
+        states.push(read_node_state(&mut r, u, node_count, max_k, hub_matrix)?);
+    }
+    Ok(IndexShard::new(id, node_lo as u32, states))
+}
+
+/// Serializes `index` in the sharded manifest layout regardless of shard
+/// count (the plain [`save`] picks the legacy layout for `S == 1`).
+pub fn save_sharded<W: Write>(index: &ReverseIndex, writer: W) -> Result<(), IndexError> {
+    let mut w = BufWriter::new(writer);
+    codec::write_header(&mut w, MANIFEST_MAGIC, MANIFEST_VERSION)?;
+    codec::write_u64(&mut w, index.node_count() as u64)?;
+    codec::write_u64(&mut w, index.max_k() as u64)?;
+    codec::write_u64(&mut w, index.shard_count() as u64)?;
+    write_bca_and_rounding(&mut w, &index.config().bca, index.config().rounding_threshold)?;
+    codec::write_u32_seq(&mut w, index.shard_map().starts())?;
+    write_hub_matrix(&mut w, index.hub_matrix())?;
+    for shard in index.shards() {
+        // Two-pass section write: a counting pre-pass computes the length
+        // prefix so the section never has to be buffered in memory (a
+        // single shard of a large index can be gigabytes).
+        let mut counter = CountingWriter::default();
+        save_shard(shard, index.node_count(), index.max_k(), &mut counter)?;
+        codec::write_u64(&mut w, counter.bytes)?;
+        save_shard(shard, index.node_count(), index.max_k(), &mut w)?;
+    }
+    write_stats(&mut w, index.stats())?;
+    w.flush()?;
+    Ok(())
+}
+
+/// An `io::Write` sink that only counts bytes — the length pre-pass of
+/// [`save_sharded`].
+#[derive(Default)]
+struct CountingWriter {
+    bytes: u64,
+}
+
+impl Write for CountingWriter {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.bytes += buf.len() as u64;
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+fn load_sharded_body<R: Read>(r: &mut R) -> Result<ReverseIndex, IndexError> {
+    let n = codec::check_len(
+        codec::read_u64(r).map_err(DecodeError::Io)?,
+        codec::MAX_SEQ_LEN,
+        "node count",
+    )?;
+    let max_k = codec::check_len(
+        codec::read_u64(r).map_err(DecodeError::Io)?,
+        codec::MAX_SEQ_LEN,
+        "max_k",
+    )?;
+    let shard_count = codec::check_len(
+        codec::read_u64(r).map_err(DecodeError::Io)?,
+        n.max(1) as u64,
+        "shard count",
+    )?;
+    if shard_count == 0 {
+        return Err(corrupt("manifest declares zero shards".into()));
+    }
+    let (bca, rounding_threshold) = read_bca_and_rounding(r)?;
+    let starts = codec::read_u32_seq_bounded(r, shard_count as u64)?;
+    if starts.len() != shard_count {
+        return Err(corrupt(format!(
+            "manifest declares {shard_count} shards but lists {} starts",
+            starts.len()
+        )));
+    }
+    let shard_map = ShardMap::from_starts(n, starts).map_err(|e| match e {
+        IndexError::InvalidConfig(m) => corrupt(format!("shard map: {m}")),
+        other => other,
+    })?;
+    let hub_matrix = read_hub_matrix(r, n, rounding_threshold)?;
+
+    let mut shards = Vec::with_capacity(shard_count);
+    for i in 0..shard_count {
+        let section_bytes = codec::read_u64(r).map_err(DecodeError::Io)?;
+        if section_bytes > MAX_SHARD_SECTION_BYTES {
+            return Err(corrupt(format!(
+                "shard {i}: section of {section_bytes} bytes is implausible"
+            )));
+        }
+        // The section decoder reads from a take-bounded view, so a shard
+        // blob lying about its length cannot consume the next section.
+        let mut section = r.take(section_bytes);
+        let shard = load_shard(&mut section, &hub_matrix, n, max_k)?;
+        if section.limit() != 0 {
+            return Err(corrupt(format!(
+                "shard {i}: {} trailing bytes after shard payload",
+                section.limit()
+            )));
+        }
+        let expected = shard_map.range(i);
+        if shard.id() != i || shard.range() != expected {
+            return Err(corrupt(format!(
+                "shard {i}: section covers {:?} (id {}), manifest expects {expected:?}",
+                shard.range(),
+                shard.id()
+            )));
+        }
+        shards.push(shard);
+    }
+
+    let state_refs: Vec<&NodeState> = shards.iter().flat_map(|s| s.states().iter()).collect();
+    let stats = read_stats(r, &state_refs, &hub_matrix, n)?;
+    drop(state_refs);
+
+    let config =
+        loaded_config(max_k, bca, &hub_matrix, rounding_threshold, stats.threads, shard_count);
+    Ok(ReverseIndex::from_shards(config, hub_matrix, shards, shard_map, stats))
+}
+
+/// Saves to a file path (layout picked by shard count, see [`save`]).
 pub fn save_path<P: AsRef<Path>>(index: &ReverseIndex, path: P) -> Result<(), IndexError> {
     save(index, std::fs::File::create(path)?)
 }
 
-/// Loads from a file path.
+/// Loads from a file path (either layout).
 pub fn load_path<P: AsRef<Path>>(path: P) -> Result<ReverseIndex, IndexError> {
     load(std::fs::File::open(path)?)
 }
@@ -269,6 +621,7 @@ mod tests {
         let loaded = load(Cursor::new(buf)).unwrap();
         assert_eq!(loaded.node_count(), index.node_count());
         assert_eq!(loaded.max_k(), index.max_k());
+        assert_eq!(loaded.shard_count(), 1);
         assert_eq!(loaded.hub_matrix().hubs().ids(), index.hub_matrix().hubs().ids());
         assert_eq!(loaded.hub_matrix().nnz(), index.hub_matrix().nnz());
         assert_eq!(loaded.hub_matrix().unrounded_nnz(), index.hub_matrix().unrounded_nnz());
@@ -276,6 +629,77 @@ mod tests {
             assert_eq!(loaded.state(u), index.state(u), "node {u}");
         }
         assert_eq!(loaded.stats().threads, index.stats().threads);
+    }
+
+    #[test]
+    fn sharded_round_trip_preserves_everything() {
+        let (g, config) = build_sample();
+        let t = TransitionMatrix::new(&g);
+        for shards in [2usize, 3, 6] {
+            let index = ReverseIndex::build(&t, IndexConfig { shards, ..config.clone() }).unwrap();
+            let mut buf = Vec::new();
+            save(&index, &mut buf).unwrap();
+            // S > 1 must produce the manifest layout.
+            assert_eq!(&buf[..8], MANIFEST_MAGIC);
+            let loaded = load(Cursor::new(buf)).unwrap();
+            assert_eq!(loaded.shard_count(), shards);
+            assert_eq!(loaded.shard_map(), index.shard_map());
+            assert_eq!(loaded.config().shards, shards);
+            for u in 0..6u32 {
+                assert_eq!(loaded.state(u), index.state(u), "shards={shards} node {u}");
+            }
+            assert_eq!(loaded.stats().threads, index.stats().threads);
+        }
+    }
+
+    #[test]
+    fn single_shard_save_is_byte_identical_to_legacy() {
+        // The dispatching `save` and the explicit legacy writer must agree
+        // bit for bit when S = 1 — the compatibility contract for snapshots
+        // written before sharding existed.
+        let (g, config) = build_sample();
+        let t = TransitionMatrix::new(&g);
+        let index = ReverseIndex::build(&t, config).unwrap();
+        let mut via_save = Vec::new();
+        save(&index, &mut via_save).unwrap();
+        let mut via_legacy = Vec::new();
+        save_legacy(&index, &mut via_legacy).unwrap();
+        assert_eq!(via_save, via_legacy);
+        assert_eq!(&via_save[..8], INDEX_MAGIC);
+    }
+
+    #[test]
+    fn legacy_flatten_of_sharded_index_round_trips() {
+        // Re-partitioning and saving through the legacy writer flattens to
+        // the exact bytes of the unsharded index (`rtk shard merge`'s
+        // guarantee: sharding changes layout, never content).
+        let (g, config) = build_sample();
+        let t = TransitionMatrix::new(&g);
+        let single = ReverseIndex::build(&t, config).unwrap();
+        let mut sharded = single.clone();
+        sharded.repartition(3);
+        let mut a = Vec::new();
+        save_legacy(&single, &mut a).unwrap();
+        let mut b = Vec::new();
+        save_legacy(&sharded, &mut b).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn standalone_shard_sections_round_trip() {
+        let (g, config) = build_sample();
+        let t = TransitionMatrix::new(&g);
+        let index = ReverseIndex::build(&t, IndexConfig { shards: 3, ..config }).unwrap();
+        for shard in index.shards() {
+            let mut buf = Vec::new();
+            save_shard(shard, index.node_count(), index.max_k(), &mut buf).unwrap();
+            let back =
+                load_shard(Cursor::new(buf), index.hub_matrix(), index.node_count(), index.max_k())
+                    .unwrap();
+            assert_eq!(back.id(), shard.id());
+            assert_eq!(back.range(), shard.range());
+            assert_eq!(back.states(), shard.states());
+        }
     }
 
     #[test]
@@ -333,6 +757,21 @@ mod tests {
         let mut buf = Vec::new();
         save(&index, &mut buf).unwrap();
         buf.truncate(buf.len() / 2);
+        assert!(load(Cursor::new(buf)).is_err());
+    }
+
+    #[test]
+    fn rejects_manifest_shard_range_mismatch() {
+        let (g, config) = build_sample();
+        let t = TransitionMatrix::new(&g);
+        let index = ReverseIndex::build(&t, IndexConfig { shards: 2, ..config }).unwrap();
+        let mut buf = Vec::new();
+        save(&index, &mut buf).unwrap();
+        // Corrupt the second shard-start offset (starts live right after
+        // header 12 + n/max_k/shards 24 + bca 28 + omega 8 = 72, then the
+        // u64 count and the first u32 start).
+        let second_start = 72 + 8 + 4;
+        buf[second_start] = buf[second_start].wrapping_add(1);
         assert!(load(Cursor::new(buf)).is_err());
     }
 

@@ -1,0 +1,175 @@
+//! Property tests for the sharded manifest format (`RTKMANI1`) and the
+//! per-shard sections (`RTKSHRD1`), in the style of
+//! `crates/sparse/tests/codec_props.rs`: arbitrary indexes must round-trip
+//! for arbitrary shard partitions, and every truncation / byte corruption
+//! must surface as a clean error — never a panic, never a silently wrong
+//! index.
+//!
+//! Driven by seeded `StdRng` case generation — failures reproduce from the
+//! printed case seed.
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use rtk_graph::gen::{erdos_renyi, ErdosRenyiConfig};
+use rtk_graph::TransitionMatrix;
+use rtk_index::{storage, HubSelection, IndexConfig, ReverseIndex};
+use std::io::Cursor;
+
+const CASES: u64 = 12;
+
+/// A small random index with a random shard partition.
+fn arb_index(rng: &mut StdRng) -> ReverseIndex {
+    let nodes = rng.gen_range(8usize..40);
+    let edges = nodes * rng.gen_range(3usize..6);
+    let g = erdos_renyi(&ErdosRenyiConfig { nodes, edges, seed: rng.gen() }).unwrap();
+    let t = TransitionMatrix::new(&g);
+    let config = IndexConfig {
+        max_k: rng.gen_range(2usize..6),
+        hub_selection: HubSelection::DegreeBased { b: rng.gen_range(1usize..4) },
+        rounding_threshold: if rng.gen_bool(0.5) { 1e-6 } else { 0.0 },
+        threads: 1,
+        shards: rng.gen_range(2usize..9),
+        ..Default::default()
+    };
+    ReverseIndex::build(&t, config).unwrap()
+}
+
+fn assert_same(a: &ReverseIndex, b: &ReverseIndex, context: &str) {
+    assert_eq!(a.node_count(), b.node_count(), "{context}");
+    assert_eq!(a.max_k(), b.max_k(), "{context}");
+    assert_eq!(a.shard_count(), b.shard_count(), "{context}");
+    assert_eq!(a.shard_map(), b.shard_map(), "{context}");
+    for u in 0..a.node_count() as u32 {
+        assert_eq!(a.state(u), b.state(u), "{context}: node {u}");
+    }
+}
+
+#[test]
+fn manifests_round_trip_for_arbitrary_indexes_and_partitions() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x5AAD_0001 + case);
+        let index = arb_index(&mut rng);
+        let mut buf = Vec::new();
+        storage::save(&index, &mut buf).unwrap();
+        assert_eq!(&buf[..8], storage::MANIFEST_MAGIC, "case {case}");
+        let back = storage::load(Cursor::new(buf)).unwrap();
+        assert_same(&index, &back, &format!("case {case}"));
+
+        // Repartitioning and saving again still round-trips.
+        let mut repartitioned = index.clone();
+        repartitioned.repartition(rng.gen_range(1usize..12));
+        let mut buf2 = Vec::new();
+        storage::save(&repartitioned, &mut buf2).unwrap();
+        let back2 = storage::load(Cursor::new(buf2)).unwrap();
+        assert_same(&repartitioned, &back2, &format!("case {case} (repartitioned)"));
+    }
+}
+
+#[test]
+fn shard_sections_round_trip_independently() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x5AAD_1000 + case);
+        let index = arb_index(&mut rng);
+        for shard in index.shards() {
+            let mut buf = Vec::new();
+            storage::save_shard(shard, index.node_count(), index.max_k(), &mut buf).unwrap();
+            let back = storage::load_shard(
+                Cursor::new(buf),
+                index.hub_matrix(),
+                index.node_count(),
+                index.max_k(),
+            )
+            .unwrap();
+            assert_eq!(back.id(), shard.id(), "case {case}");
+            assert_eq!(back.range(), shard.range(), "case {case}");
+            assert_eq!(back.states(), shard.states(), "case {case}");
+        }
+    }
+}
+
+#[test]
+fn truncation_at_every_prefix_errors_cleanly() {
+    // One representative manifest, every strict prefix: must error, never
+    // panic, never decode.
+    let mut rng = StdRng::seed_from_u64(0x5AAD_2000);
+    let index = arb_index(&mut rng);
+    let mut buf = Vec::new();
+    storage::save(&index, &mut buf).unwrap();
+    for cut in 0..buf.len() {
+        assert!(
+            storage::load(Cursor::new(&buf[..cut])).is_err(),
+            "prefix {cut}/{} decoded as a full manifest",
+            buf.len()
+        );
+    }
+}
+
+#[test]
+fn random_single_byte_corruption_never_panics() {
+    // Flip one random byte per trial. The loader may legitimately succeed
+    // (timings and values are arbitrary bytes), but it must never panic,
+    // and any index it does produce must be structurally sound.
+    let mut rng = StdRng::seed_from_u64(0x5AAD_3000);
+    let index = arb_index(&mut rng);
+    let mut buf = Vec::new();
+    storage::save(&index, &mut buf).unwrap();
+    for trial in 0..256 {
+        let pos = rng.gen_range(0..buf.len());
+        let bit = 1u8 << rng.gen_range(0..8);
+        let mut bad = buf.clone();
+        bad[pos] ^= bit;
+        if let Ok(loaded) = storage::load(Cursor::new(bad)) {
+            assert_eq!(loaded.node_count(), index.node_count(), "trial {trial} (flip at {pos})");
+            let covered: usize = loaded.shards().iter().map(|s| s.len()).sum();
+            assert_eq!(covered, loaded.node_count(), "trial {trial} (flip at {pos})");
+            for u in 0..loaded.node_count() as u32 {
+                let _ = loaded.state(u); // resolvable through the shard map
+            }
+        }
+    }
+}
+
+#[test]
+fn corrupt_section_lengths_are_rejected_before_allocation() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x5AAD_4000 + case);
+        let index = arb_index(&mut rng);
+        let mut buf = Vec::new();
+        storage::save(&index, &mut buf).unwrap();
+
+        // Corrupt the manifest's declared shard count — bytes 28..36
+        // (after magic 8 + version 4 + node_count 8 + max_k 8) hold it.
+        let mut bad = buf.clone();
+        bad[28..36].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(storage::load(Cursor::new(bad)).is_err(), "case {case}: absurd shard count");
+
+        // Declared node count far beyond the stream must fail fast too.
+        let mut bad = buf.clone();
+        bad[12..20].copy_from_slice(&(u64::MAX / 2).to_le_bytes());
+        assert!(storage::load(Cursor::new(bad)).is_err(), "case {case}: absurd node count");
+    }
+}
+
+#[test]
+fn shard_sections_reject_wrong_manifest_context() {
+    let mut rng = StdRng::seed_from_u64(0x5AAD_5000);
+    let index = arb_index(&mut rng);
+    let shard = &index.shards()[0];
+    let mut buf = Vec::new();
+    storage::save_shard(shard, index.node_count(), index.max_k(), &mut buf).unwrap();
+
+    // A section loaded against a different node count or max_k is corrupt.
+    assert!(storage::load_shard(
+        Cursor::new(buf.clone()),
+        index.hub_matrix(),
+        index.node_count() + 1,
+        index.max_k(),
+    )
+    .is_err());
+    assert!(storage::load_shard(
+        Cursor::new(buf),
+        index.hub_matrix(),
+        index.node_count(),
+        index.max_k() + 1,
+    )
+    .is_err());
+}

@@ -1,23 +1,26 @@
 //! The Online Query algorithm — Algorithm 4 (paper §4.2).
 //!
-//! # Two-phase parallel execution
+//! # Two-phase parallel execution, fanned out per shard
 //!
 //! A query runs as **PMPN → screen → commit**:
 //!
 //! 1. PMPN computes `p_*(q)` with its sparse matrix–vector products spread
 //!    over [`QueryOptions::query_threads`] workers;
-//! 2. the **screen phase** partitions `0..n` across the same number of
-//!    workers. Each worker owns a private [`BcaEngine`] + [`Materializer`]
-//!    (recycled across queries through a [`ScratchPool`]) and refines
-//!    candidates on *private copies* of their [`NodeState`] — the shared
-//!    index is only read;
+//! 2. the **screen phase** fans the candidate scan out over the index's
+//!    shards: the work queue is built from shard-aligned chunks (a chunk
+//!    never crosses a shard boundary), so each shard's node range is
+//!    scanned independently. Each worker owns a private [`BcaEngine`] +
+//!    [`Materializer`] (recycled across queries through a [`ScratchPool`])
+//!    and refines candidates on *private copies* of their [`NodeState`] —
+//!    the shared index is only read;
 //! 3. the **commit phase** (update mode only) serially merges every refined
-//!    copy back into the index by node id.
+//!    copy back into the owning shards by node id — the cross-shard merge.
 //!
 //! Per-node screening decisions depend only on that node's stored state and
 //! the PMPN vector, never on another node's refinement, so the result set,
-//! the statistics, and the post-query index are **identical for every thread
-//! count** — asserted by the `parallel_determinism` integration suite.
+//! the statistics, and the post-query index are **identical for every
+//! thread count and every shard count** — asserted by the
+//! `parallel_determinism` and `shard_determinism` integration suites.
 
 use crate::error::QueryError;
 use crate::upper_bound::upper_bound_kth;
@@ -409,8 +412,6 @@ fn execute_query(
     threads: usize,
     want_commits: bool,
 ) -> (QueryResult, Vec<(u32, NodeState)>) {
-    let n = transition.node_count();
-
     // Step 1 (Alg. 4 line 1): exact proximities to q via PMPN, with the
     // index's restart probability, SpMV spread over the query threads.
     let pmpn_params = RwrParams { alpha: index.config().alpha(), threads, ..options.rwr };
@@ -419,13 +420,16 @@ fn execute_query(
     let pmpn_seconds = pmpn_t0.elapsed().as_secs_f64();
 
     // Step 2 (Alg. 4 lines 2–14): screen every node, workers pulling
-    // contiguous chunks off an atomic counter. Workers refining already in
-    // parallel solve strict-mode fallbacks serially to avoid nested spawns.
-    // A worker can only be useful with a chunk to claim, so the count is
-    // clamped by the chunk count — small graphs run serially instead of
-    // paying spawn overhead for idle workers.
+    // shard-aligned chunks off an atomic counter — each shard's range is
+    // scanned over its own chunk run, so the fan-out is per shard first and
+    // per chunk within it. Workers refining already in parallel solve
+    // strict-mode fallbacks serially to avoid nested spawns. A worker can
+    // only be useful with a chunk to claim, so the count is clamped by the
+    // chunk count — small graphs run serially instead of paying spawn
+    // overhead for idle workers.
     let screen_t0 = Instant::now();
-    let threads = threads.max(1).min(n.div_ceil(SCREEN_CHUNK)).max(1);
+    let chunks = ChunkPlan::new(index.shard_map());
+    let threads = threads.max(1).min(chunks.total()).max(1);
     let fallback_params =
         RwrParams { threads: if threads > 1 { 1 } else { pmpn_params.threads }, ..pmpn_params };
     let next = AtomicUsize::new(0);
@@ -436,6 +440,7 @@ fn execute_query(
         screen_worker(
             &mut local,
             &mut scratch,
+            &chunks,
             &next,
             transition,
             index,
@@ -453,6 +458,7 @@ fn execute_query(
             let mut handles = Vec::with_capacity(threads);
             for _ in 0..threads {
                 let next = &next;
+                let chunks = &chunks;
                 let to_q = &to_q;
                 let fallback_params = &fallback_params;
                 handles.push(scope.spawn(move || {
@@ -461,6 +467,7 @@ fn execute_query(
                     screen_worker(
                         &mut local,
                         &mut scratch,
+                        chunks,
                         next,
                         transition,
                         index,
@@ -479,8 +486,9 @@ fn execute_query(
         })
     };
 
-    // Merge: counters add; results and commits sort by node id, so the
-    // output is independent of chunk interleaving.
+    // Serial cross-shard merge: counters add; results and commits sort by
+    // node id, so the output is independent of chunk interleaving *and* of
+    // the shard partition the chunks were derived from.
     let mut stats = QueryStats::default();
     let mut results: Vec<(u32, f64)> = Vec::new();
     let mut commits: Vec<(u32, NodeState)> = Vec::new();
@@ -501,11 +509,60 @@ fn execute_query(
     (QueryResult { query: q, k, nodes, proximities, stats }, commits)
 }
 
-/// Screens chunks of nodes pulled off `next` until the range is exhausted.
+/// Shard-aligned chunking of the screen scan, resolved arithmetically:
+/// every shard's node range is its own run of `SCREEN_CHUNK`-sized pieces,
+/// so no unit of work ever crosses a shard boundary — without
+/// materializing the `O(n / SCREEN_CHUNK)` chunk list (the hot path stays
+/// allocation-light; this plan is `O(S)`). Per-node decisions are
+/// independent, so the partition (like the thread count) cannot change any
+/// answer — only how the scan is scheduled.
+struct ChunkPlan {
+    /// Node range per shard, copied out of the shard map.
+    ranges: Vec<(u32, u32)>,
+    /// Cumulative chunk counts: shard `s` owns global chunk indices
+    /// `prefix[s]..prefix[s + 1]`.
+    prefix: Vec<usize>,
+}
+
+impl ChunkPlan {
+    fn new(map: &rtk_index::ShardMap) -> Self {
+        let mut ranges = Vec::with_capacity(map.shard_count());
+        let mut prefix = Vec::with_capacity(map.shard_count() + 1);
+        let mut total = 0usize;
+        prefix.push(0);
+        for i in 0..map.shard_count() {
+            let r = map.range(i);
+            ranges.push((r.start, r.end));
+            total += r.len().div_ceil(SCREEN_CHUNK);
+            prefix.push(total);
+        }
+        Self { ranges, prefix }
+    }
+
+    /// Total number of chunks across all shards.
+    fn total(&self) -> usize {
+        *self.prefix.last().unwrap_or(&0)
+    }
+
+    /// Node range of global chunk `ci`, or `None` past the end.
+    fn chunk(&self, ci: usize) -> Option<(u32, u32)> {
+        if ci >= self.total() {
+            return None;
+        }
+        // The owning shard is the last one whose prefix is ≤ ci.
+        let s = self.prefix.partition_point(|&p| p <= ci) - 1;
+        let (start, end) = self.ranges[s];
+        let lo = start + ((ci - self.prefix[s]) * SCREEN_CHUNK) as u32;
+        Some((lo, (lo + SCREEN_CHUNK as u32).min(end)))
+    }
+}
+
+/// Screens chunks pulled off `next` until the chunk plan is exhausted.
 #[allow(clippy::too_many_arguments)]
 fn screen_worker(
     local: &mut LocalScreen,
     scratch: &mut RefineScratch,
+    chunks: &ChunkPlan,
     next: &AtomicUsize,
     transition: &TransitionMatrix<'_>,
     index: &ReverseIndex,
@@ -516,14 +573,12 @@ fn screen_worker(
     fallback_params: &RwrParams,
     want_commits: bool,
 ) {
-    let n = transition.node_count();
     loop {
-        let lo = next.fetch_add(SCREEN_CHUNK, Ordering::Relaxed);
-        if lo >= n {
+        let ci = next.fetch_add(1, Ordering::Relaxed);
+        let Some((lo, hi)) = chunks.chunk(ci) else {
             break;
-        }
-        let hi = (lo + SCREEN_CHUNK).min(n);
-        for u in lo as u32..hi as u32 {
+        };
+        for u in lo..hi {
             let p_uq = to_q[u as usize];
 
             // Membership requires strictly positive proximity: a top-k
@@ -725,6 +780,7 @@ mod tests {
             hub_solver: HubSolver::PowerMethod(RwrParams::default()),
             rounding_threshold: 0.0,
             threads: 1,
+            shards: 1,
         }
     }
 
@@ -1055,6 +1111,32 @@ mod tests {
             Err(QueryError::NodeOutOfRange { node: 9, .. })
         ));
         assert!(session.query_batch(&t, &index, &[], &opts).unwrap().is_empty());
+    }
+
+    #[test]
+    fn chunk_plan_covers_every_node_once_and_respects_shards() {
+        for (n, shards) in
+            [(1usize, 1usize), (15, 1), (16, 1), (17, 2), (90, 4), (100, 8), (33, 33)]
+        {
+            let map = rtk_index::ShardMap::even(n, shards);
+            let plan = ChunkPlan::new(&map);
+            let mut seen = vec![0u32; n];
+            for ci in 0..plan.total() {
+                let (lo, hi) = plan.chunk(ci).expect("in-range chunk");
+                assert!(lo < hi, "n={n} shards={shards} ci={ci}");
+                let s = map.shard_of(lo);
+                assert_eq!(
+                    map.shard_of(hi - 1),
+                    s,
+                    "n={n} shards={shards} ci={ci}: chunk crosses a shard boundary"
+                );
+                for u in lo..hi {
+                    seen[u as usize] += 1;
+                }
+            }
+            assert!(plan.chunk(plan.total()).is_none());
+            assert!(seen.iter().all(|&c| c == 1), "n={n} shards={shards}: {seen:?}");
+        }
     }
 
     #[test]

@@ -111,6 +111,16 @@ impl Client {
         }
     }
 
+    /// Asks the server to flush its current (refined) engine snapshot to
+    /// `path` on the **server's** filesystem, under the server's write
+    /// lock. Returns the snapshot size in bytes.
+    pub fn persist(&mut self, path: &str) -> Result<u64, ServerError> {
+        match self.call(&Request::Persist { path: path.to_string() })? {
+            Response::Persisted { bytes } => Ok(bytes),
+            other => Err(unexpected("persist ack", &other)),
+        }
+    }
+
     /// Asks the server to shut down gracefully. Returns once the server
     /// acknowledges; pair with [`crate::ServerHandle::join`] to wait for
     /// the drain to finish.
@@ -130,6 +140,7 @@ fn unexpected(wanted: &str, got: &Response) -> ServerError {
         Response::Batch(_) => "batch",
         Response::Stats(_) => "stats",
         Response::ShuttingDown => "shutting_down",
+        Response::Persisted { .. } => "persisted",
         Response::Error { .. } => "error",
     };
     ServerError::Protocol(format!("expected {wanted}, got {variant} response"))

@@ -128,9 +128,20 @@ fn dispatch(request: Request, ctx: &ServerCtx) -> (RequestKind, Response) {
             },
         ),
         Request::Stats => {
-            (RequestKind::Stats, Response::Stats(ctx.metrics.snapshot(ctx.engine_info)))
+            let (shard_nodes, shard_bytes) = ctx.shared.shard_info();
+            (
+                RequestKind::Stats,
+                Response::Stats(ctx.metrics.snapshot(ctx.engine_info, shard_nodes, shard_bytes)),
+            )
         }
         Request::Shutdown => (RequestKind::Shutdown, Response::ShuttingDown),
+        Request::Persist { path } => (
+            RequestKind::Persist,
+            match ctx.shared.persist(&path) {
+                Ok(bytes) => Response::Persisted { bytes },
+                Err(message) => Response::Error { code: STATUS_ENGINE_ERROR, message },
+            },
+        ),
     }
 }
 

@@ -20,9 +20,12 @@
 //! | payload | *n*  | tagged request / status-prefixed response|
 //!
 //! Requests: `ping`, `reverse_topk(q, k, update)`, `topk(u, k, early)`,
-//! `batch([(q, k)…])`, `stats`, `shutdown`. All integers little-endian;
-//! proximities travel as exact IEEE-754 bits, so remote answers are
-//! **bitwise identical** to local engine calls.
+//! `batch([(q, k)…])`, `stats`, `shutdown`, `persist(path)`. All integers
+//! little-endian; proximities travel as exact IEEE-754 bits, so remote
+//! answers are **bitwise identical** to local engine calls. The served
+//! engine may be sharded ([`rtk_index::IndexConfig::shards`]); `stats`
+//! reports per-shard node counts and heap sizes, and answers are identical
+//! for every shard count.
 //!
 //! ## Concurrency model
 //!
@@ -35,14 +38,22 @@
 //!   paper's update mode, now safe under concurrent traffic.
 //!
 //! Refinement only tightens bounds, never changes answers, so mixing the
-//! two modes cannot perturb any client's results.
+//! two modes cannot perturb any client's results. `persist(path)` flushes
+//! the current (refined) engine snapshot to disk under the same write lock,
+//! so the on-disk image is always a quiescent state. With
+//! [`ServerConfig::persist_dir`] set, persist paths must be relative (no
+//! `..`) and resolve inside that directory — the protocol is
+//! unauthenticated, so fence it on untrusted networks.
 //!
-//! ## Robustness
+//! ## Robustness & backpressure
 //!
 //! Frames above the configured size cap, bad magic, unknown tags, or
 //! truncated payloads are counted (`protocol_errors`), answered with an
 //! error response when the socket allows, and the offending connection is
-//! dropped — the server keeps serving everyone else. Graceful shutdown
+//! dropped — the server keeps serving everyone else. With
+//! [`ServerConfig::max_connections`] set, connections beyond the cap get a
+//! clean `busy` error frame (status [`wire::STATUS_BUSY`]), are counted in
+//! `rejected_connections`, and never occupy a worker. Graceful shutdown
 //! drains in-flight requests and joins every worker.
 //!
 //! ## Metrics
@@ -156,6 +167,166 @@ mod tests {
         assert!(stats.p50_seconds >= 0.0);
 
         client.shutdown().unwrap();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn sharded_engine_serves_identical_answers_and_reports_shards() {
+        let engine = {
+            let g = rtk_graph::GraphBuilder::from_edges(
+                6,
+                &[
+                    (0, 1),
+                    (0, 3),
+                    (0, 5),
+                    (1, 0),
+                    (1, 2),
+                    (2, 0),
+                    (2, 1),
+                    (3, 1),
+                    (3, 4),
+                    (4, 1),
+                    (5, 1),
+                    (5, 3),
+                ],
+                DanglingPolicy::Error,
+            )
+            .unwrap();
+            ReverseTopkEngine::builder(g)
+                .max_k(3)
+                .hubs_per_direction(1)
+                .threads(1)
+                .shards(3)
+                .build()
+                .unwrap()
+        };
+        let handle =
+            Server::bind(engine, "127.0.0.1:0", ServerConfig { workers: 2, ..Default::default() })
+                .unwrap()
+                .spawn();
+        let mut client = Client::connect(handle.addr()).unwrap();
+
+        // Same paper running example, now over 3 shards.
+        let r = client.reverse_topk(0, 2, false).unwrap();
+        assert_eq!(r.nodes, vec![0, 1, 4]);
+        let upd = client.reverse_topk(0, 2, true).unwrap();
+        assert_eq!(upd.nodes, vec![0, 1, 4]);
+
+        let stats = client.stats().unwrap();
+        assert_eq!(stats.shard_count(), 3);
+        assert_eq!(stats.shard_nodes, vec![2, 2, 2]);
+        assert!(stats.shard_bytes.iter().all(|&b| b > 0), "{stats:?}");
+
+        client.shutdown().unwrap();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn persist_flushes_a_loadable_snapshot() {
+        let dir = std::env::temp_dir().join("rtk_server_persist_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("persisted.rtke");
+        let path_str = path.to_str().unwrap().to_string();
+
+        let handle = Server::bind(
+            toy_engine(),
+            "127.0.0.1:0",
+            ServerConfig { workers: 2, ..Default::default() },
+        )
+        .unwrap()
+        .spawn();
+        let mut client = Client::connect(handle.addr()).unwrap();
+
+        // Refine through the write lock, then flush.
+        client.reverse_topk(0, 2, true).unwrap();
+        let bytes = client.persist(&path_str).unwrap();
+        assert!(bytes > 0);
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), bytes);
+
+        // The flushed snapshot is a valid engine answering identically.
+        let mut restored = ReverseTopkEngine::load_path(&path).unwrap();
+        assert_eq!(restored.query(NodeId(0), 2).unwrap().nodes(), &[0, 1, 4]);
+
+        // Bad destination paths surface as engine errors, not hangs.
+        let err = client.persist("/definitely/not/a/dir/x.rtke").unwrap_err();
+        assert!(matches!(err, ServerError::Remote(_)), "{err}");
+
+        let stats = client.stats().unwrap();
+        assert_eq!(stats.persist, 1);
+
+        client.shutdown().unwrap();
+        handle.join().unwrap();
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn persist_dir_fences_destination_paths() {
+        let dir = std::env::temp_dir().join("rtk_server_persist_fence_test");
+        std::fs::create_dir_all(&dir).unwrap();
+
+        let handle = Server::bind(
+            toy_engine(),
+            "127.0.0.1:0",
+            ServerConfig { workers: 1, persist_dir: Some(dir.clone()), ..Default::default() },
+        )
+        .unwrap()
+        .spawn();
+        let mut client = Client::connect(handle.addr()).unwrap();
+
+        // Relative paths resolve inside the fence.
+        let bytes = client.persist("inside.rtke").unwrap();
+        assert!(bytes > 0);
+        assert!(dir.join("inside.rtke").exists());
+
+        // Absolute paths and traversal are rejected without touching disk.
+        for bad in ["/tmp/outside.rtke", "../escape.rtke", "a/../../escape.rtke", ""] {
+            let err = client.persist(bad).unwrap_err();
+            assert!(matches!(err, ServerError::Remote(_)), "{bad:?}: {err}");
+        }
+        assert!(!dir.parent().unwrap().join("escape.rtke").exists());
+
+        client.shutdown().unwrap();
+        handle.join().unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn connection_cap_rejects_with_busy_frame() {
+        let handle = Server::bind(
+            toy_engine(),
+            "127.0.0.1:0",
+            ServerConfig { workers: 1, max_connections: 1, ..Default::default() },
+        )
+        .unwrap()
+        .spawn();
+
+        // First connection is admitted and stays open.
+        let mut admitted = Client::connect(handle.addr()).unwrap();
+        admitted.ping().unwrap();
+
+        // Excess connections get a busy error frame on their first read.
+        let mut rejected = 0;
+        for _ in 0..3 {
+            let mut c = Client::connect(handle.addr()).unwrap();
+            match c.ping() {
+                Err(ServerError::Remote(m)) => {
+                    assert!(m.contains("busy"), "{m}");
+                    rejected += 1;
+                }
+                // The rejection frame may arrive before our request is
+                // written, surfacing as a broken pipe on some platforms.
+                Err(_) => rejected += 1,
+                Ok(()) => panic!("connection beyond the cap was admitted"),
+            }
+        }
+        assert_eq!(rejected, 3);
+
+        // The admitted client still works, and the rejections are counted.
+        let stats = admitted.stats().unwrap();
+        assert_eq!(stats.rejected_connections, 3);
+        assert_eq!(stats.connections, 1);
+
+        admitted.shutdown().unwrap();
         handle.join().unwrap();
     }
 

@@ -22,9 +22,11 @@ pub(crate) enum RequestKind {
     Stats = 4,
     /// `Request::Shutdown`.
     Shutdown = 5,
+    /// `Request::Persist`.
+    Persist = 6,
 }
 
-const KINDS: usize = 6;
+const KINDS: usize = 7;
 
 /// Live counters + latency histogram, shared across worker threads.
 ///
@@ -37,6 +39,7 @@ pub struct ServerMetrics {
     protocol_errors: AtomicU64,
     engine_errors: AtomicU64,
     connections: AtomicU64,
+    rejected_connections: AtomicU64,
     latency: Mutex<LatencyHistogram>,
 }
 
@@ -55,6 +58,7 @@ impl ServerMetrics {
             protocol_errors: AtomicU64::new(0),
             engine_errors: AtomicU64::new(0),
             connections: AtomicU64::new(0),
+            rejected_connections: AtomicU64::new(0),
             latency: Mutex::new(LatencyHistogram::new()),
         }
     }
@@ -76,9 +80,20 @@ impl ServerMetrics {
         self.connections.fetch_add(1, Ordering::Relaxed);
     }
 
+    pub(crate) fn record_rejected_connection(&self) {
+        self.rejected_connections.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Consistent-enough snapshot for reporting (counters are read
-    /// individually; exactness across counters is not needed).
-    pub fn snapshot(&self, engine: EngineInfo) -> StatsSnapshot {
+    /// individually; exactness across counters is not needed). Per-shard
+    /// sizes are sampled fresh by the caller — they drift as update-mode
+    /// traffic refines node states.
+    pub fn snapshot(
+        &self,
+        engine: EngineInfo,
+        shard_nodes: Vec<u64>,
+        shard_bytes: Vec<u64>,
+    ) -> StatsSnapshot {
         let hist = self.latency.lock().expect("metrics lock").clone();
         let (p50, p95, p99) = hist.percentiles();
         let get = |k: RequestKind| self.requests[k as usize].load(Ordering::Relaxed);
@@ -90,9 +105,11 @@ impl ServerMetrics {
             batch: get(RequestKind::Batch),
             stats: get(RequestKind::Stats),
             shutdown: get(RequestKind::Shutdown),
+            persist: get(RequestKind::Persist),
             protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
             engine_errors: self.engine_errors.load(Ordering::Relaxed),
             connections: self.connections.load(Ordering::Relaxed),
+            rejected_connections: self.rejected_connections.load(Ordering::Relaxed),
             latency_count: hist.count(),
             mean_seconds: hist.mean(),
             p50_seconds: p50,
@@ -103,6 +120,8 @@ impl ServerMetrics {
             edges: engine.edges,
             max_k: engine.max_k,
             workers: engine.workers,
+            shard_nodes,
+            shard_bytes,
         }
     }
 }
@@ -137,12 +156,16 @@ pub struct StatsSnapshot {
     pub stats: u64,
     /// Accepted `shutdown` requests.
     pub shutdown: u64,
+    /// Completed `persist` requests.
+    pub persist: u64,
     /// Malformed frames / requests observed.
     pub protocol_errors: u64,
     /// Requests the engine rejected or failed.
     pub engine_errors: u64,
     /// Connections accepted since start.
     pub connections: u64,
+    /// Connections refused at the `max_connections` cap (backpressure).
+    pub rejected_connections: u64,
     /// Observations in the latency histogram.
     pub latency_count: u64,
     /// Mean request latency, seconds.
@@ -163,15 +186,32 @@ pub struct StatsSnapshot {
     pub max_k: u64,
     /// Worker threads the server runs.
     pub workers: u32,
+    /// Nodes per index shard (length = shard count).
+    pub shard_nodes: Vec<u64>,
+    /// Heap bytes per index shard, sampled at snapshot time (refinement
+    /// drift included).
+    pub shard_bytes: Vec<u64>,
 }
 
 impl StatsSnapshot {
     /// Total completed requests across all kinds.
     pub fn total_requests(&self) -> u64 {
-        self.ping + self.reverse_topk + self.topk + self.batch + self.stats + self.shutdown
+        self.ping
+            + self.reverse_topk
+            + self.topk
+            + self.batch
+            + self.stats
+            + self.shutdown
+            + self.persist
     }
 
-    /// Serializes the snapshot (fixed-width fields, no sequences).
+    /// Number of index shards the server reports.
+    pub fn shard_count(&self) -> usize {
+        self.shard_nodes.len()
+    }
+
+    /// Serializes the snapshot (fixed-width fields plus the per-shard size
+    /// lists).
     pub fn encode<W: Write>(&self, w: &mut W) -> std::io::Result<()> {
         codec::write_f64(w, self.uptime_seconds)?;
         for v in [
@@ -181,9 +221,11 @@ impl StatsSnapshot {
             self.batch,
             self.stats,
             self.shutdown,
+            self.persist,
             self.protocol_errors,
             self.engine_errors,
             self.connections,
+            self.rejected_connections,
             self.latency_count,
         ] {
             codec::write_u64(w, v)?;
@@ -200,12 +242,21 @@ impl StatsSnapshot {
         codec::write_u64(w, self.nodes)?;
         codec::write_u64(w, self.edges)?;
         codec::write_u64(w, self.max_k)?;
-        codec::write_u32(w, self.workers)
+        codec::write_u32(w, self.workers)?;
+        // Per-shard sizes: one count, then (nodes, bytes) pairs.
+        codec::write_u64(w, self.shard_nodes.len() as u64)?;
+        for (&n, &b) in self.shard_nodes.iter().zip(&self.shard_bytes) {
+            codec::write_u64(w, n)?;
+            codec::write_u64(w, b)?;
+        }
+        Ok(())
     }
 
-    /// Deserializes a snapshot written by [`Self::encode`].
-    pub fn decode<R: Read>(r: &mut R) -> Result<Self, DecodeError> {
-        Ok(Self {
+    /// Deserializes a snapshot written by [`Self::encode`]. `max_shards`
+    /// bounds the declared shard count (derive it from the payload size:
+    /// each shard entry occupies 16 bytes).
+    pub fn decode<R: Read>(r: &mut R, max_shards: u64) -> Result<Self, DecodeError> {
+        let mut snap = Self {
             uptime_seconds: codec::read_f64(r)?,
             ping: codec::read_u64(r)?,
             reverse_topk: codec::read_u64(r)?,
@@ -213,9 +264,11 @@ impl StatsSnapshot {
             batch: codec::read_u64(r)?,
             stats: codec::read_u64(r)?,
             shutdown: codec::read_u64(r)?,
+            persist: codec::read_u64(r)?,
             protocol_errors: codec::read_u64(r)?,
             engine_errors: codec::read_u64(r)?,
             connections: codec::read_u64(r)?,
+            rejected_connections: codec::read_u64(r)?,
             latency_count: codec::read_u64(r)?,
             mean_seconds: codec::read_f64(r)?,
             p50_seconds: codec::read_f64(r)?,
@@ -226,7 +279,17 @@ impl StatsSnapshot {
             edges: codec::read_u64(r)?,
             max_k: codec::read_u64(r)?,
             workers: codec::read_u32(r)?,
-        })
+            shard_nodes: Vec::new(),
+            shard_bytes: Vec::new(),
+        };
+        let shards = codec::check_len(codec::read_u64(r)?, max_shards, "shard count")?;
+        snap.shard_nodes.reserve(shards.min(1 << 20));
+        snap.shard_bytes.reserve(shards.min(1 << 20));
+        for _ in 0..shards {
+            snap.shard_nodes.push(codec::read_u64(r)?);
+            snap.shard_bytes.push(codec::read_u64(r)?);
+        }
+        Ok(snap)
     }
 }
 
@@ -241,20 +304,36 @@ mod tests {
         m.record_request(RequestKind::ReverseTopk, 0.004);
         m.record_request(RequestKind::ReverseTopk, 0.006);
         m.record_request(RequestKind::Ping, 0.0001);
+        m.record_request(RequestKind::Persist, 0.02);
         m.record_protocol_error();
         m.record_connection();
+        m.record_rejected_connection();
         let info = EngineInfo { nodes: 100, edges: 500, max_k: 20, workers: 4 };
-        let snap = m.snapshot(info);
-        assert_eq!(snap.total_requests(), 3);
+        let snap = m.snapshot(info, vec![50, 50], vec![1024, 2048]);
+        assert_eq!(snap.total_requests(), 4);
         assert_eq!(snap.reverse_topk, 2);
+        assert_eq!(snap.persist, 1);
         assert_eq!(snap.protocol_errors, 1);
-        assert_eq!(snap.latency_count, 3);
+        assert_eq!(snap.rejected_connections, 1);
+        assert_eq!(snap.latency_count, 4);
+        assert_eq!(snap.shard_count(), 2);
         assert!(snap.p50_seconds > 0.0 && snap.p99_seconds >= snap.p50_seconds);
 
         let mut buf = Vec::new();
         snap.encode(&mut buf).unwrap();
-        let back = StatsSnapshot::decode(&mut Cursor::new(buf)).unwrap();
+        let back = StatsSnapshot::decode(&mut Cursor::new(buf), 16).unwrap();
         assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn shard_count_is_bounded_on_decode() {
+        let m = ServerMetrics::new();
+        let info = EngineInfo { nodes: 1, edges: 1, max_k: 1, workers: 1 };
+        let snap = m.snapshot(info, vec![1; 8], vec![1; 8]);
+        let mut buf = Vec::new();
+        snap.encode(&mut buf).unwrap();
+        // A bound below the declared count must fail before allocating.
+        assert!(StatsSnapshot::decode(&mut Cursor::new(buf), 4).is_err());
     }
 
     #[test]
@@ -264,7 +343,8 @@ mod tests {
             m.record_request(RequestKind::Batch, 0.001);
         }
         m.record_request(RequestKind::Stats, 0.001);
-        let snap = m.snapshot(EngineInfo { nodes: 1, edges: 1, max_k: 1, workers: 1 });
+        let snap =
+            m.snapshot(EngineInfo { nodes: 1, edges: 1, max_k: 1, workers: 1 }, vec![1], vec![1]);
         assert_eq!(snap.batch, 5);
         assert_eq!(snap.stats, 1);
         assert_eq!(snap.reverse_topk, 0);

@@ -8,13 +8,13 @@ use rtk_core::ReverseTopkEngine;
 use rtk_graph::resolve_threads;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
 /// Server knobs. All have serving-oriented defaults.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ServerConfig {
     /// Worker threads handling connections (`0` = all cores).
     pub workers: usize,
@@ -24,11 +24,28 @@ pub struct ServerConfig {
     /// server's parallelism budget goes to concurrent requests, and results
     /// are identical for any value.
     pub query_threads: usize,
+    /// Backpressure: maximum admitted (queued + in-flight) connections;
+    /// `0` = unlimited. Excess connections receive a clean `busy` error
+    /// frame, are counted in `rejected_connections`, and are closed without
+    /// occupying a worker.
+    pub max_connections: usize,
+    /// When set, `persist` requests may only name *relative* paths (no
+    /// `..`), resolved inside this directory — the wire protocol has no
+    /// authentication yet, so this fences what a peer can write. `None`
+    /// (the default) allows any path the process can create, matching the
+    /// trusted-network posture of `shutdown`.
+    pub persist_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
-        Self { workers: 0, max_frame_bytes: DEFAULT_MAX_FRAME_BYTES, query_threads: 1 }
+        Self {
+            workers: 0,
+            max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
+            query_threads: 1,
+            max_connections: 0,
+            persist_dir: None,
+        }
     }
 }
 
@@ -39,6 +56,10 @@ pub(crate) struct ServerCtx {
     pub(crate) shutdown: AtomicBool,
     pub(crate) max_frame_bytes: u32,
     pub(crate) engine_info: EngineInfo,
+    /// Admitted (queued + in-flight) connections, for the accept cap.
+    pub(crate) active_connections: AtomicU64,
+    /// Backpressure cap (`0` = unlimited).
+    pub(crate) max_connections: usize,
     /// Where the listener is bound — used to self-connect on shutdown so a
     /// blocked `accept` wakes up without busy-polling.
     local_addr: SocketAddr,
@@ -87,7 +108,7 @@ impl Server {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         let workers = resolve_threads(config.workers).max(1);
-        let shared = SharedEngine::new(engine, config.query_threads);
+        let shared = SharedEngine::new(engine, config.query_threads, config.persist_dir.clone());
         let (nodes, edges, max_k) = shared.info();
         let ctx = Arc::new(ServerCtx {
             shared,
@@ -95,6 +116,8 @@ impl Server {
             shutdown: AtomicBool::new(false),
             max_frame_bytes: config.max_frame_bytes,
             engine_info: EngineInfo { nodes, edges, max_k, workers: workers as u32 },
+            active_connections: AtomicU64::new(0),
+            max_connections: config.max_connections,
             local_addr,
         });
         Ok(Self { listener, ctx, workers })
@@ -123,7 +146,10 @@ impl Server {
                         guard.recv()
                     };
                     match stream {
-                        Ok(s) => handle_connection(s, &ctx),
+                        Ok(s) => {
+                            handle_connection(s, &ctx);
+                            ctx.active_connections.fetch_sub(1, Ordering::AcqRel);
+                        }
                         Err(_) => break, // acceptor dropped the sender
                     }
                 })
@@ -136,6 +162,18 @@ impl Server {
             }
             match stream {
                 Ok(s) => {
+                    // Backpressure: over the cap, the connection gets one
+                    // clean `busy` error frame and is closed — it never
+                    // queues, so admitted clients keep their latency.
+                    if ctx.max_connections > 0
+                        && ctx.active_connections.load(Ordering::Acquire)
+                            >= ctx.max_connections as u64
+                    {
+                        ctx.metrics.record_rejected_connection();
+                        reject_busy(s, ctx.max_connections);
+                        continue;
+                    }
+                    ctx.active_connections.fetch_add(1, Ordering::AcqRel);
                     if tx.send(s).is_err() {
                         break;
                     }
@@ -165,6 +203,18 @@ impl Server {
         let thread = std::thread::spawn(move || self.run());
         ServerHandle { addr, thread }
     }
+}
+
+/// Tells a rejected connection the server is at capacity. Runs on the
+/// acceptor thread, so the write gets a short timeout — a peer that will
+/// not read its rejection cannot stall accepting.
+fn reject_busy(mut stream: TcpStream, cap: usize) {
+    let _ = stream.set_write_timeout(Some(std::time::Duration::from_secs(1)));
+    let resp = crate::wire::Response::Error {
+        code: crate::wire::STATUS_BUSY,
+        message: format!("server busy: {cap} connections already admitted; retry later"),
+    };
+    let _ = crate::wire::write_frame(&mut stream, &crate::wire::encode_response(&resp));
 }
 
 /// Handle to a server running on a background thread.

@@ -27,11 +27,18 @@ pub(crate) struct SharedEngine {
     /// Thread count for the *inside* of one request (PMPN SpMV + screen).
     /// Servers parallelize across requests, so this defaults to 1.
     query_threads: usize,
+    /// When set, `persist` paths must be relative (no `..`) and resolve
+    /// inside this directory (see `ServerConfig::persist_dir`).
+    persist_dir: Option<std::path::PathBuf>,
 }
 
 impl SharedEngine {
-    pub(crate) fn new(engine: ReverseTopkEngine, query_threads: usize) -> Self {
-        Self { engine: RwLock::new(engine), query_threads: query_threads.max(1) }
+    pub(crate) fn new(
+        engine: ReverseTopkEngine,
+        query_threads: usize,
+        persist_dir: Option<std::path::PathBuf>,
+    ) -> Self {
+        Self { engine: RwLock::new(engine), query_threads: query_threads.max(1), persist_dir }
     }
 
     /// `(nodes, edges, max_k)` of the served engine.
@@ -86,6 +93,56 @@ impl SharedEngine {
         .map_err(|e| e.to_string())?;
         let (nodes, scores): (Vec<u32>, Vec<f64>) = top.into_iter().map(|(v, p)| (v.0, p)).unzip();
         Ok(WireTopk { node: u, k, nodes, scores })
+    }
+
+    /// Per-shard `(nodes, heap bytes)` of the served index, sampled fresh —
+    /// update-mode refinement grows shard states over time.
+    pub(crate) fn shard_info(&self) -> (Vec<u64>, Vec<u64>) {
+        let engine = self.engine.read().expect("engine lock");
+        let shards = engine.index().shards();
+        (
+            shards.iter().map(|s| s.len() as u64).collect(),
+            shards.iter().map(|s| s.heap_bytes() as u64).collect(),
+        )
+    }
+
+    /// Flushes the current engine snapshot (graph + refined index) to
+    /// `path` on the server's filesystem. Runs under the **write lock** so
+    /// the snapshot is quiescent: no concurrent update-mode commit can
+    /// interleave with the serializer. Returns the snapshot size in bytes.
+    pub(crate) fn persist(&self, path: &str) -> Result<u64, String> {
+        let target = self.resolve_persist_path(path)?;
+        let engine = self.engine.write().expect("engine lock");
+        let file = std::fs::File::create(&target)
+            .map_err(|e| format!("persist: cannot create {target:?}: {e}"))?;
+        engine
+            .save(std::io::BufWriter::new(file))
+            .map_err(|e| format!("persist: snapshot write failed: {e}"))?;
+        std::fs::metadata(&target)
+            .map(|m| m.len())
+            .map_err(|e| format!("persist: cannot stat {target:?}: {e}"))
+    }
+
+    /// Applies the `persist_dir` fence: with a fence configured, the
+    /// requested path must be relative, must not climb out via `..`, and is
+    /// resolved inside the fence directory.
+    fn resolve_persist_path(&self, path: &str) -> Result<std::path::PathBuf, String> {
+        use std::path::{Component, Path};
+        let Some(dir) = &self.persist_dir else {
+            return Ok(Path::new(path).to_path_buf());
+        };
+        let rel = Path::new(path);
+        let escapes = rel.is_absolute()
+            || rel
+                .components()
+                .any(|c| matches!(c, Component::ParentDir | Component::Prefix(_)));
+        if escapes || rel.file_name().is_none() {
+            return Err(format!(
+                "persist: {path:?} rejected — this server only writes snapshots to \
+                 relative paths (no `..`) under {dir:?}"
+            ));
+        }
+        Ok(dir.join(rel))
     }
 
     /// Many independent frozen queries in one read-lock hold.

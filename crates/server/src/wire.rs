@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! magic   "RTKWIRE1"                  8 bytes
-//! version u32 (currently 1)           4 bytes
+//! version u32 (currently 2)           4 bytes
 //! length  u32 payload byte count      4 bytes   (bounded by the receiver)
 //! payload `length` bytes
 //! ```
@@ -27,8 +27,9 @@ use std::io::{Cursor, Read, Write};
 
 /// Magic tag opening every frame.
 pub const WIRE_MAGIC: &[u8; 8] = b"RTKWIRE1";
-/// Current protocol version.
-pub const WIRE_VERSION: u32 = 1;
+/// Current protocol version (2 added `persist`, per-shard stats, and the
+/// `busy` backpressure status).
+pub const WIRE_VERSION: u32 = 2;
 /// Default per-frame payload cap (16 MiB) — generous for batch responses,
 /// small enough that a malicious length prefix cannot balloon memory.
 pub const DEFAULT_MAX_FRAME_BYTES: u32 = 16 * 1024 * 1024;
@@ -46,6 +47,10 @@ const TAG_TOPK: u32 = 2;
 const TAG_BATCH: u32 = 3;
 const TAG_STATS: u32 = 4;
 const TAG_SHUTDOWN: u32 = 5;
+const TAG_PERSIST: u32 = 6;
+
+/// Cap on a `persist` request's path length in bytes.
+pub const MAX_PERSIST_PATH_BYTES: u64 = 4096;
 
 /// Response status codes (first `u32` of a response payload).
 const STATUS_OK: u32 = 0;
@@ -53,6 +58,8 @@ const STATUS_OK: u32 = 0;
 pub const STATUS_PROTOCOL_ERROR: u32 = 1;
 /// The engine rejected or failed the request.
 pub const STATUS_ENGINE_ERROR: u32 = 2;
+/// The server is at its connection cap; retry later (backpressure).
+pub const STATUS_BUSY: u32 = 3;
 
 /// A client request.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -88,6 +95,13 @@ pub enum Request {
     Stats,
     /// Graceful shutdown: in-flight requests finish, then the server exits.
     Shutdown,
+    /// Flush the current (refined) engine snapshot to `path` on the
+    /// *server's* filesystem, under the write lock, so the paper's update
+    /// mode becomes durable on demand.
+    Persist {
+        /// Server-side destination path.
+        path: String,
+    },
 }
 
 /// One reverse top-k answer with its server-side diagnostics.
@@ -141,6 +155,11 @@ pub enum Response {
     Stats(StatsSnapshot),
     /// Acknowledgement of [`Request::Shutdown`].
     ShuttingDown,
+    /// Answer to [`Request::Persist`]: bytes written to the snapshot.
+    Persisted {
+        /// Size of the flushed snapshot file in bytes.
+        bytes: u64,
+    },
     /// The request failed; `code` is one of the `STATUS_*` constants.
     Error {
         /// `STATUS_PROTOCOL_ERROR` or `STATUS_ENGINE_ERROR`.
@@ -210,6 +229,10 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
         }
         Request::Stats => codec::write_u32(w, TAG_STATS).unwrap(),
         Request::Shutdown => codec::write_u32(w, TAG_SHUTDOWN).unwrap(),
+        Request::Persist { path } => {
+            codec::write_u32(w, TAG_PERSIST).unwrap();
+            codec::write_bytes(w, path.as_bytes()).unwrap();
+        }
     }
     out
 }
@@ -244,6 +267,13 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, DecodeError> {
         }
         TAG_STATS => Request::Stats,
         TAG_SHUTDOWN => Request::Shutdown,
+        TAG_PERSIST => {
+            let bound = (payload.len() as u64).min(MAX_PERSIST_PATH_BYTES);
+            let raw = codec::read_bytes_bounded(&mut r, bound)?;
+            let path = String::from_utf8(raw)
+                .map_err(|_| DecodeError::Corrupt("persist path is not UTF-8".into()))?;
+            Request::Persist { path }
+        }
         other => {
             return Err(DecodeError::Corrupt(format!("unknown request tag {other}")));
         }
@@ -289,6 +319,10 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             s.encode(w).unwrap();
         }
         Response::ShuttingDown => codec::write_u32(w, TAG_SHUTDOWN).unwrap(),
+        Response::Persisted { bytes } => {
+            codec::write_u32(w, TAG_PERSIST).unwrap();
+            codec::write_u64(w, *bytes).unwrap();
+        }
         Response::Error { .. } => unreachable!("handled above"),
     }
     out
@@ -337,8 +371,14 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, ServerError> {
             }
             Response::Batch(rs)
         }
-        TAG_STATS => Response::Stats(StatsSnapshot::decode(&mut r)?),
+        TAG_STATS => {
+            // Per-shard size lists cost 16 payload bytes each — a
+            // stream-derived bound for the snapshot decoder.
+            let shard_bound = payload.len() as u64 / 16;
+            Response::Stats(StatsSnapshot::decode(&mut r, shard_bound)?)
+        }
         TAG_SHUTDOWN => Response::ShuttingDown,
+        TAG_PERSIST => Response::Persisted { bytes: codec::read_u64(&mut r)? },
         other => {
             return Err(ServerError::Protocol(format!("unknown response tag {other}")));
         }
@@ -427,6 +467,7 @@ mod tests {
             Request::Batch { queries: vec![] },
             Request::Stats,
             Request::Shutdown,
+            Request::Persist { path: "/tmp/snapshot.rtke".into() },
         ];
         for req in reqs {
             let payload = encode_request(&req);
@@ -443,7 +484,9 @@ mod tests {
             Response::Batch(vec![sample_result(1), sample_result(2)]),
             Response::Batch(vec![]),
             Response::ShuttingDown,
+            Response::Persisted { bytes: 123_456 },
             Response::Error { code: STATUS_ENGINE_ERROR, message: "k out of range".into() },
+            Response::Error { code: STATUS_BUSY, message: "server busy".into() },
         ];
         for resp in resps {
             let payload = encode_response(&resp);
@@ -509,6 +552,19 @@ mod tests {
         assert!(decode_response(&payload).is_ok());
         payload.push(0xAB);
         assert!(decode_response(&payload).is_err());
+    }
+
+    #[test]
+    fn persist_path_is_bounded_and_utf8_checked() {
+        let mut payload = Vec::new();
+        codec::write_u32(&mut payload, 6).unwrap(); // TAG_PERSIST
+        codec::write_u64(&mut payload, u64::MAX).unwrap(); // absurd length
+        assert!(matches!(decode_request(&payload).unwrap_err(), DecodeError::Corrupt(_)));
+
+        let mut payload = Vec::new();
+        codec::write_u32(&mut payload, 6).unwrap();
+        codec::write_bytes(&mut payload, &[0xFF, 0xFE]).unwrap(); // not UTF-8
+        assert!(matches!(decode_request(&payload).unwrap_err(), DecodeError::Corrupt(_)));
     }
 
     #[test]

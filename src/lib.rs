@@ -30,16 +30,18 @@
 //! * **PMPN** spreads each `Aᵀ·x` (and the forward solvers each `A·x`)
 //!   over edge-balanced contiguous row ranges; every row still sums in its
 //!   serial edge order, so the iterates are exactly the serial ones.
-//! * The **screen phase** partitions the `0..n` candidate scan across
-//!   workers pulling chunks off an atomic counter. Each worker owns a
-//!   private BCA engine + materializer (recycled across queries through a
-//!   scratch pool) and refines candidates on *private copies* of their node
-//!   states — the shared index is only read. Per-node decisions never
-//!   depend on another node's refinement, so any interleaving yields the
-//!   same results and statistics.
+//! * The **screen phase** fans the candidate scan out over the index's
+//!   shards: the work queue is built from shard-aligned chunks (no unit of
+//!   work crosses a shard boundary) and workers pull chunks off an atomic
+//!   counter. Each worker owns a private BCA engine + materializer
+//!   (recycled across queries through a scratch pool) and refines
+//!   candidates on *private copies* of their node states — the shared index
+//!   is only read. Per-node decisions never depend on another node's
+//!   refinement, so any interleaving yields the same results and
+//!   statistics.
 //! * The **commit phase** (update mode) serially merges the refined copies
-//!   back into the index by node id, leaving exactly the index a serial
-//!   in-place run would have produced.
+//!   back into the owning shards by node id — the cross-shard merge —
+//!   leaving exactly the index a serial in-place run would have produced.
 //!
 //! Three thread-count knobs, all accepting `0` = "all cores":
 //!
@@ -60,7 +62,32 @@
 //! `parallel_determinism` integration suite pins the equivalence contract,
 //! and `cargo run --release -p rtk-bench --bin parallel_study` writes a
 //! machine-readable `BENCH_query.json` tracking serial vs. parallel
-//! latency/throughput (including fixed-bucket p50/p95/p99 percentiles).
+//! latency/throughput (including fixed-bucket p50/p95/p99 percentiles and a
+//! 1/2/4 shard sweep).
+//!
+//! # Sharding
+//!
+//! The index is partitioned into `S` contiguous node-range **shards**
+//! (`IndexConfig::shards`, builder: `EngineBuilder::shards`, CLI:
+//! `rtk index build --shards S`). The paper's screen phase evaluates every
+//! node independently, so the partition is answer-invariant by
+//! construction — `tests/shard_determinism.rs` pins results, statistics,
+//! and the post-query index bitwise-equal to the unsharded engine for
+//! shard counts {1, 2, 4, 8}, both bound modes, frozen and update.
+//!
+//! What sharding changes:
+//!
+//! * **Scan scheduling** — the screen fan-out is per shard first (no work
+//!   unit crosses a shard boundary), the structural door to multi-process
+//!   serving where each shard lives in its own process;
+//! * **Persistence** — `S > 1` snapshots use a versioned **shard manifest**
+//!   format (`RTKMANI1`): shared hub matrix + one self-contained,
+//!   individually loadable section per shard (`RTKSHRD1`). `S = 1` keeps
+//!   writing the legacy `RTKINDX1` bytes, and legacy snapshots load
+//!   unchanged — byte-for-byte compatible in both directions;
+//! * **Operations** — `rtk shard split|merge|info` re-partitions a saved
+//!   index offline (states preserved bitwise), `rtk index info` and the
+//!   server's `stats` report per-shard node counts and sizes.
 //!
 //! # Serving
 //!
@@ -71,27 +98,32 @@
 //! | frame field | size | meaning                                   |
 //! |-------------|------|-------------------------------------------|
 //! | magic       | 8 B  | `"RTKWIRE1"`                              |
-//! | version     | 4 B  | `u32`, currently 1                        |
+//! | version     | 4 B  | `u32`, currently 2                        |
 //! | length      | 4 B  | `u32` payload bytes, capped per config    |
 //! | payload     | *n*  | tagged request / status-prefixed response |
 //!
 //! Requests: `ping`, `reverse_topk(q, k, update)`, `topk(u, k, early)`,
-//! `batch`, `stats`, `shutdown`. Proximities travel as exact IEEE-754
-//! bits, so remote answers are **bitwise identical** to local engine calls
-//! (pinned by `tests/server_loopback.rs`).
+//! `batch`, `stats`, `shutdown`, `persist(path)`. Proximities travel as
+//! exact IEEE-754 bits, so remote answers are **bitwise identical** to
+//! local engine calls (pinned by `tests/server_loopback.rs`).
 //!
 //! Concurrency: the engine sits behind one `RwLock` — frozen-mode queries
 //! share the read lock and run concurrently across the worker pool, while
 //! update-mode queries serialize through the write lock so refinements
 //! commit via `ReverseIndex::commit_states` exactly as in a serial run.
-//! Corrupt or oversized frames are counted, answered with an error when
-//! possible, and never take the server down.
+//! `persist(path)` flushes the refined engine snapshot to disk under the
+//! same write lock, making update mode durable on demand. Corrupt or
+//! oversized frames are counted, answered with an error when possible, and
+//! never take the server down; with `--max-connections` set, connections
+//! beyond the cap get a clean `busy` error frame and are counted in
+//! `rejected_connections`.
 //!
 //! Knobs (`rtk serve` flags in parentheses): worker threads (`--workers`,
-//! `0` = all cores), per-frame byte cap (`--max-frame-mib`), and
-//! per-request SpMV/screen threads (`--query-threads`, default 1 — a
-//! server's parallelism budget goes to concurrent requests). `rtk remote
-//! query|topk|batch|stats|ping|shutdown` is the matching client;
+//! `0` = all cores), per-frame byte cap (`--max-frame-mib`), connection cap
+//! (`--max-connections`, `0` = unlimited), and per-request SpMV/screen
+//! threads (`--query-threads`, default 1 — a server's parallelism budget
+//! goes to concurrent requests). `rtk remote
+//! query|topk|batch|persist|stats|ping|shutdown` is the matching client;
 //! `cargo run --release -p rtk-bench --bin serve_study` drives a loopback
 //! server from concurrent client threads and writes `BENCH_serve.json`
 //! with the same percentile fields as `BENCH_query.json`.

@@ -1,0 +1,267 @@
+//! Shard determinism: partitioning the index into `S` node-range shards
+//! must be observationally invisible — byte-identical result sets,
+//! proximities, statistics, and (in update mode) an identical post-query
+//! index for every shard count, across graph families, bound modes, and
+//! access modes. This is the contract that makes `IndexConfig::shards` safe
+//! to tune freely: sharding, like threading, may only change wall time and
+//! storage layout, never answers.
+//!
+//! Also pins the persistence compatibility contract: an `S = 1` save is
+//! byte-for-byte the legacy `RTKINDX1` format, and loading such a legacy
+//! snapshot reproduces the index exactly.
+
+use rtk_graph::gen::{erdos_renyi, rmat, ErdosRenyiConfig, RmatConfig};
+use rtk_graph::{DiGraph, TransitionMatrix};
+use rtk_index::{HubSelection, IndexConfig, ReverseIndex};
+use rtk_query::{BoundMode, QueryEngine, QueryOptions, QueryResult};
+
+const SHARD_COUNTS: [usize; 3] = [2, 4, 8];
+
+/// Paper-faithful suite graphs (ER + R-MAT, as in `parallel_determinism`).
+fn test_graphs() -> Vec<(String, DiGraph)> {
+    let mut graphs = Vec::new();
+    for seed in [1u64, 7] {
+        let g = erdos_renyi(&ErdosRenyiConfig { nodes: 90, edges: 360, seed }).unwrap();
+        graphs.push((format!("er/{seed}"), g));
+    }
+    for seed in [3u64, 19] {
+        let g = rmat(&RmatConfig::new(110, 450, seed)).unwrap();
+        graphs.push((format!("rmat/{seed}"), g));
+    }
+    graphs
+}
+
+/// Strict-mode graphs stay tiny: coarse `ω` forces every borderline
+/// candidate through the exact-fallback path (see `parallel_determinism`).
+fn strict_test_graphs() -> Vec<(String, DiGraph)> {
+    vec![
+        (
+            "er/strict".into(),
+            erdos_renyi(&ErdosRenyiConfig { nodes: 36, edges: 140, seed: 5 }).unwrap(),
+        ),
+        ("rmat/strict".into(), rmat(&RmatConfig::new(64, 140, 23)).unwrap()),
+    ]
+}
+
+fn index_config(bound_mode: BoundMode, shards: usize) -> IndexConfig {
+    IndexConfig {
+        max_k: if bound_mode == BoundMode::Strict { 4 } else { 8 },
+        hub_selection: HubSelection::DegreeBased { b: 6 },
+        rounding_threshold: if bound_mode == BoundMode::Strict { 1e-3 } else { 1e-6 },
+        threads: 1,
+        shards,
+        ..Default::default()
+    }
+}
+
+fn sample_queries(n: usize, max_k: usize) -> Vec<(u32, usize)> {
+    (0..6u32)
+        .map(|i| (((i as usize * 29 + 3) % n) as u32, 1 + (i as usize % max_k)))
+        .collect()
+}
+
+/// Runs the sample workload from a fresh copy of `index` (2 threads, so the
+/// shard-aligned chunk queue is actually contended); returns the per-query
+/// results and the final index.
+fn run_workload(
+    transition: &TransitionMatrix<'_>,
+    index: &ReverseIndex,
+    update: bool,
+    bound_mode: BoundMode,
+) -> (Vec<QueryResult>, ReverseIndex) {
+    let mut index = index.clone();
+    let mut session = QueryEngine::new(&index);
+    let options =
+        QueryOptions { update_index: update, bound_mode, query_threads: 2, ..Default::default() };
+    let n = transition.node_count();
+    let mut results = Vec::new();
+    for (q, k) in sample_queries(n, index.max_k()) {
+        let r = if update {
+            session.query(transition, &mut index, q, k, &options).unwrap()
+        } else {
+            session.query_frozen(transition, &index, q, k, &options).unwrap()
+        };
+        results.push(r);
+    }
+    (results, index)
+}
+
+fn assert_equivalent(
+    label: &str,
+    shards: usize,
+    unsharded: &(Vec<QueryResult>, ReverseIndex),
+    sharded: &(Vec<QueryResult>, ReverseIndex),
+) {
+    for (i, (a, b)) in unsharded.0.iter().zip(&sharded.0).enumerate() {
+        assert_eq!(a.nodes(), b.nodes(), "{label} s={shards} query#{i}: node sets differ");
+        let pa: Vec<u64> = a.proximities().iter().map(|p| p.to_bits()).collect();
+        let pb: Vec<u64> = b.proximities().iter().map(|p| p.to_bits()).collect();
+        assert_eq!(pa, pb, "{label} s={shards} query#{i}: proximity bits differ");
+        let (sa, sb) = (a.stats(), b.stats());
+        assert_eq!(sa.candidates, sb.candidates, "{label} s={shards} query#{i}");
+        assert_eq!(sa.hits, sb.hits, "{label} s={shards} query#{i}");
+        assert_eq!(
+            sa.pruned_by_lower_bound, sb.pruned_by_lower_bound,
+            "{label} s={shards} query#{i}"
+        );
+        assert_eq!(sa.refined_nodes, sb.refined_nodes, "{label} s={shards} query#{i}");
+        assert_eq!(sa.refine_iterations, sb.refine_iterations, "{label} s={shards} query#{i}");
+        assert_eq!(sa.exact_fallbacks, sb.exact_fallbacks, "{label} s={shards} query#{i}");
+    }
+    let n = unsharded.1.node_count();
+    assert_eq!(n, sharded.1.node_count());
+    for u in 0..n as u32 {
+        assert_eq!(
+            unsharded.1.state(u),
+            sharded.1.state(u),
+            "{label} s={shards}: post-query state of node {u} differs"
+        );
+    }
+}
+
+fn check_modes(label: &str, graph: &DiGraph, bound_mode: BoundMode) {
+    let transition = TransitionMatrix::new(graph);
+    let baseline = ReverseIndex::build(&transition, index_config(bound_mode, 1)).unwrap();
+    assert_eq!(baseline.shard_count(), 1);
+    for update in [false, true] {
+        let reference = run_workload(&transition, &baseline, update, bound_mode);
+        for shards in SHARD_COUNTS {
+            // The sharded index must already be state-identical after build…
+            let index = ReverseIndex::build(&transition, index_config(bound_mode, shards)).unwrap();
+            assert_eq!(index.shard_count(), shards);
+            for u in 0..graph.node_count() as u32 {
+                assert_eq!(
+                    baseline.state(u),
+                    index.state(u),
+                    "{label} s={shards}: built state of node {u} differs"
+                );
+            }
+            // …and behave identically under the full query workload.
+            let got = run_workload(&transition, &index, update, bound_mode);
+            let mode =
+                format!("{label} {:?} {}", bound_mode, if update { "update" } else { "frozen" });
+            assert_equivalent(&mode, shards, &reference, &got);
+        }
+    }
+}
+
+#[test]
+fn erdos_renyi_sharded_queries_match_unsharded() {
+    for (label, graph) in test_graphs().iter().filter(|(l, _)| l.starts_with("er")) {
+        check_modes(label, graph, BoundMode::PaperFaithful);
+    }
+}
+
+#[test]
+fn rmat_sharded_queries_match_unsharded() {
+    for (label, graph) in test_graphs().iter().filter(|(l, _)| l.starts_with("rmat")) {
+        check_modes(label, graph, BoundMode::PaperFaithful);
+    }
+}
+
+#[test]
+fn strict_mode_sharded_queries_match_unsharded() {
+    for (label, graph) in strict_test_graphs() {
+        check_modes(&label, &graph, BoundMode::Strict);
+    }
+}
+
+/// Sharded snapshots round-trip through the manifest format, and a
+/// re-loaded sharded index keeps answering bitwise-identically.
+#[test]
+fn sharded_snapshots_round_trip_and_answer_identically() {
+    let (_, graph) = &test_graphs()[2]; // one R-MAT instance is plenty
+    let transition = TransitionMatrix::new(graph);
+    let baseline =
+        ReverseIndex::build(&transition, index_config(BoundMode::PaperFaithful, 1)).unwrap();
+    let reference = run_workload(&transition, &baseline, true, BoundMode::PaperFaithful);
+    for shards in SHARD_COUNTS {
+        let mut sharded = baseline.clone();
+        sharded.repartition(shards);
+        let mut buf = Vec::new();
+        rtk_index::storage::save(&sharded, &mut buf).unwrap();
+        let loaded = rtk_index::storage::load(std::io::Cursor::new(buf)).unwrap();
+        assert_eq!(loaded.shard_count(), shards);
+        let got = run_workload(&transition, &loaded, true, BoundMode::PaperFaithful);
+        assert_equivalent("manifest-round-trip", shards, &reference, &got);
+    }
+}
+
+/// The legacy-compat contract: an `S = 1` index writes the pre-sharding
+/// `RTKINDX1` bytes, loads them back state-identically, and re-saves them
+/// byte-for-byte — so snapshots written before sharding existed keep
+/// working unchanged, and vice versa.
+#[test]
+fn single_shard_engine_is_byte_compatible_with_legacy_snapshots() {
+    let (_, graph) = &test_graphs()[0];
+    let transition = TransitionMatrix::new(graph);
+    let mut index =
+        ReverseIndex::build(&transition, index_config(BoundMode::PaperFaithful, 1)).unwrap();
+
+    // Refine it first, so the snapshot carries non-trivial update state.
+    let mut session = QueryEngine::new(&index);
+    for (q, k) in sample_queries(graph.node_count(), index.max_k()) {
+        session.query(&transition, &mut index, q, k, &QueryOptions::default()).unwrap();
+    }
+
+    // "Pre-existing" legacy snapshot: written by the explicit legacy writer.
+    let mut legacy = Vec::new();
+    rtk_index::storage::save_legacy(&index, &mut legacy).unwrap();
+    assert_eq!(&legacy[..8], rtk_index::storage::INDEX_MAGIC);
+
+    // The dispatching save of an S=1 index must produce those exact bytes.
+    let mut via_save = Vec::new();
+    rtk_index::storage::save(&index, &mut via_save).unwrap();
+    assert_eq!(legacy, via_save, "S=1 save must be the legacy byte stream");
+
+    // Loading the legacy bytes reproduces every state bitwise…
+    let loaded = rtk_index::storage::load(std::io::Cursor::new(legacy.clone())).unwrap();
+    assert_eq!(loaded.shard_count(), 1);
+    for u in 0..graph.node_count() as u32 {
+        assert_eq!(loaded.state(u), index.state(u), "node {u}");
+    }
+
+    // …and re-saving the loaded index reproduces the file bitwise.
+    let mut resaved = Vec::new();
+    rtk_index::storage::save(&loaded, &mut resaved).unwrap();
+    assert_eq!(legacy, resaved, "legacy snapshot must survive load+save byte-for-byte");
+}
+
+/// Engine-level compatibility: a `ReverseTopkEngine` snapshot containing a
+/// legacy (single-shard) index section loads and re-saves byte-for-byte,
+/// and sharded engine snapshots answer identically after a round-trip.
+#[test]
+fn engine_snapshots_round_trip_across_shard_counts() {
+    use reverse_topk_rwr::prelude::*;
+    let graph = rmat(&RmatConfig::new(110, 450, 3)).unwrap();
+    let mut engine = ReverseTopkEngine::builder(graph)
+        .max_k(8)
+        .hubs_per_direction(6)
+        .threads(1)
+        .build()
+        .unwrap();
+    let expected = engine.query(NodeId(7), 5).unwrap();
+
+    // Legacy engine snapshot (S = 1): byte-stable across load + save.
+    let mut legacy = Vec::new();
+    engine.save(&mut legacy).unwrap();
+    let loaded = ReverseTopkEngine::load(std::io::Cursor::new(legacy.clone())).unwrap();
+    assert_eq!(loaded.shard_count(), 1);
+    let mut resaved = Vec::new();
+    loaded.save(&mut resaved).unwrap();
+    assert_eq!(legacy, resaved);
+
+    for shards in SHARD_COUNTS {
+        let mut sharded = ReverseTopkEngine::load(std::io::Cursor::new(legacy.clone())).unwrap();
+        sharded.reshard(shards);
+        let mut buf = Vec::new();
+        sharded.save(&mut buf).unwrap();
+        let mut back = ReverseTopkEngine::load(std::io::Cursor::new(buf)).unwrap();
+        assert_eq!(back.shard_count(), shards);
+        let got = back.query(NodeId(7), 5).unwrap();
+        assert_eq!(got.nodes(), expected.nodes(), "shards={shards}");
+        let pa: Vec<u64> = expected.proximities().iter().map(|p| p.to_bits()).collect();
+        let pb: Vec<u64> = got.proximities().iter().map(|p| p.to_bits()).collect();
+        assert_eq!(pa, pb, "shards={shards}");
+    }
+}
