@@ -1,0 +1,222 @@
+//! Multi-process serving study — per-shard backends behind a fan-out
+//! router, on loopback.
+//!
+//! Builds one sharded index, serves it two ways — a single in-process
+//! `rtk-server`, and `S` shard-only backends behind an `rtk-server`
+//! router — and drives both with the same frozen reverse top-k workload
+//! from `M` concurrent client threads (`M` ∈ 1/2/4). Asserts every routed
+//! answer equals the single-process answer (the determinism contract), and
+//! reports the fan-out's latency cost per backend count. Writes the
+//! machine-readable `BENCH_router.json`, schema-aligned with
+//! `BENCH_serve.json` (`p50_seconds`/`p95_seconds`/`p99_seconds`).
+//!
+//! ```sh
+//! cargo run --release -p rtk-bench --bin router_study            # full
+//! cargo run --release -p rtk-bench --bin router_study -- --quick
+//! ```
+
+use rtk_bench::{banner, graph_summary, print_table, query_workload};
+use rtk_core::{ReverseTopkEngine, ShardEngine};
+use rtk_graph::gen::{rmat, RmatConfig};
+use rtk_graph::DiGraph;
+use rtk_index::ShardSlice;
+use rtk_server::{Client, Router, RouterConfig, Server, ServerConfig, ServerHandle};
+use rtk_sparse::LatencyHistogram;
+use std::time::Instant;
+
+const K: u32 = 20;
+const CLIENT_COUNTS: [usize; 3] = [1, 2, 4];
+const BACKEND_COUNTS: [usize; 3] = [1, 2, 4];
+const OUT_PATH: &str = "BENCH_router.json";
+
+fn build_engine(graph: &DiGraph, shards: usize) -> ReverseTopkEngine {
+    ReverseTopkEngine::builder(graph.clone())
+        .max_k(K as usize)
+        .hubs_per_direction(25)
+        .shards(shards)
+        .build()
+        .expect("engine build")
+}
+
+/// One client-fan-out sweep against `addr`; returns (seconds, histogram).
+fn drive(addr: std::net::SocketAddr, clients: usize, workload: &[u32]) -> (f64, LatencyHistogram) {
+    let t0 = Instant::now();
+    let hist = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(clients);
+        for c in 0..clients {
+            handles.push(scope.spawn(move || {
+                let mut client = Client::connect(addr).expect("client connect");
+                let mut hist = LatencyHistogram::new();
+                for &q in workload.iter().skip(c).step_by(clients) {
+                    let t = Instant::now();
+                    let r = client.reverse_topk(q, K, false).expect("reverse_topk");
+                    hist.record(t.elapsed().as_secs_f64());
+                    assert_eq!(r.query, q);
+                }
+                hist
+            }));
+        }
+        let mut merged = LatencyHistogram::new();
+        for h in handles {
+            merged.merge(&h.join().expect("client thread"));
+        }
+        merged
+    });
+    (t0.elapsed().as_secs_f64(), hist)
+}
+
+fn main() {
+    let args = rtk_bench::Args::parse();
+    let (nodes, edges, requests) = if args.quick {
+        (3_000usize, 18_000usize, args.workload(40, 40))
+    } else {
+        (30_000usize, 180_000usize, args.workload(40, 200))
+    };
+    let seed = 47u64;
+    let cores = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+    let max_clients = *CLIENT_COUNTS.last().unwrap_or(&1);
+
+    banner(
+        "Router study",
+        "per-shard backends behind a fan-out router vs. one process (RTKWIRE1 v3)",
+        &format!("rmat n={nodes} m={edges} seed={seed}"),
+        &format!("{requests} requests per sweep, k={K}, {cores} core(s) available"),
+    );
+
+    let graph = rmat(&RmatConfig::new(nodes, edges, seed)).expect("graph generation");
+    println!("graph: {}", graph_summary(&graph));
+    let workload = query_workload(nodes, requests, 0x0407);
+
+    // Reference tier: one process holding the whole index.
+    let single = Server::bind(
+        build_engine(&graph, 1),
+        "127.0.0.1:0",
+        ServerConfig { workers: cores.max(max_clients) + 1, ..Default::default() },
+    )
+    .expect("bind single")
+    .spawn();
+
+    // Reference answers (also pins routed answers below).
+    let reference: Vec<Vec<u32>> = {
+        let mut client = Client::connect(single.addr()).expect("reference client");
+        workload
+            .iter()
+            .map(|&q| client.reverse_topk(q, K, false).expect("ref").nodes)
+            .collect()
+    };
+
+    let mut json_tiers = Vec::new();
+    let mut rows = Vec::new();
+
+    // Single-process rows first (backends = 0 marks the reference tier).
+    let mut single_json = Vec::new();
+    for &clients in &CLIENT_COUNTS {
+        let (secs, hist) = drive(single.addr(), clients, &workload);
+        let qps = requests as f64 / secs;
+        let (p50, p95, p99) = hist.percentiles();
+        rows.push(vec![
+            "single".into(),
+            clients.to_string(),
+            format!("{secs:.3}"),
+            format!("{qps:.1}"),
+            format!("{p50:.5}"),
+            format!("{p99:.5}"),
+        ]);
+        single_json.push(format!(
+            "      {{\"clients\": {clients}, \"total_seconds\": {secs:.6}, \
+             \"queries_per_second\": {qps:.3}, \"p50_seconds\": {p50:.6}, \
+             \"p95_seconds\": {p95:.6}, \"p99_seconds\": {p99:.6}}}"
+        ));
+    }
+    json_tiers.push(format!(
+        "    {{\"tier\": \"single\", \"backends\": 0, \"sweep\": [\n{}\n    ]}}",
+        single_json.join(",\n")
+    ));
+
+    // Routed tiers: S shard-only backends + router, S ∈ BACKEND_COUNTS.
+    for &backends in &BACKEND_COUNTS {
+        let sharded = build_engine(&graph, backends);
+        let backend_handles: Vec<ServerHandle> = (0..backends)
+            .map(|sid| {
+                let slice = ShardSlice::from_index(sharded.index(), sid).expect("slice");
+                let engine = ShardEngine::from_parts(graph.clone(), slice).expect("shard engine");
+                Server::bind_shard(
+                    engine,
+                    "127.0.0.1:0",
+                    // Workers: one per router worker (pooled connections pin
+                    // workers) plus slack for direct admin connections.
+                    ServerConfig { workers: cores.max(max_clients) + 2, ..Default::default() },
+                )
+                .expect("bind backend")
+                .spawn()
+            })
+            .collect();
+        let addrs: Vec<String> = backend_handles.iter().map(|h| h.addr().to_string()).collect();
+        let router = Router::bind(
+            &addrs,
+            "127.0.0.1:0",
+            RouterConfig { workers: cores.max(max_clients) + 1, ..Default::default() },
+        )
+        .expect("bind router")
+        .spawn();
+
+        // Determinism gate: routed answers equal single-process answers.
+        {
+            let mut client = Client::connect(router.addr()).expect("verify client");
+            for (i, &q) in workload.iter().take(20).enumerate() {
+                let r = client.reverse_topk(q, K, false).expect("routed query");
+                assert_eq!(r.nodes, reference[i], "routed answer diverged (q={q})");
+            }
+        }
+
+        let mut tier_json = Vec::new();
+        for &clients in &CLIENT_COUNTS {
+            let (secs, hist) = drive(router.addr(), clients, &workload);
+            let qps = requests as f64 / secs;
+            let (p50, p95, p99) = hist.percentiles();
+            rows.push(vec![
+                format!("router/{backends}"),
+                clients.to_string(),
+                format!("{secs:.3}"),
+                format!("{qps:.1}"),
+                format!("{p50:.5}"),
+                format!("{p99:.5}"),
+            ]);
+            tier_json.push(format!(
+                "      {{\"clients\": {clients}, \"total_seconds\": {secs:.6}, \
+                 \"queries_per_second\": {qps:.3}, \"p50_seconds\": {p50:.6}, \
+                 \"p95_seconds\": {p95:.6}, \"p99_seconds\": {p99:.6}}}"
+            ));
+        }
+        json_tiers.push(format!(
+            "    {{\"tier\": \"router\", \"backends\": {backends}, \"sweep\": [\n{}\n    ]}}",
+            tier_json.join(",\n")
+        ));
+
+        let mut client = Client::connect(router.addr()).expect("shutdown client");
+        let stats = client.stats().expect("router stats");
+        assert_eq!(stats.degraded_backends, 0, "no backend may degrade during the study");
+        client.shutdown().expect("router shutdown");
+        router.join().expect("router join");
+        for h in backend_handles {
+            h.join().expect("backend join");
+        }
+    }
+
+    let mut client = Client::connect(single.addr()).expect("single shutdown client");
+    client.shutdown().expect("single shutdown");
+    single.join().expect("single join");
+
+    println!("\n### Frozen reverse top-{K} ({requests} requests per sweep)");
+    print_table(&["tier", "clients", "total (s)", "req/s", "p50 (s)", "p99 (s)"], &rows);
+
+    let json = format!(
+        "{{\n  \"bench\": \"router_study\",\n  \
+         \"graph\": {{\"kind\": \"rmat\", \"nodes\": {nodes}, \"edges\": {edges}, \"seed\": {seed}}},\n  \
+         \"k\": {K},\n  \"requests\": {requests},\n  \"threads_available\": {cores},\n  \
+         \"tiers\": [\n{}\n  ]\n}}\n",
+        json_tiers.join(",\n")
+    );
+    std::fs::write(OUT_PATH, &json).expect("write BENCH_router.json");
+    println!("\nwrote {OUT_PATH}");
+}

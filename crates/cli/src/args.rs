@@ -13,7 +13,7 @@ pub struct Parsed {
 }
 
 /// Flags that take no value.
-const BOOLEAN_FLAGS: &[&str] = &["update", "strict", "early", "approximate", "help"];
+const BOOLEAN_FLAGS: &[&str] = &["update", "strict", "early", "approximate", "shard-only", "help"];
 
 impl Parsed {
     /// Splits `argv` into positionals and flags.

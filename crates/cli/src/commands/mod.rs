@@ -6,6 +6,7 @@ mod index_cmd;
 mod pmpn;
 mod query;
 mod remote;
+mod router;
 mod serve;
 mod shard;
 mod stats;
@@ -30,12 +31,16 @@ usage:
   rtk convert <in> <out>                         tsv <-> binary graph formats
   rtk serve --index <file> [--graph <file>] [--addr A] [--workers N]
             [--query-threads T] [--max-frame-mib M] [--max-connections C]
-            [--persist-dir D]                    run the TCP server
-  rtk remote query --node Q --k K [--update] [--addr A]     query a server
+            [--persist-dir D] [--auth-token T]   run the TCP server
+  rtk serve --shard-only --shard I --index <manifest> --graph <file> [...]
+                                                 serve ONE shard (router backend)
+  rtk router --backends a:p,b:p,… [--addr A] [--workers N] [--max-connections C]
+             [--max-frame-mib M] [--auth-token T]  fan-out router over shard backends
+  rtk remote query --node Q --k K [--update] [--addr A]     query a server/router
   rtk remote topk --node U --k K [--early] [--addr A]
   rtk remote batch --nodes a,b,c --k K [--addr A]
   rtk remote persist --out <server-path> [--addr A]         flush snapshot to disk
-  rtk remote stats|ping|shutdown [--addr A]
+  rtk remote stats|ping|shutdown [--addr A]      (all remote cmds take --auth-token)
 
 datasets for `generate`: toy, web-cs-small, web-cs-sim, epinions-sim,
 web-std-sim, web-google-sim, webspam-sim, dblp-sim, rmat:<n>:<m>[:seed],
@@ -56,6 +61,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         "pmpn" => pmpn::run(&Parsed::parse(rest)?),
         "convert" => convert::run(&Parsed::parse(rest)?),
         "serve" => serve::run(&Parsed::parse(rest)?),
+        "router" => router::run(&Parsed::parse(rest)?),
         "shard" => shard::run(rest),
         "remote" => remote::run(rest),
         "help" | "--help" | "-h" => {

@@ -16,6 +16,9 @@ pub(crate) fn run(argv: &[String]) -> Result<(), String> {
     let addr = args.get("addr").unwrap_or(super::serve::DEFAULT_ADDR);
     let mut client =
         Client::connect(addr).map_err(|e| format!("remote: cannot connect to {addr}: {e}"))?;
+    if let Some(token) = args.get("auth-token") {
+        client.set_auth_token(token);
+    }
     match sub.as_str() {
         "query" => query(&mut client, &args),
         "topk" => topk(&mut client, &args),
@@ -124,19 +127,29 @@ fn stats(client: &mut Client) -> Result<(), String> {
         .map(|(&n, &b)| format!("{n} nodes/{:.2} MiB", b as f64 / (1024.0 * 1024.0)))
         .collect();
     println!("  shards:           {} [{}]", s.shard_count(), shard_sizes.join(", "));
+    if s.shard_lo != 0 || s.shard_hi != s.nodes {
+        println!("  shard-only:       serving nodes {}..{}", s.shard_lo, s.shard_hi);
+    }
+    if s.degraded_backends > 0 {
+        println!("  DEGRADED:         {} backend(s) unreachable", s.degraded_backends);
+    }
     println!("  connections:      {} ({} rejected at cap)", s.connections, s.rejected_connections);
     println!(
-        "  requests:         {} total (ping {}, reverse_topk {}, topk {}, batch {}, persist {}, stats {}, shutdown {})",
+        "  requests:         {} total (ping {}, reverse_topk {}, shard_rtk {}, topk {}, batch {}, persist {}, stats {}, shutdown {})",
         s.total_requests(),
         s.ping,
         s.reverse_topk,
+        s.shard_reverse_topk,
         s.topk,
         s.batch,
         s.persist,
         s.stats,
         s.shutdown
     );
-    println!("  errors:           {} protocol, {} engine", s.protocol_errors, s.engine_errors);
+    println!(
+        "  errors:           {} protocol, {} engine, {} auth",
+        s.protocol_errors, s.engine_errors, s.auth_failures
+    );
     println!(
         "  latency:          p50 {:.6}s | p95 {:.6}s | p99 {:.6}s | mean {:.6}s | max {:.6}s ({} samples)",
         s.p50_seconds, s.p95_seconds, s.p99_seconds, s.mean_seconds, s.max_seconds, s.latency_count

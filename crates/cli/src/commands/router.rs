@@ -1,0 +1,115 @@
+//! `rtk router` — the client-facing fan-out process in front of per-shard
+//! `rtk serve --shard-only` backends.
+
+use crate::args::Parsed;
+use rtk_server::{Router, RouterConfig};
+
+/// Default listen address when `--addr` is omitted (one above the server's
+/// default so both tiers run on one host out of the box).
+const DEFAULT_ROUTER_ADDR: &str = "127.0.0.1:7314";
+
+pub(crate) fn run(args: &Parsed) -> Result<(), String> {
+    let backends: Vec<String> = args
+        .get("backends")
+        .ok_or_else(|| {
+            "router: --backends <addr,addr,…> is required (one rtk serve --shard-only \
+             per shard, any order)"
+                .to_string()
+        })?
+        .split(',')
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .collect();
+    if backends.is_empty() {
+        return Err("router: --backends lists no addresses".to_string());
+    }
+    let addr = args.get("addr").unwrap_or(DEFAULT_ROUTER_ADDR);
+    let config = RouterConfig {
+        workers: args.get_num("workers", 0usize)?,
+        max_frame_bytes: args
+            .get_num("max-frame-mib", 16u32)?
+            .saturating_mul(1024 * 1024)
+            .max(1024),
+        max_connections: args.get_num("max-connections", 0usize)?,
+        auth_token: args.get("auth-token").map(str::to_string),
+        ..Default::default()
+    };
+
+    let router =
+        Router::bind(&backends, addr, config.clone()).map_err(|e| format!("router: {e}"))?;
+    println!(
+        "rtk router listening on {} ({} workers, {} shard backend(s){}); \
+         stop with `rtk remote shutdown --addr {}` (propagates to backends)",
+        router.local_addr(),
+        if config.workers == 0 { "all-core".to_string() } else { config.workers.to_string() },
+        router.backend_count(),
+        if config.auth_token.is_some() { ", auth required" } else { "" },
+        router.local_addr()
+    );
+    router.run().map_err(|e| format!("router: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requires_backends_and_validates_them() {
+        let err = run(&Parsed::parse(&[]).unwrap()).unwrap_err();
+        assert!(err.contains("--backends"), "{err}");
+
+        // An unreachable backend fails the handshake with a clean message
+        // instead of serving a tier that cannot answer.
+        let argv: Vec<String> =
+            vec!["--backends".into(), "127.0.0.1:1".into(), "--addr".into(), "127.0.0.1:0".into()];
+        let err = run(&Parsed::parse(&argv).unwrap()).unwrap_err();
+        assert!(err.contains("cannot reach backend"), "{err}");
+    }
+
+    #[test]
+    fn end_to_end_router_over_shard_backends() {
+        use rtk_core::{ReverseTopkEngine, ShardEngine};
+        use rtk_index::ShardSlice;
+        use rtk_server::{Client, Server, ServerConfig};
+
+        let build = || {
+            ReverseTopkEngine::builder(rtk_datasets::toy_graph())
+                .max_k(3)
+                .hubs_per_direction(1)
+                .threads(1)
+                .shards(2)
+                .build()
+                .unwrap()
+        };
+        let engine = build();
+        let mut backends = Vec::new();
+        for sid in 0..2 {
+            let slice = ShardSlice::from_index(engine.index(), sid).unwrap();
+            let shard = ShardEngine::from_parts(rtk_datasets::toy_graph(), slice).unwrap();
+            backends.push(
+                Server::bind_shard(
+                    shard,
+                    "127.0.0.1:0",
+                    ServerConfig { workers: 2, ..Default::default() },
+                )
+                .unwrap()
+                .spawn(),
+            );
+        }
+        let addrs: Vec<String> = backends.iter().map(|h| h.addr().to_string()).collect();
+        let router = Router::bind(&addrs, "127.0.0.1:0", RouterConfig::default()).unwrap().spawn();
+
+        // Paper running example through the tier: reverse top-2 of node 0.
+        let mut client = Client::connect(router.addr()).unwrap();
+        let r = client.reverse_topk(0, 2, false).unwrap();
+        assert_eq!(r.nodes, vec![0, 1, 4]);
+        let stats = client.stats().unwrap();
+        assert_eq!(stats.shard_count(), 2);
+
+        client.shutdown().unwrap();
+        router.join().unwrap();
+        for h in backends {
+            h.join().unwrap();
+        }
+    }
+}

@@ -1,7 +1,9 @@
-//! `rtk serve` — run the reverse top-k network server over a saved index.
+//! `rtk serve` — run the reverse top-k network server over a saved index,
+//! either whole (`rtk serve`) or one shard per process (`--shard-only
+//! --shard <i>`, fronted by `rtk router`).
 
 use crate::args::Parsed;
-use rtk_core::ReverseTopkEngine;
+use rtk_core::{ReverseTopkEngine, ShardEngine};
 use rtk_server::{Server, ServerConfig};
 use std::io::Read;
 
@@ -9,7 +11,6 @@ use std::io::Read;
 pub(crate) const DEFAULT_ADDR: &str = "127.0.0.1:7313";
 
 pub(crate) fn run(args: &Parsed) -> Result<(), String> {
-    let engine = load_engine(args)?;
     let addr = args.get("addr").unwrap_or(DEFAULT_ADDR);
     let config = ServerConfig {
         workers: args.get_num("workers", 0usize)?,
@@ -20,25 +21,61 @@ pub(crate) fn run(args: &Parsed) -> Result<(), String> {
         query_threads: args.get_num("query-threads", 1usize)?,
         max_connections: args.get_num("max-connections", 0usize)?,
         persist_dir: args.get("persist-dir").map(std::path::PathBuf::from),
+        auth_token: args.get("auth-token").map(str::to_string),
     };
 
-    let shards = engine.shard_count();
-    let server = Server::bind(engine, addr, config.clone())
-        .map_err(|e| format!("serve: cannot bind {addr}: {e}"))?;
+    let (server, what) = if args.has("shard-only") {
+        let engine = load_shard_engine(args)?;
+        let what = format!(
+            "shard {} of {} (nodes {}..{})",
+            engine.shard_id(),
+            engine.shard_count(),
+            engine.shard_range().start,
+            engine.shard_range().end
+        );
+        let server = Server::bind_shard(engine, addr, config.clone())
+            .map_err(|e| format!("serve: cannot bind {addr}: {e}"))?;
+        (server, what)
+    } else {
+        let engine = load_engine(args)?;
+        let what = format!("{} index shard(s)", engine.shard_count());
+        let server = Server::bind(engine, addr, config.clone())
+            .map_err(|e| format!("serve: cannot bind {addr}: {e}"))?;
+        (server, what)
+    };
     println!(
-        "rtk-server listening on {} ({} workers, {} index shard(s){}); \
+        "rtk-server listening on {} ({} workers, {what}{}{}); \
          stop with `rtk remote shutdown --addr {}`",
         server.local_addr(),
         if config.workers == 0 { "all-core".to_string() } else { config.workers.to_string() },
-        shards,
         if config.max_connections > 0 {
             format!(", ≤{} connections", config.max_connections)
         } else {
             String::new()
         },
+        if config.auth_token.is_some() { ", auth required" } else { "" },
         server.local_addr()
     );
     server.run().map_err(|e| format!("serve: {e}"))
+}
+
+/// Loads one shard of a sharded snapshot as a backend engine
+/// (`--shard-only`): `--index` must be a bare index snapshot (`RTKMANI1`
+/// manifest, or legacy `RTKINDX1` for `--shard 0`) and `--graph` is
+/// required — every backend walks the full graph even though it holds only
+/// its shard's states.
+fn load_shard_engine(args: &Parsed) -> Result<ShardEngine, String> {
+    let index_path = args
+        .get("index")
+        .ok_or_else(|| "serve: --index <file> is required".to_string())?;
+    let shard_id = args.get_num("shard", 0usize)?;
+    let graph_path = args.get("graph").ok_or_else(|| {
+        "serve --shard-only: --graph <file> is required (backends hold the full graph)".to_string()
+    })?;
+    let graph = super::load_graph(graph_path)?;
+    let slice = rtk_index::storage::load_shard_slice_path(index_path, shard_id)
+        .map_err(|e| format!("serve: shard {shard_id} of {index_path:?}: {e}"))?;
+    ShardEngine::from_parts(graph, slice).map_err(|e| format!("serve: {e}"))
 }
 
 /// Loads the engine from `--index`, which may be either an engine snapshot

@@ -10,6 +10,25 @@ use std::path::Path;
 
 /// An owning reverse top-k search engine.
 ///
+/// ```
+/// use rtk_core::{ReverseTopkEngine, graph::NodeId};
+///
+/// // The 6-node toy graph of the paper's Figure 1.
+/// let mut engine = ReverseTopkEngine::builder(rtk_datasets::toy_graph())
+///     .max_k(3)
+///     .hubs_per_direction(1)
+///     .build()
+///     .unwrap();
+///
+/// // Reverse top-2 of node 0: who ranks node 0 among their 2 closest?
+/// let result = engine.query(NodeId(0), 2).unwrap();
+/// assert_eq!(result.nodes(), &[0, 1, 4]);
+///
+/// // The forward direction for one of them agrees.
+/// let top = engine.top_k(NodeId(4), 2).unwrap();
+/// assert!(top.iter().any(|&(v, _)| v == NodeId(0)));
+/// ```
+///
 /// Construct through [`ReverseTopkEngine::builder`]. The engine owns the
 /// graph, the offline index (which it refines across queries in `update`
 /// mode), the reusable query buffers, **and the cached `O(|E|)` transition

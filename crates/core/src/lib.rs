@@ -41,9 +41,11 @@
 
 pub mod engine;
 pub mod error;
+pub mod shard_engine;
 
 pub use engine::{EngineBuilder, ReverseTopkEngine};
 pub use error::EngineError;
+pub use shard_engine::ShardEngine;
 
 // Re-export the layer crates under stable names.
 pub use rtk_graph as graph;

@@ -25,7 +25,10 @@
 //!   individually serializable and independently scannable by the query
 //!   layer. Shard count never changes answers, only wall time and layout;
 //! * [`storage`] — versioned binary persistence: the legacy single-blob
-//!   format plus a sharded manifest format (one section per shard);
+//!   format plus a sharded manifest format (one section per shard).
+//!   [`storage::load_shard_slice`] loads the shared hub matrix plus *one*
+//!   shard section standalone ([`ShardSlice`]) — the loading unit of
+//!   multi-process serving, where each backend process owns one shard;
 //! * [`refine_state`] — the shared refinement step (Alg. 1 lines 6–7) used
 //!   by query processing to tighten a node's bounds, either on a scratch
 //!   copy (`no-update` mode) or in place (`update` mode).
@@ -51,3 +54,4 @@ pub use index::ReverseIndex;
 pub use node_state::{refine_state, NodeState};
 pub use shard::{IndexShard, ShardMap};
 pub use stats::IndexStats;
+pub use storage::ShardSlice;

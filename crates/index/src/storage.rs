@@ -565,6 +565,169 @@ fn load_sharded_body<R: Read>(r: &mut R) -> Result<ReverseIndex, IndexError> {
     Ok(ReverseIndex::from_shards(config, hub_matrix, shards, shard_map, stats))
 }
 
+// ---------------------------------------------------------------------------
+// Standalone shard slices (multi-process serving)
+// ---------------------------------------------------------------------------
+
+/// One shard of a sharded index plus everything shared that a process needs
+/// to serve it standalone: the configuration, the hub matrix, and the full
+/// [`ShardMap`] (so the process knows which node range it owns and how the
+/// rest of the id space is partitioned).
+///
+/// This is the loading unit of multi-process serving: each `rtk serve
+/// --shard-only` backend holds exactly one `ShardSlice` (plus the graph)
+/// instead of the whole index. Produced by [`load_shard_slice`] from a
+/// snapshot on disk, or by [`ShardSlice::from_index`] from an in-memory
+/// index (tests, benches).
+#[derive(Clone, Debug)]
+pub struct ShardSlice {
+    /// Index configuration (`max_k`, BCA parameters, hub ids, shard count).
+    pub config: IndexConfig,
+    /// The shared hub proximity matrix `P_H`.
+    pub hub_matrix: HubMatrix,
+    /// The full partition of the node id space.
+    pub shard_map: ShardMap,
+    /// The one shard this slice owns.
+    pub shard: IndexShard,
+}
+
+impl ShardSlice {
+    /// Extracts shard `shard_id` of an in-memory index (hub matrix and
+    /// states are cloned).
+    pub fn from_index(index: &ReverseIndex, shard_id: usize) -> Result<Self, IndexError> {
+        let Some(shard) = index.shards().get(shard_id) else {
+            return Err(IndexError::InvalidConfig(format!(
+                "shard {shard_id} out of range for {} shards",
+                index.shard_count()
+            )));
+        };
+        Ok(Self {
+            config: index.config().clone(),
+            hub_matrix: index.hub_matrix().clone(),
+            shard_map: index.shard_map().clone(),
+            shard: shard.clone(),
+        })
+    }
+
+    /// Number of nodes in the whole index (not just this shard).
+    pub fn node_count(&self) -> usize {
+        self.shard_map.node_count()
+    }
+}
+
+/// Loads shard `shard_id` (plus the shared hub matrix and shard map) from an
+/// index snapshot, skipping every other shard's section — the memory
+/// footprint is one shard, not the whole index.
+///
+/// Accepts both layouts: a sharded manifest (`RTKMANI1`), where the other
+/// sections are skipped by their length prefixes, and — for `shard_id == 0`
+/// only — a legacy single-blob snapshot (`RTKINDX1`), which *is* its single
+/// shard.
+pub fn load_shard_slice<R: Read>(reader: R, shard_id: usize) -> Result<ShardSlice, IndexError> {
+    let mut r = BufReader::new(reader);
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic).map_err(DecodeError::Io)?;
+    match &magic {
+        m if m == MANIFEST_MAGIC => {
+            check_version(&mut r, MANIFEST_VERSION, "manifest")?;
+            load_shard_slice_body(&mut r, shard_id)
+        }
+        m if m == INDEX_MAGIC => {
+            if shard_id != 0 {
+                return Err(corrupt(format!(
+                    "legacy single-shard snapshot has only shard 0, requested {shard_id}"
+                )));
+            }
+            check_version(&mut r, INDEX_VERSION, "index")?;
+            let index = load_legacy_body(&mut r)?;
+            ShardSlice::from_index(&index, 0)
+        }
+        found => Err(IndexError::Decode(DecodeError::BadMagic {
+            expected: *MANIFEST_MAGIC,
+            found: *found,
+        })),
+    }
+}
+
+/// Loads shard `shard_id` from a snapshot file (see [`load_shard_slice`]).
+pub fn load_shard_slice_path<P: AsRef<Path>>(
+    path: P,
+    shard_id: usize,
+) -> Result<ShardSlice, IndexError> {
+    load_shard_slice(std::fs::File::open(path)?, shard_id)
+}
+
+fn load_shard_slice_body<R: Read>(r: &mut R, shard_id: usize) -> Result<ShardSlice, IndexError> {
+    let n = codec::check_len(
+        codec::read_u64(r).map_err(DecodeError::Io)?,
+        codec::MAX_SEQ_LEN,
+        "node count",
+    )?;
+    let max_k = codec::check_len(
+        codec::read_u64(r).map_err(DecodeError::Io)?,
+        codec::MAX_SEQ_LEN,
+        "max_k",
+    )?;
+    let shard_count = codec::check_len(
+        codec::read_u64(r).map_err(DecodeError::Io)?,
+        n.max(1) as u64,
+        "shard count",
+    )?;
+    if shard_id >= shard_count {
+        return Err(corrupt(format!(
+            "shard {shard_id} out of range: manifest declares {shard_count} shards"
+        )));
+    }
+    let (bca, rounding_threshold) = read_bca_and_rounding(r)?;
+    let starts = codec::read_u32_seq_bounded(r, shard_count as u64)?;
+    let shard_map = ShardMap::from_starts(n, starts).map_err(|e| match e {
+        IndexError::InvalidConfig(m) => corrupt(format!("shard map: {m}")),
+        other => other,
+    })?;
+    let hub_matrix = read_hub_matrix(r, n, rounding_threshold)?;
+
+    let mut wanted = None;
+    for i in 0..shard_count {
+        let section_bytes = codec::read_u64(r).map_err(DecodeError::Io)?;
+        if section_bytes > MAX_SHARD_SECTION_BYTES {
+            return Err(corrupt(format!(
+                "shard {i}: section of {section_bytes} bytes is implausible"
+            )));
+        }
+        if i == shard_id {
+            let mut section = r.take(section_bytes);
+            let shard = load_shard(&mut section, &hub_matrix, n, max_k)?;
+            if section.limit() != 0 {
+                return Err(corrupt(format!(
+                    "shard {i}: {} trailing bytes after shard payload",
+                    section.limit()
+                )));
+            }
+            if shard.id() != i || shard.range() != shard_map.range(i) {
+                return Err(corrupt(format!(
+                    "shard {i}: section covers {:?} (id {}), manifest expects {:?}",
+                    shard.range(),
+                    shard.id(),
+                    shard_map.range(i)
+                )));
+            }
+            wanted = Some(shard);
+        } else {
+            // Skip the section without decoding (or materializing) it.
+            let copied = std::io::copy(&mut r.take(section_bytes), &mut std::io::sink())
+                .map_err(DecodeError::Io)?;
+            if copied != section_bytes {
+                return Err(corrupt(format!(
+                    "shard {i}: section truncated ({copied} of {section_bytes} bytes)"
+                )));
+            }
+        }
+    }
+    let shard = wanted.expect("shard_id checked against shard_count above");
+    let config = loaded_config(max_k, bca, &hub_matrix, rounding_threshold, 1, shard_count);
+    Ok(ShardSlice { config, hub_matrix, shard_map, shard })
+}
+
 /// Saves to a file path (layout picked by shard count, see [`save`]).
 pub fn save_path<P: AsRef<Path>>(index: &ReverseIndex, path: P) -> Result<(), IndexError> {
     save(index, std::fs::File::create(path)?)
@@ -773,6 +936,45 @@ mod tests {
         let second_start = 72 + 8 + 4;
         buf[second_start] = buf[second_start].wrapping_add(1);
         assert!(load(Cursor::new(buf)).is_err());
+    }
+
+    #[test]
+    fn shard_slices_load_standalone_from_manifest() {
+        let (g, config) = build_sample();
+        let t = TransitionMatrix::new(&g);
+        let index = ReverseIndex::build(&t, IndexConfig { shards: 3, ..config }).unwrap();
+        let mut buf = Vec::new();
+        save(&index, &mut buf).unwrap();
+        for sid in 0..3usize {
+            let slice = load_shard_slice(Cursor::new(&buf), sid).unwrap();
+            assert_eq!(slice.shard_map, *index.shard_map());
+            assert_eq!(slice.node_count(), 6);
+            assert_eq!(slice.config.max_k, 3);
+            assert_eq!(slice.hub_matrix.hubs().ids(), index.hub_matrix().hubs().ids());
+            assert_eq!(slice.shard.id(), sid);
+            assert_eq!(slice.shard.range(), index.shard_map().range(sid));
+            assert_eq!(slice.shard.states(), index.shards()[sid].states());
+        }
+        // Out-of-range shard ids fail cleanly.
+        assert!(load_shard_slice(Cursor::new(&buf), 3).is_err());
+    }
+
+    #[test]
+    fn shard_slice_handles_legacy_snapshots_and_from_index() {
+        let (g, config) = build_sample();
+        let t = TransitionMatrix::new(&g);
+        let index = ReverseIndex::build(&t, config).unwrap();
+        let mut buf = Vec::new();
+        save(&index, &mut buf).unwrap();
+        assert_eq!(&buf[..8], INDEX_MAGIC);
+        let slice = load_shard_slice(Cursor::new(&buf), 0).unwrap();
+        assert_eq!(slice.shard.range(), 0..6);
+        assert_eq!(slice.shard.states().len(), 6);
+        assert!(load_shard_slice(Cursor::new(&buf), 1).is_err());
+
+        let mem = ShardSlice::from_index(&index, 0).unwrap();
+        assert_eq!(mem.shard.states(), slice.shard.states());
+        assert!(ShardSlice::from_index(&index, 5).is_err());
     }
 
     #[test]

@@ -25,7 +25,7 @@
 use crate::error::QueryError;
 use crate::upper_bound::upper_bound_kth;
 use rtk_graph::{resolve_threads, TransitionMatrix};
-use rtk_index::{refine_state, Materializer, NodeState, ReverseIndex};
+use rtk_index::{refine_state, HubMatrix, IndexShard, Materializer, NodeState, ReverseIndex};
 use rtk_rwr::bca::{BcaEngine, BcaStop, PropagationStrategy};
 use rtk_rwr::pmpn::proximity_to;
 use rtk_rwr::power::proximity_from;
@@ -217,10 +217,17 @@ impl QueryEngine {
     /// Creates a session compatible with `index` (same hub set and BCA
     /// parameters).
     pub fn new(index: &ReverseIndex) -> Self {
+        Self::from_parts(index.node_count(), index.hub_matrix(), index.config().bca)
+    }
+
+    /// Creates a session from the shared pieces directly — the constructor
+    /// for processes that hold a [`rtk_index::ShardSlice`] instead of a
+    /// whole [`ReverseIndex`] (multi-process serving backends).
+    pub fn from_parts(node_count: usize, hub_matrix: &HubMatrix, bca: BcaParams) -> Self {
         Self {
-            nodes: index.node_count(),
-            hubs: index.hub_matrix().hubs().clone(),
-            bca: index.config().bca,
+            nodes: node_count,
+            hubs: hub_matrix.hubs().clone(),
+            bca,
             scratch: ScratchPool::new(),
         }
     }
@@ -297,11 +304,12 @@ impl QueryEngine {
 
         let per_query = QueryOptions { update_index: false, query_threads: 1, ..*options };
         let threads = resolve_threads(options.query_threads).min(queries.len().max(1));
+        let screen_scope = ScreenScope::full(index);
         let mut slots: Vec<Option<QueryResult>> = (0..queries.len()).map(|_| None).collect();
         if threads <= 1 {
             for (slot, &(q, k)) in slots.iter_mut().zip(queries) {
                 let (result, _) =
-                    execute_query(self, transition, index, q, k, &per_query, 1, false);
+                    execute_query(self, transition, &screen_scope, q, k, &per_query, 1, false);
                 *slot = Some(result);
             }
         } else {
@@ -311,6 +319,7 @@ impl QueryEngine {
                 for _ in 0..threads {
                     let next = &next;
                     let per_query = &per_query;
+                    let screen_scope = &screen_scope;
                     handles.push(scope.spawn(move || {
                         let mut local = Vec::new();
                         loop {
@@ -319,8 +328,16 @@ impl QueryEngine {
                                 break;
                             }
                             let (q, k) = queries[i];
-                            let (result, _) =
-                                execute_query(self, transition, index, q, k, per_query, 1, false);
+                            let (result, _) = execute_query(
+                                self,
+                                transition,
+                                screen_scope,
+                                q,
+                                k,
+                                per_query,
+                                1,
+                                false,
+                            );
                             local.push((i, result));
                         }
                         local
@@ -342,6 +359,54 @@ impl QueryEngine {
             .into_iter()
             .map(|s| s.expect("query result missing after batch"))
             .collect())
+    }
+
+    /// Runs the shard-scoped slice of a reverse top-k query: PMPN over the
+    /// whole graph, then the screen phase over **only** `shard`'s node
+    /// range. Returns the partial result (result nodes, proximities, and
+    /// counter statistics for that range alone) plus the refined private
+    /// states of the range — the caller decides whether to commit them back
+    /// into the shard (update mode) or drop them (frozen mode).
+    ///
+    /// This is the unit of work a multi-process backend executes: running
+    /// it once per shard of an index and merging — partial results
+    /// concatenated in shard order, counters summed — reproduces
+    /// [`Self::query`] / [`Self::query_frozen`] bitwise, because per-node
+    /// screening decisions are independent and every shard computes the
+    /// same PMPN vector. `max_k` is the owning index's `K` (bounds `k`).
+    #[allow(clippy::too_many_arguments)]
+    pub fn query_shard(
+        &self,
+        transition: &TransitionMatrix<'_>,
+        hub_matrix: &HubMatrix,
+        alpha: f64,
+        max_k: usize,
+        shard: &IndexShard,
+        q: u32,
+        k: usize,
+        options: &QueryOptions,
+    ) -> Result<(QueryResult, Vec<(u32, NodeState)>), QueryError> {
+        let started = Instant::now();
+        let n = transition.node_count();
+        if k == 0 || k > max_k {
+            return Err(QueryError::KOutOfRange { k, max_k });
+        }
+        if q as usize >= n {
+            return Err(QueryError::NodeOutOfRange { node: q, node_count: n });
+        }
+        if (shard.node_hi() as usize) > n {
+            return Err(QueryError::GraphMismatch {
+                index_nodes: shard.node_hi() as usize,
+                graph_nodes: n,
+            });
+        }
+        let threads = resolve_threads(options.query_threads);
+        let want_commits = options.update_index;
+        let scope = ScreenScope::shard(alpha, hub_matrix, shard);
+        let (mut result, commits) =
+            execute_query(self, transition, &scope, q, k, options, threads, want_commits);
+        result.stats.total_seconds = started.elapsed().as_secs_f64();
+        Ok((result, commits))
     }
 
     fn run(
@@ -372,8 +437,10 @@ impl QueryEngine {
 
         let threads = resolve_threads(options.query_threads);
         let commit = options.update_index && matches!(target, QueryTarget::Mutable(_));
-        let (mut result, commits) =
-            execute_query(&*self, transition, target.as_ref(), q, k, options, threads, commit);
+        let (mut result, commits) = {
+            let scope = ScreenScope::full(target.as_ref());
+            execute_query(&*self, transition, &scope, q, k, options, threads, commit)
+        };
 
         // Commit phase (update mode): serially merge the refined private
         // copies back into the index.
@@ -398,14 +465,74 @@ struct LocalScreen {
     commits: Vec<(u32, NodeState)>,
 }
 
-/// Runs PMPN + the screen phase against a read-only index view. Returns the
+/// The slice of an index one screen pass scans: per-node states over a set
+/// of shard-aligned node ranges, plus the shared hub matrix and restart
+/// probability.
+///
+/// Two sources back a scope: a whole [`ReverseIndex`] (every shard's range
+/// is scanned — the single-process query) or one [`IndexShard`] (only its
+/// range is scanned — the unit a multi-process backend owns). Because
+/// per-node screening decisions are independent, the union of per-shard
+/// scans equals the full scan: concatenating the shard results in range
+/// order and summing their counters reproduces the single-process answer
+/// bitwise — the invariant multi-process serving is built on.
+pub struct ScreenScope<'a> {
+    alpha: f64,
+    hub_matrix: &'a HubMatrix,
+    states: StateSource<'a>,
+    /// Shard-aligned `[lo, hi)` node ranges to scan, ascending and disjoint.
+    ranges: Vec<(u32, u32)>,
+}
+
+enum StateSource<'a> {
+    Index(&'a ReverseIndex),
+    Shard(&'a IndexShard),
+}
+
+impl<'a> ScreenScope<'a> {
+    /// Scope over every shard of `index` — the single-process scan.
+    pub fn full(index: &'a ReverseIndex) -> Self {
+        let map = index.shard_map();
+        let ranges =
+            (0..map.shard_count()).map(|i| (map.range(i).start, map.range(i).end)).collect();
+        Self {
+            alpha: index.config().alpha(),
+            hub_matrix: index.hub_matrix(),
+            states: StateSource::Index(index),
+            ranges,
+        }
+    }
+
+    /// Scope over exactly one shard: `shard`'s node range, backed by its
+    /// states and the shared `hub_matrix`.
+    pub fn shard(alpha: f64, hub_matrix: &'a HubMatrix, shard: &'a IndexShard) -> Self {
+        let r = shard.range();
+        Self {
+            alpha,
+            hub_matrix,
+            states: StateSource::Shard(shard),
+            ranges: vec![(r.start, r.end)],
+        }
+    }
+
+    /// State of node `u`, which must lie inside one of the scope's ranges.
+    #[inline]
+    fn state(&self, u: u32) -> &NodeState {
+        match self.states {
+            StateSource::Index(index) => index.state(u),
+            StateSource::Shard(shard) => shard.state(u),
+        }
+    }
+}
+
+/// Runs PMPN + the screen phase against a read-only scope. Returns the
 /// result (with `total_seconds` still unset) and the refined states to
 /// commit (empty unless `want_commits`).
 #[allow(clippy::too_many_arguments)]
 fn execute_query(
     session: &QueryEngine,
     transition: &TransitionMatrix<'_>,
-    index: &ReverseIndex,
+    scope: &ScreenScope<'_>,
     q: u32,
     k: usize,
     options: &QueryOptions,
@@ -414,7 +541,7 @@ fn execute_query(
 ) -> (QueryResult, Vec<(u32, NodeState)>) {
     // Step 1 (Alg. 4 line 1): exact proximities to q via PMPN, with the
     // index's restart probability, SpMV spread over the query threads.
-    let pmpn_params = RwrParams { alpha: index.config().alpha(), threads, ..options.rwr };
+    let pmpn_params = RwrParams { alpha: scope.alpha, threads, ..options.rwr };
     let pmpn_t0 = Instant::now();
     let (to_q, pmpn_report) = proximity_to(transition, q, &pmpn_params);
     let pmpn_seconds = pmpn_t0.elapsed().as_secs_f64();
@@ -428,7 +555,7 @@ fn execute_query(
     // chunk count — small graphs run serially instead of paying spawn
     // overhead for idle workers.
     let screen_t0 = Instant::now();
-    let chunks = ChunkPlan::new(index.shard_map());
+    let chunks = ChunkPlan::from_ranges(&scope.ranges);
     let threads = threads.max(1).min(chunks.total()).max(1);
     let fallback_params =
         RwrParams { threads: if threads > 1 { 1 } else { pmpn_params.threads }, ..pmpn_params };
@@ -443,7 +570,7 @@ fn execute_query(
             &chunks,
             &next,
             transition,
-            index,
+            scope,
             &to_q,
             q,
             k,
@@ -454,6 +581,7 @@ fn execute_query(
         session.scratch.put(scratch);
         vec![local]
     } else {
+        let screen_scope = scope;
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(threads);
             for _ in 0..threads {
@@ -470,7 +598,7 @@ fn execute_query(
                         chunks,
                         next,
                         transition,
-                        index,
+                        screen_scope,
                         to_q,
                         q,
                         k,
@@ -525,15 +653,17 @@ struct ChunkPlan {
 }
 
 impl ChunkPlan {
-    fn new(map: &rtk_index::ShardMap) -> Self {
-        let mut ranges = Vec::with_capacity(map.shard_count());
-        let mut prefix = Vec::with_capacity(map.shard_count() + 1);
+    /// Builds the plan from shard-aligned `[lo, hi)` node ranges — the full
+    /// shard map's ranges for a single-process scan, or one shard's range
+    /// for a multi-process backend.
+    fn from_ranges(scan: &[(u32, u32)]) -> Self {
+        let mut ranges = Vec::with_capacity(scan.len());
+        let mut prefix = Vec::with_capacity(scan.len() + 1);
         let mut total = 0usize;
         prefix.push(0);
-        for i in 0..map.shard_count() {
-            let r = map.range(i);
-            ranges.push((r.start, r.end));
-            total += r.len().div_ceil(SCREEN_CHUNK);
+        for &(lo, hi) in scan {
+            ranges.push((lo, hi));
+            total += ((hi - lo) as usize).div_ceil(SCREEN_CHUNK);
             prefix.push(total);
         }
         Self { ranges, prefix }
@@ -565,7 +695,7 @@ fn screen_worker(
     chunks: &ChunkPlan,
     next: &AtomicUsize,
     transition: &TransitionMatrix<'_>,
-    index: &ReverseIndex,
+    scope: &ScreenScope<'_>,
     to_q: &[f64],
     q: u32,
     k: usize,
@@ -592,7 +722,7 @@ fn screen_worker(
             }
             // Fast path: prune on the stored lower bound without copying
             // (Alg. 4 line 4's first evaluation).
-            if p_uq < index.state(u).kth_lower_bound(k) - TIE_EPSILON {
+            if p_uq < scope.state(u).kth_lower_bound(k) - TIE_EPSILON {
                 local.stats.pruned_by_lower_bound += 1;
                 continue;
             }
@@ -601,7 +731,7 @@ fn screen_worker(
                 local,
                 scratch,
                 transition,
-                index,
+                scope,
                 u,
                 p_uq,
                 q,
@@ -621,7 +751,7 @@ fn screen_candidate(
     local: &mut LocalScreen,
     scratch: &mut RefineScratch,
     transition: &TransitionMatrix<'_>,
-    index: &ReverseIndex,
+    scope: &ScreenScope<'_>,
     u: u32,
     p_uq: f64,
     q: u32,
@@ -646,7 +776,7 @@ fn screen_candidate(
         // Current view: the private refined copy when one exists, otherwise
         // the index's stored state.
         let (lb, residual, staircase) = {
-            let state = scratch_state.as_ref().unwrap_or_else(|| index.state(u));
+            let state = scratch_state.as_ref().unwrap_or_else(|| scope.state(u));
             (
                 state.kth_lower_bound(k),
                 state.residual_mass(strict),
@@ -685,12 +815,12 @@ fn screen_candidate(
         }
         let refine_stop = BcaStop { residue_norm: 0.0, max_iterations: step };
         step = (step * 2).min(base_step * 64);
-        let state = scratch_state.get_or_insert_with(|| index.state(u).clone());
+        let state = scratch_state.get_or_insert_with(|| scope.state(u).clone());
         let executed = refine_state(
             state,
             transition,
             &mut scratch.engine,
-            index.hub_matrix(),
+            scope.hub_matrix,
             &mut scratch.materializer,
             &refine_stop,
         );
@@ -1119,7 +1249,9 @@ mod tests {
             [(1usize, 1usize), (15, 1), (16, 1), (17, 2), (90, 4), (100, 8), (33, 33)]
         {
             let map = rtk_index::ShardMap::even(n, shards);
-            let plan = ChunkPlan::new(&map);
+            let ranges: Vec<(u32, u32)> =
+                (0..map.shard_count()).map(|i| (map.range(i).start, map.range(i).end)).collect();
+            let plan = ChunkPlan::from_ranges(&ranges);
             let mut seen = vec![0u32; n];
             for ci in 0..plan.total() {
                 let (lo, hi) = plan.chunk(ci).expect("in-range chunk");
@@ -1137,6 +1269,100 @@ mod tests {
             assert!(plan.chunk(plan.total()).is_none());
             assert!(seen.iter().all(|&c| c == 1), "n={n} shards={shards}: {seen:?}");
         }
+    }
+
+    #[test]
+    fn shard_scoped_scans_merge_to_the_full_answer_bitwise() {
+        // The multi-process invariant: query_shard once per shard, partial
+        // results concatenated in shard order and counters summed, equals
+        // the single-process query — results, proximities, stats, and (in
+        // update mode) the post-commit index.
+        let g = rtk_graph::gen::rmat(&rtk_graph::gen::RmatConfig::new(150, 600, 9)).unwrap();
+        let t = TransitionMatrix::new(&g);
+        let config = IndexConfig {
+            max_k: 8,
+            hub_selection: HubSelection::DegreeBased { b: 5 },
+            threads: 1,
+            shards: 4,
+            ..Default::default()
+        };
+        for update in [false, true] {
+            let mut whole = ReverseIndex::build(&t, config.clone()).unwrap();
+            let mut sharded = ReverseIndex::build(&t, config.clone()).unwrap();
+            let mut session = QueryEngine::new(&whole);
+            let opts = QueryOptions { update_index: update, ..Default::default() };
+            for q in [0u32, 31, 77, 149] {
+                let expect = if update {
+                    session.query(&t, &mut whole, q, 5, &opts).unwrap()
+                } else {
+                    session.query_frozen(&t, &whole, q, 5, &opts).unwrap()
+                };
+
+                let mut nodes = Vec::new();
+                let mut proximities = Vec::new();
+                let mut stats = QueryStats::default();
+                let mut all_commits = Vec::new();
+                let alpha = sharded.config().alpha();
+                let max_k = sharded.max_k();
+                for sid in 0..sharded.shard_count() {
+                    let (partial, commits) = session
+                        .query_shard(
+                            &t,
+                            sharded.hub_matrix(),
+                            alpha,
+                            max_k,
+                            &sharded.shards()[sid],
+                            q,
+                            5,
+                            &opts,
+                        )
+                        .unwrap();
+                    // The partial covers only this shard's range.
+                    let range = sharded.shard_map().range(sid);
+                    assert!(partial.nodes().iter().all(|&u| range.contains(&u)));
+                    nodes.extend_from_slice(partial.nodes());
+                    proximities.extend_from_slice(partial.proximities());
+                    stats.absorb(partial.stats());
+                    all_commits.extend(commits);
+                }
+                sharded.commit_states(all_commits);
+
+                assert_eq!(nodes, expect.nodes(), "q={q} update={update}");
+                for (a, b) in proximities.iter().zip(expect.proximities()) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "q={q} update={update}");
+                }
+                assert_eq!(stats.candidates, expect.stats().candidates);
+                assert_eq!(stats.hits, expect.stats().hits);
+                assert_eq!(stats.refined_nodes, expect.stats().refined_nodes);
+                assert_eq!(stats.refine_iterations, expect.stats().refine_iterations);
+            }
+            if update {
+                // Backend-local commits leave exactly the single-process index.
+                for u in 0..150u32 {
+                    assert_eq!(whole.state(u), sharded.state(u), "node {u}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn query_shard_rejects_invalid_queries() {
+        let g = toy();
+        let t = TransitionMatrix::new(&g);
+        let index = ReverseIndex::build(&t, toy_index_config()).unwrap();
+        let session = QueryEngine::new(&index);
+        let opts = QueryOptions::default();
+        let hm = index.hub_matrix();
+        let alpha = index.config().alpha();
+        let shard = &index.shards()[0];
+        assert!(matches!(
+            session.query_shard(&t, hm, alpha, 3, shard, 0, 0, &opts),
+            Err(QueryError::KOutOfRange { k: 0, .. })
+        ));
+        assert!(matches!(
+            session.query_shard(&t, hm, alpha, 3, shard, 9, 1, &opts),
+            Err(QueryError::NodeOutOfRange { node: 9, .. })
+        ));
     }
 
     #[test]

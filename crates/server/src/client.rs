@@ -2,18 +2,46 @@
 
 use crate::error::ServerError;
 use crate::metrics::StatsSnapshot;
-use crate::wire::{self, Request, Response, WireQueryResult, WireTopk, DEFAULT_MAX_FRAME_BYTES};
+use crate::wire::{
+    self, Request, Response, WireQueryResult, WireShardResult, WireTopk, DEFAULT_MAX_FRAME_BYTES,
+};
 use std::io::BufReader;
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
-/// A blocking connection to an `rtk-server`. One request is in flight at a
-/// time; the connection is reused across calls (the server keeps it open
-/// until EOF, error, or shutdown).
+/// A blocking connection to an `rtk-server` (or `rtk router` — the wire
+/// surface is identical, which is what makes the router transparent). One
+/// request is in flight at a time; the connection is reused across calls
+/// (the server keeps it open until EOF, error, or shutdown).
+///
+/// ```
+/// use rtk_core::ReverseTopkEngine;
+/// use rtk_server::{Client, Server, ServerConfig};
+///
+/// // An in-process loopback server over the paper's toy graph.
+/// let engine = ReverseTopkEngine::builder(rtk_datasets::toy_graph())
+///     .max_k(3)
+///     .hubs_per_direction(1)
+///     .build()
+///     .unwrap();
+/// let handle = Server::bind(engine, "127.0.0.1:0", ServerConfig::default())
+///     .unwrap()
+///     .spawn();
+///
+/// let mut client = Client::connect(handle.addr()).unwrap();
+/// client.ping().unwrap();
+/// // Reverse top-2 of node 0 — the paper's running example: {0, 1, 4}.
+/// let r = client.reverse_topk(0, 2, false).unwrap();
+/// assert_eq!(r.nodes, vec![0, 1, 4]);
+///
+/// client.shutdown().unwrap();
+/// handle.join().unwrap();
+/// ```
 pub struct Client {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
     max_frame_bytes: u32,
+    auth_token: Vec<u8>,
 }
 
 impl Client {
@@ -39,6 +67,7 @@ impl Client {
             reader: BufReader::new(stream),
             writer,
             max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
+            auth_token: Vec::new(),
         })
     }
 
@@ -47,10 +76,39 @@ impl Client {
         self.max_frame_bytes = bytes;
     }
 
-    fn call(&mut self, request: &Request) -> Result<Response, ServerError> {
-        wire::write_frame(&mut self.writer, &wire::encode_request(request))?;
+    /// Sets (or clears, with `None`) a read/write timeout on the underlying
+    /// socket, bounding how long any single call can block on a hung peer.
+    pub fn set_io_timeout(&mut self, timeout: Option<Duration>) -> Result<(), ServerError> {
+        self.reader.get_ref().set_read_timeout(timeout)?;
+        self.writer.set_write_timeout(timeout)?;
+        Ok(())
+    }
+
+    /// Sets the shared-secret auth token carried by every subsequent
+    /// request (wire v3 field, capped at
+    /// [`wire::MAX_AUTH_TOKEN_BYTES`] bytes — servers reject longer
+    /// tokens at startup, so a matching token always fits). Required when
+    /// the server was started with `--auth-token`; harmless otherwise
+    /// (unauthenticated servers ignore the field).
+    pub fn set_auth_token(&mut self, token: &str) {
+        self.auth_token = token.as_bytes().to_vec();
+    }
+
+    /// Sends one raw request and returns the raw response — the escape
+    /// hatch the router's fan-out is built on. Application errors come back
+    /// as [`Response::Error`] (not `Err`); transport and protocol failures
+    /// are `Err`.
+    pub fn request(&mut self, request: &Request) -> Result<Response, ServerError> {
+        wire::write_frame(
+            &mut self.writer,
+            &wire::encode_request_authed(request, &self.auth_token),
+        )?;
         let payload = wire::read_frame(&mut self.reader, self.max_frame_bytes)?;
-        match wire::decode_response(&payload)? {
+        wire::decode_response(&payload)
+    }
+
+    fn call(&mut self, request: &Request) -> Result<Response, ServerError> {
+        match self.request(request)? {
             Response::Error { code: _, message } => Err(ServerError::Remote(message)),
             resp => Ok(resp),
         }
@@ -75,6 +133,21 @@ impl Client {
         match self.call(&Request::ReverseTopk { q, k, update })? {
             Response::ReverseTopk(r) => Ok(r),
             other => Err(unexpected("reverse_topk result", &other)),
+        }
+    }
+
+    /// The shard-scoped slice of one reverse top-k query (wire v3): only
+    /// the receiving backend's shard range is screened. Answered by `rtk
+    /// serve --shard-only` backends; the router sends these and merges.
+    pub fn shard_reverse_topk(
+        &mut self,
+        q: u32,
+        k: u32,
+        update: bool,
+    ) -> Result<WireShardResult, ServerError> {
+        match self.call(&Request::ShardReverseTopk { q, k, update })? {
+            Response::ShardReverseTopk(r) => Ok(r),
+            other => Err(unexpected("shard_reverse_topk result", &other)),
         }
     }
 
@@ -141,6 +214,7 @@ fn unexpected(wanted: &str, got: &Response) -> ServerError {
         Response::Stats(_) => "stats",
         Response::ShuttingDown => "shutting_down",
         Response::Persisted { .. } => "persisted",
+        Response::ShardReverseTopk(_) => "shard_reverse_topk",
         Response::Error { .. } => "error",
     };
     ServerError::Protocol(format!("expected {wanted}, got {variant} response"))

@@ -1,12 +1,19 @@
-//! Per-connection request loop: shutdown-aware framing + dispatch.
+//! Per-connection request loop: shutdown-aware framing, auth, dispatch.
+//!
+//! The loop is generic over a (crate-private) `ServiceHost` trait so the
+//! same framing, limits, auth check, and shutdown discipline serve both
+//! hosts in this crate: the engine-backed [`crate::Server`] and the
+//! fan-out [`crate::Router`].
 
-use crate::metrics::RequestKind;
-use crate::server::ServerCtx;
-use crate::wire::{self, Request, Response, STATUS_ENGINE_ERROR, STATUS_PROTOCOL_ERROR};
+use crate::metrics::{RequestKind, ServerMetrics};
+use crate::wire::{
+    self, constant_time_eq, Request, Response, STATUS_ENGINE_ERROR, STATUS_PROTOCOL_ERROR,
+    STATUS_UNAUTHORIZED,
+};
 use rtk_sparse::codec::{self, DecodeError};
 use std::io::{self, Read};
 use std::net::TcpStream;
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 /// Poll interval for idle connections: reads time out this often so the
@@ -18,6 +25,28 @@ const IDLE_POLL: Duration = Duration::from_millis(100);
 /// are not shutdown-polled) — after this long the connection is dropped.
 const WRITE_TIMEOUT: Duration = Duration::from_secs(10);
 
+/// What a process serving the wire protocol provides to the shared
+/// connection loop: limits, metrics, the shutdown flag, the optional auth
+/// token, and the request dispatcher itself.
+pub(crate) trait ServiceHost: Send + Sync + 'static {
+    /// The host's request metrics.
+    fn metrics(&self) -> &ServerMetrics;
+    /// The shutdown flag the connection loop polls.
+    fn shutdown_flag(&self) -> &AtomicBool;
+    /// Per-frame payload cap, both directions.
+    fn max_frame_bytes(&self) -> u32;
+    /// When set, every request's token must match (constant-time compare).
+    fn auth_token(&self) -> Option<&[u8]>;
+    /// Admitted (queued + in-flight) connection counter.
+    fn active_connections(&self) -> &AtomicU64;
+    /// Backpressure cap (`0` = unlimited).
+    fn max_connections(&self) -> usize;
+    /// Executes one (already authenticated) request.
+    fn dispatch(&self, request: Request) -> (RequestKind, Response);
+    /// Flags shutdown and wakes the accept loop.
+    fn begin_shutdown(&self);
+}
+
 /// What one attempt to read a full frame produced.
 enum FrameOutcome {
     /// A complete payload.
@@ -28,21 +57,22 @@ enum FrameOutcome {
     Malformed(DecodeError),
 }
 
-/// Serves one client connection until EOF, protocol error, or shutdown.
-pub(crate) fn handle_connection(mut stream: TcpStream, ctx: &ServerCtx) {
-    ctx.metrics.record_connection();
+/// Serves one client connection until EOF, protocol error, auth failure, or
+/// shutdown.
+pub(crate) fn handle_connection<H: ServiceHost>(mut stream: TcpStream, host: &H) {
+    host.metrics().record_connection();
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(IDLE_POLL));
     let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
     loop {
-        match read_frame_polling(&mut stream, ctx) {
+        match read_frame_polling(&mut stream, host) {
             FrameOutcome::Closed => break,
             FrameOutcome::Malformed(e) => {
                 // A corrupt frame must not take the server down: count it,
                 // tell the peer if the socket still works, drop the
                 // connection (resynchronizing a byte stream after garbage
                 // is not possible), and keep serving everyone else.
-                ctx.metrics.record_protocol_error();
+                host.metrics().record_protocol_error();
                 let resp = Response::Error {
                     code: STATUS_PROTOCOL_ERROR,
                     message: format!("malformed frame: {e}"),
@@ -52,10 +82,10 @@ pub(crate) fn handle_connection(mut stream: TcpStream, ctx: &ServerCtx) {
             }
             FrameOutcome::Frame(payload) => {
                 let started = Instant::now();
-                let request = match wire::decode_request(&payload) {
+                let (token, request) = match wire::decode_request(&payload) {
                     Ok(r) => r,
                     Err(e) => {
-                        ctx.metrics.record_protocol_error();
+                        host.metrics().record_protocol_error();
                         let resp = Response::Error {
                             code: STATUS_PROTOCOL_ERROR,
                             message: format!("malformed request: {e}"),
@@ -64,84 +94,56 @@ pub(crate) fn handle_connection(mut stream: TcpStream, ctx: &ServerCtx) {
                         break;
                     }
                 };
+                // Auth gate: with a token configured, every request —
+                // including shutdown — must present a matching one. The
+                // compare is constant-time so timing does not leak prefix
+                // matches; the connection is dropped after one failure.
+                if let Some(expected) = host.auth_token() {
+                    if !constant_time_eq(expected, &token) {
+                        host.metrics().record_auth_failure();
+                        let resp = Response::Error {
+                            code: STATUS_UNAUTHORIZED,
+                            message: "auth token missing or mismatched".to_string(),
+                        };
+                        let _ = wire::write_frame(&mut stream, &wire::encode_response(&resp));
+                        break;
+                    }
+                }
                 let shutdown_after = matches!(request, Request::Shutdown);
-                let (kind, response) = dispatch(request, ctx);
+                let (kind, response) = host.dispatch(request);
                 // A response that cannot fit through the frame limit is
                 // replaced by an error frame: sending it anyway would only
                 // be rejected client-side after the transfer.
                 let mut encoded = wire::encode_response(&response);
-                if encoded.len() as u64 > u64::from(ctx.max_frame_bytes) {
+                if encoded.len() as u64 > u64::from(host.max_frame_bytes()) {
                     let err = Response::Error {
                         code: STATUS_ENGINE_ERROR,
                         message: format!(
                             "response of {} bytes exceeds the {}-byte frame limit; \
                              split the request",
                             encoded.len(),
-                            ctx.max_frame_bytes
+                            host.max_frame_bytes()
                         ),
                     };
                     encoded = wire::encode_response(&err);
-                    ctx.metrics.record_engine_error();
+                    host.metrics().record_engine_error();
                 } else if matches!(response, Response::Error { code: STATUS_ENGINE_ERROR, .. }) {
-                    ctx.metrics.record_engine_error();
+                    host.metrics().record_engine_error();
                 } else {
-                    ctx.metrics.record_request(kind, started.elapsed().as_secs_f64());
+                    host.metrics().record_request(kind, started.elapsed().as_secs_f64());
                 }
                 if wire::write_frame(&mut stream, &encoded).is_err() {
                     break;
                 }
                 if shutdown_after {
-                    ctx.begin_shutdown();
+                    host.begin_shutdown();
                     break;
                 }
             }
         }
-        if ctx.shutdown.load(Ordering::SeqCst) {
+        if host.shutdown_flag().load(Ordering::SeqCst) {
             break;
         }
-    }
-}
-
-/// Executes one request against the shared engine.
-fn dispatch(request: Request, ctx: &ServerCtx) -> (RequestKind, Response) {
-    match request {
-        Request::Ping => (RequestKind::Ping, Response::Pong),
-        Request::ReverseTopk { q, k, update } => (
-            RequestKind::ReverseTopk,
-            match ctx.shared.reverse_topk(q, k, update) {
-                Ok(r) => Response::ReverseTopk(r),
-                Err(message) => Response::Error { code: STATUS_ENGINE_ERROR, message },
-            },
-        ),
-        Request::Topk { u, k, early } => (
-            RequestKind::Topk,
-            match ctx.shared.topk(u, k, early) {
-                Ok(t) => Response::Topk(t),
-                Err(message) => Response::Error { code: STATUS_ENGINE_ERROR, message },
-            },
-        ),
-        Request::Batch { queries } => (
-            RequestKind::Batch,
-            match ctx.shared.batch(&queries) {
-                Ok(rs) => Response::Batch(rs),
-                Err(message) => Response::Error { code: STATUS_ENGINE_ERROR, message },
-            },
-        ),
-        Request::Stats => {
-            let (shard_nodes, shard_bytes) = ctx.shared.shard_info();
-            (
-                RequestKind::Stats,
-                Response::Stats(ctx.metrics.snapshot(ctx.engine_info, shard_nodes, shard_bytes)),
-            )
-        }
-        Request::Shutdown => (RequestKind::Shutdown, Response::ShuttingDown),
-        Request::Persist { path } => (
-            RequestKind::Persist,
-            match ctx.shared.persist(&path) {
-                Ok(bytes) => Response::Persisted { bytes },
-                Err(message) => Response::Error { code: STATUS_ENGINE_ERROR, message },
-            },
-        ),
     }
 }
 
@@ -150,30 +152,40 @@ fn dispatch(request: Request, ctx: &ServerCtx) -> (RequestKind, Response) {
 /// Only the *first* byte of a frame is allowed to wait indefinitely; once a
 /// frame has started, timeouts keep retrying (the peer is mid-write) unless
 /// shutdown is requested, in which case the connection is abandoned.
-fn read_frame_polling(stream: &mut TcpStream, ctx: &ServerCtx) -> FrameOutcome {
+fn read_frame_polling<H: ServiceHost>(stream: &mut TcpStream, host: &H) -> FrameOutcome {
     // Header: magic + version + payload length, read with idle polling.
     let mut header = [0u8; 16];
-    match read_exact_polling(stream, &mut header, true, ctx) {
+    match read_exact_polling(stream, &mut header, true, host) {
         ReadStatus::Done => {}
         ReadStatus::Closed => return FrameOutcome::Closed,
         ReadStatus::Failed(e) => return FrameOutcome::Malformed(DecodeError::Io(e)),
     }
     let mut cursor = io::Cursor::new(&header[..]);
-    if let Err(e) = codec::read_header(&mut cursor, wire::WIRE_MAGIC, wire::WIRE_VERSION) {
-        return FrameOutcome::Malformed(e);
+    match codec::read_header(&mut cursor, wire::WIRE_MAGIC, wire::WIRE_VERSION) {
+        // Older peers must fail loudly too: payload layouts changed across
+        // versions (v3 added the auth-token prefix), so a version-2 frame
+        // would otherwise be misparsed instead of rejected.
+        Ok(version) if version != wire::WIRE_VERSION => {
+            return FrameOutcome::Malformed(DecodeError::UnsupportedVersion {
+                found: version,
+                supported: wire::WIRE_VERSION,
+            });
+        }
+        Ok(_) => {}
+        Err(e) => return FrameOutcome::Malformed(e),
     }
     let len = match codec::read_u32(&mut cursor) {
         Ok(l) => l,
         Err(e) => return FrameOutcome::Malformed(DecodeError::Io(e)),
     };
-    if len > ctx.max_frame_bytes {
+    if len > host.max_frame_bytes() {
         return FrameOutcome::Malformed(DecodeError::Corrupt(format!(
             "frame payload of {len} bytes exceeds limit {}",
-            ctx.max_frame_bytes
+            host.max_frame_bytes()
         )));
     }
     let mut payload = vec![0u8; len as usize];
-    match read_exact_polling(stream, &mut payload, false, ctx) {
+    match read_exact_polling(stream, &mut payload, false, host) {
         ReadStatus::Done => FrameOutcome::Frame(payload),
         ReadStatus::Closed => {
             FrameOutcome::Malformed(DecodeError::Corrupt("frame truncated mid-payload".into()))
@@ -190,11 +202,11 @@ enum ReadStatus {
 
 /// `read_exact` over a timeout-polled socket. `idle_ok` marks the position
 /// between frames, where EOF and shutdown are clean exits.
-fn read_exact_polling(
+fn read_exact_polling<H: ServiceHost>(
     stream: &mut TcpStream,
     buf: &mut [u8],
     idle_ok: bool,
-    ctx: &ServerCtx,
+    host: &H,
 ) -> ReadStatus {
     let mut filled = 0usize;
     while filled < buf.len() {
@@ -211,7 +223,7 @@ fn read_exact_polling(
             }
             Ok(n) => filled += n,
             Err(e) if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) => {
-                if ctx.shutdown.load(Ordering::SeqCst) {
+                if host.shutdown_flag().load(Ordering::SeqCst) {
                     // Idle between frames: clean close. Mid-frame: abandon.
                     return if filled == 0 && idle_ok {
                         ReadStatus::Closed

@@ -15,17 +15,44 @@
 //! | field   | size | meaning                                  |
 //! |---------|------|------------------------------------------|
 //! | magic   | 8 B  | `"RTKWIRE1"`                             |
-//! | version | 4 B  | `u32`, currently 1                       |
+//! | version | 4 B  | `u32`, currently 3                       |
 //! | length  | 4 B  | `u32` payload bytes (capped per config)  |
 //! | payload | *n*  | tagged request / status-prefixed response|
 //!
 //! Requests: `ping`, `reverse_topk(q, k, update)`, `topk(u, k, early)`,
-//! `batch([(q, k)…])`, `stats`, `shutdown`, `persist(path)`. All integers
-//! little-endian; proximities travel as exact IEEE-754 bits, so remote
-//! answers are **bitwise identical** to local engine calls. The served
-//! engine may be sharded ([`rtk_index::IndexConfig::shards`]); `stats`
-//! reports per-shard node counts and heap sizes, and answers are identical
-//! for every shard count.
+//! `batch([(q, k)…])`, `stats`, `shutdown`, `persist(path)`, and — wire
+//! v3 — the shard-scoped `shard_reverse_topk(q, k, update)` the router
+//! tier is built on. Every v3 request starts with a length-prefixed auth
+//! token (empty when unauthenticated). All integers little-endian;
+//! proximities travel as exact IEEE-754 bits, so remote answers are
+//! **bitwise identical** to local engine calls. The served engine may be
+//! sharded ([`rtk_index::IndexConfig::shards`]); `stats` reports per-shard
+//! node counts and heap sizes, and answers are identical for every shard
+//! count. The normative byte-level spec is `docs/FORMATS.md`.
+//!
+//! ## Multi-process serving (the router tier)
+//!
+//! One process per shard: [`Server::bind_shard`] (CLI: `rtk serve
+//! --shard-only --shard i`) serves a [`rtk_core::ShardEngine`] — the full
+//! graph plus one `RTKSHRD1` section — and a [`Router`] (CLI: `rtk
+//! router --backends …`) owns the shard map, fans each `reverse_topk` out
+//! as per-backend `shard_reverse_topk` calls (serially, in shard order),
+//! and merges: nodes/proximities concatenate, counters sum. Answers stay
+//! **bitwise equal** to single-process serving — the determinism contract
+//! extended to processes (pinned by `tests/router_equivalence.rs`). The
+//! router retries failed backend calls once on a fresh connection, marks
+//! persistent failures `degraded` in `stats`, never serves partial
+//! answers, and re-admits restarted backends automatically. `persist`
+//! fans out (backend `i` writes `<path>.shard<i>`), `shutdown` propagates
+//! to every backend, and a client cannot tell router from single server.
+//!
+//! ## Authentication
+//!
+//! `ServerConfig::auth_token` / `RouterConfig::auth_token` (CLI:
+//! `--auth-token` on serve/router/remote) gate every request with a
+//! shared secret carried in the v3 token field: constant-time compare,
+//! `auth_failures` metric, connection dropped on mismatch. The router
+//! requires the token from clients and presents it to its backends.
 //!
 //! ## Concurrency model
 //!
@@ -69,6 +96,7 @@ pub mod client;
 pub mod error;
 pub mod handler;
 pub mod metrics;
+pub mod router;
 pub mod server;
 pub mod state;
 pub mod wire;
@@ -76,8 +104,9 @@ pub mod wire;
 pub use client::Client;
 pub use error::ServerError;
 pub use metrics::{EngineInfo, ServerMetrics, StatsSnapshot};
+pub use router::{Router, RouterConfig};
 pub use server::{Server, ServerConfig, ServerHandle};
-pub use wire::{Request, Response, WireQueryResult, WireTopk};
+pub use wire::{Request, Response, WireQueryResult, WireShardResult, WireTopk};
 
 #[cfg(test)]
 mod tests {

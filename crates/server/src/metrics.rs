@@ -24,9 +24,11 @@ pub(crate) enum RequestKind {
     Shutdown = 5,
     /// `Request::Persist`.
     Persist = 6,
+    /// `Request::ShardReverseTopk` (wire v3).
+    ShardReverseTopk = 7,
 }
 
-const KINDS: usize = 7;
+const KINDS: usize = 8;
 
 /// Live counters + latency histogram, shared across worker threads.
 ///
@@ -40,6 +42,7 @@ pub struct ServerMetrics {
     engine_errors: AtomicU64,
     connections: AtomicU64,
     rejected_connections: AtomicU64,
+    auth_failures: AtomicU64,
     latency: Mutex<LatencyHistogram>,
 }
 
@@ -59,6 +62,7 @@ impl ServerMetrics {
             engine_errors: AtomicU64::new(0),
             connections: AtomicU64::new(0),
             rejected_connections: AtomicU64::new(0),
+            auth_failures: AtomicU64::new(0),
             latency: Mutex::new(LatencyHistogram::new()),
         }
     }
@@ -84,6 +88,10 @@ impl ServerMetrics {
         self.rejected_connections.fetch_add(1, Ordering::Relaxed);
     }
 
+    pub(crate) fn record_auth_failure(&self) {
+        self.auth_failures.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Consistent-enough snapshot for reporting (counters are read
     /// individually; exactness across counters is not needed). Per-shard
     /// sizes are sampled fresh by the caller — they drift as update-mode
@@ -93,6 +101,7 @@ impl ServerMetrics {
         engine: EngineInfo,
         shard_nodes: Vec<u64>,
         shard_bytes: Vec<u64>,
+        degraded_backends: u64,
     ) -> StatsSnapshot {
         let hist = self.latency.lock().expect("metrics lock").clone();
         let (p50, p95, p99) = hist.percentiles();
@@ -106,10 +115,13 @@ impl ServerMetrics {
             stats: get(RequestKind::Stats),
             shutdown: get(RequestKind::Shutdown),
             persist: get(RequestKind::Persist),
+            shard_reverse_topk: get(RequestKind::ShardReverseTopk),
             protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
             engine_errors: self.engine_errors.load(Ordering::Relaxed),
             connections: self.connections.load(Ordering::Relaxed),
             rejected_connections: self.rejected_connections.load(Ordering::Relaxed),
+            auth_failures: self.auth_failures.load(Ordering::Relaxed),
+            degraded_backends,
             latency_count: hist.count(),
             mean_seconds: hist.mean(),
             p50_seconds: p50,
@@ -120,6 +132,8 @@ impl ServerMetrics {
             edges: engine.edges,
             max_k: engine.max_k,
             workers: engine.workers,
+            shard_lo: engine.shard_lo,
+            shard_hi: engine.shard_hi,
             shard_nodes,
             shard_bytes,
         }
@@ -137,6 +151,11 @@ pub struct EngineInfo {
     pub max_k: u64,
     /// Worker threads the server runs.
     pub workers: u32,
+    /// First global node id this process screens (`0` unless shard-only).
+    pub shard_lo: u64,
+    /// One past the last global node id this process screens (the node
+    /// count unless shard-only).
+    pub shard_hi: u64,
 }
 
 /// A point-in-time metrics report, encodable over the wire.
@@ -158,6 +177,8 @@ pub struct StatsSnapshot {
     pub shutdown: u64,
     /// Completed `persist` requests.
     pub persist: u64,
+    /// Completed shard-scoped `shard_reverse_topk` requests (wire v3).
+    pub shard_reverse_topk: u64,
     /// Malformed frames / requests observed.
     pub protocol_errors: u64,
     /// Requests the engine rejected or failed.
@@ -166,6 +187,11 @@ pub struct StatsSnapshot {
     pub connections: u64,
     /// Connections refused at the `max_connections` cap (backpressure).
     pub rejected_connections: u64,
+    /// Requests rejected because their auth token did not match (wire v3).
+    pub auth_failures: u64,
+    /// Router only: backends currently marked unreachable (`0` on a plain
+    /// server; a nonzero value means the router is serving degraded).
+    pub degraded_backends: u64,
     /// Observations in the latency histogram.
     pub latency_count: u64,
     /// Mean request latency, seconds.
@@ -186,6 +212,10 @@ pub struct StatsSnapshot {
     pub max_k: u64,
     /// Worker threads the server runs.
     pub workers: u32,
+    /// First global node id this process screens (`0` unless shard-only).
+    pub shard_lo: u64,
+    /// One past the last global node id this process screens.
+    pub shard_hi: u64,
     /// Nodes per index shard (length = shard count).
     pub shard_nodes: Vec<u64>,
     /// Heap bytes per index shard, sampled at snapshot time (refinement
@@ -203,6 +233,7 @@ impl StatsSnapshot {
             + self.stats
             + self.shutdown
             + self.persist
+            + self.shard_reverse_topk
     }
 
     /// Number of index shards the server reports.
@@ -222,10 +253,13 @@ impl StatsSnapshot {
             self.stats,
             self.shutdown,
             self.persist,
+            self.shard_reverse_topk,
             self.protocol_errors,
             self.engine_errors,
             self.connections,
             self.rejected_connections,
+            self.auth_failures,
+            self.degraded_backends,
             self.latency_count,
         ] {
             codec::write_u64(w, v)?;
@@ -243,6 +277,8 @@ impl StatsSnapshot {
         codec::write_u64(w, self.edges)?;
         codec::write_u64(w, self.max_k)?;
         codec::write_u32(w, self.workers)?;
+        codec::write_u64(w, self.shard_lo)?;
+        codec::write_u64(w, self.shard_hi)?;
         // Per-shard sizes: one count, then (nodes, bytes) pairs.
         codec::write_u64(w, self.shard_nodes.len() as u64)?;
         for (&n, &b) in self.shard_nodes.iter().zip(&self.shard_bytes) {
@@ -265,10 +301,13 @@ impl StatsSnapshot {
             stats: codec::read_u64(r)?,
             shutdown: codec::read_u64(r)?,
             persist: codec::read_u64(r)?,
+            shard_reverse_topk: codec::read_u64(r)?,
             protocol_errors: codec::read_u64(r)?,
             engine_errors: codec::read_u64(r)?,
             connections: codec::read_u64(r)?,
             rejected_connections: codec::read_u64(r)?,
+            auth_failures: codec::read_u64(r)?,
+            degraded_backends: codec::read_u64(r)?,
             latency_count: codec::read_u64(r)?,
             mean_seconds: codec::read_f64(r)?,
             p50_seconds: codec::read_f64(r)?,
@@ -279,6 +318,8 @@ impl StatsSnapshot {
             edges: codec::read_u64(r)?,
             max_k: codec::read_u64(r)?,
             workers: codec::read_u32(r)?,
+            shard_lo: codec::read_u64(r)?,
+            shard_hi: codec::read_u64(r)?,
             shard_nodes: Vec::new(),
             shard_bytes: Vec::new(),
         };
@@ -298,6 +339,10 @@ mod tests {
     use super::*;
     use std::io::Cursor;
 
+    fn info(nodes: u64) -> EngineInfo {
+        EngineInfo { nodes, edges: 1, max_k: 1, workers: 1, shard_lo: 0, shard_hi: nodes }
+    }
+
     #[test]
     fn snapshot_round_trips() {
         let m = ServerMetrics::new();
@@ -305,17 +350,21 @@ mod tests {
         m.record_request(RequestKind::ReverseTopk, 0.006);
         m.record_request(RequestKind::Ping, 0.0001);
         m.record_request(RequestKind::Persist, 0.02);
+        m.record_request(RequestKind::ShardReverseTopk, 0.003);
         m.record_protocol_error();
         m.record_connection();
         m.record_rejected_connection();
-        let info = EngineInfo { nodes: 100, edges: 500, max_k: 20, workers: 4 };
-        let snap = m.snapshot(info, vec![50, 50], vec![1024, 2048]);
-        assert_eq!(snap.total_requests(), 4);
+        m.record_auth_failure();
+        let snap = m.snapshot(info(100), vec![50, 50], vec![1024, 2048], 1);
+        assert_eq!(snap.total_requests(), 5);
         assert_eq!(snap.reverse_topk, 2);
         assert_eq!(snap.persist, 1);
+        assert_eq!(snap.shard_reverse_topk, 1);
         assert_eq!(snap.protocol_errors, 1);
         assert_eq!(snap.rejected_connections, 1);
-        assert_eq!(snap.latency_count, 4);
+        assert_eq!(snap.auth_failures, 1);
+        assert_eq!(snap.degraded_backends, 1);
+        assert_eq!(snap.latency_count, 5);
         assert_eq!(snap.shard_count(), 2);
         assert!(snap.p50_seconds > 0.0 && snap.p99_seconds >= snap.p50_seconds);
 
@@ -328,8 +377,7 @@ mod tests {
     #[test]
     fn shard_count_is_bounded_on_decode() {
         let m = ServerMetrics::new();
-        let info = EngineInfo { nodes: 1, edges: 1, max_k: 1, workers: 1 };
-        let snap = m.snapshot(info, vec![1; 8], vec![1; 8]);
+        let snap = m.snapshot(info(1), vec![1; 8], vec![1; 8], 0);
         let mut buf = Vec::new();
         snap.encode(&mut buf).unwrap();
         // A bound below the declared count must fail before allocating.
@@ -343,8 +391,7 @@ mod tests {
             m.record_request(RequestKind::Batch, 0.001);
         }
         m.record_request(RequestKind::Stats, 0.001);
-        let snap =
-            m.snapshot(EngineInfo { nodes: 1, edges: 1, max_k: 1, workers: 1 }, vec![1], vec![1]);
+        let snap = m.snapshot(info(1), vec![1], vec![1], 0);
         assert_eq!(snap.batch, 5);
         assert_eq!(snap.stats, 1);
         assert_eq!(snap.reverse_topk, 0);

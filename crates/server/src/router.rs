@@ -1,0 +1,586 @@
+//! The fan-out router: one client-facing process in front of per-shard
+//! backends.
+//!
+//! A [`Router`] owns the **shard map** of a partitioned index and speaks
+//! the same `RTKWIRE1` surface as a single [`crate::Server`] — a client
+//! cannot tell the two apart. Each `reverse_topk` fans out as one
+//! shard-scoped `shard_reverse_topk` per backend (serially, in shard
+//! order), and the partial answers merge back losslessly:
+//!
+//! * result nodes and proximities concatenate in shard order (shard ranges
+//!   are disjoint and ascending, so the concatenation is id-sorted exactly
+//!   like a single-process answer);
+//! * counter statistics (`candidates`, `hits`, `refined_nodes`,
+//!   `refine_iterations`) sum — they were per-shard sums already;
+//! * update-mode refinements commit **backend-locally** (each backend owns
+//!   its shard, so cross-process commits never race), and the serial
+//!   fan-out preserves the per-query ordering a single process would have.
+//!
+//! Answers are therefore **bitwise equal** to single-process serving —
+//! the determinism contract extended to processes: {threads, shards,
+//! processes} may only change wall time, never answers (pinned by
+//! `tests/router_equivalence.rs`).
+//!
+//! ## Failure handling
+//!
+//! Per-backend connections live in small pools and are re-dialed on
+//! demand. A failed call retries once on a fresh connection (refinement is
+//! monotone — re-executing an update-mode slice can only tighten the same
+//! bounds — so retry is safe); a backend that still fails is marked
+//! **degraded** (`degraded_backends` in `stats`) and the client receives a
+//! clean engine error naming the shard. The next request re-dials, so a
+//! restarted backend rejoins automatically. Reverse top-k answers are
+//! all-or-nothing: a missing shard would silently drop results, so the
+//! router never serves partial answers.
+//!
+//! `stats` aggregates the tier (router-side request counters and latency,
+//! per-backend shard sizes sampled live); `persist` asks every backend to
+//! flush its shard section to `<path>.shard<i>`; `shutdown` propagates to
+//! every backend before the router itself drains.
+
+use crate::client::Client;
+use crate::handler::ServiceHost;
+use crate::metrics::{EngineInfo, RequestKind, ServerMetrics};
+use crate::server::{serve_loop, wake_acceptor};
+use crate::wire::{
+    Request, Response, WireQueryResult, DEFAULT_MAX_FRAME_BYTES, STATUS_ENGINE_ERROR,
+};
+use rtk_index::ShardMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Router knobs. The client-facing knobs mirror [`crate::ServerConfig`].
+#[derive(Clone, Debug)]
+pub struct RouterConfig {
+    /// Worker threads handling client connections (`0` = all cores).
+    pub workers: usize,
+    /// Per-frame payload cap in bytes (client side and backend side).
+    pub max_frame_bytes: u32,
+    /// Backpressure cap on admitted client connections (`0` = unlimited).
+    pub max_connections: usize,
+    /// Shared-secret auth token for the whole tier: required from clients
+    /// *and* presented to backends (start the backends with the same
+    /// token). `None` runs unauthenticated.
+    pub auth_token: Option<String>,
+    /// TCP connect timeout per backend dial.
+    pub connect_timeout: Duration,
+    /// Socket read/write timeout on backend calls — bounds how long a hung
+    /// backend can pin a router worker. Generous by default: a slow query
+    /// is not a dead backend.
+    pub backend_io_timeout: Duration,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        Self {
+            workers: 0,
+            max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
+            max_connections: 0,
+            auth_token: None,
+            connect_timeout: Duration::from_secs(5),
+            backend_io_timeout: Duration::from_secs(120),
+        }
+    }
+}
+
+/// One per-shard backend the router fans out to.
+struct Backend {
+    addr: SocketAddr,
+    /// Shard position, from the startup handshake (= index into the map).
+    shard_id: usize,
+    node_lo: u32,
+    node_hi: u32,
+    /// Idle pooled connections (one per router worker at steady state).
+    pool: Mutex<Vec<Client>>,
+    /// Set when the last call failed after retry; cleared on any success.
+    degraded: AtomicBool,
+}
+
+/// Everything the router's workers share.
+struct RouterCtx {
+    backends: Vec<Backend>,
+    /// The shard map assembled from the backend handshakes — the router's
+    /// authoritative picture of the partition.
+    shard_map: ShardMap,
+    engine_info: EngineInfo,
+    metrics: ServerMetrics,
+    shutdown: AtomicBool,
+    max_frame_bytes: u32,
+    active_connections: AtomicU64,
+    max_connections: usize,
+    auth_token: Option<Vec<u8>>,
+    connect_timeout: Duration,
+    backend_io_timeout: Duration,
+    local_addr: SocketAddr,
+}
+
+/// A bound (but not yet running) fan-out router.
+///
+/// ```no_run
+/// use rtk_server::{Router, RouterConfig};
+/// let backends = ["127.0.0.1:7401".to_string(), "127.0.0.1:7402".to_string()];
+/// let router = Router::bind(&backends, "127.0.0.1:7400", RouterConfig::default()).unwrap();
+/// println!("routing on {}", router.local_addr());
+/// router.run().unwrap(); // blocks until a Shutdown request arrives
+/// ```
+pub struct Router {
+    listener: TcpListener,
+    ctx: Arc<RouterCtx>,
+    workers: usize,
+}
+
+impl Router {
+    /// Binds `addr` and performs the startup handshake: every backend in
+    /// `backend_addrs` is dialed, its shard range read from `stats`, and
+    /// the ranges validated to tile `0..n` exactly (any order of addresses
+    /// is accepted; backends are sorted by range). All backends must serve
+    /// the same graph (`nodes`/`edges`/`max_k` must agree) and must be
+    /// `--shard-only` processes.
+    pub fn bind<A: ToSocketAddrs>(
+        backend_addrs: &[String],
+        addr: A,
+        config: RouterConfig,
+    ) -> io::Result<Self> {
+        if backend_addrs.is_empty() {
+            return Err(io::Error::new(io::ErrorKind::InvalidInput, "router: no backends given"));
+        }
+        crate::server::check_auth_token_len(config.auth_token.as_deref())?;
+        let bad_input = |m: String| io::Error::new(io::ErrorKind::InvalidInput, m);
+        let mut backends = Vec::with_capacity(backend_addrs.len());
+        let mut graph_info: Option<(u64, u64, u64)> = None;
+        for spec in backend_addrs {
+            let backend_addr = spec
+                .to_socket_addrs()
+                .map_err(|e| bad_input(format!("router: cannot resolve backend {spec:?}: {e}")))?
+                .next()
+                .ok_or_else(|| {
+                    bad_input(format!("router: backend {spec:?} resolves to nothing"))
+                })?;
+            let mut client = Client::connect_timeout(&backend_addr, config.connect_timeout)
+                .map_err(|e| bad_input(format!("router: cannot reach backend {spec}: {e}")))?;
+            // The same io timeout as every later dial — without it, a hung
+            // backend could wedge the handshake (or, once this connection
+            // is pooled, pin a router worker forever).
+            client
+                .set_io_timeout(Some(config.backend_io_timeout))
+                .map_err(|e| bad_input(format!("router: backend {spec}: {e}")))?;
+            if let Some(token) = &config.auth_token {
+                client.set_auth_token(token);
+            }
+            let stats = client
+                .stats()
+                .map_err(|e| bad_input(format!("router: handshake with {spec} failed: {e}")))?;
+            // Probe the shard-scoped surface: a plain full server reports a
+            // plausible range (0..n) but cannot answer shard_reverse_topk —
+            // catch that here as a startup error instead of failing every
+            // query at runtime.
+            client.shard_reverse_topk(0, 1, false).map_err(|e| {
+                bad_input(format!(
+                    "router: backend {spec} does not answer shard-scoped queries — is it \
+                     running with --shard-only? ({e})"
+                ))
+            })?;
+            match graph_info {
+                None => graph_info = Some((stats.nodes, stats.edges, stats.max_k)),
+                Some((n, e, k)) => {
+                    if (stats.nodes, stats.edges, stats.max_k) != (n, e, k) {
+                        return Err(bad_input(format!(
+                            "router: backend {spec} serves a different index \
+                             ({}/{}/{} vs {n}/{e}/{k} nodes/edges/max_k)",
+                            stats.nodes, stats.edges, stats.max_k
+                        )));
+                    }
+                }
+            }
+            if stats.shard_hi <= stats.shard_lo {
+                return Err(bad_input(format!(
+                    "router: backend {spec} reports empty shard range {}..{}",
+                    stats.shard_lo, stats.shard_hi
+                )));
+            }
+            backends.push(Backend {
+                addr: backend_addr,
+                shard_id: 0, // assigned after sorting by range
+                node_lo: stats.shard_lo as u32,
+                node_hi: stats.shard_hi as u32,
+                pool: Mutex::new(vec![client]),
+                degraded: AtomicBool::new(false),
+            });
+        }
+        let (nodes, edges, max_k) = graph_info.expect("at least one backend");
+
+        // The backends must tile 0..n exactly — a gap or overlap would
+        // silently corrupt every answer, so it is a startup error.
+        backends.sort_by_key(|b| b.node_lo);
+        let mut starts = Vec::with_capacity(backends.len());
+        let mut expect = 0u32;
+        for (i, b) in backends.iter_mut().enumerate() {
+            if b.node_lo != expect {
+                return Err(bad_input(format!(
+                    "router: shard ranges do not tile the node space: expected a shard \
+                     starting at {expect}, got {}..{} ({})",
+                    b.node_lo, b.node_hi, b.addr
+                )));
+            }
+            b.shard_id = i;
+            starts.push(b.node_lo);
+            expect = b.node_hi;
+        }
+        if u64::from(expect) != nodes {
+            return Err(bad_input(format!(
+                "router: shards cover 0..{expect} but the index has {nodes} nodes \
+                 (missing backends?)"
+            )));
+        }
+        let shard_map = ShardMap::from_starts(nodes as usize, starts)
+            .map_err(|e| bad_input(format!("router: invalid shard map: {e}")))?;
+
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let workers = rtk_graph::resolve_threads(config.workers).max(1);
+        let ctx = Arc::new(RouterCtx {
+            backends,
+            shard_map,
+            engine_info: EngineInfo {
+                nodes,
+                edges,
+                max_k,
+                workers: workers as u32,
+                shard_lo: 0,
+                shard_hi: nodes,
+            },
+            metrics: ServerMetrics::new(),
+            shutdown: AtomicBool::new(false),
+            max_frame_bytes: config.max_frame_bytes,
+            active_connections: AtomicU64::new(0),
+            max_connections: config.max_connections,
+            auth_token: config.auth_token.map(String::into_bytes),
+            connect_timeout: config.connect_timeout,
+            backend_io_timeout: config.backend_io_timeout,
+            local_addr,
+        });
+        Ok(Self { listener, ctx, workers })
+    }
+
+    /// The bound client-facing address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.ctx.local_addr
+    }
+
+    /// Number of backends behind this router.
+    pub fn backend_count(&self) -> usize {
+        self.ctx.backends.len()
+    }
+
+    /// Serves until a `Shutdown` request arrives (which also propagates to
+    /// every backend), then drains exactly like [`crate::Server::run`].
+    pub fn run(self) -> io::Result<()> {
+        let Router { listener, ctx, workers } = self;
+        serve_loop(listener, ctx, workers)
+    }
+
+    /// Runs the router on a background thread; returns a handle with the
+    /// bound address.
+    pub fn spawn(self) -> crate::ServerHandle {
+        let addr = self.local_addr();
+        let thread = std::thread::spawn(move || self.run());
+        crate::server::handle_from_parts(addr, thread)
+    }
+}
+
+impl RouterCtx {
+    /// Dials a fresh authenticated connection to `backend`.
+    fn connect_backend(&self, backend: &Backend) -> Result<Client, String> {
+        let mut client = Client::connect_timeout(&backend.addr, self.connect_timeout)
+            .map_err(|e| format!("backend shard {} ({}): {e}", backend.shard_id, backend.addr))?;
+        client
+            .set_io_timeout(Some(self.backend_io_timeout))
+            .map_err(|e| format!("backend shard {} ({}): {e}", backend.shard_id, backend.addr))?;
+        if let Some(token) = &self.auth_token {
+            client.set_auth_token(&String::from_utf8_lossy(token));
+        }
+        Ok(client)
+    }
+
+    /// One request against one backend: pooled connection (or a fresh
+    /// dial), one retry on a fresh connection, degraded marking on final
+    /// failure. Application errors (`Response::Error`) are *not* retried —
+    /// the backend is healthy, the request is just wrong.
+    fn backend_call(&self, backend: &Backend, request: &Request) -> Result<Response, String> {
+        let mut last_err = String::new();
+        for attempt in 0..2 {
+            // Attempt 0 may reuse a pooled connection; the retry always
+            // dials fresh — after a backend restart every pooled entry is
+            // stale, and popping a second one would fail a request against
+            // a perfectly healthy backend.
+            let pooled = if attempt == 0 {
+                backend.pool.lock().expect("backend pool lock").pop()
+            } else {
+                None
+            };
+            let mut client = match pooled {
+                Some(c) => c,
+                None => match self.connect_backend(backend) {
+                    Ok(c) => c,
+                    Err(e) => {
+                        last_err = e;
+                        continue;
+                    }
+                },
+            };
+            match client.request(request) {
+                Ok(resp) => {
+                    backend.pool.lock().expect("backend pool lock").push(client);
+                    backend.degraded.store(false, Ordering::Relaxed);
+                    return Ok(resp);
+                }
+                Err(e) => {
+                    // The connection is unusable (stale pool entry after a
+                    // backend restart, mid-write failure, …): drop it and
+                    // retry once on a fresh dial.
+                    last_err =
+                        format!("backend shard {} ({}): {e}", backend.shard_id, backend.addr);
+                }
+            }
+        }
+        backend.degraded.store(true, Ordering::Relaxed);
+        Err(format!("{last_err} (backend degraded; will re-dial on the next request)"))
+    }
+
+    /// Number of backends currently marked degraded.
+    fn degraded_count(&self) -> u64 {
+        self.backends.iter().filter(|b| b.degraded.load(Ordering::Relaxed)).count() as u64
+    }
+
+    /// The serial fan-out + merge of one reverse top-k query.
+    fn reverse_topk(&self, q: u32, k: u32, update: bool) -> Result<WireQueryResult, String> {
+        let started = Instant::now();
+        let mut merged = WireQueryResult {
+            query: q,
+            k,
+            nodes: Vec::new(),
+            proximities: Vec::new(),
+            candidates: 0,
+            hits: 0,
+            refined_nodes: 0,
+            refine_iterations: 0,
+            server_seconds: 0.0,
+        };
+        for backend in &self.backends {
+            let resp = self.backend_call(backend, &Request::ShardReverseTopk { q, k, update })?;
+            match resp {
+                Response::ShardReverseTopk(s) => {
+                    if s.node_lo != backend.node_lo || s.node_hi != backend.node_hi {
+                        return Err(format!(
+                            "backend shard {} ({}) answered for range {}..{}, expected {}..{} \
+                             — was it restarted with a different shard?",
+                            backend.shard_id,
+                            backend.addr,
+                            s.node_lo,
+                            s.node_hi,
+                            backend.node_lo,
+                            backend.node_hi
+                        ));
+                    }
+                    // Shard ranges ascend and partials are id-sorted within
+                    // their range, so plain concatenation is id-sorted.
+                    merged.nodes.extend(s.result.nodes);
+                    merged.proximities.extend(s.result.proximities);
+                    merged.candidates += s.result.candidates;
+                    merged.hits += s.result.hits;
+                    merged.refined_nodes += s.result.refined_nodes;
+                    merged.refine_iterations += s.result.refine_iterations;
+                }
+                Response::Error { message, .. } => {
+                    return Err(format!(
+                        "backend shard {} ({}): {message}",
+                        backend.shard_id, backend.addr
+                    ));
+                }
+                other => {
+                    return Err(format!(
+                        "backend shard {} ({}): unexpected {other:?}",
+                        backend.shard_id, backend.addr
+                    ));
+                }
+            }
+        }
+        merged.server_seconds = started.elapsed().as_secs_f64();
+        Ok(merged)
+    }
+
+    /// Forwards a shard-independent request to the backend owning node `u`
+    /// (all backends hold the full graph; routing by owner spreads load
+    /// deterministically).
+    fn forward_to_owner(&self, u: u32, request: &Request) -> Result<Response, String> {
+        if u64::from(u) >= self.engine_info.nodes {
+            return Err(format!("node {u} out of range for {} nodes", self.engine_info.nodes));
+        }
+        let backend = &self.backends[self.shard_map.shard_of(u)];
+        match self.backend_call(backend, request)? {
+            Response::Error { message, .. } => {
+                Err(format!("backend shard {} ({}): {message}", backend.shard_id, backend.addr))
+            }
+            resp => Ok(resp),
+        }
+    }
+
+    /// Aggregated tier stats: the router's own client-facing counters and
+    /// latency, plus per-backend shard sizes sampled live (a degraded
+    /// backend reports its handshake node count with zero bytes).
+    fn stats(&self) -> Response {
+        let mut shard_nodes = Vec::with_capacity(self.backends.len());
+        let mut shard_bytes = Vec::with_capacity(self.backends.len());
+        for backend in &self.backends {
+            match self.backend_call(backend, &Request::Stats) {
+                Ok(Response::Stats(s)) => {
+                    shard_nodes.extend(s.shard_nodes);
+                    shard_bytes.extend(s.shard_bytes);
+                }
+                _ => {
+                    shard_nodes.push(u64::from(backend.node_hi - backend.node_lo));
+                    shard_bytes.push(0);
+                }
+            }
+        }
+        Response::Stats(self.metrics.snapshot(
+            self.engine_info,
+            shard_nodes,
+            shard_bytes,
+            self.degraded_count(),
+        ))
+    }
+
+    /// Fans `persist` out: backend `i` flushes its shard section to
+    /// `<path>.shard<i>` on *its own* filesystem. Returns the summed bytes;
+    /// any backend failure fails the whole request (partial snapshots are
+    /// worse than none).
+    fn persist(&self, path: &str) -> Result<u64, String> {
+        let mut total = 0u64;
+        for backend in &self.backends {
+            let shard_path = format!("{path}.shard{}", backend.shard_id);
+            match self.backend_call(backend, &Request::Persist { path: shard_path })? {
+                Response::Persisted { bytes } => total += bytes,
+                Response::Error { message, .. } => {
+                    return Err(format!(
+                        "backend shard {} ({}): {message}",
+                        backend.shard_id, backend.addr
+                    ));
+                }
+                other => {
+                    return Err(format!(
+                        "backend shard {} ({}): unexpected {other:?}",
+                        backend.shard_id, backend.addr
+                    ));
+                }
+            }
+        }
+        Ok(total)
+    }
+
+    /// Propagates shutdown to every backend (best effort — a degraded
+    /// backend cannot block the tier from stopping).
+    fn shutdown_backends(&self) {
+        for backend in &self.backends {
+            let _ = self.backend_call(backend, &Request::Shutdown);
+        }
+    }
+}
+
+impl ServiceHost for RouterCtx {
+    fn metrics(&self) -> &ServerMetrics {
+        &self.metrics
+    }
+
+    fn shutdown_flag(&self) -> &AtomicBool {
+        &self.shutdown
+    }
+
+    fn max_frame_bytes(&self) -> u32 {
+        self.max_frame_bytes
+    }
+
+    fn auth_token(&self) -> Option<&[u8]> {
+        self.auth_token.as_deref()
+    }
+
+    fn active_connections(&self) -> &AtomicU64 {
+        &self.active_connections
+    }
+
+    fn max_connections(&self) -> usize {
+        self.max_connections
+    }
+
+    fn dispatch(&self, request: Request) -> (RequestKind, Response) {
+        let engine_err = |message: String| Response::Error { code: STATUS_ENGINE_ERROR, message };
+        match request {
+            Request::Ping => (RequestKind::Ping, Response::Pong),
+            Request::ReverseTopk { q, k, update } => (
+                RequestKind::ReverseTopk,
+                match self.reverse_topk(q, k, update) {
+                    Ok(r) => Response::ReverseTopk(r),
+                    Err(m) => engine_err(m),
+                },
+            ),
+            Request::Topk { u, k, early } => (
+                RequestKind::Topk,
+                match self.forward_to_owner(u, &Request::Topk { u, k, early }) {
+                    Ok(Response::Topk(t)) => Response::Topk(t),
+                    Ok(other) => engine_err(format!("unexpected backend response {other:?}")),
+                    Err(m) => engine_err(m),
+                },
+            ),
+            Request::Batch { queries } => {
+                // Frozen per-query fan-out, answered in request order —
+                // mirroring the all-or-error semantics of a single server.
+                let mut results = Vec::with_capacity(queries.len());
+                let mut failed = None;
+                for &(q, k) in &queries {
+                    match self.reverse_topk(q, k, false) {
+                        Ok(r) => results.push(r),
+                        Err(m) => {
+                            failed = Some(m);
+                            break;
+                        }
+                    }
+                }
+                (
+                    RequestKind::Batch,
+                    match failed {
+                        None => Response::Batch(results),
+                        Some(m) => engine_err(m),
+                    },
+                )
+            }
+            Request::Stats => (RequestKind::Stats, self.stats()),
+            Request::Shutdown => {
+                self.shutdown_backends();
+                (RequestKind::Shutdown, Response::ShuttingDown)
+            }
+            Request::Persist { path } => (
+                RequestKind::Persist,
+                match self.persist(&path) {
+                    Ok(bytes) => Response::Persisted { bytes },
+                    Err(m) => engine_err(m),
+                },
+            ),
+            Request::ShardReverseTopk { .. } => (
+                RequestKind::ShardReverseTopk,
+                engine_err(
+                    "this is a router, not a shard backend; send reverse_topk and the \
+                     router will fan it out"
+                        .to_string(),
+                ),
+            ),
+        }
+    }
+
+    fn begin_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        wake_acceptor(self.local_addr);
+    }
+}

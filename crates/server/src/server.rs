@@ -1,10 +1,10 @@
 //! The std-only TCP server: listener + worker thread pool + shutdown.
 
-use crate::handler::handle_connection;
-use crate::metrics::{EngineInfo, ServerMetrics};
+use crate::handler::{handle_connection, ServiceHost};
+use crate::metrics::{EngineInfo, RequestKind, ServerMetrics};
 use crate::state::SharedEngine;
-use crate::wire::DEFAULT_MAX_FRAME_BYTES;
-use rtk_core::ReverseTopkEngine;
+use crate::wire::{Request, Response, DEFAULT_MAX_FRAME_BYTES, STATUS_ENGINE_ERROR};
+use rtk_core::{ReverseTopkEngine, ShardEngine};
 use rtk_graph::resolve_threads;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -30,11 +30,15 @@ pub struct ServerConfig {
     /// occupying a worker.
     pub max_connections: usize,
     /// When set, `persist` requests may only name *relative* paths (no
-    /// `..`), resolved inside this directory — the wire protocol has no
-    /// authentication yet, so this fences what a peer can write. `None`
-    /// (the default) allows any path the process can create, matching the
-    /// trusted-network posture of `shutdown`.
+    /// `..`), resolved inside this directory — this fences what a peer can
+    /// write. `None` (the default) allows any path the process can create,
+    /// matching the trusted-network posture of `shutdown`.
     pub persist_dir: Option<std::path::PathBuf>,
+    /// Shared-secret auth token. When set, every request frame must carry
+    /// a matching token (wire v3 field, constant-time compare); mismatches
+    /// are answered `unauthorized`, counted in `auth_failures`, and the
+    /// connection is dropped. `None` (the default) accepts any token.
+    pub auth_token: Option<String>,
 }
 
 impl Default for ServerConfig {
@@ -45,6 +49,7 @@ impl Default for ServerConfig {
             query_threads: 1,
             max_connections: 0,
             persist_dir: None,
+            auth_token: None,
         }
     }
 }
@@ -60,26 +65,201 @@ pub(crate) struct ServerCtx {
     pub(crate) active_connections: AtomicU64,
     /// Backpressure cap (`0` = unlimited).
     pub(crate) max_connections: usize,
+    /// Shared-secret token every request must carry (when set).
+    pub(crate) auth_token: Option<Vec<u8>>,
     /// Where the listener is bound — used to self-connect on shutdown so a
     /// blocked `accept` wakes up without busy-polling.
     local_addr: SocketAddr,
 }
 
-impl ServerCtx {
-    /// Flags shutdown and pokes the accept loop awake.
-    pub(crate) fn begin_shutdown(&self) {
-        self.shutdown.store(true, Ordering::SeqCst);
-        // Wildcard binds (0.0.0.0 / ::) are not connectable addresses on
-        // every platform — wake the acceptor through loopback instead.
-        let mut wake = self.local_addr;
-        if wake.ip().is_unspecified() {
-            wake.set_ip(match wake.ip() {
-                std::net::IpAddr::V4(_) => std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST),
-                std::net::IpAddr::V6(_) => std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST),
-            });
-        }
-        let _ = TcpStream::connect(wake);
+impl ServiceHost for ServerCtx {
+    fn metrics(&self) -> &ServerMetrics {
+        &self.metrics
     }
+
+    fn shutdown_flag(&self) -> &AtomicBool {
+        &self.shutdown
+    }
+
+    fn max_frame_bytes(&self) -> u32 {
+        self.max_frame_bytes
+    }
+
+    fn auth_token(&self) -> Option<&[u8]> {
+        self.auth_token.as_deref()
+    }
+
+    fn active_connections(&self) -> &AtomicU64 {
+        &self.active_connections
+    }
+
+    fn max_connections(&self) -> usize {
+        self.max_connections
+    }
+
+    /// Executes one request against the shared engine.
+    fn dispatch(&self, request: Request) -> (RequestKind, Response) {
+        match request {
+            Request::Ping => (RequestKind::Ping, Response::Pong),
+            Request::ReverseTopk { q, k, update } => (
+                RequestKind::ReverseTopk,
+                match self.shared.reverse_topk(q, k, update) {
+                    Ok(r) => Response::ReverseTopk(r),
+                    Err(message) => Response::Error { code: STATUS_ENGINE_ERROR, message },
+                },
+            ),
+            Request::ShardReverseTopk { q, k, update } => (
+                RequestKind::ShardReverseTopk,
+                match self.shared.shard_reverse_topk(q, k, update) {
+                    Ok(r) => Response::ShardReverseTopk(r),
+                    Err(message) => Response::Error { code: STATUS_ENGINE_ERROR, message },
+                },
+            ),
+            Request::Topk { u, k, early } => (
+                RequestKind::Topk,
+                match self.shared.topk(u, k, early) {
+                    Ok(t) => Response::Topk(t),
+                    Err(message) => Response::Error { code: STATUS_ENGINE_ERROR, message },
+                },
+            ),
+            Request::Batch { queries } => (
+                RequestKind::Batch,
+                match self.shared.batch(&queries) {
+                    Ok(rs) => Response::Batch(rs),
+                    Err(message) => Response::Error { code: STATUS_ENGINE_ERROR, message },
+                },
+            ),
+            Request::Stats => {
+                let (shard_nodes, shard_bytes) = self.shared.shard_info();
+                (
+                    RequestKind::Stats,
+                    Response::Stats(self.metrics.snapshot(
+                        self.engine_info,
+                        shard_nodes,
+                        shard_bytes,
+                        0,
+                    )),
+                )
+            }
+            Request::Shutdown => (RequestKind::Shutdown, Response::ShuttingDown),
+            Request::Persist { path } => (
+                RequestKind::Persist,
+                match self.shared.persist(&path) {
+                    Ok(bytes) => Response::Persisted { bytes },
+                    Err(message) => Response::Error { code: STATUS_ENGINE_ERROR, message },
+                },
+            ),
+        }
+    }
+
+    /// Flags shutdown and pokes the accept loop awake.
+    fn begin_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        wake_acceptor(self.local_addr);
+    }
+}
+
+/// Rejects auth tokens longer than the wire field allows at configuration
+/// time — otherwise every request would fail later as a baffling
+/// "malformed request" protocol error instead of pointing at the token.
+pub(crate) fn check_auth_token_len(token: Option<&str>) -> io::Result<()> {
+    if let Some(token) = token {
+        if token.len() as u64 > crate::wire::MAX_AUTH_TOKEN_BYTES {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "auth token of {} bytes exceeds the {}-byte wire field",
+                    token.len(),
+                    crate::wire::MAX_AUTH_TOKEN_BYTES
+                ),
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Connects to the (possibly wildcard-bound) listener so a blocked `accept`
+/// returns and observes the shutdown flag.
+pub(crate) fn wake_acceptor(mut wake: SocketAddr) {
+    // Wildcard binds (0.0.0.0 / ::) are not connectable addresses on
+    // every platform — wake the acceptor through loopback instead.
+    if wake.ip().is_unspecified() {
+        wake.set_ip(match wake.ip() {
+            std::net::IpAddr::V4(_) => std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST),
+            std::net::IpAddr::V6(_) => std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST),
+        });
+    }
+    let _ = TcpStream::connect(wake);
+}
+
+/// The shared accept loop: a worker pool draining a connection queue, with
+/// backpressure (the `busy` frame) and graceful drain on shutdown. Used by
+/// both [`Server`] and [`crate::Router`].
+pub(crate) fn serve_loop<H: ServiceHost>(
+    listener: TcpListener,
+    ctx: Arc<H>,
+    workers: usize,
+) -> io::Result<()> {
+    let (tx, rx) = mpsc::channel::<TcpStream>();
+    let rx = Arc::new(Mutex::new(rx));
+
+    let handles: Vec<JoinHandle<()>> = (0..workers)
+        .map(|_| {
+            let rx = Arc::clone(&rx);
+            let ctx = Arc::clone(&ctx);
+            std::thread::spawn(move || loop {
+                let stream = {
+                    let guard = rx.lock().expect("connection queue lock");
+                    guard.recv()
+                };
+                match stream {
+                    Ok(s) => {
+                        handle_connection(s, &*ctx);
+                        ctx.active_connections().fetch_sub(1, Ordering::AcqRel);
+                    }
+                    Err(_) => break, // acceptor dropped the sender
+                }
+            })
+        })
+        .collect();
+
+    for stream in listener.incoming() {
+        if ctx.shutdown_flag().load(Ordering::SeqCst) {
+            break; // the wake-up connection (or a late client) lands here
+        }
+        match stream {
+            Ok(s) => {
+                // Backpressure: over the cap, the connection gets one
+                // clean `busy` error frame and is closed — it never
+                // queues, so admitted clients keep their latency.
+                if ctx.max_connections() > 0
+                    && ctx.active_connections().load(Ordering::Acquire)
+                        >= ctx.max_connections() as u64
+                {
+                    ctx.metrics().record_rejected_connection();
+                    reject_busy(s, ctx.max_connections());
+                    continue;
+                }
+                ctx.active_connections().fetch_add(1, Ordering::AcqRel);
+                if tx.send(s).is_err() {
+                    break;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                // Transient accept failure (e.g. fd exhaustion): back
+                // off briefly instead of busy-spinning the acceptor.
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                continue;
+            }
+        }
+    }
+
+    drop(tx); // workers drain the queue, then exit
+    for h in handles {
+        let _ = h.join();
+    }
+    Ok(())
 }
 
 /// A bound (but not yet running) reverse top-k server.
@@ -105,19 +285,50 @@ impl Server {
         addr: A,
         config: ServerConfig,
     ) -> io::Result<Self> {
+        let shared = SharedEngine::new(engine, config.query_threads, config.persist_dir.clone());
+        Self::bind_shared(shared, addr, config)
+    }
+
+    /// Binds `addr` and wraps a per-shard backend engine for serving — the
+    /// `--shard-only` flavor: it answers `shard_reverse_topk` (plus the
+    /// shard-independent requests) and expects a [`crate::Router`] in front
+    /// for full answers.
+    pub fn bind_shard<A: ToSocketAddrs>(
+        engine: ShardEngine,
+        addr: A,
+        config: ServerConfig,
+    ) -> io::Result<Self> {
+        let shared =
+            SharedEngine::new_shard(engine, config.query_threads, config.persist_dir.clone());
+        Self::bind_shared(shared, addr, config)
+    }
+
+    fn bind_shared<A: ToSocketAddrs>(
+        shared: SharedEngine,
+        addr: A,
+        config: ServerConfig,
+    ) -> io::Result<Self> {
+        check_auth_token_len(config.auth_token.as_deref())?;
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         let workers = resolve_threads(config.workers).max(1);
-        let shared = SharedEngine::new(engine, config.query_threads, config.persist_dir.clone());
-        let (nodes, edges, max_k) = shared.info();
+        let (nodes, edges, max_k, shard_lo, shard_hi) = shared.info();
         let ctx = Arc::new(ServerCtx {
             shared,
             metrics: ServerMetrics::new(),
             shutdown: AtomicBool::new(false),
             max_frame_bytes: config.max_frame_bytes,
-            engine_info: EngineInfo { nodes, edges, max_k, workers: workers as u32 },
+            engine_info: EngineInfo {
+                nodes,
+                edges,
+                max_k,
+                workers: workers as u32,
+                shard_lo,
+                shard_hi,
+            },
             active_connections: AtomicU64::new(0),
             max_connections: config.max_connections,
+            auth_token: config.auth_token.map(String::into_bytes),
             local_addr,
         });
         Ok(Self { listener, ctx, workers })
@@ -133,66 +344,7 @@ impl Server {
     /// finish, and every worker joins before this returns.
     pub fn run(self) -> io::Result<()> {
         let Server { listener, ctx, workers } = self;
-        let (tx, rx) = mpsc::channel::<TcpStream>();
-        let rx = Arc::new(Mutex::new(rx));
-
-        let handles: Vec<JoinHandle<()>> = (0..workers)
-            .map(|_| {
-                let rx = Arc::clone(&rx);
-                let ctx = Arc::clone(&ctx);
-                std::thread::spawn(move || loop {
-                    let stream = {
-                        let guard = rx.lock().expect("connection queue lock");
-                        guard.recv()
-                    };
-                    match stream {
-                        Ok(s) => {
-                            handle_connection(s, &ctx);
-                            ctx.active_connections.fetch_sub(1, Ordering::AcqRel);
-                        }
-                        Err(_) => break, // acceptor dropped the sender
-                    }
-                })
-            })
-            .collect();
-
-        for stream in listener.incoming() {
-            if ctx.shutdown.load(Ordering::SeqCst) {
-                break; // the wake-up connection (or a late client) lands here
-            }
-            match stream {
-                Ok(s) => {
-                    // Backpressure: over the cap, the connection gets one
-                    // clean `busy` error frame and is closed — it never
-                    // queues, so admitted clients keep their latency.
-                    if ctx.max_connections > 0
-                        && ctx.active_connections.load(Ordering::Acquire)
-                            >= ctx.max_connections as u64
-                    {
-                        ctx.metrics.record_rejected_connection();
-                        reject_busy(s, ctx.max_connections);
-                        continue;
-                    }
-                    ctx.active_connections.fetch_add(1, Ordering::AcqRel);
-                    if tx.send(s).is_err() {
-                        break;
-                    }
-                }
-                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
-                Err(_) => {
-                    // Transient accept failure (e.g. fd exhaustion): back
-                    // off briefly instead of busy-spinning the acceptor.
-                    std::thread::sleep(std::time::Duration::from_millis(20));
-                    continue;
-                }
-            }
-        }
-
-        drop(tx); // workers drain the queue, then exit
-        for h in handles {
-            let _ = h.join();
-        }
-        Ok(())
+        serve_loop(listener, ctx, workers)
     }
 
     /// Runs the server on a background thread; returns a handle with the
@@ -208,7 +360,7 @@ impl Server {
 /// Tells a rejected connection the server is at capacity. Runs on the
 /// acceptor thread, so the write gets a short timeout — a peer that will
 /// not read its rejection cannot stall accepting.
-fn reject_busy(mut stream: TcpStream, cap: usize) {
+pub(crate) fn reject_busy(mut stream: TcpStream, cap: usize) {
     let _ = stream.set_write_timeout(Some(std::time::Duration::from_secs(1)));
     let resp = crate::wire::Response::Error {
         code: crate::wire::STATUS_BUSY,
@@ -221,6 +373,15 @@ fn reject_busy(mut stream: TcpStream, cap: usize) {
 pub struct ServerHandle {
     addr: SocketAddr,
     thread: JoinHandle<io::Result<()>>,
+}
+
+/// Assembles a handle for any host run on a background thread (used by the
+/// router's `spawn`, which shares this handle type).
+pub(crate) fn handle_from_parts(
+    addr: SocketAddr,
+    thread: JoinHandle<io::Result<()>>,
+) -> ServerHandle {
+    ServerHandle { addr, thread }
 }
 
 impl ServerHandle {

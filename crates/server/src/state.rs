@@ -13,17 +13,33 @@
 //! Result sets and proximities are identical in both modes (refinement only
 //! tightens bounds; it never changes answers), so interleaving update-mode
 //! traffic cannot perturb concurrent frozen readers' results.
+//!
+//! Two engine kinds sit behind the same lock discipline: a full
+//! [`ReverseTopkEngine`] (every shard in one process — `rtk serve`) or a
+//! [`ShardEngine`] (one shard per process — `rtk serve --shard-only`, the
+//! backend of an `rtk router` tier). A shard-only engine answers only the
+//! shard-scoped request plus the shard-independent ones (`topk`, `stats`,
+//! `persist`, `ping`, `shutdown`); full-index requests against it are
+//! engine errors, and vice versa.
 
-use crate::wire::{WireQueryResult, WireTopk};
-use rtk_core::ReverseTopkEngine;
+use crate::wire::{WireQueryResult, WireShardResult, WireTopk};
+use rtk_core::{ReverseTopkEngine, ShardEngine};
 use rtk_graph::NodeId;
 use rtk_query::{QueryOptions, QueryResult};
 use std::sync::RwLock;
 use std::time::Instant;
 
+/// Which engine flavor this process serves.
+enum EngineKind {
+    /// The whole index in one process (`rtk serve`).
+    Full(RwLock<ReverseTopkEngine>),
+    /// One shard of a sharded index (`rtk serve --shard-only`).
+    Shard(RwLock<ShardEngine>),
+}
+
 /// Shared engine plus the per-request query options the server uses.
 pub(crate) struct SharedEngine {
-    engine: RwLock<ReverseTopkEngine>,
+    kind: EngineKind,
     /// Thread count for the *inside* of one request (PMPN SpMV + screen).
     /// Servers parallelize across requests, so this defaults to 1.
     query_threads: usize,
@@ -38,17 +54,50 @@ impl SharedEngine {
         query_threads: usize,
         persist_dir: Option<std::path::PathBuf>,
     ) -> Self {
-        Self { engine: RwLock::new(engine), query_threads: query_threads.max(1), persist_dir }
+        Self {
+            kind: EngineKind::Full(RwLock::new(engine)),
+            query_threads: query_threads.max(1),
+            persist_dir,
+        }
     }
 
-    /// `(nodes, edges, max_k)` of the served engine.
-    pub(crate) fn info(&self) -> (u64, u64, u64) {
-        let engine = self.engine.read().expect("engine lock");
-        (
-            engine.node_count() as u64,
-            engine.graph().edge_count() as u64,
-            engine.index().max_k() as u64,
-        )
+    pub(crate) fn new_shard(
+        engine: ShardEngine,
+        query_threads: usize,
+        persist_dir: Option<std::path::PathBuf>,
+    ) -> Self {
+        Self {
+            kind: EngineKind::Shard(RwLock::new(engine)),
+            query_threads: query_threads.max(1),
+            persist_dir,
+        }
+    }
+
+    /// `(nodes, edges, max_k, shard_lo, shard_hi)` of the served engine.
+    pub(crate) fn info(&self) -> (u64, u64, u64, u64, u64) {
+        match &self.kind {
+            EngineKind::Full(e) => {
+                let engine = e.read().expect("engine lock");
+                (
+                    engine.node_count() as u64,
+                    engine.graph().edge_count() as u64,
+                    engine.index().max_k() as u64,
+                    0,
+                    engine.node_count() as u64,
+                )
+            }
+            EngineKind::Shard(e) => {
+                let engine = e.read().expect("engine lock");
+                let r = engine.shard_range();
+                (
+                    engine.node_count() as u64,
+                    engine.graph().edge_count() as u64,
+                    engine.max_k() as u64,
+                    u64::from(r.start),
+                    u64::from(r.end),
+                )
+            }
+        }
     }
 
     fn options(&self, update: bool) -> QueryOptions {
@@ -56,6 +105,20 @@ impl SharedEngine {
             update_index: update,
             query_threads: self.query_threads,
             ..Default::default()
+        }
+    }
+
+    fn full(&self) -> Result<&RwLock<ReverseTopkEngine>, String> {
+        match &self.kind {
+            EngineKind::Full(e) => Ok(e),
+            EngineKind::Shard(e) => {
+                let r = e.read().expect("engine lock").shard_range();
+                Err(format!(
+                    "this backend serves only shard nodes {}..{} (--shard-only); \
+                     send shard_reverse_topk, or query the router for full answers",
+                    r.start, r.end
+                ))
+            }
         }
     }
 
@@ -67,12 +130,13 @@ impl SharedEngine {
         update: bool,
     ) -> Result<WireQueryResult, String> {
         let started = Instant::now();
+        let lock = self.full()?;
         let result = if update {
-            let mut engine = self.engine.write().expect("engine lock");
+            let mut engine = lock.write().expect("engine lock");
             let opts = self.options(true);
             engine.query_with(NodeId(q), k as usize, &opts).map_err(|e| e.to_string())?
         } else {
-            let engine = self.engine.read().expect("engine lock");
+            let engine = lock.read().expect("engine lock");
             let opts = self.options(false);
             let mut results = engine
                 .query_batch(&[(NodeId(q), k as usize)], &opts)
@@ -82,42 +146,112 @@ impl SharedEngine {
         Ok(to_wire(&result, started.elapsed().as_secs_f64()))
     }
 
-    /// Forward top-k from `u`; always frozen.
-    pub(crate) fn topk(&self, u: u32, k: u32, early: bool) -> Result<WireTopk, String> {
-        let engine = self.engine.read().expect("engine lock");
-        let top = if early {
-            engine.top_k_early(NodeId(u), k as usize)
+    /// The shard-scoped slice of one reverse top-k query (wire v3). Only a
+    /// shard-only backend answers it: a router fans these out and merges.
+    pub(crate) fn shard_reverse_topk(
+        &self,
+        q: u32,
+        k: u32,
+        update: bool,
+    ) -> Result<WireShardResult, String> {
+        let started = Instant::now();
+        let EngineKind::Shard(lock) = &self.kind else {
+            return Err("shard_reverse_topk requires a --shard-only backend; this server holds \
+                 the whole index — use reverse_topk"
+                .to_string());
+        };
+        let (shard_id, node_lo, node_hi, result) = if update {
+            let mut engine = lock.write().expect("engine lock");
+            let r = engine
+                .query_shard_update(NodeId(q), k as usize, &self.options(true))
+                .map_err(|e| e.to_string())?;
+            let range = engine.shard_range();
+            (engine.shard_id() as u32, range.start, range.end, r)
         } else {
-            engine.top_k(NodeId(u), k as usize)
-        }
-        .map_err(|e| e.to_string())?;
+            let engine = lock.read().expect("engine lock");
+            let r = engine
+                .query_shard_frozen(NodeId(q), k as usize, &self.options(false))
+                .map_err(|e| e.to_string())?;
+            let range = engine.shard_range();
+            (engine.shard_id() as u32, range.start, range.end, r)
+        };
+        Ok(WireShardResult {
+            shard_id,
+            node_lo,
+            node_hi,
+            result: to_wire(&result, started.elapsed().as_secs_f64()),
+        })
+    }
+
+    /// Forward top-k from `u`; always frozen. Both engine kinds hold the
+    /// full graph, so shard-only backends answer it too.
+    pub(crate) fn topk(&self, u: u32, k: u32, early: bool) -> Result<WireTopk, String> {
+        let top = match &self.kind {
+            EngineKind::Full(e) => {
+                let engine = e.read().expect("engine lock");
+                if early {
+                    engine.top_k_early(NodeId(u), k as usize)
+                } else {
+                    engine.top_k(NodeId(u), k as usize)
+                }
+                .map_err(|e| e.to_string())?
+            }
+            EngineKind::Shard(e) => {
+                let engine = e.read().expect("engine lock");
+                if early {
+                    engine.top_k_early(NodeId(u), k as usize)
+                } else {
+                    engine.top_k(NodeId(u), k as usize)
+                }
+                .map_err(|e| e.to_string())?
+            }
+        };
         let (nodes, scores): (Vec<u32>, Vec<f64>) = top.into_iter().map(|(v, p)| (v.0, p)).unzip();
         Ok(WireTopk { node: u, k, nodes, scores })
     }
 
     /// Per-shard `(nodes, heap bytes)` of the served index, sampled fresh —
-    /// update-mode refinement grows shard states over time.
+    /// update-mode refinement grows shard states over time. A shard-only
+    /// backend reports its single shard.
     pub(crate) fn shard_info(&self) -> (Vec<u64>, Vec<u64>) {
-        let engine = self.engine.read().expect("engine lock");
-        let shards = engine.index().shards();
-        (
-            shards.iter().map(|s| s.len() as u64).collect(),
-            shards.iter().map(|s| s.heap_bytes() as u64).collect(),
-        )
+        match &self.kind {
+            EngineKind::Full(e) => {
+                let engine = e.read().expect("engine lock");
+                let shards = engine.index().shards();
+                (
+                    shards.iter().map(|s| s.len() as u64).collect(),
+                    shards.iter().map(|s| s.heap_bytes() as u64).collect(),
+                )
+            }
+            EngineKind::Shard(e) => {
+                let engine = e.read().expect("engine lock");
+                (vec![engine.shard_len() as u64], vec![engine.shard_heap_bytes() as u64])
+            }
+        }
     }
 
-    /// Flushes the current engine snapshot (graph + refined index) to
-    /// `path` on the server's filesystem. Runs under the **write lock** so
-    /// the snapshot is quiescent: no concurrent update-mode commit can
-    /// interleave with the serializer. Returns the snapshot size in bytes.
+    /// Flushes the current engine state to `path` on the server's
+    /// filesystem, under the **write lock** so the snapshot is quiescent.
+    /// A full engine writes an engine snapshot (`RTKENGN1`); a shard-only
+    /// backend writes its shard section (`RTKSHRD1`). Returns the byte size.
     pub(crate) fn persist(&self, path: &str) -> Result<u64, String> {
         let target = self.resolve_persist_path(path)?;
-        let engine = self.engine.write().expect("engine lock");
         let file = std::fs::File::create(&target)
             .map_err(|e| format!("persist: cannot create {target:?}: {e}"))?;
-        engine
-            .save(std::io::BufWriter::new(file))
-            .map_err(|e| format!("persist: snapshot write failed: {e}"))?;
+        match &self.kind {
+            EngineKind::Full(e) => {
+                let engine = e.write().expect("engine lock");
+                engine
+                    .save(std::io::BufWriter::new(file))
+                    .map_err(|e| format!("persist: snapshot write failed: {e}"))?;
+            }
+            EngineKind::Shard(e) => {
+                let engine = e.write().expect("engine lock");
+                engine
+                    .save_shard(std::io::BufWriter::new(file))
+                    .map_err(|e| format!("persist: shard section write failed: {e}"))?;
+            }
+        }
         std::fs::metadata(&target)
             .map(|m| m.len())
             .map_err(|e| format!("persist: cannot stat {target:?}: {e}"))
@@ -147,7 +281,8 @@ impl SharedEngine {
 
     /// Many independent frozen queries in one read-lock hold.
     pub(crate) fn batch(&self, queries: &[(u32, u32)]) -> Result<Vec<WireQueryResult>, String> {
-        let engine = self.engine.read().expect("engine lock");
+        let lock = self.full()?;
+        let engine = lock.read().expect("engine lock");
         let opts = self.options(false);
         let raw: Vec<(NodeId, usize)> =
             queries.iter().map(|&(q, k)| (NodeId(q), k as usize)).collect();

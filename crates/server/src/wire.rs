@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! magic   "RTKWIRE1"                  8 bytes
-//! version u32 (currently 2)           4 bytes
+//! version u32 (currently 3)           4 bytes   (must match exactly)
 //! length  u32 payload byte count      4 bytes   (bounded by the receiver)
 //! payload `length` bytes
 //! ```
@@ -16,9 +16,11 @@
 //! declared length exceeds its configured cap *before* allocating, and every
 //! sequence inside a payload is decoded with a payload-derived bound.
 //!
-//! Request payloads start with a `u32` tag ([`Request`]); response payloads
-//! start with a `u32` status — `0` for success followed by the body, nonzero
-//! for an error followed by a message string ([`Response`]).
+//! Request payloads start with a length-prefixed **auth token** (empty when
+//! the deployment runs unauthenticated), then a `u32` tag ([`Request`]);
+//! response payloads start with a `u32` status — `0` for success followed by
+//! the body, nonzero for an error followed by a message string
+//! ([`Response`]). See `docs/FORMATS.md` for the normative byte-level spec.
 
 use crate::error::ServerError;
 use crate::metrics::StatsSnapshot;
@@ -28,8 +30,10 @@ use std::io::{Cursor, Read, Write};
 /// Magic tag opening every frame.
 pub const WIRE_MAGIC: &[u8; 8] = b"RTKWIRE1";
 /// Current protocol version (2 added `persist`, per-shard stats, and the
-/// `busy` backpressure status).
-pub const WIRE_VERSION: u32 = 2;
+/// `busy` backpressure status; 3 added the shard-scoped
+/// `shard_reverse_topk` pair, the per-request auth-token field, and the
+/// router/auth stats fields).
+pub const WIRE_VERSION: u32 = 3;
 /// Default per-frame payload cap (16 MiB) — generous for batch responses,
 /// small enough that a malicious length prefix cannot balloon memory.
 pub const DEFAULT_MAX_FRAME_BYTES: u32 = 16 * 1024 * 1024;
@@ -48,9 +52,13 @@ const TAG_BATCH: u32 = 3;
 const TAG_STATS: u32 = 4;
 const TAG_SHUTDOWN: u32 = 5;
 const TAG_PERSIST: u32 = 6;
+const TAG_SHARD_REVERSE_TOPK: u32 = 7;
 
 /// Cap on a `persist` request's path length in bytes.
 pub const MAX_PERSIST_PATH_BYTES: u64 = 4096;
+
+/// Cap on the auth-token field of a request (wire v3).
+pub const MAX_AUTH_TOKEN_BYTES: u64 = 1024;
 
 /// Response status codes (first `u32` of a response payload).
 const STATUS_OK: u32 = 0;
@@ -60,6 +68,8 @@ pub const STATUS_PROTOCOL_ERROR: u32 = 1;
 pub const STATUS_ENGINE_ERROR: u32 = 2;
 /// The server is at its connection cap; retry later (backpressure).
 pub const STATUS_BUSY: u32 = 3;
+/// The request's auth token did not match the server's `--auth-token`.
+pub const STATUS_UNAUTHORIZED: u32 = 4;
 
 /// A client request.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -102,6 +112,20 @@ pub enum Request {
         /// Server-side destination path.
         path: String,
     },
+    /// The shard-scoped slice of one reverse top-k query (wire v3): screen
+    /// only the receiving backend's shard range. Sent by the router to its
+    /// per-shard backends; a backend started with `--shard-only` answers
+    /// with [`Response::ShardReverseTopk`]. The partial results of every
+    /// shard, concatenated in shard order with counters summed, equal the
+    /// single-process answer bitwise.
+    ShardReverseTopk {
+        /// Query node id (global).
+        q: u32,
+        /// Result set size.
+        k: u32,
+        /// Commit refinements into the backend's shard (update mode).
+        update: bool,
+    },
 }
 
 /// One reverse top-k answer with its server-side diagnostics.
@@ -125,6 +149,20 @@ pub struct WireQueryResult {
     pub refine_iterations: u64,
     /// Server-side wall time for this query, seconds.
     pub server_seconds: f64,
+}
+
+/// One backend's shard-scoped slice of a reverse top-k answer (wire v3).
+#[derive(Clone, Debug, PartialEq)]
+pub struct WireShardResult {
+    /// The answering shard's position in the shard map.
+    pub shard_id: u32,
+    /// First global node id the shard screened.
+    pub node_lo: u32,
+    /// One past the last global node id the shard screened.
+    pub node_hi: u32,
+    /// The partial answer: result nodes within `[node_lo, node_hi)` and the
+    /// shard's own counter statistics.
+    pub result: WireQueryResult,
 }
 
 /// A forward top-k answer.
@@ -160,6 +198,8 @@ pub enum Response {
         /// Size of the flushed snapshot file in bytes.
         bytes: u64,
     },
+    /// Answer to [`Request::ShardReverseTopk`].
+    ShardReverseTopk(WireShardResult),
     /// The request failed; `code` is one of the `STATUS_*` constants.
     Error {
         /// `STATUS_PROTOCOL_ERROR` or `STATUS_ENGINE_ERROR`.
@@ -189,7 +229,13 @@ pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> std::io::Result<()> {
 /// allocating. The caller is responsible for distinguishing clean EOF (no
 /// bytes at all) from a truncated frame.
 pub fn read_frame<R: Read>(r: &mut R, max_frame_bytes: u32) -> Result<Vec<u8>, DecodeError> {
-    codec::read_header(r, WIRE_MAGIC, WIRE_VERSION)?;
+    let version = codec::read_header(r, WIRE_MAGIC, WIRE_VERSION)?;
+    // The conversation is versioned as a whole: payload layouts changed
+    // across versions (v3 added the auth-token prefix), so an *older* peer
+    // must fail loudly here rather than have its payload misparsed.
+    if version != WIRE_VERSION {
+        return Err(DecodeError::UnsupportedVersion { found: version, supported: WIRE_VERSION });
+    }
     let len = codec::read_u32(r)?;
     if len > max_frame_bytes {
         return Err(DecodeError::Corrupt(format!(
@@ -201,14 +247,31 @@ pub fn read_frame<R: Read>(r: &mut R, max_frame_bytes: u32) -> Result<Vec<u8>, D
     Ok(payload)
 }
 
-/// Encodes a request payload.
+/// Encodes a request payload with an empty auth-token field (the
+/// unauthenticated form of [`encode_request_authed`]).
 pub fn encode_request(req: &Request) -> Vec<u8> {
+    encode_request_authed(req, b"")
+}
+
+/// Encodes a request payload. Every v3 request starts with the
+/// length-prefixed `token` (empty when the deployment runs
+/// unauthenticated); servers started with an auth token reject requests
+/// whose token does not match (constant-time compare, counted in
+/// `auth_failures`).
+pub fn encode_request_authed(req: &Request, token: &[u8]) -> Vec<u8> {
     let mut out = Vec::new();
     let w = &mut out;
+    codec::write_bytes(w, token).unwrap();
     match req {
         Request::Ping => codec::write_u32(w, TAG_PING).unwrap(),
         Request::ReverseTopk { q, k, update } => {
             codec::write_u32(w, TAG_REVERSE_TOPK).unwrap();
+            codec::write_u32(w, *q).unwrap();
+            codec::write_u32(w, *k).unwrap();
+            codec::write_u32(w, u32::from(*update)).unwrap();
+        }
+        Request::ShardReverseTopk { q, k, update } => {
+            codec::write_u32(w, TAG_SHARD_REVERSE_TOPK).unwrap();
             codec::write_u32(w, *q).unwrap();
             codec::write_u32(w, *k).unwrap();
             codec::write_u32(w, u32::from(*update)).unwrap();
@@ -237,14 +300,22 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
     out
 }
 
-/// Decodes a request payload. Sequence lengths are bounded by what the
-/// payload could physically contain, so a corrupt count fails fast.
-pub fn decode_request(payload: &[u8]) -> Result<Request, DecodeError> {
+/// Decodes a request payload into its auth token and request. Sequence
+/// lengths are bounded by what the payload could physically contain, so a
+/// corrupt count fails fast.
+pub fn decode_request(payload: &[u8]) -> Result<(Vec<u8>, Request), DecodeError> {
     let mut r = Cursor::new(payload);
+    let token_bound = (payload.len() as u64).min(MAX_AUTH_TOKEN_BYTES);
+    let token = codec::read_bytes_bounded(&mut r, token_bound)?;
     let tag = codec::read_u32(&mut r)?;
     let req = match tag {
         TAG_PING => Request::Ping,
         TAG_REVERSE_TOPK => Request::ReverseTopk {
+            q: codec::read_u32(&mut r)?,
+            k: codec::read_u32(&mut r)?,
+            update: codec::read_u32(&mut r)? != 0,
+        },
+        TAG_SHARD_REVERSE_TOPK => Request::ShardReverseTopk {
             q: codec::read_u32(&mut r)?,
             k: codec::read_u32(&mut r)?,
             update: codec::read_u32(&mut r)? != 0,
@@ -279,7 +350,20 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, DecodeError> {
         }
     };
     expect_exhausted(&r, payload.len())?;
-    Ok(req)
+    Ok((token, req))
+}
+
+/// Constant-time byte-slice equality: the comparison touches every byte of
+/// both slices regardless of where they first differ, so response timing
+/// does not leak how much of a guessed auth token was correct.
+pub fn constant_time_eq(a: &[u8], b: &[u8]) -> bool {
+    let mut diff = a.len() ^ b.len();
+    for i in 0..a.len().max(b.len()) {
+        let x = a.get(i).copied().unwrap_or(0);
+        let y = b.get(i).copied().unwrap_or(0);
+        diff |= usize::from(x ^ y);
+    }
+    diff == 0
 }
 
 /// Encodes a response payload.
@@ -322,6 +406,13 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
         Response::Persisted { bytes } => {
             codec::write_u32(w, TAG_PERSIST).unwrap();
             codec::write_u64(w, *bytes).unwrap();
+        }
+        Response::ShardReverseTopk(s) => {
+            codec::write_u32(w, TAG_SHARD_REVERSE_TOPK).unwrap();
+            codec::write_u32(w, s.shard_id).unwrap();
+            codec::write_u32(w, s.node_lo).unwrap();
+            codec::write_u32(w, s.node_hi).unwrap();
+            write_query_result(w, &s.result);
         }
         Response::Error { .. } => unreachable!("handled above"),
     }
@@ -379,6 +470,13 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, ServerError> {
         }
         TAG_SHUTDOWN => Response::ShuttingDown,
         TAG_PERSIST => Response::Persisted { bytes: codec::read_u64(&mut r)? },
+        TAG_SHARD_REVERSE_TOPK => {
+            let shard_id = codec::read_u32(&mut r)?;
+            let node_lo = codec::read_u32(&mut r)?;
+            let node_hi = codec::read_u32(&mut r)?;
+            let result = read_query_result(&mut r, payload.len())?;
+            Response::ShardReverseTopk(WireShardResult { shard_id, node_lo, node_hi, result })
+        }
         other => {
             return Err(ServerError::Protocol(format!("unknown response tag {other}")));
         }
@@ -462,6 +560,7 @@ mod tests {
             Request::Ping,
             Request::ReverseTopk { q: 7, k: 10, update: true },
             Request::ReverseTopk { q: 0, k: 1, update: false },
+            Request::ShardReverseTopk { q: 42, k: 10, update: true },
             Request::Topk { u: 3, k: 2, early: true },
             Request::Batch { queries: vec![(0, 1), (5, 10), (7, 3)] },
             Request::Batch { queries: vec![] },
@@ -471,8 +570,33 @@ mod tests {
         ];
         for req in reqs {
             let payload = encode_request(&req);
-            assert_eq!(decode_request(&payload).unwrap(), req, "{req:?}");
+            let (token, back) = decode_request(&payload).unwrap();
+            assert!(token.is_empty());
+            assert_eq!(back, req, "{req:?}");
         }
+    }
+
+    #[test]
+    fn auth_tokens_round_trip_and_are_bounded() {
+        let req = Request::ReverseTopk { q: 1, k: 2, update: false };
+        let payload = encode_request_authed(&req, b"s3cret");
+        let (token, back) = decode_request(&payload).unwrap();
+        assert_eq!(token, b"s3cret");
+        assert_eq!(back, req);
+
+        // An absurd token length fails before allocating.
+        let mut bogus = Vec::new();
+        codec::write_u64(&mut bogus, u64::MAX).unwrap();
+        assert!(matches!(decode_request(&bogus).unwrap_err(), DecodeError::Corrupt(_)));
+    }
+
+    #[test]
+    fn constant_time_eq_compares_correctly() {
+        assert!(constant_time_eq(b"", b""));
+        assert!(constant_time_eq(b"token", b"token"));
+        assert!(!constant_time_eq(b"token", b"Token"));
+        assert!(!constant_time_eq(b"token", b"token2"));
+        assert!(!constant_time_eq(b"token", b""));
     }
 
     #[test]
@@ -485,8 +609,15 @@ mod tests {
             Response::Batch(vec![]),
             Response::ShuttingDown,
             Response::Persisted { bytes: 123_456 },
+            Response::ShardReverseTopk(WireShardResult {
+                shard_id: 2,
+                node_lo: 100,
+                node_hi: 150,
+                result: sample_result(7),
+            }),
             Response::Error { code: STATUS_ENGINE_ERROR, message: "k out of range".into() },
             Response::Error { code: STATUS_BUSY, message: "server busy".into() },
+            Response::Error { code: STATUS_UNAUTHORIZED, message: "bad token".into() },
         ];
         for resp in resps {
             let payload = encode_response(&resp);
@@ -535,8 +666,23 @@ mod tests {
     }
 
     #[test]
+    fn older_version_is_rejected_not_misparsed() {
+        // v2 payloads have no auth-token prefix; accepting the frame would
+        // misparse the request. The version must match exactly.
+        let mut buf = Vec::new();
+        codec::write_header(&mut buf, WIRE_MAGIC, WIRE_VERSION - 1).unwrap();
+        codec::write_u32(&mut buf, 4).unwrap();
+        codec::write_u32(&mut buf, 0).unwrap(); // v2-style bare PING tag
+        assert!(matches!(
+            read_frame(&mut Cursor::new(buf), 1024).unwrap_err(),
+            DecodeError::UnsupportedVersion { found: 2, supported: 3 }
+        ));
+    }
+
+    #[test]
     fn unknown_tags_and_trailing_bytes_are_corrupt() {
         let mut payload = Vec::new();
+        codec::write_bytes(&mut payload, b"").unwrap(); // empty auth token
         codec::write_u32(&mut payload, 99).unwrap();
         assert!(decode_request(&payload).is_err());
 
@@ -557,11 +703,13 @@ mod tests {
     #[test]
     fn persist_path_is_bounded_and_utf8_checked() {
         let mut payload = Vec::new();
+        codec::write_bytes(&mut payload, b"").unwrap(); // empty auth token
         codec::write_u32(&mut payload, 6).unwrap(); // TAG_PERSIST
         codec::write_u64(&mut payload, u64::MAX).unwrap(); // absurd length
         assert!(matches!(decode_request(&payload).unwrap_err(), DecodeError::Corrupt(_)));
 
         let mut payload = Vec::new();
+        codec::write_bytes(&mut payload, b"").unwrap();
         codec::write_u32(&mut payload, 6).unwrap();
         codec::write_bytes(&mut payload, &[0xFF, 0xFE]).unwrap(); // not UTF-8
         assert!(matches!(decode_request(&payload).unwrap_err(), DecodeError::Corrupt(_)));
@@ -570,6 +718,7 @@ mod tests {
     #[test]
     fn batch_count_is_bounded_by_payload_size() {
         let mut payload = Vec::new();
+        codec::write_bytes(&mut payload, b"").unwrap(); // empty auth token
         codec::write_u32(&mut payload, 3).unwrap(); // TAG_BATCH
         codec::write_u64(&mut payload, u64::MAX).unwrap(); // absurd count
         let err = decode_request(&payload).unwrap_err();

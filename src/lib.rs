@@ -98,14 +98,18 @@
 //! | frame field | size | meaning                                   |
 //! |-------------|------|-------------------------------------------|
 //! | magic       | 8 B  | `"RTKWIRE1"`                              |
-//! | version     | 4 B  | `u32`, currently 2                        |
+//! | version     | 4 B  | `u32`, currently 3                        |
 //! | length      | 4 B  | `u32` payload bytes, capped per config    |
 //! | payload     | *n*  | tagged request / status-prefixed response |
 //!
 //! Requests: `ping`, `reverse_topk(q, k, update)`, `topk(u, k, early)`,
-//! `batch`, `stats`, `shutdown`, `persist(path)`. Proximities travel as
-//! exact IEEE-754 bits, so remote answers are **bitwise identical** to
-//! local engine calls (pinned by `tests/server_loopback.rs`).
+//! `batch`, `stats`, `shutdown`, `persist(path)`, and the shard-scoped
+//! `shard_reverse_topk` (wire v3) that multi-process serving is built
+//! on. Proximities travel as exact IEEE-754 bits, so remote answers are
+//! **bitwise identical** to local engine calls (pinned by
+//! `tests/server_loopback.rs`). `docs/FORMATS.md` is the normative
+//! byte-level spec; optional `--auth-token` gates every request with a
+//! shared secret (constant-time compare, `auth_failures` metric).
 //!
 //! Concurrency: the engine sits behind one `RwLock` — frozen-mode queries
 //! share the read lock and run concurrently across the worker pool, while
@@ -127,6 +131,21 @@
 //! `cargo run --release -p rtk-bench --bin serve_study` drives a loopback
 //! server from concurrent client threads and writes `BENCH_serve.json`
 //! with the same percentile fields as `BENCH_query.json`.
+//!
+//! # Multi-process serving
+//!
+//! Each shard can live in its own process: `rtk serve --shard-only
+//! --shard i` loads the full graph plus **one** `RTKSHRD1` section (a
+//! `ShardSlice`) and answers shard-scoped requests; `rtk router
+//! --backends …` owns the shard map, fans each query out, and merges the
+//! partial answers — bitwise equal to a single-process server, so the
+//! determinism contract now reads **{threads, shards, processes} may
+//! only change wall time, never answers** (pinned by
+//! `tests/router_equivalence.rs`). The router retries and marks
+//! unreachable backends `degraded` in `stats` instead of serving partial
+//! answers. See `docs/ARCHITECTURE.md` for the tier diagram and
+//! `cargo run --release -p rtk-bench --bin router_study` for the
+//! single-vs-routed sweep (`BENCH_router.json`).
 //!
 //! ```
 //! use reverse_topk_rwr::prelude::*;

@@ -1,0 +1,291 @@
+//! Multi-process serving determinism (ISSUE 4 acceptance criteria).
+//!
+//! Spins up per-shard `rtk-server` backends (each holding one `ShardSlice`
+//! of the same index) behind an `rtk-server` router, and pins the tier's
+//! answers **bitwise equal** to a single-process server over the identical
+//! index:
+//!
+//! * backend counts {1, 2, 4} × {frozen, update} query sequences — result
+//!   nodes, proximities (exact IEEE-754 bits), and counter statistics all
+//!   match the single-process answers;
+//! * one backend is killed and restarted mid-sequence: during the outage
+//!   the router degrades loudly (engine errors + `degraded_backends` in
+//!   stats, never a partial answer), and after the restart answers are
+//!   again bitwise equal;
+//! * the shared-secret auth token gates every entry point of the tier.
+
+use rtk_core::{ReverseTopkEngine, ShardEngine};
+use rtk_graph::gen::{rmat, RmatConfig};
+use rtk_graph::DiGraph;
+use rtk_index::ShardSlice;
+use rtk_server::{Client, Router, RouterConfig, Server, ServerConfig, ServerHandle};
+
+const NODES: usize = 260;
+const EDGES: usize = 1200;
+const SEED: u64 = 0xCAFE;
+const MAX_K: usize = 8;
+
+fn graph() -> DiGraph {
+    rmat(&RmatConfig::new(NODES, EDGES, SEED)).expect("rmat")
+}
+
+/// Deterministic build: same graph + config ⇒ identical index, so separate
+/// builds serve as bitwise references for each other.
+fn build_engine(shards: usize) -> ReverseTopkEngine {
+    ReverseTopkEngine::builder(graph())
+        .max_k(MAX_K)
+        .hubs_per_direction(6)
+        .threads(1)
+        .shards(shards)
+        .build()
+        .expect("engine build")
+}
+
+fn backend_config(auth: Option<&str>) -> ServerConfig {
+    // A connection pins its worker for its lifetime, and the router keeps
+    // one pooled connection per backend open — so a backend needs spare
+    // workers for any direct (admin) connections on top of the router's.
+    ServerConfig { workers: 2, auth_token: auth.map(str::to_string), ..Default::default() }
+}
+
+/// Starts one shard-only backend for shard `sid` of `engine`'s index.
+fn spawn_backend(
+    engine: &ReverseTopkEngine,
+    sid: usize,
+    addr: &str,
+    auth: Option<&str>,
+) -> ServerHandle {
+    let slice = ShardSlice::from_index(engine.index(), sid).expect("shard slice");
+    let shard_engine = ShardEngine::from_parts(graph(), slice).expect("shard engine");
+    Server::bind_shard(shard_engine, addr, backend_config(auth))
+        .expect("bind backend")
+        .spawn()
+}
+
+/// The query sequence both tiers execute: interleaved frozen and update
+/// queries (update mode makes later queries depend on earlier commits, so
+/// ordering bugs in the cross-process merge would surface here).
+fn sequence() -> Vec<(u32, u32, bool)> {
+    let mut seq = Vec::new();
+    for (i, q) in [0u32, 19, 77, 133, 200, 259, 41, 88].iter().enumerate() {
+        let k = 1 + (i as u32 % MAX_K as u32);
+        seq.push((*q, k, false));
+        seq.push((*q, k, i % 2 == 0)); // every other query commits
+    }
+    seq
+}
+
+/// Asserts one router answer equals one single-process answer bitwise
+/// (`check_stats` also pins the counter statistics — disable it after a
+/// backend restart, where committed refinements were legitimately lost).
+fn assert_equal(
+    via_router: &rtk_server::WireQueryResult,
+    direct: &rtk_server::WireQueryResult,
+    check_stats: bool,
+    context: &str,
+) {
+    assert_eq!(via_router.nodes, direct.nodes, "{context}: node sets differ");
+    assert_eq!(
+        via_router.proximities.len(),
+        direct.proximities.len(),
+        "{context}: proximity counts differ"
+    );
+    for (a, b) in via_router.proximities.iter().zip(&direct.proximities) {
+        assert_eq!(a.to_bits(), b.to_bits(), "{context}: proximity bits differ");
+    }
+    if check_stats {
+        assert_eq!(via_router.candidates, direct.candidates, "{context}: candidates");
+        assert_eq!(via_router.hits, direct.hits, "{context}: hits");
+        assert_eq!(via_router.refined_nodes, direct.refined_nodes, "{context}: refined");
+        assert_eq!(
+            via_router.refine_iterations, direct.refine_iterations,
+            "{context}: refine iterations"
+        );
+    }
+}
+
+#[test]
+fn router_matches_single_process_bitwise_across_backend_counts() {
+    for backends in [1usize, 2, 4] {
+        // Reference: a single-process server over the same index (shard
+        // count never changes answers, so S = backends keeps builds equal).
+        let single = Server::bind(build_engine(backends), "127.0.0.1:0", backend_config(None))
+            .expect("bind single")
+            .spawn();
+        let mut direct = Client::connect(single.addr()).expect("connect single");
+
+        // The tier: one shard-only backend per shard, plus the router.
+        let sharded = build_engine(backends);
+        let backend_handles: Vec<ServerHandle> = (0..backends)
+            .map(|sid| spawn_backend(&sharded, sid, "127.0.0.1:0", None))
+            .collect();
+        let addrs: Vec<String> = backend_handles.iter().map(|h| h.addr().to_string()).collect();
+        let router = Router::bind(&addrs, "127.0.0.1:0", RouterConfig::default())
+            .expect("bind router")
+            .spawn();
+        let mut via_router = Client::connect(router.addr()).expect("connect router");
+
+        for (q, k, update) in sequence() {
+            let a = via_router.reverse_topk(q, k, update).expect("router query");
+            let b = direct.reverse_topk(q, k, update).expect("direct query");
+            assert_equal(&a, &b, true, &format!("backends={backends} q={q} k={k} upd={update}"));
+        }
+
+        // The router is transparent for the rest of the surface too.
+        let t_a = via_router.topk(7, 5, true).expect("router topk");
+        let t_b = direct.topk(7, 5, true).expect("direct topk");
+        assert_eq!(t_a.nodes, t_b.nodes);
+        for (a, b) in t_a.scores.iter().zip(&t_b.scores) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        let batch_a = via_router.batch(&[(3, 4), (100, 2)]).expect("router batch");
+        let batch_b = direct.batch(&[(3, 4), (100, 2)]).expect("direct batch");
+        for (a, b) in batch_a.iter().zip(&batch_b) {
+            assert_equal(a, b, true, &format!("backends={backends} batch"));
+        }
+
+        // Aggregated stats describe the whole tier.
+        let stats = via_router.stats().expect("router stats");
+        assert_eq!(stats.nodes, NODES as u64);
+        assert_eq!(stats.max_k, MAX_K as u64);
+        assert_eq!(stats.shard_count(), backends);
+        assert_eq!(stats.shard_nodes.iter().sum::<u64>(), NODES as u64);
+        assert_eq!(stats.degraded_backends, 0);
+        assert!(stats.reverse_topk >= sequence().len() as u64);
+
+        // Shutdown through the router propagates to every backend.
+        via_router.shutdown().expect("router shutdown");
+        router.join().expect("router join");
+        for h in backend_handles {
+            h.join().expect("backend join");
+        }
+        direct.shutdown().expect("single shutdown");
+        single.join().expect("single join");
+    }
+}
+
+#[test]
+fn backend_restart_mid_sequence_degrades_then_recovers() {
+    let backends = 2usize;
+    let single = Server::bind(build_engine(backends), "127.0.0.1:0", backend_config(None))
+        .expect("bind single")
+        .spawn();
+    let mut direct = Client::connect(single.addr()).expect("connect single");
+
+    let sharded = build_engine(backends);
+    let b0 = spawn_backend(&sharded, 0, "127.0.0.1:0", None);
+    let b0_addr = b0.addr();
+    let b1 = spawn_backend(&sharded, 1, "127.0.0.1:0", None);
+    let addrs = vec![b0_addr.to_string(), b1.addr().to_string()];
+    let router = Router::bind(&addrs, "127.0.0.1:0", RouterConfig::default())
+        .expect("bind router")
+        .spawn();
+    let mut via_router = Client::connect(router.addr()).expect("connect router");
+
+    // Phase 1: a prefix with commits, fully pinned (stats included).
+    let seq = sequence();
+    let (prefix, suffix) = seq.split_at(seq.len() / 2);
+    for &(q, k, update) in prefix {
+        let a = via_router.reverse_topk(q, k, update).expect("router query");
+        let b = direct.reverse_topk(q, k, update).expect("direct query");
+        assert_equal(&a, &b, true, &format!("prefix q={q} k={k} upd={update}"));
+    }
+
+    // Kill backend 0 directly (not through the router).
+    let mut backdoor = Client::connect(b0_addr).expect("connect backend 0");
+    backdoor.shutdown().expect("backend shutdown");
+    b0.join().expect("backend 0 join");
+
+    // The router degrades loudly: whole-query errors, never partial
+    // answers, and the outage is visible in stats.
+    let err = via_router
+        .reverse_topk(5, 3, false)
+        .expect_err("must fail while backend is down");
+    assert!(err.to_string().contains("shard 0"), "unhelpful outage error: {err}");
+    let stats = via_router.stats().expect("stats during outage");
+    assert_eq!(stats.degraded_backends, 1, "outage must show in degraded_backends");
+
+    // Restart backend 0 on the same address, from its on-boot state (as a
+    // process restarted from disk would: in-memory refinements are gone).
+    let restarted = {
+        let mut attempt = 0;
+        loop {
+            // The freed port can linger in TIME_WAIT briefly; retry.
+            let slice = ShardSlice::from_index(sharded.index(), 0).expect("slice");
+            let engine = ShardEngine::from_parts(graph(), slice).expect("shard engine");
+            match Server::bind_shard(engine, b0_addr, backend_config(None)) {
+                Ok(server) => break server.spawn(),
+                Err(e) if attempt < 50 => {
+                    attempt += 1;
+                    std::thread::sleep(std::time::Duration::from_millis(100));
+                    let _ = e;
+                }
+                Err(e) => panic!("cannot rebind backend 0 on {b0_addr}: {e}"),
+            }
+        }
+    };
+
+    // Phase 2: the router re-dials on demand — no router restart needed.
+    // Result nodes and proximities are still bitwise equal (answers never
+    // depend on refinement state); counters may differ because backend 0
+    // lost its committed refinements, exactly like a process restarted
+    // from its last snapshot.
+    for &(q, k, update) in suffix {
+        let a = via_router.reverse_topk(q, k, update).expect("router query after restart");
+        let b = direct.reverse_topk(q, k, update).expect("direct query");
+        assert_equal(&a, &b, false, &format!("suffix q={q} k={k} upd={update}"));
+    }
+    let stats = via_router.stats().expect("stats after recovery");
+    assert_eq!(stats.degraded_backends, 0, "recovered backend must clear the degraded mark");
+
+    via_router.shutdown().expect("router shutdown");
+    router.join().expect("router join");
+    restarted.join().expect("restarted backend join");
+    b1.join().expect("backend 1 join");
+    direct.shutdown().expect("single shutdown");
+    single.join().expect("single join");
+}
+
+#[test]
+fn auth_token_gates_the_whole_tier() {
+    let token = "tier-secret";
+    let sharded = build_engine(2);
+    let handles: Vec<ServerHandle> = (0..2)
+        .map(|sid| spawn_backend(&sharded, sid, "127.0.0.1:0", Some(token)))
+        .collect();
+    let addrs: Vec<String> = handles.iter().map(|h| h.addr().to_string()).collect();
+
+    // A router without the token cannot even complete its handshake.
+    assert!(
+        Router::bind(&addrs, "127.0.0.1:0", RouterConfig::default()).is_err(),
+        "router must not come up against auth-protected backends without the token"
+    );
+
+    let config = RouterConfig { auth_token: Some(token.to_string()), ..RouterConfig::default() };
+    let router = Router::bind(&addrs, "127.0.0.1:0", config).expect("bind router").spawn();
+
+    // Unauthenticated client: rejected and counted.
+    let mut anon = Client::connect(router.addr()).expect("connect");
+    let err = anon.reverse_topk(0, 2, false).expect_err("must be unauthorized");
+    assert!(err.to_string().contains("auth"), "unhelpful auth error: {err}");
+
+    // Wrong token: also rejected.
+    let mut wrong = Client::connect(router.addr()).expect("connect");
+    wrong.set_auth_token("tier-secret-but-wrong");
+    assert!(wrong.ping().is_err());
+
+    // Right token: full service, and the failures were counted.
+    let mut good = Client::connect(router.addr()).expect("connect");
+    good.set_auth_token(token);
+    good.ping().expect("authed ping");
+    let r = good.reverse_topk(0, 2, false).expect("authed query");
+    assert_eq!(r.query, 0);
+    let stats = good.stats().expect("authed stats");
+    assert!(stats.auth_failures >= 2, "auth failures must be counted: {stats:?}");
+
+    good.shutdown().expect("shutdown");
+    router.join().expect("router join");
+    for h in handles {
+        h.join().expect("backend join");
+    }
+}
