@@ -1,0 +1,44 @@
+//! # rtk-api — the reverse top-k request surface
+//!
+//! One crate defines *what* can be asked of a reverse top-k service and
+//! what comes back; everything else decides *where* the answer is
+//! computed:
+//!
+//! * [`model`] — the request/response vocabulary of the `RTKWIRE1`
+//!   protocol (requests, results, stats snapshots) without any bytes or
+//!   sockets;
+//! * [`service`] — the [`RtkService`] trait covering the full surface
+//!   (`reverse_topk`, `topk`, `batch`, `stats`, `persist`, `shutdown`,
+//!   plus the shard-scoped `shard_reverse_topk`), implemented here for the
+//!   in-process [`rtk_core::ReverseTopkEngine`] and
+//!   [`rtk_core::ShardEngine`], and in `rtk-server` for the remote
+//!   `Client` and the router's backend aggregate.
+//!
+//! ```
+//! use rtk_api::RtkService;
+//! use rtk_core::ReverseTopkEngine;
+//!
+//! // Code written against the trait serves local and remote identically.
+//! fn first_fan(svc: &mut impl RtkService) -> u32 {
+//!     svc.reverse_topk(0, 2, false).unwrap().nodes[0]
+//! }
+//!
+//! let mut engine = ReverseTopkEngine::builder(rtk_datasets::toy_graph())
+//!     .max_k(3)
+//!     .hubs_per_direction(1)
+//!     .build()
+//!     .unwrap();
+//! assert_eq!(first_fan(&mut engine), 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod model;
+pub mod service;
+
+pub use model::{
+    EngineInfo, Request, RequestKind, Response, StatsSnapshot, WireQueryResult, WireShardResult,
+    WireTopk,
+};
+pub use service::{dispatch_request, to_wire, RtkService, ServiceError, ServiceResult};

@@ -1,0 +1,487 @@
+//! The request/response model of the reverse top-k serving surface.
+//!
+//! These types are the *semantic* layer of the `RTKWIRE1` protocol: every
+//! request a service can receive, every response it can produce, and the
+//! data shapes they carry. The byte-level codec (framing, payload
+//! encoding) lives in `rtk-server`'s `wire` module; everything that is not
+//! about bytes lives here so local engines, remote clients, and routers
+//! can share one vocabulary through [`crate::service::RtkService`].
+
+use rtk_sparse::codec::{self, DecodeError};
+use std::io::{Read, Write};
+
+/// Protocol-level cap on queries per batch request. Bounds the work a
+/// single frame can demand *before* the server executes anything (a 16 MiB
+/// frame could otherwise legally declare ~2M queries whose response could
+/// never fit back through the frame limit).
+pub const MAX_BATCH_QUERIES: u64 = 65_536;
+
+/// Cap on a `persist` request's path length in bytes.
+pub const MAX_PERSIST_PATH_BYTES: u64 = 4096;
+
+/// Cap on the auth-token field of a request.
+pub const MAX_AUTH_TOKEN_BYTES: u64 = 1024;
+
+/// Response status: the request succeeded.
+pub const STATUS_OK: u32 = 0;
+/// The request could not be parsed or violated framing limits.
+pub const STATUS_PROTOCOL_ERROR: u32 = 1;
+/// The engine rejected or failed the request.
+pub const STATUS_ENGINE_ERROR: u32 = 2;
+/// The server is at its connection cap or the connection is at its
+/// pipeline-depth cap; retry later (backpressure).
+pub const STATUS_BUSY: u32 = 3;
+/// The request's auth token did not match the server's `--auth-token`.
+pub const STATUS_UNAUTHORIZED: u32 = 4;
+
+/// A client request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// Liveness probe.
+    Ping,
+    /// One reverse top-k query. `update` selects the paper's update mode
+    /// (refinements commit back into the shared index, serialized through
+    /// the write lock); otherwise the query runs frozen and concurrently.
+    ReverseTopk {
+        /// Query node id.
+        q: u32,
+        /// Result set size.
+        k: u32,
+        /// Commit refinements back into the index.
+        update: bool,
+    },
+    /// Forward top-k proximity search from `u`.
+    Topk {
+        /// Source node id.
+        u: u32,
+        /// Result set size.
+        k: u32,
+        /// Use the early-terminating BPA-style search.
+        early: bool,
+    },
+    /// Many independent frozen reverse top-k queries in one round-trip.
+    Batch {
+        /// `(q, k)` pairs, answered in order.
+        queries: Vec<(u32, u32)>,
+    },
+    /// Server metrics + engine info.
+    Stats,
+    /// Graceful shutdown: in-flight requests finish, then the server exits.
+    Shutdown,
+    /// Flush the current (refined) engine snapshot to `path` on the
+    /// *server's* filesystem, under the write lock, so the paper's update
+    /// mode becomes durable on demand.
+    Persist {
+        /// Server-side destination path.
+        path: String,
+    },
+    /// The shard-scoped slice of one reverse top-k query: screen only the
+    /// receiving backend's shard range. Sent by the router to its
+    /// per-shard backends; a backend started with `--shard-only` answers
+    /// with [`Response::ShardReverseTopk`]. The partial results of every
+    /// shard, concatenated in shard order with counters summed, equal the
+    /// single-process answer bitwise.
+    ShardReverseTopk {
+        /// Query node id (global).
+        q: u32,
+        /// Result set size.
+        k: u32,
+        /// Commit refinements into the backend's shard (update mode).
+        update: bool,
+    },
+}
+
+/// Request kinds tracked individually in metrics (indices into the
+/// server-side counter array).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RequestKind {
+    /// [`Request::Ping`].
+    Ping = 0,
+    /// [`Request::ReverseTopk`].
+    ReverseTopk = 1,
+    /// [`Request::Topk`].
+    Topk = 2,
+    /// [`Request::Batch`].
+    Batch = 3,
+    /// [`Request::Stats`].
+    Stats = 4,
+    /// [`Request::Shutdown`].
+    Shutdown = 5,
+    /// [`Request::Persist`].
+    Persist = 6,
+    /// [`Request::ShardReverseTopk`].
+    ShardReverseTopk = 7,
+}
+
+/// Number of distinct [`RequestKind`]s.
+pub const REQUEST_KINDS: usize = 8;
+
+impl Request {
+    /// The metrics kind of this request.
+    pub fn kind(&self) -> RequestKind {
+        match self {
+            Request::Ping => RequestKind::Ping,
+            Request::ReverseTopk { .. } => RequestKind::ReverseTopk,
+            Request::Topk { .. } => RequestKind::Topk,
+            Request::Batch { .. } => RequestKind::Batch,
+            Request::Stats => RequestKind::Stats,
+            Request::Shutdown => RequestKind::Shutdown,
+            Request::Persist { .. } => RequestKind::Persist,
+            Request::ShardReverseTopk { .. } => RequestKind::ShardReverseTopk,
+        }
+    }
+}
+
+/// One reverse top-k answer with its server-side diagnostics.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WireQueryResult {
+    /// Echo of the query node.
+    pub query: u32,
+    /// Echo of `k`.
+    pub k: u32,
+    /// Result nodes in ascending id order.
+    pub nodes: Vec<u32>,
+    /// `p_u(q)` per result node (bitwise-exact f64s).
+    pub proximities: Vec<f64>,
+    /// Nodes surviving the lower-bound prune.
+    pub candidates: u64,
+    /// Candidates confirmed by their first upper-bound check.
+    pub hits: u64,
+    /// Candidates that needed refinement.
+    pub refined_nodes: u64,
+    /// Total BCA refinement iterations.
+    pub refine_iterations: u64,
+    /// Server-side wall time for this query, seconds.
+    pub server_seconds: f64,
+}
+
+/// One backend's shard-scoped slice of a reverse top-k answer.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WireShardResult {
+    /// The answering shard's position in the shard map.
+    pub shard_id: u32,
+    /// First global node id the shard screened.
+    pub node_lo: u32,
+    /// One past the last global node id the shard screened.
+    pub node_hi: u32,
+    /// The partial answer: result nodes within `[node_lo, node_hi)` and the
+    /// shard's own counter statistics.
+    pub result: WireQueryResult,
+}
+
+/// A forward top-k answer.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WireTopk {
+    /// Echo of the source node.
+    pub node: u32,
+    /// Echo of `k`.
+    pub k: u32,
+    /// Result nodes, best first.
+    pub nodes: Vec<u32>,
+    /// Proximity (or lower bound, in early mode) per result node.
+    pub scores: Vec<f64>,
+}
+
+/// A server response.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    /// Answer to [`Request::Ping`].
+    Pong,
+    /// Answer to [`Request::ReverseTopk`].
+    ReverseTopk(WireQueryResult),
+    /// Answer to [`Request::Topk`].
+    Topk(WireTopk),
+    /// Answer to [`Request::Batch`], in request order.
+    Batch(Vec<WireQueryResult>),
+    /// Answer to [`Request::Stats`].
+    Stats(StatsSnapshot),
+    /// Acknowledgement of [`Request::Shutdown`].
+    ShuttingDown,
+    /// Answer to [`Request::Persist`]: bytes written to the snapshot.
+    Persisted {
+        /// Size of the flushed snapshot file in bytes.
+        bytes: u64,
+    },
+    /// Answer to [`Request::ShardReverseTopk`].
+    ShardReverseTopk(WireShardResult),
+    /// The request failed; `code` is one of the `STATUS_*` constants.
+    Error {
+        /// `STATUS_PROTOCOL_ERROR`, `STATUS_ENGINE_ERROR`, `STATUS_BUSY`,
+        /// or `STATUS_UNAUTHORIZED`.
+        code: u32,
+        /// Human-readable cause.
+        message: String,
+    },
+}
+
+/// Static facts about the served engine, folded into every snapshot.
+#[derive(Clone, Copy, Debug)]
+pub struct EngineInfo {
+    /// Node count of the served graph.
+    pub nodes: u64,
+    /// Edge count of the served graph.
+    pub edges: u64,
+    /// Largest `k` the index supports.
+    pub max_k: u64,
+    /// Worker threads the server runs (`0` for an in-process service).
+    pub workers: u32,
+    /// First global node id this process screens (`0` unless shard-only).
+    pub shard_lo: u64,
+    /// One past the last global node id this process screens (the node
+    /// count unless shard-only).
+    pub shard_hi: u64,
+}
+
+/// A point-in-time metrics report, encodable over the wire.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StatsSnapshot {
+    /// Seconds since the server started.
+    pub uptime_seconds: f64,
+    /// Completed `ping` requests.
+    pub ping: u64,
+    /// Completed `reverse_topk` requests.
+    pub reverse_topk: u64,
+    /// Completed `topk` requests.
+    pub topk: u64,
+    /// Completed `batch` requests.
+    pub batch: u64,
+    /// Completed `stats` requests.
+    pub stats: u64,
+    /// Accepted `shutdown` requests.
+    pub shutdown: u64,
+    /// Completed `persist` requests.
+    pub persist: u64,
+    /// Completed shard-scoped `shard_reverse_topk` requests.
+    pub shard_reverse_topk: u64,
+    /// Malformed frames / requests observed.
+    pub protocol_errors: u64,
+    /// Requests the engine rejected or failed.
+    pub engine_errors: u64,
+    /// Connections accepted since start.
+    pub connections: u64,
+    /// Connections refused at the `max_connections` cap (backpressure).
+    pub rejected_connections: u64,
+    /// Requests rejected because their auth token did not match.
+    pub auth_failures: u64,
+    /// Router only: backends currently marked unreachable (`0` on a plain
+    /// server; a nonzero value means the router is serving degraded).
+    pub degraded_backends: u64,
+    /// Peak number of requests simultaneously in flight (queued + being
+    /// executed) since start — the pipelining high-water mark (wire v4).
+    pub inflight_peak: u64,
+    /// Requests answered with a `busy` frame because their connection was
+    /// at the `max_inflight` pipeline-depth cap (wire v4).
+    pub inflight_rejections: u64,
+    /// Observations in the latency histogram.
+    pub latency_count: u64,
+    /// Mean request latency, seconds.
+    pub mean_seconds: f64,
+    /// Median request latency (bucket upper edge), seconds.
+    pub p50_seconds: f64,
+    /// 95th percentile request latency, seconds.
+    pub p95_seconds: f64,
+    /// 99th percentile request latency, seconds.
+    pub p99_seconds: f64,
+    /// Largest observed request latency, seconds.
+    pub max_seconds: f64,
+    /// Node count of the served graph.
+    pub nodes: u64,
+    /// Edge count of the served graph.
+    pub edges: u64,
+    /// Largest `k` the index supports.
+    pub max_k: u64,
+    /// Worker threads the server runs.
+    pub workers: u32,
+    /// First global node id this process screens (`0` unless shard-only).
+    pub shard_lo: u64,
+    /// One past the last global node id this process screens.
+    pub shard_hi: u64,
+    /// Nodes per index shard (length = shard count).
+    pub shard_nodes: Vec<u64>,
+    /// Heap bytes per index shard, sampled at snapshot time (refinement
+    /// drift included).
+    pub shard_bytes: Vec<u64>,
+}
+
+impl StatsSnapshot {
+    /// An all-zero snapshot over `engine` facts — what an in-process
+    /// service (no server in front, hence no traffic counters) reports.
+    pub fn local(engine: EngineInfo, shard_nodes: Vec<u64>, shard_bytes: Vec<u64>) -> Self {
+        Self {
+            uptime_seconds: 0.0,
+            ping: 0,
+            reverse_topk: 0,
+            topk: 0,
+            batch: 0,
+            stats: 0,
+            shutdown: 0,
+            persist: 0,
+            shard_reverse_topk: 0,
+            protocol_errors: 0,
+            engine_errors: 0,
+            connections: 0,
+            rejected_connections: 0,
+            auth_failures: 0,
+            degraded_backends: 0,
+            inflight_peak: 0,
+            inflight_rejections: 0,
+            latency_count: 0,
+            mean_seconds: 0.0,
+            p50_seconds: 0.0,
+            p95_seconds: 0.0,
+            p99_seconds: 0.0,
+            max_seconds: 0.0,
+            nodes: engine.nodes,
+            edges: engine.edges,
+            max_k: engine.max_k,
+            workers: engine.workers,
+            shard_lo: engine.shard_lo,
+            shard_hi: engine.shard_hi,
+            shard_nodes,
+            shard_bytes,
+        }
+    }
+
+    /// Total completed requests across all kinds.
+    pub fn total_requests(&self) -> u64 {
+        self.ping
+            + self.reverse_topk
+            + self.topk
+            + self.batch
+            + self.stats
+            + self.shutdown
+            + self.persist
+            + self.shard_reverse_topk
+    }
+
+    /// Number of index shards the server reports.
+    pub fn shard_count(&self) -> usize {
+        self.shard_nodes.len()
+    }
+
+    /// Serializes the snapshot (fixed-width fields plus the per-shard size
+    /// lists). The byte layout is part of the wire protocol — see
+    /// `docs/FORMATS.md`.
+    pub fn encode<W: Write>(&self, w: &mut W) -> std::io::Result<()> {
+        codec::write_f64(w, self.uptime_seconds)?;
+        for v in [
+            self.ping,
+            self.reverse_topk,
+            self.topk,
+            self.batch,
+            self.stats,
+            self.shutdown,
+            self.persist,
+            self.shard_reverse_topk,
+            self.protocol_errors,
+            self.engine_errors,
+            self.connections,
+            self.rejected_connections,
+            self.auth_failures,
+            self.degraded_backends,
+            self.inflight_peak,
+            self.inflight_rejections,
+            self.latency_count,
+        ] {
+            codec::write_u64(w, v)?;
+        }
+        for v in [
+            self.mean_seconds,
+            self.p50_seconds,
+            self.p95_seconds,
+            self.p99_seconds,
+            self.max_seconds,
+        ] {
+            codec::write_f64(w, v)?;
+        }
+        codec::write_u64(w, self.nodes)?;
+        codec::write_u64(w, self.edges)?;
+        codec::write_u64(w, self.max_k)?;
+        codec::write_u32(w, self.workers)?;
+        codec::write_u64(w, self.shard_lo)?;
+        codec::write_u64(w, self.shard_hi)?;
+        // Per-shard sizes: one count, then (nodes, bytes) pairs.
+        codec::write_u64(w, self.shard_nodes.len() as u64)?;
+        for (&n, &b) in self.shard_nodes.iter().zip(&self.shard_bytes) {
+            codec::write_u64(w, n)?;
+            codec::write_u64(w, b)?;
+        }
+        Ok(())
+    }
+
+    /// Deserializes a snapshot written by [`Self::encode`]. `max_shards`
+    /// bounds the declared shard count (derive it from the payload size:
+    /// each shard entry occupies 16 bytes).
+    pub fn decode<R: Read>(r: &mut R, max_shards: u64) -> Result<Self, DecodeError> {
+        let mut snap = Self {
+            uptime_seconds: codec::read_f64(r)?,
+            ping: codec::read_u64(r)?,
+            reverse_topk: codec::read_u64(r)?,
+            topk: codec::read_u64(r)?,
+            batch: codec::read_u64(r)?,
+            stats: codec::read_u64(r)?,
+            shutdown: codec::read_u64(r)?,
+            persist: codec::read_u64(r)?,
+            shard_reverse_topk: codec::read_u64(r)?,
+            protocol_errors: codec::read_u64(r)?,
+            engine_errors: codec::read_u64(r)?,
+            connections: codec::read_u64(r)?,
+            rejected_connections: codec::read_u64(r)?,
+            auth_failures: codec::read_u64(r)?,
+            degraded_backends: codec::read_u64(r)?,
+            inflight_peak: codec::read_u64(r)?,
+            inflight_rejections: codec::read_u64(r)?,
+            latency_count: codec::read_u64(r)?,
+            mean_seconds: codec::read_f64(r)?,
+            p50_seconds: codec::read_f64(r)?,
+            p95_seconds: codec::read_f64(r)?,
+            p99_seconds: codec::read_f64(r)?,
+            max_seconds: codec::read_f64(r)?,
+            nodes: codec::read_u64(r)?,
+            edges: codec::read_u64(r)?,
+            max_k: codec::read_u64(r)?,
+            workers: codec::read_u32(r)?,
+            shard_lo: codec::read_u64(r)?,
+            shard_hi: codec::read_u64(r)?,
+            shard_nodes: Vec::new(),
+            shard_bytes: Vec::new(),
+        };
+        let shards = codec::check_len(codec::read_u64(r)?, max_shards, "shard count")?;
+        snap.shard_nodes.reserve(shards.min(1 << 20));
+        snap.shard_bytes.reserve(shards.min(1 << 20));
+        for _ in 0..shards {
+            snap.shard_nodes.push(codec::read_u64(r)?);
+            snap.shard_bytes.push(codec::read_u64(r)?);
+        }
+        Ok(snap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn request_kinds_are_stable() {
+        assert_eq!(Request::Ping.kind() as usize, 0);
+        assert_eq!(Request::Shutdown.kind() as usize, 5);
+        assert_eq!(Request::ShardReverseTopk { q: 0, k: 1, update: false }.kind() as usize, 7);
+        assert_eq!(Request::Stats.kind(), RequestKind::Stats);
+    }
+
+    #[test]
+    fn local_snapshot_carries_engine_facts_and_zero_counters() {
+        let info =
+            EngineInfo { nodes: 10, edges: 20, max_k: 3, workers: 0, shard_lo: 0, shard_hi: 10 };
+        let snap = StatsSnapshot::local(info, vec![5, 5], vec![64, 64]);
+        assert_eq!(snap.total_requests(), 0);
+        assert_eq!(snap.nodes, 10);
+        assert_eq!(snap.shard_count(), 2);
+
+        let mut buf = Vec::new();
+        snap.encode(&mut buf).unwrap();
+        let back = StatsSnapshot::decode(&mut Cursor::new(buf), 4).unwrap();
+        assert_eq!(back, snap);
+    }
+}

@@ -1,0 +1,388 @@
+//! [`RtkService`] — one trait for the full reverse top-k request surface.
+//!
+//! Every way of answering reverse top-k traffic implements this trait:
+//!
+//! * [`rtk_core::ReverseTopkEngine`] — the in-process engine (implemented
+//!   here);
+//! * [`rtk_core::ShardEngine`] — one shard of a partitioned index
+//!   (implemented here; the full-index requests are clean
+//!   [`ServiceError::Unsupported`] errors, exactly like a `--shard-only`
+//!   server answers them);
+//! * `rtk_server::Client` — a remote server or router over the wire;
+//! * the router's backend aggregate inside `rtk-server`.
+//!
+//! Callers written against `&mut impl RtkService` (the CLI's `rtk remote`
+//! commands, embedders, tests) cannot tell the flavors apart — the same
+//! code drives a local engine or a sharded multi-process tier. Servers use
+//! [`dispatch_request`] to map a decoded wire [`Request`] onto the trait,
+//! so the request enum is matched in exactly one place outside the codec.
+
+use crate::model::{
+    EngineInfo, Request, RequestKind, Response, StatsSnapshot, WireQueryResult, WireShardResult,
+    WireTopk, STATUS_ENGINE_ERROR,
+};
+use rtk_core::graph::NodeId;
+use rtk_core::query::{QueryOptions, QueryResult};
+use rtk_core::{ReverseTopkEngine, ShardEngine};
+
+/// What a service call can fail with.
+#[derive(Clone, Debug)]
+pub enum ServiceError {
+    /// The engine rejected or failed the request (bad node id, `k` out of
+    /// range, I/O failure while persisting, …).
+    Engine(String),
+    /// This service flavor cannot answer this request (e.g. a full
+    /// `reverse_topk` against a shard-only backend).
+    Unsupported(String),
+    /// The transport to a remote service failed (connection refused,
+    /// timeout, protocol violation).
+    Transport(String),
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::Engine(m) => write!(f, "{m}"),
+            ServiceError::Unsupported(m) => write!(f, "{m}"),
+            ServiceError::Transport(m) => write!(f, "transport error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+/// Result alias for [`RtkService`] calls.
+pub type ServiceResult<T> = Result<T, ServiceError>;
+
+/// The full reverse top-k request surface, independent of where the index
+/// lives (in-process, one shard, behind a socket, or behind a router).
+pub trait RtkService {
+    /// Liveness probe. Local services are trivially alive; remote
+    /// implementations round-trip a `ping` frame.
+    fn ping(&mut self) -> ServiceResult<()> {
+        Ok(())
+    }
+
+    /// One reverse top-k query; `update` commits refinements.
+    fn reverse_topk(&mut self, q: u32, k: u32, update: bool) -> ServiceResult<WireQueryResult>;
+
+    /// The shard-scoped slice of one reverse top-k query. Only shard
+    /// backends answer it; everything else reports `Unsupported`.
+    fn shard_reverse_topk(
+        &mut self,
+        _q: u32,
+        _k: u32,
+        _update: bool,
+    ) -> ServiceResult<WireShardResult> {
+        Err(ServiceError::Unsupported(
+            "shard_reverse_topk requires a shard backend; send reverse_topk instead".to_string(),
+        ))
+    }
+
+    /// Forward top-k proximity search from `u`.
+    fn topk(&mut self, u: u32, k: u32, early: bool) -> ServiceResult<WireTopk>;
+
+    /// Many independent frozen reverse top-k queries, answered in order.
+    fn batch(&mut self, queries: &[(u32, u32)]) -> ServiceResult<Vec<WireQueryResult>>;
+
+    /// Service metrics + engine info. In-process services report engine
+    /// facts with zeroed traffic counters ([`StatsSnapshot::local`]).
+    fn stats(&mut self) -> ServiceResult<StatsSnapshot>;
+
+    /// Flush the current (refined) state to `path` on the service's
+    /// filesystem; returns the byte size written.
+    fn persist(&mut self, path: &str) -> ServiceResult<u64>;
+
+    /// Ask the service to shut down. A no-op for in-process services.
+    fn shutdown(&mut self) -> ServiceResult<()>;
+}
+
+impl ServiceError {
+    /// The wire status code this error maps to.
+    pub fn status(&self) -> u32 {
+        STATUS_ENGINE_ERROR
+    }
+}
+
+/// Maps one decoded wire [`Request`] onto the matching [`RtkService`]
+/// method and wraps the outcome as a [`Response`]. This is the single
+/// request-enum dispatch point shared by every server flavor.
+pub fn dispatch_request<S: RtkService + ?Sized>(
+    svc: &mut S,
+    request: Request,
+) -> (RequestKind, Response) {
+    let kind = request.kind();
+    let result = match request {
+        Request::Ping => svc.ping().map(|()| Response::Pong),
+        Request::ReverseTopk { q, k, update } => {
+            svc.reverse_topk(q, k, update).map(Response::ReverseTopk)
+        }
+        Request::ShardReverseTopk { q, k, update } => {
+            svc.shard_reverse_topk(q, k, update).map(Response::ShardReverseTopk)
+        }
+        Request::Topk { u, k, early } => svc.topk(u, k, early).map(Response::Topk),
+        Request::Batch { queries } => svc.batch(&queries).map(Response::Batch),
+        Request::Stats => svc.stats().map(Response::Stats),
+        Request::Shutdown => svc.shutdown().map(|()| Response::ShuttingDown),
+        Request::Persist { path } => svc.persist(&path).map(|bytes| Response::Persisted { bytes }),
+    };
+    let response =
+        result.unwrap_or_else(|e| Response::Error { code: e.status(), message: e.to_string() });
+    (kind, response)
+}
+
+/// Converts an engine-layer [`QueryResult`] into its wire shape.
+pub fn to_wire(r: &QueryResult, server_seconds: f64) -> WireQueryResult {
+    let s = r.stats();
+    WireQueryResult {
+        query: r.query(),
+        k: r.k() as u32,
+        nodes: r.nodes().to_vec(),
+        proximities: r.proximities().to_vec(),
+        candidates: s.candidates as u64,
+        hits: s.hits as u64,
+        refined_nodes: s.refined_nodes as u64,
+        refine_iterations: s.refine_iterations,
+        server_seconds,
+    }
+}
+
+fn engine_err<E: std::fmt::Display>(e: E) -> ServiceError {
+    ServiceError::Engine(e.to_string())
+}
+
+/// Flushes `bytes` of a snapshot writer to `path`, returning the file
+/// size — shared by the engine and shard-engine `persist` impls.
+fn persist_to<F>(path: &str, write: F) -> ServiceResult<u64>
+where
+    F: FnOnce(std::io::BufWriter<std::fs::File>) -> ServiceResult<()>,
+{
+    let file = std::fs::File::create(path)
+        .map_err(|e| ServiceError::Engine(format!("persist: cannot create {path:?}: {e}")))?;
+    write(std::io::BufWriter::new(file))?;
+    std::fs::metadata(path)
+        .map(|m| m.len())
+        .map_err(|e| ServiceError::Engine(format!("persist: cannot stat {path:?}: {e}")))
+}
+
+impl RtkService for ReverseTopkEngine {
+    fn reverse_topk(&mut self, q: u32, k: u32, update: bool) -> ServiceResult<WireQueryResult> {
+        let opts = QueryOptions { update_index: update, ..*self.options() };
+        let result = self.query_with(NodeId(q), k as usize, &opts).map_err(engine_err)?;
+        let seconds = result.stats().total_seconds;
+        Ok(to_wire(&result, seconds))
+    }
+
+    fn topk(&mut self, u: u32, k: u32, early: bool) -> ServiceResult<WireTopk> {
+        let top = if early {
+            self.top_k_early(NodeId(u), k as usize)
+        } else {
+            self.top_k(NodeId(u), k as usize)
+        }
+        .map_err(engine_err)?;
+        let (nodes, scores) = top.into_iter().map(|(v, p)| (v.0, p)).unzip();
+        Ok(WireTopk { node: u, k, nodes, scores })
+    }
+
+    fn batch(&mut self, queries: &[(u32, u32)]) -> ServiceResult<Vec<WireQueryResult>> {
+        let raw: Vec<(NodeId, usize)> =
+            queries.iter().map(|&(q, k)| (NodeId(q), k as usize)).collect();
+        let opts = QueryOptions { update_index: false, ..*self.options() };
+        let results = self.query_batch(&raw, &opts).map_err(engine_err)?;
+        Ok(results.iter().map(|r| to_wire(r, r.stats().total_seconds)).collect())
+    }
+
+    fn stats(&mut self) -> ServiceResult<StatsSnapshot> {
+        let info = EngineInfo {
+            nodes: self.node_count() as u64,
+            edges: self.graph().edge_count() as u64,
+            max_k: self.index().max_k() as u64,
+            workers: 0,
+            shard_lo: 0,
+            shard_hi: self.node_count() as u64,
+        };
+        let shards = self.index().shards();
+        Ok(StatsSnapshot::local(
+            info,
+            shards.iter().map(|s| s.len() as u64).collect(),
+            shards.iter().map(|s| s.heap_bytes() as u64).collect(),
+        ))
+    }
+
+    fn persist(&mut self, path: &str) -> ServiceResult<u64> {
+        persist_to(path, |w| self.save(w).map_err(engine_err))
+    }
+
+    fn shutdown(&mut self) -> ServiceResult<()> {
+        Ok(())
+    }
+}
+
+impl RtkService for ShardEngine {
+    fn reverse_topk(&mut self, _q: u32, _k: u32, _update: bool) -> ServiceResult<WireQueryResult> {
+        let r = self.shard_range();
+        Err(ServiceError::Unsupported(format!(
+            "this backend serves only shard nodes {}..{} (--shard-only); \
+             send shard_reverse_topk, or query the router for full answers",
+            r.start, r.end
+        )))
+    }
+
+    fn shard_reverse_topk(
+        &mut self,
+        q: u32,
+        k: u32,
+        update: bool,
+    ) -> ServiceResult<WireShardResult> {
+        let opts = QueryOptions::default();
+        let result = if update {
+            self.query_shard_update(NodeId(q), k as usize, &opts)
+        } else {
+            self.query_shard_frozen(NodeId(q), k as usize, &opts)
+        }
+        .map_err(engine_err)?;
+        let range = self.shard_range();
+        let seconds = result.stats().total_seconds;
+        Ok(WireShardResult {
+            shard_id: self.shard_id() as u32,
+            node_lo: range.start,
+            node_hi: range.end,
+            result: to_wire(&result, seconds),
+        })
+    }
+
+    fn topk(&mut self, u: u32, k: u32, early: bool) -> ServiceResult<WireTopk> {
+        let top = if early {
+            self.top_k_early(NodeId(u), k as usize)
+        } else {
+            self.top_k(NodeId(u), k as usize)
+        }
+        .map_err(engine_err)?;
+        let (nodes, scores) = top.into_iter().map(|(v, p)| (v.0, p)).unzip();
+        Ok(WireTopk { node: u, k, nodes, scores })
+    }
+
+    fn batch(&mut self, _queries: &[(u32, u32)]) -> ServiceResult<Vec<WireQueryResult>> {
+        let r = self.shard_range();
+        Err(ServiceError::Unsupported(format!(
+            "this backend serves only shard nodes {}..{} (--shard-only); \
+             batch requests need the router or a full server",
+            r.start, r.end
+        )))
+    }
+
+    fn stats(&mut self) -> ServiceResult<StatsSnapshot> {
+        let range = self.shard_range();
+        let info = EngineInfo {
+            nodes: self.node_count() as u64,
+            edges: self.graph().edge_count() as u64,
+            max_k: self.max_k() as u64,
+            workers: 0,
+            shard_lo: u64::from(range.start),
+            shard_hi: u64::from(range.end),
+        };
+        Ok(StatsSnapshot::local(
+            info,
+            vec![self.shard_len() as u64],
+            vec![self.shard_heap_bytes() as u64],
+        ))
+    }
+
+    fn persist(&mut self, path: &str) -> ServiceResult<u64> {
+        persist_to(path, |w| self.save_shard(w).map_err(engine_err))
+    }
+
+    fn shutdown(&mut self) -> ServiceResult<()> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_engine(shards: usize) -> ReverseTopkEngine {
+        ReverseTopkEngine::builder(rtk_datasets::toy_graph())
+            .max_k(3)
+            .hubs_per_direction(1)
+            .threads(1)
+            .shards(shards)
+            .build()
+            .unwrap()
+    }
+
+    /// Drives any service flavor through the same paper running example —
+    /// the point of the trait is that this function cannot tell them apart.
+    fn exercise(svc: &mut impl RtkService) {
+        svc.ping().unwrap();
+        let r = svc.reverse_topk(0, 2, false).unwrap();
+        assert_eq!(r.nodes, vec![0, 1, 4]);
+        let t = svc.topk(2, 2, false).unwrap();
+        assert_eq!(t.nodes[0], 1);
+        let rs = svc.batch(&[(0, 2), (1, 2)]).unwrap();
+        assert_eq!(rs.len(), 2);
+        let s = svc.stats().unwrap();
+        assert_eq!(s.nodes, 6);
+        svc.shutdown().unwrap();
+    }
+
+    #[test]
+    fn local_engine_implements_the_full_surface() {
+        let mut engine = toy_engine(1);
+        exercise(&mut engine);
+        // Update mode commits without changing answers.
+        let r = engine.reverse_topk(0, 2, true).unwrap();
+        assert_eq!(r.nodes, vec![0, 1, 4]);
+        // Dispatching a decoded wire request lands on the same method.
+        let (kind, resp) =
+            dispatch_request(&mut engine, Request::ReverseTopk { q: 0, k: 2, update: false });
+        assert_eq!(kind, RequestKind::ReverseTopk);
+        let Response::ReverseTopk(r) = resp else { panic!("wrong response: {resp:?}") };
+        assert_eq!(r.nodes, vec![0, 1, 4]);
+        // Unknown nodes surface as engine errors, not panics.
+        let (_, resp) =
+            dispatch_request(&mut engine, Request::ReverseTopk { q: 99, k: 2, update: false });
+        assert!(matches!(resp, Response::Error { code: STATUS_ENGINE_ERROR, .. }), "{resp:?}");
+    }
+
+    #[test]
+    fn shard_engine_answers_the_shard_scoped_surface() {
+        use rtk_core::index::ShardSlice;
+        let engine = toy_engine(2);
+        let slice = ShardSlice::from_index(engine.index(), 0).unwrap();
+        let mut shard = ShardEngine::from_parts(rtk_datasets::toy_graph(), slice).unwrap();
+
+        // Full-index requests are clean Unsupported errors.
+        assert!(matches!(
+            shard.reverse_topk(0, 2, false),
+            Err(ServiceError::Unsupported(m)) if m.contains("--shard-only")
+        ));
+        assert!(matches!(shard.batch(&[(0, 2)]), Err(ServiceError::Unsupported(_))));
+
+        // The shard-scoped slice answers (nodes 0..3 of {0, 1, 4} = {0, 1}).
+        let partial = shard.shard_reverse_topk(0, 2, false).unwrap();
+        assert_eq!(partial.result.nodes, vec![0, 1]);
+        assert_eq!((partial.node_lo, partial.node_hi), (0, 3));
+
+        // Shard-independent requests work like any service.
+        shard.ping().unwrap();
+        let s = shard.stats().unwrap();
+        assert_eq!((s.shard_lo, s.shard_hi), (0, 3));
+        assert_eq!(s.shard_count(), 1);
+        let t = shard.topk(2, 2, false).unwrap();
+        assert_eq!(t.nodes[0], 1);
+    }
+
+    #[test]
+    fn persist_writes_loadable_snapshots() {
+        let dir = std::env::temp_dir().join("rtk_api_service_persist");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("engine.rtke");
+        let mut engine = toy_engine(1);
+        let bytes = engine.persist(path.to_str().unwrap()).unwrap();
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), bytes);
+        let mut restored = ReverseTopkEngine::load_path(&path).unwrap();
+        assert_eq!(restored.query(NodeId(0), 2).unwrap().nodes(), &[0, 1, 4]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

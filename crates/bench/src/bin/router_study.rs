@@ -1,14 +1,17 @@
 //! Multi-process serving study — per-shard backends behind a fan-out
 //! router, on loopback.
 //!
-//! Builds one sharded index, serves it two ways — a single in-process
+//! Builds one sharded index, serves it three ways — a single in-process
 //! `rtk-server`, and `S` shard-only backends behind an `rtk-server`
-//! router — and drives both with the same frozen reverse top-k workload
-//! from `M` concurrent client threads (`M` ∈ 1/2/4). Asserts every routed
-//! answer equals the single-process answer (the determinism contract), and
-//! reports the fan-out's latency cost per backend count. Writes the
-//! machine-readable `BENCH_router.json`, schema-aligned with
-//! `BENCH_serve.json` (`p50_seconds`/`p95_seconds`/`p99_seconds`).
+//! router in **both fan-out modes** (serial, the pre-v4 behavior kept as
+//! a knob, and concurrent, the wire-v4 default) — and drives all of them
+//! with the same frozen reverse top-k workload from `M` concurrent client
+//! threads (`M` ∈ 1/2/4). Asserts every routed answer equals the
+//! single-process answer (the determinism contract — fan-out mode may
+//! only change wall time), and reports what concurrency buys per backend
+//! count. Writes the machine-readable `BENCH_router.json`,
+//! schema-aligned with `BENCH_serve.json`
+//! (`p50_seconds`/`p95_seconds`/`p99_seconds`).
 //!
 //! ```sh
 //! cargo run --release -p rtk-bench --bin router_study            # full
@@ -78,7 +81,7 @@ fn main() {
 
     banner(
         "Router study",
-        "per-shard backends behind a fan-out router vs. one process (RTKWIRE1 v3)",
+        "serial vs. concurrent fan-out over per-shard backends vs. one process (RTKWIRE1 v4)",
         &format!("rmat n={nodes} m={edges} seed={seed}"),
         &format!("{requests} requests per sweep, k={K}, {cores} core(s) available"),
     );
@@ -133,73 +136,87 @@ fn main() {
         single_json.join(",\n")
     ));
 
-    // Routed tiers: S shard-only backends + router, S ∈ BACKEND_COUNTS.
+    // Routed tiers: S shard-only backends, S ∈ BACKEND_COUNTS, each swept
+    // under both fan-out modes — the serial-vs-concurrent comparison is
+    // the point of this study since wire v4.
     for &backends in &BACKEND_COUNTS {
         let sharded = build_engine(&graph, backends);
-        let backend_handles: Vec<ServerHandle> = (0..backends)
-            .map(|sid| {
-                let slice = ShardSlice::from_index(sharded.index(), sid).expect("slice");
-                let engine = ShardEngine::from_parts(graph.clone(), slice).expect("shard engine");
-                Server::bind_shard(
-                    engine,
-                    "127.0.0.1:0",
-                    // Workers: one per router worker (pooled connections pin
-                    // workers) plus slack for direct admin connections.
-                    ServerConfig { workers: cores.max(max_clients) + 2, ..Default::default() },
-                )
-                .expect("bind backend")
-                .spawn()
-            })
-            .collect();
-        let addrs: Vec<String> = backend_handles.iter().map(|h| h.addr().to_string()).collect();
-        let router = Router::bind(
-            &addrs,
-            "127.0.0.1:0",
-            RouterConfig { workers: cores.max(max_clients) + 1, ..Default::default() },
-        )
-        .expect("bind router")
-        .spawn();
+        for serial_fanout in [true, false] {
+            let mode = if serial_fanout { "serial" } else { "concurrent" };
+            // Fresh backends per mode: a router shutdown propagates to its
+            // backends, so modes cannot share a tier.
+            let backend_handles: Vec<ServerHandle> = (0..backends)
+                .map(|sid| {
+                    let slice = ShardSlice::from_index(sharded.index(), sid).expect("slice");
+                    let engine =
+                        ShardEngine::from_parts(graph.clone(), slice).expect("shard engine");
+                    Server::bind_shard(
+                        engine,
+                        "127.0.0.1:0",
+                        // Wire v4 dispatches frames, not connections, to the
+                        // workers — no per-connection worker budget needed.
+                        ServerConfig { workers: cores.max(2), ..Default::default() },
+                    )
+                    .expect("bind backend")
+                    .spawn()
+                })
+                .collect();
+            let addrs: Vec<String> = backend_handles.iter().map(|h| h.addr().to_string()).collect();
+            let router = Router::bind(
+                &addrs,
+                "127.0.0.1:0",
+                RouterConfig {
+                    workers: cores.max(max_clients) + 1,
+                    serial_fanout,
+                    ..Default::default()
+                },
+            )
+            .expect("bind router")
+            .spawn();
 
-        // Determinism gate: routed answers equal single-process answers.
-        {
-            let mut client = Client::connect(router.addr()).expect("verify client");
-            for (i, &q) in workload.iter().take(20).enumerate() {
-                let r = client.reverse_topk(q, K, false).expect("routed query");
-                assert_eq!(r.nodes, reference[i], "routed answer diverged (q={q})");
+            // Determinism gate: routed answers equal single-process
+            // answers in either fan-out mode.
+            {
+                let mut client = Client::connect(router.addr()).expect("verify client");
+                for (i, &q) in workload.iter().take(20).enumerate() {
+                    let r = client.reverse_topk(q, K, false).expect("routed query");
+                    assert_eq!(r.nodes, reference[i], "routed answer diverged (q={q}, {mode})");
+                }
             }
-        }
 
-        let mut tier_json = Vec::new();
-        for &clients in &CLIENT_COUNTS {
-            let (secs, hist) = drive(router.addr(), clients, &workload);
-            let qps = requests as f64 / secs;
-            let (p50, p95, p99) = hist.percentiles();
-            rows.push(vec![
-                format!("router/{backends}"),
-                clients.to_string(),
-                format!("{secs:.3}"),
-                format!("{qps:.1}"),
-                format!("{p50:.5}"),
-                format!("{p99:.5}"),
-            ]);
-            tier_json.push(format!(
-                "      {{\"clients\": {clients}, \"total_seconds\": {secs:.6}, \
-                 \"queries_per_second\": {qps:.3}, \"p50_seconds\": {p50:.6}, \
-                 \"p95_seconds\": {p95:.6}, \"p99_seconds\": {p99:.6}}}"
+            let mut tier_json = Vec::new();
+            for &clients in &CLIENT_COUNTS {
+                let (secs, hist) = drive(router.addr(), clients, &workload);
+                let qps = requests as f64 / secs;
+                let (p50, p95, p99) = hist.percentiles();
+                rows.push(vec![
+                    format!("router/{backends}/{mode}"),
+                    clients.to_string(),
+                    format!("{secs:.3}"),
+                    format!("{qps:.1}"),
+                    format!("{p50:.5}"),
+                    format!("{p99:.5}"),
+                ]);
+                tier_json.push(format!(
+                    "      {{\"clients\": {clients}, \"total_seconds\": {secs:.6}, \
+                     \"queries_per_second\": {qps:.3}, \"p50_seconds\": {p50:.6}, \
+                     \"p95_seconds\": {p95:.6}, \"p99_seconds\": {p99:.6}}}"
+                ));
+            }
+            json_tiers.push(format!(
+                "    {{\"tier\": \"router\", \"backends\": {backends}, \
+                 \"fanout\": \"{mode}\", \"sweep\": [\n{}\n    ]}}",
+                tier_json.join(",\n")
             ));
-        }
-        json_tiers.push(format!(
-            "    {{\"tier\": \"router\", \"backends\": {backends}, \"sweep\": [\n{}\n    ]}}",
-            tier_json.join(",\n")
-        ));
 
-        let mut client = Client::connect(router.addr()).expect("shutdown client");
-        let stats = client.stats().expect("router stats");
-        assert_eq!(stats.degraded_backends, 0, "no backend may degrade during the study");
-        client.shutdown().expect("router shutdown");
-        router.join().expect("router join");
-        for h in backend_handles {
-            h.join().expect("backend join");
+            let mut client = Client::connect(router.addr()).expect("shutdown client");
+            let stats = client.stats().expect("router stats");
+            assert_eq!(stats.degraded_backends, 0, "no backend may degrade during the study");
+            client.shutdown().expect("router shutdown"); // propagates to backends
+            router.join().expect("router join");
+            for h in backend_handles {
+                h.join().expect("backend join");
+            }
         }
     }
 

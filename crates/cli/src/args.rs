@@ -13,7 +13,16 @@ pub struct Parsed {
 }
 
 /// Flags that take no value.
-const BOOLEAN_FLAGS: &[&str] = &["update", "strict", "early", "approximate", "shard-only", "help"];
+const BOOLEAN_FLAGS: &[&str] = &[
+    "update",
+    "strict",
+    "early",
+    "approximate",
+    "shard-only",
+    "serial-fanout",
+    "pipeline",
+    "help",
+];
 
 impl Parsed {
     /// Splits `argv` into positionals and flags.

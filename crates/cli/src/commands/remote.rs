@@ -1,7 +1,16 @@
-//! `rtk remote` — query a running `rtk serve` instance over the wire.
+//! `rtk remote` — query a running `rtk serve` or `rtk router` instance
+//! over the wire.
+//!
+//! Every subcommand is written against the [`RtkService`] trait, not the
+//! concrete client: the command logic cannot tell (and does not care)
+//! whether the address belongs to a single server or a routed tier —
+//! exactly the transparency the trait pins down. The one `Client`-specific
+//! surface is `batch --pipeline`, which uses the v4 pipelined submit/wait
+//! machinery instead of a single batch frame.
 
 use crate::args::Parsed;
-use rtk_server::Client;
+use rtk_server::{Client, RtkService};
+use std::time::Duration;
 
 pub(crate) fn run(argv: &[String]) -> Result<(), String> {
     let Some(sub) = argv.first() else {
@@ -14,24 +23,36 @@ pub(crate) fn run(argv: &[String]) -> Result<(), String> {
     }
     let args = Parsed::parse(&argv[1..])?;
     let addr = args.get("addr").unwrap_or(super::serve::DEFAULT_ADDR);
-    let mut client =
-        Client::connect(addr).map_err(|e| format!("remote: cannot connect to {addr}: {e}"))?;
-    if let Some(token) = args.get("auth-token") {
-        client.set_auth_token(token);
+    let mut builder = Client::builder();
+    // `--timeout <secs>` bounds the TCP connect and every socket
+    // read/write, so a hung server fails the command instead of wedging it.
+    if args.get("timeout").is_some() {
+        let secs: u64 = args.get_num("timeout", 0u64)?;
+        if secs == 0 {
+            return Err("remote: --timeout expects a positive number of seconds".into());
+        }
+        builder = builder.timeout(Duration::from_secs(secs));
     }
+    if let Some(token) = args.get("auth-token") {
+        builder = builder.auth_token(token);
+    }
+    let mut client = builder
+        .connect(addr)
+        .map_err(|e| format!("remote: cannot connect to {addr}: {e}"))?;
     match sub.as_str() {
         "query" => query(&mut client, &args),
         "topk" => topk(&mut client, &args),
+        "batch" if args.has("pipeline") => batch_pipelined(&mut client, &args),
         "batch" => batch(&mut client, &args),
         "persist" => persist(&mut client, &args),
         "stats" => stats(&mut client),
         "ping" => {
-            client.ping().map_err(|e| format!("remote ping: {e}"))?;
+            RtkService::ping(&mut client).map_err(|e| format!("remote ping: {e}"))?;
             println!("pong from {addr}");
             Ok(())
         }
         "shutdown" => {
-            client.shutdown().map_err(|e| format!("remote shutdown: {e}"))?;
+            RtkService::shutdown(&mut client).map_err(|e| format!("remote shutdown: {e}"))?;
             println!("server at {addr} acknowledged shutdown");
             Ok(())
         }
@@ -46,11 +67,25 @@ fn node_flag(args: &Parsed) -> Result<u32, String> {
         .map_err(|_| "remote: --node expects a node id".to_string())
 }
 
-fn query(client: &mut Client, args: &Parsed) -> Result<(), String> {
+/// Parses `--nodes a,b,c` into `(q, k)` pairs with one shared `k`.
+fn node_list(args: &Parsed, k: u32) -> Result<Vec<(u32, u32)>, String> {
+    args.get("nodes")
+        .ok_or_else(|| "remote batch: --nodes <id,id,…> is required".to_string())?
+        .split(',')
+        .map(|s| {
+            s.trim()
+                .parse::<u32>()
+                .map(|q| (q, k))
+                .map_err(|_| format!("remote batch: bad node id {s:?}"))
+        })
+        .collect()
+}
+
+fn query(svc: &mut impl RtkService, args: &Parsed) -> Result<(), String> {
     let q = node_flag(args)?;
     let k = args.get_num("k", 10u32)?;
     let update = args.has("update");
-    let r = client.reverse_topk(q, k, update).map_err(|e| format!("remote query: {e}"))?;
+    let r = svc.reverse_topk(q, k, update).map_err(|e| format!("remote query: {e}"))?;
     println!(
         "reverse top-{k} of node {q}{}: {} result(s)",
         if update { " (update mode)" } else { "" },
@@ -66,11 +101,11 @@ fn query(client: &mut Client, args: &Parsed) -> Result<(), String> {
     Ok(())
 }
 
-fn topk(client: &mut Client, args: &Parsed) -> Result<(), String> {
+fn topk(svc: &mut impl RtkService, args: &Parsed) -> Result<(), String> {
     let u = node_flag(args)?;
     let k = args.get_num("k", 10u32)?;
     let early = args.has("early");
-    let t = client.topk(u, k, early).map_err(|e| format!("remote topk: {e}"))?;
+    let t = svc.topk(u, k, early).map_err(|e| format!("remote topk: {e}"))?;
     println!("top-{k} from node {u}{}:", if early { " (early termination)" } else { "" });
     for (v, p) in t.nodes.iter().zip(&t.scores) {
         println!("  node {v}  (p = {p:.6})");
@@ -78,22 +113,26 @@ fn topk(client: &mut Client, args: &Parsed) -> Result<(), String> {
     Ok(())
 }
 
-/// `--nodes a,b,c --k K`: one frozen batch round-trip.
-fn batch(client: &mut Client, args: &Parsed) -> Result<(), String> {
-    let nodes = args
-        .get("nodes")
-        .ok_or_else(|| "remote batch: --nodes <id,id,…> is required".to_string())?;
+/// `--nodes a,b,c --k K`: one frozen batch round-trip (a single frame).
+fn batch(svc: &mut impl RtkService, args: &Parsed) -> Result<(), String> {
     let k = args.get_num("k", 10u32)?;
-    let queries: Vec<(u32, u32)> = nodes
-        .split(',')
-        .map(|s| {
-            s.trim()
-                .parse::<u32>()
-                .map(|q| (q, k))
-                .map_err(|_| format!("remote batch: bad node id {s:?}"))
-        })
-        .collect::<Result<_, _>>()?;
-    let rs = client.batch(&queries).map_err(|e| format!("remote batch: {e}"))?;
+    let queries = node_list(args, k)?;
+    let rs = svc.batch(&queries).map_err(|e| format!("remote batch: {e}"))?;
+    for r in rs {
+        println!("node {}: {} result(s): {:?}", r.query, r.nodes.len(), r.nodes);
+    }
+    Ok(())
+}
+
+/// `--nodes a,b,c --k K --pipeline`: the same queries as individual
+/// requests, all in flight at once over this one connection (wire v4) —
+/// the server's whole worker pool can work on them concurrently.
+fn batch_pipelined(client: &mut Client, args: &Parsed) -> Result<(), String> {
+    let k = args.get_num("k", 10u32)?;
+    let queries = node_list(args, k)?;
+    let rs = client
+        .pipeline(&queries, false)
+        .map_err(|e| format!("remote batch --pipeline: {e}"))?;
     for r in rs {
         println!("node {}: {} result(s): {:?}", r.query, r.nodes.len(), r.nodes);
     }
@@ -102,11 +141,11 @@ fn batch(client: &mut Client, args: &Parsed) -> Result<(), String> {
 
 /// `--out <path>`: flush the server's current (refined) engine snapshot to
 /// a path on the *server's* filesystem, under its write lock.
-fn persist(client: &mut Client, args: &Parsed) -> Result<(), String> {
+fn persist(svc: &mut impl RtkService, args: &Parsed) -> Result<(), String> {
     let out = args
         .get("out")
         .ok_or_else(|| "remote persist: --out <server-side path> is required".to_string())?;
-    let bytes = client.persist(out).map_err(|e| format!("remote persist: {e}"))?;
+    let bytes = svc.persist(out).map_err(|e| format!("remote persist: {e}"))?;
     println!(
         "server flushed its engine snapshot to {out} ({:.2} MiB)",
         bytes as f64 / (1024.0 * 1024.0)
@@ -114,8 +153,8 @@ fn persist(client: &mut Client, args: &Parsed) -> Result<(), String> {
     Ok(())
 }
 
-fn stats(client: &mut Client) -> Result<(), String> {
-    let s = client.stats().map_err(|e| format!("remote stats: {e}"))?;
+fn stats(svc: &mut impl RtkService) -> Result<(), String> {
+    let s = svc.stats().map_err(|e| format!("remote stats: {e}"))?;
     println!("server stats:");
     println!("  uptime:           {:.1}s", s.uptime_seconds);
     println!("  graph:            {} nodes / {} edges (max k {})", s.nodes, s.edges, s.max_k);
@@ -134,6 +173,10 @@ fn stats(client: &mut Client) -> Result<(), String> {
         println!("  DEGRADED:         {} backend(s) unreachable", s.degraded_backends);
     }
     println!("  connections:      {} ({} rejected at cap)", s.connections, s.rejected_connections);
+    println!(
+        "  pipelining:       {} peak in-flight ({} rejected at depth cap)",
+        s.inflight_peak, s.inflight_rejections
+    );
     println!(
         "  requests:         {} total (ping {}, reverse_topk {}, shard_rtk {}, topk {}, batch {}, persist {}, stats {}, shutdown {})",
         s.total_requests(),
@@ -171,6 +214,42 @@ mod tests {
 
         let err = run(&["frobnicate".into()]).unwrap_err();
         assert!(err.contains("expected"), "{err}");
+
+        // A zero timeout is a usage error, not a hang.
+        let argv: Vec<String> = vec![
+            "ping".into(),
+            "--addr".into(),
+            "127.0.0.1:1".into(),
+            "--timeout".into(),
+            "0".into(),
+        ];
+        let err = run(&argv).unwrap_err();
+        assert!(err.contains("--timeout"), "{err}");
+    }
+
+    /// The subcommand helpers run against *any* service — here a local
+    /// engine, proving the CLI's dispatch layer is transport-agnostic.
+    #[test]
+    fn helpers_drive_a_local_engine_through_the_trait() {
+        let mut engine = rtk_core::ReverseTopkEngine::builder(rtk_datasets::toy_graph())
+            .max_k(3)
+            .hubs_per_direction(1)
+            .threads(1)
+            .build()
+            .unwrap();
+        let argv: Vec<String> = vec![
+            "--node".into(),
+            "0".into(),
+            "--k".into(),
+            "2".into(),
+            "--nodes".into(),
+            "0,1".into(),
+        ];
+        let args = Parsed::parse(&argv).unwrap();
+        query(&mut engine, &args).unwrap();
+        topk(&mut engine, &args).unwrap();
+        batch(&mut engine, &args).unwrap();
+        stats(&mut engine).unwrap();
     }
 
     #[test]
@@ -195,7 +274,13 @@ mod tests {
         let snapshot = dir.join("flush.rtke");
 
         for argv in [
-            vec!["ping".to_string(), "--addr".into(), addr.clone()],
+            vec![
+                "ping".to_string(),
+                "--addr".into(),
+                addr.clone(),
+                "--timeout".into(),
+                "30".into(),
+            ],
             vec![
                 "query".into(),
                 "--addr".into(),
@@ -223,6 +308,16 @@ mod tests {
                 "0,1,2".into(),
                 "--k".into(),
                 "2".into(),
+            ],
+            vec![
+                "batch".into(),
+                "--addr".into(),
+                addr.clone(),
+                "--nodes".into(),
+                "0,1,2".into(),
+                "--k".into(),
+                "2".into(),
+                "--pipeline".into(),
             ],
             vec![
                 "persist".into(),

@@ -24,25 +24,44 @@ pub(crate) fn run(args: &Parsed) -> Result<(), String> {
         return Err("router: --backends lists no addresses".to_string());
     }
     let addr = args.get("addr").unwrap_or(DEFAULT_ROUTER_ADDR);
+    let defaults = RouterConfig::default();
+    // `--timeout` bounds every backend interaction: the TCP dial and each
+    // per-call socket read/write (handshake included).
+    let (connect_timeout, backend_io_timeout) = match args.get("timeout") {
+        None => (defaults.connect_timeout, defaults.backend_io_timeout),
+        Some(_) => {
+            let secs: u64 = args.get_num("timeout", 0u64)?;
+            if secs == 0 {
+                return Err("router: --timeout expects a positive number of seconds".into());
+            }
+            let t = std::time::Duration::from_secs(secs);
+            (t, t)
+        }
+    };
     let config = RouterConfig {
         workers: args.get_num("workers", 0usize)?,
         max_frame_bytes: args
             .get_num("max-frame-mib", 16u32)?
             .saturating_mul(1024 * 1024)
             .max(1024),
-        max_connections: args.get_num("max-connections", 0usize)?,
+        max_connections: args
+            .get_num("max-connections", rtk_server::server::DEFAULT_MAX_CONNECTIONS)?,
+        max_inflight: args.get_num("max-inflight", 0usize)?,
         auth_token: args.get("auth-token").map(str::to_string),
-        ..Default::default()
+        connect_timeout,
+        backend_io_timeout,
+        serial_fanout: args.has("serial-fanout"),
     };
 
     let router =
         Router::bind(&backends, addr, config.clone()).map_err(|e| format!("router: {e}"))?;
     println!(
-        "rtk router listening on {} ({} workers, {} shard backend(s){}); \
+        "rtk router listening on {} ({} workers, {} shard backend(s), {} fan-out{}); \
          stop with `rtk remote shutdown --addr {}` (propagates to backends)",
         router.local_addr(),
         if config.workers == 0 { "all-core".to_string() } else { config.workers.to_string() },
         router.backend_count(),
+        if config.serial_fanout { "serial" } else { "concurrent" },
         if config.auth_token.is_some() { ", auth required" } else { "" },
         router.local_addr()
     );

@@ -19,7 +19,9 @@ pub(crate) fn run(args: &Parsed) -> Result<(), String> {
             .saturating_mul(1024 * 1024)
             .max(1024),
         query_threads: args.get_num("query-threads", 1usize)?,
-        max_connections: args.get_num("max-connections", 0usize)?,
+        max_connections: args
+            .get_num("max-connections", rtk_server::server::DEFAULT_MAX_CONNECTIONS)?,
+        max_inflight: args.get_num("max-inflight", 0usize)?,
         persist_dir: args.get("persist-dir").map(std::path::PathBuf::from),
         auth_token: args.get("auth-token").map(str::to_string),
     };

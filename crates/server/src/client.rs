@@ -1,18 +1,30 @@
-//! Blocking client for the `RTKWIRE1` protocol.
+//! Client for the `RTKWIRE1` protocol: blocking calls plus a pipelined
+//! submit/wait surface (wire v4).
 
 use crate::error::ServerError;
 use crate::metrics::StatsSnapshot;
 use crate::wire::{
     self, Request, Response, WireQueryResult, WireShardResult, WireTopk, DEFAULT_MAX_FRAME_BYTES,
 };
+use rtk_api::service::{RtkService, ServiceError, ServiceResult};
+use std::collections::{HashMap, HashSet};
 use std::io::BufReader;
+use std::marker::PhantomData;
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
-/// A blocking connection to an `rtk-server` (or `rtk router` — the wire
-/// surface is identical, which is what makes the router transparent). One
-/// request is in flight at a time; the connection is reused across calls
-/// (the server keeps it open until EOF, error, or shutdown).
+/// A connection to an `rtk-server` (or `rtk router` — the wire surface is
+/// identical, which is what makes the router transparent).
+///
+/// Every request frame carries a client-chosen `u64` request id (wire v4),
+/// so a connection may have **many requests in flight**: [`Client::submit`]
+/// (and its typed `submit_*` siblings) writes a frame and returns a
+/// [`Pending`] handle immediately, [`Client::wait`] blocks until *that*
+/// request's response arrives — re-associating out-of-order responses by
+/// id and parking the ones that belong to other in-flight requests.
+/// [`Client::pipeline`] drives N reverse top-k queries concurrently over
+/// this one connection. The blocking methods ([`Client::reverse_topk`],
+/// [`Client::stats`], …) are thin submit-then-wait wrappers.
 ///
 /// ```
 /// use rtk_core::ReverseTopkEngine;
@@ -34,6 +46,14 @@ use std::time::Duration;
 /// let r = client.reverse_topk(0, 2, false).unwrap();
 /// assert_eq!(r.nodes, vec![0, 1, 4]);
 ///
+/// // The same two queries pipelined: both in flight at once.
+/// let a = client.submit_reverse_topk(0, 2, false).unwrap();
+/// let b = client.submit_reverse_topk(1, 2, false).unwrap();
+/// let rb = client.wait(b).unwrap(); // waiting out of submit order is fine
+/// let ra = client.wait(a).unwrap();
+/// assert_eq!(ra.nodes, vec![0, 1, 4]);
+/// assert_eq!(rb.query, 1);
+///
 /// client.shutdown().unwrap();
 /// handle.join().unwrap();
 /// ```
@@ -42,13 +62,210 @@ pub struct Client {
     writer: TcpStream,
     max_frame_bytes: u32,
     auth_token: Vec<u8>,
+    /// Next request id to assign (ids start at 1; id 0 is reserved for
+    /// connection-level server errors that precede any request).
+    next_id: u64,
+    /// Ids submitted but not yet answered.
+    outstanding: HashSet<u64>,
+    /// Responses that arrived while waiting for a different id.
+    parked: HashMap<u64, Response>,
+}
+
+/// Handle to one in-flight request: redeem it with [`Client::wait`]. The
+/// type parameter is the decoded response shape; the handle is consumed by
+/// `wait`, so a response cannot be claimed twice.
+#[derive(Debug)]
+pub struct Pending<T> {
+    id: u64,
+    _marker: PhantomData<fn() -> T>,
+}
+
+impl<T> Pending<T> {
+    /// The wire request id this handle is waiting on.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+}
+
+/// Conversion from a raw [`Response`] to a typed result — what
+/// [`Client::wait`] runs after re-associating a response with its request.
+pub trait FromResponse: Sized {
+    /// Decodes `resp` into `Self`, mapping `Response::Error` to
+    /// [`ServerError::Remote`].
+    fn from_response(resp: Response) -> Result<Self, ServerError>;
+}
+
+fn remote_err<T>(resp: Response, wanted: &str) -> Result<T, ServerError> {
+    match resp {
+        Response::Error { code: _, message } => Err(ServerError::Remote(message)),
+        other => Err(unexpected(wanted, &other)),
+    }
+}
+
+impl FromResponse for Response {
+    /// Identity: application errors stay values — the raw escape hatch the
+    /// router's fan-out is built on.
+    fn from_response(resp: Response) -> Result<Self, ServerError> {
+        Ok(resp)
+    }
+}
+
+impl FromResponse for WireQueryResult {
+    fn from_response(resp: Response) -> Result<Self, ServerError> {
+        match resp {
+            Response::ReverseTopk(r) => Ok(r),
+            other => remote_err(other, "reverse_topk result"),
+        }
+    }
+}
+
+impl FromResponse for WireShardResult {
+    fn from_response(resp: Response) -> Result<Self, ServerError> {
+        match resp {
+            Response::ShardReverseTopk(r) => Ok(r),
+            other => remote_err(other, "shard_reverse_topk result"),
+        }
+    }
+}
+
+impl FromResponse for WireTopk {
+    fn from_response(resp: Response) -> Result<Self, ServerError> {
+        match resp {
+            Response::Topk(t) => Ok(t),
+            other => remote_err(other, "topk result"),
+        }
+    }
+}
+
+impl FromResponse for Vec<WireQueryResult> {
+    fn from_response(resp: Response) -> Result<Self, ServerError> {
+        match resp {
+            Response::Batch(rs) => Ok(rs),
+            other => remote_err(other, "batch results"),
+        }
+    }
+}
+
+impl FromResponse for StatsSnapshot {
+    fn from_response(resp: Response) -> Result<Self, ServerError> {
+        match resp {
+            Response::Stats(s) => Ok(s),
+            other => remote_err(other, "stats snapshot"),
+        }
+    }
+}
+
+/// Configures a [`Client`] before connecting: timeouts, framing limits,
+/// and the auth token — the one place every `rtk remote` flag lands.
+///
+/// ```no_run
+/// use rtk_server::Client;
+/// use std::time::Duration;
+///
+/// let mut client = Client::builder()
+///     .timeout(Duration::from_secs(30)) // connect + per-call I/O
+///     .auth_token("tier-secret")
+///     .connect("127.0.0.1:7313")
+///     .unwrap();
+/// client.ping().unwrap();
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct ClientBuilder {
+    connect_timeout: Option<Duration>,
+    io_timeout: Option<Duration>,
+    max_frame_bytes: Option<u32>,
+    auth_token: Option<String>,
+}
+
+impl ClientBuilder {
+    /// Starts a default-configured builder (no timeouts, default frame
+    /// cap, unauthenticated).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bounds the TCP connect.
+    pub fn connect_timeout(mut self, timeout: Duration) -> Self {
+        self.connect_timeout = Some(timeout);
+        self
+    }
+
+    /// Bounds every socket read/write, so a hung peer cannot block a call
+    /// forever.
+    pub fn io_timeout(mut self, timeout: Duration) -> Self {
+        self.io_timeout = Some(timeout);
+        self
+    }
+
+    /// Sets both the connect and the I/O timeout (`rtk remote --timeout`).
+    pub fn timeout(self, timeout: Duration) -> Self {
+        self.connect_timeout(timeout).io_timeout(timeout)
+    }
+
+    /// Overrides the response-frame size cap (e.g. for very large batches).
+    pub fn max_frame_bytes(mut self, bytes: u32) -> Self {
+        self.max_frame_bytes = Some(bytes);
+        self
+    }
+
+    /// Shared-secret token carried by every request.
+    pub fn auth_token(mut self, token: &str) -> Self {
+        self.auth_token = Some(token.to_string());
+        self
+    }
+
+    /// Connects to `addr` with this configuration.
+    pub fn connect<A: ToSocketAddrs>(self, addr: A) -> Result<Client, ServerError> {
+        let stream = match self.connect_timeout {
+            None => TcpStream::connect(&addr)?,
+            Some(timeout) => {
+                // connect_timeout needs concrete addresses; try each
+                // resolution until one answers.
+                let addrs: Vec<_> = addr.to_socket_addrs()?.collect();
+                let mut last = None;
+                let mut stream = None;
+                for a in &addrs {
+                    match TcpStream::connect_timeout(a, timeout) {
+                        Ok(s) => {
+                            stream = Some(s);
+                            break;
+                        }
+                        Err(e) => last = Some(e),
+                    }
+                }
+                stream.ok_or_else(|| {
+                    last.unwrap_or_else(|| {
+                        std::io::Error::new(
+                            std::io::ErrorKind::AddrNotAvailable,
+                            "address resolved to nothing",
+                        )
+                    })
+                })?
+            }
+        };
+        let mut client = Client::from_stream(stream)?;
+        if let Some(timeout) = self.io_timeout {
+            client.set_io_timeout(Some(timeout))?;
+        }
+        if let Some(bytes) = self.max_frame_bytes {
+            client.set_max_frame_bytes(bytes);
+        }
+        if let Some(token) = &self.auth_token {
+            client.set_auth_token(token);
+        }
+        Ok(client)
+    }
 }
 
 impl Client {
-    /// Connects to `addr` with default framing limits.
+    /// Starts configuring a client (timeouts, auth, frame cap).
+    pub fn builder() -> ClientBuilder {
+        ClientBuilder::new()
+    }
+
+    /// Connects to `addr` with default framing limits and no timeouts.
     pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Self, ServerError> {
-        let stream = TcpStream::connect(addr)?;
-        Self::from_stream(stream)
+        ClientBuilder::new().connect(addr)
     }
 
     /// Connects with a timeout applied to the TCP connect only.
@@ -56,8 +273,7 @@ impl Client {
         addr: &std::net::SocketAddr,
         timeout: Duration,
     ) -> Result<Self, ServerError> {
-        let stream = TcpStream::connect_timeout(addr, timeout)?;
-        Self::from_stream(stream)
+        ClientBuilder::new().connect_timeout(timeout).connect(addr)
     }
 
     fn from_stream(stream: TcpStream) -> Result<Self, ServerError> {
@@ -68,6 +284,9 @@ impl Client {
             writer,
             max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
             auth_token: Vec::new(),
+            next_id: 1,
+            outstanding: HashSet::new(),
+            parked: HashMap::new(),
         })
     }
 
@@ -85,26 +304,179 @@ impl Client {
     }
 
     /// Sets the shared-secret auth token carried by every subsequent
-    /// request (wire v3 field, capped at
-    /// [`wire::MAX_AUTH_TOKEN_BYTES`] bytes — servers reject longer
-    /// tokens at startup, so a matching token always fits). Required when
-    /// the server was started with `--auth-token`; harmless otherwise
-    /// (unauthenticated servers ignore the field).
+    /// request (capped at [`wire::MAX_AUTH_TOKEN_BYTES`] bytes — servers
+    /// reject longer tokens at startup, so a matching token always fits).
+    /// Required when the server was started with `--auth-token`; harmless
+    /// otherwise (unauthenticated servers ignore the field).
     pub fn set_auth_token(&mut self, token: &str) {
         self.auth_token = token.as_bytes().to_vec();
     }
+
+    /// Number of requests submitted on this connection and not yet waited
+    /// to completion.
+    pub fn inflight(&self) -> usize {
+        self.outstanding.len() + self.parked.len()
+    }
+
+    // ---- pipelined surface -------------------------------------------
+
+    /// Writes one raw request frame under a fresh request id and returns
+    /// immediately — the response is claimed later with [`Self::wait`].
+    /// Any number of requests may be in flight on this connection (servers
+    /// may cap the depth with `--max-inflight`, answering the excess with
+    /// `busy` error frames).
+    pub fn submit(&mut self, request: &Request) -> Result<Pending<Response>, ServerError> {
+        self.submit_typed(request)
+    }
+
+    /// [`Self::submit`] with a typed handle for a reverse top-k query.
+    ///
+    /// Pipelining update-mode queries is allowed: result sets and
+    /// proximities do not depend on execution order (refinement is
+    /// monotone), but in-flight requests may *execute* in any order, so
+    /// counter statistics can differ from a serial submission.
+    pub fn submit_reverse_topk(
+        &mut self,
+        q: u32,
+        k: u32,
+        update: bool,
+    ) -> Result<Pending<WireQueryResult>, ServerError> {
+        self.submit_typed(&Request::ReverseTopk { q, k, update })
+    }
+
+    /// [`Self::submit`] with a typed handle for a shard-scoped query.
+    pub fn submit_shard_reverse_topk(
+        &mut self,
+        q: u32,
+        k: u32,
+        update: bool,
+    ) -> Result<Pending<WireShardResult>, ServerError> {
+        self.submit_typed(&Request::ShardReverseTopk { q, k, update })
+    }
+
+    /// [`Self::submit`] with a typed handle for a forward top-k search.
+    pub fn submit_topk(
+        &mut self,
+        u: u32,
+        k: u32,
+        early: bool,
+    ) -> Result<Pending<WireTopk>, ServerError> {
+        self.submit_typed(&Request::Topk { u, k, early })
+    }
+
+    fn submit_typed<T>(&mut self, request: &Request) -> Result<Pending<T>, ServerError> {
+        let id = self.next_id;
+        wire::write_frame(
+            &mut self.writer,
+            id,
+            &wire::encode_request_authed(request, &self.auth_token),
+        )?;
+        self.next_id += 1;
+        self.outstanding.insert(id);
+        Ok(Pending { id, _marker: PhantomData })
+    }
+
+    /// Blocks until the response for `pending` arrives and decodes it.
+    /// Responses for *other* in-flight requests that arrive first are
+    /// parked and claimed by their own `wait` calls; a response carrying an
+    /// id this connection never submitted (or already answered) is a
+    /// protocol error — except connection-level error frames (e.g. a
+    /// `busy` rejection at the accept cap, sent under id 0), which surface
+    /// as [`ServerError::Remote`].
+    pub fn wait<T: FromResponse>(&mut self, pending: Pending<T>) -> Result<T, ServerError> {
+        let resp = self.recv_for(pending.id)?;
+        T::from_response(resp)
+    }
+
+    fn recv_for(&mut self, id: u64) -> Result<Response, ServerError> {
+        if let Some(resp) = self.parked.remove(&id) {
+            return Ok(resp);
+        }
+        if !self.outstanding.contains(&id) {
+            return Err(ServerError::Protocol(format!(
+                "wait on unknown or already-completed request id {id}"
+            )));
+        }
+        loop {
+            let (rid, payload) = wire::read_frame(&mut self.reader, self.max_frame_bytes)?;
+            let resp = wire::decode_response(&payload)?;
+            if rid == id {
+                self.outstanding.remove(&id);
+                return Ok(resp);
+            }
+            if self.outstanding.remove(&rid) {
+                // Out-of-order completion for another in-flight request:
+                // park it for that request's own wait call.
+                self.parked.insert(rid, resp);
+                continue;
+            }
+            if let Response::Error { message, .. } = resp {
+                // A connection-level rejection (id 0 busy frame, or an
+                // error for a request this client no longer tracks).
+                return Err(ServerError::Remote(message));
+            }
+            return Err(ServerError::Protocol(format!(
+                "response for unknown or duplicate request id {rid}"
+            )));
+        }
+    }
+
+    /// Drives `queries` as frozen (or update-mode) reverse top-k requests
+    /// **concurrently over this one connection**: all submitted before any
+    /// response is read, results returned in request order. One pipelined
+    /// round costs one connection and lets the server's whole worker pool
+    /// work on this client's queries at once — the multiplexed counterpart
+    /// of [`Self::batch`] (which is a single frame, decoded and answered
+    /// as one unit).
+    ///
+    /// Plays fair with a server-side `--max-inflight` pipeline-depth cap:
+    /// queries the server answered `busy` are re-issued one at a time once
+    /// the burst has drained (a single in-flight request is always
+    /// admitted), so the call still returns every result.
+    pub fn pipeline(
+        &mut self,
+        queries: &[(u32, u32)],
+        update: bool,
+    ) -> Result<Vec<WireQueryResult>, ServerError> {
+        let pending: Vec<Pending<Response>> = queries
+            .iter()
+            .map(|&(q, k)| self.submit(&Request::ReverseTopk { q, k, update }))
+            .collect::<Result<_, _>>()?;
+        // Collect the whole burst first — retrying while later submissions
+        // are still in flight could bounce off the depth cap again.
+        let mut slots = Vec::with_capacity(queries.len());
+        for pending in pending {
+            let resp = self.wait(pending)?;
+            if matches!(resp, Response::Error { code: wire::STATUS_BUSY, .. }) {
+                slots.push(None);
+            } else {
+                slots.push(Some(WireQueryResult::from_response(resp)?));
+            }
+        }
+        slots
+            .into_iter()
+            .zip(queries)
+            .map(|(slot, &(q, k))| match slot {
+                Some(r) => Ok(r),
+                None => {
+                    // Depth-cap rejection: nothing is in flight anymore, so
+                    // a blocking re-issue is always admitted.
+                    let pending = self.submit_reverse_topk(q, k, update)?;
+                    self.wait(pending)
+                }
+            })
+            .collect()
+    }
+
+    // ---- blocking wrappers -------------------------------------------
 
     /// Sends one raw request and returns the raw response — the escape
     /// hatch the router's fan-out is built on. Application errors come back
     /// as [`Response::Error`] (not `Err`); transport and protocol failures
     /// are `Err`.
     pub fn request(&mut self, request: &Request) -> Result<Response, ServerError> {
-        wire::write_frame(
-            &mut self.writer,
-            &wire::encode_request_authed(request, &self.auth_token),
-        )?;
-        let payload = wire::read_frame(&mut self.reader, self.max_frame_bytes)?;
-        wire::decode_response(&payload)
+        let pending = self.submit(request)?;
+        self.wait(pending)
     }
 
     fn call(&mut self, request: &Request) -> Result<Response, ServerError> {
@@ -130,14 +502,12 @@ impl Client {
         k: u32,
         update: bool,
     ) -> Result<WireQueryResult, ServerError> {
-        match self.call(&Request::ReverseTopk { q, k, update })? {
-            Response::ReverseTopk(r) => Ok(r),
-            other => Err(unexpected("reverse_topk result", &other)),
-        }
+        let pending = self.submit_reverse_topk(q, k, update)?;
+        self.wait(pending)
     }
 
-    /// The shard-scoped slice of one reverse top-k query (wire v3): only
-    /// the receiving backend's shard range is screened. Answered by `rtk
+    /// The shard-scoped slice of one reverse top-k query: only the
+    /// receiving backend's shard range is screened. Answered by `rtk
     /// serve --shard-only` backends; the router sends these and merges.
     pub fn shard_reverse_topk(
         &mut self,
@@ -145,18 +515,14 @@ impl Client {
         k: u32,
         update: bool,
     ) -> Result<WireShardResult, ServerError> {
-        match self.call(&Request::ShardReverseTopk { q, k, update })? {
-            Response::ShardReverseTopk(r) => Ok(r),
-            other => Err(unexpected("shard_reverse_topk result", &other)),
-        }
+        let pending = self.submit_shard_reverse_topk(q, k, update)?;
+        self.wait(pending)
     }
 
     /// Forward top-k proximity search from `u`.
     pub fn topk(&mut self, u: u32, k: u32, early: bool) -> Result<WireTopk, ServerError> {
-        match self.call(&Request::Topk { u, k, early })? {
-            Response::Topk(t) => Ok(t),
-            other => Err(unexpected("topk result", &other)),
-        }
+        let pending = self.submit_topk(u, k, early)?;
+        self.wait(pending)
     }
 
     /// Many independent frozen queries in one round-trip, answered in order.
@@ -202,6 +568,57 @@ impl Client {
             Response::ShuttingDown => Ok(()),
             other => Err(unexpected("shutdown ack", &other)),
         }
+    }
+}
+
+/// The remote [`RtkService`]: every trait call is one wire round-trip, so
+/// code written against the trait (the CLI's `rtk remote`, embedders)
+/// drives a remote server or router exactly like a local engine.
+impl RtkService for Client {
+    fn ping(&mut self) -> ServiceResult<()> {
+        Client::ping(self).map_err(transport)
+    }
+
+    fn reverse_topk(&mut self, q: u32, k: u32, update: bool) -> ServiceResult<WireQueryResult> {
+        Client::reverse_topk(self, q, k, update).map_err(transport)
+    }
+
+    fn shard_reverse_topk(
+        &mut self,
+        q: u32,
+        k: u32,
+        update: bool,
+    ) -> ServiceResult<WireShardResult> {
+        Client::shard_reverse_topk(self, q, k, update).map_err(transport)
+    }
+
+    fn topk(&mut self, u: u32, k: u32, early: bool) -> ServiceResult<WireTopk> {
+        Client::topk(self, u, k, early).map_err(transport)
+    }
+
+    fn batch(&mut self, queries: &[(u32, u32)]) -> ServiceResult<Vec<WireQueryResult>> {
+        Client::batch(self, queries).map_err(transport)
+    }
+
+    fn stats(&mut self) -> ServiceResult<StatsSnapshot> {
+        Client::stats(self).map_err(transport)
+    }
+
+    fn persist(&mut self, path: &str) -> ServiceResult<u64> {
+        Client::persist(self, path).map_err(transport)
+    }
+
+    fn shutdown(&mut self) -> ServiceResult<()> {
+        Client::shutdown(self).map_err(transport)
+    }
+}
+
+/// Maps a client error onto the service vocabulary: the server's own
+/// rejections stay engine errors, everything else is transport.
+fn transport(e: ServerError) -> ServiceError {
+    match e {
+        ServerError::Remote(m) => ServiceError::Engine(m),
+        other => ServiceError::Transport(other.to_string()),
     }
 }
 

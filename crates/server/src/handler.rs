@@ -1,73 +1,182 @@
-//! Per-connection request loop: shutdown-aware framing, auth, dispatch.
+//! Per-connection frame reader + per-request job execution (wire v4).
 //!
-//! The loop is generic over a (crate-private) `ServiceHost` trait so the
-//! same framing, limits, auth check, and shutdown discipline serve both
-//! hosts in this crate: the engine-backed [`crate::Server`] and the
-//! fan-out [`crate::Router`].
+//! Under the pipelined protocol a connection no longer pins a worker.
+//! Each accepted connection gets a lightweight **reader** (spawned by the
+//! accept loop) that parses frames, authenticates them, and enqueues one
+//! `Job` per request into the shared worker queue; the worker pool
+//! executes requests from *all* connections interleaved and writes each
+//! response — tagged with its request id — back through the connection's
+//! shared writer. Responses therefore leave in completion order, not
+//! arrival order, and a slow query on one connection never blocks another
+//! connection's (or even the same connection's) cheap requests.
+//!
+//! The machinery is generic over a (crate-private) `ServiceHost` trait so
+//! the same framing, limits, auth check, and shutdown discipline serve both
+//! hosts in this crate: the engine-backed [`crate::Server`] and the fan-out
+//! [`crate::Router`]. Request execution itself goes through
+//! [`rtk_api::service::dispatch_request`] against each host's
+//! [`rtk_api::RtkService`] view — the request enum is never matched here.
 
 use crate::metrics::{RequestKind, ServerMetrics};
 use crate::wire::{
-    self, constant_time_eq, Request, Response, STATUS_ENGINE_ERROR, STATUS_PROTOCOL_ERROR,
+    self, constant_time_eq, Request, Response, STATUS_BUSY, STATUS_PROTOCOL_ERROR,
     STATUS_UNAUTHORIZED,
 };
 use rtk_sparse::codec::{self, DecodeError};
 use std::io::{self, Read};
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Poll interval for idle connections: reads time out this often so the
-/// worker can notice a shutdown without a byte arriving.
+/// reader can notice a shutdown without a byte arriving.
 const IDLE_POLL: Duration = Duration::from_millis(100);
 
 /// Cap on how long one response write may block. A client that stops
-/// reading would otherwise pin its worker forever (writes, unlike reads,
-/// are not shutdown-polled) — after this long the connection is dropped.
+/// reading would otherwise pin a worker forever (writes, unlike reads, are
+/// not shutdown-polled) — after this long the write fails and the response
+/// is dropped with the connection.
 const WRITE_TIMEOUT: Duration = Duration::from_secs(10);
 
 /// What a process serving the wire protocol provides to the shared
-/// connection loop: limits, metrics, the shutdown flag, the optional auth
-/// token, and the request dispatcher itself.
+/// connection machinery: limits, metrics, the shutdown flag, the optional
+/// auth token, and the request dispatcher itself.
 pub(crate) trait ServiceHost: Send + Sync + 'static {
     /// The host's request metrics.
     fn metrics(&self) -> &ServerMetrics;
-    /// The shutdown flag the connection loop polls.
+    /// The shutdown flag the readers poll.
     fn shutdown_flag(&self) -> &AtomicBool;
     /// Per-frame payload cap, both directions.
     fn max_frame_bytes(&self) -> u32;
     /// When set, every request's token must match (constant-time compare).
     fn auth_token(&self) -> Option<&[u8]>;
-    /// Admitted (queued + in-flight) connection counter.
+    /// Admitted (reader alive) connection counter.
     fn active_connections(&self) -> &AtomicU64;
-    /// Backpressure cap (`0` = unlimited).
+    /// Backpressure cap on connections (`0` = unlimited).
     fn max_connections(&self) -> usize;
+    /// Pipeline-depth cap per connection (`0` = unlimited): requests
+    /// arriving while this many are already in flight on the connection
+    /// are answered with a `busy` frame instead of queuing.
+    fn max_inflight(&self) -> usize;
     /// Executes one (already authenticated) request.
     fn dispatch(&self, request: Request) -> (RequestKind, Response);
     /// Flags shutdown and wakes the accept loop.
     fn begin_shutdown(&self);
 }
 
-/// What one attempt to read a full frame produced.
-enum FrameOutcome {
-    /// A complete payload.
-    Frame(Vec<u8>),
-    /// Peer closed (or shutdown arrived while the connection was idle).
-    Closed,
-    /// The stream contained garbage or violated limits.
-    Malformed(DecodeError),
+/// The write half of a connection, shared between its reader and every
+/// worker holding one of its in-flight requests.
+pub(crate) struct Conn {
+    /// Serializes response frames — a frame must hit the socket whole.
+    writer: Mutex<TcpStream>,
+    /// Requests currently in flight on this connection.
+    inflight: AtomicU64,
 }
 
-/// Serves one client connection until EOF, protocol error, auth failure, or
-/// shutdown.
-pub(crate) fn handle_connection<H: ServiceHost>(mut stream: TcpStream, host: &H) {
+impl Conn {
+    /// Writes one response frame under the writer lock.
+    fn send(&self, request_id: u64, response: &Response) -> io::Result<()> {
+        self.send_encoded(request_id, &wire::encode_response(response))
+    }
+
+    /// Writes pre-encoded response bytes under the writer lock. A failed
+    /// (or timed-out) write may leave a partial frame on the socket, after
+    /// which the byte stream cannot be resynchronized — so the whole
+    /// connection is shut down: the reader sees EOF and exits, the peer
+    /// sees a closed stream instead of interleaved garbage, and every
+    /// remaining in-flight response fails fast the same way.
+    fn send_encoded(&self, request_id: u64, encoded: &[u8]) -> io::Result<()> {
+        let mut writer = self.writer.lock().expect("connection writer lock");
+        let result = wire::write_frame(&mut *writer, request_id, encoded);
+        if result.is_err() {
+            let _ = writer.shutdown(std::net::Shutdown::Both);
+        }
+        result
+    }
+}
+
+/// One decoded, authenticated request waiting for (or running on) a worker.
+pub(crate) struct Job {
+    conn: Arc<Conn>,
+    request_id: u64,
+    request: Request,
+    /// When the reader accepted the frame — latency is measured from here,
+    /// so queue wait under load is part of the reported percentiles.
+    accepted: Instant,
+}
+
+/// Executes one job on a worker: dispatch, frame-limit check, metrics,
+/// response write (tagged with the job's request id), inflight bookkeeping,
+/// and — for an acknowledged shutdown — flipping the host's flag *after*
+/// the acknowledgement is on the wire.
+pub(crate) fn execute_job<H: ServiceHost>(job: Job, host: &H) {
+    let Job { conn, request_id, request, accepted } = job;
+    let (kind, response) = host.dispatch(request);
+    // A response that cannot fit through the frame limit is replaced by an
+    // error frame: sending it anyway would only be rejected client-side
+    // after the transfer.
+    let mut encoded = wire::encode_response(&response);
+    if encoded.len() as u64 > u64::from(host.max_frame_bytes()) {
+        let err = Response::Error {
+            code: wire::STATUS_ENGINE_ERROR,
+            message: format!(
+                "response of {} bytes exceeds the {}-byte frame limit; split the request",
+                encoded.len(),
+                host.max_frame_bytes()
+            ),
+        };
+        encoded = wire::encode_response(&err);
+        host.metrics().record_engine_error();
+    } else if matches!(response, Response::Error { code: wire::STATUS_ENGINE_ERROR, .. }) {
+        host.metrics().record_engine_error();
+    } else {
+        host.metrics().record_request(kind, accepted.elapsed().as_secs_f64());
+    }
+    // A failed write means the connection died; the reader notices on its
+    // side and the remaining in-flight responses fail the same way.
+    let _ = conn.send_encoded(request_id, &encoded);
+    conn.inflight.fetch_sub(1, Ordering::AcqRel);
+    host.metrics().end_request();
+    if kind == RequestKind::Shutdown {
+        host.begin_shutdown();
+    }
+}
+
+/// What one attempt to read a full frame produced.
+enum FrameOutcome {
+    /// A complete frame: `(request_id, payload)`.
+    Frame(u64, Vec<u8>),
+    /// Peer closed (or shutdown arrived while the connection was idle).
+    Closed,
+    /// The stream contained garbage or violated limits. The id is the
+    /// offending frame's request id when the header got far enough to
+    /// carry one, else `0`.
+    Malformed(u64, DecodeError),
+}
+
+/// Reads one client connection until EOF, protocol error, auth failure, or
+/// shutdown, feeding decoded requests into the worker queue. Responses are
+/// written by the workers (out of order); this reader only ever writes
+/// *connection-level* error frames and `busy` rejections.
+pub(crate) fn read_connection<H: ServiceHost>(
+    stream: TcpStream,
+    host: &H,
+    jobs: mpsc::Sender<Job>,
+) {
     host.metrics().record_connection();
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(IDLE_POLL));
     let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
+    let Ok(writer) = stream.try_clone() else {
+        return; // no usable write half — nothing can be answered anyway
+    };
+    let conn = Arc::new(Conn { writer: Mutex::new(writer), inflight: AtomicU64::new(0) });
+    let mut reader = stream;
     loop {
-        match read_frame_polling(&mut stream, host) {
+        match read_frame_polling(&mut reader, host) {
             FrameOutcome::Closed => break,
-            FrameOutcome::Malformed(e) => {
+            FrameOutcome::Malformed(id, e) => {
                 // A corrupt frame must not take the server down: count it,
                 // tell the peer if the socket still works, drop the
                 // connection (resynchronizing a byte stream after garbage
@@ -77,11 +186,11 @@ pub(crate) fn handle_connection<H: ServiceHost>(mut stream: TcpStream, host: &H)
                     code: STATUS_PROTOCOL_ERROR,
                     message: format!("malformed frame: {e}"),
                 };
-                let _ = wire::write_frame(&mut stream, &wire::encode_response(&resp));
+                let _ = conn.send(id, &resp);
                 break;
             }
-            FrameOutcome::Frame(payload) => {
-                let started = Instant::now();
+            FrameOutcome::Frame(request_id, payload) => {
+                let accepted = Instant::now();
                 let (token, request) = match wire::decode_request(&payload) {
                     Ok(r) => r,
                     Err(e) => {
@@ -90,7 +199,7 @@ pub(crate) fn handle_connection<H: ServiceHost>(mut stream: TcpStream, host: &H)
                             code: STATUS_PROTOCOL_ERROR,
                             message: format!("malformed request: {e}"),
                         };
-                        let _ = wire::write_frame(&mut stream, &wire::encode_response(&resp));
+                        let _ = conn.send(request_id, &resp);
                         break;
                     }
                 };
@@ -105,38 +214,37 @@ pub(crate) fn handle_connection<H: ServiceHost>(mut stream: TcpStream, host: &H)
                             code: STATUS_UNAUTHORIZED,
                             message: "auth token missing or mismatched".to_string(),
                         };
-                        let _ = wire::write_frame(&mut stream, &wire::encode_response(&resp));
+                        let _ = conn.send(request_id, &resp);
                         break;
                     }
                 }
-                let shutdown_after = matches!(request, Request::Shutdown);
-                let (kind, response) = host.dispatch(request);
-                // A response that cannot fit through the frame limit is
-                // replaced by an error frame: sending it anyway would only
-                // be rejected client-side after the transfer.
-                let mut encoded = wire::encode_response(&response);
-                if encoded.len() as u64 > u64::from(host.max_frame_bytes()) {
-                    let err = Response::Error {
-                        code: STATUS_ENGINE_ERROR,
+                // Pipeline-depth cap: over the cap the request is answered
+                // `busy` immediately and the connection stays up — the
+                // client backs off and re-submits; admitted requests keep
+                // their latency.
+                let cap = host.max_inflight();
+                if cap > 0 && conn.inflight.load(Ordering::Acquire) >= cap as u64 {
+                    host.metrics().record_inflight_rejection();
+                    let resp = Response::Error {
+                        code: STATUS_BUSY,
                         message: format!(
-                            "response of {} bytes exceeds the {}-byte frame limit; \
-                             split the request",
-                            encoded.len(),
-                            host.max_frame_bytes()
+                            "connection at its pipeline-depth cap ({cap} requests in flight); \
+                             wait for responses before submitting more"
                         ),
                     };
-                    encoded = wire::encode_response(&err);
-                    host.metrics().record_engine_error();
-                } else if matches!(response, Response::Error { code: STATUS_ENGINE_ERROR, .. }) {
-                    host.metrics().record_engine_error();
-                } else {
-                    host.metrics().record_request(kind, started.elapsed().as_secs_f64());
+                    if conn.send(request_id, &resp).is_err() {
+                        break;
+                    }
+                    continue;
                 }
-                if wire::write_frame(&mut stream, &encoded).is_err() {
-                    break;
-                }
-                if shutdown_after {
-                    host.begin_shutdown();
+                conn.inflight.fetch_add(1, Ordering::AcqRel);
+                host.metrics().begin_request();
+                let job = Job { conn: Arc::clone(&conn), request_id, request, accepted };
+                if jobs.send(job).is_err() {
+                    // Worker pool gone (shutdown drained) — undo the
+                    // bookkeeping for the job that will never run.
+                    conn.inflight.fetch_sub(1, Ordering::AcqRel);
+                    host.metrics().end_request();
                     break;
                 }
             }
@@ -153,44 +261,52 @@ pub(crate) fn handle_connection<H: ServiceHost>(mut stream: TcpStream, host: &H)
 /// frame has started, timeouts keep retrying (the peer is mid-write) unless
 /// shutdown is requested, in which case the connection is abandoned.
 fn read_frame_polling<H: ServiceHost>(stream: &mut TcpStream, host: &H) -> FrameOutcome {
-    // Header: magic + version + payload length, read with idle polling.
-    let mut header = [0u8; 16];
+    // Header: magic + version + request id + payload length.
+    let mut header = [0u8; wire::FRAME_HEADER_BYTES];
     match read_exact_polling(stream, &mut header, true, host) {
         ReadStatus::Done => {}
         ReadStatus::Closed => return FrameOutcome::Closed,
-        ReadStatus::Failed(e) => return FrameOutcome::Malformed(DecodeError::Io(e)),
+        ReadStatus::Failed(e) => return FrameOutcome::Malformed(0, DecodeError::Io(e)),
     }
     let mut cursor = io::Cursor::new(&header[..]);
     match codec::read_header(&mut cursor, wire::WIRE_MAGIC, wire::WIRE_VERSION) {
-        // Older peers must fail loudly too: payload layouts changed across
-        // versions (v3 added the auth-token prefix), so a version-2 frame
-        // would otherwise be misparsed instead of rejected.
+        // Older peers must fail loudly too: the frame header itself grew
+        // the request-id field in v4, so a v3 frame would otherwise be
+        // misparsed instead of rejected.
         Ok(version) if version != wire::WIRE_VERSION => {
-            return FrameOutcome::Malformed(DecodeError::UnsupportedVersion {
-                found: version,
-                supported: wire::WIRE_VERSION,
-            });
+            return FrameOutcome::Malformed(
+                0,
+                DecodeError::UnsupportedVersion { found: version, supported: wire::WIRE_VERSION },
+            );
         }
         Ok(_) => {}
-        Err(e) => return FrameOutcome::Malformed(e),
+        Err(e) => return FrameOutcome::Malformed(0, e),
     }
+    let request_id = match codec::read_u64(&mut cursor) {
+        Ok(id) => id,
+        Err(e) => return FrameOutcome::Malformed(0, DecodeError::Io(e)),
+    };
     let len = match codec::read_u32(&mut cursor) {
         Ok(l) => l,
-        Err(e) => return FrameOutcome::Malformed(DecodeError::Io(e)),
+        Err(e) => return FrameOutcome::Malformed(request_id, DecodeError::Io(e)),
     };
     if len > host.max_frame_bytes() {
-        return FrameOutcome::Malformed(DecodeError::Corrupt(format!(
-            "frame payload of {len} bytes exceeds limit {}",
-            host.max_frame_bytes()
-        )));
+        return FrameOutcome::Malformed(
+            request_id,
+            DecodeError::Corrupt(format!(
+                "frame payload of {len} bytes exceeds limit {}",
+                host.max_frame_bytes()
+            )),
+        );
     }
     let mut payload = vec![0u8; len as usize];
     match read_exact_polling(stream, &mut payload, false, host) {
-        ReadStatus::Done => FrameOutcome::Frame(payload),
-        ReadStatus::Closed => {
-            FrameOutcome::Malformed(DecodeError::Corrupt("frame truncated mid-payload".into()))
-        }
-        ReadStatus::Failed(e) => FrameOutcome::Malformed(DecodeError::Io(e)),
+        ReadStatus::Done => FrameOutcome::Frame(request_id, payload),
+        ReadStatus::Closed => FrameOutcome::Malformed(
+            request_id,
+            DecodeError::Corrupt("frame truncated mid-payload".into()),
+        ),
+        ReadStatus::Failed(e) => FrameOutcome::Malformed(request_id, DecodeError::Io(e)),
     }
 }
 

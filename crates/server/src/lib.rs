@@ -10,37 +10,59 @@
 //! a hand-rolled wire protocol built from the same [`rtk_sparse::codec`]
 //! primitives as the on-disk formats.
 //!
-//! ## Wire protocol (`RTKWIRE1`)
+//! ## Wire protocol (`RTKWIRE1`, version 4 — pipelined)
 //!
-//! | field   | size | meaning                                  |
-//! |---------|------|------------------------------------------|
-//! | magic   | 8 B  | `"RTKWIRE1"`                             |
-//! | version | 4 B  | `u32`, currently 3                       |
-//! | length  | 4 B  | `u32` payload bytes (capped per config)  |
-//! | payload | *n*  | tagged request / status-prefixed response|
+//! | field      | size | meaning                                  |
+//! |------------|------|------------------------------------------|
+//! | magic      | 8 B  | `"RTKWIRE1"`                             |
+//! | version    | 4 B  | `u32`, currently 4                       |
+//! | request id | 8 B  | `u64`, echoed on the response            |
+//! | length     | 4 B  | `u32` payload bytes (capped per config)  |
+//! | payload    | *n*  | tagged request / status-prefixed response|
+//!
+//! The request id is what makes the protocol **pipelined**: a connection
+//! may have many requests in flight, the server executes them on its
+//! shared worker pool (a connection never pins a worker), and responses
+//! return in *completion* order — the client re-associates them by id.
+//! [`Client::submit`] / [`Client::wait`] expose the pipelining directly;
+//! [`Client::pipeline`] drives N queries concurrently over one connection;
+//! the plain blocking methods are submit-then-wait wrappers.
 //!
 //! Requests: `ping`, `reverse_topk(q, k, update)`, `topk(u, k, early)`,
-//! `batch([(q, k)…])`, `stats`, `shutdown`, `persist(path)`, and — wire
-//! v3 — the shard-scoped `shard_reverse_topk(q, k, update)` the router
-//! tier is built on. Every v3 request starts with a length-prefixed auth
-//! token (empty when unauthenticated). All integers little-endian;
-//! proximities travel as exact IEEE-754 bits, so remote answers are
-//! **bitwise identical** to local engine calls. The served engine may be
-//! sharded ([`rtk_index::IndexConfig::shards`]); `stats` reports per-shard
-//! node counts and heap sizes, and answers are identical for every shard
+//! `batch([(q, k)…])`, `stats`, `shutdown`, `persist(path)`, and the
+//! shard-scoped `shard_reverse_topk(q, k, update)` the router tier is
+//! built on. Every request starts with a length-prefixed auth token
+//! (empty when unauthenticated). All integers little-endian; proximities
+//! travel as exact IEEE-754 bits, so remote answers are **bitwise
+//! identical** to local engine calls. The served engine may be sharded
+//! ([`rtk_index::IndexConfig::shards`]); `stats` reports per-shard node
+//! counts and heap sizes, and answers are identical for every shard
 //! count. The normative byte-level spec is `docs/FORMATS.md`.
+//!
+//! ## The `RtkService` surface
+//!
+//! The request *model* (and the [`rtk_api::RtkService`] trait covering the
+//! full surface) lives in the `rtk-api` crate. This crate implements the
+//! trait for [`Client`] (remote calls) and for the router's backend
+//! aggregate, and both server flavors dispatch every decoded request
+//! through [`rtk_api::service::dispatch_request`] — the request enum is
+//! matched exactly once outside the codec, and code written against
+//! `&mut impl RtkService` (the CLI's `rtk remote`, embedders) drives a
+//! local engine, a single server, or a routed tier identically.
 //!
 //! ## Multi-process serving (the router tier)
 //!
 //! One process per shard: [`Server::bind_shard`] (CLI: `rtk serve
 //! --shard-only --shard i`) serves a [`rtk_core::ShardEngine`] — the full
 //! graph plus one `RTKSHRD1` section — and a [`Router`] (CLI: `rtk
-//! router --backends …`) owns the shard map, fans each `reverse_topk` out
-//! as per-backend `shard_reverse_topk` calls (serially, in shard order),
-//! and merges: nodes/proximities concatenate, counters sum. Answers stay
-//! **bitwise equal** to single-process serving — the determinism contract
-//! extended to processes (pinned by `tests/router_equivalence.rs`). The
-//! router retries failed backend calls once on a fresh connection, marks
+//! router --backends …`) owns the shard map and fans each `reverse_topk`
+//! out as per-backend `shard_reverse_topk` calls — **concurrently**: all
+//! backends are in flight at once over pipelined connections, and the
+//! partial answers merge in deterministic shard order
+//! (nodes/proximities concatenate, counters sum). Answers stay **bitwise
+//! equal** to single-process serving — the determinism contract extended
+//! to processes (pinned by `tests/router_equivalence.rs`). The router
+//! retries failed backend calls once on a fresh connection, marks
 //! persistent failures `degraded` in `stats`, never serves partial
 //! answers, and re-admits restarted backends automatically. `persist`
 //! fans out (backend `i` writes `<path>.shard<i>`), `shutdown` propagates
@@ -50,9 +72,10 @@
 //!
 //! `ServerConfig::auth_token` / `RouterConfig::auth_token` (CLI:
 //! `--auth-token` on serve/router/remote) gate every request with a
-//! shared secret carried in the v3 token field: constant-time compare,
-//! `auth_failures` metric, connection dropped on mismatch. The router
-//! requires the token from clients and presents it to its backends.
+//! shared secret carried in the request token field: constant-time
+//! compare, `auth_failures` metric, connection dropped on mismatch. The
+//! router requires the token from clients and presents it to its
+//! backends.
 //!
 //! ## Concurrency model
 //!
@@ -65,12 +88,13 @@
 //!   paper's update mode, now safe under concurrent traffic.
 //!
 //! Refinement only tightens bounds, never changes answers, so mixing the
-//! two modes cannot perturb any client's results. `persist(path)` flushes
-//! the current (refined) engine snapshot to disk under the same write lock,
-//! so the on-disk image is always a quiescent state. With
-//! [`ServerConfig::persist_dir`] set, persist paths must be relative (no
-//! `..`) and resolve inside that directory — the protocol is
-//! unauthenticated, so fence it on untrusted networks.
+//! two modes cannot perturb any client's results — which is also why
+//! pipelined requests may execute in any order without perturbing
+//! answers. `persist(path)` flushes the current (refined) engine snapshot
+//! to disk under the same write lock, so the on-disk image is always a
+//! quiescent state. With [`ServerConfig::persist_dir`] set, persist paths
+//! must be relative (no `..`) and resolve inside that directory — the
+//! protocol is unauthenticated, so fence it on untrusted networks.
 //!
 //! ## Robustness & backpressure
 //!
@@ -80,12 +104,16 @@
 //! dropped — the server keeps serving everyone else. With
 //! [`ServerConfig::max_connections`] set, connections beyond the cap get a
 //! clean `busy` error frame (status [`wire::STATUS_BUSY`]), are counted in
-//! `rejected_connections`, and never occupy a worker. Graceful shutdown
-//! drains in-flight requests and joins every worker.
+//! `rejected_connections`, and never occupy a reader. With
+//! [`ServerConfig::max_inflight`] set, requests beyond the per-connection
+//! pipeline depth are answered `busy` (counted in `inflight_rejections`)
+//! while the connection stays up. Graceful shutdown drains in-flight
+//! requests and joins every reader and worker.
 //!
 //! ## Metrics
 //!
-//! [`ServerMetrics`] tracks per-request-type counts plus a fixed-bucket
+//! [`ServerMetrics`] tracks per-request-type counts, the
+//! `inflight_peak` pipelining high-water mark, plus a fixed-bucket
 //! latency histogram ([`rtk_sparse::LatencyHistogram`]) whose deterministic
 //! p50/p95/p99 are queryable over the wire (`Client::stats`).
 
@@ -101,10 +129,11 @@ pub mod server;
 pub mod state;
 pub mod wire;
 
-pub use client::Client;
+pub use client::{Client, ClientBuilder, FromResponse, Pending};
 pub use error::ServerError;
 pub use metrics::{EngineInfo, ServerMetrics, StatsSnapshot};
 pub use router::{Router, RouterConfig};
+pub use rtk_api::{RtkService, ServiceError};
 pub use server::{Server, ServerConfig, ServerHandle};
 pub use wire::{Request, Response, WireQueryResult, WireShardResult, WireTopk};
 
@@ -406,7 +435,7 @@ mod tests {
             let mut s = std::net::TcpStream::connect(handle.addr()).unwrap();
             let payload = vec![0u8; 1024];
             let mut frame = Vec::new();
-            wire::write_frame(&mut frame, &payload).unwrap();
+            wire::write_frame(&mut frame, 1, &payload).unwrap();
             s.write_all(&frame).unwrap();
             let mut sink = Vec::new();
             use std::io::Read;

@@ -1,34 +1,16 @@
 //! Per-server request metrics, queryable over the wire (`rtk remote stats`).
+//!
+//! The snapshot/report types ([`StatsSnapshot`], [`EngineInfo`]) live in
+//! [`rtk_api::model`] — they are part of the request surface, not of this
+//! server implementation. This module owns the live counters.
 
-use rtk_sparse::codec::{self, DecodeError};
+use rtk_api::model::REQUEST_KINDS;
 use rtk_sparse::LatencyHistogram;
-use std::io::{Read, Write};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
-/// Request kinds tracked individually (indices into the counter array).
-#[derive(Clone, Copy, Debug)]
-pub(crate) enum RequestKind {
-    /// `Request::Ping`.
-    Ping = 0,
-    /// `Request::ReverseTopk`.
-    ReverseTopk = 1,
-    /// `Request::Topk`.
-    Topk = 2,
-    /// `Request::Batch`.
-    Batch = 3,
-    /// `Request::Stats`.
-    Stats = 4,
-    /// `Request::Shutdown`.
-    Shutdown = 5,
-    /// `Request::Persist`.
-    Persist = 6,
-    /// `Request::ShardReverseTopk` (wire v3).
-    ShardReverseTopk = 7,
-}
-
-const KINDS: usize = 8;
+pub use rtk_api::model::{EngineInfo, RequestKind, StatsSnapshot};
 
 /// Live counters + latency histogram, shared across worker threads.
 ///
@@ -37,12 +19,19 @@ const KINDS: usize = 8;
 /// next to query work.
 pub struct ServerMetrics {
     started: Instant,
-    requests: [AtomicU64; KINDS],
+    requests: [AtomicU64; REQUEST_KINDS],
     protocol_errors: AtomicU64,
     engine_errors: AtomicU64,
     connections: AtomicU64,
     rejected_connections: AtomicU64,
     auth_failures: AtomicU64,
+    /// Requests currently in flight (queued for or being executed by the
+    /// worker pool) — the live pipelining gauge.
+    inflight: AtomicU64,
+    /// High-water mark of `inflight` since start.
+    inflight_peak: AtomicU64,
+    /// Requests answered `busy` at the per-connection `max_inflight` cap.
+    inflight_rejections: AtomicU64,
     latency: Mutex<LatencyHistogram>,
 }
 
@@ -63,6 +52,9 @@ impl ServerMetrics {
             connections: AtomicU64::new(0),
             rejected_connections: AtomicU64::new(0),
             auth_failures: AtomicU64::new(0),
+            inflight: AtomicU64::new(0),
+            inflight_peak: AtomicU64::new(0),
+            inflight_rejections: AtomicU64::new(0),
             latency: Mutex::new(LatencyHistogram::new()),
         }
     }
@@ -90,6 +82,28 @@ impl ServerMetrics {
 
     pub(crate) fn record_auth_failure(&self) {
         self.auth_failures.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_inflight_rejection(&self) {
+        self.inflight_rejections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Marks one request entering the pipeline (accepted off the wire,
+    /// queued for a worker) and updates the peak gauge.
+    pub(crate) fn begin_request(&self) {
+        let now = self.inflight.fetch_add(1, Ordering::AcqRel) + 1;
+        self.inflight_peak.fetch_max(now, Ordering::AcqRel);
+    }
+
+    /// Marks one request leaving the pipeline (response written or the
+    /// connection gone).
+    pub(crate) fn end_request(&self) {
+        self.inflight.fetch_sub(1, Ordering::AcqRel);
+    }
+
+    /// Requests currently in flight.
+    pub fn inflight(&self) -> u64 {
+        self.inflight.load(Ordering::Acquire)
     }
 
     /// Consistent-enough snapshot for reporting (counters are read
@@ -122,6 +136,8 @@ impl ServerMetrics {
             rejected_connections: self.rejected_connections.load(Ordering::Relaxed),
             auth_failures: self.auth_failures.load(Ordering::Relaxed),
             degraded_backends,
+            inflight_peak: self.inflight_peak.load(Ordering::Relaxed),
+            inflight_rejections: self.inflight_rejections.load(Ordering::Relaxed),
             latency_count: hist.count(),
             mean_seconds: hist.mean(),
             p50_seconds: p50,
@@ -137,200 +153,6 @@ impl ServerMetrics {
             shard_nodes,
             shard_bytes,
         }
-    }
-}
-
-/// Static facts about the served engine, folded into every snapshot.
-#[derive(Clone, Copy, Debug)]
-pub struct EngineInfo {
-    /// Node count of the served graph.
-    pub nodes: u64,
-    /// Edge count of the served graph.
-    pub edges: u64,
-    /// Largest `k` the index supports.
-    pub max_k: u64,
-    /// Worker threads the server runs.
-    pub workers: u32,
-    /// First global node id this process screens (`0` unless shard-only).
-    pub shard_lo: u64,
-    /// One past the last global node id this process screens (the node
-    /// count unless shard-only).
-    pub shard_hi: u64,
-}
-
-/// A point-in-time metrics report, encodable over the wire.
-#[derive(Clone, Debug, PartialEq)]
-pub struct StatsSnapshot {
-    /// Seconds since the server started.
-    pub uptime_seconds: f64,
-    /// Completed `ping` requests.
-    pub ping: u64,
-    /// Completed `reverse_topk` requests.
-    pub reverse_topk: u64,
-    /// Completed `topk` requests.
-    pub topk: u64,
-    /// Completed `batch` requests.
-    pub batch: u64,
-    /// Completed `stats` requests.
-    pub stats: u64,
-    /// Accepted `shutdown` requests.
-    pub shutdown: u64,
-    /// Completed `persist` requests.
-    pub persist: u64,
-    /// Completed shard-scoped `shard_reverse_topk` requests (wire v3).
-    pub shard_reverse_topk: u64,
-    /// Malformed frames / requests observed.
-    pub protocol_errors: u64,
-    /// Requests the engine rejected or failed.
-    pub engine_errors: u64,
-    /// Connections accepted since start.
-    pub connections: u64,
-    /// Connections refused at the `max_connections` cap (backpressure).
-    pub rejected_connections: u64,
-    /// Requests rejected because their auth token did not match (wire v3).
-    pub auth_failures: u64,
-    /// Router only: backends currently marked unreachable (`0` on a plain
-    /// server; a nonzero value means the router is serving degraded).
-    pub degraded_backends: u64,
-    /// Observations in the latency histogram.
-    pub latency_count: u64,
-    /// Mean request latency, seconds.
-    pub mean_seconds: f64,
-    /// Median request latency (bucket upper edge), seconds.
-    pub p50_seconds: f64,
-    /// 95th percentile request latency, seconds.
-    pub p95_seconds: f64,
-    /// 99th percentile request latency, seconds.
-    pub p99_seconds: f64,
-    /// Largest observed request latency, seconds.
-    pub max_seconds: f64,
-    /// Node count of the served graph.
-    pub nodes: u64,
-    /// Edge count of the served graph.
-    pub edges: u64,
-    /// Largest `k` the index supports.
-    pub max_k: u64,
-    /// Worker threads the server runs.
-    pub workers: u32,
-    /// First global node id this process screens (`0` unless shard-only).
-    pub shard_lo: u64,
-    /// One past the last global node id this process screens.
-    pub shard_hi: u64,
-    /// Nodes per index shard (length = shard count).
-    pub shard_nodes: Vec<u64>,
-    /// Heap bytes per index shard, sampled at snapshot time (refinement
-    /// drift included).
-    pub shard_bytes: Vec<u64>,
-}
-
-impl StatsSnapshot {
-    /// Total completed requests across all kinds.
-    pub fn total_requests(&self) -> u64 {
-        self.ping
-            + self.reverse_topk
-            + self.topk
-            + self.batch
-            + self.stats
-            + self.shutdown
-            + self.persist
-            + self.shard_reverse_topk
-    }
-
-    /// Number of index shards the server reports.
-    pub fn shard_count(&self) -> usize {
-        self.shard_nodes.len()
-    }
-
-    /// Serializes the snapshot (fixed-width fields plus the per-shard size
-    /// lists).
-    pub fn encode<W: Write>(&self, w: &mut W) -> std::io::Result<()> {
-        codec::write_f64(w, self.uptime_seconds)?;
-        for v in [
-            self.ping,
-            self.reverse_topk,
-            self.topk,
-            self.batch,
-            self.stats,
-            self.shutdown,
-            self.persist,
-            self.shard_reverse_topk,
-            self.protocol_errors,
-            self.engine_errors,
-            self.connections,
-            self.rejected_connections,
-            self.auth_failures,
-            self.degraded_backends,
-            self.latency_count,
-        ] {
-            codec::write_u64(w, v)?;
-        }
-        for v in [
-            self.mean_seconds,
-            self.p50_seconds,
-            self.p95_seconds,
-            self.p99_seconds,
-            self.max_seconds,
-        ] {
-            codec::write_f64(w, v)?;
-        }
-        codec::write_u64(w, self.nodes)?;
-        codec::write_u64(w, self.edges)?;
-        codec::write_u64(w, self.max_k)?;
-        codec::write_u32(w, self.workers)?;
-        codec::write_u64(w, self.shard_lo)?;
-        codec::write_u64(w, self.shard_hi)?;
-        // Per-shard sizes: one count, then (nodes, bytes) pairs.
-        codec::write_u64(w, self.shard_nodes.len() as u64)?;
-        for (&n, &b) in self.shard_nodes.iter().zip(&self.shard_bytes) {
-            codec::write_u64(w, n)?;
-            codec::write_u64(w, b)?;
-        }
-        Ok(())
-    }
-
-    /// Deserializes a snapshot written by [`Self::encode`]. `max_shards`
-    /// bounds the declared shard count (derive it from the payload size:
-    /// each shard entry occupies 16 bytes).
-    pub fn decode<R: Read>(r: &mut R, max_shards: u64) -> Result<Self, DecodeError> {
-        let mut snap = Self {
-            uptime_seconds: codec::read_f64(r)?,
-            ping: codec::read_u64(r)?,
-            reverse_topk: codec::read_u64(r)?,
-            topk: codec::read_u64(r)?,
-            batch: codec::read_u64(r)?,
-            stats: codec::read_u64(r)?,
-            shutdown: codec::read_u64(r)?,
-            persist: codec::read_u64(r)?,
-            shard_reverse_topk: codec::read_u64(r)?,
-            protocol_errors: codec::read_u64(r)?,
-            engine_errors: codec::read_u64(r)?,
-            connections: codec::read_u64(r)?,
-            rejected_connections: codec::read_u64(r)?,
-            auth_failures: codec::read_u64(r)?,
-            degraded_backends: codec::read_u64(r)?,
-            latency_count: codec::read_u64(r)?,
-            mean_seconds: codec::read_f64(r)?,
-            p50_seconds: codec::read_f64(r)?,
-            p95_seconds: codec::read_f64(r)?,
-            p99_seconds: codec::read_f64(r)?,
-            max_seconds: codec::read_f64(r)?,
-            nodes: codec::read_u64(r)?,
-            edges: codec::read_u64(r)?,
-            max_k: codec::read_u64(r)?,
-            workers: codec::read_u32(r)?,
-            shard_lo: codec::read_u64(r)?,
-            shard_hi: codec::read_u64(r)?,
-            shard_nodes: Vec::new(),
-            shard_bytes: Vec::new(),
-        };
-        let shards = codec::check_len(codec::read_u64(r)?, max_shards, "shard count")?;
-        snap.shard_nodes.reserve(shards.min(1 << 20));
-        snap.shard_bytes.reserve(shards.min(1 << 20));
-        for _ in 0..shards {
-            snap.shard_nodes.push(codec::read_u64(r)?);
-            snap.shard_bytes.push(codec::read_u64(r)?);
-        }
-        Ok(snap)
     }
 }
 
@@ -355,6 +177,7 @@ mod tests {
         m.record_connection();
         m.record_rejected_connection();
         m.record_auth_failure();
+        m.record_inflight_rejection();
         let snap = m.snapshot(info(100), vec![50, 50], vec![1024, 2048], 1);
         assert_eq!(snap.total_requests(), 5);
         assert_eq!(snap.reverse_topk, 2);
@@ -363,6 +186,7 @@ mod tests {
         assert_eq!(snap.protocol_errors, 1);
         assert_eq!(snap.rejected_connections, 1);
         assert_eq!(snap.auth_failures, 1);
+        assert_eq!(snap.inflight_rejections, 1);
         assert_eq!(snap.degraded_backends, 1);
         assert_eq!(snap.latency_count, 5);
         assert_eq!(snap.shard_count(), 2);
@@ -372,6 +196,23 @@ mod tests {
         snap.encode(&mut buf).unwrap();
         let back = StatsSnapshot::decode(&mut Cursor::new(buf), 16).unwrap();
         assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn inflight_gauge_tracks_the_peak() {
+        let m = ServerMetrics::new();
+        m.begin_request();
+        m.begin_request();
+        m.begin_request();
+        assert_eq!(m.inflight(), 3);
+        m.end_request();
+        m.end_request();
+        m.begin_request();
+        m.end_request();
+        m.end_request();
+        assert_eq!(m.inflight(), 0);
+        let snap = m.snapshot(info(1), vec![1], vec![1], 0);
+        assert_eq!(snap.inflight_peak, 3, "peak must survive the drain");
     }
 
     #[test]

@@ -4,8 +4,11 @@
 //! A [`Router`] owns the **shard map** of a partitioned index and speaks
 //! the same `RTKWIRE1` surface as a single [`crate::Server`] — a client
 //! cannot tell the two apart. Each `reverse_topk` fans out as one
-//! shard-scoped `shard_reverse_topk` per backend (serially, in shard
-//! order), and the partial answers merge back losslessly:
+//! shard-scoped `shard_reverse_topk` per backend — **concurrently**, over
+//! the pipelined v4 wire: the router *submits* to every backend first
+//! (each submit is one frame write, so all backends start computing at
+//! once) and then *waits* in deterministic shard order, merging as the
+//! answers land:
 //!
 //! * result nodes and proximities concatenate in shard order (shard ranges
 //!   are disjoint and ascending, so the concatenation is id-sorted exactly
@@ -13,13 +16,16 @@
 //! * counter statistics (`candidates`, `hits`, `refined_nodes`,
 //!   `refine_iterations`) sum — they were per-shard sums already;
 //! * update-mode refinements commit **backend-locally** (each backend owns
-//!   its shard, so cross-process commits never race), and the serial
-//!   fan-out preserves the per-query ordering a single process would have.
+//!   its shard, so cross-process commits never race), and the router
+//!   collects every shard's answer before replying, so per-query ordering
+//!   matches a single process.
 //!
 //! Answers are therefore **bitwise equal** to single-process serving —
 //! the determinism contract extended to processes: {threads, shards,
 //! processes} may only change wall time, never answers (pinned by
-//! `tests/router_equivalence.rs`).
+//! `tests/router_equivalence.rs`). Concurrent vs. serial fan-out
+//! ([`RouterConfig::serial_fanout`], kept for benchmarking) is wall-time
+//! only for the same reason.
 //!
 //! ## Failure handling
 //!
@@ -38,13 +44,13 @@
 //! flush its shard section to `<path>.shard<i>`; `shutdown` propagates to
 //! every backend before the router itself drains.
 
-use crate::client::Client;
+use crate::client::{Client, Pending};
 use crate::handler::ServiceHost;
 use crate::metrics::{EngineInfo, RequestKind, ServerMetrics};
 use crate::server::{serve_loop, wake_acceptor};
-use crate::wire::{
-    Request, Response, WireQueryResult, DEFAULT_MAX_FRAME_BYTES, STATUS_ENGINE_ERROR,
-};
+use crate::wire::{Request, Response, WireQueryResult, DEFAULT_MAX_FRAME_BYTES};
+use rtk_api::service::{dispatch_request, RtkService, ServiceError, ServiceResult};
+use rtk_api::{StatsSnapshot, WireShardResult, WireTopk};
 use rtk_index::ShardMap;
 use std::io;
 use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
@@ -55,12 +61,16 @@ use std::time::{Duration, Instant};
 /// Router knobs. The client-facing knobs mirror [`crate::ServerConfig`].
 #[derive(Clone, Debug)]
 pub struct RouterConfig {
-    /// Worker threads handling client connections (`0` = all cores).
+    /// Worker threads executing client requests (`0` = all cores).
     pub workers: usize,
     /// Per-frame payload cap in bytes (client side and backend side).
     pub max_frame_bytes: u32,
-    /// Backpressure cap on admitted client connections (`0` = unlimited).
+    /// Backpressure cap on admitted client connections (`0` = unlimited;
+    /// defaults to 1024 — each connection owns a reader thread).
     pub max_connections: usize,
+    /// Pipeline-depth cap per client connection (`0` = unlimited); excess
+    /// requests are answered `busy` (see `ServerConfig::max_inflight`).
+    pub max_inflight: usize,
     /// Shared-secret auth token for the whole tier: required from clients
     /// *and* presented to backends (start the backends with the same
     /// token). `None` runs unauthenticated.
@@ -71,6 +81,11 @@ pub struct RouterConfig {
     /// backend can pin a router worker. Generous by default: a slow query
     /// is not a dead backend.
     pub backend_io_timeout: Duration,
+    /// Fan out serially (one backend at a time, in shard order) instead of
+    /// concurrently. Answers are bitwise identical either way — this knob
+    /// exists so `router_study` can measure what concurrency buys, and as
+    /// an ops escape hatch for debugging a misbehaving backend.
+    pub serial_fanout: bool,
 }
 
 impl Default for RouterConfig {
@@ -78,10 +93,12 @@ impl Default for RouterConfig {
         Self {
             workers: 0,
             max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
-            max_connections: 0,
+            max_connections: crate::server::DEFAULT_MAX_CONNECTIONS,
+            max_inflight: 0,
             auth_token: None,
             connect_timeout: Duration::from_secs(5),
             backend_io_timeout: Duration::from_secs(120),
+            serial_fanout: false,
         }
     }
 }
@@ -93,10 +110,18 @@ struct Backend {
     shard_id: usize,
     node_lo: u32,
     node_hi: u32,
-    /// Idle pooled connections (one per router worker at steady state).
+    /// Idle pooled connections.
     pool: Mutex<Vec<Client>>,
     /// Set when the last call failed after retry; cleared on any success.
     degraded: AtomicBool,
+}
+
+/// One backend's in-flight slice of a concurrent fan-out: either a
+/// submitted request waiting on its connection, or a submit-phase failure
+/// to be retried on a fresh dial during the wait phase.
+enum FanSlot {
+    InFlight(Client, Pending<Response>),
+    SubmitFailed(String),
 }
 
 /// Everything the router's workers share.
@@ -111,9 +136,13 @@ struct RouterCtx {
     max_frame_bytes: u32,
     active_connections: AtomicU64,
     max_connections: usize,
-    auth_token: Option<Vec<u8>>,
+    max_inflight: usize,
+    /// Kept as the original string: presented to backends through the
+    /// client builder, compared as bytes on the client-facing side.
+    auth_token: Option<String>,
     connect_timeout: Duration,
     backend_io_timeout: Duration,
+    serial_fanout: bool,
     local_addr: SocketAddr,
 }
 
@@ -159,17 +188,18 @@ impl Router {
                 .ok_or_else(|| {
                     bad_input(format!("router: backend {spec:?} resolves to nothing"))
                 })?;
-            let mut client = Client::connect_timeout(&backend_addr, config.connect_timeout)
-                .map_err(|e| bad_input(format!("router: cannot reach backend {spec}: {e}")))?;
-            // The same io timeout as every later dial — without it, a hung
+            // The same timeouts as every later dial — without them, a hung
             // backend could wedge the handshake (or, once this connection
             // is pooled, pin a router worker forever).
-            client
-                .set_io_timeout(Some(config.backend_io_timeout))
-                .map_err(|e| bad_input(format!("router: backend {spec}: {e}")))?;
+            let mut builder = Client::builder()
+                .connect_timeout(config.connect_timeout)
+                .io_timeout(config.backend_io_timeout);
             if let Some(token) = &config.auth_token {
-                client.set_auth_token(token);
+                builder = builder.auth_token(token);
             }
+            let mut client = builder
+                .connect(backend_addr)
+                .map_err(|e| bad_input(format!("router: cannot reach backend {spec}: {e}")))?;
             let stats = client
                 .stats()
                 .map_err(|e| bad_input(format!("router: handshake with {spec} failed: {e}")))?;
@@ -257,9 +287,11 @@ impl Router {
             max_frame_bytes: config.max_frame_bytes,
             active_connections: AtomicU64::new(0),
             max_connections: config.max_connections,
-            auth_token: config.auth_token.map(String::into_bytes),
+            max_inflight: config.max_inflight,
+            auth_token: config.auth_token,
             connect_timeout: config.connect_timeout,
             backend_io_timeout: config.backend_io_timeout,
+            serial_fanout: config.serial_fanout,
             local_addr,
         });
         Ok(Self { listener, ctx, workers })
@@ -294,15 +326,65 @@ impl Router {
 impl RouterCtx {
     /// Dials a fresh authenticated connection to `backend`.
     fn connect_backend(&self, backend: &Backend) -> Result<Client, String> {
-        let mut client = Client::connect_timeout(&backend.addr, self.connect_timeout)
-            .map_err(|e| format!("backend shard {} ({}): {e}", backend.shard_id, backend.addr))?;
-        client
-            .set_io_timeout(Some(self.backend_io_timeout))
-            .map_err(|e| format!("backend shard {} ({}): {e}", backend.shard_id, backend.addr))?;
+        let mut builder = Client::builder()
+            .connect_timeout(self.connect_timeout)
+            .io_timeout(self.backend_io_timeout);
         if let Some(token) = &self.auth_token {
-            client.set_auth_token(&String::from_utf8_lossy(token));
+            builder = builder.auth_token(token);
         }
-        Ok(client)
+        builder
+            .connect(backend.addr)
+            .map_err(|e| format!("backend shard {} ({}): {e}", backend.shard_id, backend.addr))
+    }
+
+    /// Pops a pooled connection or dials a fresh one.
+    fn checkout(&self, backend: &Backend) -> Result<Client, String> {
+        let pooled = backend.pool.lock().expect("backend pool lock").pop();
+        match pooled {
+            Some(c) => Ok(c),
+            None => self.connect_backend(backend),
+        }
+    }
+
+    /// Returns a healthy connection to the pool and clears the degraded
+    /// mark.
+    fn checkin(&self, backend: &Backend, client: Client) {
+        backend.pool.lock().expect("backend pool lock").push(client);
+        backend.degraded.store(false, Ordering::Relaxed);
+    }
+
+    /// One blocking retry on a **fresh** dial — after a backend restart
+    /// every pooled entry is stale, so the retry never pops a second
+    /// pooled connection. Safe to re-execute even update-mode slices:
+    /// refinement is monotone. Marks the backend degraded on final
+    /// failure.
+    fn retry_fresh(
+        &self,
+        backend: &Backend,
+        request: &Request,
+        first: String,
+    ) -> Result<Response, String> {
+        let outcome =
+            self.connect_backend(backend)
+                .and_then(|mut client| match client.request(request) {
+                    Ok(resp) => {
+                        self.checkin(backend, client);
+                        Ok(resp)
+                    }
+                    Err(e) => {
+                        Err(format!("backend shard {} ({}): {e}", backend.shard_id, backend.addr))
+                    }
+                });
+        match outcome {
+            Ok(resp) => Ok(resp),
+            Err(second) => {
+                backend.degraded.store(true, Ordering::Relaxed);
+                Err(format!(
+                    "{second} (first attempt: {first}; backend degraded, will re-dial on \
+                     the next request)"
+                ))
+            }
+        }
     }
 
     /// One request against one backend: pooled connection (or a fresh
@@ -310,44 +392,71 @@ impl RouterCtx {
     /// failure. Application errors (`Response::Error`) are *not* retried —
     /// the backend is healthy, the request is just wrong.
     fn backend_call(&self, backend: &Backend, request: &Request) -> Result<Response, String> {
-        let mut last_err = String::new();
-        for attempt in 0..2 {
-            // Attempt 0 may reuse a pooled connection; the retry always
-            // dials fresh — after a backend restart every pooled entry is
-            // stale, and popping a second one would fail a request against
-            // a perfectly healthy backend.
-            let pooled = if attempt == 0 {
-                backend.pool.lock().expect("backend pool lock").pop()
-            } else {
-                None
-            };
-            let mut client = match pooled {
-                Some(c) => c,
-                None => match self.connect_backend(backend) {
-                    Ok(c) => c,
-                    Err(e) => {
-                        last_err = e;
-                        continue;
-                    }
-                },
-            };
-            match client.request(request) {
-                Ok(resp) => {
-                    backend.pool.lock().expect("backend pool lock").push(client);
-                    backend.degraded.store(false, Ordering::Relaxed);
-                    return Ok(resp);
-                }
-                Err(e) => {
-                    // The connection is unusable (stale pool entry after a
-                    // backend restart, mid-write failure, …): drop it and
-                    // retry once on a fresh dial.
-                    last_err =
-                        format!("backend shard {} ({}): {e}", backend.shard_id, backend.addr);
-                }
+        let mut client = match self.checkout(backend) {
+            Ok(c) => c,
+            Err(e) => return self.retry_fresh(backend, request, e),
+        };
+        match client.request(request) {
+            Ok(resp) => {
+                self.checkin(backend, client);
+                Ok(resp)
             }
+            // The connection is unusable (stale pool entry after a backend
+            // restart, mid-write failure, …): drop it and retry once.
+            Err(e) => self.retry_fresh(
+                backend,
+                request,
+                format!("backend shard {} ({}): {e}", backend.shard_id, backend.addr),
+            ),
         }
-        backend.degraded.store(true, Ordering::Relaxed);
-        Err(format!("{last_err} (backend degraded; will re-dial on the next request)"))
+    }
+
+    /// Issues `request` to **every backend concurrently** (one pipelined
+    /// submit per backend, all in flight at once), then collects the
+    /// responses in deterministic shard order. With
+    /// [`RouterConfig::serial_fanout`] the submit of backend `i+1` happens
+    /// only after backend `i` answered — same responses, one-backend wall
+    /// time multiplied by the backend count.
+    fn fan_out(&self, request: &Request) -> Vec<Result<Response, String>> {
+        if self.serial_fanout {
+            return self.backends.iter().map(|b| self.backend_call(b, request)).collect();
+        }
+        // Submit phase: one frame write per backend — every backend is
+        // computing its slice while the later submits are still going out.
+        let slots: Vec<FanSlot> = self
+            .backends
+            .iter()
+            .map(|backend| match self.checkout(backend) {
+                Ok(mut client) => match client.submit(request) {
+                    Ok(pending) => FanSlot::InFlight(client, pending),
+                    Err(e) => FanSlot::SubmitFailed(format!(
+                        "backend shard {} ({}): {e}",
+                        backend.shard_id, backend.addr
+                    )),
+                },
+                Err(e) => FanSlot::SubmitFailed(e),
+            })
+            .collect();
+        // Wait phase, shard order: merge determinism comes from here, not
+        // from response arrival order.
+        slots
+            .into_iter()
+            .zip(&self.backends)
+            .map(|(slot, backend)| match slot {
+                FanSlot::InFlight(mut client, pending) => match client.wait(pending) {
+                    Ok(resp) => {
+                        self.checkin(backend, client);
+                        Ok(resp)
+                    }
+                    Err(e) => self.retry_fresh(
+                        backend,
+                        request,
+                        format!("backend shard {} ({}): {e}", backend.shard_id, backend.addr),
+                    ),
+                },
+                FanSlot::SubmitFailed(e) => self.retry_fresh(backend, request, e),
+            })
+            .collect()
     }
 
     /// Number of backends currently marked degraded.
@@ -355,7 +464,8 @@ impl RouterCtx {
         self.backends.iter().filter(|b| b.degraded.load(Ordering::Relaxed)).count() as u64
     }
 
-    /// The serial fan-out + merge of one reverse top-k query.
+    /// The concurrent fan-out + shard-order merge of one reverse top-k
+    /// query.
     fn reverse_topk(&self, q: u32, k: u32, update: bool) -> Result<WireQueryResult, String> {
         let started = Instant::now();
         let mut merged = WireQueryResult {
@@ -369,9 +479,9 @@ impl RouterCtx {
             refine_iterations: 0,
             server_seconds: 0.0,
         };
-        for backend in &self.backends {
-            let resp = self.backend_call(backend, &Request::ShardReverseTopk { q, k, update })?;
-            match resp {
+        let responses = self.fan_out(&Request::ShardReverseTopk { q, k, update });
+        for (resp, backend) in responses.into_iter().zip(&self.backends) {
+            match resp? {
                 Response::ShardReverseTopk(s) => {
                     if s.node_lo != backend.node_lo || s.node_hi != backend.node_hi {
                         return Err(format!(
@@ -431,7 +541,7 @@ impl RouterCtx {
     /// Aggregated tier stats: the router's own client-facing counters and
     /// latency, plus per-backend shard sizes sampled live (a degraded
     /// backend reports its handshake node count with zero bytes).
-    fn stats(&self) -> Response {
+    fn stats(&self) -> StatsSnapshot {
         let mut shard_nodes = Vec::with_capacity(self.backends.len());
         let mut shard_bytes = Vec::with_capacity(self.backends.len());
         for backend in &self.backends {
@@ -446,12 +556,8 @@ impl RouterCtx {
                 }
             }
         }
-        Response::Stats(self.metrics.snapshot(
-            self.engine_info,
-            shard_nodes,
-            shard_bytes,
-            self.degraded_count(),
-        ))
+        self.metrics
+            .snapshot(self.engine_info, shard_nodes, shard_bytes, self.degraded_count())
     }
 
     /// Fans `persist` out: backend `i` flushes its shard section to
@@ -490,6 +596,70 @@ impl RouterCtx {
     }
 }
 
+/// The router's [`RtkService`] view — the tier aggregate: `reverse_topk`
+/// and `batch` fan out and merge, `topk` routes to the owning backend,
+/// `stats` aggregates, `persist` and `shutdown` propagate.
+struct RouterService<'a>(&'a RouterCtx);
+
+impl RtkService for RouterService<'_> {
+    fn reverse_topk(
+        &mut self,
+        q: u32,
+        k: u32,
+        update: bool,
+    ) -> ServiceResult<rtk_api::WireQueryResult> {
+        self.0.reverse_topk(q, k, update).map_err(ServiceError::Engine)
+    }
+
+    fn shard_reverse_topk(
+        &mut self,
+        _q: u32,
+        _k: u32,
+        _update: bool,
+    ) -> ServiceResult<WireShardResult> {
+        Err(ServiceError::Unsupported(
+            "this is a router, not a shard backend; send reverse_topk and the router \
+             will fan it out"
+                .to_string(),
+        ))
+    }
+
+    fn topk(&mut self, u: u32, k: u32, early: bool) -> ServiceResult<WireTopk> {
+        match self.0.forward_to_owner(u, &Request::Topk { u, k, early }) {
+            Ok(Response::Topk(t)) => Ok(t),
+            Ok(other) => {
+                Err(ServiceError::Engine(format!("unexpected backend response {other:?}")))
+            }
+            Err(m) => Err(ServiceError::Engine(m)),
+        }
+    }
+
+    fn batch(&mut self, queries: &[(u32, u32)]) -> ServiceResult<Vec<rtk_api::WireQueryResult>> {
+        // Frozen per-query fan-out (each query concurrent across backends),
+        // answered in request order — mirroring the all-or-error semantics
+        // of a single server.
+        queries
+            .iter()
+            .map(|&(q, k)| self.0.reverse_topk(q, k, false).map_err(ServiceError::Engine))
+            .collect()
+    }
+
+    fn stats(&mut self) -> ServiceResult<StatsSnapshot> {
+        Ok(self.0.stats())
+    }
+
+    fn persist(&mut self, path: &str) -> ServiceResult<u64> {
+        self.0.persist(path).map_err(ServiceError::Engine)
+    }
+
+    /// Propagates to every backend; the router's own drain starts once the
+    /// acknowledgement is written (see `execute_job`).
+    fn shutdown(&mut self) -> ServiceResult<()> {
+        self.0.shutdown_backends();
+        Ok(())
+    }
+}
+
 impl ServiceHost for RouterCtx {
     fn metrics(&self) -> &ServerMetrics {
         &self.metrics
@@ -504,7 +674,7 @@ impl ServiceHost for RouterCtx {
     }
 
     fn auth_token(&self) -> Option<&[u8]> {
-        self.auth_token.as_deref()
+        self.auth_token.as_deref().map(str::as_bytes)
     }
 
     fn active_connections(&self) -> &AtomicU64 {
@@ -515,68 +685,12 @@ impl ServiceHost for RouterCtx {
         self.max_connections
     }
 
+    fn max_inflight(&self) -> usize {
+        self.max_inflight
+    }
+
     fn dispatch(&self, request: Request) -> (RequestKind, Response) {
-        let engine_err = |message: String| Response::Error { code: STATUS_ENGINE_ERROR, message };
-        match request {
-            Request::Ping => (RequestKind::Ping, Response::Pong),
-            Request::ReverseTopk { q, k, update } => (
-                RequestKind::ReverseTopk,
-                match self.reverse_topk(q, k, update) {
-                    Ok(r) => Response::ReverseTopk(r),
-                    Err(m) => engine_err(m),
-                },
-            ),
-            Request::Topk { u, k, early } => (
-                RequestKind::Topk,
-                match self.forward_to_owner(u, &Request::Topk { u, k, early }) {
-                    Ok(Response::Topk(t)) => Response::Topk(t),
-                    Ok(other) => engine_err(format!("unexpected backend response {other:?}")),
-                    Err(m) => engine_err(m),
-                },
-            ),
-            Request::Batch { queries } => {
-                // Frozen per-query fan-out, answered in request order —
-                // mirroring the all-or-error semantics of a single server.
-                let mut results = Vec::with_capacity(queries.len());
-                let mut failed = None;
-                for &(q, k) in &queries {
-                    match self.reverse_topk(q, k, false) {
-                        Ok(r) => results.push(r),
-                        Err(m) => {
-                            failed = Some(m);
-                            break;
-                        }
-                    }
-                }
-                (
-                    RequestKind::Batch,
-                    match failed {
-                        None => Response::Batch(results),
-                        Some(m) => engine_err(m),
-                    },
-                )
-            }
-            Request::Stats => (RequestKind::Stats, self.stats()),
-            Request::Shutdown => {
-                self.shutdown_backends();
-                (RequestKind::Shutdown, Response::ShuttingDown)
-            }
-            Request::Persist { path } => (
-                RequestKind::Persist,
-                match self.persist(&path) {
-                    Ok(bytes) => Response::Persisted { bytes },
-                    Err(m) => engine_err(m),
-                },
-            ),
-            Request::ShardReverseTopk { .. } => (
-                RequestKind::ShardReverseTopk,
-                engine_err(
-                    "this is a router, not a shard backend; send reverse_topk and the \
-                     router will fan it out"
-                        .to_string(),
-                ),
-            ),
-        }
+        dispatch_request(&mut RouterService(self), request)
     }
 
     fn begin_shutdown(&self) {

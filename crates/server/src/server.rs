@@ -1,9 +1,12 @@
-//! The std-only TCP server: listener + worker thread pool + shutdown.
+//! The std-only TCP server: listener + per-connection readers + a worker
+//! pool executing individual requests (wire v4 pipelining).
 
-use crate::handler::{handle_connection, ServiceHost};
+use crate::handler::{execute_job, read_connection, Job, ServiceHost};
 use crate::metrics::{EngineInfo, RequestKind, ServerMetrics};
 use crate::state::SharedEngine;
-use crate::wire::{Request, Response, DEFAULT_MAX_FRAME_BYTES, STATUS_ENGINE_ERROR};
+use crate::wire::{Request, Response, DEFAULT_MAX_FRAME_BYTES};
+use rtk_api::service::{dispatch_request, RtkService, ServiceError, ServiceResult};
+use rtk_api::{StatsSnapshot, WireQueryResult, WireShardResult, WireTopk};
 use rtk_core::{ReverseTopkEngine, ShardEngine};
 use rtk_graph::resolve_threads;
 use std::io;
@@ -13,10 +16,17 @@ use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
+/// Default cap on admitted connections. Wire v4 gives every admitted
+/// connection a reader thread, so "unlimited" would let a connection
+/// flood exhaust process threads; `0` still means unlimited for operators
+/// who want it.
+pub const DEFAULT_MAX_CONNECTIONS: usize = 1024;
+
 /// Server knobs. All have serving-oriented defaults.
 #[derive(Clone, Debug)]
 pub struct ServerConfig {
-    /// Worker threads handling connections (`0` = all cores).
+    /// Worker threads executing requests (`0` = all cores). Workers are
+    /// shared by every connection — a connection never pins one.
     pub workers: usize,
     /// Per-frame payload cap in bytes (both directions).
     pub max_frame_bytes: u32,
@@ -24,20 +34,28 @@ pub struct ServerConfig {
     /// server's parallelism budget goes to concurrent requests, and results
     /// are identical for any value.
     pub query_threads: usize,
-    /// Backpressure: maximum admitted (queued + in-flight) connections;
-    /// `0` = unlimited. Excess connections receive a clean `busy` error
-    /// frame, are counted in `rejected_connections`, and are closed without
-    /// occupying a worker.
+    /// Backpressure: maximum admitted connections; `0` = unlimited.
+    /// Defaults to 1024 — each admitted connection owns a reader thread,
+    /// so an unbounded accept loop would let a connection flood exhaust
+    /// process threads. Excess connections receive a clean `busy` error
+    /// frame, are counted in `rejected_connections`, and are closed
+    /// without occupying a reader.
     pub max_connections: usize,
+    /// Pipeline-depth cap per connection (`0` = unlimited): a request
+    /// arriving while this many are already in flight on its connection is
+    /// answered with a `busy` frame (counted in `inflight_rejections`)
+    /// instead of queuing — one greedy pipelining client cannot monopolize
+    /// the worker pool.
+    pub max_inflight: usize,
     /// When set, `persist` requests may only name *relative* paths (no
     /// `..`), resolved inside this directory — this fences what a peer can
     /// write. `None` (the default) allows any path the process can create,
     /// matching the trusted-network posture of `shutdown`.
     pub persist_dir: Option<std::path::PathBuf>,
     /// Shared-secret auth token. When set, every request frame must carry
-    /// a matching token (wire v3 field, constant-time compare); mismatches
-    /// are answered `unauthorized`, counted in `auth_failures`, and the
-    /// connection is dropped. `None` (the default) accepts any token.
+    /// a matching token (constant-time compare); mismatches are answered
+    /// `unauthorized`, counted in `auth_failures`, and the connection is
+    /// dropped. `None` (the default) accepts any token.
     pub auth_token: Option<String>,
 }
 
@@ -47,7 +65,8 @@ impl Default for ServerConfig {
             workers: 0,
             max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
             query_threads: 1,
-            max_connections: 0,
+            max_connections: DEFAULT_MAX_CONNECTIONS,
+            max_inflight: 0,
             persist_dir: None,
             auth_token: None,
         }
@@ -61,15 +80,61 @@ pub(crate) struct ServerCtx {
     pub(crate) shutdown: AtomicBool,
     pub(crate) max_frame_bytes: u32,
     pub(crate) engine_info: EngineInfo,
-    /// Admitted (queued + in-flight) connections, for the accept cap.
+    /// Admitted connections (readers alive), for the accept cap.
     pub(crate) active_connections: AtomicU64,
     /// Backpressure cap (`0` = unlimited).
     pub(crate) max_connections: usize,
+    /// Per-connection pipeline-depth cap (`0` = unlimited).
+    pub(crate) max_inflight: usize,
     /// Shared-secret token every request must carry (when set).
     pub(crate) auth_token: Option<Vec<u8>>,
     /// Where the listener is bound — used to self-connect on shutdown so a
     /// blocked `accept` wakes up without busy-polling.
     local_addr: SocketAddr,
+}
+
+/// The server's [`RtkService`] view: one short-lived value per dispatched
+/// request, delegating to the `RwLock`-disciplined [`SharedEngine`] (frozen
+/// queries share the read lock, update/persist take the write lock) and to
+/// the server's metrics for `stats`.
+struct ServerService<'a>(&'a ServerCtx);
+
+impl RtkService for ServerService<'_> {
+    fn reverse_topk(&mut self, q: u32, k: u32, update: bool) -> ServiceResult<WireQueryResult> {
+        self.0.shared.reverse_topk(q, k, update).map_err(ServiceError::Engine)
+    }
+
+    fn shard_reverse_topk(
+        &mut self,
+        q: u32,
+        k: u32,
+        update: bool,
+    ) -> ServiceResult<WireShardResult> {
+        self.0.shared.shard_reverse_topk(q, k, update).map_err(ServiceError::Engine)
+    }
+
+    fn topk(&mut self, u: u32, k: u32, early: bool) -> ServiceResult<WireTopk> {
+        self.0.shared.topk(u, k, early).map_err(ServiceError::Engine)
+    }
+
+    fn batch(&mut self, queries: &[(u32, u32)]) -> ServiceResult<Vec<WireQueryResult>> {
+        self.0.shared.batch(queries).map_err(ServiceError::Engine)
+    }
+
+    fn stats(&mut self) -> ServiceResult<StatsSnapshot> {
+        let (shard_nodes, shard_bytes) = self.0.shared.shard_info();
+        Ok(self.0.metrics.snapshot(self.0.engine_info, shard_nodes, shard_bytes, 0))
+    }
+
+    fn persist(&mut self, path: &str) -> ServiceResult<u64> {
+        self.0.shared.persist(path).map_err(ServiceError::Engine)
+    }
+
+    /// Acknowledge only — the worker flips the shutdown flag *after* the
+    /// acknowledgement frame is written (see `execute_job`).
+    fn shutdown(&mut self) -> ServiceResult<()> {
+        Ok(())
+    }
 }
 
 impl ServiceHost for ServerCtx {
@@ -97,59 +162,13 @@ impl ServiceHost for ServerCtx {
         self.max_connections
     }
 
-    /// Executes one request against the shared engine.
+    fn max_inflight(&self) -> usize {
+        self.max_inflight
+    }
+
+    /// Executes one request through the [`RtkService`] surface.
     fn dispatch(&self, request: Request) -> (RequestKind, Response) {
-        match request {
-            Request::Ping => (RequestKind::Ping, Response::Pong),
-            Request::ReverseTopk { q, k, update } => (
-                RequestKind::ReverseTopk,
-                match self.shared.reverse_topk(q, k, update) {
-                    Ok(r) => Response::ReverseTopk(r),
-                    Err(message) => Response::Error { code: STATUS_ENGINE_ERROR, message },
-                },
-            ),
-            Request::ShardReverseTopk { q, k, update } => (
-                RequestKind::ShardReverseTopk,
-                match self.shared.shard_reverse_topk(q, k, update) {
-                    Ok(r) => Response::ShardReverseTopk(r),
-                    Err(message) => Response::Error { code: STATUS_ENGINE_ERROR, message },
-                },
-            ),
-            Request::Topk { u, k, early } => (
-                RequestKind::Topk,
-                match self.shared.topk(u, k, early) {
-                    Ok(t) => Response::Topk(t),
-                    Err(message) => Response::Error { code: STATUS_ENGINE_ERROR, message },
-                },
-            ),
-            Request::Batch { queries } => (
-                RequestKind::Batch,
-                match self.shared.batch(&queries) {
-                    Ok(rs) => Response::Batch(rs),
-                    Err(message) => Response::Error { code: STATUS_ENGINE_ERROR, message },
-                },
-            ),
-            Request::Stats => {
-                let (shard_nodes, shard_bytes) = self.shared.shard_info();
-                (
-                    RequestKind::Stats,
-                    Response::Stats(self.metrics.snapshot(
-                        self.engine_info,
-                        shard_nodes,
-                        shard_bytes,
-                        0,
-                    )),
-                )
-            }
-            Request::Shutdown => (RequestKind::Shutdown, Response::ShuttingDown),
-            Request::Persist { path } => (
-                RequestKind::Persist,
-                match self.shared.persist(&path) {
-                    Ok(bytes) => Response::Persisted { bytes },
-                    Err(message) => Response::Error { code: STATUS_ENGINE_ERROR, message },
-                },
-            ),
-        }
+        dispatch_request(&mut ServerService(self), request)
     }
 
     /// Flags shutdown and pokes the accept loop awake.
@@ -192,46 +211,51 @@ pub(crate) fn wake_acceptor(mut wake: SocketAddr) {
     let _ = TcpStream::connect(wake);
 }
 
-/// The shared accept loop: a worker pool draining a connection queue, with
-/// backpressure (the `busy` frame) and graceful drain on shutdown. Used by
+/// The shared serve loop: an acceptor spawning one frame-reader per
+/// connection, and a worker pool draining the shared *request* queue —
+/// requests from all connections interleave freely, so a connection never
+/// pins a worker (the v3 `--workers ≥ router workers + 1` footgun is
+/// structurally gone). Connection backpressure (the `busy` frame at the
+/// accept cap) and graceful drain on shutdown are handled here. Used by
 /// both [`Server`] and [`crate::Router`].
 pub(crate) fn serve_loop<H: ServiceHost>(
     listener: TcpListener,
     ctx: Arc<H>,
     workers: usize,
 ) -> io::Result<()> {
-    let (tx, rx) = mpsc::channel::<TcpStream>();
-    let rx = Arc::new(Mutex::new(rx));
+    let (jobs_tx, jobs_rx) = mpsc::channel::<Job>();
+    let jobs_rx = Arc::new(Mutex::new(jobs_rx));
 
-    let handles: Vec<JoinHandle<()>> = (0..workers)
+    let worker_handles: Vec<JoinHandle<()>> = (0..workers)
         .map(|_| {
-            let rx = Arc::clone(&rx);
+            let rx = Arc::clone(&jobs_rx);
             let ctx = Arc::clone(&ctx);
             std::thread::spawn(move || loop {
-                let stream = {
-                    let guard = rx.lock().expect("connection queue lock");
+                let job = {
+                    let guard = rx.lock().expect("job queue lock");
                     guard.recv()
                 };
-                match stream {
-                    Ok(s) => {
-                        handle_connection(s, &*ctx);
-                        ctx.active_connections().fetch_sub(1, Ordering::AcqRel);
-                    }
-                    Err(_) => break, // acceptor dropped the sender
+                match job {
+                    Ok(job) => execute_job(job, &*ctx),
+                    Err(_) => break, // every sender (acceptor + readers) gone
                 }
             })
         })
         .collect();
 
+    let mut readers: Vec<JoinHandle<()>> = Vec::new();
     for stream in listener.incoming() {
         if ctx.shutdown_flag().load(Ordering::SeqCst) {
             break; // the wake-up connection (or a late client) lands here
         }
         match stream {
             Ok(s) => {
+                // Reap finished readers so the handle list tracks live
+                // connections instead of growing with connection history.
+                readers.retain(|h| !h.is_finished());
                 // Backpressure: over the cap, the connection gets one
-                // clean `busy` error frame and is closed — it never
-                // queues, so admitted clients keep their latency.
+                // clean `busy` error frame and is closed — it never gets
+                // a reader, so admitted clients keep their latency.
                 if ctx.max_connections() > 0
                     && ctx.active_connections().load(Ordering::Acquire)
                         >= ctx.max_connections() as u64
@@ -241,9 +265,12 @@ pub(crate) fn serve_loop<H: ServiceHost>(
                     continue;
                 }
                 ctx.active_connections().fetch_add(1, Ordering::AcqRel);
-                if tx.send(s).is_err() {
-                    break;
-                }
+                let ctx = Arc::clone(&ctx);
+                let jobs = jobs_tx.clone();
+                readers.push(std::thread::spawn(move || {
+                    read_connection(s, &*ctx, jobs);
+                    ctx.active_connections().fetch_sub(1, Ordering::AcqRel);
+                }));
             }
             Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
             Err(_) => {
@@ -255,8 +282,14 @@ pub(crate) fn serve_loop<H: ServiceHost>(
         }
     }
 
-    drop(tx); // workers drain the queue, then exit
-    for h in handles {
+    // Drain: readers notice the shutdown flag within one idle poll and
+    // stop feeding the queue; once the last sender is gone the workers
+    // finish the queued requests and exit.
+    for h in readers {
+        let _ = h.join();
+    }
+    drop(jobs_tx);
+    for h in worker_handles {
         let _ = h.join();
     }
     Ok(())
@@ -328,6 +361,7 @@ impl Server {
             },
             active_connections: AtomicU64::new(0),
             max_connections: config.max_connections,
+            max_inflight: config.max_inflight,
             auth_token: config.auth_token.map(String::into_bytes),
             local_addr,
         });
@@ -340,8 +374,8 @@ impl Server {
     }
 
     /// Serves until a `Shutdown` request arrives, then drains: the accept
-    /// loop stops, queued connections are still handled, in-flight requests
-    /// finish, and every worker joins before this returns.
+    /// loop stops, in-flight requests finish, and every reader and worker
+    /// joins before this returns.
     pub fn run(self) -> io::Result<()> {
         let Server { listener, ctx, workers } = self;
         serve_loop(listener, ctx, workers)
@@ -359,14 +393,15 @@ impl Server {
 
 /// Tells a rejected connection the server is at capacity. Runs on the
 /// acceptor thread, so the write gets a short timeout — a peer that will
-/// not read its rejection cannot stall accepting.
+/// not read its rejection cannot stall accepting. No request was read, so
+/// the frame goes out under request id 0.
 pub(crate) fn reject_busy(mut stream: TcpStream, cap: usize) {
     let _ = stream.set_write_timeout(Some(std::time::Duration::from_secs(1)));
     let resp = crate::wire::Response::Error {
         code: crate::wire::STATUS_BUSY,
         message: format!("server busy: {cap} connections already admitted; retry later"),
     };
-    let _ = crate::wire::write_frame(&mut stream, &crate::wire::encode_response(&resp));
+    let _ = crate::wire::write_frame(&mut stream, 0, &crate::wire::encode_response(&resp));
 }
 
 /// Handle to a server running on a background thread.

@@ -23,9 +23,10 @@
 //! engine errors, and vice versa.
 
 use crate::wire::{WireQueryResult, WireShardResult, WireTopk};
+use rtk_api::service::to_wire;
 use rtk_core::{ReverseTopkEngine, ShardEngine};
 use rtk_graph::NodeId;
-use rtk_query::{QueryOptions, QueryResult};
+use rtk_query::QueryOptions;
 use std::sync::RwLock;
 use std::time::Instant;
 
@@ -290,20 +291,5 @@ impl SharedEngine {
         // Each result already carries its own wall time, so the per-query
         // `server_seconds` stays accurate inside a batch too.
         Ok(results.iter().map(|r| to_wire(r, r.stats().total_seconds)).collect())
-    }
-}
-
-fn to_wire(r: &QueryResult, server_seconds: f64) -> WireQueryResult {
-    let s = r.stats();
-    WireQueryResult {
-        query: r.query(),
-        k: r.k() as u32,
-        nodes: r.nodes().to_vec(),
-        proximities: r.proximities().to_vec(),
-        candidates: s.candidates as u64,
-        hits: s.hits as u64,
-        refined_nodes: s.refined_nodes as u64,
-        refine_iterations: s.refine_iterations,
-        server_seconds,
     }
 }

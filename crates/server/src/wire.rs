@@ -1,13 +1,22 @@
 //! The `RTKWIRE1` wire protocol: versioned, length-prefixed binary frames.
 //!
-//! Every message — request or response — travels as one frame:
+//! Every message — request or response — travels as one frame (wire v4):
 //!
 //! ```text
-//! magic   "RTKWIRE1"                  8 bytes
-//! version u32 (currently 3)           4 bytes   (must match exactly)
-//! length  u32 payload byte count      4 bytes   (bounded by the receiver)
-//! payload `length` bytes
+//! magic      "RTKWIRE1"               8 bytes
+//! version    u32 (currently 4)        4 bytes   (must match exactly)
+//! request_id u64                      8 bytes   (echoed on the response)
+//! length     u32 payload byte count   4 bytes   (bounded by the receiver)
+//! payload    `length` bytes
 //! ```
+//!
+//! The **request id** is what makes the protocol pipelined: a connection
+//! may have many requests in flight, the server answers each frame with the
+//! same id it arrived under, and responses may come back in *any order* —
+//! the client re-associates them by id. Ids are chosen by the client; the
+//! server treats them as opaque and echoes them verbatim. Connection-level
+//! failures that precede any readable id (bad magic, busy-at-accept) are
+//! answered under id `0`.
 //!
 //! Payloads are built exclusively from [`rtk_sparse::codec`] primitives
 //! (little-endian scalars and `u64`-length-prefixed sequences), so the wire
@@ -20,31 +29,38 @@
 //! the deployment runs unauthenticated), then a `u32` tag ([`Request`]);
 //! response payloads start with a `u32` status — `0` for success followed by
 //! the body, nonzero for an error followed by a message string
-//! ([`Response`]). See `docs/FORMATS.md` for the normative byte-level spec.
+//! ([`Response`]). The request/response *model* lives in [`rtk_api::model`];
+//! this module is only the bytes. See `docs/FORMATS.md` for the normative
+//! byte-level spec.
 
 use crate::error::ServerError;
-use crate::metrics::StatsSnapshot;
 use rtk_sparse::codec::{self, DecodeError};
 use std::io::{Cursor, Read, Write};
+
+pub use rtk_api::model::{
+    Request, Response, StatsSnapshot, WireQueryResult, WireShardResult, WireTopk,
+    MAX_AUTH_TOKEN_BYTES, MAX_BATCH_QUERIES, MAX_PERSIST_PATH_BYTES, STATUS_BUSY,
+    STATUS_ENGINE_ERROR, STATUS_OK, STATUS_PROTOCOL_ERROR, STATUS_UNAUTHORIZED,
+};
 
 /// Magic tag opening every frame.
 pub const WIRE_MAGIC: &[u8; 8] = b"RTKWIRE1";
 /// Current protocol version (2 added `persist`, per-shard stats, and the
 /// `busy` backpressure status; 3 added the shard-scoped
-/// `shard_reverse_topk` pair, the per-request auth-token field, and the
-/// router/auth stats fields).
-pub const WIRE_VERSION: u32 = 3;
+/// `shard_reverse_topk` pair and the per-request auth-token field; 4 made
+/// the protocol **pipelined**: a `u64` request id in every frame header,
+/// out-of-order responses, and the `inflight_peak` / `inflight_rejections`
+/// stats fields).
+pub const WIRE_VERSION: u32 = 4;
 /// Default per-frame payload cap (16 MiB) — generous for batch responses,
 /// small enough that a malicious length prefix cannot balloon memory.
 pub const DEFAULT_MAX_FRAME_BYTES: u32 = 16 * 1024 * 1024;
 
-/// Protocol-level cap on queries per batch request. Bounds the work a
-/// single frame can demand *before* the server executes anything (a 16 MiB
-/// frame could otherwise legally declare ~2M queries whose response could
-/// never fit back through the frame limit).
-pub const MAX_BATCH_QUERIES: u64 = 65_536;
+/// Byte size of the fixed frame header (magic + version + request id +
+/// payload length).
+pub const FRAME_HEADER_BYTES: usize = 8 + 4 + 8 + 4;
 
-/// Request tags (first `u32` of a request payload).
+/// Request tags (first `u32` of a request payload, after the auth token).
 const TAG_PING: u32 = 0;
 const TAG_REVERSE_TOPK: u32 = 1;
 const TAG_TOPK: u32 = 2;
@@ -54,165 +70,10 @@ const TAG_SHUTDOWN: u32 = 5;
 const TAG_PERSIST: u32 = 6;
 const TAG_SHARD_REVERSE_TOPK: u32 = 7;
 
-/// Cap on a `persist` request's path length in bytes.
-pub const MAX_PERSIST_PATH_BYTES: u64 = 4096;
-
-/// Cap on the auth-token field of a request (wire v3).
-pub const MAX_AUTH_TOKEN_BYTES: u64 = 1024;
-
-/// Response status codes (first `u32` of a response payload).
-const STATUS_OK: u32 = 0;
-/// The request could not be parsed or violated framing limits.
-pub const STATUS_PROTOCOL_ERROR: u32 = 1;
-/// The engine rejected or failed the request.
-pub const STATUS_ENGINE_ERROR: u32 = 2;
-/// The server is at its connection cap; retry later (backpressure).
-pub const STATUS_BUSY: u32 = 3;
-/// The request's auth token did not match the server's `--auth-token`.
-pub const STATUS_UNAUTHORIZED: u32 = 4;
-
-/// A client request.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub enum Request {
-    /// Liveness probe.
-    Ping,
-    /// One reverse top-k query. `update` selects the paper's update mode
-    /// (refinements commit back into the shared index, serialized through
-    /// the write lock); otherwise the query runs frozen and concurrently.
-    ReverseTopk {
-        /// Query node id.
-        q: u32,
-        /// Result set size.
-        k: u32,
-        /// Commit refinements back into the index.
-        update: bool,
-    },
-    /// Forward top-k proximity search from `u`.
-    Topk {
-        /// Source node id.
-        u: u32,
-        /// Result set size.
-        k: u32,
-        /// Use the early-terminating BPA-style search.
-        early: bool,
-    },
-    /// Many independent frozen reverse top-k queries in one round-trip.
-    Batch {
-        /// `(q, k)` pairs, answered in order.
-        queries: Vec<(u32, u32)>,
-    },
-    /// Server metrics + engine info.
-    Stats,
-    /// Graceful shutdown: in-flight requests finish, then the server exits.
-    Shutdown,
-    /// Flush the current (refined) engine snapshot to `path` on the
-    /// *server's* filesystem, under the write lock, so the paper's update
-    /// mode becomes durable on demand.
-    Persist {
-        /// Server-side destination path.
-        path: String,
-    },
-    /// The shard-scoped slice of one reverse top-k query (wire v3): screen
-    /// only the receiving backend's shard range. Sent by the router to its
-    /// per-shard backends; a backend started with `--shard-only` answers
-    /// with [`Response::ShardReverseTopk`]. The partial results of every
-    /// shard, concatenated in shard order with counters summed, equal the
-    /// single-process answer bitwise.
-    ShardReverseTopk {
-        /// Query node id (global).
-        q: u32,
-        /// Result set size.
-        k: u32,
-        /// Commit refinements into the backend's shard (update mode).
-        update: bool,
-    },
-}
-
-/// One reverse top-k answer with its server-side diagnostics.
-#[derive(Clone, Debug, PartialEq)]
-pub struct WireQueryResult {
-    /// Echo of the query node.
-    pub query: u32,
-    /// Echo of `k`.
-    pub k: u32,
-    /// Result nodes in ascending id order.
-    pub nodes: Vec<u32>,
-    /// `p_u(q)` per result node (bitwise-exact f64s).
-    pub proximities: Vec<f64>,
-    /// Nodes surviving the lower-bound prune.
-    pub candidates: u64,
-    /// Candidates confirmed by their first upper-bound check.
-    pub hits: u64,
-    /// Candidates that needed refinement.
-    pub refined_nodes: u64,
-    /// Total BCA refinement iterations.
-    pub refine_iterations: u64,
-    /// Server-side wall time for this query, seconds.
-    pub server_seconds: f64,
-}
-
-/// One backend's shard-scoped slice of a reverse top-k answer (wire v3).
-#[derive(Clone, Debug, PartialEq)]
-pub struct WireShardResult {
-    /// The answering shard's position in the shard map.
-    pub shard_id: u32,
-    /// First global node id the shard screened.
-    pub node_lo: u32,
-    /// One past the last global node id the shard screened.
-    pub node_hi: u32,
-    /// The partial answer: result nodes within `[node_lo, node_hi)` and the
-    /// shard's own counter statistics.
-    pub result: WireQueryResult,
-}
-
-/// A forward top-k answer.
-#[derive(Clone, Debug, PartialEq)]
-pub struct WireTopk {
-    /// Echo of the source node.
-    pub node: u32,
-    /// Echo of `k`.
-    pub k: u32,
-    /// Result nodes, best first.
-    pub nodes: Vec<u32>,
-    /// Proximity (or lower bound, in early mode) per result node.
-    pub scores: Vec<f64>,
-}
-
-/// A server response.
-#[derive(Clone, Debug, PartialEq)]
-pub enum Response {
-    /// Answer to [`Request::Ping`].
-    Pong,
-    /// Answer to [`Request::ReverseTopk`].
-    ReverseTopk(WireQueryResult),
-    /// Answer to [`Request::Topk`].
-    Topk(WireTopk),
-    /// Answer to [`Request::Batch`], in request order.
-    Batch(Vec<WireQueryResult>),
-    /// Answer to [`Request::Stats`].
-    Stats(StatsSnapshot),
-    /// Acknowledgement of [`Request::Shutdown`].
-    ShuttingDown,
-    /// Answer to [`Request::Persist`]: bytes written to the snapshot.
-    Persisted {
-        /// Size of the flushed snapshot file in bytes.
-        bytes: u64,
-    },
-    /// Answer to [`Request::ShardReverseTopk`].
-    ShardReverseTopk(WireShardResult),
-    /// The request failed; `code` is one of the `STATUS_*` constants.
-    Error {
-        /// `STATUS_PROTOCOL_ERROR` or `STATUS_ENGINE_ERROR`.
-        code: u32,
-        /// Human-readable cause.
-        message: String,
-    },
-}
-
-/// Writes one frame (header + length-prefixed payload). Fails (rather than
-/// silently truncating the length prefix) when the payload cannot be
-/// described by the `u32` length field.
-pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> std::io::Result<()> {
+/// Writes one frame (header + length-prefixed payload) carrying
+/// `request_id`. Fails (rather than silently truncating the length prefix)
+/// when the payload cannot be described by the `u32` length field.
+pub fn write_frame<W: Write>(w: &mut W, request_id: u64, payload: &[u8]) -> std::io::Result<()> {
     let len = u32::try_from(payload.len()).map_err(|_| {
         std::io::Error::new(
             std::io::ErrorKind::InvalidInput,
@@ -220,22 +81,24 @@ pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> std::io::Result<()> {
         )
     })?;
     codec::write_header(w, WIRE_MAGIC, WIRE_VERSION)?;
+    codec::write_u64(w, request_id)?;
     codec::write_u32(w, len)?;
     w.write_all(payload)?;
     w.flush()
 }
 
 /// Reads one frame, rejecting payloads larger than `max_frame_bytes` before
-/// allocating. The caller is responsible for distinguishing clean EOF (no
-/// bytes at all) from a truncated frame.
-pub fn read_frame<R: Read>(r: &mut R, max_frame_bytes: u32) -> Result<Vec<u8>, DecodeError> {
+/// allocating; returns `(request_id, payload)`. The caller is responsible
+/// for distinguishing clean EOF (no bytes at all) from a truncated frame.
+pub fn read_frame<R: Read>(r: &mut R, max_frame_bytes: u32) -> Result<(u64, Vec<u8>), DecodeError> {
     let version = codec::read_header(r, WIRE_MAGIC, WIRE_VERSION)?;
-    // The conversation is versioned as a whole: payload layouts changed
-    // across versions (v3 added the auth-token prefix), so an *older* peer
-    // must fail loudly here rather than have its payload misparsed.
+    // The conversation is versioned as a whole: the frame header itself
+    // changed in v4 (the request-id field), so an *older* peer must fail
+    // loudly here rather than have its frames misparsed.
     if version != WIRE_VERSION {
         return Err(DecodeError::UnsupportedVersion { found: version, supported: WIRE_VERSION });
     }
+    let request_id = codec::read_u64(r)?;
     let len = codec::read_u32(r)?;
     if len > max_frame_bytes {
         return Err(DecodeError::Corrupt(format!(
@@ -244,7 +107,7 @@ pub fn read_frame<R: Read>(r: &mut R, max_frame_bytes: u32) -> Result<Vec<u8>, D
     }
     let mut payload = vec![0u8; len as usize];
     r.read_exact(&mut payload)?;
-    Ok(payload)
+    Ok((request_id, payload))
 }
 
 /// Encodes a request payload with an empty auth-token field (the
@@ -253,7 +116,7 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
     encode_request_authed(req, b"")
 }
 
-/// Encodes a request payload. Every v3 request starts with the
+/// Encodes a request payload. Every request starts with the
 /// length-prefixed `token` (empty when the deployment runs
 /// unauthenticated); servers started with an auth token reject requests
 /// whose token does not match (constant-time compare, counted in
@@ -626,18 +489,24 @@ mod tests {
     }
 
     #[test]
-    fn frames_round_trip() {
+    fn frames_round_trip_with_their_request_id() {
         let payload = encode_request(&Request::ReverseTopk { q: 9, k: 4, update: false });
-        let mut buf = Vec::new();
-        write_frame(&mut buf, &payload).unwrap();
-        let back = read_frame(&mut Cursor::new(buf), DEFAULT_MAX_FRAME_BYTES).unwrap();
-        assert_eq!(back, payload);
+        for id in [0u64, 1, 7, u64::MAX] {
+            let mut buf = Vec::new();
+            write_frame(&mut buf, id, &payload).unwrap();
+            assert_eq!(buf.len(), FRAME_HEADER_BYTES + payload.len());
+            let (back_id, back) =
+                read_frame(&mut Cursor::new(buf), DEFAULT_MAX_FRAME_BYTES).unwrap();
+            assert_eq!(back_id, id);
+            assert_eq!(back, payload);
+        }
     }
 
     #[test]
     fn oversized_frame_is_rejected_before_allocation() {
         let mut buf = Vec::new();
         codec::write_header(&mut buf, WIRE_MAGIC, WIRE_VERSION).unwrap();
+        codec::write_u64(&mut buf, 1).unwrap(); // request id
         codec::write_u32(&mut buf, u32::MAX).unwrap(); // absurd payload length
         let err = read_frame(&mut Cursor::new(buf), 1024).unwrap_err();
         assert!(matches!(err, DecodeError::Corrupt(_)));
@@ -646,7 +515,7 @@ mod tests {
     #[test]
     fn bad_magic_is_rejected() {
         let mut buf = Vec::new();
-        write_frame(&mut buf, b"x").unwrap();
+        write_frame(&mut buf, 1, b"x").unwrap();
         buf[0] = b'X';
         assert!(matches!(
             read_frame(&mut Cursor::new(buf), 1024).unwrap_err(),
@@ -658,6 +527,7 @@ mod tests {
     fn future_version_is_rejected() {
         let mut buf = Vec::new();
         codec::write_header(&mut buf, WIRE_MAGIC, WIRE_VERSION + 1).unwrap();
+        codec::write_u64(&mut buf, 1).unwrap();
         codec::write_u32(&mut buf, 0).unwrap();
         assert!(matches!(
             read_frame(&mut Cursor::new(buf), 1024).unwrap_err(),
@@ -666,16 +536,18 @@ mod tests {
     }
 
     #[test]
-    fn older_version_is_rejected_not_misparsed() {
-        // v2 payloads have no auth-token prefix; accepting the frame would
-        // misparse the request. The version must match exactly.
+    fn v3_peer_is_rejected_not_misparsed() {
+        // A v3 frame has no request-id field: its header is magic + version
+        // + u32 length. Accepting it would misread the length as the id's
+        // low bytes. The version must match exactly, and the error must
+        // name both versions so the operator knows to upgrade the tier.
         let mut buf = Vec::new();
-        codec::write_header(&mut buf, WIRE_MAGIC, WIRE_VERSION - 1).unwrap();
-        codec::write_u32(&mut buf, 4).unwrap();
-        codec::write_u32(&mut buf, 0).unwrap(); // v2-style bare PING tag
+        codec::write_header(&mut buf, WIRE_MAGIC, 3).unwrap();
+        codec::write_u32(&mut buf, 4).unwrap(); // v3 length field
+        codec::write_u32(&mut buf, 0).unwrap(); // v3-style bare PING tag
         assert!(matches!(
             read_frame(&mut Cursor::new(buf), 1024).unwrap_err(),
-            DecodeError::UnsupportedVersion { found: 2, supported: 3 }
+            DecodeError::UnsupportedVersion { found: 3, supported: 4 }
         ));
     }
 

@@ -1,0 +1,342 @@
+//! Wire v4 codec and pipelining tests (ISSUE 5 satellite).
+//!
+//! Seeded property tests for the request-id framing — round-trips for
+//! arbitrary ids/payloads, truncation at every prefix, exact-version-match
+//! rejection of v3 peers — plus live-socket tests of the pipelined client:
+//! out-of-order response association, duplicate/unknown request ids
+//! rejected without panicking, the per-connection `--max-inflight` cap
+//! answering `busy`, and the `inflight_peak` gauge.
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use rtk_core::ReverseTopkEngine;
+use rtk_server::wire::{self, FRAME_HEADER_BYTES, WIRE_MAGIC, WIRE_VERSION};
+use rtk_server::{Client, Request, Response, Server, ServerConfig, ServerError};
+use rtk_sparse::codec::{self, DecodeError};
+use std::io::Cursor;
+use std::net::TcpListener;
+
+const CASES: u64 = 64;
+
+fn arb_payload(rng: &mut StdRng) -> Vec<u8> {
+    let len = rng.gen_range(0usize..256);
+    (0..len).map(|_| (rng.gen::<u32>() & 0xFF) as u8).collect()
+}
+
+#[test]
+fn frames_round_trip_for_arbitrary_ids_and_payloads() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x51D0 + case);
+        let id: u64 = rng.gen();
+        let payload = arb_payload(&mut rng);
+        let mut buf = Vec::new();
+        wire::write_frame(&mut buf, id, &payload).unwrap();
+        assert_eq!(buf.len(), FRAME_HEADER_BYTES + payload.len(), "case {case}");
+        let (back_id, back) =
+            wire::read_frame(&mut Cursor::new(&buf), 1 << 20).unwrap_or_else(|e| {
+                panic!("case {case}: {e}");
+            });
+        assert_eq!(back_id, id, "case {case}");
+        assert_eq!(back, payload, "case {case}");
+    }
+}
+
+#[test]
+fn truncation_at_every_prefix_errors_never_panics() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x7A11 + case);
+        let payload = arb_payload(&mut rng);
+        let mut buf = Vec::new();
+        wire::write_frame(&mut buf, rng.gen(), &payload).unwrap();
+        for cut in 0..buf.len() {
+            let err = wire::read_frame(&mut Cursor::new(&buf[..cut]), 1 << 20);
+            assert!(err.is_err(), "case {case}: truncation at byte {cut} must fail");
+        }
+        // The full frame still parses (the loop above really was prefixes).
+        assert!(wire::read_frame(&mut Cursor::new(&buf), 1 << 20).is_ok(), "case {case}");
+    }
+}
+
+#[test]
+fn exact_version_match_v3_and_future_peers_rejected_loudly() {
+    // A v3 frame: magic + version + u32 length + payload — no request id.
+    // A v4 reader must reject it on the version field, before the length
+    // bytes could be misread as the id's low half.
+    let mut v3 = Vec::new();
+    codec::write_header(&mut v3, WIRE_MAGIC, 3).unwrap();
+    codec::write_u32(&mut v3, 4).unwrap(); // v3 length
+    codec::write_u32(&mut v3, 0).unwrap(); // v3 bare PING tag
+    match wire::read_frame(&mut Cursor::new(&v3), 1 << 20).unwrap_err() {
+        DecodeError::UnsupportedVersion { found, supported } => {
+            assert_eq!((found, supported), (3, WIRE_VERSION));
+        }
+        other => panic!("v3 frame must be UnsupportedVersion, got {other:?}"),
+    }
+    // Same for every other version, both directions.
+    for version in [0u32, 1, 2, 5, 6, u32::MAX] {
+        let mut buf = Vec::new();
+        codec::write_header(&mut buf, WIRE_MAGIC, version).unwrap();
+        codec::write_u64(&mut buf, 1).unwrap();
+        codec::write_u32(&mut buf, 0).unwrap();
+        assert!(
+            matches!(
+                wire::read_frame(&mut Cursor::new(&buf), 1 << 20).unwrap_err(),
+                DecodeError::UnsupportedVersion { .. }
+            ),
+            "version {version} must be rejected"
+        );
+    }
+}
+
+#[test]
+fn live_server_rejects_a_v3_peer_with_unsupported_version() {
+    use std::io::{Read, Write};
+    let handle = Server::bind(toy_engine(), "127.0.0.1:0", ServerConfig::default())
+        .unwrap()
+        .spawn();
+    // Speak v3 at the server: header + u32 length + payload. Sized to
+    // exactly one v4 header (24 bytes) so the server's version check —
+    // not an EOF mid-header — is what fires, and no unread bytes linger
+    // to turn the close into a TCP reset.
+    let mut stream = std::net::TcpStream::connect(handle.addr()).unwrap();
+    let mut frame = Vec::new();
+    codec::write_header(&mut frame, WIRE_MAGIC, 3).unwrap();
+    codec::write_u32(&mut frame, 8).unwrap(); // v3 length field
+    frame.extend_from_slice(&[0u8; 8]); // v3 payload (never parsed)
+    assert_eq!(frame.len(), FRAME_HEADER_BYTES);
+    stream.write_all(&frame).unwrap();
+    stream.shutdown(std::net::Shutdown::Write).ok();
+    // The server answers with a protocol-error frame naming the version
+    // mismatch, then drops the connection.
+    let mut raw = Vec::new();
+    stream.take(1 << 16).read_to_end(&mut raw).unwrap();
+    let (id, resp_payload) = wire::read_frame(&mut Cursor::new(&raw), 1 << 20).unwrap();
+    assert_eq!(id, 0, "no request id was readable from a v3 frame");
+    match wire::decode_response(&resp_payload).unwrap() {
+        Response::Error { code, message } => {
+            assert_eq!(code, wire::STATUS_PROTOCOL_ERROR);
+            assert!(message.contains("version"), "error must name the version: {message}");
+        }
+        other => panic!("expected protocol error, got {other:?}"),
+    }
+
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let stats = client.stats().unwrap();
+    assert!(stats.protocol_errors >= 1, "{stats:?}");
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+}
+
+fn toy_engine() -> ReverseTopkEngine {
+    ReverseTopkEngine::builder(rtk_datasets::toy_graph())
+        .max_k(3)
+        .hubs_per_direction(1)
+        .threads(1)
+        .build()
+        .unwrap()
+}
+
+/// A hand-rolled one-connection server that reads `n` request frames and
+/// answers them in **reverse** arrival order — the pathological reordering
+/// a real pipelined server could legally produce.
+fn reversing_server(n: usize) -> (std::net::SocketAddr, std::thread::JoinHandle<()>) {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let thread = std::thread::spawn(move || {
+        let (mut stream, _) = listener.accept().unwrap();
+        let mut frames = Vec::new();
+        for _ in 0..n {
+            let (id, payload) = wire::read_frame(&mut stream, 1 << 20).unwrap();
+            let (_, request) = wire::decode_request(&payload).unwrap();
+            let Request::ReverseTopk { q, k, .. } = request else {
+                panic!("test server only answers reverse_topk");
+            };
+            frames.push((id, q, k));
+        }
+        for (id, q, k) in frames.into_iter().rev() {
+            let resp = Response::ReverseTopk(rtk_server::WireQueryResult {
+                query: q,
+                k,
+                nodes: vec![q],
+                proximities: vec![1.0],
+                candidates: 1,
+                hits: 1,
+                refined_nodes: 0,
+                refine_iterations: 0,
+                server_seconds: 0.0,
+            });
+            wire::write_frame(&mut stream, id, &wire::encode_response(&resp)).unwrap();
+        }
+    });
+    (addr, thread)
+}
+
+#[test]
+fn out_of_order_responses_reassociate_by_request_id() {
+    let (addr, server) = reversing_server(4);
+    let mut client = Client::connect(addr).unwrap();
+    let pending: Vec<_> =
+        (0..4u32).map(|q| client.submit_reverse_topk(q, 1, false).unwrap()).collect();
+    assert_eq!(client.inflight(), 4);
+    // Wait in submit order even though the wire delivers reverse order:
+    // every result must land on the query that asked for it.
+    for (q, p) in pending.into_iter().enumerate() {
+        let r = client.wait(p).unwrap();
+        assert_eq!(r.query, q as u32, "response mis-associated");
+        assert_eq!(r.nodes, vec![q as u32]);
+    }
+    assert_eq!(client.inflight(), 0);
+    server.join().unwrap();
+}
+
+/// A raw server that answers one request twice (duplicate id) or under a
+/// fabricated id the client never issued.
+fn misbehaving_server(duplicate: bool) -> (std::net::SocketAddr, std::thread::JoinHandle<()>) {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let thread = std::thread::spawn(move || {
+        let (mut stream, _) = listener.accept().unwrap();
+        let (id, _) = wire::read_frame(&mut stream, 1 << 20).unwrap();
+        let resp = Response::Pong;
+        let encoded = wire::encode_response(&resp);
+        if duplicate {
+            wire::write_frame(&mut stream, id, &encoded).unwrap();
+            let _ = wire::write_frame(&mut stream, id, &encoded); // duplicate
+        } else {
+            let _ = wire::write_frame(&mut stream, id ^ 0xDEAD_BEEF, &encoded); // unknown id
+        }
+        // Hold the socket open until the client is done asserting.
+        let _ = wire::read_frame(&mut stream, 1 << 20);
+    });
+    (addr, thread)
+}
+
+#[test]
+fn duplicate_response_ids_are_rejected_without_panicking() {
+    let (addr, server) = misbehaving_server(true);
+    let mut client = Client::connect(addr).unwrap();
+    let a = client.submit(&Request::Ping).unwrap();
+    let b = client.submit(&Request::Ping).unwrap();
+    // First response matches request a; the duplicate of a's id arrives
+    // while waiting for b and is neither b's nor outstanding → protocol
+    // error, not a panic and not b's answer.
+    assert!(matches!(client.wait(a).unwrap(), Response::Pong));
+    let err = client.wait(b).unwrap_err();
+    assert!(
+        matches!(err, ServerError::Protocol(ref m) if m.contains("duplicate")),
+        "duplicate id must be a protocol error: {err}"
+    );
+    drop(client);
+    server.join().unwrap();
+}
+
+#[test]
+fn unknown_response_ids_are_rejected_without_panicking() {
+    let (addr, server) = misbehaving_server(false);
+    let mut client = Client::connect(addr).unwrap();
+    let a = client.submit(&Request::Ping).unwrap();
+    let err = client.wait(a).unwrap_err();
+    assert!(
+        matches!(err, ServerError::Protocol(ref m) if m.contains("unknown")),
+        "unknown id must be a protocol error: {err}"
+    );
+    drop(client);
+    server.join().unwrap();
+}
+
+#[test]
+fn pipeline_results_match_serial_and_batch_bitwise() {
+    let reference = toy_engine();
+    let handle = Server::bind(
+        toy_engine(),
+        "127.0.0.1:0",
+        ServerConfig { workers: 3, ..Default::default() },
+    )
+    .unwrap()
+    .spawn();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let queries: Vec<(u32, u32)> = vec![(0, 2), (1, 2), (2, 3), (3, 1), (4, 2), (5, 3)];
+
+    let pipelined = client.pipeline(&queries, false).unwrap();
+    let batched = client.batch(&queries).unwrap();
+    assert_eq!(pipelined.len(), queries.len());
+    for (i, (p, b)) in pipelined.iter().zip(&batched).enumerate() {
+        assert_eq!(p.nodes, b.nodes, "query {i}");
+        for (x, y) in p.proximities.iter().zip(&b.proximities) {
+            assert_eq!(x.to_bits(), y.to_bits(), "query {i}");
+        }
+        // And both equal the direct engine answer.
+        let direct = reference
+            .query_batch(
+                &[(rtk_core::graph::NodeId(queries[i].0), queries[i].1 as usize)],
+                reference.options(),
+            )
+            .unwrap()
+            .pop()
+            .unwrap();
+        assert_eq!(p.nodes, direct.nodes(), "query {i}");
+    }
+
+    // Update-mode pipelining is allowed and keeps answers identical.
+    let upd = client.pipeline(&queries, true).unwrap();
+    for (p, b) in upd.iter().zip(&batched) {
+        assert_eq!(p.nodes, b.nodes);
+    }
+
+    // The server saw real pipelining depth.
+    let stats = client.stats().unwrap();
+    assert!(stats.inflight_peak >= 2, "pipeline must overlap requests: {stats:?}");
+
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+}
+
+#[test]
+fn max_inflight_cap_answers_busy_and_keeps_the_connection() {
+    let handle = Server::bind(
+        toy_engine(),
+        "127.0.0.1:0",
+        // One worker and a tiny depth cap: submits beyond 2 must be
+        // answered `busy` while earlier requests still complete.
+        ServerConfig { workers: 1, max_inflight: 2, ..Default::default() },
+    )
+    .unwrap()
+    .spawn();
+    let mut client = Client::connect(handle.addr()).unwrap();
+
+    // Flood 8 pipelined queries; with the cap at 2 some must bounce.
+    let pending: Vec<_> =
+        (0..8).map(|_| client.submit_reverse_topk(0, 2, false).unwrap()).collect();
+    let mut ok = 0usize;
+    let mut busy = 0usize;
+    for p in pending {
+        match client.wait(p) {
+            Ok(r) => {
+                assert_eq!(r.nodes, vec![0, 1, 4]);
+                ok += 1;
+            }
+            Err(ServerError::Remote(m)) if m.contains("pipeline-depth") => busy += 1,
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+    }
+    assert!(ok >= 1, "some requests must be admitted");
+    assert!(busy >= 1, "the cap must reject some of an 8-deep burst");
+
+    // The connection survived the rejections: normal traffic still works.
+    let r = client.reverse_topk(0, 2, false).unwrap();
+    assert_eq!(r.nodes, vec![0, 1, 4]);
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.inflight_rejections as usize, busy, "{stats:?}");
+    assert!(stats.inflight_peak <= 2 + 1, "cap must bound the gauge: {stats:?}");
+
+    // pipeline() plays fair with the cap: busy-rejected queries are
+    // re-issued after the burst drains, so every result still comes back.
+    let queries: Vec<(u32, u32)> = (0..6).map(|i| (i % 6, 2)).collect();
+    let rs = client.pipeline(&queries, false).unwrap();
+    assert_eq!(rs.len(), queries.len());
+    for (r, &(q, _)) in rs.iter().zip(&queries) {
+        assert_eq!(r.query, q, "pipeline under a depth cap must return every answer");
+    }
+
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+}

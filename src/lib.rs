@@ -98,14 +98,21 @@
 //! | frame field | size | meaning                                   |
 //! |-------------|------|-------------------------------------------|
 //! | magic       | 8 B  | `"RTKWIRE1"`                              |
-//! | version     | 4 B  | `u32`, currently 3                        |
+//! | version     | 4 B  | `u32`, currently 4                        |
+//! | request id  | 8 B  | `u64`, echoed on the response             |
 //! | length      | 4 B  | `u32` payload bytes, capped per config    |
 //! | payload     | *n*  | tagged request / status-prefixed response |
 //!
-//! Requests: `ping`, `reverse_topk(q, k, update)`, `topk(u, k, early)`,
-//! `batch`, `stats`, `shutdown`, `persist(path)`, and the shard-scoped
-//! `shard_reverse_topk` (wire v3) that multi-process serving is built
-//! on. Proximities travel as exact IEEE-754 bits, so remote answers are
+//! The request id makes the protocol **pipelined** (wire v4): one
+//! connection can carry many requests at once, the server dispatches
+//! frames — not connections — to its worker pool, and responses return
+//! in completion order, re-associated by id (`Client::submit`/`wait`/
+//! `pipeline`). Requests: `ping`, `reverse_topk(q, k, update)`,
+//! `topk(u, k, early)`, `batch`, `stats`, `shutdown`, `persist(path)`,
+//! and the shard-scoped `shard_reverse_topk` that multi-process serving
+//! is built on — one trait, `rtk_api::RtkService`, covers the whole
+//! surface for local engines, remote clients, and the router alike.
+//! Proximities travel as exact IEEE-754 bits, so remote answers are
 //! **bitwise identical** to local engine calls (pinned by
 //! `tests/server_loopback.rs`). `docs/FORMATS.md` is the normative
 //! byte-level spec; optional `--auth-token` gates every request with a
@@ -120,11 +127,13 @@
 //! oversized frames are counted, answered with an error when possible, and
 //! never take the server down; with `--max-connections` set, connections
 //! beyond the cap get a clean `busy` error frame and are counted in
-//! `rejected_connections`.
+//! `rejected_connections`, and with `--max-inflight` set, requests beyond
+//! the per-connection pipeline depth are answered `busy` too
+//! (`inflight_rejections`; `inflight_peak` reports the high-water mark).
 //!
 //! Knobs (`rtk serve` flags in parentheses): worker threads (`--workers`,
 //! `0` = all cores), per-frame byte cap (`--max-frame-mib`), connection cap
-//! (`--max-connections`, `0` = unlimited), and per-request SpMV/screen
+//! (`--max-connections`, default 1024, `0` = unlimited), and per-request SpMV/screen
 //! threads (`--query-threads`, default 1 — a server's parallelism budget
 //! goes to concurrent requests). `rtk remote
 //! query|topk|batch|persist|stats|ping|shutdown` is the matching client;
@@ -137,7 +146,10 @@
 //! Each shard can live in its own process: `rtk serve --shard-only
 //! --shard i` loads the full graph plus **one** `RTKSHRD1` section (a
 //! `ShardSlice`) and answers shard-scoped requests; `rtk router
-//! --backends …` owns the shard map, fans each query out, and merges the
+//! --backends …` owns the shard map, fans each query out **concurrently**
+//! (all backends in flight at once over pipelined connections, merged in
+//! deterministic shard order; `--serial-fanout` keeps the old walk for
+//! comparison), and merges the
 //! partial answers — bitwise equal to a single-process server, so the
 //! determinism contract now reads **{threads, shards, processes} may
 //! only change wall time, never answers** (pinned by
@@ -145,7 +157,7 @@
 //! unreachable backends `degraded` in `stats` instead of serving partial
 //! answers. See `docs/ARCHITECTURE.md` for the tier diagram and
 //! `cargo run --release -p rtk-bench --bin router_study` for the
-//! single-vs-routed sweep (`BENCH_router.json`).
+//! single-vs-routed, serial-vs-concurrent sweep (`BENCH_router.json`).
 //!
 //! ```
 //! use reverse_topk_rwr::prelude::*;

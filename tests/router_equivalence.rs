@@ -42,9 +42,10 @@ fn build_engine(shards: usize) -> ReverseTopkEngine {
 }
 
 fn backend_config(auth: Option<&str>) -> ServerConfig {
-    // A connection pins its worker for its lifetime, and the router keeps
-    // one pooled connection per backend open — so a backend needs spare
-    // workers for any direct (admin) connections on top of the router's.
+    // Wire v4 dispatches frames, not connections, to the worker pool, so
+    // even `workers: 1` cannot deadlock under the router's pooled
+    // connections (tests/router_pipelining.rs pins exactly that); 2 is
+    // just a little concurrency for the suite.
     ServerConfig { workers: 2, auth_token: auth.map(str::to_string), ..Default::default() }
 }
 
