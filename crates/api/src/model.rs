@@ -263,9 +263,17 @@ pub struct StatsSnapshot {
     pub rejected_connections: u64,
     /// Requests rejected because their auth token did not match.
     pub auth_failures: u64,
-    /// Router only: backends currently marked unreachable (`0` on a plain
-    /// server; a nonzero value means the router is serving degraded).
-    pub degraded_backends: u64,
+    /// Router only: backend replicas currently marked unhealthy (`0` on a
+    /// plain server). Unhealthy replicas are probed in the background and
+    /// re-admitted on recovery; a shard keeps answering as long as one of
+    /// its replicas is healthy.
+    pub unhealthy_backends: u64,
+    /// Router only: shard calls that fired a second replica because the
+    /// first had not answered within the hedge delay (wire v5).
+    pub hedged_requests: u64,
+    /// Router only: shard calls transparently retried on another replica
+    /// after the first replica failed (wire v5).
+    pub failovers: u64,
     /// Peak number of requests simultaneously in flight (queued + being
     /// executed) since start — the pipelining high-water mark (wire v4).
     pub inflight_peak: u64,
@@ -322,7 +330,9 @@ impl StatsSnapshot {
             connections: 0,
             rejected_connections: 0,
             auth_failures: 0,
-            degraded_backends: 0,
+            unhealthy_backends: 0,
+            hedged_requests: 0,
+            failovers: 0,
             inflight_peak: 0,
             inflight_rejections: 0,
             latency_count: 0,
@@ -378,7 +388,9 @@ impl StatsSnapshot {
             self.connections,
             self.rejected_connections,
             self.auth_failures,
-            self.degraded_backends,
+            self.unhealthy_backends,
+            self.hedged_requests,
+            self.failovers,
             self.inflight_peak,
             self.inflight_rejections,
             self.latency_count,
@@ -428,7 +440,9 @@ impl StatsSnapshot {
             connections: codec::read_u64(r)?,
             rejected_connections: codec::read_u64(r)?,
             auth_failures: codec::read_u64(r)?,
-            degraded_backends: codec::read_u64(r)?,
+            unhealthy_backends: codec::read_u64(r)?,
+            hedged_requests: codec::read_u64(r)?,
+            failovers: codec::read_u64(r)?,
             inflight_peak: codec::read_u64(r)?,
             inflight_rejections: codec::read_u64(r)?,
             latency_count: codec::read_u64(r)?,

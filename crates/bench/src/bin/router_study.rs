@@ -9,7 +9,9 @@
 //! threads (`M` ∈ 1/2/4). Asserts every routed answer equals the
 //! single-process answer (the determinism contract — fan-out mode may
 //! only change wall time), and reports what concurrency buys per backend
-//! count. Writes the machine-readable `BENCH_router.json`,
+//! count. A final HA scenario runs two replicas per shard and kills one
+//! replica mid-sweep, asserting transparent failover (answers unchanged,
+//! `failovers ≥ 1`). Writes the machine-readable `BENCH_router.json`,
 //! schema-aligned with `BENCH_serve.json`
 //! (`p50_seconds`/`p95_seconds`/`p99_seconds`).
 //!
@@ -81,7 +83,7 @@ fn main() {
 
     banner(
         "Router study",
-        "serial vs. concurrent fan-out over per-shard backends vs. one process (RTKWIRE1 v4)",
+        "serial vs. concurrent fan-out over per-shard backends vs. one process (RTKWIRE1 v5)",
         &format!("rmat n={nodes} m={edges} seed={seed}"),
         &format!("{requests} requests per sweep, k={K}, {cores} core(s) available"),
     );
@@ -211,13 +213,87 @@ fn main() {
 
             let mut client = Client::connect(router.addr()).expect("shutdown client");
             let stats = client.stats().expect("router stats");
-            assert_eq!(stats.degraded_backends, 0, "no backend may degrade during the study");
+            assert_eq!(stats.unhealthy_backends, 0, "no backend may fail during the study");
             client.shutdown().expect("router shutdown"); // propagates to backends
             router.join().expect("router join");
             for h in backend_handles {
                 h.join().expect("backend join");
             }
         }
+    }
+
+    // HA scenario: two replicas per shard, one replica killed mid-sweep.
+    // The router must fail over transparently — every answer stays equal
+    // to the single-process reference — and the kill must be visible as
+    // failovers in the aggregated stats.
+    {
+        let shards = 2usize;
+        let replicas = 2usize;
+        let sharded = build_engine(&graph, shards);
+        let mut handles: Vec<ServerHandle> = Vec::new();
+        for sid in 0..shards {
+            for _ in 0..replicas {
+                let slice = ShardSlice::from_index(sharded.index(), sid).expect("slice");
+                let engine = ShardEngine::from_parts(graph.clone(), slice).expect("shard engine");
+                handles.push(
+                    Server::bind_shard(
+                        engine,
+                        "127.0.0.1:0",
+                        ServerConfig { workers: cores.max(2), ..Default::default() },
+                    )
+                    .expect("bind replica")
+                    .spawn(),
+                );
+            }
+        }
+        let addrs: Vec<String> = handles.iter().map(|h| h.addr().to_string()).collect();
+        let router = Router::bind(
+            &addrs,
+            "127.0.0.1:0",
+            RouterConfig { workers: cores.max(max_clients) + 1, ..Default::default() },
+        )
+        .expect("bind HA router")
+        .spawn();
+
+        let victim_addr = handles[0].addr(); // first replica of shard 0
+        let mut client = Client::connect(router.addr()).expect("HA client");
+        let t0 = Instant::now();
+        let mid = workload.len() / 2;
+        for (i, &q) in workload.iter().enumerate() {
+            if i == mid {
+                // Kill the victim behind the router's back, mid-load.
+                let mut backdoor = Client::connect(victim_addr).expect("victim backdoor");
+                backdoor.shutdown().expect("victim shutdown");
+            }
+            let r = client.reverse_topk(q, K, false).expect("HA query must never fail");
+            assert_eq!(r.nodes, reference[i], "HA answer diverged after replica kill (q={q})");
+        }
+        let secs = t0.elapsed().as_secs_f64();
+        let stats = client.stats().expect("HA stats");
+        assert!(
+            stats.failovers >= 1,
+            "killing a replica mid-sweep must register at least one failover"
+        );
+        println!(
+            "\nHA scenario: {} requests across the kill in {secs:.3}s — \
+             {} failover(s), {} hedged request(s), {} backend(s) unhealthy at end",
+            workload.len(),
+            stats.failovers,
+            stats.hedged_requests,
+            stats.unhealthy_backends
+        );
+        client.shutdown().expect("HA router shutdown");
+        router.join().expect("HA router join");
+        let mut survivors = 0usize;
+        for (i, h) in handles.into_iter().enumerate() {
+            if i == 0 {
+                h.join().expect("victim join"); // already shut down mid-sweep
+            } else {
+                h.join().expect("replica join");
+                survivors += 1;
+            }
+        }
+        assert_eq!(survivors, shards * replicas - 1);
     }
 
     let mut client = Client::connect(single.addr()).expect("single shutdown client");

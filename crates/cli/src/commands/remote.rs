@@ -169,8 +169,14 @@ fn stats(svc: &mut impl RtkService) -> Result<(), String> {
     if s.shard_lo != 0 || s.shard_hi != s.nodes {
         println!("  shard-only:       serving nodes {}..{}", s.shard_lo, s.shard_hi);
     }
-    if s.degraded_backends > 0 {
-        println!("  DEGRADED:         {} backend(s) unreachable", s.degraded_backends);
+    if s.unhealthy_backends > 0 {
+        println!("  DEGRADED:         {} backend(s) unhealthy", s.unhealthy_backends);
+    }
+    if s.hedged_requests > 0 || s.failovers > 0 {
+        println!(
+            "  resilience:       {} hedged request(s), {} failover(s)",
+            s.hedged_requests, s.failovers
+        );
     }
     println!("  connections:      {} ({} rejected at cap)", s.connections, s.rejected_connections);
     println!(

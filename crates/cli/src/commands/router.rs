@@ -1,5 +1,9 @@
 //! `rtk router` — the client-facing fan-out process in front of per-shard
-//! `rtk serve --shard-only` backends.
+//! `rtk serve --shard-only` backends. Several backends may announce the
+//! same shard range; they form a replica set the router load-balances
+//! across, health-checks, and fails over within (`--hedge-quantile`,
+//! `--probe-interval-ms` tune the tail-latency hedging and re-admission
+//! probing).
 
 use crate::args::Parsed;
 use rtk_server::{Router, RouterConfig};
@@ -51,16 +55,39 @@ pub(crate) fn run(args: &Parsed) -> Result<(), String> {
         connect_timeout,
         backend_io_timeout,
         serial_fanout: args.has("serial-fanout"),
+        hedge_quantile: {
+            let q = args.get_num("hedge-quantile", defaults.hedge_quantile)?;
+            if q != 0.0 && !(0.0..1.0).contains(&q) {
+                return Err(
+                    "router: --hedge-quantile expects a value in [0, 1) (0 disables hedging)"
+                        .into(),
+                );
+            }
+            q
+        },
+        hedge_min_delay: std::time::Duration::from_millis(
+            args.get_num("hedge-min-delay-ms", defaults.hedge_min_delay.as_millis() as u64)?,
+        ),
+        probe_interval: {
+            let ms =
+                args.get_num("probe-interval-ms", defaults.probe_interval.as_millis() as u64)?;
+            if ms == 0 {
+                return Err("router: --probe-interval-ms expects a positive number".into());
+            }
+            std::time::Duration::from_millis(ms)
+        },
+        health_seed: args.get_num("health-seed", defaults.health_seed)?,
     };
 
     let router =
         Router::bind(&backends, addr, config.clone()).map_err(|e| format!("router: {e}"))?;
     println!(
-        "rtk router listening on {} ({} workers, {} shard backend(s), {} fan-out{}); \
+        "rtk router listening on {} ({} workers, {} backend(s) over {} shard(s), {} fan-out{}); \
          stop with `rtk remote shutdown --addr {}` (propagates to backends)",
         router.local_addr(),
         if config.workers == 0 { "all-core".to_string() } else { config.workers.to_string() },
         router.backend_count(),
+        router.shard_count(),
         if config.serial_fanout { "serial" } else { "concurrent" },
         if config.auth_token.is_some() { ", auth required" } else { "" },
         router.local_addr()

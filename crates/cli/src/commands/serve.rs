@@ -1,6 +1,8 @@
 //! `rtk serve` — run the reverse top-k network server over a saved index,
 //! either whole (`rtk serve`) or one shard per process (`--shard-only
-//! --shard <i>`, fronted by `rtk router`).
+//! --shard <i>`, fronted by `rtk router`). `--chaos <spec>` arms seeded
+//! fault injection (drop/delay/close-after/refuse — see
+//! [`rtk_server::ChaosConfig`]) for exercising the router's failover.
 
 use crate::args::Parsed;
 use rtk_core::{ReverseTopkEngine, ShardEngine};
@@ -24,6 +26,10 @@ pub(crate) fn run(args: &Parsed) -> Result<(), String> {
         max_inflight: args.get_num("max-inflight", 0usize)?,
         persist_dir: args.get("persist-dir").map(std::path::PathBuf::from),
         auth_token: args.get("auth-token").map(str::to_string),
+        chaos: args
+            .get("chaos")
+            .map(|spec| rtk_server::ChaosConfig::parse(spec).map_err(|e| format!("serve: {e}")))
+            .transpose()?,
     };
 
     let (server, what) = if args.has("shard-only") {
@@ -58,6 +64,9 @@ pub(crate) fn run(args: &Parsed) -> Result<(), String> {
         if config.auth_token.is_some() { ", auth required" } else { "" },
         server.local_addr()
     );
+    if config.chaos.is_some() {
+        println!("rtk-server CHAOS injection enabled — answers may be dropped, delayed, or cut");
+    }
     server.run().map_err(|e| format!("serve: {e}"))
 }
 

@@ -1,22 +1,26 @@
-//! `rtk shard split|merge|info` — offline re-partitioning of a saved index.
+//! `rtk shard split|merge|info|stitch` — offline re-partitioning and
+//! re-assembly of a saved index.
 //!
 //! Sharding is a pure layout change: `split` re-partitions an existing
 //! index (legacy or sharded) into `--shards N` contiguous node ranges,
-//! `merge` flattens back to one shard (the legacy single-blob format), and
-//! `info` prints the shard manifest. Per-node states are preserved bitwise,
-//! so a re-partitioned index answers every query identically.
+//! `merge` flattens back to one shard (the legacy single-blob format),
+//! `info` prints the shard manifest, and `stitch` re-assembles the
+//! `<path>.shard<i>` section files a router-tier `persist` leaves behind
+//! into one manifest. Per-node states are preserved bitwise, so a
+//! re-partitioned or stitched index answers every query identically.
 
 use crate::args::Parsed;
 
 pub(crate) fn run(argv: &[String]) -> Result<(), String> {
     let Some(sub) = argv.first() else {
-        return Err("shard: expected `split`, `merge`, or `info`".into());
+        return Err("shard: expected `split`, `merge`, `info`, or `stitch`".into());
     };
     let rest = Parsed::parse(&argv[1..])?;
     match sub.as_str() {
         "split" => split(&rest),
         "merge" => merge(&rest),
         "info" => info(&rest),
+        "stitch" => stitch(&rest),
         other => Err(format!("shard: unknown subcommand {other:?}")),
     }
 }
@@ -58,6 +62,27 @@ fn merge(args: &Parsed) -> Result<(), String> {
     index.repartition(1);
     save(&index, out)?;
     println!("merged {path} ({before} shard(s)) into a single-shard index; wrote {out}");
+    Ok(())
+}
+
+/// `rtk shard stitch <prefix> --index <donor> [--out <file>]`: re-assemble
+/// the `<prefix>.shard0..N-1` sections written by a router-tier `persist`
+/// into one index, taking everything shared (hub matrix, parameters,
+/// stats) from the donor snapshot the backends were loaded from.
+fn stitch(args: &Parsed) -> Result<(), String> {
+    let prefix = args.positional(0, "section prefix")?;
+    let Some(donor_path) = args.get("index") else {
+        return Err("shard stitch: --index <donor snapshot> is required".into());
+    };
+    let out = args.get("out").unwrap_or(prefix);
+    let donor = load(donor_path)?;
+    let stitched = rtk_index::storage::stitch_path_prefix(&donor, prefix)
+        .map_err(|e| format!("shard stitch: {e}"))?;
+    save(&stitched, out)?;
+    println!(
+        "stitched {} section(s) at {prefix}.shard* over donor {donor_path}; wrote {out}",
+        stitched.shard_count()
+    );
     Ok(())
 }
 
@@ -146,9 +171,47 @@ mod tests {
     }
 
     #[test]
+    fn stitch_reassembles_router_persist_outputs() {
+        let dir = std::env::temp_dir().join("rtk_cli_test_stitch");
+        std::fs::create_dir_all(&dir).unwrap();
+        let donor_path = build_index(&dir);
+        let donor_str = donor_path.to_str().unwrap().to_string();
+
+        // Simulate a 2-backend router persist: one standalone section per
+        // shard, named `<prefix>.shard<i>`.
+        let mut donor = rtk_index::storage::load_path(&donor_path).unwrap();
+        donor.repartition(2);
+        let prefix = dir.join("persisted.rtki");
+        for shard in donor.shards() {
+            let path = dir.join(format!("persisted.rtki.shard{}", shard.id()));
+            let file = std::fs::File::create(&path).unwrap();
+            rtk_index::storage::save_shard(shard, donor.node_count(), donor.max_k(), file).unwrap();
+        }
+
+        let out = dir.join("stitched.rtki");
+        run(&[
+            "stitch".into(),
+            prefix.to_str().unwrap().into(),
+            "--index".into(),
+            donor_str,
+            "--out".into(),
+            out.to_str().unwrap().into(),
+        ])
+        .unwrap();
+        let stitched = rtk_index::storage::load_path(&out).unwrap();
+        assert_eq!(stitched.shard_count(), 2);
+        for u in 0..6u32 {
+            assert_eq!(stitched.state(u), donor.state(u), "node {u}");
+        }
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn rejects_bad_invocations() {
         assert!(run(&[]).is_err());
         assert!(run(&["frob".into()]).is_err());
         assert!(run(&["split".into(), "x.rtki".into()]).is_err()); // no --shards
+        assert!(run(&["stitch".into(), "x.rtki".into()]).is_err()); // no --index
     }
 }

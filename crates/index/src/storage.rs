@@ -728,6 +728,108 @@ fn load_shard_slice_body<R: Read>(r: &mut R, shard_id: usize) -> Result<ShardSli
     Ok(ShardSlice { config, hub_matrix, shard_map, shard })
 }
 
+// ---------------------------------------------------------------------------
+// Offline stitching of per-shard persist outputs
+// ---------------------------------------------------------------------------
+
+/// Re-assembles a full index from standalone shard sections (`RTKSHRD1`) —
+/// the files a router-tier `persist` fans out as `<path>.shard<i>`, one per
+/// backend. The sections carry only node states; everything shared — the
+/// hub matrix, BCA parameters, rounding threshold, build-stats scalars —
+/// comes from `donor`, the snapshot the backends were originally loaded
+/// from. Sections may arrive in any order; after sorting by node range they
+/// must tile `0..n` exactly (no gap, no overlap, no duplicate range), and
+/// each shard's id is its position in the re-assembled map regardless of
+/// the id the writing backend used.
+///
+/// Because refinement only tightens state, the stitched index is the
+/// donor's partition with each shard's states replaced by whatever its
+/// backend had refined them to by persist time.
+pub fn stitch<R: Read>(donor: &ReverseIndex, sections: Vec<R>) -> Result<ReverseIndex, IndexError> {
+    let n = donor.node_count();
+    let max_k = donor.max_k();
+    let hub_matrix = donor.hub_matrix().clone();
+    let mut shards = Vec::with_capacity(sections.len());
+    for section in sections {
+        shards.push(load_shard(section, &hub_matrix, n, max_k)?);
+    }
+    shards.sort_by_key(IndexShard::node_lo);
+    let starts: Vec<u32> = shards.iter().map(IndexShard::node_lo).collect();
+    let shard_map = ShardMap::from_starts(n, starts).map_err(|e| match e {
+        IndexError::InvalidConfig(m) => corrupt(format!("stitch: {m}")),
+        other => other,
+    })?;
+    for (i, shard) in shards.iter().enumerate() {
+        if shard.range() != shard_map.range(i) {
+            return Err(corrupt(format!(
+                "stitch: sections do not tile 0..{n}: section covering {:?} where \
+                 {:?} was expected (gap or overlap)",
+                shard.range(),
+                shard_map.range(i)
+            )));
+        }
+    }
+    let shards: Vec<IndexShard> = shards
+        .into_iter()
+        .enumerate()
+        .map(|(i, s)| {
+            let lo = s.node_lo();
+            IndexShard::new(i, lo, s.into_states())
+        })
+        .collect();
+
+    // Donor stats scalars, derived size figures recomputed from the
+    // stitched states — the same split the on-disk formats use.
+    let mut stats_buf = Vec::new();
+    write_stats(&mut stats_buf, donor.stats())?;
+    let state_refs: Vec<&NodeState> = shards.iter().flat_map(|s| s.states().iter()).collect();
+    let stats = read_stats(&mut stats_buf.as_slice(), &state_refs, &hub_matrix, n)?;
+    drop(state_refs);
+
+    let shard_count = shards.len();
+    let config = loaded_config(
+        max_k,
+        donor.config().bca,
+        &hub_matrix,
+        donor.config().rounding_threshold,
+        stats.threads,
+        shard_count,
+    );
+    Ok(ReverseIndex::from_shards(config, hub_matrix, shards, shard_map, stats))
+}
+
+/// [`stitch`] from files: opens `<prefix>.shard0`, `<prefix>.shard1`, …
+/// until the next index is missing, then stitches what was found. At least
+/// `<prefix>.shard0` must exist.
+pub fn stitch_path_prefix<P: AsRef<Path>>(
+    donor: &ReverseIndex,
+    prefix: P,
+) -> Result<ReverseIndex, IndexError> {
+    let prefix = prefix.as_ref();
+    let mut files = Vec::new();
+    loop {
+        let path = section_path(prefix, files.len());
+        if !path.exists() {
+            break;
+        }
+        files.push(std::fs::File::open(path)?);
+    }
+    if files.is_empty() {
+        return Err(IndexError::InvalidConfig(format!(
+            "stitch: no shard sections at {:?}",
+            section_path(prefix, 0)
+        )));
+    }
+    stitch(donor, files)
+}
+
+/// `<prefix>.shard<i>` — the naming convention of router-tier persists.
+fn section_path(prefix: &Path, i: usize) -> std::path::PathBuf {
+    let mut name = prefix.as_os_str().to_os_string();
+    name.push(format!(".shard{i}"));
+    std::path::PathBuf::from(name)
+}
+
 /// Saves to a file path (layout picked by shard count, see [`save`]).
 pub fn save_path<P: AsRef<Path>>(index: &ReverseIndex, path: P) -> Result<(), IndexError> {
     save(index, std::fs::File::create(path)?)
@@ -863,6 +965,101 @@ mod tests {
             assert_eq!(back.range(), shard.range());
             assert_eq!(back.states(), shard.states());
         }
+    }
+
+    #[test]
+    fn stitch_reassembles_persisted_shard_sections() {
+        let (g, config) = build_sample();
+        let t = TransitionMatrix::new(&g);
+        let index = ReverseIndex::build(&t, IndexConfig { shards: 3, ..config }).unwrap();
+        // Persist each shard standalone, as router backends do, and hand
+        // the sections back in scrambled order.
+        let mut sections = Vec::new();
+        for shard in index.shards() {
+            let mut buf = Vec::new();
+            save_shard(shard, index.node_count(), index.max_k(), &mut buf).unwrap();
+            sections.push(buf);
+        }
+        sections.rotate_left(1);
+        let stitched =
+            stitch(&index, sections.iter().map(|b| Cursor::new(b.as_slice())).collect()).unwrap();
+        assert_eq!(stitched.shard_count(), 3);
+        assert_eq!(stitched.shard_map(), index.shard_map());
+        assert_eq!(stitched.config().shards, 3);
+        for u in 0..6u32 {
+            assert_eq!(stitched.state(u), index.state(u), "node {u}");
+        }
+        // The stitched index round-trips through the manifest writer.
+        let mut manifest = Vec::new();
+        save(&stitched, &mut manifest).unwrap();
+        assert_eq!(&manifest[..8], MANIFEST_MAGIC);
+        let back = load(Cursor::new(manifest)).unwrap();
+        for u in 0..6u32 {
+            assert_eq!(back.state(u), index.state(u), "node {u}");
+        }
+        // Sections from a different partitioning than the donor stitch
+        // fine: the section count wins, not the donor's shard count.
+        let mut two = index.clone();
+        two.repartition(2);
+        let mut halves = Vec::new();
+        for shard in two.shards() {
+            let mut buf = Vec::new();
+            save_shard(shard, two.node_count(), two.max_k(), &mut buf).unwrap();
+            halves.push(buf);
+        }
+        let restitched =
+            stitch(&index, halves.iter().map(|b| Cursor::new(b.as_slice())).collect()).unwrap();
+        assert_eq!(restitched.shard_count(), 2);
+        for u in 0..6u32 {
+            assert_eq!(restitched.state(u), index.state(u), "node {u}");
+        }
+    }
+
+    #[test]
+    fn stitch_rejects_gaps_duplicates_and_short_tails() {
+        let (g, config) = build_sample();
+        let t = TransitionMatrix::new(&g);
+        let index = ReverseIndex::build(&t, IndexConfig { shards: 3, ..config }).unwrap();
+        let section = |i: usize| {
+            let mut buf = Vec::new();
+            save_shard(&index.shards()[i], index.node_count(), index.max_k(), &mut buf).unwrap();
+            buf
+        };
+        let (s0, s1, s2) = (section(0), section(1), section(2));
+        let run = |parts: Vec<&Vec<u8>>| {
+            stitch(&index, parts.into_iter().map(|b| Cursor::new(b.as_slice())).collect())
+        };
+        assert!(run(vec![]).is_err(), "no sections");
+        assert!(run(vec![&s0, &s2]).is_err(), "gap where shard 1 should be");
+        assert!(run(vec![&s0, &s0, &s1, &s2]).is_err(), "duplicate range");
+        assert!(run(vec![&s0, &s1]).is_err(), "tail does not reach n");
+        assert!(run(vec![&s1, &s2]).is_err(), "does not start at node 0");
+        // The full set still stitches after all those rejections.
+        assert!(run(vec![&s0, &s1, &s2]).is_ok());
+    }
+
+    #[test]
+    fn stitch_path_prefix_reads_consecutive_sections() {
+        let (g, config) = build_sample();
+        let t = TransitionMatrix::new(&g);
+        let index = ReverseIndex::build(&t, IndexConfig { shards: 2, ..config }).unwrap();
+        let dir = std::env::temp_dir().join("rtk_index_stitch_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let prefix = dir.join("snap.rtki");
+        for shard in index.shards() {
+            let path = dir.join(format!("snap.rtki.shard{}", shard.id()));
+            let file = std::fs::File::create(&path).unwrap();
+            save_shard(shard, index.node_count(), index.max_k(), file).unwrap();
+        }
+        let stitched = stitch_path_prefix(&index, &prefix).unwrap();
+        assert_eq!(stitched.shard_count(), 2);
+        for u in 0..6u32 {
+            assert_eq!(stitched.state(u), index.state(u), "node {u}");
+        }
+        std::fs::remove_file(dir.join("snap.rtki.shard0")).unwrap();
+        std::fs::remove_file(dir.join("snap.rtki.shard1")).unwrap();
+        // With no sections on disk the prefix loader fails cleanly.
+        assert!(stitch_path_prefix(&index, &prefix).is_err());
     }
 
     #[test]

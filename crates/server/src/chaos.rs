@@ -1,0 +1,223 @@
+//! Deterministic fault injection for the serving tier (`rtk serve --chaos`).
+//!
+//! The replicated router's failure handling — health marking, backoff,
+//! failover, hedging, re-admission — is only trustworthy if it can be
+//! exercised on demand. This module injects the faults: a seeded
+//! [`ChaosConfig`] parsed from a spec string turns into a `ChaosState`
+//! the server consults at its I/O seams. All decisions draw from **one
+//! seeded generator**, so a given spec misbehaves the same way on every
+//! run — a failing chaos test reproduces.
+//!
+//! Spec grammar: comma-separated `key=value` pairs, e.g.
+//! `seed=42,drop=0.05,delay=0.5:80ms,close-after=100,refuse=0.1`.
+//!
+//! | key           | effect                                                  |
+//! |---------------|---------------------------------------------------------|
+//! | `seed=N`      | seed of the decision RNG (default `0`)                  |
+//! | `drop=P`      | silently drop a response frame with probability `P`     |
+//! | `delay=P:DUR` | stall a response for `DUR` with probability `P`         |
+//! | `close-after=N` | close every connection after it has read `N` frames   |
+//! | `refuse=P`    | refuse (immediately close) an accepted connection       |
+//!
+//! Dropping and delaying happen *after* the request executed — the engine
+//! state is whatever it would have been, only the answer goes missing or
+//! late, exactly the failure a crashed-after-commit or GC-stalled backend
+//! produces. Because refinement is monotone, a router retrying through any
+//! of this can never change an answer (see `docs/ARCHITECTURE.md`).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Parsed `--chaos` spec: which faults to inject, at what rates.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ChaosConfig {
+    /// Seed of the shared decision RNG.
+    pub seed: u64,
+    /// Probability of silently dropping a response frame.
+    pub drop_response: f64,
+    /// Probability of delaying a response frame, and by how long.
+    pub delay_response: Option<(f64, Duration)>,
+    /// Close each connection after this many frames read from it.
+    pub close_after_frames: Option<u64>,
+    /// Probability of refusing an accepted connection outright.
+    pub refuse_accept: f64,
+}
+
+impl ChaosConfig {
+    /// Parses a `--chaos` spec string (see the module docs for the
+    /// grammar). An empty spec is an error — chaos with no faults is a
+    /// typo, not a configuration.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let mut config = Self::default();
+        let mut any = false;
+        for part in spec.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| format!("chaos: {part:?} is not a key=value pair"))?;
+            let prob = |v: &str| -> Result<f64, String> {
+                let p: f64 =
+                    v.parse().map_err(|_| format!("chaos: {key}={v:?} is not a probability"))?;
+                if !(0.0..=1.0).contains(&p) {
+                    return Err(format!("chaos: {key}={v} must lie in [0, 1]"));
+                }
+                Ok(p)
+            };
+            match key {
+                "seed" => {
+                    config.seed =
+                        value.parse().map_err(|_| format!("chaos: seed={value:?} is not a u64"))?;
+                }
+                "drop" => config.drop_response = prob(value)?,
+                "delay" => {
+                    let (p, dur) = value.split_once(':').ok_or_else(|| {
+                        format!(
+                            "chaos: delay={value:?} wants <probability>:<duration>, e.g. 0.5:80ms"
+                        )
+                    })?;
+                    config.delay_response = Some((prob(p)?, parse_duration(dur)?));
+                }
+                "close-after" => {
+                    let n: u64 = value
+                        .parse()
+                        .map_err(|_| format!("chaos: close-after={value:?} is not a count"))?;
+                    if n == 0 {
+                        return Err("chaos: close-after=0 would refuse every frame; use refuse=1 \
+                                    for that"
+                            .to_string());
+                    }
+                    config.close_after_frames = Some(n);
+                }
+                "refuse" => config.refuse_accept = prob(value)?,
+                other => return Err(format!("chaos: unknown key {other:?}")),
+            }
+            any = true;
+        }
+        if !any {
+            return Err("chaos: empty spec — name at least one fault \
+                        (drop/delay/close-after/refuse)"
+                .to_string());
+        }
+        Ok(config)
+    }
+
+    /// Builds the live decision state for one server run.
+    pub(crate) fn into_state(self) -> ChaosState {
+        let rng = StdRng::seed_from_u64(self.seed);
+        ChaosState { config: self, rng: Mutex::new(rng) }
+    }
+}
+
+/// Live chaos decisions for one server: the parsed config plus the shared
+/// seeded RNG behind a mutex (decisions are cheap; the lock is held for one
+/// draw).
+pub(crate) struct ChaosState {
+    config: ChaosConfig,
+    rng: Mutex<StdRng>,
+}
+
+impl ChaosState {
+    fn draw(&self, p: f64) -> bool {
+        if p <= 0.0 {
+            return false;
+        }
+        self.rng.lock().expect("chaos rng lock").gen_bool(p)
+    }
+
+    /// Should this response frame vanish?
+    pub(crate) fn drop_response(&self) -> bool {
+        self.draw(self.config.drop_response)
+    }
+
+    /// Should this response frame stall first — and for how long?
+    pub(crate) fn delay_response(&self) -> Option<Duration> {
+        let (p, dur) = self.config.delay_response?;
+        self.draw(p).then_some(dur)
+    }
+
+    /// Frames after which every connection is severed (`None` = never).
+    pub(crate) fn close_after_frames(&self) -> Option<u64> {
+        self.config.close_after_frames
+    }
+
+    /// Should this freshly accepted connection be refused?
+    pub(crate) fn refuse_accept(&self) -> bool {
+        self.draw(self.config.refuse_accept)
+    }
+}
+
+/// Parses `80ms` / `2s` / plain-milliseconds `80` durations.
+fn parse_duration(s: &str) -> Result<Duration, String> {
+    let (digits, unit) = match s.find(|c: char| !c.is_ascii_digit()) {
+        Some(i) => s.split_at(i),
+        None => (s, "ms"),
+    };
+    let n: u64 = digits.parse().map_err(|_| format!("chaos: bad duration {s:?}"))?;
+    match unit {
+        "ms" => Ok(Duration::from_millis(n)),
+        "s" => Ok(Duration::from_secs(n)),
+        other => Err(format!("chaos: duration unit {other:?} (use ms or s)")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_spec_parses() {
+        let c = ChaosConfig::parse("seed=42,drop=0.05,delay=0.5:80ms,close-after=100,refuse=0.1")
+            .unwrap();
+        assert_eq!(c.seed, 42);
+        assert_eq!(c.drop_response, 0.05);
+        assert_eq!(c.delay_response, Some((0.5, Duration::from_millis(80))));
+        assert_eq!(c.close_after_frames, Some(100));
+        assert_eq!(c.refuse_accept, 0.1);
+    }
+
+    #[test]
+    fn durations_accept_seconds_and_bare_millis() {
+        assert_eq!(
+            ChaosConfig::parse("delay=1:2s").unwrap().delay_response,
+            Some((1.0, Duration::from_secs(2)))
+        );
+        assert_eq!(
+            ChaosConfig::parse("delay=1:30").unwrap().delay_response,
+            Some((1.0, Duration::from_millis(30)))
+        );
+    }
+
+    #[test]
+    fn bad_specs_are_rejected_with_the_offending_key() {
+        for (spec, needle) in [
+            ("", "empty spec"),
+            ("drop", "key=value"),
+            ("drop=1.5", "[0, 1]"),
+            ("delay=0.5", "probability>:<duration"),
+            ("delay=0.5:80y", "unit"),
+            ("close-after=0", "close-after=0"),
+            ("warp=0.5", "unknown key"),
+        ] {
+            let err = ChaosConfig::parse(spec).unwrap_err();
+            assert!(err.contains(needle), "{spec:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn decisions_are_deterministic_per_seed() {
+        let run = |seed: u64| -> Vec<bool> {
+            let state = ChaosConfig::parse(&format!("seed={seed},drop=0.5")).unwrap().into_state();
+            (0..64).map(|_| state.drop_response()).collect()
+        };
+        assert_eq!(run(7), run(7), "same seed, same fault sequence");
+        assert_ne!(run(7), run(8), "different seeds diverge");
+    }
+
+    #[test]
+    fn zero_probability_never_fires() {
+        let state = ChaosConfig::parse("seed=1,drop=0,refuse=0").unwrap().into_state();
+        assert!((0..256).all(|_| !state.drop_response()));
+        assert!((0..256).all(|_| !state.refuse_accept()));
+    }
+}

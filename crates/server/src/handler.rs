@@ -1,4 +1,5 @@
-//! Per-connection frame reader + per-request job execution (wire v4).
+//! Per-connection frame reader + per-request job execution (pipelined
+//! wire, v4+).
 //!
 //! Under the pipelined protocol a connection no longer pins a worker.
 //! Each accepted connection gets a lightweight **reader** (spawned by the
@@ -17,6 +18,7 @@
 //! [`rtk_api::service::dispatch_request`] against each host's
 //! [`rtk_api::RtkService`] view — the request enum is never matched here.
 
+use crate::chaos::ChaosState;
 use crate::metrics::{RequestKind, ServerMetrics};
 use crate::wire::{
     self, constant_time_eq, Request, Response, STATUS_BUSY, STATUS_PROTOCOL_ERROR,
@@ -59,6 +61,11 @@ pub(crate) trait ServiceHost: Send + Sync + 'static {
     /// arriving while this many are already in flight on the connection
     /// are answered with a `busy` frame instead of queuing.
     fn max_inflight(&self) -> usize;
+    /// Deterministic fault injection, when configured (`rtk serve
+    /// --chaos`). The default host serves faithfully.
+    fn chaos(&self) -> Option<&ChaosState> {
+        None
+    }
     /// Executes one (already authenticated) request.
     fn dispatch(&self, request: Request) -> (RequestKind, Response);
     /// Flags shutdown and wakes the accept loop.
@@ -133,6 +140,22 @@ pub(crate) fn execute_job<H: ServiceHost>(job: Job, host: &H) {
     } else {
         host.metrics().record_request(kind, accepted.elapsed().as_secs_f64());
     }
+    // Chaos: the request *executed* (engine state is whatever it would
+    // have been) — only the answer goes missing or late, exactly the
+    // failure a crashed-after-commit or stalled backend produces.
+    if let Some(chaos) = host.chaos() {
+        if chaos.drop_response() {
+            conn.inflight.fetch_sub(1, Ordering::AcqRel);
+            host.metrics().end_request();
+            if kind == RequestKind::Shutdown {
+                host.begin_shutdown();
+            }
+            return;
+        }
+        if let Some(delay) = chaos.delay_response() {
+            std::thread::sleep(delay);
+        }
+    }
     // A failed write means the connection died; the reader notices on its
     // side and the remaining in-flight responses fail the same way.
     let _ = conn.send_encoded(request_id, &encoded);
@@ -173,6 +196,7 @@ pub(crate) fn read_connection<H: ServiceHost>(
     };
     let conn = Arc::new(Conn { writer: Mutex::new(writer), inflight: AtomicU64::new(0) });
     let mut reader = stream;
+    let mut frames_read = 0u64;
     loop {
         match read_frame_polling(&mut reader, host) {
             FrameOutcome::Closed => break,
@@ -190,6 +214,7 @@ pub(crate) fn read_connection<H: ServiceHost>(
                 break;
             }
             FrameOutcome::Frame(request_id, payload) => {
+                frames_read += 1;
                 let accepted = Instant::now();
                 let (token, request) = match wire::decode_request(&payload) {
                     Ok(r) => r,
@@ -247,6 +272,19 @@ pub(crate) fn read_connection<H: ServiceHost>(
                     host.metrics().end_request();
                     break;
                 }
+            }
+        }
+        // Chaos: sever the whole connection after N frames — in-flight
+        // responses are cut off mid-conversation, the failure a crashing
+        // backend hands a pipelining router.
+        if let Some(limit) = host.chaos().and_then(|c| c.close_after_frames()) {
+            if frames_read >= limit {
+                let _ = conn
+                    .writer
+                    .lock()
+                    .expect("connection writer lock")
+                    .shutdown(std::net::Shutdown::Both);
+                break;
             }
         }
         if host.shutdown_flag().load(Ordering::SeqCst) {

@@ -10,12 +10,12 @@
 //! a hand-rolled wire protocol built from the same [`rtk_sparse::codec`]
 //! primitives as the on-disk formats.
 //!
-//! ## Wire protocol (`RTKWIRE1`, version 4 — pipelined)
+//! ## Wire protocol (`RTKWIRE1`, version 5 — pipelined)
 //!
 //! | field      | size | meaning                                  |
 //! |------------|------|------------------------------------------|
 //! | magic      | 8 B  | `"RTKWIRE1"`                             |
-//! | version    | 4 B  | `u32`, currently 4                       |
+//! | version    | 4 B  | `u32`, currently 5                       |
 //! | request id | 8 B  | `u64`, echoed on the response            |
 //! | length     | 4 B  | `u32` payload bytes (capped per config)  |
 //! | payload    | *n*  | tagged request / status-prefixed response|
@@ -56,17 +56,24 @@
 //! --shard-only --shard i`) serves a [`rtk_core::ShardEngine`] — the full
 //! graph plus one `RTKSHRD1` section — and a [`Router`] (CLI: `rtk
 //! router --backends …`) owns the shard map and fans each `reverse_topk`
-//! out as per-backend `shard_reverse_topk` calls — **concurrently**: all
-//! backends are in flight at once over pipelined connections, and the
+//! out as per-shard `shard_reverse_topk` calls — **concurrently**: all
+//! shards are in flight at once over pipelined connections, and the
 //! partial answers merge in deterministic shard order
-//! (nodes/proximities concatenate, counters sum). Answers stay **bitwise
-//! equal** to single-process serving — the determinism contract extended
-//! to processes (pinned by `tests/router_equivalence.rs`). The router
-//! retries failed backend calls once on a fresh connection, marks
-//! persistent failures `degraded` in `stats`, never serves partial
-//! answers, and re-admits restarted backends automatically. `persist`
-//! fans out (backend `i` writes `<path>.shard<i>`), `shutdown` propagates
-//! to every backend, and a client cannot tell router from single server.
+//! (nodes/proximities concatenate, counters sum). Several backends may
+//! announce the **same** shard range — the router groups them into a
+//! replica set per shard, load-balances frozen queries across the healthy
+//! replicas, hedges tail-latency calls to a second replica, fails over
+//! transparently when a replica dies (marking it `unhealthy` in `stats`
+//! and probing it back in the background), and never serves partial
+//! answers. Answers stay **bitwise equal** to single-process serving —
+//! the determinism contract extended to processes and replicas (pinned by
+//! `tests/router_equivalence.rs` and `tests/router_replication.rs`).
+//! `persist` fans out (shard `i` writes `<path>.shard<i>`; reassemble
+//! with `rtk shard stitch`), `shutdown` propagates to every replica, and
+//! a client cannot tell router from single server. For exercising all of
+//! this on demand, `rtk serve --chaos` injects deterministic faults
+//! ([`chaos::ChaosConfig`]): dropped or delayed responses, severed
+//! connections, refused accepts.
 //!
 //! ## Authentication
 //!
@@ -120,6 +127,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod client;
 pub mod error;
 pub mod handler;
@@ -129,6 +137,7 @@ pub mod server;
 pub mod state;
 pub mod wire;
 
+pub use chaos::ChaosConfig;
 pub use client::{Client, ClientBuilder, FromResponse, Pending};
 pub use error::ServerError;
 pub use metrics::{EngineInfo, ServerMetrics, StatsSnapshot};

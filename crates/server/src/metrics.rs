@@ -32,6 +32,11 @@ pub struct ServerMetrics {
     inflight_peak: AtomicU64,
     /// Requests answered `busy` at the per-connection `max_inflight` cap.
     inflight_rejections: AtomicU64,
+    /// Router only: shard calls that fired a second replica after the
+    /// hedge delay.
+    hedged_requests: AtomicU64,
+    /// Router only: shard calls transparently retried on another replica.
+    failovers: AtomicU64,
     latency: Mutex<LatencyHistogram>,
 }
 
@@ -55,6 +60,8 @@ impl ServerMetrics {
             inflight: AtomicU64::new(0),
             inflight_peak: AtomicU64::new(0),
             inflight_rejections: AtomicU64::new(0),
+            hedged_requests: AtomicU64::new(0),
+            failovers: AtomicU64::new(0),
             latency: Mutex::new(LatencyHistogram::new()),
         }
     }
@@ -88,6 +95,14 @@ impl ServerMetrics {
         self.inflight_rejections.fetch_add(1, Ordering::Relaxed);
     }
 
+    pub(crate) fn record_hedged_request(&self) {
+        self.hedged_requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_failover(&self) {
+        self.failovers.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Marks one request entering the pipeline (accepted off the wire,
     /// queued for a worker) and updates the peak gauge.
     pub(crate) fn begin_request(&self) {
@@ -115,7 +130,7 @@ impl ServerMetrics {
         engine: EngineInfo,
         shard_nodes: Vec<u64>,
         shard_bytes: Vec<u64>,
-        degraded_backends: u64,
+        unhealthy_backends: u64,
     ) -> StatsSnapshot {
         let hist = self.latency.lock().expect("metrics lock").clone();
         let (p50, p95, p99) = hist.percentiles();
@@ -135,7 +150,9 @@ impl ServerMetrics {
             connections: self.connections.load(Ordering::Relaxed),
             rejected_connections: self.rejected_connections.load(Ordering::Relaxed),
             auth_failures: self.auth_failures.load(Ordering::Relaxed),
-            degraded_backends,
+            unhealthy_backends,
+            hedged_requests: self.hedged_requests.load(Ordering::Relaxed),
+            failovers: self.failovers.load(Ordering::Relaxed),
             inflight_peak: self.inflight_peak.load(Ordering::Relaxed),
             inflight_rejections: self.inflight_rejections.load(Ordering::Relaxed),
             latency_count: hist.count(),
@@ -178,6 +195,9 @@ mod tests {
         m.record_rejected_connection();
         m.record_auth_failure();
         m.record_inflight_rejection();
+        m.record_hedged_request();
+        m.record_failover();
+        m.record_failover();
         let snap = m.snapshot(info(100), vec![50, 50], vec![1024, 2048], 1);
         assert_eq!(snap.total_requests(), 5);
         assert_eq!(snap.reverse_topk, 2);
@@ -187,7 +207,9 @@ mod tests {
         assert_eq!(snap.rejected_connections, 1);
         assert_eq!(snap.auth_failures, 1);
         assert_eq!(snap.inflight_rejections, 1);
-        assert_eq!(snap.degraded_backends, 1);
+        assert_eq!(snap.unhealthy_backends, 1);
+        assert_eq!(snap.hedged_requests, 1);
+        assert_eq!(snap.failovers, 2);
         assert_eq!(snap.latency_count, 5);
         assert_eq!(snap.shard_count(), 2);
         assert!(snap.p50_seconds > 0.0 && snap.p99_seconds >= snap.p50_seconds);

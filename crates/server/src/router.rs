@@ -1,62 +1,89 @@
-//! The fan-out router: one client-facing process in front of per-shard
-//! backends.
+//! The replicated fan-out router: one client-facing process in front of
+//! per-shard **replica sets**.
 //!
 //! A [`Router`] owns the **shard map** of a partitioned index and speaks
 //! the same `RTKWIRE1` surface as a single [`crate::Server`] — a client
-//! cannot tell the two apart. Each `reverse_topk` fans out as one
-//! shard-scoped `shard_reverse_topk` per backend — **concurrently**, over
-//! the pipelined v4 wire: the router *submits* to every backend first
-//! (each submit is one frame write, so all backends start computing at
-//! once) and then *waits* in deterministic shard order, merging as the
-//! answers land:
+//! cannot tell the two apart. `--backends` may list **several backends for
+//! the same shard range**: the startup handshake groups backends by their
+//! announced `shard_lo..shard_hi` into one `ReplicaSet` per shard (the
+//! distinct ranges must still tile `0..n` exactly; overlapping-but-not-
+//! identical ranges are a startup error, duplicate addresses are
+//! deduplicated). Each `reverse_topk` fans out as one shard-scoped
+//! `shard_reverse_topk` per *shard* — **concurrently**, over the pipelined
+//! wire: the router *submits* to one replica of every shard first (each
+//! submit is one frame write, so all shards start computing at once) and
+//! then *waits* in deterministic shard order, merging as the answers land:
 //!
 //! * result nodes and proximities concatenate in shard order (shard ranges
 //!   are disjoint and ascending, so the concatenation is id-sorted exactly
 //!   like a single-process answer);
 //! * counter statistics (`candidates`, `hits`, `refined_nodes`,
 //!   `refine_iterations`) sum — they were per-shard sums already;
-//! * update-mode refinements commit **backend-locally** (each backend owns
-//!   its shard, so cross-process commits never race), and the router
-//!   collects every shard's answer before replying, so per-query ordering
-//!   matches a single process.
+//! * update-mode refinements commit **backend-locally**, routed to the
+//!   set's *first healthy* replica (each backend owns its shard, so
+//!   cross-process commits never race), and the router collects every
+//!   shard's answer before replying, so per-query ordering matches a
+//!   single process.
 //!
-//! Answers are therefore **bitwise equal** to single-process serving —
-//! the determinism contract extended to processes: {threads, shards,
-//! processes} may only change wall time, never answers (pinned by
-//! `tests/router_equivalence.rs`). Concurrent vs. serial fan-out
-//! ([`RouterConfig::serial_fanout`], kept for benchmarking) is wall-time
-//! only for the same reason.
+//! Replicas never change answers — only *which process* computes them.
+//! Every replica of a shard serves the same section, every partial is a
+//! pure function of (section, query), and the merge order is pinned by the
+//! shard map, so answers stay **bitwise equal** to single-process serving
+//! for any replica count, any load-balancing choice, and any failover
+//! path. The determinism contract now reads: {threads, shards, processes,
+//! pipelining, **replicas**} may only change wall time, never answers
+//! (pinned by `tests/router_equivalence.rs` and
+//! `tests/router_replication.rs`).
 //!
-//! ## Failure handling
+//! ## Health, failover, hedging
 //!
-//! Per-backend connections live in small pools and are re-dialed on
-//! demand. A failed call retries once on a fresh connection (refinement is
-//! monotone — re-executing an update-mode slice can only tighten the same
-//! bounds — so retry is safe); a backend that still fails is marked
-//! **degraded** (`degraded_backends` in `stats`) and the client receives a
-//! clean engine error naming the shard. The next request re-dials, so a
-//! restarted backend rejoins automatically. Reverse top-k answers are
-//! all-or-nothing: a missing shard would silently drop results, so the
-//! router never serves partial answers.
+//! Frozen queries **load-balance** round-robin across a shard's healthy
+//! replicas. A failed replica call retries once on a fresh dial (a stale
+//! pooled connection after a backend restart is not an outage), then the
+//! replica is marked **unhealthy** (`unhealthy_backends` in `stats`) and
+//! the call **fails over** transparently to the next healthy replica
+//! (`failovers`) — re-executing even an update-mode slice is safe because
+//! refinement is monotone. Unhealthy replicas back off exponentially
+//! (seeded jitter, capped) and a background **prober** pings them each
+//! [`RouterConfig::probe_interval`], re-admitting a restarted backend
+//! automatically — recovery no longer waits for a query to trip over the
+//! dead address. Only a shard with **zero** live replicas surfaces an
+//! error to the client; answers are all-or-nothing (a missing shard would
+//! silently drop results), so the router never serves partial answers.
+//!
+//! Tail latency gets the same treatment as faults: when a shard has a
+//! second healthy replica, a frozen call that has not answered within the
+//! observed [`RouterConfig::hedge_quantile`] of past shard-call latency
+//! **hedges** — fires the same call at another replica and takes whichever
+//! answers first (`hedged_requests`). Bitwise-identical partials make the
+//! race safe by construction.
 //!
 //! `stats` aggregates the tier (router-side request counters and latency,
-//! per-backend shard sizes sampled live); `persist` asks every backend to
-//! flush its shard section to `<path>.shard<i>`; `shutdown` propagates to
-//! every backend before the router itself drains.
+//! per-shard sizes sampled from one live replica); `persist` asks each
+//! shard to flush its section to `<path>.shard<i>` (reassemble with `rtk
+//! shard stitch`); `shutdown` propagates to every replica of every shard.
 
 use crate::client::{Client, Pending};
 use crate::handler::ServiceHost;
 use crate::metrics::{EngineInfo, RequestKind, ServerMetrics};
 use crate::server::{serve_loop, wake_acceptor};
 use crate::wire::{Request, Response, WireQueryResult, DEFAULT_MAX_FRAME_BYTES};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use rtk_api::service::{dispatch_request, RtkService, ServiceError, ServiceResult};
 use rtk_api::{StatsSnapshot, WireShardResult, WireTopk};
 use rtk_index::ShardMap;
+use rtk_sparse::LatencyHistogram;
 use std::io;
 use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
+
+/// First unhealthy-replica retry delay; doubles per consecutive failure.
+const BACKOFF_BASE: Duration = Duration::from_millis(50);
+/// Backoff ceiling — a long-dead replica is still probed this often.
+const BACKOFF_CAP: Duration = Duration::from_secs(5);
 
 /// Router knobs. The client-facing knobs mirror [`crate::ServerConfig`].
 #[derive(Clone, Debug)]
@@ -81,11 +108,25 @@ pub struct RouterConfig {
     /// backend can pin a router worker. Generous by default: a slow query
     /// is not a dead backend.
     pub backend_io_timeout: Duration,
-    /// Fan out serially (one backend at a time, in shard order) instead of
+    /// Fan out serially (one shard at a time, in shard order) instead of
     /// concurrently. Answers are bitwise identical either way — this knob
     /// exists so `router_study` can measure what concurrency buys, and as
-    /// an ops escape hatch for debugging a misbehaving backend.
+    /// an ops escape hatch for debugging a misbehaving backend. Serial
+    /// fan-out never hedges (there is no concurrent wait to race).
     pub serial_fanout: bool,
+    /// Latency quantile of past shard calls after which a frozen call
+    /// hedges to a second healthy replica (`0.0` disables hedging).
+    /// Requires at least two healthy replicas on the shard to fire.
+    pub hedge_quantile: f64,
+    /// Floor under the hedge delay — prevents hedge storms while the
+    /// latency histogram is still cold or the index is trivially fast.
+    pub hedge_min_delay: Duration,
+    /// How often the background prober pings unhealthy replicas (whose
+    /// backoff has expired) to re-admit recovered backends.
+    pub probe_interval: Duration,
+    /// Seed for the per-replica backoff jitter — deterministic retry
+    /// schedules make fault-injection runs reproducible.
+    pub health_seed: u64,
 }
 
 impl Default for RouterConfig {
@@ -99,34 +140,66 @@ impl Default for RouterConfig {
             connect_timeout: Duration::from_secs(5),
             backend_io_timeout: Duration::from_secs(120),
             serial_fanout: false,
+            hedge_quantile: 0.99,
+            hedge_min_delay: Duration::from_millis(10),
+            probe_interval: Duration::from_millis(250),
+            health_seed: 0,
         }
     }
 }
 
-/// One per-shard backend the router fans out to.
-struct Backend {
+/// Mutable health of one replica, behind its own lock.
+struct HealthState {
+    healthy: bool,
+    consecutive_failures: u32,
+    /// Before this instant an unhealthy replica is not re-attempted (by
+    /// queries or the prober) — the capped exponential backoff.
+    next_retry_at: Instant,
+    /// Seeded jitter source so two replicas failing together do not retry
+    /// in lockstep — and so chaos runs reproduce.
+    rng: StdRng,
+}
+
+/// One backend process serving (a copy of) one shard.
+struct Replica {
     addr: SocketAddr,
-    /// Shard position, from the startup handshake (= index into the map).
+    /// Idle pooled connections; cleared when the replica is marked
+    /// unhealthy (every pooled entry is stale after a restart).
+    pool: Mutex<Vec<Client>>,
+    health: Mutex<HealthState>,
+}
+
+/// All replicas announcing the same shard range, plus the round-robin
+/// cursor frozen queries load-balance with.
+struct ReplicaSet {
     shard_id: usize,
     node_lo: u32,
     node_hi: u32,
-    /// Idle pooled connections.
-    pool: Mutex<Vec<Client>>,
-    /// Set when the last call failed after retry; cleared on any success.
-    degraded: AtomicBool,
+    replicas: Vec<Replica>,
+    cursor: AtomicU64,
 }
 
-/// One backend's in-flight slice of a concurrent fan-out: either a
-/// submitted request waiting on its connection, or a submit-phase failure
-/// to be retried on a fresh dial during the wait phase.
+/// One shard's slice of a concurrent fan-out.
+// In a healthy fan-out every slot is the large `InFlight` variant, so
+// boxing it would trade one allocation per shard call for nothing.
+#[allow(clippy::large_enum_variant)]
 enum FanSlot {
-    InFlight(Client, Pending<Response>),
-    SubmitFailed(String),
+    /// Submitted on replica `idx`, waiting on its connection.
+    InFlight { idx: usize, client: Client, pending: Pending<Response>, started: Instant },
+    /// The submit phase failed on replica `idx`; the wait phase retries
+    /// fresh and fails over.
+    SubmitFailed(usize),
+    /// No replica was even attemptable at submit time; the wait phase
+    /// re-checks (the prober may have re-admitted one meanwhile).
+    NoReplica,
 }
+
+/// What one replica wait-thread reports back to the hedged race.
+type RaceMsg = (usize, Option<Client>, Result<Response, String>);
 
 /// Everything the router's workers share.
 struct RouterCtx {
-    backends: Vec<Backend>,
+    shards: Vec<ReplicaSet>,
     /// The shard map assembled from the backend handshakes — the router's
     /// authoritative picture of the partition.
     shard_map: ShardMap,
@@ -143,14 +216,26 @@ struct RouterCtx {
     connect_timeout: Duration,
     backend_io_timeout: Duration,
     serial_fanout: bool,
+    hedge_quantile: f64,
+    hedge_min_delay: Duration,
+    probe_interval: Duration,
+    /// Observed shard-call latency (successful calls only) — what the
+    /// hedge delay is quantiled from.
+    shard_latency: Mutex<LatencyHistogram>,
     local_addr: SocketAddr,
 }
 
-/// A bound (but not yet running) fan-out router.
+/// A bound (but not yet running) replicated fan-out router.
 ///
 /// ```no_run
 /// use rtk_server::{Router, RouterConfig};
-/// let backends = ["127.0.0.1:7401".to_string(), "127.0.0.1:7402".to_string()];
+/// // Two replicas of shard 0, two of shard 1 — any order, any grouping.
+/// let backends = [
+///     "127.0.0.1:7401".to_string(),
+///     "127.0.0.1:7402".to_string(),
+///     "127.0.0.1:7403".to_string(),
+///     "127.0.0.1:7404".to_string(),
+/// ];
 /// let router = Router::bind(&backends, "127.0.0.1:7400", RouterConfig::default()).unwrap();
 /// println!("routing on {}", router.local_addr());
 /// router.run().unwrap(); // blocks until a Shutdown request arrives
@@ -163,11 +248,14 @@ pub struct Router {
 
 impl Router {
     /// Binds `addr` and performs the startup handshake: every backend in
-    /// `backend_addrs` is dialed, its shard range read from `stats`, and
-    /// the ranges validated to tile `0..n` exactly (any order of addresses
-    /// is accepted; backends are sorted by range). All backends must serve
-    /// the same graph (`nodes`/`edges`/`max_k` must agree) and must be
-    /// `--shard-only` processes.
+    /// `backend_addrs` is dialed (duplicates deduplicated after
+    /// resolution), its shard range read from `stats`, and backends
+    /// announcing the **same** range grouped into one replica set per
+    /// shard. The distinct ranges must tile `0..n` exactly — a gap,
+    /// an overlap, or a partially-overlapping "replica" would silently
+    /// corrupt answers, so each is a startup error. All backends must
+    /// serve the same graph (`nodes`/`edges`/`max_k` must agree) and must
+    /// be `--shard-only` processes.
     pub fn bind<A: ToSocketAddrs>(
         backend_addrs: &[String],
         addr: A,
@@ -177,8 +265,20 @@ impl Router {
             return Err(io::Error::new(io::ErrorKind::InvalidInput, "router: no backends given"));
         }
         crate::server::check_auth_token_len(config.auth_token.as_deref())?;
+        if !(0.0..1.0).contains(&config.hedge_quantile) && config.hedge_quantile != 0.0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "router: hedge quantile {} must lie in [0, 1) (0 disables hedging)",
+                    config.hedge_quantile
+                ),
+            ));
+        }
         let bad_input = |m: String| io::Error::new(io::ErrorKind::InvalidInput, m);
-        let mut backends = Vec::with_capacity(backend_addrs.len());
+        // Handshake every distinct backend; group by announced range.
+        type RangeGroup = (u32, u32, Vec<(SocketAddr, Client)>);
+        let mut groups: Vec<RangeGroup> = Vec::new();
+        let mut seen: Vec<SocketAddr> = Vec::new();
         let mut graph_info: Option<(u64, u64, u64)> = None;
         for spec in backend_addrs {
             let backend_addr = spec
@@ -188,6 +288,12 @@ impl Router {
                 .ok_or_else(|| {
                     bad_input(format!("router: backend {spec:?} resolves to nothing"))
                 })?;
+            // The same process listed twice is not a second replica — it
+            // would double-dial one backend and fake redundancy.
+            if seen.contains(&backend_addr) {
+                continue;
+            }
+            seen.push(backend_addr);
             // The same timeouts as every later dial — without them, a hung
             // backend could wedge the handshake (or, once this connection
             // is pooled, pin a router worker forever).
@@ -231,33 +337,66 @@ impl Router {
                     stats.shard_lo, stats.shard_hi
                 )));
             }
-            backends.push(Backend {
-                addr: backend_addr,
-                shard_id: 0, // assigned after sorting by range
-                node_lo: stats.shard_lo as u32,
-                node_hi: stats.shard_hi as u32,
-                pool: Mutex::new(vec![client]),
-                degraded: AtomicBool::new(false),
-            });
+            let (lo, hi) = (stats.shard_lo as u32, stats.shard_hi as u32);
+            match groups.iter_mut().find(|(glo, ghi, _)| (*glo, *ghi) == (lo, hi)) {
+                Some((_, _, members)) => members.push((backend_addr, client)),
+                None => groups.push((lo, hi, vec![(backend_addr, client)])),
+            }
         }
         let (nodes, edges, max_k) = graph_info.expect("at least one backend");
 
-        // The backends must tile 0..n exactly — a gap or overlap would
-        // silently corrupt every answer, so it is a startup error.
-        backends.sort_by_key(|b| b.node_lo);
-        let mut starts = Vec::with_capacity(backends.len());
+        // The distinct ranges must tile 0..n exactly. Replicas are only
+        // replicas if their ranges match *exactly* — a backend overlapping
+        // a neighbour is a misconfiguration, not redundancy.
+        groups.sort_by_key(|&(lo, hi, _)| (lo, hi));
+        let mut starts = Vec::with_capacity(groups.len());
         let mut expect = 0u32;
-        for (i, b) in backends.iter_mut().enumerate() {
-            if b.node_lo != expect {
+        let mut shards = Vec::with_capacity(groups.len());
+        let mut replica_index = 0u64;
+        for (shard_id, (lo, hi, members)) in groups.into_iter().enumerate() {
+            if lo < expect {
                 return Err(bad_input(format!(
-                    "router: shard ranges do not tile the node space: expected a shard \
-                     starting at {expect}, got {}..{} ({})",
-                    b.node_lo, b.node_hi, b.addr
+                    "router: backend ranges {lo}..{hi} and ..{expect} overlap without \
+                     matching — replicas must announce identical shard ranges"
                 )));
             }
-            b.shard_id = i;
-            starts.push(b.node_lo);
-            expect = b.node_hi;
+            if lo != expect {
+                return Err(bad_input(format!(
+                    "router: shard ranges do not tile the node space: expected a shard \
+                     starting at {expect}, got {lo}..{hi} ({})",
+                    members[0].0
+                )));
+            }
+            starts.push(lo);
+            expect = hi;
+            let replicas = members
+                .into_iter()
+                .map(|(addr, client)| {
+                    // Distinct jitter stream per replica, derived from one
+                    // seed: reproducible, but never lockstep.
+                    let rng = StdRng::seed_from_u64(
+                        config.health_seed ^ replica_index.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                    );
+                    replica_index += 1;
+                    Replica {
+                        addr,
+                        pool: Mutex::new(vec![client]),
+                        health: Mutex::new(HealthState {
+                            healthy: true,
+                            consecutive_failures: 0,
+                            next_retry_at: Instant::now(),
+                            rng,
+                        }),
+                    }
+                })
+                .collect();
+            shards.push(ReplicaSet {
+                shard_id,
+                node_lo: lo,
+                node_hi: hi,
+                replicas,
+                cursor: AtomicU64::new(0),
+            });
         }
         if u64::from(expect) != nodes {
             return Err(bad_input(format!(
@@ -272,7 +411,7 @@ impl Router {
         let local_addr = listener.local_addr()?;
         let workers = rtk_graph::resolve_threads(config.workers).max(1);
         let ctx = Arc::new(RouterCtx {
-            backends,
+            shards,
             shard_map,
             engine_info: EngineInfo {
                 nodes,
@@ -292,6 +431,10 @@ impl Router {
             connect_timeout: config.connect_timeout,
             backend_io_timeout: config.backend_io_timeout,
             serial_fanout: config.serial_fanout,
+            hedge_quantile: config.hedge_quantile,
+            hedge_min_delay: config.hedge_min_delay,
+            probe_interval: config.probe_interval,
+            shard_latency: Mutex::new(LatencyHistogram::new()),
             local_addr,
         });
         Ok(Self { listener, ctx, workers })
@@ -302,16 +445,31 @@ impl Router {
         self.ctx.local_addr
     }
 
-    /// Number of backends behind this router.
+    /// Number of backend replicas behind this router (across all shards).
     pub fn backend_count(&self) -> usize {
-        self.ctx.backends.len()
+        self.ctx.shards.iter().map(|s| s.replicas.len()).sum()
+    }
+
+    /// Number of shards (replica sets) behind this router.
+    pub fn shard_count(&self) -> usize {
+        self.ctx.shards.len()
     }
 
     /// Serves until a `Shutdown` request arrives (which also propagates to
     /// every backend), then drains exactly like [`crate::Server::run`].
+    /// Also runs the background health prober for the lifetime of the
+    /// serve loop.
     pub fn run(self) -> io::Result<()> {
         let Router { listener, ctx, workers } = self;
-        serve_loop(listener, ctx, workers)
+        let prober = {
+            let ctx = Arc::clone(&ctx);
+            std::thread::spawn(move || ctx.probe_loop())
+        };
+        let result = serve_loop(listener, ctx, workers);
+        // serve_loop only returns after the shutdown flag is set, which is
+        // also the prober's exit condition.
+        let _ = prober.join();
+        result
     }
 
     /// Runs the router on a background thread; returns a handle with the
@@ -324,8 +482,112 @@ impl Router {
 }
 
 impl RouterCtx {
-    /// Dials a fresh authenticated connection to `backend`.
-    fn connect_backend(&self, backend: &Backend) -> Result<Client, String> {
+    // ---- replica health ----------------------------------------------
+
+    /// Records a successful call: the replica is healthy, failures reset.
+    fn mark_success(&self, replica: &Replica) {
+        let mut h = replica.health.lock().expect("replica health lock");
+        h.healthy = true;
+        h.consecutive_failures = 0;
+    }
+
+    /// Records a failed call: the replica goes unhealthy with a capped
+    /// exponential backoff (seeded jitter ×[0.5, 1.5)), and its pool is
+    /// cleared — after a restart every pooled connection is stale.
+    fn mark_failure(&self, replica: &Replica) {
+        let mut h = replica.health.lock().expect("replica health lock");
+        h.healthy = false;
+        h.consecutive_failures = h.consecutive_failures.saturating_add(1);
+        let doublings = (h.consecutive_failures - 1).min(16);
+        let backoff = (BACKOFF_BASE.as_secs_f64() * f64::from(1u32 << doublings))
+            .min(BACKOFF_CAP.as_secs_f64());
+        let jitter: f64 = h.rng.gen_range(0.5..1.5);
+        h.next_retry_at = Instant::now() + Duration::from_secs_f64(backoff * jitter);
+        drop(h);
+        replica.pool.lock().expect("replica pool lock").clear();
+    }
+
+    /// Number of replicas currently marked unhealthy, tier-wide.
+    fn unhealthy_count(&self) -> u64 {
+        self.shards
+            .iter()
+            .flat_map(|s| &s.replicas)
+            .filter(|r| !r.health.lock().expect("replica health lock").healthy)
+            .count() as u64
+    }
+
+    /// Attempt order for one call on `set`: healthy replicas first —
+    /// rotated round-robin for frozen calls (load balancing), in set order
+    /// for update-mode calls (a stable owner keeps refinement traffic on
+    /// one copy) — then unhealthy replicas whose backoff has expired,
+    /// earliest-due first. Empty means the shard is down right now.
+    fn candidates(&self, set: &ReplicaSet, frozen: bool) -> Vec<usize> {
+        let now = Instant::now();
+        let mut healthy = Vec::new();
+        let mut retryable: Vec<(Instant, usize)> = Vec::new();
+        for (i, r) in set.replicas.iter().enumerate() {
+            let h = r.health.lock().expect("replica health lock");
+            if h.healthy {
+                healthy.push(i);
+            } else if h.next_retry_at <= now {
+                retryable.push((h.next_retry_at, i));
+            }
+        }
+        if frozen && healthy.len() > 1 {
+            let start = set.cursor.fetch_add(1, Ordering::Relaxed) as usize % healthy.len();
+            healthy.rotate_left(start);
+        }
+        retryable.sort();
+        healthy.extend(retryable.into_iter().map(|(_, i)| i));
+        healthy
+    }
+
+    /// Background health prober: pings unhealthy replicas whose backoff
+    /// has expired and re-admits them on success — recovery does not wait
+    /// for a query to trip over the dead address. Runs until shutdown.
+    fn probe_loop(&self) {
+        let slice = Duration::from_millis(50);
+        while !self.shutdown.load(Ordering::SeqCst) {
+            let mut slept = Duration::ZERO;
+            while slept < self.probe_interval && !self.shutdown.load(Ordering::SeqCst) {
+                let step = slice.min(self.probe_interval - slept);
+                std::thread::sleep(step);
+                slept += step;
+            }
+            if self.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            for set in &self.shards {
+                for (idx, replica) in set.replicas.iter().enumerate() {
+                    let due = {
+                        let h = replica.health.lock().expect("replica health lock");
+                        !h.healthy && h.next_retry_at <= Instant::now()
+                    };
+                    if !due {
+                        continue;
+                    }
+                    match self.connect_replica(set, idx) {
+                        Ok(mut client) => match client.ping() {
+                            Ok(()) => {
+                                // Re-admitted: the probe connection seeds
+                                // the fresh pool.
+                                self.mark_success(replica);
+                                self.checkin(replica, client);
+                            }
+                            Err(_) => self.mark_failure(replica),
+                        },
+                        Err(_) => self.mark_failure(replica),
+                    }
+                }
+            }
+        }
+    }
+
+    // ---- connections --------------------------------------------------
+
+    /// Dials a fresh authenticated connection to replica `idx` of `set`.
+    fn connect_replica(&self, set: &ReplicaSet, idx: usize) -> Result<Client, String> {
+        let replica = &set.replicas[idx];
         let mut builder = Client::builder()
             .connect_timeout(self.connect_timeout)
             .io_timeout(self.backend_io_timeout);
@@ -333,136 +595,341 @@ impl RouterCtx {
             builder = builder.auth_token(token);
         }
         builder
-            .connect(backend.addr)
-            .map_err(|e| format!("backend shard {} ({}): {e}", backend.shard_id, backend.addr))
+            .connect(replica.addr)
+            .map_err(|e| format!("shard {} replica {} ({}): {e}", set.shard_id, idx, replica.addr))
     }
 
-    /// Pops a pooled connection or dials a fresh one.
-    fn checkout(&self, backend: &Backend) -> Result<Client, String> {
-        let pooled = backend.pool.lock().expect("backend pool lock").pop();
+    /// Pops a pooled connection (flagged `true`) or dials fresh.
+    fn checkout(&self, set: &ReplicaSet, idx: usize) -> Result<(Client, bool), String> {
+        let pooled = set.replicas[idx].pool.lock().expect("replica pool lock").pop();
         match pooled {
-            Some(c) => Ok(c),
-            None => self.connect_backend(backend),
+            Some(c) => Ok((c, true)),
+            None => self.connect_replica(set, idx).map(|c| (c, false)),
         }
     }
 
-    /// Returns a healthy connection to the pool and clears the degraded
-    /// mark.
-    fn checkin(&self, backend: &Backend, client: Client) {
-        backend.pool.lock().expect("backend pool lock").push(client);
-        backend.degraded.store(false, Ordering::Relaxed);
+    /// Returns a working connection to the replica's pool.
+    fn checkin(&self, replica: &Replica, client: Client) {
+        replica.pool.lock().expect("replica pool lock").push(client);
     }
 
-    /// One blocking retry on a **fresh** dial — after a backend restart
-    /// every pooled entry is stale, so the retry never pops a second
-    /// pooled connection. Safe to re-execute even update-mode slices:
-    /// refinement is monotone. Marks the backend degraded on final
-    /// failure.
+    fn replica_label(&self, set: &ReplicaSet, idx: usize, e: impl std::fmt::Display) -> String {
+        format!("shard {} replica {} ({}): {e}", set.shard_id, idx, set.replicas[idx].addr)
+    }
+
+    /// Records a successful shard call's latency — the sample the hedge
+    /// delay is quantiled from.
+    fn record_shard_latency(&self, started: Instant) {
+        self.shard_latency
+            .lock()
+            .expect("shard latency lock")
+            .record(started.elapsed().as_secs_f64());
+    }
+
+    /// Current hedge delay: the configured quantile of observed shard-call
+    /// latency, floored by `hedge_min_delay` (which also covers the cold
+    /// histogram).
+    fn hedge_delay(&self) -> Duration {
+        let quantile = self
+            .shard_latency
+            .lock()
+            .expect("shard latency lock")
+            .quantile(self.hedge_quantile);
+        Duration::from_secs_f64(quantile).max(self.hedge_min_delay)
+    }
+
+    // ---- per-replica calls with retry / failover ----------------------
+
+    /// One request against replica `idx`: fresh-dial retry when a pooled
+    /// connection turns out stale, unhealthy marking on real failure.
+    /// Application errors (`Response::Error`) are *not* failures — the
+    /// replica answered; the request is just wrong.
+    fn try_replica(
+        &self,
+        set: &ReplicaSet,
+        idx: usize,
+        request: &Request,
+    ) -> Result<Response, String> {
+        let started = Instant::now();
+        match self.checkout(set, idx) {
+            Ok((mut client, was_pooled)) => match client.request(request) {
+                Ok(resp) => {
+                    if matches!(request, Request::ShardReverseTopk { .. }) {
+                        self.record_shard_latency(started);
+                    }
+                    self.mark_success(&set.replicas[idx]);
+                    self.checkin(&set.replicas[idx], client);
+                    Ok(resp)
+                }
+                // A stale pool entry (backend restarted behind us) is not
+                // an outage — one fresh dial decides. Safe to re-execute
+                // even update-mode slices: refinement is monotone.
+                Err(_) if was_pooled => self.retry_fresh(set, idx, request),
+                Err(e) => {
+                    self.mark_failure(&set.replicas[idx]);
+                    Err(self.replica_label(set, idx, e))
+                }
+            },
+            // checkout already dialed fresh and failed; one more dial is
+            // the single retry every path gets.
+            Err(_) => self.retry_fresh(set, idx, request),
+        }
+    }
+
+    /// The one fresh-dial retry: dial, request, mark unhealthy on failure.
     fn retry_fresh(
         &self,
-        backend: &Backend,
+        set: &ReplicaSet,
+        idx: usize,
         request: &Request,
-        first: String,
     ) -> Result<Response, String> {
+        let started = Instant::now();
         let outcome =
-            self.connect_backend(backend)
+            self.connect_replica(set, idx)
                 .and_then(|mut client| match client.request(request) {
-                    Ok(resp) => {
-                        self.checkin(backend, client);
-                        Ok(resp)
-                    }
-                    Err(e) => {
-                        Err(format!("backend shard {} ({}): {e}", backend.shard_id, backend.addr))
-                    }
+                    Ok(resp) => Ok((client, resp)),
+                    Err(e) => Err(self.replica_label(set, idx, e)),
                 });
         match outcome {
-            Ok(resp) => Ok(resp),
-            Err(second) => {
-                backend.degraded.store(true, Ordering::Relaxed);
-                Err(format!(
-                    "{second} (first attempt: {first}; backend degraded, will re-dial on \
-                     the next request)"
-                ))
-            }
-        }
-    }
-
-    /// One request against one backend: pooled connection (or a fresh
-    /// dial), one retry on a fresh connection, degraded marking on final
-    /// failure. Application errors (`Response::Error`) are *not* retried —
-    /// the backend is healthy, the request is just wrong.
-    fn backend_call(&self, backend: &Backend, request: &Request) -> Result<Response, String> {
-        let mut client = match self.checkout(backend) {
-            Ok(c) => c,
-            Err(e) => return self.retry_fresh(backend, request, e),
-        };
-        match client.request(request) {
-            Ok(resp) => {
-                self.checkin(backend, client);
+            Ok((client, resp)) => {
+                if matches!(request, Request::ShardReverseTopk { .. }) {
+                    self.record_shard_latency(started);
+                }
+                self.mark_success(&set.replicas[idx]);
+                self.checkin(&set.replicas[idx], client);
                 Ok(resp)
             }
-            // The connection is unusable (stale pool entry after a backend
-            // restart, mid-write failure, …): drop it and retry once.
-            Err(e) => self.retry_fresh(
-                backend,
-                request,
-                format!("backend shard {} ({}): {e}", backend.shard_id, backend.addr),
-            ),
+            Err(e) => {
+                self.mark_failure(&set.replicas[idx]);
+                Err(e)
+            }
         }
     }
 
-    /// Issues `request` to **every backend concurrently** (one pipelined
-    /// submit per backend, all in flight at once), then collects the
-    /// responses in deterministic shard order. With
-    /// [`RouterConfig::serial_fanout`] the submit of backend `i+1` happens
-    /// only after backend `i` answered — same responses, one-backend wall
-    /// time multiplied by the backend count.
-    fn fan_out(&self, request: &Request) -> Vec<Result<Response, String>> {
-        if self.serial_fanout {
-            return self.backends.iter().map(|b| self.backend_call(b, request)).collect();
+    /// One request against a shard, walking its replicas until one
+    /// answers: healthy replicas (load-balanced when frozen), then
+    /// expired-backoff unhealthy ones. Each move to a further replica
+    /// after a failure counts as a **failover**. Only a shard with no
+    /// attemptable replica at all — or every attempt failing — surfaces
+    /// an error.
+    fn set_call(
+        &self,
+        set: &ReplicaSet,
+        request: &Request,
+        frozen: bool,
+        mut prior_failure: bool,
+    ) -> Result<Response, String> {
+        let candidates = self.candidates(set, frozen);
+        if candidates.is_empty() {
+            return Err(format!(
+                "shard {} has no live replicas ({} configured, all unhealthy and backing off)",
+                set.shard_id,
+                set.replicas.len()
+            ));
         }
-        // Submit phase: one frame write per backend — every backend is
-        // computing its slice while the later submits are still going out.
+        let mut errors: Vec<String> = Vec::new();
+        for idx in candidates {
+            if prior_failure {
+                self.metrics.record_failover();
+            }
+            match self.try_replica(set, idx, request) {
+                Ok(resp) => return Ok(resp),
+                Err(e) => {
+                    errors.push(e);
+                    prior_failure = true;
+                }
+            }
+        }
+        Err(format!("shard {}: every replica failed: {}", set.shard_id, errors.join("; ")))
+    }
+
+    // ---- hedged concurrent fan-out ------------------------------------
+
+    /// Whether a frozen call on `set` (currently running on `first_idx`)
+    /// may hedge: hedging enabled and a *different* healthy replica
+    /// exists to race.
+    fn should_hedge(&self, set: &ReplicaSet, first_idx: usize) -> bool {
+        self.hedge_quantile > 0.0
+            && set.replicas.iter().enumerate().any(|(i, r)| {
+                i != first_idx && r.health.lock().expect("replica health lock").healthy
+            })
+    }
+
+    /// Moves a submitted call onto a thread that reports its outcome into
+    /// the race channel. The loser of a race is simply never received; its
+    /// send fails and its connection drops — the pool re-dials later.
+    fn spawn_wait(
+        &self,
+        idx: usize,
+        mut client: Client,
+        pending: Pending<Response>,
+        tx: &mpsc::Sender<RaceMsg>,
+    ) {
+        let tx = tx.clone();
+        std::thread::spawn(move || {
+            let result = client.wait(pending).map_err(|e| e.to_string());
+            let _ = tx.send((idx, Some(client), result));
+        });
+    }
+
+    /// Waits on an in-flight frozen call, hedging to a second replica if
+    /// the first has not answered within [`Self::hedge_delay`]. Whichever
+    /// replica answers first wins — partials are bitwise identical, so the
+    /// race cannot change the merged answer. Falls back to a plain
+    /// failover walk if every raced replica fails.
+    fn wait_hedged(
+        &self,
+        set: &ReplicaSet,
+        first_idx: usize,
+        client: Client,
+        pending: Pending<Response>,
+        request: &Request,
+        started: Instant,
+    ) -> Result<Response, String> {
+        let (tx, rx) = mpsc::channel::<RaceMsg>();
+        self.spawn_wait(first_idx, client, pending, &tx);
+        let mut outstanding = 1usize;
+        let mut hedged = false;
+        let mut errors: Vec<String> = Vec::new();
+        while outstanding > 0 {
+            let msg = if hedged {
+                // Both racers launched (or no second replica available):
+                // their io timeouts bound this wait, and each thread always
+                // sends exactly one message.
+                match rx.recv() {
+                    Ok(m) => m,
+                    Err(_) => break,
+                }
+            } else {
+                match rx.recv_timeout(self.hedge_delay()) {
+                    Ok(m) => m,
+                    Err(mpsc::RecvTimeoutError::Timeout) => {
+                        hedged = true;
+                        // Race a different healthy replica. Submit happens
+                        // here on the caller thread (it needs &self); only
+                        // the wait moves onto the race thread.
+                        let second =
+                            self.candidates(set, true).into_iter().find(|&i| i != first_idx);
+                        if let Some(idx) = second {
+                            match self.checkout(set, idx) {
+                                Ok((mut c, _)) => match c.submit(request) {
+                                    Ok(p) => {
+                                        self.metrics.record_hedged_request();
+                                        self.spawn_wait(idx, c, p, &tx);
+                                        outstanding += 1;
+                                    }
+                                    Err(e) => {
+                                        self.mark_failure(&set.replicas[idx]);
+                                        errors.push(self.replica_label(set, idx, e));
+                                    }
+                                },
+                                Err(e) => {
+                                    self.mark_failure(&set.replicas[idx]);
+                                    errors.push(e);
+                                }
+                            }
+                        }
+                        continue;
+                    }
+                    Err(mpsc::RecvTimeoutError::Disconnected) => break,
+                }
+            };
+            let (idx, client, result) = msg;
+            outstanding -= 1;
+            match result {
+                Ok(resp) => {
+                    self.record_shard_latency(started);
+                    self.mark_success(&set.replicas[idx]);
+                    if let Some(c) = client {
+                        self.checkin(&set.replicas[idx], c);
+                    }
+                    return Ok(resp);
+                }
+                Err(e) => {
+                    self.mark_failure(&set.replicas[idx]);
+                    errors.push(self.replica_label(set, idx, e));
+                }
+            }
+        }
+        // Every raced replica failed: transparent failover across whatever
+        // is still attemptable.
+        self.set_call(set, request, true, true)
+    }
+
+    /// Issues one shard-scoped query to **every shard concurrently** (one
+    /// pipelined submit per shard, all in flight at once), then collects
+    /// the responses in deterministic shard order — hedging and failing
+    /// over per shard as needed. With [`RouterConfig::serial_fanout`] each
+    /// shard is called in turn — same responses, one-shard wall time
+    /// multiplied by the shard count.
+    fn fan_out(&self, q: u32, k: u32, update: bool) -> Vec<Result<Response, String>> {
+        let request = Request::ShardReverseTopk { q, k, update };
+        let frozen = !update;
+        if self.serial_fanout {
+            return self
+                .shards
+                .iter()
+                .map(|set| self.set_call(set, &request, frozen, false))
+                .collect();
+        }
+        // Submit phase: one frame write per shard, on each shard's chosen
+        // replica — every shard is computing its slice while the later
+        // submits are still going out.
         let slots: Vec<FanSlot> = self
-            .backends
+            .shards
             .iter()
-            .map(|backend| match self.checkout(backend) {
-                Ok(mut client) => match client.submit(request) {
-                    Ok(pending) => FanSlot::InFlight(client, pending),
-                    Err(e) => FanSlot::SubmitFailed(format!(
-                        "backend shard {} ({}): {e}",
-                        backend.shard_id, backend.addr
-                    )),
-                },
-                Err(e) => FanSlot::SubmitFailed(e),
+            .map(|set| {
+                let Some(&idx) = self.candidates(set, frozen).first() else {
+                    return FanSlot::NoReplica;
+                };
+                match self.checkout(set, idx) {
+                    Ok((mut client, _)) => match client.submit(&request) {
+                        Ok(pending) => {
+                            FanSlot::InFlight { idx, client, pending, started: Instant::now() }
+                        }
+                        Err(_) => FanSlot::SubmitFailed(idx),
+                    },
+                    Err(_) => FanSlot::SubmitFailed(idx),
+                }
             })
             .collect();
         // Wait phase, shard order: merge determinism comes from here, not
         // from response arrival order.
         slots
             .into_iter()
-            .zip(&self.backends)
-            .map(|(slot, backend)| match slot {
-                FanSlot::InFlight(mut client, pending) => match client.wait(pending) {
-                    Ok(resp) => {
-                        self.checkin(backend, client);
-                        Ok(resp)
-                    }
-                    Err(e) => self.retry_fresh(
-                        backend,
-                        request,
-                        format!("backend shard {} ({}): {e}", backend.shard_id, backend.addr),
-                    ),
+            .zip(&self.shards)
+            .map(|(slot, set)| match slot {
+                FanSlot::NoReplica => self.set_call(set, &request, frozen, false),
+                FanSlot::SubmitFailed(idx) => match self.retry_fresh(set, idx, &request) {
+                    Ok(resp) => Ok(resp),
+                    Err(_) => self.set_call(set, &request, frozen, true),
                 },
-                FanSlot::SubmitFailed(e) => self.retry_fresh(backend, request, e),
+                FanSlot::InFlight { idx, mut client, pending, started } => {
+                    if frozen && self.should_hedge(set, idx) {
+                        self.wait_hedged(set, idx, client, pending, &request, started)
+                    } else {
+                        match client.wait(pending) {
+                            Ok(resp) => {
+                                self.record_shard_latency(started);
+                                self.mark_success(&set.replicas[idx]);
+                                self.checkin(&set.replicas[idx], client);
+                                Ok(resp)
+                            }
+                            Err(_) => {
+                                drop(client);
+                                match self.retry_fresh(set, idx, &request) {
+                                    Ok(resp) => Ok(resp),
+                                    Err(_) => self.set_call(set, &request, frozen, true),
+                                }
+                            }
+                        }
+                    }
+                }
             })
             .collect()
     }
 
-    /// Number of backends currently marked degraded.
-    fn degraded_count(&self) -> u64 {
-        self.backends.iter().filter(|b| b.degraded.load(Ordering::Relaxed)).count() as u64
-    }
+    // ---- the tier-level operations ------------------------------------
 
     /// The concurrent fan-out + shard-order merge of one reverse top-k
     /// query.
@@ -479,20 +946,15 @@ impl RouterCtx {
             refine_iterations: 0,
             server_seconds: 0.0,
         };
-        let responses = self.fan_out(&Request::ShardReverseTopk { q, k, update });
-        for (resp, backend) in responses.into_iter().zip(&self.backends) {
+        let responses = self.fan_out(q, k, update);
+        for (resp, set) in responses.into_iter().zip(&self.shards) {
             match resp? {
                 Response::ShardReverseTopk(s) => {
-                    if s.node_lo != backend.node_lo || s.node_hi != backend.node_hi {
+                    if s.node_lo != set.node_lo || s.node_hi != set.node_hi {
                         return Err(format!(
-                            "backend shard {} ({}) answered for range {}..{}, expected {}..{} \
-                             — was it restarted with a different shard?",
-                            backend.shard_id,
-                            backend.addr,
-                            s.node_lo,
-                            s.node_hi,
-                            backend.node_lo,
-                            backend.node_hi
+                            "shard {} answered for range {}..{}, expected {}..{} — was a \
+                             backend restarted with a different shard?",
+                            set.shard_id, s.node_lo, s.node_hi, set.node_lo, set.node_hi
                         ));
                     }
                     // Shard ranges ascend and partials are id-sorted within
@@ -505,16 +967,10 @@ impl RouterCtx {
                     merged.refine_iterations += s.result.refine_iterations;
                 }
                 Response::Error { message, .. } => {
-                    return Err(format!(
-                        "backend shard {} ({}): {message}",
-                        backend.shard_id, backend.addr
-                    ));
+                    return Err(format!("shard {}: {message}", set.shard_id));
                 }
                 other => {
-                    return Err(format!(
-                        "backend shard {} ({}): unexpected {other:?}",
-                        backend.shard_id, backend.addr
-                    ));
+                    return Err(format!("shard {}: unexpected {other:?}", set.shard_id));
                 }
             }
         }
@@ -522,83 +978,91 @@ impl RouterCtx {
         Ok(merged)
     }
 
-    /// Forwards a shard-independent request to the backend owning node `u`
-    /// (all backends hold the full graph; routing by owner spreads load
-    /// deterministically).
+    /// Forwards a shard-independent request to the replica set owning node
+    /// `u` (all backends hold the full graph; routing by owner spreads
+    /// load deterministically, and the set load-balances across its
+    /// healthy replicas).
     fn forward_to_owner(&self, u: u32, request: &Request) -> Result<Response, String> {
         if u64::from(u) >= self.engine_info.nodes {
             return Err(format!("node {u} out of range for {} nodes", self.engine_info.nodes));
         }
-        let backend = &self.backends[self.shard_map.shard_of(u)];
-        match self.backend_call(backend, request)? {
-            Response::Error { message, .. } => {
-                Err(format!("backend shard {} ({}): {message}", backend.shard_id, backend.addr))
-            }
+        let set = &self.shards[self.shard_map.shard_of(u)];
+        match self.set_call(set, request, true, false)? {
+            Response::Error { message, .. } => Err(format!("shard {}: {message}", set.shard_id)),
             resp => Ok(resp),
         }
     }
 
     /// Aggregated tier stats: the router's own client-facing counters and
-    /// latency, plus per-backend shard sizes sampled live (a degraded
-    /// backend reports its handshake node count with zero bytes).
+    /// latency, plus per-shard sizes sampled live from one replica (a
+    /// shard with no sampleable replica reports its handshake node count
+    /// with zero bytes). Unhealthy replicas are never dialed here — stats
+    /// sampling must not churn the failure counters.
     fn stats(&self) -> StatsSnapshot {
-        let mut shard_nodes = Vec::with_capacity(self.backends.len());
-        let mut shard_bytes = Vec::with_capacity(self.backends.len());
-        for backend in &self.backends {
-            match self.backend_call(backend, &Request::Stats) {
-                Ok(Response::Stats(s)) => {
-                    shard_nodes.extend(s.shard_nodes);
-                    shard_bytes.extend(s.shard_bytes);
+        let mut shard_nodes = Vec::with_capacity(self.shards.len());
+        let mut shard_bytes = Vec::with_capacity(self.shards.len());
+        for set in &self.shards {
+            let healthy = set
+                .replicas
+                .iter()
+                .position(|r| r.health.lock().expect("replica health lock").healthy);
+            let sampled =
+                healthy.and_then(|idx| match self.try_replica(set, idx, &Request::Stats) {
+                    Ok(Response::Stats(s)) => Some((s.shard_nodes, s.shard_bytes)),
+                    _ => None,
+                });
+            match sampled {
+                Some((nodes, bytes)) => {
+                    shard_nodes.extend(nodes);
+                    shard_bytes.extend(bytes);
                 }
-                _ => {
-                    shard_nodes.push(u64::from(backend.node_hi - backend.node_lo));
+                None => {
+                    shard_nodes.push(u64::from(set.node_hi - set.node_lo));
                     shard_bytes.push(0);
                 }
             }
         }
         self.metrics
-            .snapshot(self.engine_info, shard_nodes, shard_bytes, self.degraded_count())
+            .snapshot(self.engine_info, shard_nodes, shard_bytes, self.unhealthy_count())
     }
 
-    /// Fans `persist` out: backend `i` flushes its shard section to
-    /// `<path>.shard<i>` on *its own* filesystem. Returns the summed bytes;
-    /// any backend failure fails the whole request (partial snapshots are
-    /// worse than none).
+    /// Fans `persist` out: each shard flushes its section to
+    /// `<path>.shard<i>` on the answering replica's filesystem (reassemble
+    /// with `rtk shard stitch`). Returns the summed bytes; any shard
+    /// failure fails the whole request (partial snapshots are worse than
+    /// none).
     fn persist(&self, path: &str) -> Result<u64, String> {
         let mut total = 0u64;
-        for backend in &self.backends {
-            let shard_path = format!("{path}.shard{}", backend.shard_id);
-            match self.backend_call(backend, &Request::Persist { path: shard_path })? {
+        for set in &self.shards {
+            let shard_path = format!("{path}.shard{}", set.shard_id);
+            match self.set_call(set, &Request::Persist { path: shard_path }, false, false)? {
                 Response::Persisted { bytes } => total += bytes,
                 Response::Error { message, .. } => {
-                    return Err(format!(
-                        "backend shard {} ({}): {message}",
-                        backend.shard_id, backend.addr
-                    ));
+                    return Err(format!("shard {}: {message}", set.shard_id));
                 }
                 other => {
-                    return Err(format!(
-                        "backend shard {} ({}): unexpected {other:?}",
-                        backend.shard_id, backend.addr
-                    ));
+                    return Err(format!("shard {}: unexpected {other:?}", set.shard_id));
                 }
             }
         }
         Ok(total)
     }
 
-    /// Propagates shutdown to every backend (best effort — a degraded
-    /// backend cannot block the tier from stopping).
+    /// Propagates shutdown to **every replica of every shard** (best
+    /// effort — an unreachable replica cannot block the tier from
+    /// stopping).
     fn shutdown_backends(&self) {
-        for backend in &self.backends {
-            let _ = self.backend_call(backend, &Request::Shutdown);
+        for set in &self.shards {
+            for idx in 0..set.replicas.len() {
+                let _ = self.try_replica(set, idx, &Request::Shutdown);
+            }
         }
     }
 }
 
 /// The router's [`RtkService`] view — the tier aggregate: `reverse_topk`
-/// and `batch` fan out and merge, `topk` routes to the owning backend,
-/// `stats` aggregates, `persist` and `shutdown` propagate.
+/// and `batch` fan out across the replica sets and merge, `topk` routes to
+/// the owning set, `stats` aggregates, `persist` and `shutdown` propagate.
 struct RouterService<'a>(&'a RouterCtx);
 
 impl RtkService for RouterService<'_> {
@@ -635,7 +1099,7 @@ impl RtkService for RouterService<'_> {
     }
 
     fn batch(&mut self, queries: &[(u32, u32)]) -> ServiceResult<Vec<rtk_api::WireQueryResult>> {
-        // Frozen per-query fan-out (each query concurrent across backends),
+        // Frozen per-query fan-out (each query concurrent across shards),
         // answered in request order — mirroring the all-or-error semantics
         // of a single server.
         queries

@@ -1,6 +1,7 @@
 //! The std-only TCP server: listener + per-connection readers + a worker
 //! pool executing individual requests (wire v4 pipelining).
 
+use crate::chaos::{ChaosConfig, ChaosState};
 use crate::handler::{execute_job, read_connection, Job, ServiceHost};
 use crate::metrics::{EngineInfo, RequestKind, ServerMetrics};
 use crate::state::SharedEngine;
@@ -57,6 +58,11 @@ pub struct ServerConfig {
     /// `unauthorized`, counted in `auth_failures`, and the connection is
     /// dropped. `None` (the default) accepts any token.
     pub auth_token: Option<String>,
+    /// Deterministic fault injection (`rtk serve --chaos`): seeded
+    /// drop/delay/sever/refuse decisions for exercising the router's
+    /// failover, hedging, and re-admission paths. `None` (the default)
+    /// serves faithfully.
+    pub chaos: Option<ChaosConfig>,
 }
 
 impl Default for ServerConfig {
@@ -69,6 +75,7 @@ impl Default for ServerConfig {
             max_inflight: 0,
             persist_dir: None,
             auth_token: None,
+            chaos: None,
         }
     }
 }
@@ -88,6 +95,8 @@ pub(crate) struct ServerCtx {
     pub(crate) max_inflight: usize,
     /// Shared-secret token every request must carry (when set).
     pub(crate) auth_token: Option<Vec<u8>>,
+    /// Seeded fault injection; `None` serves faithfully.
+    pub(crate) chaos: Option<ChaosState>,
     /// Where the listener is bound — used to self-connect on shutdown so a
     /// blocked `accept` wakes up without busy-polling.
     local_addr: SocketAddr,
@@ -164,6 +173,10 @@ impl ServiceHost for ServerCtx {
 
     fn max_inflight(&self) -> usize {
         self.max_inflight
+    }
+
+    fn chaos(&self) -> Option<&ChaosState> {
+        self.chaos.as_ref()
     }
 
     /// Executes one request through the [`RtkService`] surface.
@@ -250,6 +263,13 @@ pub(crate) fn serve_loop<H: ServiceHost>(
         }
         match stream {
             Ok(s) => {
+                // Chaos: a refused accept is dropped before any frame is
+                // exchanged — the peer sees an immediate close, exactly
+                // like a backend dying between connect and first write.
+                if ctx.chaos().is_some_and(|c| c.refuse_accept()) {
+                    drop(s);
+                    continue;
+                }
                 // Reap finished readers so the handle list tracks live
                 // connections instead of growing with connection history.
                 readers.retain(|h| !h.is_finished());
@@ -363,6 +383,7 @@ impl Server {
             max_connections: config.max_connections,
             max_inflight: config.max_inflight,
             auth_token: config.auth_token.map(String::into_bytes),
+            chaos: config.chaos.map(ChaosConfig::into_state),
             local_addr,
         });
         Ok(Self { listener, ctx, workers })

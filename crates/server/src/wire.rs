@@ -1,10 +1,10 @@
 //! The `RTKWIRE1` wire protocol: versioned, length-prefixed binary frames.
 //!
-//! Every message — request or response — travels as one frame (wire v4):
+//! Every message — request or response — travels as one frame:
 //!
 //! ```text
 //! magic      "RTKWIRE1"               8 bytes
-//! version    u32 (currently 4)        4 bytes   (must match exactly)
+//! version    u32 (currently 5)        4 bytes   (must match exactly)
 //! request_id u64                      8 bytes   (echoed on the response)
 //! length     u32 payload byte count   4 bytes   (bounded by the receiver)
 //! payload    `length` bytes
@@ -50,8 +50,10 @@ pub const WIRE_MAGIC: &[u8; 8] = b"RTKWIRE1";
 /// `shard_reverse_topk` pair and the per-request auth-token field; 4 made
 /// the protocol **pipelined**: a `u64` request id in every frame header,
 /// out-of-order responses, and the `inflight_peak` / `inflight_rejections`
-/// stats fields).
-pub const WIRE_VERSION: u32 = 4;
+/// stats fields; 5 replaced the `degraded_backends` stats field with the
+/// replicated-router health triple `unhealthy_backends` /
+/// `hedged_requests` / `failovers`).
+pub const WIRE_VERSION: u32 = 5;
 /// Default per-frame payload cap (16 MiB) — generous for batch responses,
 /// small enough that a malicious length prefix cannot balloon memory.
 pub const DEFAULT_MAX_FRAME_BYTES: u32 = 16 * 1024 * 1024;
@@ -547,7 +549,7 @@ mod tests {
         codec::write_u32(&mut buf, 0).unwrap(); // v3-style bare PING tag
         assert!(matches!(
             read_frame(&mut Cursor::new(buf), 1024).unwrap_err(),
-            DecodeError::UnsupportedVersion { found: 3, supported: 4 }
+            DecodeError::UnsupportedVersion { found: 3, supported: WIRE_VERSION }
         ));
     }
 

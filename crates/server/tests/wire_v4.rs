@@ -1,4 +1,4 @@
-//! Wire v4 codec and pipelining tests (ISSUE 5 satellite).
+//! Wire codec (request-id framing, v4+) and pipelining tests.
 //!
 //! Seeded property tests for the request-id framing — round-trips for
 //! arbitrary ids/payloads, truncation at every prefix, exact-version-match
@@ -59,8 +59,8 @@ fn truncation_at_every_prefix_errors_never_panics() {
 #[test]
 fn exact_version_match_v3_and_future_peers_rejected_loudly() {
     // A v3 frame: magic + version + u32 length + payload — no request id.
-    // A v4 reader must reject it on the version field, before the length
-    // bytes could be misread as the id's low half.
+    // The current reader must reject it on the version field, before the
+    // length bytes could be misread as the id's low half.
     let mut v3 = Vec::new();
     codec::write_header(&mut v3, WIRE_MAGIC, 3).unwrap();
     codec::write_u32(&mut v3, 4).unwrap(); // v3 length
@@ -71,8 +71,9 @@ fn exact_version_match_v3_and_future_peers_rejected_loudly() {
         }
         other => panic!("v3 frame must be UnsupportedVersion, got {other:?}"),
     }
-    // Same for every other version, both directions.
-    for version in [0u32, 1, 2, 5, 6, u32::MAX] {
+    // Same for every other version, both directions (v4 peers predate the
+    // health-counter stats layout, future peers may change anything).
+    for version in [0u32, 1, 2, 4, WIRE_VERSION + 1, u32::MAX] {
         let mut buf = Vec::new();
         codec::write_header(&mut buf, WIRE_MAGIC, version).unwrap();
         codec::write_u64(&mut buf, 1).unwrap();

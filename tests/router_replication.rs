@@ -1,0 +1,338 @@
+//! Replicated-router HA determinism (replica groups, failover, hedging).
+//!
+//! Spins up **two replicas per shard** behind the router and pins the
+//! tier's answers bitwise equal to a single-process server through every
+//! failure mode the replica layer handles:
+//!
+//! * any single backend killed mid-load: queries keep succeeding with
+//!   bitwise-identical answers, the kill registers as `failovers` in the
+//!   aggregated stats, and after a restart the health prober re-admits the
+//!   backend (`unhealthy_backends` returns to 0);
+//! * a stalled replica (chaos `delay`): hedged requests race a second
+//!   replica, the fast answer wins, and answers stay bitwise equal —
+//!   replicas can change wall time, never answers;
+//! * a replica that severs connections every few frames (chaos
+//!   `close-after`): transparent fresh-dial retries, no client-visible
+//!   error;
+//! * startup validation: overlapping-but-not-identical replica ranges are
+//!   rejected, duplicate backend addresses are deduplicated, and a tier
+//!   whose backends are all down fails to bind with a clean error.
+
+use rtk_core::{ReverseTopkEngine, ShardEngine};
+use rtk_graph::gen::{rmat, RmatConfig};
+use rtk_graph::DiGraph;
+use rtk_index::ShardSlice;
+use rtk_server::{ChaosConfig, Client, Router, RouterConfig, Server, ServerConfig, ServerHandle};
+use std::time::{Duration, Instant};
+
+const NODES: usize = 260;
+const EDGES: usize = 1200;
+const SEED: u64 = 0xCAFE;
+const MAX_K: usize = 8;
+const SHARDS: usize = 2;
+
+fn graph() -> DiGraph {
+    rmat(&RmatConfig::new(NODES, EDGES, SEED)).expect("rmat")
+}
+
+/// Deterministic build: same graph + config ⇒ identical index, so separate
+/// builds serve as bitwise references for each other.
+fn build_engine(shards: usize) -> ReverseTopkEngine {
+    ReverseTopkEngine::builder(graph())
+        .max_k(MAX_K)
+        .hubs_per_direction(6)
+        .threads(1)
+        .shards(shards)
+        .build()
+        .expect("engine build")
+}
+
+/// Starts one replica of shard `sid`, optionally with fault injection.
+fn spawn_replica(
+    engine: &ReverseTopkEngine,
+    sid: usize,
+    addr: &str,
+    chaos: Option<&str>,
+) -> ServerHandle {
+    let slice = ShardSlice::from_index(engine.index(), sid).expect("shard slice");
+    let shard_engine = ShardEngine::from_parts(graph(), slice).expect("shard engine");
+    let config = ServerConfig {
+        workers: 2,
+        chaos: chaos.map(|spec| ChaosConfig::parse(spec).expect("chaos spec")),
+        ..Default::default()
+    };
+    Server::bind_shard(shard_engine, addr, config).expect("bind replica").spawn()
+}
+
+/// The frozen query workload; replicas never see update-mode commits here
+/// because replica state divergence is irrelevant to answers, not to
+/// counters.
+fn workload() -> Vec<(u32, u32)> {
+    [0u32, 19, 77, 133, 200, 259, 41, 88, 5, 120, 250, 63]
+        .iter()
+        .enumerate()
+        .map(|(i, &q)| (q, 1 + (i as u32 % MAX_K as u32)))
+        .collect()
+}
+
+fn assert_bitwise(a: &rtk_server::WireQueryResult, b: &rtk_server::WireQueryResult, context: &str) {
+    assert_eq!(a.nodes, b.nodes, "{context}: node sets differ");
+    assert_eq!(a.proximities.len(), b.proximities.len(), "{context}: proximity counts differ");
+    for (x, y) in a.proximities.iter().zip(&b.proximities) {
+        assert_eq!(x.to_bits(), y.to_bits(), "{context}: proximity bits differ");
+    }
+}
+
+/// Polls the router until no backend is marked unhealthy.
+fn await_readmission(client: &mut Client, what: &str) {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let s = client.stats().expect("stats while awaiting re-admission");
+        if s.unhealthy_backends == 0 {
+            return;
+        }
+        assert!(Instant::now() < deadline, "{what}: not re-admitted within 30s");
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+#[test]
+fn killing_any_single_replica_mid_load_is_invisible_and_heals() {
+    let single = Server::bind(
+        build_engine(SHARDS),
+        "127.0.0.1:0",
+        ServerConfig { workers: 2, ..Default::default() },
+    )
+    .expect("bind single")
+    .spawn();
+    let mut direct = Client::connect(single.addr()).expect("connect single");
+    let queries = workload();
+    let reference = direct.pipeline(&queries, false).expect("reference batch");
+
+    let sharded = build_engine(SHARDS);
+    // Every backend in turn plays the victim: replica 0 and 1 of each shard.
+    for victim in 0..SHARDS * 2 {
+        let handles: Vec<ServerHandle> = (0..SHARDS * 2)
+            .map(|i| spawn_replica(&sharded, i / 2, "127.0.0.1:0", None))
+            .collect();
+        let addrs: Vec<String> = handles.iter().map(|h| h.addr().to_string()).collect();
+        let victim_addr = handles[victim].addr();
+        let router = Router::bind(&addrs, "127.0.0.1:0", RouterConfig::default())
+            .expect("bind router")
+            .spawn();
+        let mut client = Client::connect(router.addr()).expect("connect router");
+
+        // Pipelined batch before the kill: fully healthy tier.
+        let before = client.pipeline(&queries, false).expect("pre-kill batch");
+        for (i, (a, b)) in before.iter().zip(&reference).enumerate() {
+            assert_bitwise(a, b, &format!("victim={victim} pre-kill query {i}"));
+        }
+
+        // Kill the victim behind the router's back, then keep the load
+        // coming: every query must still answer, bitwise identically.
+        let mut backdoor = Client::connect(victim_addr).expect("victim backdoor");
+        backdoor.shutdown().expect("victim shutdown");
+        let after = client.pipeline(&queries, false).expect("post-kill batch must not error");
+        for (i, (a, b)) in after.iter().zip(&reference).enumerate() {
+            assert_bitwise(a, b, &format!("victim={victim} post-kill query {i}"));
+        }
+        let stats = client.stats().expect("post-kill stats");
+        assert!(
+            stats.failovers >= 1,
+            "victim={victim}: the kill must register as a failover, got {stats:?}"
+        );
+
+        // Restart the victim on its old address (TIME_WAIT may linger) and
+        // wait for the health prober to re-admit it.
+        let restarted = {
+            let mut attempt = 0;
+            loop {
+                let slice = ShardSlice::from_index(sharded.index(), victim / 2).expect("slice");
+                let engine = ShardEngine::from_parts(graph(), slice).expect("shard engine");
+                let config = ServerConfig { workers: 2, ..Default::default() };
+                match Server::bind_shard(engine, victim_addr, config) {
+                    Ok(server) => break server.spawn(),
+                    Err(e) if attempt < 50 => {
+                        attempt += 1;
+                        std::thread::sleep(Duration::from_millis(100));
+                        let _ = e;
+                    }
+                    Err(e) => panic!("cannot rebind victim {victim} on {victim_addr}: {e}"),
+                }
+            }
+        };
+        await_readmission(&mut client, &format!("victim={victim}"));
+
+        // Healed tier: still bitwise equal.
+        let healed = client.pipeline(&queries, false).expect("post-restart batch");
+        for (i, (a, b)) in healed.iter().zip(&reference).enumerate() {
+            assert_bitwise(a, b, &format!("victim={victim} post-restart query {i}"));
+        }
+
+        client.shutdown().expect("router shutdown");
+        router.join().expect("router join");
+        restarted.join().expect("restarted victim join");
+        for (i, h) in handles.into_iter().enumerate() {
+            h.join().unwrap_or_else(|e| panic!("replica {i} join: {e}"));
+        }
+    }
+
+    direct.shutdown().expect("single shutdown");
+    single.join().expect("single join");
+}
+
+#[test]
+fn stalled_replica_is_hedged_around_with_bitwise_equal_answers() {
+    let single = Server::bind(
+        build_engine(SHARDS),
+        "127.0.0.1:0",
+        ServerConfig { workers: 2, ..Default::default() },
+    )
+    .expect("bind single")
+    .spawn();
+    let mut direct = Client::connect(single.addr()).expect("connect single");
+
+    // One fast and one universally-stalled replica per shard: chaos delays
+    // every response frame by far more than the hedge delay.
+    let sharded = build_engine(SHARDS);
+    let handles: Vec<ServerHandle> = (0..SHARDS * 2)
+        .map(|i| {
+            let chaos = (i % 2 == 1).then_some("seed=3,delay=1:250ms");
+            spawn_replica(&sharded, i / 2, "127.0.0.1:0", chaos)
+        })
+        .collect();
+    let addrs: Vec<String> = handles.iter().map(|h| h.addr().to_string()).collect();
+    let config = RouterConfig {
+        hedge_quantile: 0.9,
+        hedge_min_delay: Duration::from_millis(5),
+        ..Default::default()
+    };
+    let router = Router::bind(&addrs, "127.0.0.1:0", config).expect("bind router").spawn();
+    let mut client = Client::connect(router.addr()).expect("connect router");
+
+    // Round-robin sends roughly half of all first submits to the stalled
+    // replica; each of those must hedge to the fast one and win the race.
+    let t0 = Instant::now();
+    for (q, k) in workload() {
+        let a = client.reverse_topk(q, k, false).expect("hedged query");
+        let b = direct.reverse_topk(q, k, false).expect("direct query");
+        assert_bitwise(&a, &b, &format!("hedged q={q} k={k}"));
+    }
+    let elapsed = t0.elapsed();
+    let stats = client.stats().expect("hedge stats");
+    assert!(
+        stats.hedged_requests >= 1,
+        "a universally stalled replica must trigger hedging, got {stats:?}"
+    );
+    // A stalled replica is slow, not broken — it must not be marked down.
+    assert_eq!(stats.unhealthy_backends, 0, "stall must not mark the replica unhealthy");
+    // Sanity: hedging means the workload does not pay the 250ms stall per
+    // affected query (12 queries × 250ms would be ≥ 3s serial).
+    assert!(elapsed < Duration::from_secs(3), "hedging should hide the stall, took {elapsed:?}");
+
+    client.shutdown().expect("router shutdown");
+    router.join().expect("router join");
+    for h in handles {
+        h.join().expect("replica join");
+    }
+    direct.shutdown().expect("single shutdown");
+    single.join().expect("single join");
+}
+
+#[test]
+fn connection_severing_replica_is_retried_transparently() {
+    let single = Server::bind(
+        build_engine(SHARDS),
+        "127.0.0.1:0",
+        ServerConfig { workers: 2, ..Default::default() },
+    )
+    .expect("bind single")
+    .spawn();
+    let mut direct = Client::connect(single.addr()).expect("connect single");
+
+    // One replica per shard drops its connection after every 3rd frame —
+    // the handshake itself consumes 2, so the first severance lands right
+    // inside the query load.
+    let sharded = build_engine(SHARDS);
+    let handles: Vec<ServerHandle> = (0..SHARDS * 2)
+        .map(|i| {
+            let chaos = (i % 2 == 1).then_some("seed=9,close-after=3");
+            spawn_replica(&sharded, i / 2, "127.0.0.1:0", chaos)
+        })
+        .collect();
+    let addrs: Vec<String> = handles.iter().map(|h| h.addr().to_string()).collect();
+    let router = Router::bind(&addrs, "127.0.0.1:0", RouterConfig::default())
+        .expect("bind router")
+        .spawn();
+    let mut client = Client::connect(router.addr()).expect("connect router");
+
+    for round in 0..3 {
+        for (q, k) in workload() {
+            let a = client.reverse_topk(q, k, false).expect("query across severed connections");
+            let b = direct.reverse_topk(q, k, false).expect("direct query");
+            assert_bitwise(&a, &b, &format!("round={round} q={q} k={k}"));
+        }
+    }
+
+    client.shutdown().expect("router shutdown");
+    router.join().expect("router join");
+    for h in handles {
+        h.join().expect("replica join");
+    }
+    direct.shutdown().expect("single shutdown");
+    single.join().expect("single join");
+}
+
+#[test]
+fn startup_rejects_mismatched_replicas_and_dedupes_addresses() {
+    // Overlapping but not identical ranges: shard 0 of a 2-way split
+    // (0..130) vs shard 0 of a 3-way split (0..87) overlap without
+    // matching — that is a misconfiguration, not redundancy.
+    let two_way = build_engine(2);
+    let three_way = build_engine(3);
+    let a = spawn_replica(&two_way, 0, "127.0.0.1:0", None);
+    let b = spawn_replica(&three_way, 0, "127.0.0.1:0", None);
+    let addrs = vec![a.addr().to_string(), b.addr().to_string()];
+    let err = match Router::bind(&addrs, "127.0.0.1:0", RouterConfig::default()) {
+        Err(e) => e,
+        Ok(_) => panic!("overlapping non-identical ranges must be rejected"),
+    };
+    assert!(err.to_string().contains("overlap"), "unhelpful overlap error: {err}");
+
+    // Shut the probes' targets down cleanly.
+    for h in [a, b] {
+        let mut c = Client::connect(h.addr()).expect("backdoor");
+        c.shutdown().expect("backend shutdown");
+        h.join().expect("backend join");
+    }
+
+    // Duplicate addresses: the same backend listed twice is one replica,
+    // not two — the tier must come up with the deduplicated count.
+    let sharded = build_engine(SHARDS);
+    let handles: Vec<ServerHandle> = (0..SHARDS)
+        .map(|sid| spawn_replica(&sharded, sid, "127.0.0.1:0", None))
+        .collect();
+    let mut addrs: Vec<String> = handles.iter().map(|h| h.addr().to_string()).collect();
+    addrs.push(addrs[0].clone()); // backend 0 listed twice
+    let router = Router::bind(&addrs, "127.0.0.1:0", RouterConfig::default())
+        .expect("duplicate addresses must dedupe, not fail");
+    assert_eq!(router.backend_count(), SHARDS, "duplicate address was not deduplicated");
+    assert_eq!(router.shard_count(), SHARDS);
+    let router = router.spawn();
+    let mut client = Client::connect(router.addr()).expect("connect router");
+    client.ping().expect("deduped tier serves");
+    client.shutdown().expect("router shutdown");
+    router.join().expect("router join");
+    for h in handles {
+        h.join().expect("backend join");
+    }
+
+    // All replicas down at boot: a clean bind error, not a tier that
+    // cannot answer.
+    let dead = vec!["127.0.0.1:1".to_string(), "127.0.0.1:1".to_string()];
+    let err = match Router::bind(&dead, "127.0.0.1:0", RouterConfig::default()) {
+        Err(e) => e,
+        Ok(_) => panic!("all-backends-down must fail the bind"),
+    };
+    assert!(err.to_string().contains("backend"), "unhelpful all-down error: {err}");
+}
