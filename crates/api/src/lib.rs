@@ -38,7 +38,8 @@ pub mod model;
 pub mod service;
 
 pub use model::{
-    EngineInfo, Request, RequestKind, Response, StatsSnapshot, WireQueryResult, WireShardResult,
-    WireTopk,
+    EngineInfo, KindLatency, Request, RequestKind, Response, StatsSnapshot, WireQueryResult,
+    WireShardResult, WireTopk,
 };
+pub use rtk_obs::TraceSpan;
 pub use service::{dispatch_request, to_wire, RtkService, ServiceError, ServiceResult};

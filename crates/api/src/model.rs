@@ -7,6 +7,7 @@
 //! about bytes lives here so local engines, remote clients, and routers
 //! can share one vocabulary through [`crate::service::RtkService`].
 
+use rtk_obs::TraceSpan;
 use rtk_sparse::codec::{self, DecodeError};
 use std::io::{Read, Write};
 
@@ -49,6 +50,10 @@ pub enum Request {
         k: u32,
         /// Commit refinements back into the index.
         update: bool,
+        /// Ask the service to attach a span tree to the answer (wire v6).
+        /// Tracing is observational only: a traced and an untraced run of
+        /// the same query return bitwise-identical results.
+        trace: bool,
     },
     /// Forward top-k proximity search from `u`.
     Topk {
@@ -88,6 +93,9 @@ pub enum Request {
         k: u32,
         /// Commit refinements into the backend's shard (update mode).
         update: bool,
+        /// Attach the shard's span tree to the partial answer (wire v6) so
+        /// the router can stitch it into the full query trace.
+        trace: bool,
     },
 }
 
@@ -115,6 +123,34 @@ pub enum RequestKind {
 
 /// Number of distinct [`RequestKind`]s.
 pub const REQUEST_KINDS: usize = 8;
+
+impl RequestKind {
+    /// Every kind, in counter-array index order.
+    pub const ALL: [RequestKind; REQUEST_KINDS] = [
+        RequestKind::Ping,
+        RequestKind::ReverseTopk,
+        RequestKind::Topk,
+        RequestKind::Batch,
+        RequestKind::Stats,
+        RequestKind::Shutdown,
+        RequestKind::Persist,
+        RequestKind::ShardReverseTopk,
+    ];
+
+    /// The stable snake_case name used in stats JSON and metric labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            RequestKind::Ping => "ping",
+            RequestKind::ReverseTopk => "reverse_topk",
+            RequestKind::Topk => "topk",
+            RequestKind::Batch => "batch",
+            RequestKind::Stats => "stats",
+            RequestKind::Shutdown => "shutdown",
+            RequestKind::Persist => "persist",
+            RequestKind::ShardReverseTopk => "shard_reverse_topk",
+        }
+    }
+}
 
 impl Request {
     /// The metrics kind of this request.
@@ -153,6 +189,10 @@ pub struct WireQueryResult {
     pub refine_iterations: u64,
     /// Server-side wall time for this query, seconds.
     pub server_seconds: f64,
+    /// Span tree for this query, present only when the request asked for
+    /// tracing (wire v6). `None` costs zero bytes on the wire; batch
+    /// answers never carry traces.
+    pub trace: Option<TraceSpan>,
 }
 
 /// One backend's shard-scoped slice of a reverse top-k answer.
@@ -193,8 +233,9 @@ pub enum Response {
     Topk(WireTopk),
     /// Answer to [`Request::Batch`], in request order.
     Batch(Vec<WireQueryResult>),
-    /// Answer to [`Request::Stats`].
-    Stats(StatsSnapshot),
+    /// Answer to [`Request::Stats`]. Boxed: the per-kind latency tail
+    /// makes the snapshot by far the largest response payload.
+    Stats(Box<StatsSnapshot>),
     /// Acknowledgement of [`Request::Shutdown`].
     ShuttingDown,
     /// Answer to [`Request::Persist`]: bytes written to the snapshot.
@@ -230,6 +271,25 @@ pub struct EngineInfo {
     /// One past the last global node id this process screens (the node
     /// count unless shard-only).
     pub shard_hi: u64,
+}
+
+/// Latency summary for one request kind (wire v6). Splitting the global
+/// histogram per kind keeps `ping` round-trips from diluting the
+/// `reverse_topk` tail the router's hedge-delay quantile is based on.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct KindLatency {
+    /// Observations for this kind.
+    pub count: u64,
+    /// Mean latency, seconds.
+    pub mean_seconds: f64,
+    /// Median latency (bucket upper edge), seconds.
+    pub p50_seconds: f64,
+    /// 95th percentile latency, seconds.
+    pub p95_seconds: f64,
+    /// 99th percentile latency, seconds.
+    pub p99_seconds: f64,
+    /// Largest observed latency, seconds.
+    pub max_seconds: f64,
 }
 
 /// A point-in-time metrics report, encodable over the wire.
@@ -309,6 +369,9 @@ pub struct StatsSnapshot {
     /// Heap bytes per index shard, sampled at snapshot time (refinement
     /// drift included).
     pub shard_bytes: Vec<u64>,
+    /// Latency summary per request kind, indexed by [`RequestKind`]
+    /// (wire v6). The aggregate fields above merge all kinds.
+    pub kind_latency: [KindLatency; REQUEST_KINDS],
 }
 
 impl StatsSnapshot {
@@ -349,6 +412,7 @@ impl StatsSnapshot {
             shard_hi: engine.shard_hi,
             shard_nodes,
             shard_bytes,
+            kind_latency: [KindLatency::default(); REQUEST_KINDS],
         }
     }
 
@@ -367,6 +431,70 @@ impl StatsSnapshot {
     /// Number of index shards the server reports.
     pub fn shard_count(&self) -> usize {
         self.shard_nodes.len()
+    }
+
+    /// Renders the snapshot as one JSON object — the shared serializer
+    /// behind `rtk remote stats --json` and the bench harness's machine-
+    /// readable reports. Per-kind latency appears under `kind_latency`,
+    /// keyed by [`RequestKind::name`].
+    pub fn to_json(&self) -> rtk_obs::Json {
+        use rtk_obs::Json;
+        let field = |k: &str, v: Json| (k.to_string(), v);
+        let u64s = |vs: &[u64]| Json::Arr(vs.iter().map(|&v| Json::U64(v)).collect());
+        let kinds = RequestKind::ALL
+            .iter()
+            .map(|&kind| {
+                let l = &self.kind_latency[kind as usize];
+                (
+                    kind.name().to_string(),
+                    Json::Obj(vec![
+                        field("count", Json::U64(l.count)),
+                        field("mean_seconds", Json::F64(l.mean_seconds)),
+                        field("p50_seconds", Json::F64(l.p50_seconds)),
+                        field("p95_seconds", Json::F64(l.p95_seconds)),
+                        field("p99_seconds", Json::F64(l.p99_seconds)),
+                        field("max_seconds", Json::F64(l.max_seconds)),
+                    ]),
+                )
+            })
+            .collect();
+        Json::Obj(vec![
+            field("uptime_seconds", Json::F64(self.uptime_seconds)),
+            field("ping", Json::U64(self.ping)),
+            field("reverse_topk", Json::U64(self.reverse_topk)),
+            field("topk", Json::U64(self.topk)),
+            field("batch", Json::U64(self.batch)),
+            field("stats", Json::U64(self.stats)),
+            field("shutdown", Json::U64(self.shutdown)),
+            field("persist", Json::U64(self.persist)),
+            field("shard_reverse_topk", Json::U64(self.shard_reverse_topk)),
+            field("total_requests", Json::U64(self.total_requests())),
+            field("protocol_errors", Json::U64(self.protocol_errors)),
+            field("engine_errors", Json::U64(self.engine_errors)),
+            field("connections", Json::U64(self.connections)),
+            field("rejected_connections", Json::U64(self.rejected_connections)),
+            field("auth_failures", Json::U64(self.auth_failures)),
+            field("unhealthy_backends", Json::U64(self.unhealthy_backends)),
+            field("hedged_requests", Json::U64(self.hedged_requests)),
+            field("failovers", Json::U64(self.failovers)),
+            field("inflight_peak", Json::U64(self.inflight_peak)),
+            field("inflight_rejections", Json::U64(self.inflight_rejections)),
+            field("latency_count", Json::U64(self.latency_count)),
+            field("mean_seconds", Json::F64(self.mean_seconds)),
+            field("p50_seconds", Json::F64(self.p50_seconds)),
+            field("p95_seconds", Json::F64(self.p95_seconds)),
+            field("p99_seconds", Json::F64(self.p99_seconds)),
+            field("max_seconds", Json::F64(self.max_seconds)),
+            field("nodes", Json::U64(self.nodes)),
+            field("edges", Json::U64(self.edges)),
+            field("max_k", Json::U64(self.max_k)),
+            field("workers", Json::U64(u64::from(self.workers))),
+            field("shard_lo", Json::U64(self.shard_lo)),
+            field("shard_hi", Json::U64(self.shard_hi)),
+            field("shard_nodes", u64s(&self.shard_nodes)),
+            field("shard_bytes", u64s(&self.shard_bytes)),
+            field("kind_latency", Json::Obj(kinds)),
+        ])
     }
 
     /// Serializes the snapshot (fixed-width fields plus the per-shard size
@@ -418,6 +546,17 @@ impl StatsSnapshot {
             codec::write_u64(w, n)?;
             codec::write_u64(w, b)?;
         }
+        // Per-kind latency summaries (wire v6): one count, then a fixed
+        // record per kind in [`RequestKind::ALL`] order.
+        codec::write_u64(w, REQUEST_KINDS as u64)?;
+        for kl in &self.kind_latency {
+            codec::write_u64(w, kl.count)?;
+            for v in
+                [kl.mean_seconds, kl.p50_seconds, kl.p95_seconds, kl.p99_seconds, kl.max_seconds]
+            {
+                codec::write_f64(w, v)?;
+            }
+        }
         Ok(())
     }
 
@@ -459,6 +598,7 @@ impl StatsSnapshot {
             shard_hi: codec::read_u64(r)?,
             shard_nodes: Vec::new(),
             shard_bytes: Vec::new(),
+            kind_latency: [KindLatency::default(); REQUEST_KINDS],
         };
         let shards = codec::check_len(codec::read_u64(r)?, max_shards, "shard count")?;
         snap.shard_nodes.reserve(shards.min(1 << 20));
@@ -466,6 +606,22 @@ impl StatsSnapshot {
         for _ in 0..shards {
             snap.shard_nodes.push(codec::read_u64(r)?);
             snap.shard_bytes.push(codec::read_u64(r)?);
+        }
+        let kinds = codec::read_u64(r)?;
+        if kinds != REQUEST_KINDS as u64 {
+            return Err(DecodeError::Corrupt(format!(
+                "stats snapshot declares {kinds} request kinds, expected {REQUEST_KINDS}"
+            )));
+        }
+        for kl in snap.kind_latency.iter_mut() {
+            *kl = KindLatency {
+                count: codec::read_u64(r)?,
+                mean_seconds: codec::read_f64(r)?,
+                p50_seconds: codec::read_f64(r)?,
+                p95_seconds: codec::read_f64(r)?,
+                p99_seconds: codec::read_f64(r)?,
+                max_seconds: codec::read_f64(r)?,
+            };
         }
         Ok(snap)
     }
@@ -480,8 +636,13 @@ mod tests {
     fn request_kinds_are_stable() {
         assert_eq!(Request::Ping.kind() as usize, 0);
         assert_eq!(Request::Shutdown.kind() as usize, 5);
-        assert_eq!(Request::ShardReverseTopk { q: 0, k: 1, update: false }.kind() as usize, 7);
+        let shard = Request::ShardReverseTopk { q: 0, k: 1, update: false, trace: false };
+        assert_eq!(shard.kind() as usize, 7);
         assert_eq!(Request::Stats.kind(), RequestKind::Stats);
+        for (i, kind) in RequestKind::ALL.iter().enumerate() {
+            assert_eq!(*kind as usize, i);
+        }
+        assert_eq!(RequestKind::ReverseTopk.name(), "reverse_topk");
     }
 
     #[test]
@@ -497,5 +658,32 @@ mod tests {
         snap.encode(&mut buf).unwrap();
         let back = StatsSnapshot::decode(&mut Cursor::new(buf), 4).unwrap();
         assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn per_kind_latency_round_trips_and_count_is_enforced() {
+        let info =
+            EngineInfo { nodes: 10, edges: 20, max_k: 3, workers: 2, shard_lo: 0, shard_hi: 10 };
+        let mut snap = StatsSnapshot::local(info, vec![10], vec![128]);
+        snap.kind_latency[RequestKind::ReverseTopk as usize] = KindLatency {
+            count: 7,
+            mean_seconds: 0.002,
+            p50_seconds: 0.001,
+            p95_seconds: 0.004,
+            p99_seconds: 0.005,
+            max_seconds: 0.006,
+        };
+        let mut buf = Vec::new();
+        snap.encode(&mut buf).unwrap();
+        let back = StatsSnapshot::decode(&mut Cursor::new(buf.clone()), 4).unwrap();
+        assert_eq!(back, snap);
+        assert_eq!(back.kind_latency[1].count, 7);
+
+        // A snapshot claiming the wrong number of kinds is corrupt, not
+        // silently misaligned.
+        let kinds_at = buf.len() - 8 * (1 + REQUEST_KINDS * 6);
+        buf[kinds_at..kinds_at + 8].copy_from_slice(&9u64.to_le_bytes());
+        let err = StatsSnapshot::decode(&mut Cursor::new(buf), 4).unwrap_err();
+        assert!(matches!(err, DecodeError::Corrupt(_)), "{err:?}");
     }
 }

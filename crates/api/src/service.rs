@@ -66,6 +66,19 @@ pub trait RtkService {
     /// One reverse top-k query; `update` commits refinements.
     fn reverse_topk(&mut self, q: u32, k: u32, update: bool) -> ServiceResult<WireQueryResult>;
 
+    /// Like [`reverse_topk`](Self::reverse_topk), but asks the service to
+    /// attach a span tree to the answer (wire v6). The default ignores the
+    /// request and answers untraced — tracing is best-effort and may never
+    /// change the result nodes or proximities.
+    fn reverse_topk_traced(
+        &mut self,
+        q: u32,
+        k: u32,
+        update: bool,
+    ) -> ServiceResult<WireQueryResult> {
+        self.reverse_topk(q, k, update)
+    }
+
     /// The shard-scoped slice of one reverse top-k query. Only shard
     /// backends answer it; everything else reports `Unsupported`.
     fn shard_reverse_topk(
@@ -77,6 +90,17 @@ pub trait RtkService {
         Err(ServiceError::Unsupported(
             "shard_reverse_topk requires a shard backend; send reverse_topk instead".to_string(),
         ))
+    }
+
+    /// Traced variant of [`shard_reverse_topk`](Self::shard_reverse_topk)
+    /// (wire v6); the default answers untraced.
+    fn shard_reverse_topk_traced(
+        &mut self,
+        q: u32,
+        k: u32,
+        update: bool,
+    ) -> ServiceResult<WireShardResult> {
+        self.shard_reverse_topk(q, k, update)
     }
 
     /// Forward top-k proximity search from `u`.
@@ -114,15 +138,21 @@ pub fn dispatch_request<S: RtkService + ?Sized>(
     let kind = request.kind();
     let result = match request {
         Request::Ping => svc.ping().map(|()| Response::Pong),
-        Request::ReverseTopk { q, k, update } => {
-            svc.reverse_topk(q, k, update).map(Response::ReverseTopk)
+        Request::ReverseTopk { q, k, update, trace } => if trace {
+            svc.reverse_topk_traced(q, k, update)
+        } else {
+            svc.reverse_topk(q, k, update)
         }
-        Request::ShardReverseTopk { q, k, update } => {
-            svc.shard_reverse_topk(q, k, update).map(Response::ShardReverseTopk)
+        .map(Response::ReverseTopk),
+        Request::ShardReverseTopk { q, k, update, trace } => if trace {
+            svc.shard_reverse_topk_traced(q, k, update)
+        } else {
+            svc.shard_reverse_topk(q, k, update)
         }
+        .map(Response::ShardReverseTopk),
         Request::Topk { u, k, early } => svc.topk(u, k, early).map(Response::Topk),
         Request::Batch { queries } => svc.batch(&queries).map(Response::Batch),
-        Request::Stats => svc.stats().map(Response::Stats),
+        Request::Stats => svc.stats().map(|s| Response::Stats(Box::new(s))),
         Request::Shutdown => svc.shutdown().map(|()| Response::ShuttingDown),
         Request::Persist { path } => svc.persist(&path).map(|bytes| Response::Persisted { bytes }),
     };
@@ -144,6 +174,7 @@ pub fn to_wire(r: &QueryResult, server_seconds: f64) -> WireQueryResult {
         refined_nodes: s.refined_nodes as u64,
         refine_iterations: s.refine_iterations,
         server_seconds,
+        trace: None,
     }
 }
 
@@ -171,6 +202,23 @@ impl RtkService for ReverseTopkEngine {
         let result = self.query_with(NodeId(q), k as usize, &opts).map_err(engine_err)?;
         let seconds = result.stats().total_seconds;
         Ok(to_wire(&result, seconds))
+    }
+
+    fn reverse_topk_traced(
+        &mut self,
+        q: u32,
+        k: u32,
+        update: bool,
+    ) -> ServiceResult<WireQueryResult> {
+        let opts = QueryOptions { update_index: update, ..*self.options() };
+        let result = self.query_with(NodeId(q), k as usize, &opts).map_err(engine_err)?;
+        let stats = *result.stats();
+        let mut wire = to_wire(&result, stats.total_seconds);
+        // The span tree is rebuilt from the timings the engine already
+        // records for every query — tracing adds no timing syscalls and
+        // cannot change the answer.
+        wire.trace = Some(stats.to_trace("engine:reverse_topk"));
+        Ok(wire)
     }
 
     fn topk(&mut self, u: u32, k: u32, early: bool) -> ServiceResult<WireTopk> {
@@ -248,6 +296,35 @@ impl RtkService for ShardEngine {
             node_lo: range.start,
             node_hi: range.end,
             result: to_wire(&result, seconds),
+        })
+    }
+
+    fn shard_reverse_topk_traced(
+        &mut self,
+        q: u32,
+        k: u32,
+        update: bool,
+    ) -> ServiceResult<WireShardResult> {
+        let opts = QueryOptions::default();
+        let result = if update {
+            self.query_shard_update(NodeId(q), k as usize, &opts)
+        } else {
+            self.query_shard_frozen(NodeId(q), k as usize, &opts)
+        }
+        .map_err(engine_err)?;
+        let range = self.shard_range();
+        let stats = *result.stats();
+        let mut wire = to_wire(&result, stats.total_seconds);
+        wire.trace = Some(
+            stats
+                .to_trace("engine:shard_reverse_topk")
+                .annotate("shard", self.shard_id().to_string()),
+        );
+        Ok(WireShardResult {
+            shard_id: self.shard_id() as u32,
+            node_lo: range.start,
+            node_hi: range.end,
+            result: wire,
         })
     }
 
@@ -334,15 +411,53 @@ mod tests {
         let r = engine.reverse_topk(0, 2, true).unwrap();
         assert_eq!(r.nodes, vec![0, 1, 4]);
         // Dispatching a decoded wire request lands on the same method.
-        let (kind, resp) =
-            dispatch_request(&mut engine, Request::ReverseTopk { q: 0, k: 2, update: false });
+        let (kind, resp) = dispatch_request(
+            &mut engine,
+            Request::ReverseTopk { q: 0, k: 2, update: false, trace: false },
+        );
         assert_eq!(kind, RequestKind::ReverseTopk);
         let Response::ReverseTopk(r) = resp else { panic!("wrong response: {resp:?}") };
         assert_eq!(r.nodes, vec![0, 1, 4]);
+        assert!(r.trace.is_none());
         // Unknown nodes surface as engine errors, not panics.
-        let (_, resp) =
-            dispatch_request(&mut engine, Request::ReverseTopk { q: 99, k: 2, update: false });
+        let (_, resp) = dispatch_request(
+            &mut engine,
+            Request::ReverseTopk { q: 99, k: 2, update: false, trace: false },
+        );
         assert!(matches!(resp, Response::Error { code: STATUS_ENGINE_ERROR, .. }), "{resp:?}");
+    }
+
+    #[test]
+    fn traced_queries_attach_phase_spans_without_changing_answers() {
+        let mut engine = toy_engine(1);
+        let plain = engine.reverse_topk(0, 2, false).unwrap();
+        let (_, resp) = dispatch_request(
+            &mut engine,
+            Request::ReverseTopk { q: 0, k: 2, update: false, trace: true },
+        );
+        let Response::ReverseTopk(traced) = resp else { panic!("wrong response: {resp:?}") };
+        // Bitwise-identical answer, plus a span tree with the two-phase
+        // breakdown whose child durations sum to the root.
+        assert_eq!(traced.nodes, plain.nodes);
+        assert_eq!(traced.proximities, plain.proximities);
+        let trace = traced.trace.expect("traced response carries a span tree");
+        assert_eq!(trace.name, "engine:reverse_topk");
+        let names: Vec<&str> = trace.children.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, ["pmpn_solve", "screen", "commit"]);
+        let child_sum: f64 = trace.children.iter().map(|c| c.duration_seconds).sum();
+        assert!(
+            (child_sum - trace.duration_seconds).abs() <= 1e-12 * trace.duration_seconds.max(1.0)
+        );
+
+        // The shard flavor traces too, annotated with its shard id.
+        use rtk_core::index::ShardSlice;
+        let sharded = toy_engine(2);
+        let slice = ShardSlice::from_index(sharded.index(), 0).unwrap();
+        let mut shard = ShardEngine::from_parts(rtk_datasets::toy_graph(), slice).unwrap();
+        let partial = shard.shard_reverse_topk_traced(0, 2, false).unwrap();
+        let trace = partial.result.trace.expect("traced shard response carries a span tree");
+        assert_eq!(trace.name, "engine:shard_reverse_topk");
+        assert!(trace.annotations.iter().any(|(k, v)| k == "shard" && v == "0"));
     }
 
     #[test]

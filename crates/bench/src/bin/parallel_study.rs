@@ -19,10 +19,13 @@
 //! cargo run --release -p rtk-bench --bin parallel_study -- --quick
 //! ```
 
-use rtk_bench::{banner, graph_summary, mean, print_table, query_workload};
+use rtk_bench::{
+    banner, graph_json, graph_summary, mean, obj, print_table, query_workload, write_json_artifact,
+};
 use rtk_graph::gen::{rmat, RmatConfig};
 use rtk_graph::TransitionMatrix;
 use rtk_index::{HubSelection, HubSolver, IndexConfig, ReverseIndex};
+use rtk_obs::Json;
 use rtk_query::{QueryEngine, QueryOptions};
 use rtk_rwr::{proximity_to, BcaParams, RwrParams};
 use rtk_sparse::LatencyHistogram;
@@ -89,10 +92,11 @@ fn main() {
         }
         let speedup = pmpn_serial / secs;
         pmpn_rows.push(vec![threads.to_string(), format!("{secs:.4}"), format!("{speedup:.2}x")]);
-        pmpn_json.push(format!(
-            "    {{\"threads\": {threads}, \"mean_seconds\": {secs:.6}, \
-             \"speedup_vs_serial\": {speedup:.3}}}"
-        ));
+        pmpn_json.push(obj(vec![
+            ("threads", Json::U64(threads as u64)),
+            ("mean_seconds", Json::F64(secs)),
+            ("speedup_vs_serial", Json::F64(speedup)),
+        ]));
     }
     println!("### PMPN row computation (mean over {} probes)", pmpn_probes.len());
     print_table(&["threads", "mean (s)", "speedup"], &pmpn_rows);
@@ -135,14 +139,16 @@ fn main() {
             format!("{p99:.4}"),
             format!("{speedup:.2}x"),
         ]);
-        single_json.push(format!(
-            "    {{\"threads\": {threads}, \"mean_seconds\": {secs:.6}, \
-             \"mean_pmpn_seconds\": {:.6}, \"mean_screen_seconds\": {:.6}, \
-             \"p50_seconds\": {p50:.6}, \"p95_seconds\": {p95:.6}, \
-             \"p99_seconds\": {p99:.6}, \"speedup_vs_serial\": {speedup:.3}}}",
-            mean(&pmpns),
-            mean(&screens)
-        ));
+        single_json.push(obj(vec![
+            ("threads", Json::U64(threads as u64)),
+            ("mean_seconds", Json::F64(secs)),
+            ("mean_pmpn_seconds", Json::F64(mean(&pmpns))),
+            ("mean_screen_seconds", Json::F64(mean(&screens))),
+            ("p50_seconds", Json::F64(p50)),
+            ("p95_seconds", Json::F64(p95)),
+            ("p99_seconds", Json::F64(p99)),
+            ("speedup_vs_serial", Json::F64(speedup)),
+        ]));
     }
     println!("### Single reverse top-{K} query, frozen index ({queries} queries)");
     print_table(
@@ -182,10 +188,12 @@ fn main() {
             format!("{qps:.2}"),
             format!("{speedup:.2}x"),
         ]);
-        batch_json.push(format!(
-            "    {{\"threads\": {threads}, \"total_seconds\": {secs:.6}, \
-             \"queries_per_second\": {qps:.3}, \"speedup_vs_serial\": {speedup:.3}}}"
-        ));
+        batch_json.push(obj(vec![
+            ("threads", Json::U64(threads as u64)),
+            ("total_seconds", Json::F64(secs)),
+            ("queries_per_second", Json::F64(qps)),
+            ("speedup_vs_serial", Json::F64(speedup)),
+        ]));
     }
     println!("### Batch of {} independent queries (query_batch)", batch_queries.len());
     print_table(&["threads", "total (s)", "queries/s", "speedup"], &batch_rows);
@@ -222,28 +230,29 @@ fn main() {
             format!("{p99:.4}"),
             format!("{speedup:.2}x"),
         ]);
-        shard_json.push(format!(
-            "    {{\"shards\": {shards}, \"mean_seconds\": {secs:.6}, \
-             \"p50_seconds\": {p50:.6}, \"p95_seconds\": {p95:.6}, \
-             \"p99_seconds\": {p99:.6}, \"speedup_vs_one_shard\": {speedup:.3}}}"
-        ));
+        shard_json.push(obj(vec![
+            ("shards", Json::U64(shards as u64)),
+            ("mean_seconds", Json::F64(secs)),
+            ("p50_seconds", Json::F64(p50)),
+            ("p95_seconds", Json::F64(p95)),
+            ("p99_seconds", Json::F64(p99)),
+            ("speedup_vs_one_shard", Json::F64(speedup)),
+        ]));
     }
     println!("### Shard sweep, frozen single queries (all-core threads)");
     print_table(&["shards", "total (s)", "p50 (s)", "p95 (s)", "p99 (s)", "speedup"], &shard_rows);
     println!();
 
-    let json = format!(
-        "{{\n  \"bench\": \"parallel_query_study\",\n  \
-         \"graph\": {{\"kind\": \"rmat\", \"nodes\": {nodes}, \"edges\": {}, \"seed\": {seed}}},\n  \
-         \"k\": {K},\n  \"queries\": {queries},\n  \"threads_available\": {cores},\n  \
-         \"pmpn\": [\n{}\n  ],\n  \"single_query\": [\n{}\n  ],\n  \"batch\": [\n{}\n  ],\n  \
-         \"shard_sweep\": [\n{}\n  ]\n}}\n",
-        graph.edge_count(),
-        pmpn_json.join(",\n"),
-        single_json.join(",\n"),
-        batch_json.join(",\n"),
-        shard_json.join(",\n"),
-    );
-    std::fs::write(OUT_PATH, &json).expect("write BENCH_query.json");
-    println!("wrote {OUT_PATH}");
+    let artifact = obj(vec![
+        ("bench", Json::Str("parallel_query_study".into())),
+        ("graph", graph_json("rmat", nodes, graph.edge_count(), seed)),
+        ("k", Json::U64(K as u64)),
+        ("queries", Json::U64(queries as u64)),
+        ("threads_available", Json::U64(cores as u64)),
+        ("pmpn", Json::Arr(pmpn_json)),
+        ("single_query", Json::Arr(single_json)),
+        ("batch", Json::Arr(batch_json)),
+        ("shard_sweep", Json::Arr(shard_json)),
+    ]);
+    write_json_artifact(OUT_PATH, &artifact);
 }

@@ -20,11 +20,14 @@
 //! cargo run --release -p rtk-bench --bin router_study -- --quick
 //! ```
 
-use rtk_bench::{banner, graph_summary, print_table, query_workload};
+use rtk_bench::{
+    banner, graph_json, graph_summary, obj, print_table, query_workload, write_json_artifact,
+};
 use rtk_core::{ReverseTopkEngine, ShardEngine};
 use rtk_graph::gen::{rmat, RmatConfig};
 use rtk_graph::DiGraph;
 use rtk_index::ShardSlice;
+use rtk_obs::Json;
 use rtk_server::{Client, Router, RouterConfig, Server, ServerConfig, ServerHandle};
 use rtk_sparse::LatencyHistogram;
 use std::time::Instant;
@@ -83,7 +86,7 @@ fn main() {
 
     banner(
         "Router study",
-        "serial vs. concurrent fan-out over per-shard backends vs. one process (RTKWIRE1 v5)",
+        "serial vs. concurrent fan-out over per-shard backends vs. one process (RTKWIRE1 v6)",
         &format!("rmat n={nodes} m={edges} seed={seed}"),
         &format!("{requests} requests per sweep, k={K}, {cores} core(s) available"),
     );
@@ -127,16 +130,20 @@ fn main() {
             format!("{p50:.5}"),
             format!("{p99:.5}"),
         ]);
-        single_json.push(format!(
-            "      {{\"clients\": {clients}, \"total_seconds\": {secs:.6}, \
-             \"queries_per_second\": {qps:.3}, \"p50_seconds\": {p50:.6}, \
-             \"p95_seconds\": {p95:.6}, \"p99_seconds\": {p99:.6}}}"
-        ));
+        single_json.push(obj(vec![
+            ("clients", Json::U64(clients as u64)),
+            ("total_seconds", Json::F64(secs)),
+            ("queries_per_second", Json::F64(qps)),
+            ("p50_seconds", Json::F64(p50)),
+            ("p95_seconds", Json::F64(p95)),
+            ("p99_seconds", Json::F64(p99)),
+        ]));
     }
-    json_tiers.push(format!(
-        "    {{\"tier\": \"single\", \"backends\": 0, \"sweep\": [\n{}\n    ]}}",
-        single_json.join(",\n")
-    ));
+    json_tiers.push(obj(vec![
+        ("tier", Json::Str("single".into())),
+        ("backends", Json::U64(0)),
+        ("sweep", Json::Arr(single_json)),
+    ]));
 
     // Routed tiers: S shard-only backends, S ∈ BACKEND_COUNTS, each swept
     // under both fan-out modes — the serial-vs-concurrent comparison is
@@ -199,17 +206,21 @@ fn main() {
                     format!("{p50:.5}"),
                     format!("{p99:.5}"),
                 ]);
-                tier_json.push(format!(
-                    "      {{\"clients\": {clients}, \"total_seconds\": {secs:.6}, \
-                     \"queries_per_second\": {qps:.3}, \"p50_seconds\": {p50:.6}, \
-                     \"p95_seconds\": {p95:.6}, \"p99_seconds\": {p99:.6}}}"
-                ));
+                tier_json.push(obj(vec![
+                    ("clients", Json::U64(clients as u64)),
+                    ("total_seconds", Json::F64(secs)),
+                    ("queries_per_second", Json::F64(qps)),
+                    ("p50_seconds", Json::F64(p50)),
+                    ("p95_seconds", Json::F64(p95)),
+                    ("p99_seconds", Json::F64(p99)),
+                ]));
             }
-            json_tiers.push(format!(
-                "    {{\"tier\": \"router\", \"backends\": {backends}, \
-                 \"fanout\": \"{mode}\", \"sweep\": [\n{}\n    ]}}",
-                tier_json.join(",\n")
-            ));
+            json_tiers.push(obj(vec![
+                ("tier", Json::Str("router".into())),
+                ("backends", Json::U64(backends as u64)),
+                ("fanout", Json::Str(mode.into())),
+                ("sweep", Json::Arr(tier_json)),
+            ]));
 
             let mut client = Client::connect(router.addr()).expect("shutdown client");
             let stats = client.stats().expect("router stats");
@@ -303,13 +314,14 @@ fn main() {
     println!("\n### Frozen reverse top-{K} ({requests} requests per sweep)");
     print_table(&["tier", "clients", "total (s)", "req/s", "p50 (s)", "p99 (s)"], &rows);
 
-    let json = format!(
-        "{{\n  \"bench\": \"router_study\",\n  \
-         \"graph\": {{\"kind\": \"rmat\", \"nodes\": {nodes}, \"edges\": {edges}, \"seed\": {seed}}},\n  \
-         \"k\": {K},\n  \"requests\": {requests},\n  \"threads_available\": {cores},\n  \
-         \"tiers\": [\n{}\n  ]\n}}\n",
-        json_tiers.join(",\n")
-    );
-    std::fs::write(OUT_PATH, &json).expect("write BENCH_router.json");
-    println!("\nwrote {OUT_PATH}");
+    let artifact = obj(vec![
+        ("bench", Json::Str("router_study".into())),
+        ("graph", graph_json("rmat", nodes, edges, seed)),
+        ("k", Json::U64(K as u64)),
+        ("requests", Json::U64(requests as u64)),
+        ("threads_available", Json::U64(cores as u64)),
+        ("tiers", Json::Arr(json_tiers)),
+    ]);
+    println!();
+    write_json_artifact(OUT_PATH, &artifact);
 }

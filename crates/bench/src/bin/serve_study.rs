@@ -14,9 +14,12 @@
 //! cargo run --release -p rtk-bench --bin serve_study -- --quick
 //! ```
 
-use rtk_bench::{banner, graph_summary, print_table, query_workload};
+use rtk_bench::{
+    banner, graph_json, graph_summary, obj, print_table, query_workload, write_json_artifact,
+};
 use rtk_core::ReverseTopkEngine;
 use rtk_graph::gen::{rmat, RmatConfig};
+use rtk_obs::Json;
 use rtk_server::{Client, Server, ServerConfig};
 use rtk_sparse::LatencyHistogram;
 use std::time::Instant;
@@ -108,14 +111,16 @@ fn main() {
             format!("{p99:.5}"),
             format!("{:.2}x", qps / serial_qps),
         ]);
-        sweep_json.push(format!(
-            "    {{\"clients\": {clients}, \"total_seconds\": {secs:.6}, \
-             \"queries_per_second\": {qps:.3}, \"p50_seconds\": {p50:.6}, \
-             \"p95_seconds\": {p95:.6}, \"p99_seconds\": {p99:.6}, \
-             \"mean_seconds\": {:.6}, \"speedup_vs_serial\": {:.3}}}",
-            hist.mean(),
-            qps / serial_qps
-        ));
+        sweep_json.push(obj(vec![
+            ("clients", Json::U64(clients as u64)),
+            ("total_seconds", Json::F64(secs)),
+            ("queries_per_second", Json::F64(qps)),
+            ("p50_seconds", Json::F64(p50)),
+            ("p95_seconds", Json::F64(p95)),
+            ("p99_seconds", Json::F64(p99)),
+            ("mean_seconds", Json::F64(hist.mean())),
+            ("speedup_vs_serial", Json::F64(qps / serial_qps)),
+        ]));
     }
     println!("### Concurrent frozen reverse top-{K} queries ({requests} per sweep)");
     print_table(
@@ -151,27 +156,25 @@ fn main() {
     client.shutdown().expect("shutdown");
     handle.join().expect("server join");
 
-    let json = format!(
-        "{{\n  \"bench\": \"serve_study\",\n  \
-         \"graph\": {{\"kind\": \"rmat\", \"nodes\": {nodes}, \"edges\": {edges}, \"seed\": {seed}}},\n  \
-         \"k\": {K},\n  \"requests\": {requests},\n  \"server_workers\": {workers},\n  \
-         \"threads_available\": {cores},\n  \"concurrent\": [\n{}\n  ],\n  \
-         \"batch\": {{\"queries\": {}, \"total_seconds\": {batch_secs:.6}, \
-         \"queries_per_second\": {batch_qps:.3}}},\n  \
-         \"server\": {{\"total_requests\": {}, \"p50_seconds\": {:.6}, \
-         \"p95_seconds\": {:.6}, \"p99_seconds\": {:.6}, \"mean_seconds\": {:.6}, \
-         \"connections\": {}, \"protocol_errors\": {}, \"engine_errors\": {}}}\n}}\n",
-        sweep_json.join(",\n"),
-        batch.len(),
-        stats.total_requests(),
-        stats.p50_seconds,
-        stats.p95_seconds,
-        stats.p99_seconds,
-        stats.mean_seconds,
-        stats.connections,
-        stats.protocol_errors,
-        stats.engine_errors,
-    );
-    std::fs::write(OUT_PATH, &json).expect("write BENCH_serve.json");
-    println!("wrote {OUT_PATH}");
+    // `"server"` is the snapshot's own serialization — byte-for-byte the
+    // same schema `rtk remote stats --json` prints.
+    let artifact = obj(vec![
+        ("bench", Json::Str("serve_study".into())),
+        ("graph", graph_json("rmat", nodes, edges, seed)),
+        ("k", Json::U64(K as u64)),
+        ("requests", Json::U64(requests as u64)),
+        ("server_workers", Json::U64(workers as u64)),
+        ("threads_available", Json::U64(cores as u64)),
+        ("concurrent", Json::Arr(sweep_json)),
+        (
+            "batch",
+            obj(vec![
+                ("queries", Json::U64(batch.len() as u64)),
+                ("total_seconds", Json::F64(batch_secs)),
+                ("queries_per_second", Json::F64(batch_qps)),
+            ]),
+        ),
+        ("server", stats.to_json()),
+    ]);
+    write_json_artifact(OUT_PATH, &artifact);
 }

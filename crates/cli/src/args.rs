@@ -21,6 +21,8 @@ const BOOLEAN_FLAGS: &[&str] = &[
     "shard-only",
     "serial-fanout",
     "pipeline",
+    "trace",
+    "json",
     "help",
 ];
 

@@ -31,16 +31,19 @@ usage:
   rtk convert <in> <out>                         tsv <-> binary graph formats
   rtk serve --index <file> [--graph <file>] [--addr A] [--workers N]
             [--query-threads T] [--max-frame-mib M] [--max-connections C]
-            [--persist-dir D] [--auth-token T]   run the TCP server
+            [--persist-dir D] [--auth-token T] [--metrics-addr A]
+            [--log-file F] [--log-level L]      run the TCP server
   rtk serve --shard-only --shard I --index <manifest> --graph <file> [...]
                                                  serve ONE shard (router backend)
   rtk router --backends a:p,b:p,… [--addr A] [--workers N] [--max-connections C]
-             [--max-frame-mib M] [--auth-token T]  fan-out router over shard backends
-  rtk remote query --node Q --k K [--update] [--addr A]     query a server/router
+             [--max-frame-mib M] [--auth-token T] [--metrics-addr A]
+             [--log-file F] [--log-level L]     fan-out router over shard backends
+  rtk remote query --node Q --k K [--update] [--trace] [--addr A]   query a server/router
   rtk remote topk --node U --k K [--early] [--addr A]
   rtk remote batch --nodes a,b,c --k K [--addr A]
   rtk remote persist --out <server-path> [--addr A]         flush snapshot to disk
-  rtk remote stats|ping|shutdown [--addr A]      (all remote cmds take --auth-token)
+  rtk remote stats [--json] [--addr A]           server/tier counters
+  rtk remote ping|shutdown [--addr A]            (all remote cmds take --auth-token)
 
 datasets for `generate`: toy, web-cs-small, web-cs-sim, epinions-sim,
 web-std-sim, web-google-sim, webspam-sim, dblp-sim, rmat:<n>:<m>[:seed],
@@ -70,6 +73,18 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         }
         other => Err(format!("unknown command {other:?}\n{USAGE}")),
     }
+}
+
+/// Installs the process logger from `--log-level <error|warn|info|debug>`
+/// and `--log-file <path>` (stderr by default) — shared by the serving
+/// commands, which emit structured events for the tier's health changes.
+pub(crate) fn init_logging(args: &Parsed) -> Result<(), String> {
+    let level = match args.get("log-level") {
+        None => rtk_obs::Level::Info,
+        Some(s) => rtk_obs::Level::parse(s)
+            .ok_or_else(|| format!("--log-level: expected error|warn|info|debug, got {s:?}"))?,
+    };
+    rtk_obs::log::init(level, args.get("log-file").map(Path::new))
 }
 
 /// True when `path` should use the TSV edge-list format.

@@ -45,6 +45,7 @@ pub(crate) fn run(argv: &[String]) -> Result<(), String> {
         "batch" if args.has("pipeline") => batch_pipelined(&mut client, &args),
         "batch" => batch(&mut client, &args),
         "persist" => persist(&mut client, &args),
+        "stats" if args.has("json") => stats_json(&mut client),
         "stats" => stats(&mut client),
         "ping" => {
             RtkService::ping(&mut client).map_err(|e| format!("remote ping: {e}"))?;
@@ -85,7 +86,12 @@ fn query(svc: &mut impl RtkService, args: &Parsed) -> Result<(), String> {
     let q = node_flag(args)?;
     let k = args.get_num("k", 10u32)?;
     let update = args.has("update");
-    let r = svc.reverse_topk(q, k, update).map_err(|e| format!("remote query: {e}"))?;
+    let traced = args.has("trace");
+    let started = std::time::Instant::now();
+    let r =
+        if traced { svc.reverse_topk_traced(q, k, update) } else { svc.reverse_topk(q, k, update) }
+            .map_err(|e| format!("remote query: {e}"))?;
+    let round_trip = started.elapsed().as_secs_f64();
     println!(
         "reverse top-{k} of node {q}{}: {} result(s)",
         if update { " (update mode)" } else { "" },
@@ -98,6 +104,20 @@ fn query(svc: &mut impl RtkService, args: &Parsed) -> Result<(), String> {
         "stats: {} candidates | {} hits | {} refined ({} iterations) | {:.4}s server-side",
         r.candidates, r.hits, r.refined_nodes, r.refine_iterations, r.server_seconds
     );
+    if traced {
+        match r.trace {
+            Some(server_trace) => {
+                // Wrap the service's tree in a client-side root so the
+                // breakdown also shows what the network + wire cost on
+                // top of server-side time.
+                let mut root = rtk_obs::TraceSpan::new("client:remote_query", round_trip);
+                root.children.push(server_trace);
+                println!("\ntrace ({} span(s)):", root.node_count());
+                print!("{}", root.render());
+            }
+            None => println!("\ntrace: the service answered without a trace section"),
+        }
+    }
     Ok(())
 }
 
@@ -150,6 +170,15 @@ fn persist(svc: &mut impl RtkService, args: &Parsed) -> Result<(), String> {
         "server flushed its engine snapshot to {out} ({:.2} MiB)",
         bytes as f64 / (1024.0 * 1024.0)
     );
+    Ok(())
+}
+
+/// `stats --json`: the full snapshot as one pretty-printed JSON object —
+/// the same serializer the bench harness uses, so dashboards can ingest
+/// either source identically.
+fn stats_json(svc: &mut impl RtkService) -> Result<(), String> {
+    let s = svc.stats().map_err(|e| format!("remote stats: {e}"))?;
+    println!("{}", s.to_json().render_pretty());
     Ok(())
 }
 
@@ -332,7 +361,18 @@ mod tests {
                 "--out".into(),
                 snapshot.to_str().unwrap().into(),
             ],
+            vec![
+                "query".into(),
+                "--addr".into(),
+                addr.clone(),
+                "--node".into(),
+                "0".into(),
+                "--k".into(),
+                "2".into(),
+                "--trace".into(),
+            ],
             vec!["stats".into(), "--addr".into(), addr.clone()],
+            vec!["stats".into(), "--addr".into(), addr.clone(), "--json".into()],
             vec!["shutdown".into(), "--addr".into(), addr.clone()],
         ] {
             run(&argv).unwrap_or_else(|e| panic!("{argv:?}: {e}"));

@@ -13,6 +13,7 @@ use rtk_server::{Router, RouterConfig};
 const DEFAULT_ROUTER_ADDR: &str = "127.0.0.1:7314";
 
 pub(crate) fn run(args: &Parsed) -> Result<(), String> {
+    super::init_logging(args).map_err(|e| format!("router: {e}"))?;
     let backends: Vec<String> = args
         .get("backends")
         .ok_or_else(|| {
@@ -77,6 +78,7 @@ pub(crate) fn run(args: &Parsed) -> Result<(), String> {
             std::time::Duration::from_millis(ms)
         },
         health_seed: args.get_num("health-seed", defaults.health_seed)?,
+        metrics_addr: args.get("metrics-addr").map(str::to_string),
     };
 
     let router =
@@ -92,6 +94,9 @@ pub(crate) fn run(args: &Parsed) -> Result<(), String> {
         if config.auth_token.is_some() { ", auth required" } else { "" },
         router.local_addr()
     );
+    if let Some(maddr) = router.metrics_addr() {
+        println!("rtk router metrics on http://{maddr}/metrics (Prometheus text format)");
+    }
     router.run().map_err(|e| format!("router: {e}"))
 }
 

@@ -13,6 +13,7 @@ use std::io::Read;
 pub(crate) const DEFAULT_ADDR: &str = "127.0.0.1:7313";
 
 pub(crate) fn run(args: &Parsed) -> Result<(), String> {
+    super::init_logging(args).map_err(|e| format!("serve: {e}"))?;
     let addr = args.get("addr").unwrap_or(DEFAULT_ADDR);
     let config = ServerConfig {
         workers: args.get_num("workers", 0usize)?,
@@ -30,6 +31,7 @@ pub(crate) fn run(args: &Parsed) -> Result<(), String> {
             .get("chaos")
             .map(|spec| rtk_server::ChaosConfig::parse(spec).map_err(|e| format!("serve: {e}")))
             .transpose()?,
+        metrics_addr: args.get("metrics-addr").map(str::to_string),
     };
 
     let (server, what) = if args.has("shard-only") {
@@ -64,6 +66,9 @@ pub(crate) fn run(args: &Parsed) -> Result<(), String> {
         if config.auth_token.is_some() { ", auth required" } else { "" },
         server.local_addr()
     );
+    if let Some(maddr) = server.metrics_addr() {
+        println!("rtk-server metrics on http://{maddr}/metrics (Prometheus text format)");
+    }
     if config.chaos.is_some() {
         println!("rtk-server CHAOS injection enabled — answers may be dropped, delayed, or cut");
     }

@@ -1,0 +1,162 @@
+//! A tiny JSON value tree and renderer — just enough for structured log
+//! lines, `rtk remote stats --json`, and the bench study writers, without
+//! pulling in a serialisation dependency.
+
+/// One JSON value. Build the tree, then [`render`](Json::render) it.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A non-negative integer, rendered without a decimal point.
+    U64(u64),
+    /// A float, rendered with the shortest round-trippable form;
+    /// non-finite values render as `null` (JSON has no NaN/Inf).
+    F64(f64),
+    /// A string (escaped on render).
+    Str(String),
+    /// `[ … ]`.
+    Arr(Vec<Json>),
+    /// `{ … }` with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Renders the value as compact single-line JSON.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
+    }
+
+    /// Renders with members of objects/arrays split one per line and
+    /// indented — for files meant to be read by humans too.
+    pub fn render_pretty(&self) -> String {
+        let mut out = String::new();
+        self.render_pretty_into(&mut out, 0);
+        out
+    }
+
+    fn render_into(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::U64(v) => out.push_str(&v.to_string()),
+            Json::F64(v) => out.push_str(&render_f64(*v)),
+            Json::Str(s) => render_string(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.render_into(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(members) => {
+                out.push('{');
+                for (i, (k, v)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    render_string(k, out);
+                    out.push(':');
+                    v.render_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    fn render_pretty_into(&self, out: &mut String, depth: usize) {
+        match self {
+            Json::Arr(items) if !items.is_empty() => {
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    indent(out, depth + 1);
+                    item.render_pretty_into(out, depth + 1);
+                    out.push_str(if i + 1 < items.len() { ",\n" } else { "\n" });
+                }
+                indent(out, depth);
+                out.push(']');
+            }
+            Json::Obj(members) if !members.is_empty() => {
+                out.push_str("{\n");
+                for (i, (k, v)) in members.iter().enumerate() {
+                    indent(out, depth + 1);
+                    render_string(k, out);
+                    out.push_str(": ");
+                    v.render_pretty_into(out, depth + 1);
+                    out.push_str(if i + 1 < members.len() { ",\n" } else { "\n" });
+                }
+                indent(out, depth);
+                out.push('}');
+            }
+            other => other.render_into(out),
+        }
+    }
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn render_f64(v: f64) -> String {
+    if !v.is_finite() {
+        return "null".to_string();
+    }
+    // `{:?}` prints the shortest string that parses back to the same f64.
+    format!("{v:?}")
+}
+
+fn render_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_scalars_and_containers() {
+        let v = Json::Obj(vec![
+            ("ok".into(), Json::Bool(true)),
+            ("n".into(), Json::U64(42)),
+            ("x".into(), Json::F64(0.25)),
+            ("name".into(), Json::Str("a\"b\n".into())),
+            ("items".into(), Json::Arr(vec![Json::Null, Json::U64(1)])),
+        ]);
+        assert_eq!(v.render(), r#"{"ok":true,"n":42,"x":0.25,"name":"a\"b\n","items":[null,1]}"#);
+    }
+
+    #[test]
+    fn floats_round_trip_and_non_finite_is_null() {
+        assert_eq!(Json::F64(0.1).render(), "0.1");
+        assert_eq!(Json::F64(f64::NAN).render(), "null");
+        assert_eq!(Json::F64(f64::INFINITY).render(), "null");
+    }
+
+    #[test]
+    fn pretty_render_indents_members() {
+        let v = Json::Obj(vec![("a".into(), Json::Arr(vec![Json::U64(1), Json::U64(2)]))]);
+        let text = v.render_pretty();
+        assert!(text.contains("\"a\": [\n    1,\n    2\n  ]"), "{text}");
+        assert_eq!(Json::Arr(vec![]).render_pretty(), "[]");
+    }
+}

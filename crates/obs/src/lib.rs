@@ -1,0 +1,25 @@
+//! # rtk-obs — std-only observability for the reverse top-k stack
+//!
+//! Three small, dependency-free pieces shared by every tier:
+//!
+//! * [`trace`] — the [`TraceSpan`] tree that follows one traced query
+//!   through engine phases (PMPN solve → screen → commit), a server hop,
+//!   and the router's fan-out/wait/merge, plus its wire codec and an
+//!   indented flame-style text renderer;
+//! * [`log`] — leveled structured logging as JSON lines on stderr or a
+//!   `--log-file`, replacing ad-hoc `eprintln!` diagnostics;
+//! * [`json`] — a tiny JSON value builder/renderer shared by
+//!   `rtk remote stats --json` and the bench study writers.
+//!
+//! Everything here is pay-for-what-you-use: untraced requests never build
+//! spans or take timestamps, and the logger costs one atomic load when the
+//! level filters an event out. Tracing is observational only — it may
+//! never change answers (the tier's determinism contract).
+
+pub mod json;
+pub mod log;
+pub mod trace;
+
+pub use json::Json;
+pub use log::{log_event, Level};
+pub use trace::TraceSpan;

@@ -1,0 +1,213 @@
+//! [`TraceSpan`] — one node of a query's span tree.
+//!
+//! A traced request produces a tree: the root covers the whole operation
+//! at that tier, children cover phases or downstream hops. Each span
+//! records where it sits *relative to its parent* (`start_seconds`) and
+//! how long it ran (`duration_seconds`), so a tree stitched from several
+//! processes needs no clock synchronisation — every hop only reports
+//! offsets measured on its own monotonic clock.
+//!
+//! The wire codec here is what the v6 protocol embeds as the optional
+//! trace section of a response (see `docs/FORMATS.md`). Bounds are
+//! enforced *before* allocation: name/annotation strings are capped, and
+//! the total node count is budgeted by the caller from the remaining
+//! frame bytes, so a corrupt trace section cannot balloon memory.
+
+use rtk_sparse::codec::{
+    check_len, read_bytes_bounded, read_f64, read_u32, write_bytes, write_f64, write_u32,
+    DecodeError,
+};
+use std::io::{Read, Write};
+
+/// Longest span name / annotation key / annotation value, in bytes.
+pub const MAX_LABEL_BYTES: u64 = 256;
+/// Most annotations a single span may carry.
+pub const MAX_ANNOTATIONS: u64 = 64;
+/// Deepest span nesting the decoder will follow.
+pub const MAX_TRACE_DEPTH: usize = 32;
+/// Smallest possible encoded span (name len + 2 f64 + 2 u32 counts);
+/// callers derive a node budget from remaining payload bytes with this.
+pub const MIN_SPAN_BYTES: u64 = 32;
+
+/// One timed span in a query trace, positioned relative to its parent.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TraceSpan {
+    /// What this span covers, e.g. `pmpn_solve` or `shard0`.
+    pub name: String,
+    /// Start offset in seconds from the *parent* span's start (0 for a
+    /// root span).
+    pub start_seconds: f64,
+    /// How long the span ran.
+    pub duration_seconds: f64,
+    /// Small key=value facts about the span (candidate counts, replica
+    /// address, hedged/failover flags, …).
+    pub annotations: Vec<(String, String)>,
+    /// Sub-spans, each positioned relative to this span's start.
+    pub children: Vec<TraceSpan>,
+}
+
+impl TraceSpan {
+    /// A span with a name and duration, starting at its parent's start.
+    pub fn new(name: impl Into<String>, duration_seconds: f64) -> Self {
+        TraceSpan { name: name.into(), duration_seconds, ..Default::default() }
+    }
+
+    /// Adds one `key=value` annotation (builder style).
+    pub fn annotate(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.annotations.push((key.into(), value.into()));
+        self
+    }
+
+    /// Total spans in this tree (the root included).
+    pub fn node_count(&self) -> usize {
+        1 + self.children.iter().map(TraceSpan::node_count).sum::<usize>()
+    }
+
+    /// Serialises the tree: name, start, duration, annotations, children —
+    /// depth-first, each child immediately after its parent's child count.
+    pub fn encode<W: Write>(&self, w: &mut W) -> std::io::Result<()> {
+        write_bytes(w, self.name.as_bytes())?;
+        write_f64(w, self.start_seconds)?;
+        write_f64(w, self.duration_seconds)?;
+        write_u32(w, self.annotations.len() as u32)?;
+        for (k, v) in &self.annotations {
+            write_bytes(w, k.as_bytes())?;
+            write_bytes(w, v.as_bytes())?;
+        }
+        write_u32(w, self.children.len() as u32)?;
+        for child in &self.children {
+            child.encode(w)?;
+        }
+        Ok(())
+    }
+
+    /// Decodes a tree written by [`encode`](Self::encode), spending at most
+    /// `max_nodes` spans overall. Callers bound `max_nodes` by the bytes
+    /// actually present (`remaining / MIN_SPAN_BYTES + 1`) so a forged
+    /// child count fails cleanly instead of over-allocating.
+    pub fn decode_bounded<R: Read>(r: &mut R, max_nodes: u64) -> Result<TraceSpan, DecodeError> {
+        let mut budget = max_nodes;
+        Self::decode_node(r, &mut budget, 0)
+    }
+
+    fn decode_node<R: Read>(
+        r: &mut R,
+        budget: &mut u64,
+        depth: usize,
+    ) -> Result<TraceSpan, DecodeError> {
+        if depth > MAX_TRACE_DEPTH {
+            return Err(DecodeError::Corrupt(format!(
+                "trace span nesting exceeds depth {MAX_TRACE_DEPTH}"
+            )));
+        }
+        if *budget == 0 {
+            return Err(DecodeError::Corrupt("trace span count exceeds node budget".into()));
+        }
+        *budget -= 1;
+        let name = read_label(r, "trace span name")?;
+        let start_seconds = read_f64(r)?;
+        let duration_seconds = read_f64(r)?;
+        let n_ann = check_len(u64::from(read_u32(r)?), MAX_ANNOTATIONS, "trace annotations")?;
+        let mut annotations = Vec::with_capacity(n_ann);
+        for _ in 0..n_ann {
+            let k = read_label(r, "trace annotation key")?;
+            let v = read_label(r, "trace annotation value")?;
+            annotations.push((k, v));
+        }
+        let n_children = check_len(u64::from(read_u32(r)?), *budget, "trace children")?;
+        let mut children = Vec::with_capacity(n_children.min(64));
+        for _ in 0..n_children {
+            children.push(Self::decode_node(r, budget, depth + 1)?);
+        }
+        Ok(TraceSpan { name, start_seconds, duration_seconds, annotations, children })
+    }
+
+    /// Renders the tree as an indented flame-style breakdown, one span per
+    /// line: duration, start offset from the root, name, annotations.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out, 0, 0.0);
+        out
+    }
+
+    fn render_into(&self, out: &mut String, depth: usize, root_offset: f64) {
+        let abs_start = root_offset + self.start_seconds;
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+        out.push_str(&format!(
+            "{:<24} {:>10.3} ms  @ {:>10.3} ms",
+            self.name,
+            self.duration_seconds * 1e3,
+            abs_start * 1e3
+        ));
+        for (k, v) in &self.annotations {
+            out.push_str(&format!("  [{k}={v}]"));
+        }
+        out.push('\n');
+        for child in &self.children {
+            child.render_into(out, depth + 1, abs_start);
+        }
+    }
+}
+
+fn read_label<R: Read>(r: &mut R, what: &str) -> Result<String, DecodeError> {
+    let bytes = read_bytes_bounded(r, MAX_LABEL_BYTES)?;
+    String::from_utf8(bytes).map_err(|_| DecodeError::Corrupt(format!("{what}: invalid utf-8")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TraceSpan {
+        let mut root = TraceSpan::new("router:reverse_topk", 0.010);
+        let mut shard = TraceSpan::new("shard0", 0.007).annotate("replica", "127.0.0.1:7401");
+        shard.start_seconds = 0.001;
+        let mut screen = TraceSpan::new("screen", 0.004).annotate("candidates", "12");
+        screen.start_seconds = 0.002;
+        shard.children.push(TraceSpan::new("pmpn_solve", 0.002));
+        shard.children.push(screen);
+        root.children.push(shard);
+        root
+    }
+
+    #[test]
+    fn encode_decode_round_trips() {
+        let span = sample();
+        let mut buf = Vec::new();
+        span.encode(&mut buf).unwrap();
+        let decoded = TraceSpan::decode_bounded(&mut buf.as_slice(), 16).unwrap();
+        assert_eq!(decoded, span);
+        assert_eq!(decoded.node_count(), 4);
+    }
+
+    #[test]
+    fn decode_enforces_node_budget_and_label_bounds() {
+        let span = sample();
+        let mut buf = Vec::new();
+        span.encode(&mut buf).unwrap();
+        // Budget below the tree's node count fails cleanly.
+        let err = TraceSpan::decode_bounded(&mut buf.as_slice(), 2).unwrap_err();
+        assert!(matches!(err, DecodeError::Corrupt(_)), "{err:?}");
+
+        // Oversized name is rejected before allocation.
+        let long = TraceSpan::new("x".repeat(MAX_LABEL_BYTES as usize + 1), 0.0);
+        let mut buf = Vec::new();
+        long.encode(&mut buf).unwrap();
+        assert!(TraceSpan::decode_bounded(&mut buf.as_slice(), 4).is_err());
+    }
+
+    #[test]
+    fn render_indents_children_with_absolute_offsets() {
+        let text = sample().render();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("router:reverse_topk"), "{text}");
+        assert!(lines[1].starts_with("  shard0"), "{text}");
+        assert!(lines[1].contains("[replica=127.0.0.1:7401]"), "{text}");
+        assert!(lines[3].starts_with("    screen"), "{text}");
+        // screen starts at 1 ms (shard) + 2 ms (screen) = 3 ms from root.
+        assert!(lines[3].contains("@      3.000 ms"), "{text}");
+    }
+}

@@ -142,6 +142,38 @@ impl QueryStats {
         self.refine_iterations += other.refine_iterations;
         self.exact_fallbacks += other.exact_fallbacks;
     }
+
+    /// Rebuilds the two-phase breakdown as a span tree named `name`:
+    /// `pmpn_solve` → `screen` → `commit` children, positioned end to end
+    /// so their durations sum exactly to the root's. Built entirely from
+    /// timings every query records anyway — calling this adds no clock
+    /// reads, so traced and untraced runs execute identically.
+    pub fn to_trace(&self, name: &str) -> rtk_obs::TraceSpan {
+        use rtk_obs::TraceSpan;
+        let mut pmpn = TraceSpan::new("pmpn_solve", self.pmpn_seconds)
+            .annotate("iterations", self.pmpn_iterations.to_string());
+        pmpn.start_seconds = 0.0;
+        let mut screen = TraceSpan::new("screen", self.screen_seconds)
+            .annotate("candidates", self.candidates.to_string())
+            .annotate("hits", self.hits.to_string())
+            .annotate("pruned", self.pruned_by_lower_bound.to_string())
+            .annotate("refined_nodes", self.refined_nodes.to_string())
+            .annotate("refine_iterations", self.refine_iterations.to_string());
+        if self.exact_fallbacks > 0 {
+            screen = screen.annotate("exact_fallbacks", self.exact_fallbacks.to_string());
+        }
+        screen.start_seconds = self.pmpn_seconds;
+        // Whatever the total holds beyond the two measured phases (commit
+        // of refinements, result assembly) becomes the tail span.
+        let commit_seconds =
+            (self.total_seconds - self.pmpn_seconds - self.screen_seconds).max(0.0);
+        let mut commit = TraceSpan::new("commit", commit_seconds);
+        commit.start_seconds = self.pmpn_seconds + self.screen_seconds;
+        let mut root =
+            TraceSpan::new(name, self.pmpn_seconds + self.screen_seconds + commit_seconds);
+        root.children = vec![pmpn, screen, commit];
+        root
+    }
 }
 
 /// The result of a reverse top-k query.
@@ -1363,6 +1395,38 @@ mod tests {
             session.query_shard(&t, hm, alpha, 3, shard, 9, 1, &opts),
             Err(QueryError::NodeOutOfRange { node: 9, .. })
         ));
+    }
+
+    #[test]
+    fn stats_rebuild_as_a_span_tree_with_exact_phase_sums() {
+        let stats = QueryStats {
+            candidates: 12,
+            hits: 9,
+            pruned_by_lower_bound: 80,
+            refined_nodes: 3,
+            refine_iterations: 5,
+            exact_fallbacks: 1,
+            pmpn_iterations: 17,
+            pmpn_seconds: 0.002,
+            screen_seconds: 0.006,
+            total_seconds: 0.009,
+        };
+        let trace = stats.to_trace("engine:reverse_topk");
+        assert_eq!(trace.name, "engine:reverse_topk");
+        let names: Vec<&str> = trace.children.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, ["pmpn_solve", "screen", "commit"]);
+        // Phases tile the root span: each starts where the previous ended
+        // and durations sum exactly to the root duration.
+        let mut cursor = 0.0;
+        for child in &trace.children {
+            assert_eq!(child.start_seconds, cursor, "{}", child.name);
+            cursor += child.duration_seconds;
+        }
+        assert_eq!(cursor, trace.duration_seconds);
+        assert_eq!(trace.duration_seconds, stats.total_seconds);
+        let screen = &trace.children[1];
+        assert!(screen.annotations.iter().any(|(k, v)| k == "candidates" && v == "12"));
+        assert!(screen.annotations.iter().any(|(k, _)| k == "exact_fallbacks"));
     }
 
     #[test]

@@ -149,7 +149,7 @@ impl FromResponse for Vec<WireQueryResult> {
 impl FromResponse for StatsSnapshot {
     fn from_response(resp: Response) -> Result<Self, ServerError> {
         match resp {
-            Response::Stats(s) => Ok(s),
+            Response::Stats(s) => Ok(*s),
             other => remote_err(other, "stats snapshot"),
         }
     }
@@ -341,7 +341,19 @@ impl Client {
         k: u32,
         update: bool,
     ) -> Result<Pending<WireQueryResult>, ServerError> {
-        self.submit_typed(&Request::ReverseTopk { q, k, update })
+        self.submit_typed(&Request::ReverseTopk { q, k, update, trace: false })
+    }
+
+    /// [`Self::submit_reverse_topk`] with the wire v6 trace flag set: the
+    /// answer carries the service's span tree (router hops included) in
+    /// `WireQueryResult::trace`. Same answer bytes otherwise.
+    pub fn submit_reverse_topk_traced(
+        &mut self,
+        q: u32,
+        k: u32,
+        update: bool,
+    ) -> Result<Pending<WireQueryResult>, ServerError> {
+        self.submit_typed(&Request::ReverseTopk { q, k, update, trace: true })
     }
 
     /// [`Self::submit`] with a typed handle for a shard-scoped query.
@@ -351,7 +363,17 @@ impl Client {
         k: u32,
         update: bool,
     ) -> Result<Pending<WireShardResult>, ServerError> {
-        self.submit_typed(&Request::ShardReverseTopk { q, k, update })
+        self.submit_typed(&Request::ShardReverseTopk { q, k, update, trace: false })
+    }
+
+    /// [`Self::submit_shard_reverse_topk`] with the wire v6 trace flag set.
+    pub fn submit_shard_reverse_topk_traced(
+        &mut self,
+        q: u32,
+        k: u32,
+        update: bool,
+    ) -> Result<Pending<WireShardResult>, ServerError> {
+        self.submit_typed(&Request::ShardReverseTopk { q, k, update, trace: true })
     }
 
     /// [`Self::submit`] with a typed handle for a forward top-k search.
@@ -440,7 +462,7 @@ impl Client {
     ) -> Result<Vec<WireQueryResult>, ServerError> {
         let pending: Vec<Pending<Response>> = queries
             .iter()
-            .map(|&(q, k)| self.submit(&Request::ReverseTopk { q, k, update }))
+            .map(|&(q, k)| self.submit(&Request::ReverseTopk { q, k, update, trace: false }))
             .collect::<Result<_, _>>()?;
         // Collect the whole burst first — retrying while later submissions
         // are still in flight could bounce off the depth cap again.
@@ -506,6 +528,18 @@ impl Client {
         self.wait(pending)
     }
 
+    /// [`Self::reverse_topk`] with tracing requested: the answer's `trace`
+    /// field carries the span tree of every hop that served it.
+    pub fn reverse_topk_traced(
+        &mut self,
+        q: u32,
+        k: u32,
+        update: bool,
+    ) -> Result<WireQueryResult, ServerError> {
+        let pending = self.submit_reverse_topk_traced(q, k, update)?;
+        self.wait(pending)
+    }
+
     /// The shard-scoped slice of one reverse top-k query: only the
     /// receiving backend's shard range is screened. Answered by `rtk
     /// serve --shard-only` backends; the router sends these and merges.
@@ -545,7 +579,7 @@ impl Client {
     /// Server metrics + engine info.
     pub fn stats(&mut self) -> Result<StatsSnapshot, ServerError> {
         match self.call(&Request::Stats)? {
-            Response::Stats(s) => Ok(s),
+            Response::Stats(s) => Ok(*s),
             other => Err(unexpected("stats snapshot", &other)),
         }
     }
@@ -583,6 +617,15 @@ impl RtkService for Client {
         Client::reverse_topk(self, q, k, update).map_err(transport)
     }
 
+    fn reverse_topk_traced(
+        &mut self,
+        q: u32,
+        k: u32,
+        update: bool,
+    ) -> ServiceResult<WireQueryResult> {
+        Client::reverse_topk_traced(self, q, k, update).map_err(transport)
+    }
+
     fn shard_reverse_topk(
         &mut self,
         q: u32,
@@ -590,6 +633,16 @@ impl RtkService for Client {
         update: bool,
     ) -> ServiceResult<WireShardResult> {
         Client::shard_reverse_topk(self, q, k, update).map_err(transport)
+    }
+
+    fn shard_reverse_topk_traced(
+        &mut self,
+        q: u32,
+        k: u32,
+        update: bool,
+    ) -> ServiceResult<WireShardResult> {
+        let pending = self.submit_shard_reverse_topk_traced(q, k, update).map_err(transport)?;
+        self.wait(pending).map_err(transport)
     }
 
     fn topk(&mut self, u: u32, k: u32, early: bool) -> ServiceResult<WireTopk> {

@@ -10,12 +10,12 @@
 //! a hand-rolled wire protocol built from the same [`rtk_sparse::codec`]
 //! primitives as the on-disk formats.
 //!
-//! ## Wire protocol (`RTKWIRE1`, version 5 — pipelined)
+//! ## Wire protocol (`RTKWIRE1`, version 6 — pipelined, traceable)
 //!
 //! | field      | size | meaning                                  |
 //! |------------|------|------------------------------------------|
 //! | magic      | 8 B  | `"RTKWIRE1"`                             |
-//! | version    | 4 B  | `u32`, currently 5                       |
+//! | version    | 4 B  | `u32`, currently 6                       |
 //! | request id | 8 B  | `u64`, echoed on the response            |
 //! | length     | 4 B  | `u32` payload bytes (capped per config)  |
 //! | payload    | *n*  | tagged request / status-prefixed response|
@@ -117,12 +117,31 @@
 //! while the connection stays up. Graceful shutdown drains in-flight
 //! requests and joins every reader and worker.
 //!
-//! ## Metrics
+//! ## Observability
 //!
-//! [`ServerMetrics`] tracks per-request-type counts, the
-//! `inflight_peak` pipelining high-water mark, plus a fixed-bucket
-//! latency histogram ([`rtk_sparse::LatencyHistogram`]) whose deterministic
-//! p50/p95/p99 are queryable over the wire (`Client::stats`).
+//! Three pay-for-what-you-use layers, all `std`-only (`rtk-obs`):
+//!
+//! * **Tracing** — wire v6 lets a query request opt into a trace
+//!   ([`Client::reverse_topk_traced`], CLI `rtk remote query --trace`):
+//!   the response carries an [`rtk_obs::TraceSpan`] tree breaking the
+//!   answer down by phase (PMPN solve / screen / commit), and the router
+//!   stitches each backend's sub-trace under a per-shard span annotated
+//!   with the replica that answered and whether a hedge or failover
+//!   fired. Untraced requests encode byte-identically to wire v5 and
+//!   take **zero** timing syscalls on the trace path; traced answers are
+//!   bitwise-equal to untraced ones (the determinism contract — pinned
+//!   by `tests/trace_observability.rs` at the workspace root).
+//! * **Metrics** — [`ServerMetrics`] tracks per-request-kind counts and
+//!   latency histograms ([`rtk_sparse::LatencyHistogram`]) with
+//!   deterministic p50/p95/p99, queryable over the wire
+//!   (`Client::stats`, CLI `rtk remote stats [--json]`) and scrapeable:
+//!   `ServerConfig::metrics_addr` / `RouterConfig::metrics_addr` (CLI
+//!   `--metrics-addr`) serve `GET /metrics` in Prometheus text format
+//!   from a tiny hand-rolled HTTP/1.0 endpoint.
+//! * **Logs** — server and router health transitions (replica marked
+//!   unhealthy, re-admitted by the prober, hedge fired) emit structured
+//!   JSON lines through [`rtk_obs::log_event`] (CLI `--log-level`,
+//!   `--log-file`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -131,6 +150,7 @@ pub mod chaos;
 pub mod client;
 pub mod error;
 pub mod handler;
+pub(crate) mod http;
 pub mod metrics;
 pub mod router;
 pub mod server;

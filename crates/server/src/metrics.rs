@@ -4,7 +4,7 @@
 //! [`rtk_api::model`] — they are part of the request surface, not of this
 //! server implementation. This module owns the live counters.
 
-use rtk_api::model::REQUEST_KINDS;
+use rtk_api::model::{KindLatency, REQUEST_KINDS};
 use rtk_sparse::LatencyHistogram;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -12,11 +12,14 @@ use std::time::Instant;
 
 pub use rtk_api::model::{EngineInfo, RequestKind, StatsSnapshot};
 
-/// Live counters + latency histogram, shared across worker threads.
+/// Live counters + latency histograms, shared across worker threads.
 ///
-/// Counters are lock-free atomics; the histogram sits behind a mutex that is
-/// held only for the O(1) bucket increment, so contention stays negligible
-/// next to query work.
+/// Counters are lock-free atomics; the histograms sit behind per-kind
+/// mutexes that are held only for the O(1) bucket increment, so contention
+/// stays negligible next to query work. Keeping one histogram per request
+/// kind (wire v6) stops `ping` round-trips from diluting the
+/// `reverse_topk` tail that the router's hedge-delay quantile watches; the
+/// aggregate view is reconstructed by merging at snapshot time.
 pub struct ServerMetrics {
     started: Instant,
     requests: [AtomicU64; REQUEST_KINDS],
@@ -37,7 +40,7 @@ pub struct ServerMetrics {
     hedged_requests: AtomicU64,
     /// Router only: shard calls transparently retried on another replica.
     failovers: AtomicU64,
-    latency: Mutex<LatencyHistogram>,
+    latency: [Mutex<LatencyHistogram>; REQUEST_KINDS],
 }
 
 impl Default for ServerMetrics {
@@ -62,13 +65,13 @@ impl ServerMetrics {
             inflight_rejections: AtomicU64::new(0),
             hedged_requests: AtomicU64::new(0),
             failovers: AtomicU64::new(0),
-            latency: Mutex::new(LatencyHistogram::new()),
+            latency: std::array::from_fn(|_| Mutex::new(LatencyHistogram::new())),
         }
     }
 
     pub(crate) fn record_request(&self, kind: RequestKind, seconds: f64) {
         self.requests[kind as usize].fetch_add(1, Ordering::Relaxed);
-        self.latency.lock().expect("metrics lock").record(seconds);
+        self.latency[kind as usize].lock().expect("metrics lock").record(seconds);
     }
 
     pub(crate) fn record_protocol_error(&self) {
@@ -132,7 +135,24 @@ impl ServerMetrics {
         shard_bytes: Vec<u64>,
         unhealthy_backends: u64,
     ) -> StatsSnapshot {
-        let hist = self.latency.lock().expect("metrics lock").clone();
+        let per_kind: Vec<LatencyHistogram> =
+            self.latency.iter().map(|h| h.lock().expect("metrics lock").clone()).collect();
+        let mut hist = LatencyHistogram::new();
+        for h in &per_kind {
+            hist.merge(h);
+        }
+        let mut kind_latency = [KindLatency::default(); REQUEST_KINDS];
+        for (kl, h) in kind_latency.iter_mut().zip(&per_kind) {
+            let (p50, p95, p99) = h.percentiles();
+            *kl = KindLatency {
+                count: h.count(),
+                mean_seconds: h.mean(),
+                p50_seconds: p50,
+                p95_seconds: p95,
+                p99_seconds: p99,
+                max_seconds: h.max(),
+            };
+        }
         let (p50, p95, p99) = hist.percentiles();
         let get = |k: RequestKind| self.requests[k as usize].load(Ordering::Relaxed);
         StatsSnapshot {
@@ -169,7 +189,129 @@ impl ServerMetrics {
             shard_hi: engine.shard_hi,
             shard_nodes,
             shard_bytes,
+            kind_latency,
         }
+    }
+
+    /// Renders every counter, gauge and per-kind latency histogram in the
+    /// Prometheus text exposition format (version 0.0.4) — the body of the
+    /// `GET /metrics` endpoint `--metrics-addr` serves.
+    pub fn render_prometheus(&self, unhealthy_backends: u64) -> String {
+        let mut out = String::with_capacity(4096);
+        let counter = |out: &mut String, name: &str, help: &str, v: u64| {
+            out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} counter\n{name} {v}\n"));
+        };
+        let gauge = |out: &mut String, name: &str, help: &str, v: f64| {
+            out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} gauge\n{name} {v}\n"));
+        };
+
+        out.push_str("# HELP rtk_requests_total Completed requests by kind.\n");
+        out.push_str("# TYPE rtk_requests_total counter\n");
+        for kind in RequestKind::ALL {
+            let v = self.requests[kind as usize].load(Ordering::Relaxed);
+            out.push_str(&format!("rtk_requests_total{{kind=\"{}\"}} {v}\n", kind.name()));
+        }
+
+        out.push_str(
+            "# HELP rtk_request_latency_seconds Request latency by kind.\n\
+             # TYPE rtk_request_latency_seconds histogram\n",
+        );
+        for kind in RequestKind::ALL {
+            let hist = self.latency[kind as usize].lock().expect("metrics lock").clone();
+            if hist.count() == 0 {
+                continue;
+            }
+            let name = kind.name();
+            for (edge, cumulative) in hist.cumulative_buckets() {
+                let le = if edge.is_infinite() { "+Inf".to_string() } else { format!("{edge:e}") };
+                out.push_str(&format!(
+                    "rtk_request_latency_seconds_bucket{{kind=\"{name}\",le=\"{le}\"}} \
+                     {cumulative}\n"
+                ));
+            }
+            out.push_str(&format!(
+                "rtk_request_latency_seconds_sum{{kind=\"{name}\"}} {}\n",
+                hist.sum()
+            ));
+            out.push_str(&format!(
+                "rtk_request_latency_seconds_count{{kind=\"{name}\"}} {}\n",
+                hist.count()
+            ));
+        }
+
+        gauge(
+            &mut out,
+            "rtk_inflight",
+            "Requests currently queued or executing.",
+            self.inflight.load(Ordering::Acquire) as f64,
+        );
+        gauge(
+            &mut out,
+            "rtk_inflight_peak",
+            "High-water mark of in-flight requests since start.",
+            self.inflight_peak.load(Ordering::Relaxed) as f64,
+        );
+        counter(
+            &mut out,
+            "rtk_connections_total",
+            "Connections accepted since start.",
+            self.connections.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "rtk_rejected_connections_total",
+            "Connections refused at the max_connections cap.",
+            self.rejected_connections.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "rtk_auth_failures_total",
+            "Requests rejected for a bad auth token.",
+            self.auth_failures.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "rtk_protocol_errors_total",
+            "Malformed frames or requests observed.",
+            self.protocol_errors.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "rtk_engine_errors_total",
+            "Requests the engine rejected or failed.",
+            self.engine_errors.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "rtk_inflight_rejections_total",
+            "Requests answered busy at the max_inflight pipeline cap.",
+            self.inflight_rejections.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "rtk_hedged_requests_total",
+            "Shard calls that fired a second replica after the hedge delay.",
+            self.hedged_requests.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "rtk_failovers_total",
+            "Shard calls transparently retried on another replica.",
+            self.failovers.load(Ordering::Relaxed),
+        );
+        gauge(
+            &mut out,
+            "rtk_unhealthy_backends",
+            "Backend replicas currently marked unhealthy (router only).",
+            unhealthy_backends as f64,
+        );
+        gauge(
+            &mut out,
+            "rtk_uptime_seconds",
+            "Seconds since the process started serving.",
+            self.started.elapsed().as_secs_f64(),
+        );
+        out
     }
 }
 
@@ -259,5 +401,63 @@ mod tests {
         assert_eq!(snap.stats, 1);
         assert_eq!(snap.reverse_topk, 0);
         assert_eq!(snap.total_requests(), 6);
+    }
+
+    #[test]
+    fn latency_is_split_per_kind_but_aggregates_match() {
+        let m = ServerMetrics::new();
+        // Fast pings must not dilute the slow reverse_topk tail.
+        for _ in 0..100 {
+            m.record_request(RequestKind::Ping, 1e-5);
+        }
+        for _ in 0..10 {
+            m.record_request(RequestKind::ReverseTopk, 0.05);
+        }
+        let snap = m.snapshot(info(1), vec![1], vec![1], 0);
+        let ping = snap.kind_latency[RequestKind::Ping as usize];
+        let rtk = snap.kind_latency[RequestKind::ReverseTopk as usize];
+        assert_eq!(ping.count, 100);
+        assert_eq!(rtk.count, 10);
+        assert!(rtk.p50_seconds >= 0.05, "p50={}", rtk.p50_seconds);
+        assert!(ping.p99_seconds < 0.001, "p99={}", ping.p99_seconds);
+        // The aggregate view is the merge of every kind.
+        assert_eq!(snap.latency_count, 110);
+        assert_eq!(snap.max_seconds, rtk.max_seconds);
+        // The global p50 sits in ping territory (100 of 110 observations).
+        assert!(snap.p50_seconds < 0.001, "p50={}", snap.p50_seconds);
+        // Untouched kinds stay default.
+        assert_eq!(snap.kind_latency[RequestKind::Persist as usize], KindLatency::default());
+    }
+
+    #[test]
+    fn prometheus_rendering_exposes_counters_and_histograms() {
+        let m = ServerMetrics::new();
+        m.record_request(RequestKind::ReverseTopk, 0.004);
+        m.record_request(RequestKind::ReverseTopk, 0.006);
+        m.record_hedged_request();
+        let text = m.render_prometheus(1);
+        // Every kind appears in the counter family, even untouched ones.
+        assert!(text.contains("rtk_requests_total{kind=\"reverse_topk\"} 2"), "{text}");
+        assert!(text.contains("rtk_requests_total{kind=\"ping\"} 0"), "{text}");
+        // Histogram series only for kinds with observations, ending at +Inf.
+        assert!(
+            text.contains(
+                "rtk_request_latency_seconds_bucket{kind=\"reverse_topk\",le=\"+Inf\"} 2"
+            ),
+            "{text}"
+        );
+        assert!(!text.contains("rtk_request_latency_seconds_bucket{kind=\"ping\""), "{text}");
+        assert!(text.contains("rtk_request_latency_seconds_count{kind=\"reverse_topk\"} 2"));
+        assert!(text.contains("rtk_hedged_requests_total 1"), "{text}");
+        assert!(text.contains("rtk_unhealthy_backends 1"), "{text}");
+        // Basic exposition-format shape: every non-comment line is
+        // `name{labels} value` with a parseable float value.
+        for line in text.lines() {
+            if line.starts_with('#') {
+                continue;
+            }
+            let (_, value) = line.rsplit_once(' ').expect("metric line has a value");
+            assert!(value.parse::<f64>().is_ok(), "unparseable value in {line:?}");
+        }
     }
 }

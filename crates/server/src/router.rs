@@ -73,6 +73,7 @@ use rand::{Rng, SeedableRng};
 use rtk_api::service::{dispatch_request, RtkService, ServiceError, ServiceResult};
 use rtk_api::{StatsSnapshot, WireShardResult, WireTopk};
 use rtk_index::ShardMap;
+use rtk_obs::{log_event, Json, Level, TraceSpan};
 use rtk_sparse::LatencyHistogram;
 use std::io;
 use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
@@ -127,6 +128,10 @@ pub struct RouterConfig {
     /// Seed for the per-replica backoff jitter — deterministic retry
     /// schedules make fault-injection runs reproducible.
     pub health_seed: u64,
+    /// When set, an HTTP/1.0 metrics endpoint binds this address and
+    /// serves the tier's counters at `GET /metrics` in Prometheus text
+    /// format (see the `http` module). `None` (the default) serves none.
+    pub metrics_addr: Option<String>,
 }
 
 impl Default for RouterConfig {
@@ -144,6 +149,7 @@ impl Default for RouterConfig {
             hedge_min_delay: Duration::from_millis(10),
             probe_interval: Duration::from_millis(250),
             health_seed: 0,
+            metrics_addr: None,
         }
     }
 }
@@ -179,13 +185,22 @@ struct ReplicaSet {
     cursor: AtomicU64,
 }
 
+/// A submitted frozen call: the replica holding it, the connection it
+/// rides on, and when it was submitted.
+struct InFlight {
+    idx: usize,
+    client: Client,
+    pending: Pending<Response>,
+    started: Instant,
+}
+
 /// One shard's slice of a concurrent fan-out.
 // In a healthy fan-out every slot is the large `InFlight` variant, so
 // boxing it would trade one allocation per shard call for nothing.
 #[allow(clippy::large_enum_variant)]
 enum FanSlot {
-    /// Submitted on replica `idx`, waiting on its connection.
-    InFlight { idx: usize, client: Client, pending: Pending<Response>, started: Instant },
+    /// Submitted on replica `InFlight::idx`, waiting on its connection.
+    InFlight(InFlight),
     /// The submit phase failed on replica `idx`; the wait phase retries
     /// fresh and fails over.
     SubmitFailed(usize),
@@ -196,6 +211,31 @@ enum FanSlot {
 
 /// What one replica wait-thread reports back to the hedged race.
 type RaceMsg = (usize, Option<Client>, Result<Response, String>);
+
+/// How one shard call was actually served: which replica answered,
+/// whether the hedge fired, how many failovers were walked. The metrics
+/// counters record the same events independently — this struct exists so
+/// a *traced* query can annotate its span tree with them.
+#[derive(Default)]
+struct CallMeta {
+    /// Address of the replica whose answer was used.
+    replica: Option<SocketAddr>,
+    /// Whether a hedge was launched for this call (the hedge may or may
+    /// not have been the answer that won).
+    hedged: bool,
+    /// Failovers walked before an answer (0 on the happy path).
+    failovers: u32,
+}
+
+/// One shard's resolved slice of a fan-out: the response (or error), how
+/// it was served, and — when the query is traced — when this shard's call
+/// was submitted and answered, as offsets from the router's root span.
+struct ShardCall {
+    outcome: Result<Response, String>,
+    meta: CallMeta,
+    submit_offset: f64,
+    answer_offset: f64,
+}
 
 /// Everything the router's workers share.
 struct RouterCtx {
@@ -244,6 +284,9 @@ pub struct Router {
     listener: TcpListener,
     ctx: Arc<RouterCtx>,
     workers: usize,
+    /// Where the optional Prometheus endpoint is bound (ephemeral ports
+    /// resolved); `None` when `RouterConfig::metrics_addr` was unset.
+    metrics_addr: Option<SocketAddr>,
 }
 
 impl Router {
@@ -437,12 +480,22 @@ impl Router {
             shard_latency: Mutex::new(LatencyHistogram::new()),
             local_addr,
         });
-        Ok(Self { listener, ctx, workers })
+        let metrics_addr = match &config.metrics_addr {
+            Some(maddr) => Some(crate::http::spawn_metrics_endpoint(maddr, Arc::clone(&ctx))?),
+            None => None,
+        };
+        Ok(Self { listener, ctx, workers, metrics_addr })
     }
 
     /// The bound client-facing address (resolves ephemeral ports).
     pub fn local_addr(&self) -> SocketAddr {
         self.ctx.local_addr
+    }
+
+    /// Where the Prometheus `GET /metrics` endpoint is bound, when
+    /// [`RouterConfig::metrics_addr`] was set (ephemeral ports resolved).
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics_addr
     }
 
     /// Number of backend replicas behind this router (across all shards).
@@ -460,7 +513,7 @@ impl Router {
     /// Also runs the background health prober for the lifetime of the
     /// serve loop.
     pub fn run(self) -> io::Result<()> {
-        let Router { listener, ctx, workers } = self;
+        let Router { listener, ctx, workers, metrics_addr: _ } = self;
         let prober = {
             let ctx = Arc::clone(&ctx);
             std::thread::spawn(move || ctx.probe_loop())
@@ -503,8 +556,19 @@ impl RouterCtx {
             .min(BACKOFF_CAP.as_secs_f64());
         let jitter: f64 = h.rng.gen_range(0.5..1.5);
         h.next_retry_at = Instant::now() + Duration::from_secs_f64(backoff * jitter);
+        let failures = h.consecutive_failures;
         drop(h);
         replica.pool.lock().expect("replica pool lock").clear();
+        log_event(
+            Level::Warn,
+            "router",
+            "replica marked unhealthy",
+            &[
+                ("replica", Json::Str(replica.addr.to_string())),
+                ("consecutive_failures", Json::U64(u64::from(failures))),
+                ("backoff_seconds", Json::F64(backoff * jitter)),
+            ],
+        );
     }
 
     /// Number of replicas currently marked unhealthy, tier-wide.
@@ -573,6 +637,12 @@ impl RouterCtx {
                                 // the fresh pool.
                                 self.mark_success(replica);
                                 self.checkin(replica, client);
+                                log_event(
+                                    Level::Info,
+                                    "router",
+                                    "replica re-admitted by prober",
+                                    &[("replica", Json::Str(replica.addr.to_string()))],
+                                );
                             }
                             Err(_) => self.mark_failure(replica),
                         },
@@ -718,6 +788,7 @@ impl RouterCtx {
         request: &Request,
         frozen: bool,
         mut prior_failure: bool,
+        meta: &mut CallMeta,
     ) -> Result<Response, String> {
         let candidates = self.candidates(set, frozen);
         if candidates.is_empty() {
@@ -731,9 +802,13 @@ impl RouterCtx {
         for idx in candidates {
             if prior_failure {
                 self.metrics.record_failover();
+                meta.failovers += 1;
             }
             match self.try_replica(set, idx, request) {
-                Ok(resp) => return Ok(resp),
+                Ok(resp) => {
+                    meta.replica = Some(set.replicas[idx].addr);
+                    return Ok(resp);
+                }
                 Err(e) => {
                     errors.push(e);
                     prior_failure = true;
@@ -780,12 +855,11 @@ impl RouterCtx {
     fn wait_hedged(
         &self,
         set: &ReplicaSet,
-        first_idx: usize,
-        client: Client,
-        pending: Pending<Response>,
+        call: InFlight,
         request: &Request,
-        started: Instant,
+        meta: &mut CallMeta,
     ) -> Result<Response, String> {
+        let InFlight { idx: first_idx, client, pending, started } = call;
         let (tx, rx) = mpsc::channel::<RaceMsg>();
         self.spawn_wait(first_idx, client, pending, &tx);
         let mut outstanding = 1usize;
@@ -815,6 +889,19 @@ impl RouterCtx {
                                 Ok((mut c, _)) => match c.submit(request) {
                                     Ok(p) => {
                                         self.metrics.record_hedged_request();
+                                        meta.hedged = true;
+                                        log_event(
+                                            Level::Debug,
+                                            "router",
+                                            "hedged slow shard call",
+                                            &[
+                                                ("shard", Json::U64(set.shard_id as u64)),
+                                                (
+                                                    "replica",
+                                                    Json::Str(set.replicas[idx].addr.to_string()),
+                                                ),
+                                            ],
+                                        );
                                         self.spawn_wait(idx, c, p, &tx);
                                         outstanding += 1;
                                     }
@@ -843,6 +930,7 @@ impl RouterCtx {
                     if let Some(c) = client {
                         self.checkin(&set.replicas[idx], c);
                     }
+                    meta.replica = Some(set.replicas[idx].addr);
                     return Ok(resp);
                 }
                 Err(e) => {
@@ -853,7 +941,7 @@ impl RouterCtx {
         }
         // Every raced replica failed: transparent failover across whatever
         // is still attemptable.
-        self.set_call(set, request, true, true)
+        self.set_call(set, request, true, true, meta)
     }
 
     /// Issues one shard-scoped query to **every shard concurrently** (one
@@ -862,35 +950,51 @@ impl RouterCtx {
     /// over per shard as needed. With [`RouterConfig::serial_fanout`] each
     /// shard is called in turn — same responses, one-shard wall time
     /// multiplied by the shard count.
-    fn fan_out(&self, q: u32, k: u32, update: bool) -> Vec<Result<Response, String>> {
-        let request = Request::ShardReverseTopk { q, k, update };
+    ///
+    /// `trace_from` is the root instant of a traced query: when set, the
+    /// backend request carries the trace flag and each [`ShardCall`]
+    /// records its submit/answer offsets. Untraced fan-outs (`None`) take
+    /// zero timing syscalls beyond what the untraced path always took.
+    fn fan_out(&self, q: u32, k: u32, update: bool, trace_from: Option<Instant>) -> Vec<ShardCall> {
+        let request = Request::ShardReverseTopk { q, k, update, trace: trace_from.is_some() };
         let frozen = !update;
+        let offset = || trace_from.map_or(0.0, |t| t.elapsed().as_secs_f64());
         if self.serial_fanout {
             return self
                 .shards
                 .iter()
-                .map(|set| self.set_call(set, &request, frozen, false))
+                .map(|set| {
+                    let mut meta = CallMeta::default();
+                    let submit_offset = offset();
+                    let outcome = self.set_call(set, &request, frozen, false, &mut meta);
+                    ShardCall { outcome, meta, submit_offset, answer_offset: offset() }
+                })
                 .collect();
         }
         // Submit phase: one frame write per shard, on each shard's chosen
         // replica — every shard is computing its slice while the later
         // submits are still going out.
-        let slots: Vec<FanSlot> = self
+        let slots: Vec<(FanSlot, f64)> = self
             .shards
             .iter()
             .map(|set| {
+                let submit_offset = offset();
                 let Some(&idx) = self.candidates(set, frozen).first() else {
-                    return FanSlot::NoReplica;
+                    return (FanSlot::NoReplica, submit_offset);
                 };
-                match self.checkout(set, idx) {
+                let slot = match self.checkout(set, idx) {
                     Ok((mut client, _)) => match client.submit(&request) {
-                        Ok(pending) => {
-                            FanSlot::InFlight { idx, client, pending, started: Instant::now() }
-                        }
+                        Ok(pending) => FanSlot::InFlight(InFlight {
+                            idx,
+                            client,
+                            pending,
+                            started: Instant::now(),
+                        }),
                         Err(_) => FanSlot::SubmitFailed(idx),
                     },
                     Err(_) => FanSlot::SubmitFailed(idx),
-                }
+                };
+                (slot, submit_offset)
             })
             .collect();
         // Wait phase, shard order: merge determinism comes from here, not
@@ -898,33 +1002,47 @@ impl RouterCtx {
         slots
             .into_iter()
             .zip(&self.shards)
-            .map(|(slot, set)| match slot {
-                FanSlot::NoReplica => self.set_call(set, &request, frozen, false),
-                FanSlot::SubmitFailed(idx) => match self.retry_fresh(set, idx, &request) {
-                    Ok(resp) => Ok(resp),
-                    Err(_) => self.set_call(set, &request, frozen, true),
-                },
-                FanSlot::InFlight { idx, mut client, pending, started } => {
-                    if frozen && self.should_hedge(set, idx) {
-                        self.wait_hedged(set, idx, client, pending, &request, started)
-                    } else {
-                        match client.wait(pending) {
-                            Ok(resp) => {
-                                self.record_shard_latency(started);
-                                self.mark_success(&set.replicas[idx]);
-                                self.checkin(&set.replicas[idx], client);
-                                Ok(resp)
-                            }
-                            Err(_) => {
-                                drop(client);
-                                match self.retry_fresh(set, idx, &request) {
-                                    Ok(resp) => Ok(resp),
-                                    Err(_) => self.set_call(set, &request, frozen, true),
+            .map(|((slot, submit_offset), set)| {
+                let mut meta = CallMeta::default();
+                let outcome = match slot {
+                    FanSlot::NoReplica => self.set_call(set, &request, frozen, false, &mut meta),
+                    FanSlot::SubmitFailed(idx) => match self.retry_fresh(set, idx, &request) {
+                        Ok(resp) => {
+                            meta.replica = Some(set.replicas[idx].addr);
+                            Ok(resp)
+                        }
+                        Err(_) => self.set_call(set, &request, frozen, true, &mut meta),
+                    },
+                    FanSlot::InFlight(call) => {
+                        if frozen && self.should_hedge(set, call.idx) {
+                            self.wait_hedged(set, call, &request, &mut meta)
+                        } else {
+                            let InFlight { idx, mut client, pending, started } = call;
+                            match client.wait(pending) {
+                                Ok(resp) => {
+                                    self.record_shard_latency(started);
+                                    self.mark_success(&set.replicas[idx]);
+                                    self.checkin(&set.replicas[idx], client);
+                                    meta.replica = Some(set.replicas[idx].addr);
+                                    Ok(resp)
+                                }
+                                Err(_) => {
+                                    drop(client);
+                                    match self.retry_fresh(set, idx, &request) {
+                                        Ok(resp) => {
+                                            meta.replica = Some(set.replicas[idx].addr);
+                                            Ok(resp)
+                                        }
+                                        Err(_) => {
+                                            self.set_call(set, &request, frozen, true, &mut meta)
+                                        }
+                                    }
                                 }
                             }
                         }
                     }
-                }
+                };
+                ShardCall { outcome, meta, submit_offset, answer_offset: offset() }
             })
             .collect()
     }
@@ -934,6 +1052,25 @@ impl RouterCtx {
     /// The concurrent fan-out + shard-order merge of one reverse top-k
     /// query.
     fn reverse_topk(&self, q: u32, k: u32, update: bool) -> Result<WireQueryResult, String> {
+        self.reverse_topk_inner(q, k, update, false)
+    }
+
+    /// [`Self::reverse_topk`] with trace stitching: the merged answer
+    /// carries a span tree — one child per shard call (annotated with the
+    /// answering replica, hedge, and failover facts, wrapping the
+    /// backend's own engine sub-trace) plus a `merge` span. The fan-out
+    /// and merge are byte-identical to the untraced path.
+    fn reverse_topk_traced(&self, q: u32, k: u32, update: bool) -> Result<WireQueryResult, String> {
+        self.reverse_topk_inner(q, k, update, true)
+    }
+
+    fn reverse_topk_inner(
+        &self,
+        q: u32,
+        k: u32,
+        update: bool,
+        traced: bool,
+    ) -> Result<WireQueryResult, String> {
         let started = Instant::now();
         let mut merged = WireQueryResult {
             query: q,
@@ -945,17 +1082,44 @@ impl RouterCtx {
             refined_nodes: 0,
             refine_iterations: 0,
             server_seconds: 0.0,
+            trace: None,
         };
-        let responses = self.fan_out(q, k, update);
-        for (resp, set) in responses.into_iter().zip(&self.shards) {
-            match resp? {
-                Response::ShardReverseTopk(s) => {
+        let calls = self.fan_out(q, k, update, traced.then_some(started));
+        // The merge starts once every shard's answer is in hand (fan_out
+        // waits in shard order); only traced queries pay the clock read.
+        let merge_start = if traced { started.elapsed().as_secs_f64() } else { 0.0 };
+        let mut shard_spans: Vec<TraceSpan> =
+            Vec::with_capacity(if traced { self.shards.len() + 1 } else { 0 });
+        for (call, set) in calls.into_iter().zip(&self.shards) {
+            match call.outcome? {
+                Response::ShardReverseTopk(mut s) => {
                     if s.node_lo != set.node_lo || s.node_hi != set.node_hi {
                         return Err(format!(
                             "shard {} answered for range {}..{}, expected {}..{} — was a \
                              backend restarted with a different shard?",
                             set.shard_id, s.node_lo, s.node_hi, set.node_lo, set.node_hi
                         ));
+                    }
+                    if traced {
+                        let duration = (call.answer_offset - call.submit_offset).max(0.0);
+                        let mut span = TraceSpan::new(format!("shard{}", set.shard_id), duration);
+                        span.start_seconds = call.submit_offset;
+                        if let Some(addr) = call.meta.replica {
+                            span = span.annotate("replica", addr.to_string());
+                        }
+                        if call.meta.hedged {
+                            span = span.annotate("hedged", "true");
+                        }
+                        if call.meta.failovers > 0 {
+                            span = span.annotate("failovers", call.meta.failovers.to_string());
+                        }
+                        // The backend's own engine trace nests under the
+                        // shard call span; taking it keeps the merged
+                        // answer's payload free of stray sub-traces.
+                        if let Some(sub) = s.result.trace.take() {
+                            span.children.push(sub);
+                        }
+                        shard_spans.push(span);
                     }
                     // Shard ranges ascend and partials are id-sorted within
                     // their range, so plain concatenation is id-sorted.
@@ -975,6 +1139,14 @@ impl RouterCtx {
             }
         }
         merged.server_seconds = started.elapsed().as_secs_f64();
+        if traced {
+            let mut root = TraceSpan::new("router:reverse_topk", merged.server_seconds);
+            let mut merge = TraceSpan::new("merge", (merged.server_seconds - merge_start).max(0.0));
+            merge.start_seconds = merge_start;
+            root.children = shard_spans;
+            root.children.push(merge);
+            merged.trace = Some(root);
+        }
         Ok(merged)
     }
 
@@ -987,7 +1159,7 @@ impl RouterCtx {
             return Err(format!("node {u} out of range for {} nodes", self.engine_info.nodes));
         }
         let set = &self.shards[self.shard_map.shard_of(u)];
-        match self.set_call(set, request, true, false)? {
+        match self.set_call(set, request, true, false, &mut CallMeta::default())? {
             Response::Error { message, .. } => Err(format!("shard {}: {message}", set.shard_id)),
             resp => Ok(resp),
         }
@@ -1035,7 +1207,8 @@ impl RouterCtx {
         let mut total = 0u64;
         for set in &self.shards {
             let shard_path = format!("{path}.shard{}", set.shard_id);
-            match self.set_call(set, &Request::Persist { path: shard_path }, false, false)? {
+            let request = Request::Persist { path: shard_path };
+            match self.set_call(set, &request, false, false, &mut CallMeta::default())? {
                 Response::Persisted { bytes } => total += bytes,
                 Response::Error { message, .. } => {
                     return Err(format!("shard {}: {message}", set.shard_id));
@@ -1073,6 +1246,15 @@ impl RtkService for RouterService<'_> {
         update: bool,
     ) -> ServiceResult<rtk_api::WireQueryResult> {
         self.0.reverse_topk(q, k, update).map_err(ServiceError::Engine)
+    }
+
+    fn reverse_topk_traced(
+        &mut self,
+        q: u32,
+        k: u32,
+        update: bool,
+    ) -> ServiceResult<rtk_api::WireQueryResult> {
+        self.0.reverse_topk_traced(q, k, update).map_err(ServiceError::Engine)
     }
 
     fn shard_reverse_topk(
@@ -1121,6 +1303,16 @@ impl RtkService for RouterService<'_> {
     fn shutdown(&mut self) -> ServiceResult<()> {
         self.0.shutdown_backends();
         Ok(())
+    }
+}
+
+impl crate::http::MetricsSource for RouterCtx {
+    fn render_metrics(&self) -> String {
+        self.metrics.render_prometheus(self.unhealthy_count())
+    }
+
+    fn done(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
     }
 }
 

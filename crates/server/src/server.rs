@@ -63,6 +63,10 @@ pub struct ServerConfig {
     /// failover, hedging, and re-admission paths. `None` (the default)
     /// serves faithfully.
     pub chaos: Option<ChaosConfig>,
+    /// When set, an HTTP/1.0 metrics endpoint binds this address and
+    /// serves the process's counters at `GET /metrics` in Prometheus text
+    /// format (see the `http` module). `None` (the default) serves none.
+    pub metrics_addr: Option<String>,
 }
 
 impl Default for ServerConfig {
@@ -76,6 +80,7 @@ impl Default for ServerConfig {
             persist_dir: None,
             auth_token: None,
             chaos: None,
+            metrics_addr: None,
         }
     }
 }
@@ -110,7 +115,16 @@ struct ServerService<'a>(&'a ServerCtx);
 
 impl RtkService for ServerService<'_> {
     fn reverse_topk(&mut self, q: u32, k: u32, update: bool) -> ServiceResult<WireQueryResult> {
-        self.0.shared.reverse_topk(q, k, update).map_err(ServiceError::Engine)
+        self.0.shared.reverse_topk(q, k, update, false).map_err(ServiceError::Engine)
+    }
+
+    fn reverse_topk_traced(
+        &mut self,
+        q: u32,
+        k: u32,
+        update: bool,
+    ) -> ServiceResult<WireQueryResult> {
+        self.0.shared.reverse_topk(q, k, update, true).map_err(ServiceError::Engine)
     }
 
     fn shard_reverse_topk(
@@ -119,7 +133,22 @@ impl RtkService for ServerService<'_> {
         k: u32,
         update: bool,
     ) -> ServiceResult<WireShardResult> {
-        self.0.shared.shard_reverse_topk(q, k, update).map_err(ServiceError::Engine)
+        self.0
+            .shared
+            .shard_reverse_topk(q, k, update, false)
+            .map_err(ServiceError::Engine)
+    }
+
+    fn shard_reverse_topk_traced(
+        &mut self,
+        q: u32,
+        k: u32,
+        update: bool,
+    ) -> ServiceResult<WireShardResult> {
+        self.0
+            .shared
+            .shard_reverse_topk(q, k, update, true)
+            .map_err(ServiceError::Engine)
     }
 
     fn topk(&mut self, u: u32, k: u32, early: bool) -> ServiceResult<WireTopk> {
@@ -143,6 +172,17 @@ impl RtkService for ServerService<'_> {
     /// acknowledgement frame is written (see `execute_job`).
     fn shutdown(&mut self) -> ServiceResult<()> {
         Ok(())
+    }
+}
+
+impl crate::http::MetricsSource for ServerCtx {
+    fn render_metrics(&self) -> String {
+        // A single server has no backends, so nothing can be unhealthy.
+        self.metrics.render_prometheus(0)
+    }
+
+    fn done(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
     }
 }
 
@@ -328,6 +368,9 @@ pub struct Server {
     listener: TcpListener,
     ctx: Arc<ServerCtx>,
     workers: usize,
+    /// Where the optional Prometheus endpoint is bound (ephemeral ports
+    /// resolved); `None` when `ServerConfig::metrics_addr` was unset.
+    metrics_addr: Option<SocketAddr>,
 }
 
 impl Server {
@@ -386,7 +429,11 @@ impl Server {
             chaos: config.chaos.map(ChaosConfig::into_state),
             local_addr,
         });
-        Ok(Self { listener, ctx, workers })
+        let metrics_addr = match &config.metrics_addr {
+            Some(addr) => Some(crate::http::spawn_metrics_endpoint(addr, Arc::clone(&ctx))?),
+            None => None,
+        };
+        Ok(Self { listener, ctx, workers, metrics_addr })
     }
 
     /// The bound address (resolves ephemeral ports).
@@ -394,11 +441,17 @@ impl Server {
         self.ctx.local_addr
     }
 
+    /// Where the Prometheus `GET /metrics` endpoint is bound, when
+    /// [`ServerConfig::metrics_addr`] was set (ephemeral ports resolved).
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics_addr
+    }
+
     /// Serves until a `Shutdown` request arrives, then drains: the accept
     /// loop stops, in-flight requests finish, and every reader and worker
     /// joins before this returns.
     pub fn run(self) -> io::Result<()> {
-        let Server { listener, ctx, workers } = self;
+        let Server { listener, ctx, workers, metrics_addr: _ } = self;
         serve_loop(listener, ctx, workers)
     }
 

@@ -123,12 +123,16 @@ impl SharedEngine {
         }
     }
 
-    /// One reverse top-k query; frozen requests share the read lock.
+    /// One reverse top-k query; frozen requests share the read lock. When
+    /// `trace` is set, the answer carries the span tree rebuilt from the
+    /// timings the engine records anyway — the query itself executes
+    /// identically either way (determinism contract).
     pub(crate) fn reverse_topk(
         &self,
         q: u32,
         k: u32,
         update: bool,
+        trace: bool,
     ) -> Result<WireQueryResult, String> {
         let started = Instant::now();
         let lock = self.full()?;
@@ -144,7 +148,11 @@ impl SharedEngine {
                 .map_err(|e| e.to_string())?;
             results.pop().expect("one result for one query")
         };
-        Ok(to_wire(&result, started.elapsed().as_secs_f64()))
+        let mut wire = to_wire(&result, started.elapsed().as_secs_f64());
+        if trace {
+            wire.trace = Some(result.stats().to_trace("engine:reverse_topk"));
+        }
+        Ok(wire)
     }
 
     /// The shard-scoped slice of one reverse top-k query (wire v3). Only a
@@ -154,6 +162,7 @@ impl SharedEngine {
         q: u32,
         k: u32,
         update: bool,
+        trace: bool,
     ) -> Result<WireShardResult, String> {
         let started = Instant::now();
         let EngineKind::Shard(lock) = &self.kind else {
@@ -176,12 +185,16 @@ impl SharedEngine {
             let range = engine.shard_range();
             (engine.shard_id() as u32, range.start, range.end, r)
         };
-        Ok(WireShardResult {
-            shard_id,
-            node_lo,
-            node_hi,
-            result: to_wire(&result, started.elapsed().as_secs_f64()),
-        })
+        let mut wire = to_wire(&result, started.elapsed().as_secs_f64());
+        if trace {
+            wire.trace = Some(
+                result
+                    .stats()
+                    .to_trace("engine:shard_reverse_topk")
+                    .annotate("shard", shard_id.to_string()),
+            );
+        }
+        Ok(WireShardResult { shard_id, node_lo, node_hi, result: wire })
     }
 
     /// Forward top-k from `u`; always frozen. Both engine kinds hold the

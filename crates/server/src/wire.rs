@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! magic      "RTKWIRE1"               8 bytes
-//! version    u32 (currently 5)        4 bytes   (must match exactly)
+//! version    u32 (currently 6)        4 bytes   (must match exactly)
 //! request_id u64                      8 bytes   (echoed on the response)
 //! length     u32 payload byte count   4 bytes   (bounded by the receiver)
 //! payload    `length` bytes
@@ -52,8 +52,12 @@ pub const WIRE_MAGIC: &[u8; 8] = b"RTKWIRE1";
 /// out-of-order responses, and the `inflight_peak` / `inflight_rejections`
 /// stats fields; 5 replaced the `degraded_backends` stats field with the
 /// replicated-router health triple `unhealthy_backends` /
-/// `hedged_requests` / `failovers`).
-pub const WIRE_VERSION: u32 = 5;
+/// `hedged_requests` / `failovers`; 6 added the opt-in **trace** flag on
+/// `reverse_topk` / `shard_reverse_topk` requests, the optional trailing
+/// trace section on their responses, and the per-kind latency section of
+/// the stats snapshot — untraced v6 frames are byte-identical in shape to
+/// v5, so tracing costs nothing on the wire unless asked for).
+pub const WIRE_VERSION: u32 = 6;
 /// Default per-frame payload cap (16 MiB) — generous for batch responses,
 /// small enough that a malicious length prefix cannot balloon memory.
 pub const DEFAULT_MAX_FRAME_BYTES: u32 = 16 * 1024 * 1024;
@@ -129,17 +133,25 @@ pub fn encode_request_authed(req: &Request, token: &[u8]) -> Vec<u8> {
     codec::write_bytes(w, token).unwrap();
     match req {
         Request::Ping => codec::write_u32(w, TAG_PING).unwrap(),
-        Request::ReverseTopk { q, k, update } => {
+        Request::ReverseTopk { q, k, update, trace } => {
             codec::write_u32(w, TAG_REVERSE_TOPK).unwrap();
             codec::write_u32(w, *q).unwrap();
             codec::write_u32(w, *k).unwrap();
             codec::write_u32(w, u32::from(*update)).unwrap();
+            // The trace flag is trailing-optional: untraced requests omit
+            // it entirely, keeping their byte shape identical to v5.
+            if *trace {
+                codec::write_u32(w, 1).unwrap();
+            }
         }
-        Request::ShardReverseTopk { q, k, update } => {
+        Request::ShardReverseTopk { q, k, update, trace } => {
             codec::write_u32(w, TAG_SHARD_REVERSE_TOPK).unwrap();
             codec::write_u32(w, *q).unwrap();
             codec::write_u32(w, *k).unwrap();
             codec::write_u32(w, u32::from(*update)).unwrap();
+            if *trace {
+                codec::write_u32(w, 1).unwrap();
+            }
         }
         Request::Topk { u, k, early } => {
             codec::write_u32(w, TAG_TOPK).unwrap();
@@ -179,11 +191,13 @@ pub fn decode_request(payload: &[u8]) -> Result<(Vec<u8>, Request), DecodeError>
             q: codec::read_u32(&mut r)?,
             k: codec::read_u32(&mut r)?,
             update: codec::read_u32(&mut r)? != 0,
+            trace: read_trace_flag(&mut r, payload.len())?,
         },
         TAG_SHARD_REVERSE_TOPK => Request::ShardReverseTopk {
             q: codec::read_u32(&mut r)?,
             k: codec::read_u32(&mut r)?,
             update: codec::read_u32(&mut r)? != 0,
+            trace: read_trace_flag(&mut r, payload.len())?,
         },
         TAG_TOPK => Request::Topk {
             u: codec::read_u32(&mut r)?,
@@ -248,6 +262,12 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
         Response::ReverseTopk(r) => {
             codec::write_u32(w, TAG_REVERSE_TOPK).unwrap();
             write_query_result(w, r);
+            // The trace section is trailing-optional: only traced answers
+            // append it (batch results never carry one, so the per-result
+            // layout inside a batch stays unambiguous).
+            if let Some(trace) = &r.trace {
+                trace.encode(w).unwrap();
+            }
         }
         Response::Topk(t) => {
             codec::write_u32(w, TAG_TOPK).unwrap();
@@ -278,6 +298,9 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             codec::write_u32(w, s.node_lo).unwrap();
             codec::write_u32(w, s.node_hi).unwrap();
             write_query_result(w, &s.result);
+            if let Some(trace) = &s.result.trace {
+                trace.encode(w).unwrap();
+            }
         }
         Response::Error { .. } => unreachable!("handled above"),
     }
@@ -301,7 +324,11 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, ServerError> {
     let tag = codec::read_u32(&mut r)?;
     let resp = match tag {
         TAG_PING => Response::Pong,
-        TAG_REVERSE_TOPK => Response::ReverseTopk(read_query_result(&mut r, payload.len())?),
+        TAG_REVERSE_TOPK => {
+            let mut result = read_query_result(&mut r, payload.len())?;
+            result.trace = read_optional_trace(&mut r, payload.len())?;
+            Response::ReverseTopk(result)
+        }
         TAG_TOPK => {
             let node = codec::read_u32(&mut r)?;
             let k = codec::read_u32(&mut r)?;
@@ -331,7 +358,7 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, ServerError> {
             // Per-shard size lists cost 16 payload bytes each — a
             // stream-derived bound for the snapshot decoder.
             let shard_bound = payload.len() as u64 / 16;
-            Response::Stats(StatsSnapshot::decode(&mut r, shard_bound)?)
+            Response::Stats(Box::new(StatsSnapshot::decode(&mut r, shard_bound)?))
         }
         TAG_SHUTDOWN => Response::ShuttingDown,
         TAG_PERSIST => Response::Persisted { bytes: codec::read_u64(&mut r)? },
@@ -339,7 +366,8 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, ServerError> {
             let shard_id = codec::read_u32(&mut r)?;
             let node_lo = codec::read_u32(&mut r)?;
             let node_hi = codec::read_u32(&mut r)?;
-            let result = read_query_result(&mut r, payload.len())?;
+            let mut result = read_query_result(&mut r, payload.len())?;
+            result.trace = read_optional_trace(&mut r, payload.len())?;
             Response::ShardReverseTopk(WireShardResult { shard_id, node_lo, node_hi, result })
         }
         other => {
@@ -350,6 +378,38 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, ServerError> {
     Ok(resp)
 }
 
+/// Reads the trailing-optional trace flag of a `reverse_topk` /
+/// `shard_reverse_topk` request: absent (v5-shaped payload) means
+/// untraced; present it must be exactly 0 or 1.
+fn read_trace_flag(r: &mut Cursor<&[u8]>, payload_len: usize) -> Result<bool, DecodeError> {
+    if r.position() as usize == payload_len {
+        return Ok(false);
+    }
+    match codec::read_u32(r)? {
+        0 => Ok(false),
+        1 => Ok(true),
+        other => Err(DecodeError::Corrupt(format!("trace flag must be 0 or 1, got {other}"))),
+    }
+}
+
+/// Reads the trailing-optional trace section of a traced response. The
+/// span-tree node budget is derived from the bytes actually present, so a
+/// forged child count cannot balloon memory.
+fn read_optional_trace(
+    r: &mut Cursor<&[u8]>,
+    payload_len: usize,
+) -> Result<Option<rtk_obs::TraceSpan>, ServerError> {
+    let remaining = payload_len as u64 - r.position();
+    if remaining == 0 {
+        return Ok(None);
+    }
+    let budget = remaining / rtk_obs::trace::MIN_SPAN_BYTES + 1;
+    Ok(Some(rtk_obs::TraceSpan::decode_bounded(r, budget)?))
+}
+
+/// Writes the fixed part of a query result. The optional trace section is
+/// *not* part of this layout — it is appended by the single-result
+/// response encoders only, so results inside a batch stay fixed-shape.
 fn write_query_result<W: Write>(w: &mut W, r: &WireQueryResult) {
     codec::write_u32(w, r.query).unwrap();
     codec::write_u32(w, r.k).unwrap();
@@ -388,6 +448,7 @@ fn read_query_result<R: Read>(
         refined_nodes: codec::read_u64(r)?,
         refine_iterations: codec::read_u64(r)?,
         server_seconds: codec::read_f64(r)?,
+        trace: None,
     })
 }
 
@@ -416,6 +477,7 @@ mod tests {
             refined_nodes: 3,
             refine_iterations: 40,
             server_seconds: 0.0123,
+            trace: None,
         }
     }
 
@@ -423,9 +485,10 @@ mod tests {
     fn requests_round_trip() {
         let reqs = [
             Request::Ping,
-            Request::ReverseTopk { q: 7, k: 10, update: true },
-            Request::ReverseTopk { q: 0, k: 1, update: false },
-            Request::ShardReverseTopk { q: 42, k: 10, update: true },
+            Request::ReverseTopk { q: 7, k: 10, update: true, trace: false },
+            Request::ReverseTopk { q: 0, k: 1, update: false, trace: true },
+            Request::ShardReverseTopk { q: 42, k: 10, update: true, trace: false },
+            Request::ShardReverseTopk { q: 3, k: 2, update: false, trace: true },
             Request::Topk { u: 3, k: 2, early: true },
             Request::Batch { queries: vec![(0, 1), (5, 10), (7, 3)] },
             Request::Batch { queries: vec![] },
@@ -443,7 +506,7 @@ mod tests {
 
     #[test]
     fn auth_tokens_round_trip_and_are_bounded() {
-        let req = Request::ReverseTopk { q: 1, k: 2, update: false };
+        let req = Request::ReverseTopk { q: 1, k: 2, update: false, trace: false };
         let payload = encode_request_authed(&req, b"s3cret");
         let (token, back) = decode_request(&payload).unwrap();
         assert_eq!(token, b"s3cret");
@@ -492,7 +555,8 @@ mod tests {
 
     #[test]
     fn frames_round_trip_with_their_request_id() {
-        let payload = encode_request(&Request::ReverseTopk { q: 9, k: 4, update: false });
+        let payload =
+            encode_request(&Request::ReverseTopk { q: 9, k: 4, update: false, trace: false });
         for id in [0u64, 1, 7, u64::MAX] {
             let mut buf = Vec::new();
             write_frame(&mut buf, id, &payload).unwrap();
@@ -597,6 +661,77 @@ mod tests {
         codec::write_u64(&mut payload, u64::MAX).unwrap(); // absurd count
         let err = decode_request(&payload).unwrap_err();
         assert!(matches!(err, DecodeError::Corrupt(_)), "{err}");
+    }
+
+    #[test]
+    fn untraced_frames_carry_zero_trace_overhead() {
+        // An untraced v6 request is byte-shaped exactly like v5: empty
+        // token (8) + tag (4) + q/k/update (12) = 24 bytes, no flag.
+        let plain =
+            encode_request(&Request::ReverseTopk { q: 7, k: 10, update: true, trace: false });
+        assert_eq!(plain.len(), 24);
+        let traced =
+            encode_request(&Request::ReverseTopk { q: 7, k: 10, update: true, trace: true });
+        assert_eq!(traced.len(), plain.len() + 4);
+        assert_eq!(&traced[..plain.len()], &plain[..]);
+
+        // An untraced response appends nothing after the result.
+        let no_trace = encode_response(&Response::ReverseTopk(sample_result(3)));
+        let mut with_trace = sample_result(3);
+        with_trace.trace = Some(rtk_obs::TraceSpan::new("engine:reverse_topk", 0.001));
+        let traced = encode_response(&Response::ReverseTopk(with_trace));
+        assert!(traced.len() > no_trace.len());
+        assert_eq!(&traced[..no_trace.len()], &no_trace[..]);
+    }
+
+    #[test]
+    fn traced_responses_round_trip_their_span_tree() {
+        use rtk_obs::TraceSpan;
+        let mut root = TraceSpan::new("router:reverse_topk", 0.01);
+        let mut shard = TraceSpan::new("shard0", 0.007).annotate("replica", "127.0.0.1:7401");
+        shard.start_seconds = 0.001;
+        shard.children.push(TraceSpan::new("pmpn_solve", 0.002));
+        root.children.push(shard);
+
+        let mut result = sample_result(3);
+        result.trace = Some(root.clone());
+        let payload = encode_response(&Response::ReverseTopk(result.clone()));
+        let Response::ReverseTopk(back) = decode_response(&payload).unwrap() else {
+            panic!("wrong variant");
+        };
+        assert_eq!(back, result);
+        assert_eq!(back.trace.unwrap(), root);
+
+        // The shard flavor carries the section too.
+        let mut sr = sample_result(7);
+        sr.trace = Some(TraceSpan::new("engine:shard_reverse_topk", 0.002));
+        let wrapped = Response::ShardReverseTopk(WireShardResult {
+            shard_id: 2,
+            node_lo: 100,
+            node_hi: 150,
+            result: sr,
+        });
+        let payload = encode_response(&wrapped);
+        assert_eq!(decode_response(&payload).unwrap(), wrapped);
+    }
+
+    #[test]
+    fn trace_flag_and_section_are_bounded() {
+        // A trace flag other than 0/1 is corrupt.
+        let mut payload =
+            encode_request(&Request::ReverseTopk { q: 1, k: 2, update: false, trace: false });
+        codec::write_u32(&mut payload, 7).unwrap();
+        assert!(matches!(decode_request(&payload).unwrap_err(), DecodeError::Corrupt(_)));
+
+        // A trace section declaring more spans than its bytes could hold
+        // fails cleanly instead of allocating.
+        let mut payload = encode_response(&Response::ReverseTopk(sample_result(1)));
+        codec::write_bytes(&mut payload, b"x").unwrap(); // span name
+        codec::write_f64(&mut payload, 0.0).unwrap();
+        codec::write_f64(&mut payload, 0.0).unwrap();
+        codec::write_u32(&mut payload, 0).unwrap(); // no annotations
+        codec::write_u32(&mut payload, u32::MAX).unwrap(); // absurd child count
+        assert!(decode_response(&payload).is_err());
     }
 
     #[test]

@@ -164,6 +164,7 @@ fn reversing_server(n: usize) -> (std::net::SocketAddr, std::thread::JoinHandle<
                 refined_nodes: 0,
                 refine_iterations: 0,
                 server_seconds: 0.0,
+                trace: None,
             });
             wire::write_frame(&mut stream, id, &wire::encode_response(&resp)).unwrap();
         }

@@ -117,6 +117,29 @@ impl LatencyHistogram {
     pub fn percentiles(&self) -> (f64, f64, f64) {
         (self.quantile(0.50), self.quantile(0.95), self.quantile(0.99))
     }
+
+    /// Sum of all observations, in seconds.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// `(upper_edge_seconds, cumulative_count)` per non-empty prefix of the
+    /// ladder, ending with `(+∞, count)` — exactly the shape a Prometheus
+    /// `le`-labelled bucket series wants. Trailing all-zero buckets below
+    /// the max are skipped so an idle histogram exports compactly.
+    pub fn cumulative_buckets(&self) -> Vec<(f64, u64)> {
+        let mut out = Vec::new();
+        let mut cumulative = 0u64;
+        for (i, &c) in self.buckets.iter().take(BUCKETS).enumerate() {
+            cumulative += c;
+            out.push((Self::edge(i), cumulative));
+            if cumulative == self.count {
+                break;
+            }
+        }
+        out.push((f64::INFINITY, self.count));
+        out
+    }
 }
 
 #[cfg(test)]
@@ -179,6 +202,24 @@ mod tests {
         h.record(1e12); // overflow bucket
         assert_eq!(h.count(), 4);
         assert_eq!(h.quantile(1.0), 1e12); // overflow reports the exact max
+    }
+
+    #[test]
+    fn cumulative_buckets_end_at_infinity_and_total_count() {
+        let mut h = LatencyHistogram::new();
+        h.record(5e-6);
+        h.record(2e-3);
+        let buckets = h.cumulative_buckets();
+        let (last_edge, last_count) = *buckets.last().unwrap();
+        assert!(last_edge.is_infinite());
+        assert_eq!(last_count, 2);
+        // Cumulative counts are monotone and edges strictly increase.
+        for w in buckets.windows(2) {
+            assert!(w[0].0 < w[1].0);
+            assert!(w[0].1 <= w[1].1);
+        }
+        // The ladder stops once every observation is covered.
+        assert!(buckets.len() < BUCKETS + 1);
     }
 
     #[test]
