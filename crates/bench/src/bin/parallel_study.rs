@@ -8,7 +8,14 @@
 //! 3. **batch** — independent-query throughput via `query_batch`;
 //! 4. **shard sweep** — single-query latency across index shard counts
 //!    (1/2/4): sharding is answer-invariant, so this isolates its pure
-//!    scheduling/layout cost on the screen phase.
+//!    scheduling/layout cost on the screen phase;
+//! 5. **screen kernel** — the legacy per-node sparse-vector walk vs. the
+//!    flat CSR `TransitionKernel` gather, per thread count, with a built-in
+//!    determinism gate (both engines must answer bitwise-identically).
+//!
+//! Speedup rows measured with more threads than the machine has cores are
+//! flagged (`oversubscribed` in the JSON, `*` in the tables): on an
+//! undersized container they measure scheduling overhead, not scaling.
 //!
 //! Besides the human-readable tables, writes a machine-readable
 //! `BENCH_query.json` into the working directory so successive PRs can track
@@ -91,11 +98,16 @@ fn main() {
             pmpn_serial = secs;
         }
         let speedup = pmpn_serial / secs;
-        pmpn_rows.push(vec![threads.to_string(), format!("{secs:.4}"), format!("{speedup:.2}x")]);
+        pmpn_rows.push(vec![
+            threads.to_string(),
+            format!("{secs:.4}"),
+            format!("{speedup:.2}x{}", flag(threads, cores)),
+        ]);
         pmpn_json.push(obj(vec![
             ("threads", Json::U64(threads as u64)),
             ("mean_seconds", Json::F64(secs)),
             ("speedup_vs_serial", Json::F64(speedup)),
+            ("oversubscribed", Json::Bool(threads > cores)),
         ]));
     }
     println!("### PMPN row computation (mean over {} probes)", pmpn_probes.len());
@@ -137,7 +149,7 @@ fn main() {
             format!("{p50:.4}"),
             format!("{p95:.4}"),
             format!("{p99:.4}"),
-            format!("{speedup:.2}x"),
+            format!("{speedup:.2}x{}", flag(threads, cores)),
         ]);
         single_json.push(obj(vec![
             ("threads", Json::U64(threads as u64)),
@@ -148,6 +160,7 @@ fn main() {
             ("p95_seconds", Json::F64(p95)),
             ("p99_seconds", Json::F64(p99)),
             ("speedup_vs_serial", Json::F64(speedup)),
+            ("oversubscribed", Json::Bool(threads > cores)),
         ]));
     }
     println!("### Single reverse top-{K} query, frozen index ({queries} queries)");
@@ -186,13 +199,14 @@ fn main() {
             threads.to_string(),
             format!("{secs:.3}"),
             format!("{qps:.2}"),
-            format!("{speedup:.2}x"),
+            format!("{speedup:.2}x{}", flag(threads, cores)),
         ]);
         batch_json.push(obj(vec![
             ("threads", Json::U64(threads as u64)),
             ("total_seconds", Json::F64(secs)),
             ("queries_per_second", Json::F64(qps)),
             ("speedup_vs_serial", Json::F64(speedup)),
+            ("oversubscribed", Json::Bool(threads > cores)),
         ]));
     }
     println!("### Batch of {} independent queries (query_batch)", batch_queries.len());
@@ -243,6 +257,75 @@ fn main() {
     print_table(&["shards", "total (s)", "p50 (s)", "p95 (s)", "p99 (s)", "speedup"], &shard_rows);
     println!();
 
+    // --- 5. Screen kernel: legacy sparse-vector walk vs flat CSR gather.
+    // Both matrices drive the same index and the same workload; the gate
+    // asserts the answers are bitwise identical per thread count before any
+    // timing is reported, so a speedup can never hide a wrong answer.
+    index.repartition(1);
+    let kernelized = TransitionMatrix::new_kernelized(&graph);
+    let kernel_workload: Vec<u32> = workload.iter().copied().take(workload.len().min(10)).collect();
+    let mut kernel_rows = Vec::new();
+    let mut kernel_json = Vec::new();
+    for &threads in &THREAD_COUNTS {
+        let opts =
+            QueryOptions { update_index: false, query_threads: threads, ..Default::default() };
+        let run = |matrix: &TransitionMatrix<'_>| {
+            let mut session = QueryEngine::new(&index);
+            let mut screens = Vec::with_capacity(kernel_workload.len());
+            let mut totals = Vec::with_capacity(kernel_workload.len());
+            let mut answers = Vec::with_capacity(kernel_workload.len());
+            for &q in &kernel_workload {
+                let r = session.query_frozen(matrix, &index, q, K, &opts).unwrap();
+                screens.push(r.stats().screen_seconds);
+                totals.push(r.stats().total_seconds);
+                answers.push((
+                    r.nodes().to_vec(),
+                    r.proximities().iter().map(|p| p.to_bits()).collect::<Vec<u64>>(),
+                ));
+            }
+            (mean(&screens), mean(&totals), answers)
+        };
+        let (legacy_screen, legacy_total, legacy_answers) = run(&transition);
+        let (kernel_screen, kernel_total, kernel_answers) = run(&kernelized);
+        assert_eq!(
+            legacy_answers, kernel_answers,
+            "determinism gate: CSR kernel answers diverged at {threads} thread(s)"
+        );
+        let speedup = legacy_screen / kernel_screen;
+        kernel_rows.push(vec![
+            threads.to_string(),
+            format!("{legacy_screen:.4}"),
+            format!("{kernel_screen:.4}"),
+            format!("{speedup:.2}x{}", flag(threads, cores)),
+            "ok".into(),
+        ]);
+        kernel_json.push(obj(vec![
+            ("threads", Json::U64(threads as u64)),
+            ("legacy_screen_seconds", Json::F64(legacy_screen)),
+            ("kernel_screen_seconds", Json::F64(kernel_screen)),
+            ("legacy_total_seconds", Json::F64(legacy_total)),
+            ("kernel_total_seconds", Json::F64(kernel_total)),
+            ("screen_speedup", Json::F64(speedup)),
+            ("deterministic_match", Json::Bool(true)),
+            ("oversubscribed", Json::Bool(threads > cores)),
+        ]));
+    }
+    println!(
+        "### Screen kernel: legacy walk vs CSR gather ({} queries, bitwise-gated)",
+        kernel_workload.len()
+    );
+    print_table(
+        &["threads", "legacy screen (s)", "kernel screen (s)", "speedup", "determinism"],
+        &kernel_rows,
+    );
+    if THREAD_COUNTS.iter().any(|&t| t > cores) {
+        println!(
+            "(*) measured with more threads than the {cores} available core(s): \
+             oversubscribed, speedup is not meaningful"
+        );
+    }
+    println!();
+
     let artifact = obj(vec![
         ("bench", Json::Str("parallel_query_study".into())),
         ("graph", graph_json("rmat", nodes, graph.edge_count(), seed)),
@@ -253,6 +336,16 @@ fn main() {
         ("single_query", Json::Arr(single_json)),
         ("batch", Json::Arr(batch_json)),
         ("shard_sweep", Json::Arr(shard_json)),
+        ("screen_kernel", Json::Arr(kernel_json)),
     ]);
     write_json_artifact(OUT_PATH, &artifact);
+}
+
+/// `*` marker for speedup cells measured with more threads than cores.
+fn flag(threads: usize, cores: usize) -> &'static str {
+    if threads > cores {
+        "*"
+    } else {
+        ""
+    }
 }

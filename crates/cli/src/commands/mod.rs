@@ -22,7 +22,8 @@ usage:
   rtk stats <graph>                              graph summary
   rtk index build <graph> --out <file> [--max-k K] [--hubs B] [--omega W] [--threads T] [--shards S]
   rtk index info <index>                         index statistics
-  rtk shard split <index> --shards S [--out F]   re-partition a saved index
+  rtk shard split <index> --shards S [--balance nodes|edges --graph <g>] [--out F]
+                                                 re-partition a saved index
   rtk shard merge <index> [--out F]              flatten to one shard (legacy format)
   rtk shard info <index>                         shard manifest summary
   rtk query <graph> <index> --node Q --k K [--update] [--strict] [--approximate] [--threads T]

@@ -2,7 +2,8 @@
 //! re-assembly of a saved index.
 //!
 //! Sharding is a pure layout change: `split` re-partitions an existing
-//! index (legacy or sharded) into `--shards N` contiguous node ranges,
+//! index (legacy or sharded) into `--shards N` contiguous node ranges
+//! (even by node count, or by total out-degree with `--balance edges`),
 //! `merge` flattens back to one shard (the legacy single-blob format),
 //! `info` prints the shard manifest, and `stitch` re-assembles the
 //! `<path>.shard<i>` section files a router-tier `persist` leaves behind
@@ -33,7 +34,13 @@ fn save(index: &rtk_index::ReverseIndex, path: &str) -> Result<(), String> {
     rtk_index::storage::save_path(index, path).map_err(|e| format!("shard: index save: {e}"))
 }
 
-/// `rtk shard split <index> --shards N [--out <file>]`
+/// `rtk shard split <index> --shards N [--balance nodes|edges --graph <g>]
+/// [--out <file>]`
+///
+/// `--balance nodes` (the default) cuts even node ranges; `--balance
+/// edges` cuts ranges of roughly equal total out-degree, read from
+/// `--graph`, so skewed graphs give every shard the same screen *work*.
+/// Either layout preserves per-node states bitwise.
 fn split(args: &Parsed) -> Result<(), String> {
     let path = args.positional(0, "index")?;
     let shards = args.get_num("shards", 0usize)?;
@@ -41,12 +48,39 @@ fn split(args: &Parsed) -> Result<(), String> {
         return Err("shard split: --shards <N ≥ 1> is required".into());
     }
     let out = args.get("out").unwrap_or(path);
+    let balance = args.get("balance").unwrap_or("nodes");
     let mut index = load(path)?;
     let before = index.shard_count();
-    index.repartition(shards);
+    match balance {
+        "nodes" => index.repartition(shards),
+        "edges" => {
+            let Some(graph_path) = args.get("graph") else {
+                return Err(
+                    "shard split: --balance edges needs --graph <graph> for out-degrees".into()
+                );
+            };
+            let graph = super::load_graph(graph_path)?;
+            if graph.node_count() != index.node_count() {
+                return Err(format!(
+                    "shard split: graph has {} nodes but the index covers {}",
+                    graph.node_count(),
+                    index.node_count()
+                ));
+            }
+            let n = index.node_count();
+            let weights: Vec<u64> =
+                (0..n as u32).map(|u| graph.out_neighbors(u).len() as u64).collect();
+            index.repartition_by_map(rtk_index::ShardMap::balanced(n, shards, &weights));
+        }
+        other => {
+            return Err(format!(
+                "shard split: unknown --balance {other:?} (expected `nodes` or `edges`)"
+            ))
+        }
+    }
     save(&index, out)?;
     println!(
-        "re-partitioned {path} from {before} to {} shard(s); wrote {out}",
+        "re-partitioned {path} from {before} to {} shard(s) (balance: {balance}); wrote {out}",
         index.shard_count()
     );
     Ok(())
@@ -202,6 +236,67 @@ mod tests {
         assert_eq!(stitched.shard_count(), 2);
         for u in 0..6u32 {
             assert_eq!(stitched.state(u), donor.state(u), "node {u}");
+        }
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn split_balance_edges_uses_degree_weights() {
+        let dir = std::env::temp_dir().join("rtk_cli_test_balance");
+        std::fs::create_dir_all(&dir).unwrap();
+        let ipath = build_index(&dir);
+        let ipath_str = ipath.to_str().unwrap().to_string();
+        let gpath = dir.join("g.tsv");
+        super::super::save_graph(&rtk_datasets::toy_graph(), gpath.to_str().unwrap()).unwrap();
+        let out = dir.join("balanced.rtki");
+
+        // --balance edges without --graph is rejected.
+        assert!(run(&[
+            "split".into(),
+            ipath_str.clone(),
+            "--shards".into(),
+            "2".into(),
+            "--balance".into(),
+            "edges".into(),
+        ])
+        .unwrap_err()
+        .contains("--graph"));
+        // Unknown balance modes are rejected.
+        assert!(run(&[
+            "split".into(),
+            ipath_str.clone(),
+            "--shards".into(),
+            "2".into(),
+            "--balance".into(),
+            "degrees".into(),
+        ])
+        .is_err());
+
+        run(&[
+            "split".into(),
+            ipath_str.clone(),
+            "--shards".into(),
+            "2".into(),
+            "--balance".into(),
+            "edges".into(),
+            "--graph".into(),
+            gpath.to_str().unwrap().into(),
+            "--out".into(),
+            out.to_str().unwrap().into(),
+        ])
+        .unwrap();
+        let loaded = rtk_index::storage::load_path(&out).unwrap();
+        assert_eq!(loaded.shard_count(), 2);
+        // The layout matches ShardMap::balanced over the graph's out-degrees…
+        let g = rtk_datasets::toy_graph();
+        let weights: Vec<u64> = (0..6u32).map(|u| g.out_neighbors(u).len() as u64).collect();
+        let expect = rtk_index::ShardMap::balanced(6, 2, &weights);
+        assert_eq!(loaded.shard_map(), &expect);
+        // …and every per-node state survives the move bitwise.
+        let original = rtk_index::storage::load_path(&ipath).unwrap();
+        for u in 0..6u32 {
+            assert_eq!(loaded.state(u), original.state(u), "node {u}");
         }
 
         std::fs::remove_dir_all(&dir).ok();

@@ -1,7 +1,7 @@
 //! The owning engine: graph + index + query session in one value.
 
 use crate::error::EngineError;
-use rtk_graph::{DiGraph, NodeId, TransitionMatrix, TransitionProbs};
+use rtk_graph::{DiGraph, NodeId, TransitionKernel, TransitionMatrix, TransitionProbs};
 use rtk_index::{HubSelection, HubSolver, IndexConfig, IndexStats, ReverseIndex};
 use rtk_query::{QueryEngine, QueryOptions, QueryResult};
 use rtk_rwr::{BcaParams, RwrParams};
@@ -42,6 +42,10 @@ pub struct ReverseTopkEngine {
     /// Cached transition probabilities for `graph` (kept in sync by
     /// construction — the graph has no mutating API).
     probs: TransitionProbs,
+    /// Cached flat-CSR gather kernel for `graph` + `probs`, so every query's
+    /// SpMV and BCA push loops run the contiguous layout (same lifecycle as
+    /// `probs`; answers are bitwise identical with or without it).
+    kernel: TransitionKernel,
     index: ReverseIndex,
     session: QueryEngine,
     options: QueryOptions,
@@ -70,21 +74,23 @@ impl ReverseTopkEngine {
             }));
         }
         let probs = TransitionProbs::compute(&graph);
+        let kernel = TransitionKernel::build(&graph, &probs);
         let session = QueryEngine::new(&index);
-        Ok(Self { graph, probs, index, session, options: QueryOptions::default() })
+        Ok(Self { graph, probs, kernel, index, session, options: QueryOptions::default() })
     }
 
-    /// The cached transition view — `O(1)`, no allocation.
+    /// The cached transition view — `O(1)`, no allocation, kernel-backed.
     fn transition(&self) -> TransitionMatrix<'_> {
-        TransitionMatrix::with_probs(&self.graph, &self.probs)
+        TransitionMatrix::with_probs_and_kernel(&self.graph, &self.probs, &self.kernel)
     }
 
-    /// Recomputes the cached transition probabilities from the graph.
-    /// Currently only needed if the graph is swapped through future APIs;
-    /// kept public so embedders mutating via `from_parts` round-trips can
-    /// re-validate the cache explicitly.
+    /// Recomputes the cached transition probabilities (and gather kernel)
+    /// from the graph. Currently only needed if the graph is swapped through
+    /// future APIs; kept public so embedders mutating via `from_parts`
+    /// round-trips can re-validate the cache explicitly.
     pub fn refresh_transition_cache(&mut self) {
         self.probs = TransitionProbs::compute(&self.graph);
+        self.kernel = TransitionKernel::build(&self.graph, &self.probs);
     }
 
     /// The underlying graph.
@@ -143,7 +149,8 @@ impl ReverseTopkEngine {
         k: usize,
         options: &QueryOptions,
     ) -> Result<QueryResult, EngineError> {
-        let transition = TransitionMatrix::with_probs(&self.graph, &self.probs);
+        let transition =
+            TransitionMatrix::with_probs_and_kernel(&self.graph, &self.probs, &self.kernel);
         Ok(self.session.query(&transition, &mut self.index, q.0, k, options)?)
     }
 
@@ -155,7 +162,8 @@ impl ReverseTopkEngine {
         queries: &[(NodeId, usize)],
         options: &QueryOptions,
     ) -> Result<Vec<QueryResult>, EngineError> {
-        let transition = TransitionMatrix::with_probs(&self.graph, &self.probs);
+        let transition =
+            TransitionMatrix::with_probs_and_kernel(&self.graph, &self.probs, &self.kernel);
         let mut out = Vec::with_capacity(queries.len());
         for &(q, k) in queries {
             out.push(self.session.query(&transition, &mut self.index, q.0, k, options)?);
@@ -417,12 +425,13 @@ impl EngineBuilder {
             }));
         }
         let probs = TransitionProbs::compute(&graph);
+        let kernel = TransitionKernel::build(&graph, &probs);
         let index = {
-            let transition = TransitionMatrix::with_probs(&graph, &probs);
+            let transition = TransitionMatrix::with_probs_and_kernel(&graph, &probs, &kernel);
             ReverseIndex::build(&transition, config)?
         };
         let session = QueryEngine::new(&index);
-        Ok(ReverseTopkEngine { graph, probs, index, session, options })
+        Ok(ReverseTopkEngine { graph, probs, kernel, index, session, options })
     }
 }
 

@@ -10,7 +10,7 @@
 //! module), bitwise equal to a single-process [`crate::ReverseTopkEngine`].
 
 use crate::error::EngineError;
-use rtk_graph::{DiGraph, NodeId, TransitionMatrix, TransitionProbs};
+use rtk_graph::{DiGraph, NodeId, TransitionKernel, TransitionMatrix, TransitionProbs};
 use rtk_index::{storage, HubMatrix, IndexConfig, IndexShard, ShardMap, ShardSlice};
 use rtk_query::{QueryEngine, QueryOptions, QueryResult};
 use std::io::Write;
@@ -51,6 +51,8 @@ pub struct ShardEngine {
     graph: DiGraph,
     /// Cached transition probabilities (the graph is immutable once owned).
     probs: TransitionProbs,
+    /// Cached flat-CSR gather kernel paired with `probs`.
+    kernel: TransitionKernel,
     config: IndexConfig,
     hub_matrix: HubMatrix,
     shard_map: ShardMap,
@@ -76,14 +78,15 @@ impl ShardEngine {
             }));
         }
         let probs = TransitionProbs::compute(&graph);
+        let kernel = TransitionKernel::build(&graph, &probs);
         let ShardSlice { config, hub_matrix, shard_map, shard } = slice;
         let session = QueryEngine::from_parts(graph.node_count(), &hub_matrix, config.bca);
-        Ok(Self { graph, probs, config, hub_matrix, shard_map, shard, session })
+        Ok(Self { graph, probs, kernel, config, hub_matrix, shard_map, shard, session })
     }
 
-    /// The cached transition view — `O(1)`, no allocation.
+    /// The cached transition view — `O(1)`, no allocation, kernel-backed.
     fn transition(&self) -> TransitionMatrix<'_> {
-        TransitionMatrix::with_probs(&self.graph, &self.probs)
+        TransitionMatrix::with_probs_and_kernel(&self.graph, &self.probs, &self.kernel)
     }
 
     /// The underlying (full) graph.

@@ -35,7 +35,9 @@ pub mod transition;
 pub use builder::{DanglingPolicy, GraphBuilder};
 pub use csr::DiGraph;
 pub use error::GraphError;
-pub use transition::{resolve_threads, TransitionMatrix, TransitionProbs};
+pub use transition::{
+    gather_dot, resolve_threads, TransitionKernel, TransitionMatrix, TransitionProbs,
+};
 
 /// A node identifier: a dense index in `0..graph.node_count()`.
 ///

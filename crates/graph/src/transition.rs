@@ -22,10 +22,22 @@
 //!
 //! Both operator applications can run over multiple threads: rows are
 //! partitioned into contiguous, edge-balanced ranges and each worker writes a
-//! disjoint slice of `y`. Every row is still summed in its serial edge order,
-//! so results are **bitwise identical** for any thread count.
+//! disjoint slice of `y`. Workers come from the shared
+//! [`rtk_sparse::WorkerPool`] — parked threads re-dispatched per apply, not
+//! respawned. Every row is still summed in its serial edge order, so results
+//! are **bitwise identical** for any thread count.
+//!
+//! For long-lived engines there is additionally [`TransitionKernel`]: a flat
+//! CSR/CSC gather layout (`row_ptr`/`col_idx`/`weight` contiguous arrays,
+//! 32-bit column ids) built once next to [`TransitionProbs`]. A kernel-backed
+//! view ([`TransitionMatrix::with_probs_and_kernel`]) runs its SpMV inner
+//! loops through [`gather_dot`] — an unrolled gather over the contiguous
+//! arrays with a **single accumulator in serial edge order**, so the result
+//! is bitwise identical to the legacy per-node walk while letting the CPU
+//! overlap the index loads.
 
 use crate::csr::DiGraph;
+use rtk_sparse::WorkerPool;
 use std::borrow::Cow;
 
 /// Resolves a thread-count knob: `0` means all available cores.
@@ -117,14 +129,148 @@ impl TransitionProbs {
     }
 }
 
+/// Serial-order gather dot product `Σ weight[k]·x[col[k]]`, unrolled 4-wide.
+///
+/// The four products per step are independent (the CPU can overlap their
+/// loads), but the additions still happen one at a time on a **single
+/// accumulator in array order** — no reassociation — so the result is
+/// bitwise identical to the naive `for` loop for any input.
+#[inline]
+pub fn gather_dot(cols: &[u32], weights: &[f64], x: &[f64]) -> f64 {
+    debug_assert_eq!(cols.len(), weights.len());
+    let n = cols.len();
+    let mut acc = 0.0;
+    let mut k = 0;
+    while k + 4 <= n {
+        let a = weights[k] * x[cols[k] as usize];
+        let b = weights[k + 1] * x[cols[k + 1] as usize];
+        let c = weights[k + 2] * x[cols[k + 2] as usize];
+        let d = weights[k + 3] * x[cols[k + 3] as usize];
+        acc += a;
+        acc += b;
+        acc += c;
+        acc += d;
+        k += 4;
+    }
+    while k < n {
+        acc += weights[k] * x[cols[k] as usize];
+        k += 1;
+    }
+    acc
+}
+
+/// Flat gather-kernel layout of the transition operator: both edge sides as
+/// self-contained `row_ptr`/`col_idx`/`weight` triples with 32-bit column
+/// ids, each row's ids and probabilities contiguous and adjacent.
+///
+/// Built once from a graph + [`TransitionProbs`] (`O(|E|)`), then shared by
+/// every [`TransitionMatrix`] view over the same graph
+/// ([`TransitionMatrix::with_probs_and_kernel`] is `O(1)`). The *transpose*
+/// side (out-edges, CSR order) also backs the BCA ink-push loop via
+/// [`TransitionMatrix::out_edges`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct TransitionKernel {
+    nodes: usize,
+    /// CSC side, gathered by the forward operator: row `v` holds the
+    /// sources of `v`'s in-edges.
+    in_ptr: Vec<usize>,
+    in_src: Vec<u32>,
+    in_prob: Vec<f64>,
+    /// CSR side, gathered by the transpose operator (and walked by BCA
+    /// pushes): row `u` holds the targets of `u`'s out-edges.
+    out_ptr: Vec<usize>,
+    out_dst: Vec<u32>,
+    out_prob: Vec<f64>,
+}
+
+impl TransitionKernel {
+    /// Flattens `graph` + `probs` into the gather layout. `O(|E|)`.
+    ///
+    /// # Panics
+    /// Panics when `probs` disagrees with `graph` on node or edge count.
+    pub fn build(graph: &DiGraph, probs: &TransitionProbs) -> Self {
+        assert!(
+            probs.matches(graph),
+            "TransitionKernel: probabilities do not match the graph \
+             ({} nodes / {} edges vs {} nodes / {} edges)",
+            probs.node_count(),
+            probs.edge_count(),
+            graph.node_count(),
+            graph.edge_count()
+        );
+        let n = graph.node_count();
+        let m = graph.edge_count();
+
+        let mut in_ptr = Vec::with_capacity(n + 1);
+        let mut in_src = Vec::with_capacity(m);
+        in_ptr.push(0);
+        for v in 0..n as u32 {
+            in_src.extend_from_slice(graph.in_neighbors(v));
+            in_ptr.push(in_src.len());
+        }
+
+        let mut out_ptr = Vec::with_capacity(n + 1);
+        let mut out_dst = Vec::with_capacity(m);
+        out_ptr.push(0);
+        for u in 0..n as u32 {
+            out_dst.extend_from_slice(graph.out_neighbors(u));
+            out_ptr.push(out_dst.len());
+        }
+
+        Self {
+            nodes: n,
+            in_ptr,
+            in_src,
+            in_prob: probs.probs_in.clone(),
+            out_ptr,
+            out_dst,
+            out_prob: probs.probs_out.clone(),
+        }
+    }
+
+    /// Number of nodes the kernel was built for.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.nodes
+    }
+
+    /// Number of edges the kernel was built for.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.out_dst.len()
+    }
+
+    /// Cheap structural compatibility check against `graph`.
+    #[inline]
+    pub fn matches(&self, graph: &DiGraph) -> bool {
+        self.nodes == graph.node_count() && self.out_dst.len() == graph.edge_count()
+    }
+
+    /// In-edge row of `v`: `(sources, probabilities)`, CSC order.
+    #[inline]
+    fn in_row(&self, v: usize) -> (&[u32], &[f64]) {
+        let (lo, hi) = (self.in_ptr[v], self.in_ptr[v + 1]);
+        (&self.in_src[lo..hi], &self.in_prob[lo..hi])
+    }
+
+    /// Out-edge row of `u`: `(targets, probabilities)`, CSR order.
+    #[inline]
+    fn out_row(&self, u: usize) -> (&[u32], &[f64]) {
+        let (lo, hi) = (self.out_ptr[u], self.out_ptr[u + 1]);
+        (&self.out_dst[lo..hi], &self.out_prob[lo..hi])
+    }
+}
+
 /// Precomputed transition probabilities over a [`DiGraph`].
 ///
 /// Holds a borrow of the graph; construct one per graph and share it across
-/// solvers, or build it in `O(1)` from a cached [`TransitionProbs`].
+/// solvers, or build it in `O(1)` from a cached [`TransitionProbs`] (and
+/// optionally a cached [`TransitionKernel`] for the gather-layout SpMV).
 #[derive(Clone, Debug)]
 pub struct TransitionMatrix<'g> {
     graph: &'g DiGraph,
     probs: Cow<'g, TransitionProbs>,
+    kernel: Option<Cow<'g, TransitionKernel>>,
 }
 
 impl<'g> TransitionMatrix<'g> {
@@ -134,7 +280,15 @@ impl<'g> TransitionMatrix<'g> {
     /// Panics if the graph has dangling nodes (the builder policies prevent
     /// this; a zero out-degree column cannot be normalized).
     pub fn new(graph: &'g DiGraph) -> Self {
-        Self { graph, probs: Cow::Owned(TransitionProbs::compute(graph)) }
+        Self { graph, probs: Cow::Owned(TransitionProbs::compute(graph)), kernel: None }
+    }
+
+    /// Like [`Self::new`], but also builds the owned [`TransitionKernel`] so
+    /// all applies run the gather layout. `O(|E|)`, twice.
+    pub fn new_kernelized(graph: &'g DiGraph) -> Self {
+        let probs = TransitionProbs::compute(graph);
+        let kernel = TransitionKernel::build(graph, &probs);
+        Self { graph, probs: Cow::Owned(probs), kernel: Some(Cow::Owned(kernel)) }
     }
 
     /// Wraps a cached [`TransitionProbs`] in `O(1)` — the hot path for
@@ -158,7 +312,44 @@ impl<'g> TransitionMatrix<'g> {
             graph.node_count(),
             graph.edge_count()
         );
-        Self { graph, probs: Cow::Borrowed(probs) }
+        Self { graph, probs: Cow::Borrowed(probs), kernel: None }
+    }
+
+    /// [`Self::with_probs`] plus a cached [`TransitionKernel`] — the `O(1)`
+    /// hot path for engines that own graph, probabilities, *and* kernel.
+    ///
+    /// # Panics
+    /// Panics when `probs` or `kernel` disagrees with `graph` on node or
+    /// edge count.
+    pub fn with_probs_and_kernel(
+        graph: &'g DiGraph,
+        probs: &'g TransitionProbs,
+        kernel: &'g TransitionKernel,
+    ) -> Self {
+        let mut view = Self::with_probs(graph, probs);
+        assert!(
+            kernel.matches(graph),
+            "TransitionMatrix: cached kernel does not match the graph \
+             ({} nodes / {} edges vs {} nodes / {} edges)",
+            kernel.node_count(),
+            kernel.edge_count(),
+            graph.node_count(),
+            graph.edge_count()
+        );
+        view.kernel = Some(Cow::Borrowed(kernel));
+        view
+    }
+
+    /// Builds an owned [`TransitionKernel`] for this view's graph and
+    /// probabilities — what engines cache next to their [`TransitionProbs`].
+    pub fn build_kernel(&self) -> TransitionKernel {
+        TransitionKernel::build(self.graph, &self.probs)
+    }
+
+    /// Whether the gather kernel backs this view's applies.
+    #[inline]
+    pub fn has_kernel(&self) -> bool {
+        self.kernel.is_some()
     }
 
     /// Consumes the view, returning owned probabilities (cloning only when
@@ -191,6 +382,18 @@ impl<'g> TransitionMatrix<'g> {
         &self.probs.probs_in[self.graph.in_edge_range(node)]
     }
 
+    /// Out-edge row of `node` as `(targets, probabilities)` — the BCA
+    /// ink-push view. Served from the kernel's contiguous arrays when one is
+    /// attached (values identical either way), so the refinement inner loop
+    /// walks the same cache lines as the SpMV.
+    #[inline]
+    pub fn out_edges(&self, node: u32) -> (&[u32], &[f64]) {
+        match self.kernel.as_deref() {
+            Some(kernel) => kernel.out_row(node as usize),
+            None => (self.graph.out_neighbors(node), self.out_probs(node)),
+        }
+    }
+
     /// `y ← (1−α)·A·x + α·e_restart`, the forward RWR operator (Eq. 12).
     ///
     /// Gathers over in-edges; `y` is fully overwritten.
@@ -212,15 +415,21 @@ impl<'g> TransitionMatrix<'g> {
         assert_eq!(x.len(), n);
         assert_eq!(y.len(), n);
         let damp = 1.0 - alpha;
-        self.for_rows(y, threads, Direction::Forward, |view, v, _| {
-            let sources = view.graph.in_neighbors(v);
-            let probs = view.in_probs(v);
-            let mut acc = 0.0;
-            for (&s, &p) in sources.iter().zip(probs) {
-                acc += p * x[s as usize];
-            }
-            damp * acc
-        });
+        match self.kernel.as_deref() {
+            Some(kernel) => self.for_rows(y, threads, Direction::Forward, move |_, _, vi| {
+                let (src, probs) = kernel.in_row(vi);
+                damp * gather_dot(src, probs, x)
+            }),
+            None => self.for_rows(y, threads, Direction::Forward, |view, v, _| {
+                let sources = view.graph.in_neighbors(v);
+                let probs = view.in_probs(v);
+                let mut acc = 0.0;
+                for (&s, &p) in sources.iter().zip(probs) {
+                    acc += p * x[s as usize];
+                }
+                damp * acc
+            }),
+        }
         y[restart as usize] += alpha;
     }
 
@@ -239,15 +448,21 @@ impl<'g> TransitionMatrix<'g> {
         assert_eq!(restart.len(), n);
         assert_eq!(y.len(), n);
         let damp = 1.0 - alpha;
-        self.for_rows(y, threads, Direction::Forward, |view, v, _| {
-            let sources = view.graph.in_neighbors(v);
-            let probs = view.in_probs(v);
-            let mut acc = 0.0;
-            for (&s, &p) in sources.iter().zip(probs) {
-                acc += p * x[s as usize];
-            }
-            damp * acc + alpha * restart[v as usize]
-        });
+        match self.kernel.as_deref() {
+            Some(kernel) => self.for_rows(y, threads, Direction::Forward, move |_, _, vi| {
+                let (src, probs) = kernel.in_row(vi);
+                damp * gather_dot(src, probs, x) + alpha * restart[vi]
+            }),
+            None => self.for_rows(y, threads, Direction::Forward, |view, v, _| {
+                let sources = view.graph.in_neighbors(v);
+                let probs = view.in_probs(v);
+                let mut acc = 0.0;
+                for (&s, &p) in sources.iter().zip(probs) {
+                    acc += p * x[s as usize];
+                }
+                damp * acc + alpha * restart[v as usize]
+            }),
+        }
     }
 
     /// `y ← (1−α)·Aᵀ·x + α·e_restart`, the PMPN operator (Eq. 13).
@@ -271,23 +486,30 @@ impl<'g> TransitionMatrix<'g> {
         assert_eq!(x.len(), n);
         assert_eq!(y.len(), n);
         let damp = 1.0 - alpha;
-        self.for_rows(y, threads, Direction::Transpose, |view, u, _| {
-            let targets = view.graph.out_neighbors(u);
-            let probs = view.out_probs(u);
-            let mut acc = 0.0;
-            for (&t, &p) in targets.iter().zip(probs) {
-                acc += p * x[t as usize];
-            }
-            damp * acc
-        });
+        match self.kernel.as_deref() {
+            Some(kernel) => self.for_rows(y, threads, Direction::Transpose, move |_, _, ui| {
+                let (dst, probs) = kernel.out_row(ui);
+                damp * gather_dot(dst, probs, x)
+            }),
+            None => self.for_rows(y, threads, Direction::Transpose, |view, u, _| {
+                let targets = view.graph.out_neighbors(u);
+                let probs = view.out_probs(u);
+                let mut acc = 0.0;
+                for (&t, &p) in targets.iter().zip(probs) {
+                    acc += p * x[t as usize];
+                }
+                damp * acc
+            }),
+        }
         y[restart as usize] += alpha;
     }
 
     /// Runs `row` for every node, writing `y[v] = row(self, v)` — serially,
     /// or across edge-balanced contiguous node ranges when `threads > 1` and
-    /// the graph is large enough to amortize the spawns. Each worker owns a
-    /// disjoint `y` slice, and each row sums in its serial edge order, so the
-    /// output is identical for any thread count.
+    /// the graph is large enough to amortize the dispatch. Workers come from
+    /// the process-wide [`WorkerPool`] (parked threads, no spawn per apply).
+    /// Each worker owns a disjoint `y` slice, and each row sums in its
+    /// serial edge order, so the output is identical for any thread count.
     fn for_rows<F>(&self, y: &mut [f64], threads: usize, direction: Direction, row: F)
     where
         F: Fn(&Self, u32, usize) -> f64 + Sync,
@@ -305,7 +527,7 @@ impl<'g> TransitionMatrix<'g> {
         }
 
         let bounds = self.edge_balanced_partition(threads, direction);
-        std::thread::scope(|scope| {
+        WorkerPool::global().scope(|scope| {
             let mut rest = y;
             for w in 0..threads {
                 let (lo, hi) = (bounds[w], bounds[w + 1]);
@@ -538,6 +760,79 @@ mod tests {
             t.apply_forward_restart_threaded(alpha, &x, &restart_vec, &mut y, threads);
             assert_eq!(y, serial_r, "forward restart, {threads} threads");
         }
+    }
+
+    #[test]
+    fn kernelized_applies_are_bitwise_identical_to_legacy() {
+        let g = crate::gen::rmat(&crate::gen::RmatConfig::new(4_000, 20_000, 23)).unwrap();
+        let legacy = TransitionMatrix::new(&g);
+        let probs = TransitionProbs::compute(&g);
+        let kernel = TransitionKernel::build(&g, &probs);
+        assert!(kernel.matches(&g));
+        assert_eq!(kernel.node_count(), g.node_count());
+        assert_eq!(kernel.edge_count(), g.edge_count());
+        let fast = TransitionMatrix::with_probs_and_kernel(&g, &probs, &kernel);
+        assert!(fast.has_kernel() && !legacy.has_kernel());
+
+        let n = g.node_count();
+        let alpha = 0.15;
+        let x: Vec<f64> = (0..n).map(|i| ((i * 41 + 3) % 97) as f64 / 97.0).collect();
+        let restart_vec: Vec<f64> = (0..n).map(|i| ((i * 17) % 5) as f64 / 10.0).collect();
+        for threads in [1usize, 2, 4, 8] {
+            let mut want = vec![0.0; n];
+            let mut got = vec![0.0; n];
+            legacy.apply_forward_threaded(alpha, &x, 7, &mut want, 1);
+            fast.apply_forward_threaded(alpha, &x, 7, &mut got, threads);
+            assert_eq!(got, want, "forward, kernel, {threads} threads");
+            legacy.apply_transpose_threaded(alpha, &x, 7, &mut want, 1);
+            fast.apply_transpose_threaded(alpha, &x, 7, &mut got, threads);
+            assert_eq!(got, want, "transpose, kernel, {threads} threads");
+            legacy.apply_forward_restart_threaded(alpha, &x, &restart_vec, &mut want, 1);
+            fast.apply_forward_restart_threaded(alpha, &x, &restart_vec, &mut got, threads);
+            assert_eq!(got, want, "forward restart, kernel, {threads} threads");
+        }
+    }
+
+    #[test]
+    fn out_edges_is_identical_with_and_without_kernel() {
+        let g = toy();
+        let legacy = TransitionMatrix::new(&g);
+        let kernelized = TransitionMatrix::new_kernelized(&g);
+        for u in 0..g.node_count() as u32 {
+            let (lt, lp) = legacy.out_edges(u);
+            let (kt, kp) = kernelized.out_edges(u);
+            assert_eq!(lt, g.out_neighbors(u));
+            assert_eq!((lt, lp), (kt, kp), "node {u}");
+        }
+    }
+
+    #[test]
+    fn gather_dot_matches_naive_loop_bitwise() {
+        // Awkward lengths around the unroll width, values chosen so the sum
+        // order matters in the low bits.
+        let x: Vec<f64> = (0..64).map(|i| 1.0 / (i + 1) as f64).collect();
+        for len in 0..23usize {
+            let cols: Vec<u32> = (0..len).map(|k| ((k * 29 + 5) % 64) as u32).collect();
+            let weights: Vec<f64> = (0..len).map(|k| ((k % 7) + 1) as f64 / 7.0).collect();
+            let mut naive = 0.0;
+            for (&c, &w) in cols.iter().zip(&weights) {
+                naive += w * x[c as usize];
+            }
+            let fast = gather_dot(&cols, &weights, &x);
+            assert_eq!(fast.to_bits(), naive.to_bits(), "len {len}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "kernel does not match")]
+    fn stale_kernel_is_rejected() {
+        let g = toy();
+        let probs = TransitionProbs::compute(&g);
+        let other =
+            GraphBuilder::from_edges(3, &[(0, 1), (1, 2), (2, 0)], DanglingPolicy::Error).unwrap();
+        let other_probs = TransitionProbs::compute(&other);
+        let kernel = TransitionKernel::build(&other, &other_probs);
+        let _ = TransitionMatrix::with_probs_and_kernel(&g, &probs, &kernel);
     }
 
     #[test]

@@ -81,12 +81,16 @@ impl LbiBuilder {
         let next = AtomicUsize::new(0);
         let hub_matrix_ref = &hub_matrix;
         let config = &self.config;
-        let results: Vec<(Vec<(u32, NodeState)>, BcaWork)> = std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(threads);
+        // Pool workers (no spawn per build) pull `SWEEP_CHUNK` node ranges
+        // off the shared counter; states land in per-node slots and the work
+        // counters are order-independent sums, so scheduling cannot change
+        // the built index.
+        let collected = std::sync::Mutex::new(Vec::<(Vec<(u32, NodeState)>, BcaWork)>::new());
+        rtk_sparse::WorkerPool::global().scope(|scope| {
             for _ in 0..threads {
-                let next = &next;
+                let (next, collected) = (&next, &collected);
                 let hubs = hubs.clone();
-                handles.push(scope.spawn(move || {
+                scope.spawn(move || {
                     let mut engine =
                         BcaEngine::new(hubs, config.bca, PropagationStrategy::BatchThreshold);
                     let mut materializer = Materializer::new(n);
@@ -108,11 +112,11 @@ impl LbiBuilder {
                             local.push((u, state));
                         }
                     }
-                    (local, engine.work())
-                }));
+                    collected.lock().expect("sweep results poisoned").push((local, engine.work()));
+                });
             }
-            handles.into_iter().map(|h| h.join().expect("sweep worker panicked")).collect()
         });
+        let results = collected.into_inner().expect("sweep results poisoned");
         let node_sweep_seconds = sweep_t0.elapsed().as_secs_f64();
 
         let mut slots: Vec<Option<NodeState>> = (0..n).map(|_| None).collect();

@@ -58,13 +58,15 @@ impl HubMatrix {
             };
         }
 
+        // Workers come from the shared pool (no spawn per build) and pull
+        // hub ids off a shared counter; each result lands in its own slot,
+        // so completion order cannot affect the matrix.
         let next = std::sync::atomic::AtomicUsize::new(0);
-        let results: Vec<Vec<(usize, HubColumn)>> = std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(threads);
+        let results = std::sync::Mutex::new(Vec::<Vec<(usize, HubColumn)>>::new());
+        rtk_sparse::WorkerPool::global().scope(|scope| {
             for _ in 0..threads {
-                let ids = &ids;
-                let next = &next;
-                handles.push(scope.spawn(move || {
+                let (ids, next, results) = (&ids, &next, &results);
+                scope.spawn(move || {
                     let mut local = Vec::new();
                     loop {
                         let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
@@ -76,12 +78,11 @@ impl HubMatrix {
                             compute_hub_column(transition, ids[i], solver, rounding_threshold),
                         ));
                     }
-                    local
-                }));
+                    results.lock().expect("hub results poisoned").push(local);
+                });
             }
-            handles.into_iter().map(|h| h.join().expect("hub worker panicked")).collect()
         });
-        for chunk in results {
+        for chunk in results.into_inner().expect("hub results poisoned") {
             for (i, col) in chunk {
                 slots[i] = Some(col);
             }

@@ -120,18 +120,30 @@ impl ReverseIndex {
     /// serialized per-node bytes are unchanged (`rtk shard split|merge`).
     pub fn repartition(&mut self, shards: usize) {
         let n = self.node_count();
-        let shard_map = ShardMap::even(n, shards.max(1).min(n.max(1)));
-        if shard_map == self.shard_map {
-            self.config.shards = shard_map.shard_count();
+        self.repartition_by_map(ShardMap::even(n, shards.max(1).min(n.max(1))));
+    }
+
+    /// Re-partitions the index along an explicit [`ShardMap`] — e.g. a
+    /// degree-balanced [`ShardMap::balanced`] layout from `rtk shard split
+    /// --balance edges`. Same guarantee as [`Self::repartition`]: a pure
+    /// re-grouping of the same per-node states, so answers are unchanged.
+    ///
+    /// # Panics
+    /// Panics if `map` covers a different node count than the index.
+    pub fn repartition_by_map(&mut self, map: ShardMap) {
+        let n = self.node_count();
+        assert_eq!(map.node_count(), n, "shard map covers a different node count");
+        if map == self.shard_map {
+            self.config.shards = map.shard_count();
             return;
         }
         let mut states = Vec::with_capacity(n);
         for shard in std::mem::take(&mut self.shards) {
             states.extend(shard.into_states());
         }
-        self.shards = partition_states(&shard_map, states);
-        self.config.shards = shard_map.shard_count();
-        self.shard_map = shard_map;
+        self.shards = partition_states(&map, states);
+        self.config.shards = map.shard_count();
+        self.shard_map = map;
     }
 
     /// Creates a [`BcaEngine`] matching this index's hub set and BCA

@@ -25,6 +25,8 @@ pub mod topk;
 pub mod upper_bound;
 
 pub use error::QueryError;
-pub use query::{BoundMode, QueryEngine, QueryOptions, QueryResult, QueryStats, ScreenScope};
+pub use query::{
+    BoundMode, ChunkStrategy, QueryEngine, QueryOptions, QueryResult, QueryStats, ScreenScope,
+};
 pub use topk::{top_k_rwr_early, TopkReport};
 pub use upper_bound::upper_bound_kth;

@@ -6,13 +6,14 @@
 //!
 //! 1. PMPN computes `p_*(q)` with its sparse matrix–vector products spread
 //!    over [`QueryOptions::query_threads`] workers;
-//! 2. the **screen phase** fans the candidate scan out over the index's
-//!    shards: the work queue is built from shard-aligned chunks (a chunk
-//!    never crosses a shard boundary), so each shard's node range is
-//!    scanned independently. Each worker owns a private [`BcaEngine`] +
-//!    [`Materializer`] (recycled across queries through a [`ScratchPool`])
-//!    and refines candidates on *private copies* of their [`NodeState`] —
-//!    the shared index is only read;
+//! 2. the **screen phase** runs in two passes on the shared [`WorkerPool`]:
+//!    *classify* fans the cheap bound checks out over shard-aligned,
+//!    degree-balanced chunks (a chunk never crosses a shard boundary), then
+//!    *refine* visits the undecided candidates in descending upper-bound
+//!    order — loosest bounds first. Each worker owns a private
+//!    [`BcaEngine`] + [`Materializer`] (recycled across queries through a
+//!    [`ScratchPool`]) and refines candidates on *private copies* of their
+//!    [`NodeState`] — the shared index is only read;
 //! 3. the **commit phase** (update mode only) serially merges every refined
 //!    copy back into the owning shards by node id — the cross-shard merge.
 //!
@@ -24,24 +25,33 @@
 
 use crate::error::QueryError;
 use crate::upper_bound::upper_bound_kth;
-use rtk_graph::{resolve_threads, TransitionMatrix};
+use rtk_graph::{resolve_threads, DiGraph, TransitionMatrix};
 use rtk_index::{refine_state, HubMatrix, IndexShard, Materializer, NodeState, ReverseIndex};
 use rtk_rwr::bca::{BcaEngine, BcaStop, PropagationStrategy};
 use rtk_rwr::pmpn::proximity_to;
 use rtk_rwr::power::proximity_from;
 use rtk_rwr::{BcaParams, HubSet, RwrParams};
-use rtk_sparse::ScratchPool;
+use rtk_sparse::{ScratchPool, WorkerPool};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
 /// Residual mass below which a node's bounds are treated as exact.
 const EXACT_RESIDUAL_EPS: f64 = 1e-12;
 
-/// Nodes claimed per worker fetch during the screen phase. Small enough to
-/// balance the heavy refinement tail (one hard candidate can cost thousands
-/// of BCA iterations while its neighbors cost none), large enough to
-/// amortize the atomic counter.
+/// Nodes claimed per worker fetch during the screen phase
+/// ([`ChunkStrategy::NodeCount`]). Small enough to balance the heavy
+/// refinement tail (one hard candidate can cost thousands of BCA iterations
+/// while its neighbors cost none), large enough to amortize the atomic
+/// counter.
 const SCREEN_CHUNK: usize = 16;
+
+/// Target weight per screen chunk ([`ChunkStrategy::EdgeBalanced`]), where
+/// node `u` weighs `1 + out_degree(u)` — its bound checks plus the edges a
+/// refinement would push along. Chosen so chunks carry about the same
+/// *work* as `SCREEN_CHUNK` nodes do on a mean-degree-6 graph; on skewed
+/// (power-law) graphs it keeps a hub node from making one chunk orders of
+/// magnitude heavier than the rest.
+const SCREEN_CHUNK_EDGES: usize = 96;
 
 /// Tie tolerance for membership comparisons (`p_u(q) ≥ p̂_u(k)`).
 ///
@@ -54,6 +64,22 @@ const SCREEN_CHUNK: usize = 16;
 /// treat values closer than `TIE_EPSILON` as equal, making results
 /// well-defined and mutually consistent.
 pub const TIE_EPSILON: f64 = 1e-9;
+
+/// How the screen scan is cut into work units (within each shard range).
+///
+/// A pure scheduling knob: per-node screening decisions are independent, so
+/// the chunk plan — like the thread count — may only change wall time,
+/// never answers (`tests/parallel_determinism.rs` pins this down).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChunkStrategy {
+    /// Chunk boundaries placed so each chunk covers roughly
+    /// `SCREEN_CHUNK_EDGES` out-edges — degree-balanced work units, the
+    /// default (skewed graphs schedule evenly).
+    EdgeBalanced,
+    /// Fixed `SCREEN_CHUNK`-node chunks — the legacy layout, kept as an
+    /// explicit axis for determinism tests and benches.
+    NodeCount,
+}
 
 /// How residual mass is accounted for in the bounds.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -91,6 +117,9 @@ pub struct QueryOptions {
     /// a single query, and the fan-out width of
     /// [`QueryEngine::query_batch`]. Results are identical for any value.
     pub query_threads: usize,
+    /// How the screen scan is cut into work units (see [`ChunkStrategy`]).
+    /// Results are identical for any value.
+    pub chunking: ChunkStrategy,
 }
 
 impl Default for QueryOptions {
@@ -102,6 +131,7 @@ impl Default for QueryOptions {
             refine_iterations: 1,
             approximate: false,
             query_threads: 0,
+            chunking: ChunkStrategy::EdgeBalanced,
         }
     }
 }
@@ -305,12 +335,16 @@ impl QueryEngine {
     }
 
     /// Runs many *independent* queries against a frozen index, fanning them
-    /// across [`QueryOptions::query_threads`] workers (each query itself
-    /// runs serially — the parallelism budget goes to throughput).
+    /// across [`QueryOptions::query_threads`] workers. The thread budget is
+    /// divided, not fixed: with more queries than threads each query runs
+    /// serially (the budget buys throughput), while a batch *narrower* than
+    /// the budget hands each query its `threads / batch` share for its own
+    /// PMPN + screen fan-out — a 2-query batch on 8 threads uses all 8.
     ///
     /// Always the paper's `no-update` mode: concurrent queries never observe
     /// each other's refinements, so `results[i]` equals what
-    /// [`Self::query_frozen`] returns for `queries[i]`, in input order.
+    /// [`Self::query_frozen`] returns for `queries[i]`, in input order —
+    /// for every thread budget.
     pub fn query_batch(
         &self,
         transition: &TransitionMatrix<'_>,
@@ -334,25 +368,39 @@ impl QueryEngine {
             }
         }
 
-        let per_query = QueryOptions { update_index: false, query_threads: 1, ..*options };
-        let threads = resolve_threads(options.query_threads).min(queries.len().max(1));
+        let threads = resolve_threads(options.query_threads);
+        let workers = threads.min(queries.len().max(1));
+        let per_query = QueryOptions {
+            update_index: false,
+            query_threads: (threads / workers.max(1)).max(1),
+            ..*options
+        };
         let screen_scope = ScreenScope::full(index);
         let mut slots: Vec<Option<QueryResult>> = (0..queries.len()).map(|_| None).collect();
-        if threads <= 1 {
+        if workers <= 1 {
             for (slot, &(q, k)) in slots.iter_mut().zip(queries) {
-                let (result, _) =
-                    execute_query(self, transition, &screen_scope, q, k, &per_query, 1, false);
+                let (result, _) = execute_query(
+                    self,
+                    transition,
+                    &screen_scope,
+                    q,
+                    k,
+                    &per_query,
+                    per_query.query_threads,
+                    false,
+                );
                 *slot = Some(result);
             }
         } else {
             let next = AtomicUsize::new(0);
-            let finished: Vec<Vec<(usize, QueryResult)>> = std::thread::scope(|scope| {
-                let mut handles = Vec::with_capacity(threads);
-                for _ in 0..threads {
+            let collected = std::sync::Mutex::new(Vec::with_capacity(workers));
+            WorkerPool::global().scope(|pool| {
+                for _ in 0..workers {
                     let next = &next;
                     let per_query = &per_query;
                     let screen_scope = &screen_scope;
-                    handles.push(scope.spawn(move || {
+                    let collected = &collected;
+                    pool.spawn(move || {
                         let mut local = Vec::new();
                         loop {
                             let i = next.fetch_add(1, Ordering::Relaxed);
@@ -367,20 +415,16 @@ impl QueryEngine {
                                 q,
                                 k,
                                 per_query,
-                                1,
+                                per_query.query_threads,
                                 false,
                             );
                             local.push((i, result));
                         }
-                        local
-                    }));
+                        collected.lock().expect("batch results poisoned").push(local);
+                    });
                 }
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("batch query worker panicked"))
-                    .collect()
             });
-            for chunk in finished {
+            for chunk in collected.into_inner().expect("batch results poisoned") {
                 for (i, result) in chunk {
                     debug_assert!(slots[i].is_none());
                     slots[i] = Some(result);
@@ -578,32 +622,84 @@ fn execute_query(
     let (to_q, pmpn_report) = proximity_to(transition, q, &pmpn_params);
     let pmpn_seconds = pmpn_t0.elapsed().as_secs_f64();
 
-    // Step 2 (Alg. 4 lines 2–14): screen every node, workers pulling
-    // shard-aligned chunks off an atomic counter — each shard's range is
-    // scanned over its own chunk run, so the fan-out is per shard first and
-    // per chunk within it. Workers refining already in parallel solve
-    // strict-mode fallbacks serially to avoid nested spawns. A worker can
-    // only be useful with a chunk to claim, so the count is clamped by the
-    // chunk count — small graphs run serially instead of paying spawn
-    // overhead for idle workers.
+    // Step 2 (Alg. 4 lines 2–14) runs in two passes so refinement — the
+    // expensive tail — can be scheduled by how undecided each candidate is.
+    //
+    // **Classify** scans every node: workers pull shard-aligned chunks off
+    // an atomic counter (degree-balanced by default, see [`ChunkStrategy`])
+    // and run the cheap bound tests that need no BCA scratch. Most nodes
+    // are pruned or confirmed here; the survivors are recorded with their
+    // first upper bound.
+    //
+    // **Refine** then visits the survivors in descending upper-bound order
+    // — the loosest bounds first, so the longest refinements start early
+    // and the parallel tail stays short. The order is a pure scheduling
+    // choice: candidates refine private copies against the read-only
+    // index, so the visit order (like the thread count and the chunk
+    // layout) cannot change any answer.
     let screen_t0 = Instant::now();
-    let chunks = ChunkPlan::from_ranges(&scope.ranges);
-    let threads = threads.max(1).min(chunks.total()).max(1);
-    let fallback_params =
-        RwrParams { threads: if threads > 1 { 1 } else { pmpn_params.threads }, ..pmpn_params };
+    let screen_scope = scope;
+    let chunks = match options.chunking {
+        ChunkStrategy::EdgeBalanced => ChunkPlan::edge_balanced(&scope.ranges, transition.graph()),
+        ChunkStrategy::NodeCount => ChunkPlan::from_ranges(&scope.ranges),
+    };
+    let threads = threads.max(1);
+    let classify_threads = threads.min(chunks.total()).max(1);
     let next = AtomicUsize::new(0);
+    let mut stats = QueryStats::default();
+    let mut results: Vec<(u32, f64)> = Vec::new();
+    let mut pending: Vec<PendingCandidate> = Vec::new();
+    if classify_threads <= 1 {
+        let mut local = LocalClassify::default();
+        classify_worker(&mut local, &chunks, &next, scope, &to_q, k, options);
+        stats.absorb(&local.stats);
+        results.extend(local.results);
+        pending.extend(local.pending);
+    } else {
+        let collected = std::sync::Mutex::new(Vec::with_capacity(classify_threads));
+        WorkerPool::global().scope(|pool| {
+            for _ in 0..classify_threads {
+                let next = &next;
+                let chunks = &chunks;
+                let to_q = &to_q;
+                let collected = &collected;
+                pool.spawn(move || {
+                    let mut local = LocalClassify::default();
+                    classify_worker(&mut local, chunks, next, screen_scope, to_q, k, options);
+                    collected.lock().expect("classify results poisoned").push(local);
+                });
+            }
+        });
+        for local in collected.into_inner().expect("classify results poisoned") {
+            stats.absorb(&local.stats);
+            results.extend(local.results);
+            pending.extend(local.pending);
+        }
+    }
 
-    let locals: Vec<LocalScreen> = if threads <= 1 {
+    // Loosest bounds first; ties break by node id so the refinement
+    // schedule is reproducible no matter how classify chunks interleaved.
+    pending.sort_unstable_by(|a, b| b.ub.total_cmp(&a.ub).then(a.node.cmp(&b.node)));
+
+    // Workers already refining in parallel solve strict-mode exact
+    // fallbacks serially to avoid oversubscription; a lone refiner keeps
+    // the full SpMV thread budget for its fallback solves.
+    let refine_threads = threads.min(pending.len().max(1));
+    let fallback_params = RwrParams {
+        threads: if refine_threads > 1 { 1 } else { pmpn_params.threads },
+        ..pmpn_params
+    };
+    let next = AtomicUsize::new(0);
+    let locals: Vec<LocalScreen> = if refine_threads <= 1 {
         let mut scratch = session.scratch.take_with(|| session.make_scratch());
         let mut local = LocalScreen::default();
-        screen_worker(
+        refine_worker(
             &mut local,
             &mut scratch,
-            &chunks,
+            &pending,
             &next,
             transition,
             scope,
-            &to_q,
             q,
             k,
             options,
@@ -613,25 +709,23 @@ fn execute_query(
         session.scratch.put(scratch);
         vec![local]
     } else {
-        let screen_scope = scope;
-        std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(threads);
-            for _ in 0..threads {
+        let collected = std::sync::Mutex::new(Vec::with_capacity(refine_threads));
+        WorkerPool::global().scope(|pool| {
+            for _ in 0..refine_threads {
                 let next = &next;
-                let chunks = &chunks;
-                let to_q = &to_q;
+                let pending = &pending;
                 let fallback_params = &fallback_params;
-                handles.push(scope.spawn(move || {
+                let collected = &collected;
+                pool.spawn(move || {
                     let mut scratch = session.scratch.take_with(|| session.make_scratch());
                     let mut local = LocalScreen::default();
-                    screen_worker(
+                    refine_worker(
                         &mut local,
                         &mut scratch,
-                        chunks,
+                        pending,
                         next,
                         transition,
                         screen_scope,
-                        to_q,
                         q,
                         k,
                         options,
@@ -639,18 +733,16 @@ fn execute_query(
                         want_commits,
                     );
                     session.scratch.put(scratch);
-                    local
-                }));
+                    collected.lock().expect("screen results poisoned").push(local);
+                });
             }
-            handles.into_iter().map(|h| h.join().expect("screen worker panicked")).collect()
-        })
+        });
+        collected.into_inner().expect("screen results poisoned")
     };
 
     // Serial cross-shard merge: counters add; results and commits sort by
-    // node id, so the output is independent of chunk interleaving *and* of
+    // node id, so the output is independent of phase interleaving *and* of
     // the shard partition the chunks were derived from.
-    let mut stats = QueryStats::default();
-    let mut results: Vec<(u32, f64)> = Vec::new();
     let mut commits: Vec<(u32, NodeState)> = Vec::new();
     for local in locals {
         stats.absorb(&local.stats);
@@ -669,25 +761,34 @@ fn execute_query(
     (QueryResult { query: q, k, nodes, proximities, stats }, commits)
 }
 
-/// Shard-aligned chunking of the screen scan, resolved arithmetically:
-/// every shard's node range is its own run of `SCREEN_CHUNK`-sized pieces,
-/// so no unit of work ever crosses a shard boundary — without
-/// materializing the `O(n / SCREEN_CHUNK)` chunk list (the hot path stays
-/// allocation-light; this plan is `O(S)`). Per-node decisions are
-/// independent, so the partition (like the thread count) cannot change any
-/// answer — only how the scan is scheduled.
+/// Shard-aligned chunking of the screen scan: every shard's node range is
+/// cut into its own run of chunks, so no unit of work ever crosses a shard
+/// boundary. Per-node decisions are independent, so the partition (like
+/// the thread count) cannot change any answer — only how the scan is
+/// scheduled.
+///
+/// Two layouts (see [`ChunkStrategy`]): fixed [`SCREEN_CHUNK`]-node pieces
+/// resolved arithmetically in `O(S)` space, or degree-balanced pieces
+/// whose boundaries are placed so each chunk covers roughly the same
+/// node-plus-out-edge weight — one `u32` per chunk, computed in a single
+/// pass over the scan range.
 struct ChunkPlan {
     /// Node range per shard, copied out of the shard map.
     ranges: Vec<(u32, u32)>,
     /// Cumulative chunk counts: shard `s` owns global chunk indices
     /// `prefix[s]..prefix[s + 1]`.
     prefix: Vec<usize>,
+    /// Chunk start nodes (degree-balanced mode): chunk `ci` starts at
+    /// `bounds[ci]` and ends at the next chunk's start, or at its shard's
+    /// end for the last chunk of a shard. `None` in fixed-node mode.
+    bounds: Option<Vec<u32>>,
 }
 
 impl ChunkPlan {
-    /// Builds the plan from shard-aligned `[lo, hi)` node ranges — the full
-    /// shard map's ranges for a single-process scan, or one shard's range
-    /// for a multi-process backend.
+    /// Fixed-size plan ([`ChunkStrategy::NodeCount`]): each shard range is
+    /// a run of `SCREEN_CHUNK`-node pieces — the full shard map's ranges
+    /// for a single-process scan, or one shard's range for a multi-process
+    /// backend.
     fn from_ranges(scan: &[(u32, u32)]) -> Self {
         let mut ranges = Vec::with_capacity(scan.len());
         let mut prefix = Vec::with_capacity(scan.len() + 1);
@@ -698,7 +799,34 @@ impl ChunkPlan {
             total += ((hi - lo) as usize).div_ceil(SCREEN_CHUNK);
             prefix.push(total);
         }
-        Self { ranges, prefix }
+        Self { ranges, prefix, bounds: None }
+    }
+
+    /// Degree-balanced plan ([`ChunkStrategy::EdgeBalanced`]): boundaries
+    /// are placed so each chunk accumulates at least [`SCREEN_CHUNK_EDGES`]
+    /// units of `1 + out_degree` weight (the `1` keeps edge-free stretches
+    /// from collapsing into one giant chunk). On skewed graphs the chunks
+    /// carry equal *work*: a hub's chunk is small in nodes, not in edges.
+    fn edge_balanced(scan: &[(u32, u32)], graph: &DiGraph) -> Self {
+        let mut ranges = Vec::with_capacity(scan.len());
+        let mut prefix = Vec::with_capacity(scan.len() + 1);
+        let mut bounds = Vec::new();
+        prefix.push(0);
+        for &(lo, hi) in scan {
+            ranges.push((lo, hi));
+            let mut weight = 0usize;
+            for u in lo..hi {
+                if weight == 0 {
+                    bounds.push(u);
+                }
+                weight += 1 + graph.out_neighbors(u).len();
+                if weight >= SCREEN_CHUNK_EDGES {
+                    weight = 0;
+                }
+            }
+            prefix.push(bounds.len());
+        }
+        Self { ranges, prefix, bounds: Some(bounds) }
     }
 
     /// Total number of chunks across all shards.
@@ -714,27 +842,57 @@ impl ChunkPlan {
         // The owning shard is the last one whose prefix is ≤ ci.
         let s = self.prefix.partition_point(|&p| p <= ci) - 1;
         let (start, end) = self.ranges[s];
-        let lo = start + ((ci - self.prefix[s]) * SCREEN_CHUNK) as u32;
-        Some((lo, (lo + SCREEN_CHUNK as u32).min(end)))
+        match &self.bounds {
+            Some(bounds) => {
+                let lo = bounds[ci];
+                let hi = if ci + 1 < self.prefix[s + 1] { bounds[ci + 1] } else { end };
+                Some((lo, hi))
+            }
+            None => {
+                let lo = start + ((ci - self.prefix[s]) * SCREEN_CHUNK) as u32;
+                Some((lo, (lo + SCREEN_CHUNK as u32).min(end)))
+            }
+        }
     }
 }
 
-/// Screens chunks pulled off `next` until the chunk plan is exhausted.
-#[allow(clippy::too_many_arguments)]
-fn screen_worker(
-    local: &mut LocalScreen,
-    scratch: &mut RefineScratch,
+/// A candidate the classify pass could not decide: its bounds are open, so
+/// it needs refinement. Carries its first upper bound — the refine pass's
+/// scheduling key (recomputed identically when refinement starts).
+struct PendingCandidate {
+    node: u32,
+    /// `p_node(q)` from the PMPN vector.
+    p_uq: f64,
+    /// `upper_bound_kth` over the node's *stored* state.
+    ub: f64,
+}
+
+/// One classify worker's output: counters, immediately-decided results,
+/// and the undecided candidates bound for the refine pass.
+#[derive(Default)]
+struct LocalClassify {
+    stats: QueryStats,
+    results: Vec<(u32, f64)>,
+    pending: Vec<PendingCandidate>,
+}
+
+/// Classify pass: screens chunks pulled off `next` until the plan is
+/// exhausted, running only the checks that need no BCA scratch — the
+/// pruning tests and the first lower/upper bound evaluation (Alg. 4
+/// lines 3–7 plus line 4's first look). Undecided nodes become
+/// [`PendingCandidate`]s; the refine pass re-derives these exact values
+/// from the same read-only state, so splitting the phases changes no
+/// decision.
+fn classify_worker(
+    local: &mut LocalClassify,
     chunks: &ChunkPlan,
     next: &AtomicUsize,
-    transition: &TransitionMatrix<'_>,
     scope: &ScreenScope<'_>,
     to_q: &[f64],
-    q: u32,
     k: usize,
     options: &QueryOptions,
-    fallback_params: &RwrParams,
-    want_commits: bool,
 ) {
+    let strict = options.bound_mode == BoundMode::Strict;
     loop {
         let ci = next.fetch_add(1, Ordering::Relaxed);
         let Some((lo, hi)) = chunks.chunk(ci) else {
@@ -754,25 +912,73 @@ fn screen_worker(
             }
             // Fast path: prune on the stored lower bound without copying
             // (Alg. 4 line 4's first evaluation).
-            if p_uq < scope.state(u).kth_lower_bound(k) - TIE_EPSILON {
+            let state = scope.state(u);
+            if p_uq < state.kth_lower_bound(k) - TIE_EPSILON {
                 local.stats.pruned_by_lower_bound += 1;
                 continue;
             }
             local.stats.candidates += 1;
-            screen_candidate(
-                local,
-                scratch,
-                transition,
-                scope,
-                u,
-                p_uq,
-                q,
-                k,
-                options,
-                fallback_params,
-                want_commits,
-            );
+            let residual = state.residual_mass(strict);
+            if residual <= EXACT_RESIDUAL_EPS {
+                // Bounds are exact: p ≥ lb = p^kmax_u ⇒ result (lines 5–7).
+                local.results.push((u, p_uq));
+                continue;
+            }
+            let staircase = state.lower_bounds().prefix_values(k);
+            let ub = upper_bound_kth(&staircase, residual, k);
+            if p_uq >= ub {
+                local.stats.hits += 1; // confirmed without any refinement
+                local.results.push((u, p_uq));
+                continue;
+            }
+            // Approximate mode stops here: the node is neither an immediate
+            // hit nor exactly bounded, so it is dropped (no refinement,
+            // paper §5.3's suggested variant).
+            if options.approximate {
+                continue;
+            }
+            local.pending.push(PendingCandidate { node: u, p_uq, ub });
         }
+    }
+}
+
+/// Refine pass: pulls single pending candidates off `next` (the list is
+/// sorted by descending upper bound) and resolves each with
+/// [`screen_candidate`]. Candidates are claimed one at a time — the
+/// refinement tail is heavy and skewed, so finer granularity beats lower
+/// counter traffic here.
+#[allow(clippy::too_many_arguments)]
+fn refine_worker(
+    local: &mut LocalScreen,
+    scratch: &mut RefineScratch,
+    pending: &[PendingCandidate],
+    next: &AtomicUsize,
+    transition: &TransitionMatrix<'_>,
+    scope: &ScreenScope<'_>,
+    q: u32,
+    k: usize,
+    options: &QueryOptions,
+    fallback_params: &RwrParams,
+    want_commits: bool,
+) {
+    loop {
+        let i = next.fetch_add(1, Ordering::Relaxed);
+        let Some(candidate) = pending.get(i) else {
+            break;
+        };
+        screen_candidate(
+            local,
+            scratch,
+            transition,
+            scope,
+            candidate.node,
+            candidate.p_uq,
+            q,
+            k,
+            options,
+            fallback_params,
+            want_commits,
+        );
     }
 }
 
@@ -1277,30 +1483,152 @@ mod tests {
 
     #[test]
     fn chunk_plan_covers_every_node_once_and_respects_shards() {
+        // Both layouts must partition the scan exactly: every node in one
+        // chunk, no chunk crossing a shard boundary.
+        let g = rtk_graph::gen::rmat(&rtk_graph::gen::RmatConfig::new(100, 420, 3)).unwrap();
         for (n, shards) in
             [(1usize, 1usize), (15, 1), (16, 1), (17, 2), (90, 4), (100, 8), (33, 33)]
         {
             let map = rtk_index::ShardMap::even(n, shards);
             let ranges: Vec<(u32, u32)> =
                 (0..map.shard_count()).map(|i| (map.range(i).start, map.range(i).end)).collect();
-            let plan = ChunkPlan::from_ranges(&ranges);
-            let mut seen = vec![0u32; n];
-            for ci in 0..plan.total() {
-                let (lo, hi) = plan.chunk(ci).expect("in-range chunk");
-                assert!(lo < hi, "n={n} shards={shards} ci={ci}");
-                let s = map.shard_of(lo);
-                assert_eq!(
-                    map.shard_of(hi - 1),
-                    s,
-                    "n={n} shards={shards} ci={ci}: chunk crosses a shard boundary"
-                );
-                for u in lo..hi {
-                    seen[u as usize] += 1;
+            let node_plan = ChunkPlan::from_ranges(&ranges);
+            let edge_plan = ChunkPlan::edge_balanced(&ranges, &g);
+            for (name, plan) in [("node", &node_plan), ("edge", &edge_plan)] {
+                let mut seen = vec![0u32; n];
+                for ci in 0..plan.total() {
+                    let (lo, hi) = plan.chunk(ci).expect("in-range chunk");
+                    assert!(lo < hi, "{name} n={n} shards={shards} ci={ci}");
+                    let s = map.shard_of(lo);
+                    assert_eq!(
+                        map.shard_of(hi - 1),
+                        s,
+                        "{name} n={n} shards={shards} ci={ci}: chunk crosses a shard boundary"
+                    );
+                    for u in lo..hi {
+                        seen[u as usize] += 1;
+                    }
+                }
+                assert!(plan.chunk(plan.total()).is_none());
+                assert!(seen.iter().all(|&c| c == 1), "{name} n={n} shards={shards}: {seen:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn edge_balanced_chunks_track_degree_weight() {
+        // A graph with one very heavy node: its chunk must not also absorb
+        // a long run of light nodes (the balance property), while an
+        // edge-free stretch still gets cut into bounded pieces.
+        let heavy: Vec<(u32, u32)> = (1..=200u32).map(|v| (0, v % 256)).collect();
+        let g = GraphBuilder::from_edges(256, &heavy, DanglingPolicy::SelfLoop).unwrap();
+        let plan = ChunkPlan::edge_balanced(&[(0, 256)], &g);
+        assert!(plan.total() > 1, "heavy graph should split into several chunks");
+        let (lo, hi) = plan.chunk(0).expect("first chunk");
+        assert_eq!(lo, 0);
+        assert_eq!(hi, 1, "the 200-edge hub saturates its chunk alone");
+        for ci in 1..plan.total() {
+            let (lo, hi) = plan.chunk(ci).expect("chunk");
+            // Every light node weighs 1 + 1 (self loop or one in-edge), so
+            // chunks stay near SCREEN_CHUNK_EDGES / 2 nodes wide.
+            assert!((hi - lo) as usize <= SCREEN_CHUNK_EDGES, "ci={ci}: {lo}..{hi}");
+        }
+    }
+
+    #[test]
+    fn chunk_strategies_agree_bitwise() {
+        // The chunk layout is a scheduling knob: answers, proximities, and
+        // counter stats are identical for both strategies, at any thread
+        // count, in both frozen and update mode.
+        let g = rtk_graph::gen::rmat(&rtk_graph::gen::RmatConfig::new(250, 1100, 31)).unwrap();
+        let t = TransitionMatrix::new(&g);
+        let config = IndexConfig {
+            max_k: 8,
+            hub_selection: HubSelection::DegreeBased { b: 6 },
+            threads: 1,
+            shards: 3,
+            ..Default::default()
+        };
+        let frozen = ReverseIndex::build(&t, config.clone()).unwrap();
+        let mut session = QueryEngine::new(&frozen);
+        for q in [0u32, 49, 123] {
+            let base = session
+                .query_frozen(
+                    &t,
+                    &frozen,
+                    q,
+                    8,
+                    &QueryOptions {
+                        query_threads: 1,
+                        chunking: ChunkStrategy::NodeCount,
+                        ..Default::default()
+                    },
+                )
+                .unwrap();
+            for threads in [1usize, 2, 4, 8] {
+                for chunking in [ChunkStrategy::EdgeBalanced, ChunkStrategy::NodeCount] {
+                    let opts =
+                        QueryOptions { query_threads: threads, chunking, ..Default::default() };
+                    let got = session.query_frozen(&t, &frozen, q, 8, &opts).unwrap();
+                    assert_eq!(got.nodes(), base.nodes(), "q={q} t={threads} {chunking:?}");
+                    for (a, b) in got.proximities().iter().zip(base.proximities()) {
+                        assert_eq!(a.to_bits(), b.to_bits(), "q={q} t={threads} {chunking:?}");
+                    }
+                    assert_eq!(got.stats().candidates, base.stats().candidates);
+                    assert_eq!(got.stats().hits, base.stats().hits);
+                    assert_eq!(got.stats().refined_nodes, base.stats().refined_nodes);
+                    assert_eq!(got.stats().refine_iterations, base.stats().refine_iterations);
                 }
             }
-            assert!(plan.chunk(plan.total()).is_none());
-            assert!(seen.iter().all(|&c| c == 1), "n={n} shards={shards}: {seen:?}");
         }
+
+        // Update mode: the post-commit index is also layout-independent.
+        let mut by_node = ReverseIndex::build(&t, config.clone()).unwrap();
+        let mut by_edge = ReverseIndex::build(&t, config).unwrap();
+        for (index, chunking) in
+            [(&mut by_node, ChunkStrategy::NodeCount), (&mut by_edge, ChunkStrategy::EdgeBalanced)]
+        {
+            let opts = QueryOptions { query_threads: 4, chunking, ..Default::default() };
+            for q in [0u32, 49, 123] {
+                session.query(&t, index, q, 8, &opts).unwrap();
+            }
+        }
+        for u in 0..250u32 {
+            assert_eq!(by_node.state(u), by_edge.state(u), "node {u}");
+        }
+    }
+
+    #[test]
+    fn queries_share_the_global_worker_pool_without_respawning() {
+        // The acceptance criterion for the persistent pool: thread spawns
+        // are O(pool size) per process, not O(queries) or O(refinement
+        // iterations). Warm the pool up, then hammer it with parallel
+        // queries and batches — the spawn counter must not move.
+        let g = rtk_graph::gen::rmat(&rtk_graph::gen::RmatConfig::new(200, 800, 17)).unwrap();
+        let t = TransitionMatrix::new(&g);
+        let config = IndexConfig {
+            max_k: 6,
+            hub_selection: HubSelection::DegreeBased { b: 5 },
+            threads: 1,
+            shards: 2,
+            ..Default::default()
+        };
+        let index = ReverseIndex::build(&t, config).unwrap();
+        let mut session = QueryEngine::new(&index);
+        let opts = QueryOptions { query_threads: 8, ..Default::default() };
+        session.query_frozen(&t, &index, 0, 6, &opts).unwrap(); // warm-up
+        let spawned = rtk_sparse::WorkerPool::global().threads_spawned();
+        assert_eq!(spawned, rtk_sparse::WorkerPool::global().size());
+        for q in 0..50u32 {
+            session.query_frozen(&t, &index, (q * 7) % 200, 6, &opts).unwrap();
+        }
+        let batch: Vec<(u32, usize)> = (0..30u32).map(|i| ((i * 11) % 200, 6)).collect();
+        session.query_batch(&t, &index, &batch, &opts).unwrap();
+        assert_eq!(
+            rtk_sparse::WorkerPool::global().threads_spawned(),
+            spawned,
+            "queries must reuse pool workers, never spawn new threads"
+        );
     }
 
     #[test]

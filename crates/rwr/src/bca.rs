@@ -331,8 +331,9 @@ impl BcaEngine {
             for &(v, rv) in &frontier {
                 self.retained.add(v as usize, alpha * rv);
                 let spill = (1.0 - alpha) * rv;
-                let targets = transition.graph().out_neighbors(v);
-                let probs = transition.out_probs(v);
+                // Kernel-backed when the view carries one: same values, but
+                // ids and probabilities come from adjacent contiguous arrays.
+                let (targets, probs) = transition.out_edges(v);
                 for (&t, &p) in targets.iter().zip(probs) {
                     let amount = spill * p;
                     self.residue.add(t as usize, amount);

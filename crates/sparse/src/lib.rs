@@ -10,6 +10,9 @@
 //!   workhorse behind batch ink propagation;
 //! * [`ScratchPool`] — a mutexed free list recycling per-thread scratch
 //!   objects across parallel query phases;
+//! * [`WorkerPool`] — a persistent pool of parked worker threads with a
+//!   `std::thread::scope`-shaped borrowing-task API, so fork/join hot paths
+//!   stop paying a spawn/join round trip per region;
 //! * [`topk`] — descending top-K selection and maintenance;
 //! * [`LatencyHistogram`] — a fixed-bucket histogram with deterministic
 //!   p50/p95/p99, shared by the serving metrics and the bench harness;
@@ -20,7 +23,10 @@
 //! Everything here is deliberately independent of graph types: indices are
 //! plain `usize`/`u32` and values are `f64`.
 
-#![forbid(unsafe_code)]
+// `deny` instead of `forbid`: the worker pool needs exactly one audited
+// unsafe block (a scoped-task lifetime erasure, documented at the site);
+// every other module remains unsafe-free and cannot opt out silently.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod codec;
@@ -30,9 +36,11 @@ pub mod pool;
 pub mod scratch;
 pub mod sparse_vec;
 pub mod topk;
+pub mod worker_pool;
 
 pub use hist::LatencyHistogram;
 pub use pool::ScratchPool;
 pub use scratch::EpochScratch;
 pub use sparse_vec::SparseVector;
 pub use topk::{top_k_of_dense, top_k_of_pairs, DescendingTopK};
+pub use worker_pool::{PoolScope, WorkerPool};
