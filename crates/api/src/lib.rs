@@ -39,7 +39,7 @@ pub mod service;
 
 pub use model::{
     EngineInfo, KindLatency, Request, RequestKind, Response, StatsSnapshot, WireQueryResult,
-    WireShardResult, WireTopk,
+    WireShardResult, WireTopk, WireUpdateResult,
 };
 pub use rtk_obs::TraceSpan;
 pub use service::{dispatch_request, to_wire, RtkService, ServiceError, ServiceResult};

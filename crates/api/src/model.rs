@@ -36,7 +36,7 @@ pub const STATUS_BUSY: u32 = 3;
 pub const STATUS_UNAUTHORIZED: u32 = 4;
 
 /// A client request.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum Request {
     /// Liveness probe.
     Ping,
@@ -97,6 +97,27 @@ pub enum Request {
         /// the router can stitch it into the full query trace.
         trace: bool,
     },
+    /// Insert the edge `from → to` into the served graph, or accumulate
+    /// `weight` onto an existing one, with targeted index repair (wire v7).
+    /// An update mutates shared state, so the router routes it like
+    /// update-mode queries: to every shard, pinned to each shard's stable
+    /// replica owner.
+    AddEdge {
+        /// Edge tail.
+        from: u32,
+        /// Edge head.
+        to: u32,
+        /// Weight to add (finite, `> 0`).
+        weight: f64,
+    },
+    /// Remove the edge `from → to` entirely (wire v7). Fails if the edge
+    /// does not exist or removing it would leave `from` with no out-edges.
+    RemoveEdge {
+        /// Edge tail.
+        from: u32,
+        /// Edge head.
+        to: u32,
+    },
 }
 
 /// Request kinds tracked individually in metrics (indices into the
@@ -119,10 +140,14 @@ pub enum RequestKind {
     Persist = 6,
     /// [`Request::ShardReverseTopk`].
     ShardReverseTopk = 7,
+    /// [`Request::AddEdge`].
+    AddEdge = 8,
+    /// [`Request::RemoveEdge`].
+    RemoveEdge = 9,
 }
 
 /// Number of distinct [`RequestKind`]s.
-pub const REQUEST_KINDS: usize = 8;
+pub const REQUEST_KINDS: usize = 10;
 
 impl RequestKind {
     /// Every kind, in counter-array index order.
@@ -135,6 +160,8 @@ impl RequestKind {
         RequestKind::Shutdown,
         RequestKind::Persist,
         RequestKind::ShardReverseTopk,
+        RequestKind::AddEdge,
+        RequestKind::RemoveEdge,
     ];
 
     /// The stable snake_case name used in stats JSON and metric labels.
@@ -148,6 +175,8 @@ impl RequestKind {
             RequestKind::Shutdown => "shutdown",
             RequestKind::Persist => "persist",
             RequestKind::ShardReverseTopk => "shard_reverse_topk",
+            RequestKind::AddEdge => "add_edge",
+            RequestKind::RemoveEdge => "remove_edge",
         }
     }
 }
@@ -164,6 +193,8 @@ impl Request {
             Request::Shutdown => RequestKind::Shutdown,
             Request::Persist { .. } => RequestKind::Persist,
             Request::ShardReverseTopk { .. } => RequestKind::ShardReverseTopk,
+            Request::AddEdge { .. } => RequestKind::AddEdge,
+            Request::RemoveEdge { .. } => RequestKind::RemoveEdge,
         }
     }
 }
@@ -209,6 +240,23 @@ pub struct WireShardResult {
     pub result: WireQueryResult,
 }
 
+/// The outcome of one applied edge update (wire v7).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WireUpdateResult {
+    /// Node states the targeted invalidation recomputed (the service's
+    /// owned subset: the whole affected set on a full engine, the
+    /// shard-owned part on a shard backend, the sum over shards on a
+    /// router).
+    pub recomputed_states: u64,
+    /// Hub columns recomputed.
+    pub recomputed_hubs: u64,
+    /// FNV-1a 64 digest of the service's serialized post-update index.
+    /// Replicas that applied the same update stream must report the same
+    /// digest — the router's convergence check. A router reports the
+    /// digest of the concatenated per-shard digests, in shard order.
+    pub index_digest: u64,
+}
+
 /// A forward top-k answer.
 #[derive(Clone, Debug, PartialEq)]
 pub struct WireTopk {
@@ -245,6 +293,8 @@ pub enum Response {
     },
     /// Answer to [`Request::ShardReverseTopk`].
     ShardReverseTopk(WireShardResult),
+    /// Answer to [`Request::AddEdge`] / [`Request::RemoveEdge`] (wire v7).
+    Updated(WireUpdateResult),
     /// The request failed; `code` is one of the `STATUS_*` constants.
     Error {
         /// `STATUS_PROTOCOL_ERROR`, `STATUS_ENGINE_ERROR`, `STATUS_BUSY`,
@@ -271,6 +321,9 @@ pub struct EngineInfo {
     /// One past the last global node id this process screens (the node
     /// count unless shard-only).
     pub shard_hi: u64,
+    /// FNV-1a 64 digest of the serialized index this service currently
+    /// holds (wire v7) — see [`WireUpdateResult::index_digest`].
+    pub index_digest: u64,
 }
 
 /// Latency summary for one request kind (wire v6). Splitting the global
@@ -313,6 +366,10 @@ pub struct StatsSnapshot {
     pub persist: u64,
     /// Completed shard-scoped `shard_reverse_topk` requests.
     pub shard_reverse_topk: u64,
+    /// Applied `add_edge` updates (wire v7).
+    pub add_edge: u64,
+    /// Applied `remove_edge` updates (wire v7).
+    pub remove_edge: u64,
     /// Malformed frames / requests observed.
     pub protocol_errors: u64,
     /// Requests the engine rejected or failed.
@@ -364,6 +421,9 @@ pub struct StatsSnapshot {
     pub shard_lo: u64,
     /// One past the last global node id this process screens.
     pub shard_hi: u64,
+    /// FNV-1a 64 digest of the serialized index currently held (wire v7):
+    /// bitwise replica convergence, checkable with one `stats` round-trip.
+    pub index_digest: u64,
     /// Nodes per index shard (length = shard count).
     pub shard_nodes: Vec<u64>,
     /// Heap bytes per index shard, sampled at snapshot time (refinement
@@ -388,6 +448,8 @@ impl StatsSnapshot {
             shutdown: 0,
             persist: 0,
             shard_reverse_topk: 0,
+            add_edge: 0,
+            remove_edge: 0,
             protocol_errors: 0,
             engine_errors: 0,
             connections: 0,
@@ -410,6 +472,7 @@ impl StatsSnapshot {
             workers: engine.workers,
             shard_lo: engine.shard_lo,
             shard_hi: engine.shard_hi,
+            index_digest: engine.index_digest,
             shard_nodes,
             shard_bytes,
             kind_latency: [KindLatency::default(); REQUEST_KINDS],
@@ -426,6 +489,8 @@ impl StatsSnapshot {
             + self.shutdown
             + self.persist
             + self.shard_reverse_topk
+            + self.add_edge
+            + self.remove_edge
     }
 
     /// Number of index shards the server reports.
@@ -468,6 +533,8 @@ impl StatsSnapshot {
             field("shutdown", Json::U64(self.shutdown)),
             field("persist", Json::U64(self.persist)),
             field("shard_reverse_topk", Json::U64(self.shard_reverse_topk)),
+            field("add_edge", Json::U64(self.add_edge)),
+            field("remove_edge", Json::U64(self.remove_edge)),
             field("total_requests", Json::U64(self.total_requests())),
             field("protocol_errors", Json::U64(self.protocol_errors)),
             field("engine_errors", Json::U64(self.engine_errors)),
@@ -491,6 +558,7 @@ impl StatsSnapshot {
             field("workers", Json::U64(u64::from(self.workers))),
             field("shard_lo", Json::U64(self.shard_lo)),
             field("shard_hi", Json::U64(self.shard_hi)),
+            field("index_digest", Json::U64(self.index_digest)),
             field("shard_nodes", u64s(&self.shard_nodes)),
             field("shard_bytes", u64s(&self.shard_bytes)),
             field("kind_latency", Json::Obj(kinds)),
@@ -511,6 +579,8 @@ impl StatsSnapshot {
             self.shutdown,
             self.persist,
             self.shard_reverse_topk,
+            self.add_edge,
+            self.remove_edge,
             self.protocol_errors,
             self.engine_errors,
             self.connections,
@@ -540,6 +610,7 @@ impl StatsSnapshot {
         codec::write_u32(w, self.workers)?;
         codec::write_u64(w, self.shard_lo)?;
         codec::write_u64(w, self.shard_hi)?;
+        codec::write_u64(w, self.index_digest)?;
         // Per-shard sizes: one count, then (nodes, bytes) pairs.
         codec::write_u64(w, self.shard_nodes.len() as u64)?;
         for (&n, &b) in self.shard_nodes.iter().zip(&self.shard_bytes) {
@@ -574,6 +645,8 @@ impl StatsSnapshot {
             shutdown: codec::read_u64(r)?,
             persist: codec::read_u64(r)?,
             shard_reverse_topk: codec::read_u64(r)?,
+            add_edge: codec::read_u64(r)?,
+            remove_edge: codec::read_u64(r)?,
             protocol_errors: codec::read_u64(r)?,
             engine_errors: codec::read_u64(r)?,
             connections: codec::read_u64(r)?,
@@ -596,6 +669,7 @@ impl StatsSnapshot {
             workers: codec::read_u32(r)?,
             shard_lo: codec::read_u64(r)?,
             shard_hi: codec::read_u64(r)?,
+            index_digest: codec::read_u64(r)?,
             shard_nodes: Vec::new(),
             shard_bytes: Vec::new(),
             kind_latency: [KindLatency::default(); REQUEST_KINDS],
@@ -647,8 +721,15 @@ mod tests {
 
     #[test]
     fn local_snapshot_carries_engine_facts_and_zero_counters() {
-        let info =
-            EngineInfo { nodes: 10, edges: 20, max_k: 3, workers: 0, shard_lo: 0, shard_hi: 10 };
+        let info = EngineInfo {
+            nodes: 10,
+            edges: 20,
+            max_k: 3,
+            workers: 0,
+            shard_lo: 0,
+            shard_hi: 10,
+            index_digest: 0xdead_beef,
+        };
         let snap = StatsSnapshot::local(info, vec![5, 5], vec![64, 64]);
         assert_eq!(snap.total_requests(), 0);
         assert_eq!(snap.nodes, 10);
@@ -662,8 +743,15 @@ mod tests {
 
     #[test]
     fn per_kind_latency_round_trips_and_count_is_enforced() {
-        let info =
-            EngineInfo { nodes: 10, edges: 20, max_k: 3, workers: 2, shard_lo: 0, shard_hi: 10 };
+        let info = EngineInfo {
+            nodes: 10,
+            edges: 20,
+            max_k: 3,
+            workers: 2,
+            shard_lo: 0,
+            shard_hi: 10,
+            index_digest: 7,
+        };
         let mut snap = StatsSnapshot::local(info, vec![10], vec![128]);
         snap.kind_latency[RequestKind::ReverseTopk as usize] = KindLatency {
             count: 7,

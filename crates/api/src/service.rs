@@ -19,7 +19,7 @@
 
 use crate::model::{
     EngineInfo, Request, RequestKind, Response, StatsSnapshot, WireQueryResult, WireShardResult,
-    WireTopk, STATUS_ENGINE_ERROR,
+    WireTopk, WireUpdateResult, STATUS_ENGINE_ERROR,
 };
 use rtk_core::graph::NodeId;
 use rtk_core::query::{QueryOptions, QueryResult};
@@ -103,6 +103,17 @@ pub trait RtkService {
         self.shard_reverse_topk(q, k, update)
     }
 
+    /// Inserts the edge `from -> to` with `weight` (accumulating onto an
+    /// existing edge) and incrementally repairs the index (wire v7). The
+    /// post-update index is bitwise-equal to a from-scratch rebuild of the
+    /// updated graph, so every service flavor answers identically afterward.
+    fn add_edge(&mut self, from: u32, to: u32, weight: f64) -> ServiceResult<WireUpdateResult>;
+
+    /// Removes the edge `from -> to` and incrementally repairs the index
+    /// (wire v7). Fails loudly if the edge does not exist or removal would
+    /// leave `from` dangling.
+    fn remove_edge(&mut self, from: u32, to: u32) -> ServiceResult<WireUpdateResult>;
+
     /// Forward top-k proximity search from `u`.
     fn topk(&mut self, u: u32, k: u32, early: bool) -> ServiceResult<WireTopk>;
 
@@ -150,6 +161,10 @@ pub fn dispatch_request<S: RtkService + ?Sized>(
             svc.shard_reverse_topk(q, k, update)
         }
         .map(Response::ShardReverseTopk),
+        Request::AddEdge { from, to, weight } => {
+            svc.add_edge(from, to, weight).map(Response::Updated)
+        }
+        Request::RemoveEdge { from, to } => svc.remove_edge(from, to).map(Response::Updated),
         Request::Topk { u, k, early } => svc.topk(u, k, early).map(Response::Topk),
         Request::Batch { queries } => svc.batch(&queries).map(Response::Batch),
         Request::Stats => svc.stats().map(|s| Response::Stats(Box::new(s))),
@@ -221,6 +236,26 @@ impl RtkService for ReverseTopkEngine {
         Ok(wire)
     }
 
+    fn add_edge(&mut self, from: u32, to: u32, weight: f64) -> ServiceResult<WireUpdateResult> {
+        let effect = ReverseTopkEngine::add_edge(self, NodeId(from), NodeId(to), weight)
+            .map_err(engine_err)?;
+        Ok(WireUpdateResult {
+            recomputed_states: effect.recomputed_states as u64,
+            recomputed_hubs: effect.recomputed_hubs as u64,
+            index_digest: self.index_digest(),
+        })
+    }
+
+    fn remove_edge(&mut self, from: u32, to: u32) -> ServiceResult<WireUpdateResult> {
+        let effect =
+            ReverseTopkEngine::remove_edge(self, NodeId(from), NodeId(to)).map_err(engine_err)?;
+        Ok(WireUpdateResult {
+            recomputed_states: effect.recomputed_states as u64,
+            recomputed_hubs: effect.recomputed_hubs as u64,
+            index_digest: self.index_digest(),
+        })
+    }
+
     fn topk(&mut self, u: u32, k: u32, early: bool) -> ServiceResult<WireTopk> {
         let top = if early {
             self.top_k_early(NodeId(u), k as usize)
@@ -248,6 +283,7 @@ impl RtkService for ReverseTopkEngine {
             workers: 0,
             shard_lo: 0,
             shard_hi: self.node_count() as u64,
+            index_digest: self.index_digest(),
         };
         let shards = self.index().shards();
         Ok(StatsSnapshot::local(
@@ -328,6 +364,26 @@ impl RtkService for ShardEngine {
         })
     }
 
+    fn add_edge(&mut self, from: u32, to: u32, weight: f64) -> ServiceResult<WireUpdateResult> {
+        let effect =
+            ShardEngine::add_edge(self, NodeId(from), NodeId(to), weight).map_err(engine_err)?;
+        Ok(WireUpdateResult {
+            recomputed_states: effect.recomputed_states as u64,
+            recomputed_hubs: effect.recomputed_hubs as u64,
+            index_digest: self.index_digest(),
+        })
+    }
+
+    fn remove_edge(&mut self, from: u32, to: u32) -> ServiceResult<WireUpdateResult> {
+        let effect =
+            ShardEngine::remove_edge(self, NodeId(from), NodeId(to)).map_err(engine_err)?;
+        Ok(WireUpdateResult {
+            recomputed_states: effect.recomputed_states as u64,
+            recomputed_hubs: effect.recomputed_hubs as u64,
+            index_digest: self.index_digest(),
+        })
+    }
+
     fn topk(&mut self, u: u32, k: u32, early: bool) -> ServiceResult<WireTopk> {
         let top = if early {
             self.top_k_early(NodeId(u), k as usize)
@@ -357,6 +413,7 @@ impl RtkService for ShardEngine {
             workers: 0,
             shard_lo: u64::from(range.start),
             shard_hi: u64::from(range.end),
+            index_digest: self.index_digest(),
         };
         Ok(StatsSnapshot::local(
             info,

@@ -3,6 +3,7 @@
 mod convert;
 mod generate;
 mod index_cmd;
+mod log_cmd;
 mod pmpn;
 mod query;
 mod remote;
@@ -33,7 +34,7 @@ usage:
   rtk serve --index <file> [--graph <file>] [--addr A] [--workers N]
             [--query-threads T] [--max-frame-mib M] [--max-connections C]
             [--persist-dir D] [--auth-token T] [--metrics-addr A]
-            [--log-file F] [--log-level L]      run the TCP server
+            [--update-log F] [--log-file F] [--log-level L]   run the TCP server
   rtk serve --shard-only --shard I --index <manifest> --graph <file> [...]
                                                  serve ONE shard (router backend)
   rtk router --backends a:p,b:p,… [--addr A] [--workers N] [--max-connections C]
@@ -42,9 +43,14 @@ usage:
   rtk remote query --node Q --k K [--update] [--trace] [--addr A]   query a server/router
   rtk remote topk --node U --k K [--early] [--addr A]
   rtk remote batch --nodes a,b,c --k K [--addr A]
+  rtk remote add-edge --from U --to V [--weight W] [--addr A]   apply an edge insert
+  rtk remote remove-edge --from U --to V [--addr A]             apply an edge removal
   rtk remote persist --out <server-path> [--addr A]         flush snapshot to disk
   rtk remote stats [--json] [--addr A]           server/tier counters
   rtk remote ping|shutdown [--addr A]            (all remote cmds take --auth-token)
+  rtk log info <log> [--limit N]                 update-log (RTKULOG1) summary
+  rtk log replay --index <snapshot> --log <log> --out <file>
+                                                 deterministic snapshot + log replay
 
 datasets for `generate`: toy, web-cs-small, web-cs-sim, epinions-sim,
 web-std-sim, web-google-sim, webspam-sim, dblp-sim, rmat:<n>:<m>[:seed],
@@ -68,6 +74,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         "router" => router::run(&Parsed::parse(rest)?),
         "shard" => shard::run(rest),
         "remote" => remote::run(rest),
+        "log" => log_cmd::run(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())

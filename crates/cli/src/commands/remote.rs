@@ -13,13 +13,24 @@ use rtk_server::{Client, RtkService};
 use std::time::Duration;
 
 pub(crate) fn run(argv: &[String]) -> Result<(), String> {
+    const SUBCOMMANDS: &str = "query|topk|batch|add-edge|remove-edge|persist|stats|ping|shutdown";
     let Some(sub) = argv.first() else {
-        return Err("remote: expected query|topk|batch|persist|stats|ping|shutdown".into());
+        return Err(format!("remote: expected {SUBCOMMANDS}"));
     };
-    if !["query", "topk", "batch", "persist", "stats", "ping", "shutdown"].contains(&sub.as_str()) {
-        return Err(format!(
-            "remote: expected query|topk|batch|persist|stats|ping|shutdown, got {sub:?}"
-        ));
+    if ![
+        "query",
+        "topk",
+        "batch",
+        "add-edge",
+        "remove-edge",
+        "persist",
+        "stats",
+        "ping",
+        "shutdown",
+    ]
+    .contains(&sub.as_str())
+    {
+        return Err(format!("remote: expected {SUBCOMMANDS}, got {sub:?}"));
     }
     let args = Parsed::parse(&argv[1..])?;
     let addr = args.get("addr").unwrap_or(super::serve::DEFAULT_ADDR);
@@ -44,6 +55,8 @@ pub(crate) fn run(argv: &[String]) -> Result<(), String> {
         "topk" => topk(&mut client, &args),
         "batch" if args.has("pipeline") => batch_pipelined(&mut client, &args),
         "batch" => batch(&mut client, &args),
+        "add-edge" => add_edge(&mut client, &args),
+        "remove-edge" => remove_edge(&mut client, &args),
         "persist" => persist(&mut client, &args),
         "stats" if args.has("json") => stats_json(&mut client),
         "stats" => stats(&mut client),
@@ -159,6 +172,46 @@ fn batch_pipelined(client: &mut Client, args: &Parsed) -> Result<(), String> {
     Ok(())
 }
 
+/// Parses the `--from U --to V` pair shared by the edge-update verbs.
+fn edge_flags(args: &Parsed) -> Result<(u32, u32), String> {
+    let parse = |key: &str| -> Result<u32, String> {
+        args.get(key)
+            .ok_or_else(|| format!("remote: --{key} <node id> is required"))?
+            .parse()
+            .map_err(|_| format!("remote: --{key} expects a node id"))
+    };
+    Ok((parse("from")?, parse("to")?))
+}
+
+fn print_update(verb: &str, from: u32, to: u32, u: &rtk_server::WireUpdateResult) {
+    println!(
+        "{verb} edge {from} -> {to}: {} state(s) + {} hub vector(s) recomputed; \
+         index digest {:016x}",
+        u.recomputed_states, u.recomputed_hubs, u.index_digest
+    );
+}
+
+/// `add-edge --from U --to V [--weight W]`: one edge insertion through the
+/// service — the server mutates its graph and repairs the affected index
+/// entries under its write lock, then answers with the recompute effect
+/// plus the post-update index digest (replica convergence check).
+fn add_edge(svc: &mut impl RtkService, args: &Parsed) -> Result<(), String> {
+    let (from, to) = edge_flags(args)?;
+    let weight = args.get_num("weight", 1.0f64)?;
+    let u = svc.add_edge(from, to, weight).map_err(|e| format!("remote add-edge: {e}"))?;
+    print_update("added", from, to, &u);
+    Ok(())
+}
+
+/// `remove-edge --from U --to V`: the inverse operation; removing a node's
+/// last out-edge is rejected by the server (dangling nodes are forbidden).
+fn remove_edge(svc: &mut impl RtkService, args: &Parsed) -> Result<(), String> {
+    let (from, to) = edge_flags(args)?;
+    let u = svc.remove_edge(from, to).map_err(|e| format!("remote remove-edge: {e}"))?;
+    print_update("removed", from, to, &u);
+    Ok(())
+}
+
 /// `--out <path>`: flush the server's current (refined) engine snapshot to
 /// a path on the *server's* filesystem, under its write lock.
 fn persist(svc: &mut impl RtkService, args: &Parsed) -> Result<(), String> {
@@ -213,17 +266,22 @@ fn stats(svc: &mut impl RtkService) -> Result<(), String> {
         s.inflight_peak, s.inflight_rejections
     );
     println!(
-        "  requests:         {} total (ping {}, reverse_topk {}, shard_rtk {}, topk {}, batch {}, persist {}, stats {}, shutdown {})",
+        "  requests:         {} total (ping {}, reverse_topk {}, shard_rtk {}, topk {}, batch {}, add_edge {}, remove_edge {}, persist {}, stats {}, shutdown {})",
         s.total_requests(),
         s.ping,
         s.reverse_topk,
         s.shard_reverse_topk,
         s.topk,
         s.batch,
+        s.add_edge,
+        s.remove_edge,
         s.persist,
         s.stats,
         s.shutdown
     );
+    if s.index_digest != 0 {
+        println!("  index digest:     {:016x}", s.index_digest);
+    }
     println!(
         "  errors:           {} protocol, {} engine, {} auth",
         s.protocol_errors, s.engine_errors, s.auth_failures
@@ -353,6 +411,26 @@ mod tests {
                 "--k".into(),
                 "2".into(),
                 "--pipeline".into(),
+            ],
+            vec![
+                "add-edge".into(),
+                "--addr".into(),
+                addr.clone(),
+                "--from".into(),
+                "0".into(),
+                "--to".into(),
+                "3".into(),
+                "--weight".into(),
+                "0.5".into(),
+            ],
+            vec![
+                "remove-edge".into(),
+                "--addr".into(),
+                addr.clone(),
+                "--from".into(),
+                "0".into(),
+                "--to".into(),
+                "3".into(),
             ],
             vec![
                 "persist".into(),

@@ -32,6 +32,7 @@ pub(crate) fn run(args: &Parsed) -> Result<(), String> {
             .map(|spec| rtk_server::ChaosConfig::parse(spec).map_err(|e| format!("serve: {e}")))
             .transpose()?,
         metrics_addr: args.get("metrics-addr").map(str::to_string),
+        update_log: args.get("update-log").map(std::path::PathBuf::from),
     };
 
     let (server, what) = if args.has("shard-only") {

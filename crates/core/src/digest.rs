@@ -1,0 +1,36 @@
+//! Stable index digests for replica-convergence checks.
+
+/// FNV-1a 64-bit over `bytes`. Stable across platforms and releases — the
+/// digest is compared across processes and over the wire (`stats`), so it
+/// must not depend on `std`'s randomized hashers.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_reference_vectors() {
+        // Published FNV-1a test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn is_sensitive_to_single_byte_changes() {
+        let a = fnv1a64(&[0u8; 64]);
+        let mut buf = [0u8; 64];
+        buf[63] = 1;
+        assert_ne!(a, fnv1a64(&buf));
+    }
+}

@@ -1,8 +1,10 @@
 //! The owning engine: graph + index + query session in one value.
 
 use crate::error::EngineError;
-use rtk_graph::{DiGraph, NodeId, TransitionKernel, TransitionMatrix, TransitionProbs};
-use rtk_index::{HubSelection, HubSolver, IndexConfig, IndexStats, ReverseIndex};
+use rtk_graph::{DiGraph, EdgeSplice, NodeId, TransitionKernel, TransitionMatrix, TransitionProbs};
+use rtk_index::{
+    HubSelection, HubSolver, IndexConfig, IndexStats, ReverseIndex, UpdateEffect, UpdateRecord,
+};
 use rtk_query::{QueryEngine, QueryOptions, QueryResult};
 use rtk_rwr::{BcaParams, RwrParams};
 use std::io::{Read, Write};
@@ -33,14 +35,14 @@ use std::path::Path;
 /// graph, the offline index (which it refines across queries in `update`
 /// mode), the reusable query buffers, **and the cached `O(|E|)` transition
 /// probabilities** — every query/top-k/proximity call wraps the cache in an
-/// `O(1)` [`TransitionMatrix`] view instead of recomputing it. The graph is
-/// immutable once owned here, so the cache cannot go stale; if a future
-/// mutation API lands it must go through [`Self::refresh_transition_cache`]
-/// (the view constructor asserts graph/cache agreement as a backstop).
+/// `O(1)` [`TransitionMatrix`] view instead of recomputing it. The only
+/// mutating graph APIs, [`Self::add_edge`] / [`Self::remove_edge`], splice
+/// the caches in place (bitwise-equal to recomputing them); the view
+/// constructor asserts graph/cache agreement as a backstop.
 pub struct ReverseTopkEngine {
     graph: DiGraph,
     /// Cached transition probabilities for `graph` (kept in sync by
-    /// construction — the graph has no mutating API).
+    /// construction; edge updates splice the touched row in place).
     probs: TransitionProbs,
     /// Cached flat-CSR gather kernel for `graph` + `probs`, so every query's
     /// SpMV and BCA push loops run the contiguous layout (same lifecycle as
@@ -124,6 +126,76 @@ impl ReverseTopkEngine {
     /// retuning a loaded snapshot).
     pub fn reshard(&mut self, shards: usize) {
         self.index.repartition(shards);
+    }
+
+    /// Inserts the edge `from → to` (or accumulates `weight` onto an
+    /// existing one) and incrementally repairs everything downstream: the
+    /// spliced transition caches stay bitwise-equal to a from-scratch
+    /// rebuild, and the index recompute is limited to the affected set
+    /// (nodes that can reach `from`; see [`rtk_index::update`]). Returns
+    /// what was invalidated.
+    pub fn add_edge(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        weight: f64,
+    ) -> Result<UpdateEffect, EngineError> {
+        let splice = self.graph.add_edge(from.0, to.0, weight)?;
+        Ok(self.apply_splice(&splice))
+    }
+
+    /// Removes the edge `from → to` entirely (errors if it does not exist,
+    /// or if removing it would leave `from` dangling) and incrementally
+    /// repairs the transition caches and the affected index entries, as
+    /// [`Self::add_edge`] does.
+    pub fn remove_edge(&mut self, from: NodeId, to: NodeId) -> Result<UpdateEffect, EngineError> {
+        let splice = self.graph.remove_edge(from.0, to.0)?;
+        Ok(self.apply_splice(&splice))
+    }
+
+    /// Replays a decoded `RTKULOG1` update log in order. Applied on top of
+    /// the snapshot the log was recorded against, this reproduces the live
+    /// engine's post-update index byte-for-byte — every recompute is a
+    /// deterministic function of (graph, edit).
+    pub fn replay_updates(
+        &mut self,
+        records: &[UpdateRecord],
+    ) -> Result<UpdateEffect, EngineError> {
+        let mut total = UpdateEffect::default();
+        for record in records {
+            let effect = match *record {
+                UpdateRecord::AddEdge { from, to, weight } => {
+                    self.add_edge(NodeId(from), NodeId(to), weight)?
+                }
+                UpdateRecord::RemoveEdge { from, to } => {
+                    self.remove_edge(NodeId(from), NodeId(to))?
+                }
+            };
+            total.merge(effect);
+        }
+        Ok(total)
+    }
+
+    /// Splices the cached transition probabilities and kernel (bitwise-equal
+    /// to recomputing them) and applies the targeted index recompute.
+    fn apply_splice(&mut self, splice: &EdgeSplice) -> UpdateEffect {
+        self.probs.apply_splice(&self.graph, splice);
+        self.kernel.apply_splice(&self.graph, &self.probs, splice);
+        let transition =
+            TransitionMatrix::with_probs_and_kernel(&self.graph, &self.probs, &self.kernel);
+        self.index.apply_update(&transition, splice.from)
+    }
+
+    /// A stable digest (FNV-1a 64) of the exact bytes
+    /// [`rtk_index::storage::save`] would persist for the current index.
+    /// Two engines answer identically whenever their digests match; the
+    /// router compares these over the wire (`stats`) to assert replica
+    /// convergence after updates.
+    pub fn index_digest(&self) -> u64 {
+        let mut bytes = Vec::new();
+        rtk_index::storage::save(&self.index, &mut bytes)
+            .expect("in-memory index serialization cannot fail");
+        crate::digest::fnv1a64(&bytes)
     }
 
     /// The default query options used by [`Self::query`].

@@ -39,12 +39,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod digest;
 pub mod engine;
 pub mod error;
 pub mod shard_engine;
 
+pub use digest::fnv1a64;
 pub use engine::{EngineBuilder, ReverseTopkEngine};
 pub use error::EngineError;
+pub use rtk_index::{UpdateEffect, UpdateRecord};
 pub use shard_engine::ShardEngine;
 
 // Re-export the layer crates under stable names.

@@ -10,8 +10,10 @@
 //! module), bitwise equal to a single-process [`crate::ReverseTopkEngine`].
 
 use crate::error::EngineError;
-use rtk_graph::{DiGraph, NodeId, TransitionKernel, TransitionMatrix, TransitionProbs};
-use rtk_index::{storage, HubMatrix, IndexConfig, IndexShard, ShardMap, ShardSlice};
+use rtk_graph::{DiGraph, EdgeSplice, NodeId, TransitionKernel, TransitionMatrix, TransitionProbs};
+use rtk_index::{
+    storage, HubMatrix, IndexConfig, IndexShard, ShardMap, ShardSlice, UpdateEffect, UpdateRecord,
+};
 use rtk_query::{QueryEngine, QueryOptions, QueryResult};
 use std::io::Write;
 use std::ops::Range;
@@ -206,6 +208,75 @@ impl ShardEngine {
         };
         let (top, _) = rtk_query::top_k_rwr_early(&transition, u.0, k, &params);
         Ok(top.into_iter().map(|(v, p)| (NodeId(v), p)).collect())
+    }
+
+    /// Inserts the edge `from → to` (or accumulates weight onto an existing
+    /// one), splices the transition caches, recomputes the affected hub
+    /// columns of the process-local hub matrix, and rebuilds the affected
+    /// states *this shard owns*. Every backend applying the same update
+    /// performs the identical hub recompute and disjoint per-node work, so
+    /// the union over shards equals a full-index
+    /// [`crate::ReverseTopkEngine::add_edge`].
+    pub fn add_edge(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        weight: f64,
+    ) -> Result<UpdateEffect, EngineError> {
+        let splice = self.graph.add_edge(from.0, to.0, weight)?;
+        Ok(self.apply_splice(&splice))
+    }
+
+    /// Removes the edge `from → to` entirely; otherwise as
+    /// [`Self::add_edge`].
+    pub fn remove_edge(&mut self, from: NodeId, to: NodeId) -> Result<UpdateEffect, EngineError> {
+        let splice = self.graph.remove_edge(from.0, to.0)?;
+        Ok(self.apply_splice(&splice))
+    }
+
+    /// Replays a decoded `RTKULOG1` update log in order against this shard
+    /// (see [`crate::ReverseTopkEngine::replay_updates`]).
+    pub fn replay_updates(
+        &mut self,
+        records: &[UpdateRecord],
+    ) -> Result<UpdateEffect, EngineError> {
+        let mut total = UpdateEffect::default();
+        for record in records {
+            let effect = match *record {
+                UpdateRecord::AddEdge { from, to, weight } => {
+                    self.add_edge(NodeId(from), NodeId(to), weight)?
+                }
+                UpdateRecord::RemoveEdge { from, to } => {
+                    self.remove_edge(NodeId(from), NodeId(to))?
+                }
+            };
+            total.merge(effect);
+        }
+        Ok(total)
+    }
+
+    fn apply_splice(&mut self, splice: &EdgeSplice) -> UpdateEffect {
+        self.probs.apply_splice(&self.graph, splice);
+        self.kernel.apply_splice(&self.graph, &self.probs, splice);
+        let transition =
+            TransitionMatrix::with_probs_and_kernel(&self.graph, &self.probs, &self.kernel);
+        rtk_index::apply_update_sharded(
+            &transition,
+            &self.config,
+            &mut self.hub_matrix,
+            &mut self.shard,
+            splice.from,
+        )
+    }
+
+    /// A stable digest (FNV-1a 64) of the exact `RTKSHRD1` bytes
+    /// [`Self::save_shard`] would write. Replicas of the same shard answer
+    /// identically whenever their digests match — the router's cheap
+    /// convergence check after an update stream.
+    pub fn index_digest(&self) -> u64 {
+        let mut bytes = Vec::new();
+        self.save_shard(&mut bytes).expect("in-memory shard serialization cannot fail");
+        crate::digest::fnv1a64(&bytes)
     }
 
     /// Serializes this shard's current (possibly refined) states as a

@@ -11,10 +11,49 @@
 
 use crate::error::GraphError;
 
-/// An immutable directed graph in CSR + CSC form, optionally edge-weighted.
+/// Structural effect of one edge mutation on the flat edge arrays.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SpliceKind {
+    /// A new slot was inserted at `out_pos` / `in_pos`.
+    Inserted,
+    /// The edge already existed; only its weight changed (parallel-edge
+    /// merge, matching [`crate::GraphBuilder`]'s accumulation).
+    Accumulated,
+    /// The slot at `out_pos` / `in_pos` was removed.
+    Removed,
+}
+
+/// What one [`DiGraph::add_edge`] / [`DiGraph::remove_edge`] did to the flat
+/// CSR/CSC edge arrays — the splice that parallel arrays derived from edge
+/// order (transition probabilities, the flat transition kernel) must mirror
+/// to stay bitwise-equal to a from-scratch rebuild.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EdgeSplice {
+    /// Source of the mutated edge.
+    pub from: u32,
+    /// Target of the mutated edge.
+    pub to: u32,
+    /// Position of the edge in CSR edge order (index into the flat
+    /// out-target array): where it sits after an add, where it sat before a
+    /// remove.
+    pub out_pos: usize,
+    /// Position of the edge in CSC edge order.
+    pub in_pos: usize,
+    /// Structural effect on the edge arrays.
+    pub kind: SpliceKind,
+    /// The edge's weight after an add (accumulated total), or the weight the
+    /// removed edge carried.
+    pub weight: f64,
+}
+
+/// A directed graph in CSR + CSC form, optionally edge-weighted.
 ///
 /// Construct via [`crate::GraphBuilder`] (which validates, merges parallel
 /// edges and repairs dangling nodes) or the generators in [`crate::gen`].
+/// Built graphs support in-place edge mutation ([`Self::add_edge`],
+/// [`Self::remove_edge`]) that preserves every builder invariant, so a
+/// mutated graph is always bitwise-identical to building the same edge set
+/// from scratch.
 #[derive(Clone, Debug, PartialEq)]
 pub struct DiGraph {
     n: usize,
@@ -223,6 +262,152 @@ impl DiGraph {
         Ok(())
     }
 
+    /// Adds edge `from → to` with `weight`, splicing both CSR and CSC in
+    /// place. If the edge already exists its weight accumulates — the same
+    /// parallel-edge merge [`crate::GraphBuilder`] performs.
+    ///
+    /// The builder's weight-array invariant is maintained (`is_weighted()`
+    /// iff any edge weight differs from 1.0), so the result is always
+    /// bitwise-identical to building the post-mutation edge set from
+    /// scratch. Cost: `O(|E|)` for the array splice plus `O(|V|)` for the
+    /// offset bump — cheap next to any index maintenance the caller does.
+    ///
+    /// # Errors
+    /// Rejects endpoints outside `0..node_count` and weights that are not
+    /// strictly positive finite numbers.
+    pub fn add_edge(&mut self, from: u32, to: u32, weight: f64) -> Result<EdgeSplice, GraphError> {
+        if from as usize >= self.n {
+            return Err(GraphError::NodeOutOfRange { node: from, node_count: self.n });
+        }
+        if to as usize >= self.n {
+            return Err(GraphError::NodeOutOfRange { node: to, node_count: self.n });
+        }
+        if !weight.is_finite() || weight <= 0.0 {
+            return Err(GraphError::InvalidWeight { from, to, weight });
+        }
+        let out_range = self.out_edge_range(from);
+        let in_range = self.in_edge_range(to);
+        match self.out_targets[out_range.clone()].binary_search(&to) {
+            Ok(i) => {
+                // Existing edge: accumulate the weight in both mirrors. The
+                // total is never 1.0-able back to unweighted unless every
+                // other weight is also exactly 1.0 — checked below.
+                let out_pos = out_range.start + i;
+                let j = self.in_sources[in_range.clone()]
+                    .binary_search(&from)
+                    .expect("CSC mirrors CSR");
+                let in_pos = in_range.start + j;
+                self.materialize_weights();
+                let ws = self.out_weights.as_mut().expect("just materialized");
+                ws[out_pos] += weight;
+                let total = ws[out_pos];
+                self.in_weights.as_mut().expect("just materialized")[in_pos] += weight;
+                if total == 1.0 {
+                    self.collapse_unit_weights();
+                }
+                Ok(EdgeSplice {
+                    from,
+                    to,
+                    out_pos,
+                    in_pos,
+                    kind: SpliceKind::Accumulated,
+                    weight: total,
+                })
+            }
+            Err(i) => {
+                let out_pos = out_range.start + i;
+                let j = self.in_sources[in_range.clone()]
+                    .binary_search(&from)
+                    .expect_err("CSC mirrors CSR: edge absent from CSR must be absent from CSC");
+                let in_pos = in_range.start + j;
+                if weight != 1.0 {
+                    self.materialize_weights();
+                }
+                self.out_targets.insert(out_pos, to);
+                self.in_sources.insert(in_pos, from);
+                for o in self.out_offsets[from as usize + 1..].iter_mut() {
+                    *o += 1;
+                }
+                for o in self.in_offsets[to as usize + 1..].iter_mut() {
+                    *o += 1;
+                }
+                if let Some(ws) = self.out_weights.as_mut() {
+                    ws.insert(out_pos, weight);
+                }
+                if let Some(ws) = self.in_weights.as_mut() {
+                    ws.insert(in_pos, weight);
+                }
+                Ok(EdgeSplice { from, to, out_pos, in_pos, kind: SpliceKind::Inserted, weight })
+            }
+        }
+    }
+
+    /// Removes edge `from → to`, splicing both CSR and CSC in place.
+    ///
+    /// # Errors
+    /// [`GraphError::EdgeNotFound`] when the edge does not exist, and
+    /// [`GraphError::DanglingNode`] when removing it would leave `from` with
+    /// out-degree zero (RWR needs a column-stochastic transition matrix, so
+    /// dangling nodes are never allowed to appear).
+    pub fn remove_edge(&mut self, from: u32, to: u32) -> Result<EdgeSplice, GraphError> {
+        if from as usize >= self.n {
+            return Err(GraphError::NodeOutOfRange { node: from, node_count: self.n });
+        }
+        if to as usize >= self.n {
+            return Err(GraphError::NodeOutOfRange { node: to, node_count: self.n });
+        }
+        let out_range = self.out_edge_range(from);
+        let Ok(i) = self.out_targets[out_range.clone()].binary_search(&to) else {
+            return Err(GraphError::EdgeNotFound { from, to });
+        };
+        if out_range.len() == 1 {
+            return Err(GraphError::DanglingNode { node: from, count: 1 });
+        }
+        let out_pos = out_range.start + i;
+        let in_range = self.in_edge_range(to);
+        let j = self.in_sources[in_range.clone()].binary_search(&from).expect("CSC mirrors CSR");
+        let in_pos = in_range.start + j;
+        let weight = self.out_weights.as_ref().map_or(1.0, |ws| ws[out_pos]);
+        self.out_targets.remove(out_pos);
+        self.in_sources.remove(in_pos);
+        for o in self.out_offsets[from as usize + 1..].iter_mut() {
+            *o -= 1;
+        }
+        for o in self.in_offsets[to as usize + 1..].iter_mut() {
+            *o -= 1;
+        }
+        if let Some(ws) = self.out_weights.as_mut() {
+            ws.remove(out_pos);
+        }
+        if let Some(ws) = self.in_weights.as_mut() {
+            ws.remove(in_pos);
+        }
+        if weight != 1.0 {
+            // The removed edge may have been the last non-unit weight.
+            self.collapse_unit_weights();
+        }
+        Ok(EdgeSplice { from, to, out_pos, in_pos, kind: SpliceKind::Removed, weight })
+    }
+
+    /// Materializes all-1.0 weight arrays so a non-unit weight can be
+    /// spliced in (no-op when already weighted).
+    fn materialize_weights(&mut self) {
+        if self.out_weights.is_none() {
+            self.out_weights = Some(vec![1.0; self.out_targets.len()]);
+            self.in_weights = Some(vec![1.0; self.in_sources.len()]);
+        }
+    }
+
+    /// Drops the weight arrays when every weight is exactly 1.0 — the same
+    /// collapse [`crate::GraphBuilder::build`] applies, keeping mutated
+    /// graphs bitwise-identical to freshly built ones.
+    fn collapse_unit_weights(&mut self) {
+        if self.out_weights.as_ref().is_some_and(|ws| ws.iter().all(|&w| w == 1.0)) {
+            self.out_weights = None;
+            self.in_weights = None;
+        }
+    }
+
     /// Approximate heap footprint in bytes.
     pub fn heap_bytes(&self) -> usize {
         let w = self.out_weights.as_ref().map_or(0, |v| v.len() * 8)
@@ -327,5 +512,121 @@ mod tests {
     #[test]
     fn validate_accepts_well_formed() {
         diamond().validate().unwrap();
+    }
+
+    /// Builds a fresh graph from `g`'s exact edge set via the builder — the
+    /// rebuild oracle every mutation must match bitwise.
+    fn rebuild(g: &DiGraph) -> DiGraph {
+        let mut b = GraphBuilder::new(g.node_count());
+        for (f, t, w) in g.edges() {
+            b.add_weighted_edge(f, t, w).unwrap();
+        }
+        b.build(DanglingPolicy::Error).unwrap()
+    }
+
+    #[test]
+    fn add_edge_matches_fresh_build() {
+        let mut g = diamond();
+        let splice = g.add_edge(1, 2, 1.0).unwrap();
+        assert_eq!(splice.kind, SpliceKind::Inserted);
+        assert!(g.has_edge(1, 2));
+        assert_eq!(g.edge_count(), 6);
+        assert!(!g.is_weighted());
+        assert_eq!(g, rebuild(&g));
+        // Splice positions point at the new edge in both mirrors.
+        assert_eq!(g.out_targets[splice.out_pos], 2);
+        assert_eq!(g.in_sources[splice.in_pos], 1);
+    }
+
+    #[test]
+    fn weighted_add_materializes_and_matches_fresh_build() {
+        let mut g = diamond();
+        let splice = g.add_edge(3, 2, 2.5).unwrap();
+        assert_eq!(splice.kind, SpliceKind::Inserted);
+        assert!(g.is_weighted());
+        assert_eq!(g.out_weights(0), Some(&[1.0, 1.0][..]));
+        assert_eq!(g.out_weight_sum(3), 3.5);
+        assert_eq!(g, rebuild(&g));
+    }
+
+    #[test]
+    fn accumulating_add_merges_parallel_edges() {
+        let mut g = diamond();
+        let splice = g.add_edge(0, 1, 1.0).unwrap();
+        assert_eq!(splice.kind, SpliceKind::Accumulated);
+        assert_eq!(splice.weight, 2.0);
+        assert_eq!(g.edge_count(), 5);
+        assert!(g.is_weighted());
+        assert_eq!(g.out_weights(0), Some(&[2.0, 1.0][..]));
+        assert_eq!(g, rebuild(&g));
+    }
+
+    #[test]
+    fn remove_edge_matches_fresh_build() {
+        let mut g = diamond();
+        let splice = g.remove_edge(0, 1).unwrap();
+        assert_eq!(splice.kind, SpliceKind::Removed);
+        assert!(!g.has_edge(0, 1));
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g, rebuild(&g));
+    }
+
+    #[test]
+    fn remove_last_non_unit_weight_collapses_to_unweighted() {
+        let mut g = diamond();
+        g.add_edge(3, 2, 2.5).unwrap();
+        assert!(g.is_weighted());
+        g.remove_edge(3, 2).unwrap();
+        assert!(!g.is_weighted());
+        assert_eq!(g, diamond());
+    }
+
+    #[test]
+    fn accumulate_to_exactly_unit_collapses() {
+        let mut b = GraphBuilder::new(2);
+        b.add_weighted_edge(0, 1, 0.5).unwrap();
+        b.add_weighted_edge(1, 0, 1.0).unwrap();
+        let mut g = b.build(DanglingPolicy::Error).unwrap();
+        assert!(g.is_weighted());
+        let splice = g.add_edge(0, 1, 0.5).unwrap();
+        assert_eq!(splice.weight, 1.0);
+        assert!(!g.is_weighted(), "all-unit weights must collapse as the builder would");
+        assert_eq!(g, rebuild(&g));
+    }
+
+    #[test]
+    fn mutation_rejects_invalid_input() {
+        let mut g = diamond();
+        assert!(matches!(g.add_edge(0, 9, 1.0), Err(GraphError::NodeOutOfRange { node: 9, .. })));
+        assert!(matches!(g.add_edge(0, 1, -1.0), Err(GraphError::InvalidWeight { .. })));
+        assert!(matches!(g.add_edge(0, 1, f64::NAN), Err(GraphError::InvalidWeight { .. })));
+        assert!(matches!(g.remove_edge(2, 0), Err(GraphError::EdgeNotFound { from: 2, to: 0 })));
+        assert!(matches!(g.remove_edge(3, 0), Err(GraphError::DanglingNode { node: 3, count: 1 })));
+        // Failed mutations leave the graph untouched.
+        assert_eq!(g, diamond());
+    }
+
+    #[test]
+    fn long_mutation_sequence_stays_builder_identical() {
+        let mut g = diamond();
+        let script: &[(bool, u32, u32, f64)] = &[
+            (true, 1, 0, 1.0),
+            (true, 2, 1, 3.0),
+            (false, 0, 2, 0.0),
+            (true, 3, 3, 1.0),
+            (true, 2, 1, 1.0),
+            (false, 2, 1, 0.0),
+            (true, 0, 2, 0.25),
+            (false, 3, 3, 0.0),
+        ];
+        for &(add, f, t, w) in script {
+            if add {
+                g.add_edge(f, t, w).unwrap();
+            } else {
+                g.remove_edge(f, t).unwrap();
+            }
+            g.validate().unwrap();
+            assert_eq!(g, rebuild(&g), "after {:?}", (add, f, t, w));
+        }
     }
 }

@@ -29,6 +29,13 @@ pub enum GraphError {
         /// Total number of dangling nodes found.
         count: usize,
     },
+    /// An edge required by a mutation does not exist.
+    EdgeNotFound {
+        /// Source of the missing edge.
+        from: u32,
+        /// Target of the missing edge.
+        to: u32,
+    },
     /// The graph has no nodes.
     EmptyGraph,
     /// A textual edge list could not be parsed.
@@ -55,6 +62,9 @@ impl std::fmt::Display for GraphError {
             }
             GraphError::DanglingNode { node, count } => {
                 write!(f, "{count} dangling node(s) present (e.g. node {node}); choose a DanglingPolicy that repairs them")
+            }
+            GraphError::EdgeNotFound { from, to } => {
+                write!(f, "edge {from} -> {to} does not exist")
             }
             GraphError::EmptyGraph => write!(f, "graph has no nodes"),
             GraphError::Parse { line, message } => {

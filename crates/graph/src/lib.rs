@@ -33,7 +33,7 @@ pub mod io;
 pub mod transition;
 
 pub use builder::{DanglingPolicy, GraphBuilder};
-pub use csr::DiGraph;
+pub use csr::{DiGraph, EdgeSplice, SpliceKind};
 pub use error::GraphError;
 pub use transition::{
     gather_dot, resolve_threads, TransitionKernel, TransitionMatrix, TransitionProbs,

@@ -36,7 +36,7 @@
 //! is bitwise identical to the legacy per-node walk while letting the CPU
 //! overlap the index loads.
 
-use crate::csr::DiGraph;
+use crate::csr::{DiGraph, EdgeSplice, SpliceKind};
 use rtk_sparse::WorkerPool;
 use std::borrow::Cow;
 
@@ -126,6 +126,58 @@ impl TransitionProbs {
     #[inline]
     pub fn matches(&self, graph: &DiGraph) -> bool {
         self.nodes == graph.node_count() && self.probs_out.len() == graph.edge_count()
+    }
+
+    /// Incrementally maintains the probability arrays across one edge
+    /// mutation: mirrors the structural splice, then recomputes the mutated
+    /// source's row with the *identical arithmetic* [`Self::compute`] uses —
+    /// so the result is bitwise-equal to a from-scratch recompute on the
+    /// post-mutation graph. `graph` must already reflect the mutation that
+    /// produced `splice`. `O(|E|)` for the splice, `O(out_degree(from))` for
+    /// the row refresh.
+    pub fn apply_splice(&mut self, graph: &DiGraph, splice: &EdgeSplice) {
+        match splice.kind {
+            SpliceKind::Inserted => {
+                self.probs_out.insert(splice.out_pos, 0.0);
+                self.probs_in.insert(splice.in_pos, 0.0);
+            }
+            SpliceKind::Removed => {
+                self.probs_out.remove(splice.out_pos);
+                self.probs_in.remove(splice.in_pos);
+            }
+            SpliceKind::Accumulated => {}
+        }
+        debug_assert!(self.matches(graph), "apply_splice: graph does not reflect the splice");
+        self.recompute_row(graph, splice.from);
+    }
+
+    /// Recomputes node `u`'s out-row (and its CSC mirror positions) exactly
+    /// as [`Self::compute`] would: `1 / out_weight_sum(u)` once, then
+    /// `w * inv` (weighted) or `inv` (unweighted) per out-edge.
+    fn recompute_row(&mut self, graph: &DiGraph, u: u32) {
+        let s = graph.out_weight_sum(u);
+        assert!(s > 0.0, "TransitionProbs: node {u} is dangling after mutation");
+        let inv = 1.0 / s;
+        let range = graph.out_edge_range(u);
+        match graph.out_weights(u) {
+            Some(ws) => {
+                for (slot, w) in self.probs_out[range.clone()].iter_mut().zip(ws) {
+                    *slot = w * inv;
+                }
+            }
+            None => {
+                for slot in self.probs_out[range.clone()].iter_mut() {
+                    *slot = inv;
+                }
+            }
+        }
+        // Mirror into CSC order: the probability of edge u→t sits at the
+        // position of source u within t's in-row.
+        for (k, &t) in graph.out_neighbors(u).iter().enumerate() {
+            let j = graph.in_neighbors(t).binary_search(&u).expect("CSC mirrors CSR");
+            let in_pos = graph.in_edge_range(t).start + j;
+            self.probs_in[in_pos] = self.probs_out[range.start + k];
+        }
     }
 }
 
@@ -258,6 +310,54 @@ impl TransitionKernel {
     fn out_row(&self, u: usize) -> (&[u32], &[f64]) {
         let (lo, hi) = (self.out_ptr[u], self.out_ptr[u + 1]);
         (&self.out_dst[lo..hi], &self.out_prob[lo..hi])
+    }
+
+    /// Incrementally maintains the flat gather layout across one edge
+    /// mutation: mirrors the structural splice into both sides, then copies
+    /// the mutated source's refreshed probabilities out of `probs` (which
+    /// must already have had [`TransitionProbs::apply_splice`] applied).
+    /// Bitwise-equal to rebuilding the kernel from scratch on the
+    /// post-mutation graph, asserted by unit tests. `O(|E|)`.
+    pub fn apply_splice(&mut self, graph: &DiGraph, probs: &TransitionProbs, splice: &EdgeSplice) {
+        match splice.kind {
+            SpliceKind::Inserted => {
+                self.out_dst.insert(splice.out_pos, splice.to);
+                self.out_prob.insert(splice.out_pos, 0.0);
+                self.in_src.insert(splice.in_pos, splice.from);
+                self.in_prob.insert(splice.in_pos, 0.0);
+                for p in self.out_ptr[splice.from as usize + 1..].iter_mut() {
+                    *p += 1;
+                }
+                for p in self.in_ptr[splice.to as usize + 1..].iter_mut() {
+                    *p += 1;
+                }
+            }
+            SpliceKind::Removed => {
+                self.out_dst.remove(splice.out_pos);
+                self.out_prob.remove(splice.out_pos);
+                self.in_src.remove(splice.in_pos);
+                self.in_prob.remove(splice.in_pos);
+                for p in self.out_ptr[splice.from as usize + 1..].iter_mut() {
+                    *p -= 1;
+                }
+                for p in self.in_ptr[splice.to as usize + 1..].iter_mut() {
+                    *p -= 1;
+                }
+            }
+            SpliceKind::Accumulated => {}
+        }
+        debug_assert!(self.matches(graph), "apply_splice: graph does not reflect the splice");
+        debug_assert!(probs.matches(graph), "apply_splice: probs were not spliced first");
+        // Refresh the mutated row's probabilities on both sides from the
+        // already-updated probability arrays (the kernel's ptr arrays mirror
+        // the graph's offsets, so the graph ranges address both).
+        let out_range = graph.out_edge_range(splice.from);
+        self.out_prob[out_range.clone()].copy_from_slice(&probs.probs_out[out_range.clone()]);
+        for &t in graph.out_neighbors(splice.from) {
+            let j = graph.in_neighbors(t).binary_search(&splice.from).expect("CSC mirrors CSR");
+            let in_pos = graph.in_edge_range(t).start + j;
+            self.in_prob[in_pos] = probs.probs_in[in_pos];
+        }
     }
 }
 
@@ -867,5 +967,78 @@ mod tests {
         // API, so simulate by constructing the unrepaired edge set directly.
         let g = DiGraph::from_sorted_edges(2, vec![(0, 1, 1.0)], false);
         let _ = TransitionMatrix::new(&g);
+    }
+
+    #[test]
+    fn spliced_probs_and_kernel_match_fresh_rebuild_bitwise() {
+        // Drive a long add/remove script over a seeded R-MAT graph and pin
+        // the incremental probability + kernel maintenance to a from-scratch
+        // recompute after every single step — the graph-layer half of the
+        // dynamic-graph determinism contract.
+        let mut g = crate::gen::rmat(&crate::gen::RmatConfig::new(60, 240, 7)).unwrap();
+        let mut probs = TransitionProbs::compute(&g);
+        let mut kernel = TransitionKernel::build(&g, &probs);
+        let script: &[(bool, u32, u32, f64)] = &[
+            (true, 0, 59, 1.0),
+            (true, 59, 0, 2.5),
+            (true, 0, 59, 1.0), // accumulate
+            (true, 17, 23, 0.125),
+            (false, 0, 59, 0.0),
+            (true, 23, 17, 1.0),
+            (false, 59, 0, 0.0),
+            (true, 5, 5, 1.0),
+            (false, 17, 23, 0.0),
+        ];
+        for &(add, f, t, w) in script {
+            let splice = if add {
+                match g.add_edge(f, t, w) {
+                    Ok(s) => s,
+                    Err(_) => continue, // e.g. node already had this edge shape
+                }
+            } else {
+                match g.remove_edge(f, t) {
+                    Ok(s) => s,
+                    Err(_) => continue,
+                }
+            };
+            probs.apply_splice(&g, &splice);
+            kernel.apply_splice(&g, &probs, &splice);
+            assert_eq!(probs, TransitionProbs::compute(&g), "probs after {:?}", (add, f, t));
+            assert_eq!(
+                kernel,
+                TransitionKernel::build(&g, &probs),
+                "kernel after {:?}",
+                (add, f, t)
+            );
+        }
+    }
+
+    #[test]
+    fn spliced_view_applies_identically_to_rebuilt_view() {
+        // After a mutation, a kernel-backed view over the spliced caches
+        // must produce the same operator outputs as a fresh build.
+        let mut g = crate::gen::erdos_renyi(&crate::gen::ErdosRenyiConfig {
+            nodes: 40,
+            edges: 160,
+            seed: 3,
+        })
+        .unwrap();
+        let mut probs = TransitionProbs::compute(&g);
+        let mut kernel = TransitionKernel::build(&g, &probs);
+        let splice = g.add_edge(1, 38, 3.0).unwrap();
+        probs.apply_splice(&g, &splice);
+        kernel.apply_splice(&g, &probs, &splice);
+
+        let spliced = TransitionMatrix::with_probs_and_kernel(&g, &probs, &kernel);
+        let fresh = TransitionMatrix::new_kernelized(&g);
+        let x: Vec<f64> = (0..40).map(|i| 1.0 / (1.0 + i as f64)).collect();
+        let mut y1 = vec![0.0; 40];
+        let mut y2 = vec![0.0; 40];
+        spliced.apply_forward(0.15, &x, 0, &mut y1);
+        fresh.apply_forward(0.15, &x, 0, &mut y2);
+        assert_eq!(y1, y2);
+        spliced.apply_transpose(0.15, &x, 0, &mut y1);
+        fresh.apply_transpose(0.15, &x, 0, &mut y2);
+        assert_eq!(y1, y2);
     }
 }

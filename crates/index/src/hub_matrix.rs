@@ -132,6 +132,64 @@ impl HubMatrix {
         self.rounding_threshold
     }
 
+    /// Recomputes the columns of the given hub `ids` in place (incremental
+    /// edge updates, [`crate::update`]). Every id must be a hub of this
+    /// matrix. Each column goes through the exact per-column computation of
+    /// [`Self::build`] — same solver, same rounding, same deficit formula —
+    /// so a column recomputed here is bitwise-identical to the one a
+    /// from-scratch build against the same transition matrix produces.
+    /// Returns the number of columns recomputed.
+    ///
+    /// # Panics
+    /// Panics if an id is not a hub of this matrix.
+    pub fn recompute_columns(
+        &mut self,
+        transition: &TransitionMatrix<'_>,
+        ids: &[u32],
+        solver: &HubSolver,
+        threads: usize,
+    ) -> usize {
+        if ids.is_empty() {
+            return 0;
+        }
+        let positions: Vec<usize> = ids
+            .iter()
+            .map(|&h| self.hubs.position(h).expect("recompute_columns id is not a hub"))
+            .collect();
+        let threads = threads.max(1).min(ids.len());
+        let omega = self.rounding_threshold;
+        // Same slot discipline as `build`: workers pull ids off a shared
+        // counter, results land by position, so scheduling cannot change
+        // the matrix.
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let results = std::sync::Mutex::new(Vec::<Vec<(usize, HubColumn)>>::new());
+        rtk_sparse::WorkerPool::global().scope(|scope| {
+            for _ in 0..threads {
+                let (ids, next, results) = (&ids, &next, &results);
+                scope.spawn(move || {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if i >= ids.len() {
+                            break;
+                        }
+                        local.push((i, compute_hub_column(transition, ids[i], solver, omega)));
+                    }
+                    results.lock().expect("hub results poisoned").push(local);
+                });
+            }
+        });
+        for chunk in results.into_inner().expect("hub results poisoned") {
+            for (i, (col, deficit, nnz)) in chunk {
+                let p = positions[i];
+                self.columns[p] = col;
+                self.deficits[p] = deficit;
+                self.unrounded_nnz[p] = nnz;
+            }
+        }
+        ids.len()
+    }
+
     /// Rounded proximity vector of hub `node`, or `None` if not a hub.
     pub fn column(&self, node: u32) -> Option<&SparseVector> {
         self.hubs.position(node).map(|i| &self.columns[i])

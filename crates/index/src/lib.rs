@@ -45,6 +45,7 @@ pub mod node_state;
 pub mod shard;
 pub mod stats;
 pub mod storage;
+pub mod update;
 
 pub use builder::LbiBuilder;
 pub use config::{HubSelection, HubSolver, IndexConfig};
@@ -54,4 +55,5 @@ pub use index::ReverseIndex;
 pub use node_state::{refine_state, NodeState};
 pub use shard::{IndexShard, ShardMap};
 pub use stats::IndexStats;
-pub use storage::ShardSlice;
+pub use storage::{ShardSlice, UpdateRecord};
+pub use update::{affected_set, apply_update_sharded, recompute_states, UpdateEffect};

@@ -840,6 +840,186 @@ pub fn load_path<P: AsRef<Path>>(path: P) -> Result<ReverseIndex, IndexError> {
     load(std::fs::File::open(path)?)
 }
 
+// ---------------------------------------------------------------------------
+// RTKULOG1 — append-only edge-update log
+// ---------------------------------------------------------------------------
+
+/// Magic tag of the update-log format.
+pub const ULOG_MAGIC: &[u8; 8] = b"RTKULOG1";
+/// Current update-log format version.
+pub const ULOG_VERSION: u32 = 1;
+/// Fixed byte size of one encoded [`UpdateRecord`] (`u32` op, `u32` from,
+/// `u32` to, `f64` weight).
+pub const ULOG_RECORD_BYTES: usize = 20;
+
+const ULOG_OP_ADD: u32 = 0;
+const ULOG_OP_REMOVE: u32 = 1;
+
+/// One logged edge update. The log stores only the edit — the affected-set
+/// recompute it triggers ([`crate::update`]) is a deterministic function of
+/// the edit and the graph, so `snapshot + replay(log)` regenerates the live
+/// engine exactly.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum UpdateRecord {
+    /// Insert the edge (or accumulate onto an existing one's weight).
+    AddEdge {
+        /// Edge tail.
+        from: u32,
+        /// Edge head.
+        to: u32,
+        /// Weight to add (must be finite and `> 0`).
+        weight: f64,
+    },
+    /// Remove an existing edge entirely.
+    RemoveEdge {
+        /// Edge tail.
+        from: u32,
+        /// Edge head.
+        to: u32,
+    },
+}
+
+impl UpdateRecord {
+    /// The edge tail — the node whose transition row the update renormalizes.
+    pub fn source(&self) -> u32 {
+        match self {
+            UpdateRecord::AddEdge { from, .. } | UpdateRecord::RemoveEdge { from, .. } => *from,
+        }
+    }
+
+    /// Encodes one fixed-width record (no header; see [`write_update_log`]).
+    pub fn encode<W: Write>(&self, w: &mut W) -> Result<(), IndexError> {
+        let (op, from, to, weight) = match *self {
+            UpdateRecord::AddEdge { from, to, weight } => (ULOG_OP_ADD, from, to, weight),
+            // Removals carry a canonical 0.0 payload so encode∘decode is
+            // the identity on bytes.
+            UpdateRecord::RemoveEdge { from, to } => (ULOG_OP_REMOVE, from, to, 0.0),
+        };
+        codec::write_u32(w, op)?;
+        codec::write_u32(w, from)?;
+        codec::write_u32(w, to)?;
+        codec::write_f64(w, weight)?;
+        Ok(())
+    }
+
+    fn decode(buf: &[u8; ULOG_RECORD_BYTES], index: usize) -> Result<Self, IndexError> {
+        let op = u32::from_le_bytes(buf[0..4].try_into().expect("fixed slice"));
+        let from = u32::from_le_bytes(buf[4..8].try_into().expect("fixed slice"));
+        let to = u32::from_le_bytes(buf[8..12].try_into().expect("fixed slice"));
+        let weight = f64::from_le_bytes(buf[12..20].try_into().expect("fixed slice"));
+        match op {
+            ULOG_OP_ADD => {
+                if !(weight.is_finite() && weight > 0.0) {
+                    return Err(corrupt(format!(
+                        "update record {index}: add-edge weight {weight} is not positive finite"
+                    )));
+                }
+                Ok(UpdateRecord::AddEdge { from, to, weight })
+            }
+            ULOG_OP_REMOVE => {
+                if weight.to_bits() != 0 {
+                    return Err(corrupt(format!(
+                        "update record {index}: remove-edge carries non-canonical weight {weight}"
+                    )));
+                }
+                Ok(UpdateRecord::RemoveEdge { from, to })
+            }
+            other => Err(corrupt(format!("update record {index}: unknown op {other}"))),
+        }
+    }
+}
+
+/// Writes the `RTKULOG1` header. Appenders call this once on a fresh log,
+/// then [`UpdateRecord::encode`] per update — no length prefix or trailer,
+/// so the file can grow by pure appends.
+pub fn write_update_log_header<W: Write>(w: &mut W) -> Result<(), IndexError> {
+    codec::write_header(w, ULOG_MAGIC, ULOG_VERSION)?;
+    Ok(())
+}
+
+/// Writes a complete log: header plus every record.
+pub fn write_update_log<W: Write>(w: &mut W, records: &[UpdateRecord]) -> Result<(), IndexError> {
+    write_update_log_header(w)?;
+    for r in records {
+        r.encode(w)?;
+    }
+    Ok(())
+}
+
+/// Reads a log until end-of-stream ([`read_update_log_bounded`] with the
+/// codec's global sequence cap).
+pub fn read_update_log<R: Read>(r: R) -> Result<Vec<UpdateRecord>, IndexError> {
+    read_update_log_bounded(r, codec::MAX_SEQ_LEN)
+}
+
+/// Reads a log until end-of-stream, rejecting logs longer than
+/// `max_records`. The record stream has no length prefix (append-only), so
+/// "done" is exactly "zero bytes left"; a partial trailing record — a
+/// truncated append — is a decode error, never silently dropped.
+pub fn read_update_log_bounded<R: Read>(
+    r: R,
+    max_records: u64,
+) -> Result<Vec<UpdateRecord>, IndexError> {
+    let mut r = BufReader::new(r);
+    codec::read_header(&mut r, ULOG_MAGIC, ULOG_VERSION)?;
+    let max_records = max_records.min(codec::MAX_SEQ_LEN);
+    let mut records = Vec::new();
+    let mut buf = [0u8; ULOG_RECORD_BYTES];
+    loop {
+        let mut filled = 0usize;
+        while filled < ULOG_RECORD_BYTES {
+            let n = r.read(&mut buf[filled..])?;
+            if n == 0 {
+                break;
+            }
+            filled += n;
+        }
+        if filled == 0 {
+            return Ok(records);
+        }
+        if filled < ULOG_RECORD_BYTES {
+            return Err(corrupt(format!(
+                "update log truncated mid-record: record {} has {filled} of {ULOG_RECORD_BYTES} bytes",
+                records.len()
+            )));
+        }
+        if records.len() as u64 >= max_records {
+            return Err(corrupt(format!("update log holds more than {max_records} records")));
+        }
+        records.push(UpdateRecord::decode(&buf, records.len())?);
+    }
+}
+
+/// Writes a complete log to a file path.
+pub fn save_update_log<P: AsRef<Path>>(
+    path: P,
+    records: &[UpdateRecord],
+) -> Result<(), IndexError> {
+    let mut w = BufWriter::new(std::fs::File::create(path)?);
+    write_update_log(&mut w, records)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads a complete log from a file path.
+pub fn load_update_log<P: AsRef<Path>>(path: P) -> Result<Vec<UpdateRecord>, IndexError> {
+    read_update_log(std::fs::File::open(path)?)
+}
+
+/// Appends `record` to the log at `path`, creating the file (with header)
+/// if missing. This is the durable-server write path: one `open — append —
+/// sync` per applied update, after the in-memory apply succeeded.
+pub fn append_update_log<P: AsRef<Path>>(path: P, record: &UpdateRecord) -> Result<(), IndexError> {
+    use std::io::Seek;
+    let mut f = std::fs::OpenOptions::new().read(true).append(true).create(true).open(path)?;
+    if f.seek(std::io::SeekFrom::End(0))? == 0 {
+        write_update_log_header(&mut f)?;
+    }
+    record.encode(&mut f)?;
+    f.sync_data()?;
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,278 @@
+//! Incremental edge updates — targeted invalidation and recompute
+//! (ROADMAP direction 2).
+//!
+//! An edge update `u → v` (insert, weight change, or removal) renormalizes
+//! exactly one row of the transition matrix: `u`'s out-row. The only walks
+//! whose probabilities change are those that *visit `u`*, so the only index
+//! entries that can change are those of nodes that can reach `u` along
+//! out-edges — the **affected set** [`affected_set`], computed as a BFS from
+//! `u` over in-edges. Everything outside that set is untouched *bitwise*:
+//!
+//! * A BCA run from an unaffected `q` never places residue on `u`, so it
+//!   never reads the mutated row and replays the exact same pushes.
+//! * A hub column `p_h` with `h` unaffected assigns exact `+0.0` to every
+//!   node that cannot be reached from `h` without passing through… nothing:
+//!   walks from `h` never traverse `u`'s out-edges (`x[u]` stays `+0.0`),
+//!   and inserting a `p·0.0 = +0.0` term into a non-negative, in-order
+//!   accumulation leaves every partial sum bit-identical.
+//! * Unaffected `q` can only park ink on unaffected hubs (if `q` reached an
+//!   affected hub `h`, then `q` reaches `u` through `h` and would itself be
+//!   affected), so its materialized bounds see only unchanged columns.
+//!
+//! Affected entries are recomputed *from scratch* with the exact Algorithm 1
+//! recipe ([`recompute_states`]), hub columns first (states materialize
+//! against `P_H`), then node states. Consequently the post-update index is
+//! bitwise-equal to a full rebuild of the mutated graph — provided the
+//! untouched states were never refined past their build-time stop (queries
+//! in `update` mode tighten states monotonically; those remain correct, just
+//! no longer byte-comparable to a *fresh* rebuild).
+//!
+//! The affected set is identical on the pre- and post-update graph: whether
+//! `q` can reach `u` never depends on `u`'s own out-edges, and `u` is always
+//! in the set. This makes the rule self-inverse and replay-friendly — the
+//! update log ([`crate::storage::UpdateRecord`]) stores only the edit, and
+//! replaying it deterministically regenerates the exact recompute schedule.
+
+use crate::config::IndexConfig;
+use crate::hub_matrix::{HubMatrix, Materializer};
+use crate::node_state::NodeState;
+use crate::shard::IndexShard;
+use rtk_graph::{DiGraph, TransitionMatrix};
+use rtk_rwr::bca::{BcaEngine, BcaStop, PropagationStrategy};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Nodes claimed per worker fetch during a recompute sweep (mirrors the
+/// builder's `SWEEP_CHUNK`).
+const RECOMPUTE_CHUNK: usize = 64;
+
+/// What one applied edge update invalidated and recomputed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct UpdateEffect {
+    /// Node states recomputed — the whole affected set for a full index,
+    /// the shard-owned subset for [`apply_update_sharded`].
+    pub recomputed_states: usize,
+    /// Hub columns recomputed (hubs inside the affected set).
+    pub recomputed_hubs: usize,
+}
+
+impl UpdateEffect {
+    /// Folds another effect into this one (accumulating over a replay).
+    pub fn merge(&mut self, other: UpdateEffect) {
+        self.recomputed_states += other.recomputed_states;
+        self.recomputed_hubs += other.recomputed_hubs;
+    }
+}
+
+/// The set of nodes whose index entries an update of `source`'s out-row can
+/// affect: every `q` that can reach `source` along out-edges, `source`
+/// itself included. Computed as a BFS from `source` over in-edges; returned
+/// in ascending id order (so downstream recompute schedules are canonical).
+pub fn affected_set(graph: &DiGraph, source: u32) -> Vec<u32> {
+    let n = graph.node_count();
+    assert!((source as usize) < n, "update source {source} out of range");
+    let mut seen = vec![false; n];
+    let mut queue = std::collections::VecDeque::new();
+    seen[source as usize] = true;
+    queue.push_back(source);
+    while let Some(v) = queue.pop_front() {
+        for &p in graph.in_neighbors(v) {
+            if !seen[p as usize] {
+                seen[p as usize] = true;
+                queue.push_back(p);
+            }
+        }
+    }
+    (0..n as u32).filter(|&u| seen[u as usize]).collect()
+}
+
+/// Recomputes fresh node states for `nodes` with the exact Algorithm 1
+/// recipe (same engine construction, stop rule, and top-K materialization
+/// as [`crate::builder::LbiBuilder::build`]), spread over
+/// `config.effective_threads()` pool workers. Returns `(node, state)` pairs
+/// in `nodes` order; scheduling cannot change any state (per-node runs are
+/// independent and merged by slot).
+pub fn recompute_states(
+    transition: &TransitionMatrix<'_>,
+    hub_matrix: &HubMatrix,
+    config: &IndexConfig,
+    nodes: &[u32],
+) -> Vec<(u32, NodeState)> {
+    if nodes.is_empty() {
+        return Vec::new();
+    }
+    let n = transition.node_count();
+    let threads = config.effective_threads().max(1).min(nodes.len());
+    let stop = BcaStop::from_params(&config.bca);
+    let next = AtomicUsize::new(0);
+    let collected = std::sync::Mutex::new(Vec::<Vec<(usize, NodeState)>>::new());
+    rtk_sparse::WorkerPool::global().scope(|scope| {
+        for _ in 0..threads {
+            let (next, collected, stop) = (&next, &collected, &stop);
+            let hubs = hub_matrix.hubs().clone();
+            scope.spawn(move || {
+                let mut engine =
+                    BcaEngine::new(hubs, config.bca, PropagationStrategy::BatchThreshold);
+                let mut materializer = Materializer::new(n);
+                let mut local = Vec::new();
+                loop {
+                    let lo = next.fetch_add(RECOMPUTE_CHUNK, Ordering::Relaxed);
+                    if lo >= nodes.len() {
+                        break;
+                    }
+                    let hi = (lo + RECOMPUTE_CHUNK).min(nodes.len());
+                    for (i, &u) in nodes.iter().enumerate().take(hi).skip(lo) {
+                        let snapshot = engine.run_from(transition, u, stop);
+                        let state = NodeState::from_snapshot(
+                            snapshot,
+                            hub_matrix,
+                            &mut materializer,
+                            config.max_k,
+                        );
+                        local.push((i, state));
+                    }
+                }
+                collected.lock().expect("recompute results poisoned").push(local);
+            });
+        }
+    });
+    let mut slots: Vec<Option<NodeState>> = (0..nodes.len()).map(|_| None).collect();
+    for chunk in collected.into_inner().expect("recompute results poisoned") {
+        for (i, state) in chunk {
+            debug_assert!(slots[i].is_none());
+            slots[i] = Some(state);
+        }
+    }
+    nodes
+        .iter()
+        .copied()
+        .zip(slots.into_iter().map(|s| s.expect("state missing after recompute")))
+        .collect()
+}
+
+/// Shard-local update application for multi-process serving: recomputes the
+/// affected hub columns of the (process-local copy of the) shared hub
+/// matrix, then only the affected states *this shard owns*. Every process
+/// runs the identical hub recompute, so their hub matrices stay
+/// bitwise-converged; the per-node work is disjoint across shards and the
+/// union over all shards equals [`crate::ReverseIndex::apply_update`] on a
+/// full index.
+pub fn apply_update_sharded(
+    transition: &TransitionMatrix<'_>,
+    config: &IndexConfig,
+    hub_matrix: &mut HubMatrix,
+    shard: &mut IndexShard,
+    source: u32,
+) -> UpdateEffect {
+    let affected = affected_set(transition.graph(), source);
+    let hub_ids: Vec<u32> = affected
+        .iter()
+        .copied()
+        .filter(|&h| hub_matrix.hubs().position(h).is_some())
+        .collect();
+    let threads = config.effective_threads();
+    hub_matrix.recompute_columns(transition, &hub_ids, &config.hub_solver, threads);
+    let range = shard.range();
+    let owned: Vec<u32> = affected.iter().copied().filter(|u| range.contains(u)).collect();
+    let fresh = recompute_states(transition, hub_matrix, config, &owned);
+    let recomputed_states = fresh.len();
+    for (u, state) in fresh {
+        shard.commit_state(u, state);
+    }
+    UpdateEffect { recomputed_states, recomputed_hubs: hub_ids.len() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{HubSelection, HubSolver};
+    use crate::index::ReverseIndex;
+    use rtk_graph::{DanglingPolicy, GraphBuilder};
+    use rtk_rwr::{BcaParams, RwrParams};
+
+    fn config(threads: usize, shards: usize) -> IndexConfig {
+        IndexConfig {
+            max_k: 5,
+            bca: BcaParams { residue_threshold: 0.2, ..Default::default() },
+            hub_selection: HubSelection::DegreeBased { b: 4 },
+            hub_solver: HubSolver::PowerMethod(RwrParams::default()),
+            rounding_threshold: 0.0,
+            threads,
+            shards,
+        }
+    }
+
+    #[test]
+    fn affected_set_is_reverse_reachability() {
+        // 0 -> 1 -> 2 -> 3, plus 3 -> 3 self loop; only nodes 0..=1 reach 1.
+        let g =
+            GraphBuilder::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 3)], DanglingPolicy::Error)
+                .unwrap();
+        assert_eq!(affected_set(&g, 1), vec![0, 1]);
+        assert_eq!(affected_set(&g, 3), vec![0, 1, 2, 3]);
+        assert_eq!(affected_set(&g, 0), vec![0]);
+    }
+
+    #[test]
+    fn apply_update_matches_fresh_rebuild_bitwise() {
+        let mut g = rtk_graph::gen::rmat(&rtk_graph::gen::RmatConfig::new(80, 320, 11)).unwrap();
+        let cfg = config(2, 1);
+
+        let t0 = TransitionMatrix::new(&g);
+        let mut live = ReverseIndex::build(&t0, cfg.clone()).unwrap();
+        drop(t0);
+
+        let script: [(bool, u32, u32, f64); 4] =
+            [(true, 3, 77, 1.0), (true, 40, 5, 2.5), (false, 3, 77, 0.0), (true, 12, 12, 1.0)];
+        for &(add, from, to, w) in script.iter() {
+            let splice = if add { g.add_edge(from, to, w) } else { g.remove_edge(from, to) };
+            let splice = splice.unwrap();
+            let t = TransitionMatrix::new(&g);
+            let effect = live.apply_update(&t, splice.from);
+            assert!(effect.recomputed_states > 0);
+
+            // Rebuild oracle pins the live hub ids so selection can't drift.
+            let rebuild_cfg = IndexConfig {
+                hub_selection: HubSelection::Explicit(live.hub_matrix().hubs().ids().to_vec()),
+                ..cfg.clone()
+            };
+            let fresh = ReverseIndex::build(&t, rebuild_cfg).unwrap();
+            assert_eq!(live.hub_matrix(), fresh.hub_matrix(), "hub matrix diverged");
+            for u in 0..g.node_count() as u32 {
+                assert_eq!(live.state(u), fresh.state(u), "node {u} diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_updates_union_to_full_update() {
+        let mut g = rtk_graph::gen::erdos_renyi(&rtk_graph::gen::ErdosRenyiConfig {
+            nodes: 60,
+            edges: 300,
+            seed: 5,
+        })
+        .unwrap();
+        let cfg = config(1, 3);
+        let t0 = TransitionMatrix::new(&g);
+        let mut full = ReverseIndex::build(&t0, cfg.clone()).unwrap();
+        let sharded = ReverseIndex::build(&t0, cfg.clone()).unwrap();
+        let mut hub_copies: Vec<HubMatrix> =
+            (0..sharded.shard_count()).map(|_| sharded.hub_matrix().clone()).collect();
+        let mut shards: Vec<IndexShard> = sharded.shards().to_vec();
+        drop(t0);
+
+        let splice = g.add_edge(7, 33, 1.0).unwrap();
+        let t = TransitionMatrix::new(&g);
+        full.apply_update(&t, splice.from);
+        for (hubs, shard) in hub_copies.iter_mut().zip(shards.iter_mut()) {
+            apply_update_sharded(&t, &cfg, hubs, shard, splice.from);
+        }
+        for hubs in &hub_copies {
+            assert_eq!(hubs, full.hub_matrix());
+        }
+        for shard in &shards {
+            for u in shard.range() {
+                assert_eq!(shard.state(u), full.state(u), "node {u} diverged");
+            }
+        }
+    }
+}

@@ -1,0 +1,207 @@
+//! Property tests for the update-log format (`RTKULOG1`), in the style of
+//! `manifest_props.rs`: arbitrary record sequences must round-trip, the
+//! append path must produce the same bytes as a bulk write, and every
+//! truncation / byte corruption must surface as a clean error — never a
+//! panic, never a silently wrong log.
+//!
+//! One deliberate asymmetry with the manifest suite: the log has **no
+//! length prefix** (it must grow by pure appends), so a prefix cut at a
+//! record boundary IS a valid shorter log — exactly the crash-recovery
+//! semantics a durable server needs. Only cuts *inside* a record (a torn
+//! append) are errors.
+//!
+//! Driven by seeded `StdRng` case generation — failures reproduce from the
+//! printed case seed.
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use rtk_index::storage::{self, UpdateRecord, ULOG_MAGIC, ULOG_RECORD_BYTES, ULOG_VERSION};
+use rtk_index::IndexError;
+use rtk_sparse::codec::DecodeError;
+use std::io::Cursor;
+
+const CASES: u64 = 16;
+const HEADER_BYTES: usize = 12; // 8-byte magic + u32 version
+
+fn arb_records(rng: &mut StdRng) -> Vec<UpdateRecord> {
+    let len = rng.gen_range(0usize..60);
+    (0..len)
+        .map(|_| {
+            if rng.gen_bool(0.6) {
+                let weight = match rng.gen_range(0u32..10) {
+                    // Extremes must survive the codec too.
+                    0 => f64::MIN_POSITIVE,
+                    1 => 1e300,
+                    _ => rng.gen_range(0.01..10.0),
+                };
+                UpdateRecord::AddEdge { from: rng.gen(), to: rng.gen(), weight }
+            } else {
+                UpdateRecord::RemoveEdge { from: rng.gen(), to: rng.gen() }
+            }
+        })
+        .collect()
+}
+
+fn encode(records: &[UpdateRecord]) -> Vec<u8> {
+    let mut buf = Vec::new();
+    storage::write_update_log(&mut buf, records).unwrap();
+    buf
+}
+
+#[test]
+fn logs_round_trip_for_arbitrary_record_sequences() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x010C_0001 + case);
+        let records = arb_records(&mut rng);
+        let buf = encode(&records);
+        assert_eq!(&buf[..8], ULOG_MAGIC, "case {case}");
+        assert_eq!(buf.len(), HEADER_BYTES + records.len() * ULOG_RECORD_BYTES, "case {case}");
+        let back = storage::read_update_log(Cursor::new(&buf)).unwrap();
+        assert_eq!(records, back, "case {case}");
+        // encode ∘ decode ∘ encode is the byte identity (removals carry a
+        // canonical zero payload, so there is exactly one encoding).
+        assert_eq!(buf, encode(&back), "case {case}: re-encode changed bytes");
+    }
+}
+
+#[test]
+fn append_path_produces_the_same_bytes_as_a_bulk_write() {
+    let dir = std::env::temp_dir().join("rtk_index_test_ulog_props");
+    std::fs::create_dir_all(&dir).unwrap();
+    for case in 0..4 {
+        let mut rng = StdRng::seed_from_u64(0x010C_1000 + case);
+        let records = arb_records(&mut rng);
+        let appended = dir.join(format!("appended-{case}.rtkl"));
+        std::fs::remove_file(&appended).ok();
+        for r in &records {
+            storage::append_update_log(&appended, r).unwrap();
+        }
+        let bulk = dir.join(format!("bulk-{case}.rtkl"));
+        storage::save_update_log(&bulk, &records).unwrap();
+        if records.is_empty() {
+            // Pure-append never created the file; nothing to compare.
+            continue;
+        }
+        assert_eq!(
+            std::fs::read(&appended).unwrap(),
+            std::fs::read(&bulk).unwrap(),
+            "case {case}: record-at-a-time appends diverged from the bulk writer"
+        );
+        assert_eq!(records, storage::load_update_log(&appended).unwrap(), "case {case}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn truncation_semantics_match_append_only_recovery() {
+    let mut rng = StdRng::seed_from_u64(0x010C_2000);
+    let mut records = arb_records(&mut rng);
+    while records.len() < 5 {
+        records.push(UpdateRecord::RemoveEdge { from: 1, to: 2 });
+    }
+    let buf = encode(&records);
+    for cut in 0..buf.len() {
+        let result = storage::read_update_log(Cursor::new(&buf[..cut]));
+        if cut < HEADER_BYTES {
+            assert!(result.is_err(), "prefix {cut}: headerless log decoded");
+        } else if (cut - HEADER_BYTES).is_multiple_of(ULOG_RECORD_BYTES) {
+            // A record-boundary prefix is a valid shorter log: what a
+            // crashed appender leaves behind after its last durable record.
+            let got = result.unwrap_or_else(|e| panic!("prefix {cut}: {e:?}"));
+            let keep = (cut - HEADER_BYTES) / ULOG_RECORD_BYTES;
+            assert_eq!(got, records[..keep], "prefix {cut}");
+        } else {
+            // A torn append is an explicit error, never silently dropped.
+            assert!(result.is_err(), "prefix {cut}: torn record decoded");
+        }
+    }
+}
+
+#[test]
+fn random_single_byte_corruption_never_panics() {
+    let mut rng = StdRng::seed_from_u64(0x010C_3000);
+    let records = arb_records(&mut rng);
+    let buf = encode(&records);
+    for trial in 0..512 {
+        let pos = rng.gen_range(0..buf.len());
+        let bit = 1u8 << rng.gen_range(0..8);
+        let mut bad = buf.clone();
+        bad[pos] ^= bit;
+        // Decoding may legitimately succeed (a flipped node id or weight
+        // mantissa is still a well-formed record) but must never panic,
+        // and whatever decodes must re-encode to the corrupted bytes.
+        if let Ok(loaded) = storage::read_update_log(Cursor::new(&bad)) {
+            assert_eq!(loaded.len(), records.len(), "trial {trial} (flip at {pos})");
+            assert_eq!(bad, encode(&loaded), "trial {trial} (flip at {pos}): lossy decode");
+        }
+    }
+}
+
+#[test]
+fn add_edge_weights_are_validated_on_decode() {
+    // Hand-build records the writer refuses to produce: zero, negative,
+    // NaN, and infinite add-edge weights, plus a non-canonical removal
+    // payload and an unknown op — every one is a clean Corrupt error.
+    let valid = encode(&[UpdateRecord::AddEdge { from: 3, to: 4, weight: 1.0 }]);
+    let corrupt_weight = |w: f64| {
+        let mut bad = valid.clone();
+        bad[HEADER_BYTES + 12..].copy_from_slice(&w.to_le_bytes());
+        storage::read_update_log(Cursor::new(bad))
+    };
+    for w in [0.0, -1.0, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+        assert!(
+            matches!(corrupt_weight(w), Err(IndexError::Decode(DecodeError::Corrupt(_)))),
+            "add-edge weight {w} must be rejected"
+        );
+    }
+
+    let mut removal = valid.clone();
+    removal[HEADER_BYTES..HEADER_BYTES + 4].copy_from_slice(&1u32.to_le_bytes());
+    assert!(
+        matches!(
+            storage::read_update_log(Cursor::new(removal)),
+            Err(IndexError::Decode(DecodeError::Corrupt(_)))
+        ),
+        "remove-edge with a nonzero weight payload must be rejected"
+    );
+
+    let mut unknown_op = valid;
+    unknown_op[HEADER_BYTES..HEADER_BYTES + 4].copy_from_slice(&7u32.to_le_bytes());
+    assert!(matches!(
+        storage::read_update_log(Cursor::new(unknown_op)),
+        Err(IndexError::Decode(DecodeError::Corrupt(_)))
+    ));
+}
+
+#[test]
+fn bounded_reader_enforces_its_limit() {
+    let records = vec![UpdateRecord::RemoveEdge { from: 0, to: 1 }; 10];
+    let buf = encode(&records);
+    assert_eq!(storage::read_update_log_bounded(Cursor::new(&buf), 10).unwrap(), records);
+    assert!(
+        storage::read_update_log_bounded(Cursor::new(&buf), 9).is_err(),
+        "an 10-record log must not decode under a 9-record bound"
+    );
+    assert!(storage::read_update_log_bounded(Cursor::new(&buf), 0).is_err());
+}
+
+#[test]
+fn wrong_magic_and_future_versions_are_rejected() {
+    let buf = encode(&[UpdateRecord::RemoveEdge { from: 0, to: 1 }]);
+
+    let mut wrong_magic = buf.clone();
+    wrong_magic[0] = b'X';
+    assert!(matches!(
+        storage::read_update_log(Cursor::new(wrong_magic)),
+        Err(IndexError::Decode(DecodeError::BadMagic { .. }))
+    ));
+
+    let mut future = buf;
+    future[8..12].copy_from_slice(&(ULOG_VERSION + 1).to_le_bytes());
+    match storage::read_update_log(Cursor::new(future)) {
+        Err(IndexError::Decode(DecodeError::UnsupportedVersion { found, supported })) => {
+            assert_eq!(found, ULOG_VERSION + 1);
+            assert_eq!(supported, ULOG_VERSION);
+        }
+        other => panic!("future version must be UnsupportedVersion, got {other:?}"),
+    }
+}

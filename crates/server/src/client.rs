@@ -4,7 +4,8 @@
 use crate::error::ServerError;
 use crate::metrics::StatsSnapshot;
 use crate::wire::{
-    self, Request, Response, WireQueryResult, WireShardResult, WireTopk, DEFAULT_MAX_FRAME_BYTES,
+    self, Request, Response, WireQueryResult, WireShardResult, WireTopk, WireUpdateResult,
+    DEFAULT_MAX_FRAME_BYTES,
 };
 use rtk_api::service::{RtkService, ServiceError, ServiceResult};
 use std::collections::{HashMap, HashSet};
@@ -142,6 +143,15 @@ impl FromResponse for Vec<WireQueryResult> {
         match resp {
             Response::Batch(rs) => Ok(rs),
             other => remote_err(other, "batch results"),
+        }
+    }
+}
+
+impl FromResponse for WireUpdateResult {
+    fn from_response(resp: Response) -> Result<Self, ServerError> {
+        match resp {
+            Response::Updated(u) => Ok(u),
+            other => remote_err(other, "update ack"),
         }
     }
 }
@@ -553,6 +563,29 @@ impl Client {
         self.wait(pending)
     }
 
+    /// Inserts (or accumulates onto) the edge `from -> to` on the server
+    /// and incrementally repairs its index, serialized through the server's
+    /// write lock (wire v7). A router applies the update to every shard
+    /// backend's stable owner and reports the combined effect.
+    pub fn add_edge(
+        &mut self,
+        from: u32,
+        to: u32,
+        weight: f64,
+    ) -> Result<WireUpdateResult, ServerError> {
+        let pending = self.submit(&Request::AddEdge { from, to, weight })?;
+        let resp = self.wait(pending)?;
+        WireUpdateResult::from_response(resp)
+    }
+
+    /// Removes the edge `from -> to` on the server (wire v7); fails loudly
+    /// if the edge does not exist or removal would orphan `from`.
+    pub fn remove_edge(&mut self, from: u32, to: u32) -> Result<WireUpdateResult, ServerError> {
+        let pending = self.submit(&Request::RemoveEdge { from, to })?;
+        let resp = self.wait(pending)?;
+        WireUpdateResult::from_response(resp)
+    }
+
     /// Forward top-k proximity search from `u`.
     pub fn topk(&mut self, u: u32, k: u32, early: bool) -> Result<WireTopk, ServerError> {
         let pending = self.submit_topk(u, k, early)?;
@@ -645,6 +678,14 @@ impl RtkService for Client {
         self.wait(pending).map_err(transport)
     }
 
+    fn add_edge(&mut self, from: u32, to: u32, weight: f64) -> ServiceResult<WireUpdateResult> {
+        Client::add_edge(self, from, to, weight).map_err(transport)
+    }
+
+    fn remove_edge(&mut self, from: u32, to: u32) -> ServiceResult<WireUpdateResult> {
+        Client::remove_edge(self, from, to).map_err(transport)
+    }
+
     fn topk(&mut self, u: u32, k: u32, early: bool) -> ServiceResult<WireTopk> {
         Client::topk(self, u, k, early).map_err(transport)
     }
@@ -685,6 +726,7 @@ fn unexpected(wanted: &str, got: &Response) -> ServerError {
         Response::ShuttingDown => "shutting_down",
         Response::Persisted { .. } => "persisted",
         Response::ShardReverseTopk(_) => "shard_reverse_topk",
+        Response::Updated(_) => "updated",
         Response::Error { .. } => "error",
     };
     ServerError::Protocol(format!("expected {wanted}, got {variant} response"))

@@ -164,7 +164,7 @@ pub use metrics::{EngineInfo, ServerMetrics, StatsSnapshot};
 pub use router::{Router, RouterConfig};
 pub use rtk_api::{RtkService, ServiceError};
 pub use server::{Server, ServerConfig, ServerHandle};
-pub use wire::{Request, Response, WireQueryResult, WireShardResult, WireTopk};
+pub use wire::{Request, Response, WireQueryResult, WireShardResult, WireTopk, WireUpdateResult};
 
 #[cfg(test)]
 mod tests {

@@ -165,6 +165,8 @@ impl ServerMetrics {
             shutdown: get(RequestKind::Shutdown),
             persist: get(RequestKind::Persist),
             shard_reverse_topk: get(RequestKind::ShardReverseTopk),
+            add_edge: get(RequestKind::AddEdge),
+            remove_edge: get(RequestKind::RemoveEdge),
             protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
             engine_errors: self.engine_errors.load(Ordering::Relaxed),
             connections: self.connections.load(Ordering::Relaxed),
@@ -187,6 +189,7 @@ impl ServerMetrics {
             workers: engine.workers,
             shard_lo: engine.shard_lo,
             shard_hi: engine.shard_hi,
+            index_digest: engine.index_digest,
             shard_nodes,
             shard_bytes,
             kind_latency,
@@ -321,7 +324,15 @@ mod tests {
     use std::io::Cursor;
 
     fn info(nodes: u64) -> EngineInfo {
-        EngineInfo { nodes, edges: 1, max_k: 1, workers: 1, shard_lo: 0, shard_hi: nodes }
+        EngineInfo {
+            nodes,
+            edges: 1,
+            max_k: 1,
+            workers: 1,
+            shard_lo: 0,
+            shard_hi: nodes,
+            index_digest: 0,
+        }
     }
 
     #[test]

@@ -67,7 +67,7 @@ use crate::client::{Client, Pending};
 use crate::handler::ServiceHost;
 use crate::metrics::{EngineInfo, RequestKind, ServerMetrics};
 use crate::server::{serve_loop, wake_acceptor};
-use crate::wire::{Request, Response, WireQueryResult, DEFAULT_MAX_FRAME_BYTES};
+use crate::wire::{Request, Response, WireQueryResult, WireUpdateResult, DEFAULT_MAX_FRAME_BYTES};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rtk_api::service::{dispatch_request, RtkService, ServiceError, ServiceResult};
@@ -463,6 +463,8 @@ impl Router {
                 workers: workers as u32,
                 shard_lo: 0,
                 shard_hi: nodes,
+                // Filled per `stats` call from the live shard digests.
+                index_digest: 0,
             },
             metrics: ServerMetrics::new(),
             shutdown: AtomicBool::new(false),
@@ -1173,6 +1175,12 @@ impl RouterCtx {
     fn stats(&self) -> StatsSnapshot {
         let mut shard_nodes = Vec::with_capacity(self.shards.len());
         let mut shard_bytes = Vec::with_capacity(self.shards.len());
+        // Per-shard digests, concatenated little-endian in shard order —
+        // the tier digest folds them with the same FNV the backends use,
+        // so one `stats` round-trip checks replica convergence end to end.
+        let mut digest_bytes = Vec::with_capacity(self.shards.len() * 8);
+        let mut all_sampled = true;
+        let mut live_edges = None;
         for set in &self.shards {
             let healthy = set
                 .replicas
@@ -1180,22 +1188,125 @@ impl RouterCtx {
                 .position(|r| r.health.lock().expect("replica health lock").healthy);
             let sampled =
                 healthy.and_then(|idx| match self.try_replica(set, idx, &Request::Stats) {
-                    Ok(Response::Stats(s)) => Some((s.shard_nodes, s.shard_bytes)),
+                    Ok(Response::Stats(s)) => {
+                        Some((s.shard_nodes, s.shard_bytes, s.index_digest, s.edges))
+                    }
                     _ => None,
                 });
             match sampled {
-                Some((nodes, bytes)) => {
+                Some((nodes, bytes, digest, edges)) => {
                     shard_nodes.extend(nodes);
                     shard_bytes.extend(bytes);
+                    digest_bytes.extend_from_slice(&digest.to_le_bytes());
+                    // Dynamic updates move the edge count after the
+                    // handshake; every backend serves the full graph, so
+                    // any live sample is authoritative.
+                    live_edges.get_or_insert(edges);
                 }
                 None => {
                     shard_nodes.push(u64::from(set.node_hi - set.node_lo));
                     shard_bytes.push(0);
+                    all_sampled = false;
                 }
             }
         }
+        let mut engine_info = self.engine_info;
+        if let Some(edges) = live_edges {
+            engine_info.edges = edges;
+        }
+        // A digest over a partial sample would look like divergence; report
+        // 0 ("unknown") unless every shard answered.
+        engine_info.index_digest = if all_sampled { rtk_core::fnv1a64(&digest_bytes) } else { 0 };
         self.metrics
-            .snapshot(self.engine_info, shard_nodes, shard_bytes, self.unhealthy_count())
+            .snapshot(engine_info, shard_nodes, shard_bytes, self.unhealthy_count())
+    }
+
+    /// One dynamic-graph update against the shard's **stable owner** (the
+    /// first healthy replica in set order — the same copy update-mode
+    /// refinements commit to, so one replica per shard accumulates all
+    /// write traffic). Updates never retry and never fail over:
+    /// re-executing a non-idempotent edge update could double-apply it
+    /// (`add_edge` accumulates weight), and a restarted owner has lost its
+    /// un-persisted updates anyway — both must surface **loudly** so the
+    /// operator replays the update log (`rtk log replay`) and confirms
+    /// convergence via the stats `index_digest`.
+    fn update_call(&self, set: &ReplicaSet, request: &Request) -> Result<Response, String> {
+        let Some(&idx) = self.candidates(set, false).first() else {
+            return Err(format!(
+                "shard {} has no live replicas to apply the update ({} configured, all \
+                 unhealthy and backing off)",
+                set.shard_id,
+                set.replicas.len()
+            ));
+        };
+        match self.checkout(set, idx) {
+            Ok((mut client, _)) => match client.request(request) {
+                Ok(resp) => {
+                    self.mark_success(&set.replicas[idx]);
+                    self.checkin(&set.replicas[idx], client);
+                    Ok(resp)
+                }
+                Err(e) => {
+                    self.mark_failure(&set.replicas[idx]);
+                    Err(self.replica_label(set, idx, e))
+                }
+            },
+            Err(e) => {
+                self.mark_failure(&set.replicas[idx]);
+                Err(e)
+            }
+        }
+    }
+
+    /// Applies one edge update to **every shard's** stable owner, in shard
+    /// order. Each backend holds the full graph, so each applies the whole
+    /// update and repairs only its owned section; the effects sum to
+    /// exactly one full-index repair. Any shard failing fails the request
+    /// loudly — and names how many shards already applied the update, so
+    /// the operator knows the tier is divergent until the log is replayed.
+    /// The reported digest folds the per-shard digests in shard order
+    /// (same fold as the stats `index_digest`).
+    fn apply_update(&self, request: &Request) -> Result<WireUpdateResult, String> {
+        let mut recomputed_states = 0u64;
+        let mut recomputed_hubs = 0u64;
+        let mut digest_bytes = Vec::with_capacity(self.shards.len() * 8);
+        for (applied, set) in self.shards.iter().enumerate() {
+            let divergence = |m: String| {
+                format!(
+                    "{m} — update applied on {applied} of {} shards; the tier is divergent \
+                     until the update log is replayed (rtk log replay)",
+                    self.shards.len()
+                )
+            };
+            match self.update_call(set, request).map_err(&divergence)? {
+                Response::Updated(u) => {
+                    recomputed_states += u.recomputed_states;
+                    recomputed_hubs += u.recomputed_hubs;
+                    digest_bytes.extend_from_slice(&u.index_digest.to_le_bytes());
+                }
+                Response::Error { message, .. } => {
+                    // An application rejection (bad node, missing edge) is
+                    // atomic per backend: shard 0 rejects it exactly like
+                    // every later shard would, so nothing applied anywhere.
+                    return Err(if applied == 0 {
+                        format!("shard {}: {message}", set.shard_id)
+                    } else {
+                        divergence(format!("shard {}: {message}", set.shard_id))
+                    });
+                }
+                other => {
+                    return Err(divergence(format!(
+                        "shard {}: unexpected {other:?}",
+                        set.shard_id
+                    )));
+                }
+            }
+        }
+        Ok(WireUpdateResult {
+            recomputed_states,
+            recomputed_hubs,
+            index_digest: rtk_core::fnv1a64(&digest_bytes),
+        })
     }
 
     /// Fans `persist` out: each shard flushes its section to
@@ -1268,6 +1379,18 @@ impl RtkService for RouterService<'_> {
              will fan it out"
                 .to_string(),
         ))
+    }
+
+    fn add_edge(&mut self, from: u32, to: u32, weight: f64) -> ServiceResult<WireUpdateResult> {
+        self.0
+            .apply_update(&Request::AddEdge { from, to, weight })
+            .map_err(ServiceError::Engine)
+    }
+
+    fn remove_edge(&mut self, from: u32, to: u32) -> ServiceResult<WireUpdateResult> {
+        self.0
+            .apply_update(&Request::RemoveEdge { from, to })
+            .map_err(ServiceError::Engine)
     }
 
     fn topk(&mut self, u: u32, k: u32, early: bool) -> ServiceResult<WireTopk> {

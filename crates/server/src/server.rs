@@ -7,8 +7,8 @@ use crate::metrics::{EngineInfo, RequestKind, ServerMetrics};
 use crate::state::SharedEngine;
 use crate::wire::{Request, Response, DEFAULT_MAX_FRAME_BYTES};
 use rtk_api::service::{dispatch_request, RtkService, ServiceError, ServiceResult};
-use rtk_api::{StatsSnapshot, WireQueryResult, WireShardResult, WireTopk};
-use rtk_core::{ReverseTopkEngine, ShardEngine};
+use rtk_api::{StatsSnapshot, WireQueryResult, WireShardResult, WireTopk, WireUpdateResult};
+use rtk_core::{ReverseTopkEngine, ShardEngine, UpdateRecord};
 use rtk_graph::resolve_threads;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -67,6 +67,11 @@ pub struct ServerConfig {
     /// serves the process's counters at `GET /metrics` in Prometheus text
     /// format (see the `http` module). `None` (the default) serves none.
     pub metrics_addr: Option<String>,
+    /// When set, every applied `add_edge` / `remove_edge` is appended (and
+    /// fsynced) to this `RTKULOG1` file inside the update's write-lock
+    /// critical section — `snapshot + rtk log replay` then reproduces the
+    /// live engine byte for byte. `None` (the default) keeps no log.
+    pub update_log: Option<std::path::PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -81,6 +86,7 @@ impl Default for ServerConfig {
             auth_token: None,
             chaos: None,
             metrics_addr: None,
+            update_log: None,
         }
     }
 }
@@ -159,9 +165,28 @@ impl RtkService for ServerService<'_> {
         self.0.shared.batch(queries).map_err(ServiceError::Engine)
     }
 
+    fn add_edge(&mut self, from: u32, to: u32, weight: f64) -> ServiceResult<WireUpdateResult> {
+        self.0
+            .shared
+            .apply_update(UpdateRecord::AddEdge { from, to, weight })
+            .map_err(ServiceError::Engine)
+    }
+
+    fn remove_edge(&mut self, from: u32, to: u32) -> ServiceResult<WireUpdateResult> {
+        self.0
+            .shared
+            .apply_update(UpdateRecord::RemoveEdge { from, to })
+            .map_err(ServiceError::Engine)
+    }
+
     fn stats(&mut self) -> ServiceResult<StatsSnapshot> {
         let (shard_nodes, shard_bytes) = self.0.shared.shard_info();
-        Ok(self.0.metrics.snapshot(self.0.engine_info, shard_nodes, shard_bytes, 0))
+        // Edge count and digest are sampled live: dynamic updates move
+        // both after the bind-time snapshot in `engine_info`.
+        let mut info = self.0.engine_info;
+        info.edges = self.0.shared.edge_count();
+        info.index_digest = self.0.shared.index_digest();
+        Ok(self.0.metrics.snapshot(info, shard_nodes, shard_bytes, 0))
     }
 
     fn persist(&mut self, path: &str) -> ServiceResult<u64> {
@@ -405,6 +430,8 @@ impl Server {
         config: ServerConfig,
     ) -> io::Result<Self> {
         check_auth_token_len(config.auth_token.as_deref())?;
+        let mut shared = shared;
+        shared.set_update_log(config.update_log.clone());
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         let workers = resolve_threads(config.workers).max(1);
@@ -421,6 +448,8 @@ impl Server {
                 workers: workers as u32,
                 shard_lo,
                 shard_hi,
+                // Sampled live per `stats` call — see `ServerService::stats`.
+                index_digest: 0,
             },
             active_connections: AtomicU64::new(0),
             max_connections: config.max_connections,

@@ -22,9 +22,9 @@
 //! `persist`, `ping`, `shutdown`); full-index requests against it are
 //! engine errors, and vice versa.
 
-use crate::wire::{WireQueryResult, WireShardResult, WireTopk};
+use crate::wire::{WireQueryResult, WireShardResult, WireTopk, WireUpdateResult};
 use rtk_api::service::to_wire;
-use rtk_core::{ReverseTopkEngine, ShardEngine};
+use rtk_core::{ReverseTopkEngine, ShardEngine, UpdateRecord};
 use rtk_graph::NodeId;
 use rtk_query::QueryOptions;
 use std::sync::RwLock;
@@ -47,6 +47,10 @@ pub(crate) struct SharedEngine {
     /// When set, `persist` paths must be relative (no `..`) and resolve
     /// inside this directory (see `ServerConfig::persist_dir`).
     persist_dir: Option<std::path::PathBuf>,
+    /// When set, every applied edge update is appended (and fsynced) to
+    /// this `RTKULOG1` file inside the same write-lock critical section,
+    /// so log order is exactly apply order (see `ServerConfig::update_log`).
+    update_log: Option<std::path::PathBuf>,
 }
 
 impl SharedEngine {
@@ -59,6 +63,7 @@ impl SharedEngine {
             kind: EngineKind::Full(RwLock::new(engine)),
             query_threads: query_threads.max(1),
             persist_dir,
+            update_log: None,
         }
     }
 
@@ -71,7 +76,14 @@ impl SharedEngine {
             kind: EngineKind::Shard(RwLock::new(engine)),
             query_threads: query_threads.max(1),
             persist_dir,
+            update_log: None,
         }
+    }
+
+    /// Configures the append-only `RTKULOG1` update log (see
+    /// [`SharedEngine::apply_update`]).
+    pub(crate) fn set_update_log(&mut self, path: Option<std::path::PathBuf>) {
+        self.update_log = path;
     }
 
     /// `(nodes, edges, max_k, shard_lo, shard_hi)` of the served engine.
@@ -291,6 +303,64 @@ impl SharedEngine {
             ));
         }
         Ok(dir.join(rel))
+    }
+
+    /// Applies one edge update under the **write lock**: the graph
+    /// mutates, the touched transition rows rebuild, and the affected
+    /// index entries recompute before the lock drops — readers never
+    /// observe a half-applied update. With an update log configured, the
+    /// record is appended (and fsynced) inside the same critical section,
+    /// so `snapshot + replay(log)` reproduces this engine byte for byte.
+    /// Both engine kinds apply updates: each holds the full graph, and a
+    /// shard-only backend repairs just its owned section.
+    pub(crate) fn apply_update(&self, record: UpdateRecord) -> Result<WireUpdateResult, String> {
+        match &self.kind {
+            EngineKind::Full(e) => {
+                let mut engine = e.write().expect("engine lock");
+                let effect = engine.replay_updates(&[record]).map_err(|e| e.to_string())?;
+                self.log_update(&record)?;
+                Ok(WireUpdateResult {
+                    recomputed_states: effect.recomputed_states as u64,
+                    recomputed_hubs: effect.recomputed_hubs as u64,
+                    index_digest: engine.index_digest(),
+                })
+            }
+            EngineKind::Shard(e) => {
+                let mut engine = e.write().expect("engine lock");
+                let effect = engine.replay_updates(&[record]).map_err(|e| e.to_string())?;
+                self.log_update(&record)?;
+                Ok(WireUpdateResult {
+                    recomputed_states: effect.recomputed_states as u64,
+                    recomputed_hubs: effect.recomputed_hubs as u64,
+                    index_digest: engine.index_digest(),
+                })
+            }
+        }
+    }
+
+    fn log_update(&self, record: &UpdateRecord) -> Result<(), String> {
+        let Some(path) = &self.update_log else { return Ok(()) };
+        rtk_core::index::storage::append_update_log(path, record)
+            .map_err(|e| format!("update applied but logging to {path:?} failed: {e}"))
+    }
+
+    /// Stable FNV-1a digest of the serialized index as currently held —
+    /// the replica-convergence check `stats` reports. Serializes the index
+    /// under the read lock, so it is O(index bytes): cheap next to index
+    /// builds, but not free — it runs per `stats` call, not per query.
+    pub(crate) fn index_digest(&self) -> u64 {
+        match &self.kind {
+            EngineKind::Full(e) => e.read().expect("engine lock").index_digest(),
+            EngineKind::Shard(e) => e.read().expect("engine lock").index_digest(),
+        }
+    }
+
+    /// Live edge count — dynamic updates move it after startup.
+    pub(crate) fn edge_count(&self) -> u64 {
+        match &self.kind {
+            EngineKind::Full(e) => e.read().expect("engine lock").graph().edge_count() as u64,
+            EngineKind::Shard(e) => e.read().expect("engine lock").graph().edge_count() as u64,
+        }
     }
 
     /// Many independent frozen queries in one read-lock hold.

@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! magic      "RTKWIRE1"               8 bytes
-//! version    u32 (currently 6)        4 bytes   (must match exactly)
+//! version    u32 (currently 7)        4 bytes   (must match exactly)
 //! request_id u64                      8 bytes   (echoed on the response)
 //! length     u32 payload byte count   4 bytes   (bounded by the receiver)
 //! payload    `length` bytes
@@ -38,7 +38,7 @@ use rtk_sparse::codec::{self, DecodeError};
 use std::io::{Cursor, Read, Write};
 
 pub use rtk_api::model::{
-    Request, Response, StatsSnapshot, WireQueryResult, WireShardResult, WireTopk,
+    Request, Response, StatsSnapshot, WireQueryResult, WireShardResult, WireTopk, WireUpdateResult,
     MAX_AUTH_TOKEN_BYTES, MAX_BATCH_QUERIES, MAX_PERSIST_PATH_BYTES, STATUS_BUSY,
     STATUS_ENGINE_ERROR, STATUS_OK, STATUS_PROTOCOL_ERROR, STATUS_UNAUTHORIZED,
 };
@@ -56,8 +56,12 @@ pub const WIRE_MAGIC: &[u8; 8] = b"RTKWIRE1";
 /// `reverse_topk` / `shard_reverse_topk` requests, the optional trailing
 /// trace section on their responses, and the per-kind latency section of
 /// the stats snapshot — untraced v6 frames are byte-identical in shape to
-/// v5, so tracing costs nothing on the wire unless asked for).
-pub const WIRE_VERSION: u32 = 6;
+/// v5, so tracing costs nothing on the wire unless asked for; 7 added the
+/// dynamic-graph update pair `add_edge` / `remove_edge`, the `updated`
+/// response carrying the recompute effect plus the post-update index
+/// digest, and the `add_edge` / `remove_edge` counters + `index_digest`
+/// field of the stats snapshot).
+pub const WIRE_VERSION: u32 = 7;
 /// Default per-frame payload cap (16 MiB) — generous for batch responses,
 /// small enough that a malicious length prefix cannot balloon memory.
 pub const DEFAULT_MAX_FRAME_BYTES: u32 = 16 * 1024 * 1024;
@@ -75,6 +79,8 @@ const TAG_STATS: u32 = 4;
 const TAG_SHUTDOWN: u32 = 5;
 const TAG_PERSIST: u32 = 6;
 const TAG_SHARD_REVERSE_TOPK: u32 = 7;
+const TAG_ADD_EDGE: u32 = 8;
+const TAG_REMOVE_EDGE: u32 = 9;
 
 /// Writes one frame (header + length-prefixed payload) carrying
 /// `request_id`. Fails (rather than silently truncating the length prefix)
@@ -167,6 +173,17 @@ pub fn encode_request_authed(req: &Request, token: &[u8]) -> Vec<u8> {
                 codec::write_u32(w, k).unwrap();
             }
         }
+        Request::AddEdge { from, to, weight } => {
+            codec::write_u32(w, TAG_ADD_EDGE).unwrap();
+            codec::write_u32(w, *from).unwrap();
+            codec::write_u32(w, *to).unwrap();
+            codec::write_f64(w, *weight).unwrap();
+        }
+        Request::RemoveEdge { from, to } => {
+            codec::write_u32(w, TAG_REMOVE_EDGE).unwrap();
+            codec::write_u32(w, *from).unwrap();
+            codec::write_u32(w, *to).unwrap();
+        }
         Request::Stats => codec::write_u32(w, TAG_STATS).unwrap(),
         Request::Shutdown => codec::write_u32(w, TAG_SHUTDOWN).unwrap(),
         Request::Persist { path } => {
@@ -214,6 +231,22 @@ pub fn decode_request(payload: &[u8]) -> Result<(Vec<u8>, Request), DecodeError>
                 queries.push((codec::read_u32(&mut r)?, codec::read_u32(&mut r)?));
             }
             Request::Batch { queries }
+        }
+        TAG_ADD_EDGE => {
+            let from = codec::read_u32(&mut r)?;
+            let to = codec::read_u32(&mut r)?;
+            let weight = codec::read_f64(&mut r)?;
+            // The engine enforces this too, but rejecting at the codec keeps
+            // NaN / zero weights out of every server flavor uniformly.
+            if !(weight.is_finite() && weight > 0.0) {
+                return Err(DecodeError::Corrupt(format!(
+                    "add_edge weight must be finite and positive, got {weight}"
+                )));
+            }
+            Request::AddEdge { from, to, weight }
+        }
+        TAG_REMOVE_EDGE => {
+            Request::RemoveEdge { from: codec::read_u32(&mut r)?, to: codec::read_u32(&mut r)? }
         }
         TAG_STATS => Request::Stats,
         TAG_SHUTDOWN => Request::Shutdown,
@@ -302,6 +335,14 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
                 trace.encode(w).unwrap();
             }
         }
+        Response::Updated(u) => {
+            // One tag for both update kinds: the response shape is identical
+            // and the client already knows which request it sent.
+            codec::write_u32(w, TAG_ADD_EDGE).unwrap();
+            codec::write_u64(w, u.recomputed_states).unwrap();
+            codec::write_u64(w, u.recomputed_hubs).unwrap();
+            codec::write_u64(w, u.index_digest).unwrap();
+        }
         Response::Error { .. } => unreachable!("handled above"),
     }
     out
@@ -360,6 +401,11 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, ServerError> {
             let shard_bound = payload.len() as u64 / 16;
             Response::Stats(Box::new(StatsSnapshot::decode(&mut r, shard_bound)?))
         }
+        TAG_ADD_EDGE => Response::Updated(WireUpdateResult {
+            recomputed_states: codec::read_u64(&mut r)?,
+            recomputed_hubs: codec::read_u64(&mut r)?,
+            index_digest: codec::read_u64(&mut r)?,
+        }),
         TAG_SHUTDOWN => Response::ShuttingDown,
         TAG_PERSIST => Response::Persisted { bytes: codec::read_u64(&mut r)? },
         TAG_SHARD_REVERSE_TOPK => {
@@ -495,6 +541,9 @@ mod tests {
             Request::Stats,
             Request::Shutdown,
             Request::Persist { path: "/tmp/snapshot.rtke".into() },
+            Request::AddEdge { from: 3, to: 9, weight: 2.5 },
+            Request::AddEdge { from: 0, to: 0, weight: f64::MIN_POSITIVE },
+            Request::RemoveEdge { from: 9, to: 3 },
         ];
         for req in reqs {
             let payload = encode_request(&req);
@@ -537,6 +586,11 @@ mod tests {
             Response::Batch(vec![]),
             Response::ShuttingDown,
             Response::Persisted { bytes: 123_456 },
+            Response::Updated(WireUpdateResult {
+                recomputed_states: 41,
+                recomputed_hubs: 2,
+                index_digest: 0x1234_5678_9abc_def0,
+            }),
             Response::ShardReverseTopk(WireShardResult {
                 shard_id: 2,
                 node_lo: 100,
@@ -615,6 +669,36 @@ mod tests {
             read_frame(&mut Cursor::new(buf), 1024).unwrap_err(),
             DecodeError::UnsupportedVersion { found: 3, supported: WIRE_VERSION }
         ));
+    }
+
+    #[test]
+    fn v6_peer_is_rejected_not_misparsed() {
+        // v7 added request tags 8/9 and the stats digest field; a v6 peer
+        // must be turned away with both versions named, not half-parsed.
+        let mut buf = Vec::new();
+        codec::write_header(&mut buf, WIRE_MAGIC, 6).unwrap();
+        codec::write_u64(&mut buf, 1).unwrap();
+        codec::write_u32(&mut buf, 0).unwrap();
+        assert!(matches!(
+            read_frame(&mut Cursor::new(buf), 1024).unwrap_err(),
+            DecodeError::UnsupportedVersion { found: 6, supported: WIRE_VERSION }
+        ));
+    }
+
+    #[test]
+    fn add_edge_weight_is_validated_at_the_codec() {
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let mut payload = Vec::new();
+            codec::write_bytes(&mut payload, b"").unwrap(); // empty auth token
+            codec::write_u32(&mut payload, 8).unwrap(); // TAG_ADD_EDGE
+            codec::write_u32(&mut payload, 1).unwrap();
+            codec::write_u32(&mut payload, 2).unwrap();
+            codec::write_f64(&mut payload, bad).unwrap();
+            assert!(
+                matches!(decode_request(&payload).unwrap_err(), DecodeError::Corrupt(_)),
+                "weight {bad} must be rejected"
+            );
+        }
     }
 
     #[test]

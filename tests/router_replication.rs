@@ -16,7 +16,13 @@
 //!   error;
 //! * startup validation: overlapping-but-not-identical replica ranges are
 //!   rejected, duplicate backend addresses are deduplicated, and a tier
-//!   whose backends are all down fails to bind with a clean error.
+//!   whose backends are all down fails to bind with a clean error;
+//! * an edge-update stream whose stable owner is killed mid-stream: the
+//!   next update fails loudly (naming how many shards applied it — the
+//!   tier is divergent, updates never silently fail over), and replaying
+//!   the surviving owner's `RTKULOG1` log over the seed slices rebuilds a
+//!   tier that is bitwise identical to a single-process engine that
+//!   applied the same updates.
 
 use rtk_core::{ReverseTopkEngine, ShardEngine};
 use rtk_graph::gen::{rmat, RmatConfig};
@@ -281,6 +287,262 @@ fn connection_severing_replica_is_retried_transparently() {
     }
     direct.shutdown().expect("single shutdown");
     single.join().expect("single join");
+}
+
+/// Like [`build_engine`] but with rounding disabled: update tests compare
+/// serialized-index digests of incrementally-maintained engines against
+/// replayed ones, and rounded hub vectors persist an aggregate
+/// unrounded-nnz count an incremental recompute cannot reproduce.
+fn build_exact_engine() -> ReverseTopkEngine {
+    ReverseTopkEngine::builder(graph())
+        .max_k(MAX_K)
+        .hubs_per_direction(6)
+        .threads(1)
+        .shards(SHARDS)
+        .rounding_threshold(0.0)
+        .build()
+        .expect("engine build")
+}
+
+/// Starts one replica of shard `sid` that appends every applied update to
+/// `log`, exactly as `rtk serve --shard-only --update-log` would.
+fn spawn_logged_replica(
+    engine: &ReverseTopkEngine,
+    sid: usize,
+    addr: &str,
+    log: &std::path::Path,
+) -> ServerHandle {
+    let slice = ShardSlice::from_index(engine.index(), sid).expect("shard slice");
+    let shard_engine = ShardEngine::from_parts(graph(), slice).expect("shard engine");
+    let config =
+        ServerConfig { workers: 2, update_log: Some(log.to_path_buf()), ..Default::default() };
+    Server::bind_shard(shard_engine, addr, config).expect("bind replica").spawn()
+}
+
+/// A deterministic edge-update stream that is valid against `g` at every
+/// step: fresh inserts between live nodes, with every third step removing
+/// one of its own earlier inserts (never an original edge, so no node can
+/// be orphaned). Mutates `g` as the mirror of the applied stream.
+fn update_stream(g: &mut DiGraph, len: usize) -> Vec<rtk_core::UpdateRecord> {
+    use rtk_core::UpdateRecord;
+    let n = g.node_count() as u32;
+    let mut live_inserts: Vec<(u32, u32)> = Vec::new();
+    let mut records = Vec::with_capacity(len);
+    let mut cursor = 0u32;
+    for step in 0..len {
+        if step % 3 == 2 && !live_inserts.is_empty() {
+            let (from, to) = live_inserts.remove(0);
+            g.remove_edge(from, to).expect("mirror removal");
+            records.push(UpdateRecord::RemoveEdge { from, to });
+            continue;
+        }
+        // Next fresh pair: a `from` that keeps out-degree >= 1 after any
+        // later removal, and a `to` it does not reach yet.
+        let (from, to) = loop {
+            let from = (cursor * 37 + 11) % n;
+            cursor += 1;
+            if g.out_degree(from) == 0 {
+                continue;
+            }
+            if let Some(to) = (0..n).find(|&t| t != from && !g.has_edge(from, t)) {
+                break (from, to);
+            }
+        };
+        let weight = 0.5 + step as f64 * 0.25;
+        g.add_edge(from, to, weight).expect("mirror insert");
+        live_inserts.push((from, to));
+        records.push(UpdateRecord::AddEdge { from, to, weight });
+    }
+    records
+}
+
+#[test]
+fn update_stream_survives_owner_kill_with_loud_errors_and_replay_recovery() {
+    use rtk_core::UpdateRecord;
+
+    let dir = std::env::temp_dir().join("rtk_test_router_updates");
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let logs: Vec<std::path::PathBuf> = (0..SHARDS * 2)
+        .map(|i| dir.join(format!("shard{}-rep{}.rtkl", i / 2, i % 2)))
+        .collect();
+
+    // One full engine for slicing and (later) the single-process reference,
+    // plus in-process mirror shard engines that track what each shard's
+    // owner should hold after every acknowledged update.
+    let mut sharded = build_exact_engine();
+    let mut mirrors: Vec<ShardEngine> = (0..SHARDS)
+        .map(|sid| {
+            let slice = ShardSlice::from_index(sharded.index(), sid).expect("mirror slice");
+            ShardEngine::from_parts(graph(), slice).expect("mirror engine")
+        })
+        .collect();
+
+    let mut handles: Vec<Option<ServerHandle>> = (0..SHARDS * 2)
+        .map(|i| Some(spawn_logged_replica(&sharded, i / 2, "127.0.0.1:0", &logs[i])))
+        .collect();
+    let addrs: Vec<String> =
+        handles.iter().map(|h| h.as_ref().unwrap().addr().to_string()).collect();
+    // A long probe interval freezes the health view for the whole test:
+    // after the owner kill, the router still targets the dead owner — the
+    // update must fail loudly instead of quietly failing over (re-applying
+    // an `add_edge` on another replica would double-accumulate weight).
+    let config = RouterConfig { probe_interval: Duration::from_secs(30), ..Default::default() };
+    let router = Router::bind(&addrs, "127.0.0.1:0", config).expect("bind router").spawn();
+    let mut client = Client::connect(router.addr()).expect("connect router");
+
+    // Healthy phase: stream updates through the tier. Every ack's digest
+    // must equal the fold of the mirror shard digests — the replica layer
+    // may move bytes around, never change them.
+    let mut reference_graph = graph();
+    let records = update_stream(&mut reference_graph, 12);
+    for (step, record) in records.iter().enumerate() {
+        let ack = match *record {
+            UpdateRecord::AddEdge { from, to, weight } => client.add_edge(from, to, weight),
+            UpdateRecord::RemoveEdge { from, to } => client.remove_edge(from, to),
+        }
+        .unwrap_or_else(|e| panic!("healthy-phase update {step} failed: {e}"));
+        let mut digest_bytes = Vec::with_capacity(SHARDS * 8);
+        for mirror in &mut mirrors {
+            mirror.replay_updates(std::slice::from_ref(record)).expect("mirror replay");
+            digest_bytes.extend_from_slice(&mirror.index_digest().to_le_bytes());
+        }
+        assert_eq!(
+            ack.index_digest,
+            rtk_core::fnv1a64(&digest_bytes),
+            "step {step}: tier digest diverged from the in-process mirrors"
+        );
+    }
+
+    // Each shard has exactly one stable owner: the backend whose log holds
+    // the stream. Standbys never see updates (they go stale by design,
+    // repaired below by log replay) — their logs must not even exist.
+    let log_len = |p: &std::path::Path| std::fs::metadata(p).map(|m| m.len()).unwrap_or(0);
+    let owners: Vec<usize> = (0..SHARDS)
+        .map(|sid| {
+            let (a, b) = (2 * sid, 2 * sid + 1);
+            match (log_len(&logs[a]) > 0, log_len(&logs[b]) > 0) {
+                (true, false) => a,
+                (false, true) => b,
+                other => panic!("shard {sid}: expected exactly one owner log, got {other:?}"),
+            }
+        })
+        .collect();
+
+    // Kill shard 1's owner, then push one more update. Shard 0 (applied
+    // first, in shard order) succeeds; shard 1 fails — the error must name
+    // the partial application and point at log replay. Joining the handle
+    // makes the kill synchronous: a draining victim could still serve one
+    // last update.
+    let victim = handles[owners[1]].take().expect("victim handle");
+    let mut backdoor = Client::connect(victim.addr()).expect("owner backdoor");
+    backdoor.shutdown().expect("owner shutdown");
+    victim.join().expect("victim join");
+    let failed = match update_stream(&mut reference_graph, 1).remove(0) {
+        UpdateRecord::AddEdge { from, to, weight } => (from, to, weight),
+        r => panic!("expected an insert, got {r:?}"),
+    };
+    let err = client
+        .add_edge(failed.0, failed.1, failed.2)
+        .expect_err("update with a dead owner must fail loudly")
+        .to_string();
+    assert!(
+        err.contains("update applied on 1 of 2 shards"),
+        "error must name the partial application: {err}"
+    );
+    assert!(err.contains("rtk log replay"), "error must point at log replay: {err}");
+
+    // Tear the divergent tier down before rebuilding from the logs.
+    client.shutdown().expect("router shutdown");
+    router.join().expect("router join");
+    for (i, h) in handles.into_iter().enumerate() {
+        if let Some(h) = h {
+            h.join().unwrap_or_else(|e| panic!("backend {i} join: {e}"));
+        }
+    }
+
+    // The logs tell the divergence story exactly: shard 0's owner logged
+    // the half-applied update, shard 1's owner died before it.
+    let partial = UpdateRecord::AddEdge { from: failed.0, to: failed.1, weight: failed.2 };
+    let mut applied = records.clone();
+    applied.push(partial);
+    let shard0_log =
+        rtk_index::storage::load_update_log(&logs[owners[0]]).expect("shard 0 owner log");
+    assert_eq!(shard0_log, applied, "shard 0 log must include the half-applied update");
+    let shard1_log =
+        rtk_index::storage::load_update_log(&logs[owners[1]]).expect("shard 1 owner log");
+    assert_eq!(shard1_log, records, "shard 1 log must stop at the last full application");
+
+    // Recovery: replay the *most complete* owner log over every shard's
+    // seed slice. Digests must converge on the mirrors (which now also
+    // apply the partial update) — bitwise, not approximately.
+    for mirror in &mut mirrors {
+        mirror.replay_updates(std::slice::from_ref(&partial)).expect("mirror catch-up");
+    }
+    let recovered: Vec<ShardEngine> = (0..SHARDS)
+        .map(|sid| {
+            let slice = ShardSlice::from_index(sharded.index(), sid).expect("recovery slice");
+            let mut engine = ShardEngine::from_parts(graph(), slice).expect("recovery engine");
+            engine.replay_updates(&shard0_log).expect("recovery replay");
+            assert_eq!(
+                engine.index_digest(),
+                mirrors[sid].index_digest(),
+                "shard {sid}: seed + replay(log) must reproduce the live owner bitwise"
+            );
+            engine
+        })
+        .collect();
+
+    // Respawn the tier from the recovered engines and pin its answers to a
+    // single-process engine that applied the same stream.
+    let tier_digest = {
+        let mut bytes = Vec::with_capacity(SHARDS * 8);
+        for e in &recovered {
+            bytes.extend_from_slice(&e.index_digest().to_le_bytes());
+        }
+        rtk_core::fnv1a64(&bytes)
+    };
+    let handles: Vec<ServerHandle> = recovered
+        .into_iter()
+        .map(|engine| {
+            let config = ServerConfig { workers: 2, ..Default::default() };
+            Server::bind_shard(engine, "127.0.0.1:0", config)
+                .expect("bind recovered")
+                .spawn()
+        })
+        .collect();
+    let addrs: Vec<String> = handles.iter().map(|h| h.addr().to_string()).collect();
+    let router = Router::bind(&addrs, "127.0.0.1:0", RouterConfig::default())
+        .expect("bind recovered router")
+        .spawn();
+    let mut client = Client::connect(router.addr()).expect("connect recovered router");
+    let stats = client.stats().expect("recovered stats");
+    assert_eq!(
+        stats.index_digest, tier_digest,
+        "one stats round-trip must confirm replica convergence after replay"
+    );
+
+    sharded.replay_updates(&applied).expect("reference replay");
+    assert_eq!(sharded.graph(), &reference_graph, "reference engine graph drifted");
+    let single = Server::bind(sharded, "127.0.0.1:0", ServerConfig::default())
+        .expect("bind single")
+        .spawn();
+    let mut direct = Client::connect(single.addr()).expect("connect single");
+    let queries = workload();
+    let reference = direct.pipeline(&queries, false).expect("reference batch");
+    let recovered_answers = client.pipeline(&queries, false).expect("recovered batch");
+    for (i, (a, b)) in recovered_answers.iter().zip(&reference).enumerate() {
+        assert_bitwise(a, b, &format!("post-recovery query {i}"));
+    }
+
+    client.shutdown().expect("recovered router shutdown");
+    router.join().expect("recovered router join");
+    for h in handles {
+        h.join().expect("recovered replica join");
+    }
+    direct.shutdown().expect("single shutdown");
+    single.join().expect("single join");
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]
