@@ -1,69 +1,193 @@
-//! Approximate-query study — the variant the paper sketches in §5.3:
-//! *"an approximated query algorithm, which only takes the hits as result
-//! and stops further exploration, would save even more time"*.
+//! Approximate-serving study — the `rtk-approx` bounded-error screen
+//! (bidirectional estimator) swept over ε × walk budgets.
 //!
-//! Measures, per `k`: exact vs approximate query time, and the approximate
-//! mode's recall (its results are always a subset of the exact answer).
+//! For every (ε, walks) cell the binary measures, against the exact
+//! two-phase query as oracle:
+//!
+//! * mean exact vs approx query time and the resulting speedup;
+//! * the exact-fallback fraction (share of screened candidates that fell
+//!   inside the ε-band and took the exact refinement anyway);
+//! * the observed worst-case error: for every node on which the two
+//!   answers disagree, the true margin `|p_u(q) − p̂_u(k)|` from a
+//!   high-precision power iteration.
+//!
+//! The error contract is a **gate**, not a statistic: any disagreement
+//! with a margin above ε aborts the run with a nonzero exit, and ε = 0
+//! must be bitwise identical to the exact path. Results merge into
+//! `BENCH_query.json` under `"approx_sweep"`.
 //!
 //! ```sh
 //! cargo run --release -p rtk-bench --bin approx_study -- --quick
 //! ```
 
-use rtk_bench::{banner, graph_summary, index_config, mean, print_table, query_workload};
-use rtk_datasets::{paper_datasets, web_cs_sim};
+use rtk_bench::{
+    banner, graph_json, graph_summary, mean, merge_json_artifact, obj, print_table, query_workload,
+};
+use rtk_graph::gen::{rmat, RmatConfig};
 use rtk_graph::TransitionMatrix;
-use rtk_index::ReverseIndex;
-use rtk_query::{QueryEngine, QueryOptions};
+use rtk_index::{HubSelection, IndexConfig, ReverseIndex};
+use rtk_obs::{log_event, Json, Level};
+use rtk_query::query::TIE_EPSILON;
+use rtk_query::{ApproxParams, QueryEngine, QueryOptions};
+use rtk_rwr::{proximity_from, RwrParams};
 
-const KS: [usize; 5] = [5, 10, 20, 50, 100];
+const OUT_PATH: &str = "BENCH_query.json";
+const K: usize = 10;
+const EPSILONS: [f64; 4] = [0.0, 1e-3, 1e-4, 1e-5];
+const WALK_BUDGETS: [u32; 3] = [8, 32, 128];
+const SEED: u64 = 0xA118;
 
 fn main() {
     let args = rtk_bench::Args::parse();
-    let queries = args.workload(50, 500);
-    let graph = web_cs_sim();
+    let queries = args.workload(20, 200);
+    let (nodes, edges) = if args.quick { (1500, 6500) } else { (8000, 36000) };
+    let graph = rmat(&RmatConfig::new(nodes, edges, SEED)).expect("rmat");
     banner(
-        "Approximate mode",
-        "the hits-only variant suggested in §5.3",
-        &format!("web-cs-sim ({})", graph_summary(&graph)),
-        &format!("{queries} queries per k"),
+        "Approx sweep",
+        "the rtk-approx bounded-error screen (ε × walk budget)",
+        &format!("rmat ({})", graph_summary(&graph)),
+        &format!("{queries} queries per cell, k = {K}"),
     );
 
     let transition = TransitionMatrix::new(&graph);
-    let spec = &paper_datasets()[0];
-    let base_index =
-        ReverseIndex::build(&transition, index_config(spec, spec.default_b, graph.node_count()))
-            .expect("index build");
-    let workload = query_workload(graph.node_count(), queries, 0xA117);
+    let config = IndexConfig {
+        max_k: 50,
+        hub_selection: HubSelection::DegreeBased { b: 20 },
+        threads: 0,
+        ..Default::default()
+    };
+    let index = ReverseIndex::build(&transition, config).expect("index build");
+    let workload = query_workload(graph.node_count(), queries, SEED);
+
+    // The exact pass once, reused as the oracle for every cell.
+    let mut session = QueryEngine::new(&index);
+    let exact_opts = QueryOptions::default();
+    let mut exact_answers = Vec::with_capacity(workload.len());
+    let mut t_exact = Vec::new();
+    for &q in &workload {
+        let e = session
+            .query_frozen(&transition, &index, q, K, &exact_opts)
+            .expect("exact query");
+        t_exact.push(e.stats().total_seconds);
+        exact_answers.push(e);
+    }
+    let exact_mean = mean(&t_exact);
 
     let mut rows = Vec::new();
-    for &k in &KS {
-        // Exact pass (frozen index so both passes see identical bounds).
-        let mut session = QueryEngine::new(&base_index);
-        let exact_opts = QueryOptions::default();
-        let approx_opts = QueryOptions { approximate: true, ..Default::default() };
-        let mut t_exact = Vec::new();
-        let mut t_approx = Vec::new();
-        let mut recall = Vec::new();
-        for &q in &workload {
-            let e = session.query_frozen(&transition, &base_index, q, k, &exact_opts).unwrap();
-            t_exact.push(e.stats().total_seconds);
-            let a = session.query_frozen(&transition, &base_index, q, k, &approx_opts).unwrap();
-            t_approx.push(a.stats().total_seconds);
-            debug_assert!(a.nodes().iter().all(|u| e.contains(*u)));
-            if !e.is_empty() {
-                recall.push(a.len() as f64 / e.len() as f64);
+    let mut rows_json = Vec::new();
+    for &epsilon in &EPSILONS {
+        // ε = 0 is the exact path; the walk budget is inert there, so one
+        // cell suffices.
+        let budgets: &[u32] = if epsilon == 0.0 { &WALK_BUDGETS[..1] } else { &WALK_BUDGETS };
+        for &walks in budgets {
+            let approx_opts = QueryOptions {
+                approx: Some(ApproxParams { epsilon, walks, seed: SEED }),
+                ..Default::default()
+            };
+            let mut t_approx = Vec::new();
+            let mut estimated = 0u64;
+            let mut refined = 0u64;
+            let mut max_error = 0.0f64;
+            for (i, &q) in workload.iter().enumerate() {
+                let a = session
+                    .query_frozen(&transition, &index, q, K, &approx_opts)
+                    .expect("approx query");
+                t_approx.push(a.stats().total_seconds);
+                estimated += a.stats().approx_estimated;
+                refined += a.stats().approx_exact_refined;
+                max_error =
+                    max_error.max(observed_error(&transition, &exact_answers[i], &a, q, epsilon));
             }
+            let approx_mean = mean(&t_approx);
+            let speedup = if approx_mean > 0.0 { exact_mean / approx_mean } else { 0.0 };
+            let screened = estimated + refined;
+            let fallback = if screened > 0 { refined as f64 / screened as f64 } else { 0.0 };
+            rows.push(vec![
+                format!("{epsilon:.0e}"),
+                walks.to_string(),
+                format!("{exact_mean:.5}"),
+                format!("{approx_mean:.5}"),
+                format!("{speedup:.2}x"),
+                format!("{fallback:.3}"),
+                format!("{max_error:.2e}"),
+            ]);
+            rows_json.push(obj(vec![
+                ("epsilon", Json::F64(epsilon)),
+                ("walks", Json::U64(u64::from(walks))),
+                ("exact_mean_seconds", Json::F64(exact_mean)),
+                ("approx_mean_seconds", Json::F64(approx_mean)),
+                ("speedup_vs_exact", Json::F64(speedup)),
+                ("exact_fallback_fraction", Json::F64(fallback)),
+                ("observed_max_error", Json::F64(max_error)),
+                ("within_contract", Json::Bool(true)),
+            ]));
         }
-        rows.push(vec![
-            k.to_string(),
-            format!("{:.4}", mean(&t_exact)),
-            format!("{:.4}", mean(&t_approx)),
-            format!("{:.3}", mean(&recall)),
-        ]);
     }
-    print_table(&["k", "exact (s)", "approx (s)", "recall"], &rows);
-    println!(
-        "\n(approximate results are a subset of the exact answer by construction;\n\
-         the paper predicted high recall because hits ≈ results on web graphs)"
+    print_table(
+        &["epsilon", "walks", "exact (s)", "approx (s)", "speedup", "fallback", "max error"],
+        &rows,
     );
+    println!(
+        "\n(every disagreement's true margin was checked against ε — the run\n\
+         aborts on contract violation, so a finished sweep is a passed gate)"
+    );
+
+    let section = obj(vec![
+        ("graph", graph_json("rmat", graph.node_count(), graph.edge_count(), SEED)),
+        ("k", Json::U64(K as u64)),
+        ("queries", Json::U64(workload.len() as u64)),
+        ("rows", Json::Arr(rows_json)),
+    ]);
+    merge_json_artifact(OUT_PATH, "approx_sweep", &section);
+}
+
+/// Returns the worst true margin among the nodes where `approx` and
+/// `exact` disagree — and **aborts** when the contract is broken: a
+/// disagreement farther than ε from its decision boundary, or any
+/// difference at all at ε = 0.
+fn observed_error(
+    transition: &TransitionMatrix<'_>,
+    exact: &rtk_query::QueryResult,
+    approx: &rtk_query::QueryResult,
+    q: u32,
+    epsilon: f64,
+) -> f64 {
+    if epsilon == 0.0 {
+        let bits_equal = approx.nodes() == exact.nodes()
+            && approx
+                .proximities()
+                .iter()
+                .zip(exact.proximities())
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+        if !bits_equal || approx.stats().approx_active {
+            log_event(
+                Level::Error,
+                "approx_study",
+                &format!("gate: ε=0 answer for q={q} is not bitwise exact"),
+                &[],
+            );
+            std::process::exit(1);
+        }
+        return 0.0;
+    }
+    let got: std::collections::BTreeSet<u32> = approx.nodes().iter().copied().collect();
+    let want: std::collections::BTreeSet<u32> = exact.nodes().iter().copied().collect();
+    let mut worst = 0.0f64;
+    let oracle = RwrParams { epsilon: 1e-14, ..Default::default() };
+    for &u in want.symmetric_difference(&got) {
+        let (col, _) = proximity_from(transition, u, &oracle);
+        let kth = rtk_sparse::dense::kth_largest(&col, exact.k());
+        let margin = (col[q as usize] - kth).abs();
+        if margin > epsilon + TIE_EPSILON {
+            log_event(
+                Level::Error,
+                "approx_study",
+                &format!("gate: q={q} u={u} margin {margin:.3e} exceeds ε = {epsilon:.0e}"),
+                &[],
+            );
+            std::process::exit(1);
+        }
+        worst = worst.max(margin);
+    }
+    worst
 }

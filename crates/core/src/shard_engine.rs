@@ -145,8 +145,26 @@ impl ShardEngine {
         k: usize,
         options: &QueryOptions,
     ) -> Result<QueryResult, EngineError> {
+        let (result, _) = self.query_shard_frozen_with_pmpn(q, k, options, None, false)?;
+        Ok(result)
+    }
+
+    /// [`Self::query_shard_frozen`] with PMPN sharing: `pmpn` supplies a
+    /// precomputed proximity-to-`q` vector so this backend can skip the
+    /// solve, and `want_pmpn` asks for the locally solved vector back so a
+    /// router can solve once per query and ship the result to the other
+    /// shards. The returned vector is `None` unless `want_pmpn` and the
+    /// exact solve actually ran (approx mode has no exact PMPN).
+    pub fn query_shard_frozen_with_pmpn(
+        &self,
+        q: NodeId,
+        k: usize,
+        options: &QueryOptions,
+        pmpn: Option<&[f64]>,
+        want_pmpn: bool,
+    ) -> Result<(QueryResult, Option<Vec<f64>>), EngineError> {
         let opts = QueryOptions { update_index: false, ..*options };
-        let (result, _) = self.session.query_shard(
+        let (result, _, pmpn_out) = self.session.query_shard_with_pmpn(
             &self.transition(),
             &self.hub_matrix,
             self.config.alpha(),
@@ -155,8 +173,10 @@ impl ShardEngine {
             q.0,
             k,
             &opts,
+            pmpn,
+            want_pmpn,
         )?;
-        Ok(result)
+        Ok((result, pmpn_out))
     }
 
     /// The shard-scoped slice of an update-mode reverse top-k query: like
@@ -170,8 +190,22 @@ impl ShardEngine {
         k: usize,
         options: &QueryOptions,
     ) -> Result<QueryResult, EngineError> {
+        let (result, _) = self.query_shard_update_with_pmpn(q, k, options, None, false)?;
+        Ok(result)
+    }
+
+    /// [`Self::query_shard_update`] with PMPN sharing — see
+    /// [`Self::query_shard_frozen_with_pmpn`].
+    pub fn query_shard_update_with_pmpn(
+        &mut self,
+        q: NodeId,
+        k: usize,
+        options: &QueryOptions,
+        pmpn: Option<&[f64]>,
+        want_pmpn: bool,
+    ) -> Result<(QueryResult, Option<Vec<f64>>), EngineError> {
         let opts = QueryOptions { update_index: true, ..*options };
-        let (result, commits) = self.session.query_shard(
+        let (result, commits, pmpn_out) = self.session.query_shard_with_pmpn(
             &self.transition(),
             &self.hub_matrix,
             self.config.alpha(),
@@ -180,11 +214,13 @@ impl ShardEngine {
             q.0,
             k,
             &opts,
+            pmpn,
+            want_pmpn,
         )?;
         for (u, state) in commits {
             self.shard.commit_state(u, state);
         }
-        Ok(result)
+        Ok((result, pmpn_out))
     }
 
     /// Forward top-k RWR search (full graph — shard-independent).

@@ -8,12 +8,20 @@
 //! * **MC Complete Path** counts *every visit* to `v` and scales by `α`,
 //!   using `E[visits to v] = p_u(v)/α` — strictly lower variance per walk.
 //!
+//! Walks are embarrassingly parallel, so both estimators fan out over the
+//! persistent [`WorkerPool`]. Each walk draws from its own RNG seeded
+//! `seed + walk_index`, which makes the estimate a pure function of
+//! `(graph, source, params)` — independent of thread count, chunk size, and
+//! scheduling order. Per-chunk visit tallies are integers, so the final merge
+//! is an exact sum with no floating-point order sensitivity.
+//!
 //! The paper's index cannot be built on these (they are unbiased estimates,
 //! not lower bounds — §6.1), but they serve as fast approximate baselines and
 //! as statistical cross-checks in the test suite.
 
 use rand::{rngs::StdRng, Rng, SeedableRng};
 use rtk_graph::TransitionMatrix;
+use rtk_sparse::WorkerPool;
 
 /// Parameters for the Monte Carlo estimators.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -43,6 +51,10 @@ impl McParams {
     }
 }
 
+/// Walk indices per pool task. Small enough to load-balance uneven walk
+/// lengths, large enough to amortise the per-task `vec![0; n]` tally.
+const WALK_CHUNK: u32 = 2_048;
+
 /// Samples one transition out of `node` according to the transition
 /// probabilities (linear scan of the out-edges; fine for simulation use).
 fn step(transition: &TransitionMatrix<'_>, node: u32, rng: &mut StdRng) -> u32 {
@@ -60,44 +72,121 @@ fn step(transition: &TransitionMatrix<'_>, node: u32, rng: &mut StdRng) -> u32 {
     *targets.last().expect("non-empty out list")
 }
 
+/// Simulates one restart-terminated walk from `start` and returns the node
+/// the restart coin fired on. The caller owns the RNG, so derived estimators
+/// (e.g. the bidirectional residue-weighted one in `rtk-approx`) can impose
+/// their own per-walk seeding discipline.
+pub fn walk_endpoint(
+    transition: &TransitionMatrix<'_>,
+    start: u32,
+    alpha: f64,
+    max_steps: u32,
+    rng: &mut StdRng,
+) -> u32 {
+    let mut at = start;
+    for _ in 0..max_steps {
+        if rng.gen_bool(alpha) {
+            break;
+        }
+        at = step(transition, at, rng);
+    }
+    at
+}
+
+/// Runs `params.walks` independent walks on `pool`, tallying integer counts
+/// per node. `complete` selects visit counting (Complete Path) over endpoint
+/// counting (End Point). Walk `w` uses `StdRng::seed_from_u64(seed + w)`.
+fn run_walks(
+    pool: &WorkerPool,
+    transition: &TransitionMatrix<'_>,
+    u: u32,
+    params: &McParams,
+    complete: bool,
+) -> Vec<u64> {
+    let n = transition.node_count();
+    let chunks: Vec<(u32, u32)> = (0..params.walks)
+        .step_by(WALK_CHUNK as usize)
+        .map(|lo| (lo, (lo + WALK_CHUNK).min(params.walks)))
+        .collect();
+    let mut partials: Vec<Vec<u64>> = vec![Vec::new(); chunks.len()];
+    pool.scope(|s| {
+        for (slot, &(lo, hi)) in partials.iter_mut().zip(&chunks) {
+            s.spawn(move || {
+                let mut counts = vec![0u64; n];
+                for w in lo..hi {
+                    let mut rng = StdRng::seed_from_u64(params.seed.wrapping_add(w as u64));
+                    let mut at = u;
+                    if complete {
+                        counts[at as usize] += 1;
+                    }
+                    for _ in 0..params.max_steps {
+                        if rng.gen_bool(params.alpha) {
+                            break;
+                        }
+                        at = step(transition, at, &mut rng);
+                        if complete {
+                            counts[at as usize] += 1;
+                        }
+                    }
+                    if !complete {
+                        counts[at as usize] += 1;
+                    }
+                }
+                *slot = counts;
+            });
+        }
+    });
+    let mut total = vec![0u64; n];
+    for part in &partials {
+        for (t, &c) in total.iter_mut().zip(part) {
+            *t += c;
+        }
+    }
+    total
+}
+
 /// MC End Point: `p̂_u(v)` = fraction of walks ending at `v`.
+///
+/// Runs on the shared global [`WorkerPool`]; see [`mc_end_point_on`] to pin
+/// a specific pool (the estimate itself never depends on the pool's size).
 pub fn mc_end_point(transition: &TransitionMatrix<'_>, u: u32, params: &McParams) -> Vec<f64> {
+    mc_end_point_on(WorkerPool::global(), transition, u, params)
+}
+
+/// [`mc_end_point`] on an explicit pool.
+pub fn mc_end_point_on(
+    pool: &WorkerPool,
+    transition: &TransitionMatrix<'_>,
+    u: u32,
+    params: &McParams,
+) -> Vec<f64> {
     params.validate();
     let n = transition.node_count();
     assert!((u as usize) < n, "mc_end_point: node {u} out of range");
-    let mut rng = StdRng::seed_from_u64(params.seed);
-    let mut counts = vec![0u64; n];
-    for _ in 0..params.walks {
-        let mut at = u;
-        for _ in 0..params.max_steps {
-            if rng.gen_bool(params.alpha) {
-                break;
-            }
-            at = step(transition, at, &mut rng);
-        }
-        counts[at as usize] += 1;
-    }
+    let counts = run_walks(pool, transition, u, params, false);
     counts.iter().map(|&c| c as f64 / params.walks as f64).collect()
 }
 
 /// MC Complete Path: `p̂_u(v)` = `α ×` average visits to `v` per walk.
+///
+/// Runs on the shared global [`WorkerPool`]; see [`mc_complete_path_on`] to
+/// pin a specific pool (the estimate itself never depends on the pool's
+/// size).
 pub fn mc_complete_path(transition: &TransitionMatrix<'_>, u: u32, params: &McParams) -> Vec<f64> {
+    mc_complete_path_on(WorkerPool::global(), transition, u, params)
+}
+
+/// [`mc_complete_path`] on an explicit pool.
+pub fn mc_complete_path_on(
+    pool: &WorkerPool,
+    transition: &TransitionMatrix<'_>,
+    u: u32,
+    params: &McParams,
+) -> Vec<f64> {
     params.validate();
     let n = transition.node_count();
     assert!((u as usize) < n, "mc_complete_path: node {u} out of range");
-    let mut rng = StdRng::seed_from_u64(params.seed);
-    let mut visits = vec![0u64; n];
-    for _ in 0..params.walks {
-        let mut at = u;
-        visits[at as usize] += 1;
-        for _ in 0..params.max_steps {
-            if rng.gen_bool(params.alpha) {
-                break;
-            }
-            at = step(transition, at, &mut rng);
-            visits[at as usize] += 1;
-        }
-    }
+    let visits = run_walks(pool, transition, u, params, true);
     let scale = params.alpha / params.walks as f64;
     visits.iter().map(|&c| c as f64 * scale).collect()
 }
@@ -141,6 +230,25 @@ mod tests {
     }
 
     #[test]
+    fn estimates_are_independent_of_thread_count() {
+        // Per-walk seeding means the estimate is a pure function of the
+        // parameters: pools of size 0 (caller-only), 1, 2, and 4 must all
+        // produce bit-identical vectors, including when the walk count does
+        // not divide evenly into chunks.
+        let g = toy();
+        let t = TransitionMatrix::new(&g);
+        let p = McParams { walks: 3 * WALK_CHUNK + 37, seed: 11, ..Default::default() };
+        let pools: Vec<WorkerPool> =
+            [0usize, 1, 2, 4].iter().map(|&w| WorkerPool::new(w)).collect();
+        let ep: Vec<Vec<f64>> = pools.iter().map(|pl| mc_end_point_on(pl, &t, 0, &p)).collect();
+        let cp: Vec<Vec<f64>> = pools.iter().map(|pl| mc_complete_path_on(pl, &t, 0, &p)).collect();
+        for i in 1..pools.len() {
+            assert_eq!(ep[0], ep[i], "end-point differs on pool {i}");
+            assert_eq!(cp[0], cp[i], "complete-path differs on pool {i}");
+        }
+    }
+
+    #[test]
     fn end_point_estimates_are_distributions() {
         let g = toy();
         let t = TransitionMatrix::new(&g);
@@ -167,14 +275,15 @@ mod tests {
     fn complete_path_has_lower_error_than_end_point() {
         // With matched walk budgets, the visit-counting estimator should land
         // closer to the truth in aggregate (its per-walk information is
-        // higher). Aggregate L1 over a few seeds to avoid flakiness.
+        // higher). Aggregate L1 over a few seeds to avoid flakiness; spread
+        // the seeds far apart so the per-walk streams don't overlap.
         let g = toy();
         let t = TransitionMatrix::new(&g);
         let (truth, _) = proximity_from(&t, 3, &RwrParams::default());
         let mut err_ep = 0.0;
         let mut err_cp = 0.0;
-        for seed in 0..5 {
-            let p = McParams { walks: 5_000, seed, ..Default::default() };
+        for seed in 0..5u64 {
+            let p = McParams { walks: 5_000, seed: seed * 1_000_003, ..Default::default() };
             let ep = mc_end_point(&t, 3, &p);
             let cp = mc_complete_path(&t, 3, &p);
             err_ep += rtk_sparse::dense::l1_distance(&ep, &truth);

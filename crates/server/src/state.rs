@@ -22,7 +22,7 @@
 //! `persist`, `ping`, `shutdown`); full-index requests against it are
 //! engine errors, and vice versa.
 
-use crate::wire::{WireQueryResult, WireShardResult, WireTopk, WireUpdateResult};
+use crate::wire::{ApproxParams, WireQueryResult, WireShardResult, WireTopk, WireUpdateResult};
 use rtk_api::service::to_wire;
 use rtk_core::{ReverseTopkEngine, ShardEngine, UpdateRecord};
 use rtk_graph::NodeId;
@@ -113,10 +113,11 @@ impl SharedEngine {
         }
     }
 
-    fn options(&self, update: bool) -> QueryOptions {
+    fn options(&self, update: bool, approx: Option<ApproxParams>) -> QueryOptions {
         QueryOptions {
             update_index: update,
             query_threads: self.query_threads,
+            approx,
             ..Default::default()
         }
     }
@@ -145,16 +146,17 @@ impl SharedEngine {
         k: u32,
         update: bool,
         trace: bool,
+        approx: Option<ApproxParams>,
     ) -> Result<WireQueryResult, String> {
         let started = Instant::now();
         let lock = self.full()?;
         let result = if update {
             let mut engine = lock.write().expect("engine lock");
-            let opts = self.options(true);
+            let opts = self.options(true, approx);
             engine.query_with(NodeId(q), k as usize, &opts).map_err(|e| e.to_string())?
         } else {
             let engine = lock.read().expect("engine lock");
-            let opts = self.options(false);
+            let opts = self.options(false, approx);
             let mut results = engine
                 .query_batch(&[(NodeId(q), k as usize)], &opts)
                 .map_err(|e| e.to_string())?;
@@ -169,12 +171,16 @@ impl SharedEngine {
 
     /// The shard-scoped slice of one reverse top-k query (wire v3). Only a
     /// shard-only backend answers it: a router fans these out and merges.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn shard_reverse_topk(
         &self,
         q: u32,
         k: u32,
         update: bool,
         trace: bool,
+        approx: Option<ApproxParams>,
+        pmpn: Option<&[f64]>,
+        want_pmpn: bool,
     ) -> Result<WireShardResult, String> {
         let started = Instant::now();
         let EngineKind::Shard(lock) = &self.kind else {
@@ -182,20 +188,32 @@ impl SharedEngine {
                  the whole index — use reverse_topk"
                 .to_string());
         };
-        let (shard_id, node_lo, node_hi, result) = if update {
+        let (shard_id, node_lo, node_hi, result, pmpn_out) = if update {
             let mut engine = lock.write().expect("engine lock");
-            let r = engine
-                .query_shard_update(NodeId(q), k as usize, &self.options(true))
+            let (r, v) = engine
+                .query_shard_update_with_pmpn(
+                    NodeId(q),
+                    k as usize,
+                    &self.options(true, approx),
+                    pmpn,
+                    want_pmpn,
+                )
                 .map_err(|e| e.to_string())?;
             let range = engine.shard_range();
-            (engine.shard_id() as u32, range.start, range.end, r)
+            (engine.shard_id() as u32, range.start, range.end, r, v)
         } else {
             let engine = lock.read().expect("engine lock");
-            let r = engine
-                .query_shard_frozen(NodeId(q), k as usize, &self.options(false))
+            let (r, v) = engine
+                .query_shard_frozen_with_pmpn(
+                    NodeId(q),
+                    k as usize,
+                    &self.options(false, approx),
+                    pmpn,
+                    want_pmpn,
+                )
                 .map_err(|e| e.to_string())?;
             let range = engine.shard_range();
-            (engine.shard_id() as u32, range.start, range.end, r)
+            (engine.shard_id() as u32, range.start, range.end, r, v)
         };
         let mut wire = to_wire(&result, started.elapsed().as_secs_f64());
         if trace {
@@ -206,7 +224,7 @@ impl SharedEngine {
                     .annotate("shard", shard_id.to_string()),
             );
         }
-        Ok(WireShardResult { shard_id, node_lo, node_hi, result: wire })
+        Ok(WireShardResult { shard_id, node_lo, node_hi, result: wire, pmpn: pmpn_out })
     }
 
     /// Forward top-k from `u`; always frozen. Both engine kinds hold the
@@ -367,7 +385,7 @@ impl SharedEngine {
     pub(crate) fn batch(&self, queries: &[(u32, u32)]) -> Result<Vec<WireQueryResult>, String> {
         let lock = self.full()?;
         let engine = lock.read().expect("engine lock");
-        let opts = self.options(false);
+        let opts = self.options(false, None);
         let raw: Vec<(NodeId, usize)> =
             queries.iter().map(|&(q, k)| (NodeId(q), k as usize)).collect();
         let results = engine.query_batch(&raw, &opts).map_err(|e| e.to_string())?;

@@ -38,9 +38,10 @@ use rtk_sparse::codec::{self, DecodeError};
 use std::io::{Cursor, Read, Write};
 
 pub use rtk_api::model::{
-    Request, Response, StatsSnapshot, WireQueryResult, WireShardResult, WireTopk, WireUpdateResult,
-    MAX_AUTH_TOKEN_BYTES, MAX_BATCH_QUERIES, MAX_PERSIST_PATH_BYTES, STATUS_BUSY,
-    STATUS_ENGINE_ERROR, STATUS_OK, STATUS_PROTOCOL_ERROR, STATUS_UNAUTHORIZED,
+    ApproxParams, Request, Response, StatsSnapshot, WireApproxStats, WireQueryResult,
+    WireShardResult, WireTopk, WireUpdateResult, MAX_AUTH_TOKEN_BYTES, MAX_BATCH_QUERIES,
+    MAX_PERSIST_PATH_BYTES, STATUS_BUSY, STATUS_ENGINE_ERROR, STATUS_OK, STATUS_PROTOCOL_ERROR,
+    STATUS_UNAUTHORIZED,
 };
 
 /// Magic tag opening every frame.
@@ -60,8 +61,17 @@ pub const WIRE_MAGIC: &[u8; 8] = b"RTKWIRE1";
 /// dynamic-graph update pair `add_edge` / `remove_edge`, the `updated`
 /// response carrying the recompute effect plus the post-update index
 /// digest, and the `add_edge` / `remove_edge` counters + `index_digest`
-/// field of the stats snapshot).
-pub const WIRE_VERSION: u32 = 7;
+/// field of the stats snapshot; 8 generalized the trailing trace flag of
+/// `reverse_topk` / `shard_reverse_topk` requests into a **tail-flags
+/// word** carrying the optional approx knob (ε / walks / seed), the
+/// optional router-shipped PMPN vector, and the `want_pmpn` bit — a
+/// trace-only tail still encodes as the single word `1`, so every v7
+/// request frame is byte-identical under v8; responses gained the same
+/// flags word ahead of their optional tail sections (trace, approx
+/// counters, returned PMPN vector), and the stats snapshot gained its
+/// versioned approx-counter tail — untraced non-approx frames are
+/// byte-identical in shape to v7).
+pub const WIRE_VERSION: u32 = 8;
 /// Default per-frame payload cap (16 MiB) — generous for batch responses,
 /// small enough that a malicious length prefix cannot balloon memory.
 pub const DEFAULT_MAX_FRAME_BYTES: u32 = 16 * 1024 * 1024;
@@ -81,6 +91,23 @@ const TAG_PERSIST: u32 = 6;
 const TAG_SHARD_REVERSE_TOPK: u32 = 7;
 const TAG_ADD_EDGE: u32 = 8;
 const TAG_REMOVE_EDGE: u32 = 9;
+
+/// Tail-flags bits (wire v8). On requests the word follows the fixed
+/// fields of `reverse_topk` / `shard_reverse_topk`; on responses it
+/// follows the fixed query result. Each set bit announces one optional
+/// section, appended in bit order. The word itself is trailing-optional:
+/// a payload that ends at the fixed fields means "no flags set", which
+/// keeps plain v7 frames byte-identical — and a trace-only tail is the
+/// word `1`, exactly the byte shape of the v7 trace flag.
+const FLAG_TRACE: u32 = 1;
+/// Approx knob on requests (`f64` ε, `u32` walks, `u64` seed); approx
+/// counter block on responses (3 × `u64`).
+const FLAG_APPROX: u32 = 1 << 1;
+/// PMPN vector section (`u64` count + that many `f64`s): router-shipped
+/// on shard requests, backend-returned on shard responses.
+const FLAG_PMPN: u32 = 1 << 2;
+/// Shard requests only: ask the backend to return its solved PMPN vector.
+const FLAG_WANT_PMPN: u32 = 1 << 3;
 
 /// Writes one frame (header + length-prefixed payload) carrying
 /// `request_id`. Fails (rather than silently truncating the length prefix)
@@ -139,25 +166,22 @@ pub fn encode_request_authed(req: &Request, token: &[u8]) -> Vec<u8> {
     codec::write_bytes(w, token).unwrap();
     match req {
         Request::Ping => codec::write_u32(w, TAG_PING).unwrap(),
-        Request::ReverseTopk { q, k, update, trace } => {
+        Request::ReverseTopk { q, k, update, trace, approx } => {
             codec::write_u32(w, TAG_REVERSE_TOPK).unwrap();
             codec::write_u32(w, *q).unwrap();
             codec::write_u32(w, *k).unwrap();
             codec::write_u32(w, u32::from(*update)).unwrap();
-            // The trace flag is trailing-optional: untraced requests omit
-            // it entirely, keeping their byte shape identical to v5.
-            if *trace {
-                codec::write_u32(w, 1).unwrap();
-            }
+            // The tail-flags word is trailing-optional: plain requests
+            // omit it entirely (byte-identical to v5..v7), and trace-only
+            // requests write the word `1` — the v7 trace-flag bytes.
+            write_request_tail(w, *trace, approx.as_ref(), None, false);
         }
-        Request::ShardReverseTopk { q, k, update, trace } => {
+        Request::ShardReverseTopk { q, k, update, trace, approx, pmpn, want_pmpn } => {
             codec::write_u32(w, TAG_SHARD_REVERSE_TOPK).unwrap();
             codec::write_u32(w, *q).unwrap();
             codec::write_u32(w, *k).unwrap();
             codec::write_u32(w, u32::from(*update)).unwrap();
-            if *trace {
-                codec::write_u32(w, 1).unwrap();
-            }
+            write_request_tail(w, *trace, approx.as_ref(), pmpn.as_deref(), *want_pmpn);
         }
         Request::Topk { u, k, early } => {
             codec::write_u32(w, TAG_TOPK).unwrap();
@@ -204,18 +228,32 @@ pub fn decode_request(payload: &[u8]) -> Result<(Vec<u8>, Request), DecodeError>
     let tag = codec::read_u32(&mut r)?;
     let req = match tag {
         TAG_PING => Request::Ping,
-        TAG_REVERSE_TOPK => Request::ReverseTopk {
-            q: codec::read_u32(&mut r)?,
-            k: codec::read_u32(&mut r)?,
-            update: codec::read_u32(&mut r)? != 0,
-            trace: read_trace_flag(&mut r, payload.len())?,
-        },
-        TAG_SHARD_REVERSE_TOPK => Request::ShardReverseTopk {
-            q: codec::read_u32(&mut r)?,
-            k: codec::read_u32(&mut r)?,
-            update: codec::read_u32(&mut r)? != 0,
-            trace: read_trace_flag(&mut r, payload.len())?,
-        },
+        TAG_REVERSE_TOPK => {
+            let q = codec::read_u32(&mut r)?;
+            let k = codec::read_u32(&mut r)?;
+            let update = codec::read_u32(&mut r)? != 0;
+            let tail = read_request_tail(&mut r, payload.len(), FLAG_TRACE | FLAG_APPROX)?;
+            Request::ReverseTopk { q, k, update, trace: tail.trace, approx: tail.approx }
+        }
+        TAG_SHARD_REVERSE_TOPK => {
+            let q = codec::read_u32(&mut r)?;
+            let k = codec::read_u32(&mut r)?;
+            let update = codec::read_u32(&mut r)? != 0;
+            let tail = read_request_tail(
+                &mut r,
+                payload.len(),
+                FLAG_TRACE | FLAG_APPROX | FLAG_PMPN | FLAG_WANT_PMPN,
+            )?;
+            Request::ShardReverseTopk {
+                q,
+                k,
+                update,
+                trace: tail.trace,
+                approx: tail.approx,
+                pmpn: tail.pmpn,
+                want_pmpn: tail.want_pmpn,
+            }
+        }
         TAG_TOPK => Request::Topk {
             u: codec::read_u32(&mut r)?,
             k: codec::read_u32(&mut r)?,
@@ -295,12 +333,10 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
         Response::ReverseTopk(r) => {
             codec::write_u32(w, TAG_REVERSE_TOPK).unwrap();
             write_query_result(w, r);
-            // The trace section is trailing-optional: only traced answers
-            // append it (batch results never carry one, so the per-result
+            // Tail sections are trailing-optional: plain answers append
+            // nothing (batch results never carry a tail, so the per-result
             // layout inside a batch stays unambiguous).
-            if let Some(trace) = &r.trace {
-                trace.encode(w).unwrap();
-            }
+            write_result_tail(w, r, None);
         }
         Response::Topk(t) => {
             codec::write_u32(w, TAG_TOPK).unwrap();
@@ -331,9 +367,7 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             codec::write_u32(w, s.node_lo).unwrap();
             codec::write_u32(w, s.node_hi).unwrap();
             write_query_result(w, &s.result);
-            if let Some(trace) = &s.result.trace {
-                trace.encode(w).unwrap();
-            }
+            write_result_tail(w, &s.result, s.pmpn.as_deref());
         }
         Response::Updated(u) => {
             // One tag for both update kinds: the response shape is identical
@@ -367,7 +401,9 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, ServerError> {
         TAG_PING => Response::Pong,
         TAG_REVERSE_TOPK => {
             let mut result = read_query_result(&mut r, payload.len())?;
-            result.trace = read_optional_trace(&mut r, payload.len())?;
+            let tail = read_result_tail(&mut r, payload.len(), FLAG_TRACE | FLAG_APPROX)?;
+            result.trace = tail.trace;
+            result.approx = tail.approx;
             Response::ReverseTopk(result)
         }
         TAG_TOPK => {
@@ -413,8 +449,17 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, ServerError> {
             let node_lo = codec::read_u32(&mut r)?;
             let node_hi = codec::read_u32(&mut r)?;
             let mut result = read_query_result(&mut r, payload.len())?;
-            result.trace = read_optional_trace(&mut r, payload.len())?;
-            Response::ShardReverseTopk(WireShardResult { shard_id, node_lo, node_hi, result })
+            let tail =
+                read_result_tail(&mut r, payload.len(), FLAG_TRACE | FLAG_APPROX | FLAG_PMPN)?;
+            result.trace = tail.trace;
+            result.approx = tail.approx;
+            Response::ShardReverseTopk(WireShardResult {
+                shard_id,
+                node_lo,
+                node_hi,
+                result,
+                pmpn: tail.pmpn,
+            })
         }
         other => {
             return Err(ServerError::Protocol(format!("unknown response tag {other}")));
@@ -424,33 +469,174 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, ServerError> {
     Ok(resp)
 }
 
-/// Reads the trailing-optional trace flag of a `reverse_topk` /
-/// `shard_reverse_topk` request: absent (v5-shaped payload) means
-/// untraced; present it must be exactly 0 or 1.
-fn read_trace_flag(r: &mut Cursor<&[u8]>, payload_len: usize) -> Result<bool, DecodeError> {
-    if r.position() as usize == payload_len {
-        return Ok(false);
+/// Decoded request tail (wire v8): everything the tail-flags word can
+/// announce after a query request's fixed fields.
+#[derive(Default)]
+struct RequestTail {
+    trace: bool,
+    approx: Option<ApproxParams>,
+    pmpn: Option<Vec<f64>>,
+    want_pmpn: bool,
+}
+
+/// Writes the trailing-optional tail of a query request: nothing when no
+/// feature is engaged, otherwise the flags word followed by the announced
+/// sections in bit order.
+fn write_request_tail<W: Write>(
+    w: &mut W,
+    trace: bool,
+    approx: Option<&ApproxParams>,
+    pmpn: Option<&[f64]>,
+    want_pmpn: bool,
+) {
+    let mut flags = 0u32;
+    if trace {
+        flags |= FLAG_TRACE;
     }
-    match codec::read_u32(r)? {
-        0 => Ok(false),
-        1 => Ok(true),
-        other => Err(DecodeError::Corrupt(format!("trace flag must be 0 or 1, got {other}"))),
+    if approx.is_some() {
+        flags |= FLAG_APPROX;
+    }
+    if pmpn.is_some() {
+        flags |= FLAG_PMPN;
+    }
+    if want_pmpn {
+        flags |= FLAG_WANT_PMPN;
+    }
+    if flags == 0 {
+        return;
+    }
+    codec::write_u32(w, flags).unwrap();
+    if let Some(a) = approx {
+        codec::write_f64(w, a.epsilon).unwrap();
+        codec::write_u32(w, a.walks).unwrap();
+        codec::write_u64(w, a.seed).unwrap();
+    }
+    if let Some(v) = pmpn {
+        codec::write_f64_seq(w, v).unwrap();
     }
 }
 
-/// Reads the trailing-optional trace section of a traced response. The
-/// span-tree node budget is derived from the bytes actually present, so a
-/// forged child count cannot balloon memory.
-fn read_optional_trace(
+/// Reads the trailing-optional tail of a query request: absent (a plain
+/// v7-shaped payload) means no feature engaged. `allowed` masks the bits
+/// this request kind may carry — anything else is corrupt, so a future
+/// flag cannot be silently dropped by an older server.
+fn read_request_tail(
     r: &mut Cursor<&[u8]>,
     payload_len: usize,
-) -> Result<Option<rtk_obs::TraceSpan>, ServerError> {
+    allowed: u32,
+) -> Result<RequestTail, DecodeError> {
+    if r.position() as usize == payload_len {
+        return Ok(RequestTail::default());
+    }
+    let flags = codec::read_u32(r)?;
+    if flags & !allowed != 0 {
+        return Err(DecodeError::Corrupt(format!(
+            "request tail flags {flags:#x} carry unsupported bits (allowed {allowed:#x})"
+        )));
+    }
+    let mut tail = RequestTail { trace: flags & FLAG_TRACE != 0, ..RequestTail::default() };
+    if flags & FLAG_APPROX != 0 {
+        let epsilon = codec::read_f64(r)?;
+        // The error budget is a distance: NaN / infinite / negative values
+        // have no meaning and are rejected at the codec so every server
+        // flavor refuses them uniformly. ε = 0 is legal (exact serving).
+        if !epsilon.is_finite() || epsilon < 0.0 {
+            return Err(DecodeError::Corrupt(format!(
+                "approx epsilon must be finite and non-negative, got {epsilon}"
+            )));
+        }
+        let walks = codec::read_u32(r)?;
+        let seed = codec::read_u64(r)?;
+        tail.approx = Some(ApproxParams { epsilon, walks, seed });
+    }
+    if flags & FLAG_PMPN != 0 {
+        let bound = payload_len as u64 / 8;
+        let v = codec::read_f64_seq_bounded(r, bound)?;
+        if v.iter().any(|p| !p.is_finite()) {
+            return Err(DecodeError::Corrupt("pmpn vector carries non-finite values".into()));
+        }
+        tail.pmpn = Some(v);
+    }
+    tail.want_pmpn = flags & FLAG_WANT_PMPN != 0;
+    Ok(tail)
+}
+
+/// Decoded response tail (wire v8): the optional sections a single-result
+/// answer can append after its fixed query result.
+#[derive(Default)]
+struct ResultTail {
+    trace: Option<rtk_obs::TraceSpan>,
+    approx: Option<WireApproxStats>,
+    pmpn: Option<Vec<f64>>,
+}
+
+/// Writes the trailing-optional tail of a single-result response: nothing
+/// when the answer carries no section, otherwise the flags word followed
+/// by the announced sections in bit order.
+fn write_result_tail<W: Write>(w: &mut W, r: &WireQueryResult, pmpn: Option<&[f64]>) {
+    let mut flags = 0u32;
+    if r.trace.is_some() {
+        flags |= FLAG_TRACE;
+    }
+    if r.approx.is_some() {
+        flags |= FLAG_APPROX;
+    }
+    if pmpn.is_some() {
+        flags |= FLAG_PMPN;
+    }
+    if flags == 0 {
+        return;
+    }
+    codec::write_u32(w, flags).unwrap();
+    if let Some(trace) = &r.trace {
+        trace.encode(w).unwrap();
+    }
+    if let Some(a) = &r.approx {
+        codec::write_u64(w, a.estimated).unwrap();
+        codec::write_u64(w, a.exact_refined).unwrap();
+        codec::write_u64(w, a.walks).unwrap();
+    }
+    if let Some(v) = pmpn {
+        codec::write_f64_seq(w, v).unwrap();
+    }
+}
+
+/// Reads the trailing-optional tail of a single-result response. The
+/// span-tree node budget is derived from the bytes actually present, so a
+/// forged child count cannot balloon memory; `allowed` masks the bits this
+/// response kind may carry.
+fn read_result_tail(
+    r: &mut Cursor<&[u8]>,
+    payload_len: usize,
+    allowed: u32,
+) -> Result<ResultTail, ServerError> {
     let remaining = payload_len as u64 - r.position();
     if remaining == 0 {
-        return Ok(None);
+        return Ok(ResultTail::default());
     }
-    let budget = remaining / rtk_obs::trace::MIN_SPAN_BYTES + 1;
-    Ok(Some(rtk_obs::TraceSpan::decode_bounded(r, budget)?))
+    let flags = codec::read_u32(r)?;
+    if flags & !allowed != 0 {
+        return Err(ServerError::Protocol(format!(
+            "response tail flags {flags:#x} carry unsupported bits (allowed {allowed:#x})"
+        )));
+    }
+    let mut tail = ResultTail::default();
+    if flags & FLAG_TRACE != 0 {
+        let budget = (payload_len as u64 - r.position()) / rtk_obs::trace::MIN_SPAN_BYTES + 1;
+        tail.trace = Some(rtk_obs::TraceSpan::decode_bounded(r, budget)?);
+    }
+    if flags & FLAG_APPROX != 0 {
+        tail.approx = Some(WireApproxStats {
+            estimated: codec::read_u64(r)?,
+            exact_refined: codec::read_u64(r)?,
+            walks: codec::read_u64(r)?,
+        });
+    }
+    if flags & FLAG_PMPN != 0 {
+        let bound = payload_len as u64 / 8;
+        tail.pmpn = Some(codec::read_f64_seq_bounded(r, bound)?);
+    }
+    Ok(tail)
 }
 
 /// Writes the fixed part of a query result. The optional trace section is
@@ -495,6 +681,7 @@ fn read_query_result<R: Read>(
         refine_iterations: codec::read_u64(r)?,
         server_seconds: codec::read_f64(r)?,
         trace: None,
+        approx: None,
     })
 }
 
@@ -524,6 +711,7 @@ mod tests {
             refine_iterations: 40,
             server_seconds: 0.0123,
             trace: None,
+            approx: None,
         }
     }
 
@@ -531,10 +719,26 @@ mod tests {
     fn requests_round_trip() {
         let reqs = [
             Request::Ping,
-            Request::ReverseTopk { q: 7, k: 10, update: true, trace: false },
-            Request::ReverseTopk { q: 0, k: 1, update: false, trace: true },
-            Request::ShardReverseTopk { q: 42, k: 10, update: true, trace: false },
-            Request::ShardReverseTopk { q: 3, k: 2, update: false, trace: true },
+            Request::ReverseTopk { q: 7, k: 10, update: true, trace: false, approx: None },
+            Request::ReverseTopk { q: 0, k: 1, update: false, trace: true, approx: None },
+            Request::ShardReverseTopk {
+                q: 42,
+                k: 10,
+                update: true,
+                trace: false,
+                approx: None,
+                pmpn: None,
+                want_pmpn: false,
+            },
+            Request::ShardReverseTopk {
+                q: 3,
+                k: 2,
+                update: false,
+                trace: true,
+                approx: None,
+                pmpn: None,
+                want_pmpn: false,
+            },
             Request::Topk { u: 3, k: 2, early: true },
             Request::Batch { queries: vec![(0, 1), (5, 10), (7, 3)] },
             Request::Batch { queries: vec![] },
@@ -555,7 +759,7 @@ mod tests {
 
     #[test]
     fn auth_tokens_round_trip_and_are_bounded() {
-        let req = Request::ReverseTopk { q: 1, k: 2, update: false, trace: false };
+        let req = Request::ReverseTopk { q: 1, k: 2, update: false, trace: false, approx: None };
         let payload = encode_request_authed(&req, b"s3cret");
         let (token, back) = decode_request(&payload).unwrap();
         assert_eq!(token, b"s3cret");
@@ -596,6 +800,7 @@ mod tests {
                 node_lo: 100,
                 node_hi: 150,
                 result: sample_result(7),
+                pmpn: None,
             }),
             Response::Error { code: STATUS_ENGINE_ERROR, message: "k out of range".into() },
             Response::Error { code: STATUS_BUSY, message: "server busy".into() },
@@ -609,8 +814,13 @@ mod tests {
 
     #[test]
     fn frames_round_trip_with_their_request_id() {
-        let payload =
-            encode_request(&Request::ReverseTopk { q: 9, k: 4, update: false, trace: false });
+        let payload = encode_request(&Request::ReverseTopk {
+            q: 9,
+            k: 4,
+            update: false,
+            trace: false,
+            approx: None,
+        });
         for id in [0u64, 1, 7, u64::MAX] {
             let mut buf = Vec::new();
             write_frame(&mut buf, id, &payload).unwrap();
@@ -751,11 +961,21 @@ mod tests {
     fn untraced_frames_carry_zero_trace_overhead() {
         // An untraced v6 request is byte-shaped exactly like v5: empty
         // token (8) + tag (4) + q/k/update (12) = 24 bytes, no flag.
-        let plain =
-            encode_request(&Request::ReverseTopk { q: 7, k: 10, update: true, trace: false });
+        let plain = encode_request(&Request::ReverseTopk {
+            q: 7,
+            k: 10,
+            update: true,
+            trace: false,
+            approx: None,
+        });
         assert_eq!(plain.len(), 24);
-        let traced =
-            encode_request(&Request::ReverseTopk { q: 7, k: 10, update: true, trace: true });
+        let traced = encode_request(&Request::ReverseTopk {
+            q: 7,
+            k: 10,
+            update: true,
+            trace: true,
+            approx: None,
+        });
         assert_eq!(traced.len(), plain.len() + 4);
         assert_eq!(&traced[..plain.len()], &plain[..]);
 
@@ -794,6 +1014,7 @@ mod tests {
             node_lo: 100,
             node_hi: 150,
             result: sr,
+            pmpn: None,
         });
         let payload = encode_response(&wrapped);
         assert_eq!(decode_response(&payload).unwrap(), wrapped);
@@ -802,8 +1023,13 @@ mod tests {
     #[test]
     fn trace_flag_and_section_are_bounded() {
         // A trace flag other than 0/1 is corrupt.
-        let mut payload =
-            encode_request(&Request::ReverseTopk { q: 1, k: 2, update: false, trace: false });
+        let mut payload = encode_request(&Request::ReverseTopk {
+            q: 1,
+            k: 2,
+            update: false,
+            trace: false,
+            approx: None,
+        });
         codec::write_u32(&mut payload, 7).unwrap();
         assert!(matches!(decode_request(&payload).unwrap_err(), DecodeError::Corrupt(_)));
 
